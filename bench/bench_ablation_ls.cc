@@ -1,0 +1,84 @@
+// Ablation: specialization breadth Ls (§4.3 "OTHER class" trade-off).
+//
+// A small Ls gives the cheapest specialized model and the fastest queries for the
+// popular classes, but pushes more classes into OTHER, and querying an OTHER class
+// means classifying every OTHER-indexed cluster with the GT-CNN. A large Ls does the
+// opposite. This bench trains specialized models at several Ls on the same stream
+// sample and reports both sides: dominant-class query latency and OTHER-class query
+// latency, plus the ingest cost of the model.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cnn/ground_truth.h"
+#include "src/cnn/specialization.h"
+#include "src/common/logging.h"
+#include "src/core/ingest_pipeline.h"
+#include "src/core/query_engine.h"
+
+int main() {
+  using namespace focus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::BenchConfig config = bench::ConfigFromEnv();
+  video::ClassCatalog catalog(config.world_seed);
+  video::StreamRun run = bench::MakeRun(catalog, "jacksonh", config);
+  cnn::Cnn gt(cnn::GtCnnDesc(catalog.world_seed()), &catalog);
+
+  // One shared sample estimate: all Ls variants train on the same distribution.
+  cnn::ClassDistributionEstimate distribution = cnn::EstimateClassDistribution(
+      run, gt, std::min(300.0, run.duration_sec()), /*frame_stride=*/30);
+
+  cnn::SegmentGroundTruth truth(run, gt);
+  std::vector<common::ClassId> dominant = truth.DominantClasses(0.95, 8);
+  if (dominant.empty()) {
+    std::fprintf(stderr, "no dominant classes in sample\n");
+    return 1;
+  }
+  // A rare class that exists in the stream but sits far down the popularity order:
+  // the class the OTHER path serves.
+  std::vector<common::ClassId> by_popularity = run.classes_by_popularity();
+  common::ClassId rare = by_popularity[std::min<size_t>(by_popularity.size() - 1, 40)];
+
+  bench::PrintHeader("Ablation: specialization breadth Ls (jacksonh)");
+  std::printf("%5s %10s %14s %16s %16s %12s\n", "Ls", "Coverage", "IngestCheaper",
+              "DominantQ(ms)", "OtherQ(ms)", "OtherCands");
+
+  for (int ls : {5, 10, 15, 30, 50, 80}) {
+    cnn::SpecializationOptions spec;
+    spec.ls = ls;
+    cnn::ModelDesc model = cnn::TrainSpecializedModel(
+        distribution, spec, run.profile().appearance_variability, config.world_seed + ls);
+
+    core::IngestParams params;
+    params.model = model;
+    params.k = 4;
+    params.cluster_threshold = 0.6;
+    params.ls = ls;
+
+    cnn::Cnn cheap(model, &catalog);
+    core::IngestResult ingest = core::RunIngest(run, cheap, params);
+    const double gt_all = static_cast<double>(ingest.detections) * gt.inference_cost_millis();
+    const double ingest_cheaper = ingest.gpu_millis > 0 ? gt_all / ingest.gpu_millis : 0.0;
+
+    core::QueryEngine engine(&ingest.index, &cheap, &gt);
+    double dominant_ms = 0.0;
+    for (common::ClassId cls : dominant) {
+      dominant_ms += engine.Query(cls, params.k, {}, run.fps()).gpu_millis;
+    }
+    dominant_ms /= static_cast<double>(dominant.size());
+    core::QueryResult other_q = engine.Query(rare, params.k, {}, run.fps());
+
+    std::printf("%5d %9.1f%% %14s %16.1f %16.1f %12lld\n", ls,
+                100.0 * distribution.CoverageOfTop(static_cast<size_t>(ls)),
+                bench::FormatFactor(ingest_cheaper).c_str(), dominant_ms, other_q.gpu_millis,
+                static_cast<long long>(other_q.centroids_classified));
+  }
+
+  std::printf(
+      "\nExpected shape: coverage rises with Ls; OTHER-class query cost falls sharply\n"
+      "with Ls (fewer clusters land in OTHER) while dominant-class latency stays\n"
+      "roughly flat. Ingest cost barely moves: the conv layers dominate the cost\n"
+      "model, and the specialized architecture is fixed across the sweep.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation: clustering distance threshold T (§4.2, §4.4).
+//
+// T is the only Focus parameter that affects precision: a loose threshold merges
+// visually similar objects of different classes into one cluster, so the centroid's
+// GT-CNN verdict is wrong for part of the cluster's members (lost precision when the
+// centroid matches the query, lost recall when it doesn't). A tight threshold keeps
+// clusters pure but multiplies their number, and query latency is proportional to the
+// number of candidate centroids. This bench fixes the Balance-policy model/K for
+// auburn_c and sweeps T, printing the precision/recall/latency trade-off the tuner
+// navigates in its second selection step.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cnn/ground_truth.h"
+#include "src/common/logging.h"
+#include "src/core/focus_stream.h"
+
+int main() {
+  using namespace focus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::BenchConfig config = bench::ConfigFromEnv();
+  video::ClassCatalog catalog(config.world_seed);
+  video::StreamRun run = bench::MakeRun(catalog, "auburn_c", config);
+  cnn::Cnn gt(cnn::GtCnnDesc(catalog.world_seed()), &catalog);
+
+  // Baseline configuration: whatever Balance picks for this stream.
+  core::FocusOptions options;
+  auto focus_or = core::FocusStream::Build(&run, &catalog, options);
+  if (!focus_or.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", focus_or.error().message.c_str());
+    return 1;
+  }
+  core::IngestParams params = (*focus_or)->chosen_params();
+
+  bench::PrintHeader("Ablation: clustering threshold T (auburn_c, model=" + params.model.name +
+                     ", K=" + std::to_string(params.k) + ")");
+  std::printf("%6s %10s %10s %10s %12s %14s\n", "T", "Clusters", "Prec", "Recall",
+              "QueryFaster", "IngestCheaper");
+
+  const std::vector<double> thresholds = {0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0, 1.3};
+  for (double t : thresholds) {
+    core::IngestParams swept = params;
+    swept.cluster_threshold = t;
+    bench::StreamOutcome out =
+        bench::DeployConfig(catalog, run, swept, gt, core::Policy::kBalance);
+    std::printf("%6.2f %10lld %10.3f %10.3f %12s %14s\n", t,
+                static_cast<long long>(out.clusters), out.precision, out.recall,
+                bench::FormatFactor(out.query_faster_by).c_str(),
+                bench::FormatFactor(out.ingest_cheaper_by).c_str());
+  }
+
+  std::printf(
+      "\nExpected shape: cluster count and query speedup fall as T grows (fewer,\n"
+      "larger clusters -> fewer centroids to classify); precision degrades once T\n"
+      "admits mixed-class clusters; recall peaks at moderate T and drops when\n"
+      "centroids of mixed clusters stop matching the queried class.\n");
+  return 0;
+}

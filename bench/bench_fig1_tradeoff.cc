@@ -1,0 +1,35 @@
+// Figure 1: the ingest-cost vs query-latency trade-off space for a traffic video
+// (auburn_c), comparing Focus-Opt-Ingest / Focus-Balance / Focus-Opt-Query against
+// the Ingest-all and Query-all baselines. Each Focus point reports (I, Q): I = times
+// cheaper than Ingest-all at ingest, Q = times faster than Query-all at query time.
+// Paper checkpoints for auburn_c: Balance (86x, 56x), Opt-Ingest (141x, 46x),
+// Opt-Query (26x, 63x); everything at >=95% precision and recall.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+
+int main() {
+  using namespace focus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::BenchConfig config = bench::ConfigFromEnv();
+  video::ClassCatalog catalog(config.world_seed);
+
+  bench::PrintHeader("Figure 1: Ingest cost vs query latency trade-off (auburn_c)");
+  std::printf("Baselines: Ingest-all = (1x, inf), Query-all = (inf, 1x)\n\n");
+  std::printf("%-18s %-14s %4s %5s  %14s %14s %8s %8s\n", "Setting", "Model", "K", "T",
+              "IngestCheaper", "QueryFaster", "Prec", "Recall");
+
+  const core::Policy policies[] = {core::Policy::kOptIngest, core::Policy::kBalance,
+                                   core::Policy::kOptQuery};
+  for (core::Policy policy : policies) {
+    core::FocusOptions options;
+    options.policy = policy;
+    bench::StreamOutcome out = bench::RunFocusOnStream(catalog, "auburn_c", config, options);
+    std::printf("Focus-%-12s %-14s %4d %5.2f  %13.1fx %13.1fx %7.3f %8.3f\n",
+                core::PolicyName(policy), out.model.c_str(), out.k, out.threshold,
+                out.ingest_cheaper_by, out.query_faster_by, out.precision, out.recall);
+  }
+  std::printf("\nPaper: Balance (86x, 56x); Opt-Ingest (141x, 46x); Opt-Query (26x, 63x).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 3: CDF of object-class frequency for six streams. The x-axis is the
+// fraction of ResNet152's 1000 classes (most frequent first), the y-axis the share of
+// objects covered. The paper's observation: 3%-10% of classes cover >=95% of objects.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+#include "src/video/dataset.h"
+
+int main() {
+  using namespace focus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::BenchConfig config = bench::ConfigFromEnv();
+  video::ClassCatalog catalog(config.world_seed);
+
+  // The six streams Figure 3 plots.
+  const std::vector<std::string> streams = {"auburn_c", "jacksonh", "lausanne",
+                                            "sittard",  "cnn",      "msnbc"};
+  const std::vector<double> x_points = {0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.10};
+
+  bench::PrintHeader("Figure 3: CDF of frequency of object classes");
+  std::printf("%-10s", "classes%");
+  for (const std::string& s : streams) {
+    std::printf(" %10s", s.c_str());
+  }
+  std::printf("\n");
+
+  std::vector<std::vector<common::CdfPoint>> cdfs;
+  for (const std::string& s : streams) {
+    video::StreamRun run = bench::MakeRun(catalog, s, config);
+    cdfs.push_back(video::ClassFrequencyCdf(video::ComputeStreamStatistics(run)));
+  }
+
+  for (double x : x_points) {
+    std::printf("%9.1f%%", 100.0 * x);
+    for (const auto& cdf : cdfs) {
+      double y = 0.0;
+      for (const common::CdfPoint& p : cdf) {
+        if (p.key_fraction <= x) {
+          y = p.weight_fraction;
+        } else {
+          break;
+        }
+      }
+      std::printf("     %5.1f%%", 100.0 * y);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFraction of the 1000-class space covering 95%% of objects "
+              "(paper: 3%%-10%%):\n");
+  for (size_t i = 0; i < streams.size(); ++i) {
+    double x95 = 0.0;
+    for (const common::CdfPoint& p : cdfs[i]) {
+      if (p.weight_fraction >= 0.95) {
+        x95 = p.key_fraction;
+        break;
+      }
+    }
+    std::printf("  %-12s %.1f%%\n", streams[i].c_str(), 100.0 * x95);
+  }
+  return 0;
+}

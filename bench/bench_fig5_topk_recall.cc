@@ -1,0 +1,64 @@
+// Figure 5: effect of K on recall for three generic cheap CNNs on the lausanne
+// stream. The paper's anchors: the ~7x / ~28x / ~58x cheaper models reach ~90% recall
+// at K around 60 / 100 / 200 out of 1000 classes; cheaper models need larger K.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cnn/cnn.h"
+#include "src/cnn/cost_model.h"
+#include "src/cnn/model_zoo.h"
+#include "src/common/logging.h"
+
+int main() {
+  using namespace focus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::BenchConfig config = bench::ConfigFromEnv();
+  video::ClassCatalog catalog(config.world_seed);
+  video::StreamRun run = bench::MakeRun(catalog, "lausanne", config);
+
+  std::vector<cnn::ModelDesc> zoo = cnn::GenericCheapCandidates(config.world_seed);
+  zoo.resize(3);  // The three Figure 5 reference models.
+  std::vector<cnn::Cnn> models;
+  models.reserve(zoo.size());
+  for (const auto& desc : zoo) {
+    models.emplace_back(desc, &catalog);
+  }
+
+  const std::vector<int> ks = {10, 20, 60, 100, 200};
+
+  // Measure detection-level recall@K: the fraction of detections whose true (GT-CNN)
+  // class appears within the cheap CNN's top-K output.
+  std::vector<std::vector<int64_t>> hits(models.size(), std::vector<int64_t>(ks.size(), 0));
+  int64_t total = 0;
+  run.ForEachFrame([&](common::FrameIndex, const std::vector<video::Detection>& dets) {
+    for (const video::Detection& d : dets) {
+      ++total;
+      for (size_t m = 0; m < models.size(); ++m) {
+        int rank = models[m].TrueClassRank(d);
+        for (size_t i = 0; i < ks.size(); ++i) {
+          if (rank <= ks[i]) {
+            ++hits[m][i];
+          }
+        }
+      }
+    }
+  });
+
+  bench::PrintHeader("Figure 5: Effect of K on recall for three cheap CNNs (lausanne)");
+  std::printf("%-10s", "K");
+  for (size_t m = 0; m < models.size(); ++m) {
+    std::printf("  CheapCNN%zu(%4.0fx)", m + 1, cnn::CheapnessFactor(zoo[m]));
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < ks.size(); ++i) {
+    std::printf("%-10d", ks[i]);
+    for (size_t m = 0; m < models.size(); ++m) {
+      std::printf("  %15.1f%%", total > 0 ? 100.0 * hits[m][i] / total : 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper checkpoints: recall rises steadily with K; at equal K the cheaper the\n"
+              "model the lower the recall; ~90%% recall needs K around 60/100/200.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 7: end-to-end results for all 13 streams with the default Balance policy and
+// 95/95 accuracy targets. Top panel: how much cheaper Focus's ingest is than
+// Ingest-all; bottom panel: how much faster Focus's queries are than Query-all.
+// Paper: ingest 43x-98x cheaper (average 58x); queries 11x-57x faster (average 37x).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+
+int main() {
+  using namespace focus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::BenchConfig config = bench::ConfigFromEnv();
+  video::ClassCatalog catalog(config.world_seed);
+
+  bench::PrintHeader("Figure 7: Focus vs Ingest-all (cost) and Query-all (latency), 13 streams");
+  std::printf("%-12s %-14s %4s %5s %14s %13s %7s %7s %10s %9s\n", "Stream", "Model", "K", "T",
+              "IngestCheaper", "QueryFaster", "Prec", "Recall", "Detections", "Clusters");
+
+  std::vector<double> ingest_factors;
+  std::vector<double> query_factors;
+  std::vector<double> precisions;
+  std::vector<double> recalls;
+  for (const video::StreamProfile& profile : video::Table1Profiles()) {
+    core::FocusOptions options;  // Balance policy, 95/95 targets.
+    bench::StreamOutcome out = bench::RunFocusOnStream(catalog, profile.name, config, options);
+    std::printf("%-12s %-14s %4d %5.2f %13.1fx %12.1fx %7.3f %7.3f %10lld %9lld\n",
+                out.stream.c_str(), out.model.c_str(), out.k, out.threshold,
+                out.ingest_cheaper_by, out.query_faster_by, out.precision, out.recall,
+                static_cast<long long>(out.detections), static_cast<long long>(out.clusters));
+    ingest_factors.push_back(out.ingest_cheaper_by);
+    query_factors.push_back(out.query_faster_by);
+    precisions.push_back(out.precision);
+    recalls.push_back(out.recall);
+  }
+
+  std::printf("\n%-12s %32s %13.1fx %12.1fx %7.3f %7.3f\n", "Average", "",
+              common::Mean(ingest_factors), common::Mean(query_factors),
+              common::Mean(precisions), common::Mean(recalls));
+  std::printf("\nPaper: ingest cheaper by 43x-98x (avg 58x); query faster by 11x-57x (avg 37x);\n"
+              ">=95%% precision and recall throughout.\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "bench/bench_util.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/hashing.h"
+#include "src/common/logging.h"
+
+namespace focus::bench {
+
+BenchConfig ConfigFromEnv() {
+  BenchConfig config;
+  if (const char* hours = std::getenv("FOCUS_BENCH_HOURS")) {
+    double v = std::atof(hours);
+    if (v > 0.0) {
+      config.hours = v;
+    }
+  }
+  if (const char* seed = std::getenv("FOCUS_BENCH_SEED")) {
+    config.world_seed = static_cast<uint64_t>(std::strtoull(seed, nullptr, 10));
+  }
+  return config;
+}
+
+video::StreamRun MakeRun(const video::ClassCatalog& catalog, const std::string& stream_name,
+                         const BenchConfig& config, double fps_override) {
+  video::StreamProfile profile;
+  if (!video::FindProfile(stream_name, &profile)) {
+    std::fprintf(stderr, "unknown stream %s\n", stream_name.c_str());
+    std::abort();
+  }
+  uint64_t seed = common::DeriveSeed(config.stream_seed_base, common::HashString(stream_name));
+  double fps = fps_override > 0.0 ? fps_override : config.fps;
+  return video::StreamRun(&catalog, profile, config.duration_sec(), fps, seed);
+}
+
+StreamOutcome MeasureOutcome(const video::ClassCatalog& catalog, const core::FocusStream& focus,
+                             core::Policy policy) {
+  const video::StreamRun& run = focus.run();
+  StreamOutcome out;
+  out.stream = run.profile().name;
+  out.policy = policy;
+  const core::IngestParams& params = focus.chosen_params();
+  out.model = params.model.name;
+  out.k = params.k;
+  out.threshold = params.cluster_threshold;
+  out.detections = focus.ingest().detections;
+  out.clusters = focus.ingest().num_clusters;
+  out.focus_ingest_millis = focus.ingest().gpu_millis;
+  out.tuning_millis = focus.tuning_gpu_millis();
+  out.gt_all_millis =
+      static_cast<double>(out.detections) * focus.gt_cnn().inference_cost_millis();
+
+  // Full-run ground truth and dominant classes (§6.1 metrics).
+  cnn::SegmentGroundTruth truth(run, focus.gt_cnn());
+  core::AccuracyEvaluator evaluator(&truth, run.fps());
+  std::vector<common::ClassId> dominant = truth.DominantClasses(0.95, 12);
+  out.dominant_classes = static_cast<int64_t>(dominant.size());
+
+  double sum_p = 0.0;
+  double sum_r = 0.0;
+  for (common::ClassId cls : dominant) {
+    core::QueryResult qr = focus.Query(cls);
+    core::PrecisionRecall pr = evaluator.Evaluate(cls, qr);
+    sum_p += pr.precision;
+    sum_r += pr.recall;
+    out.total_query_millis += qr.gpu_millis;
+  }
+  if (!dominant.empty()) {
+    out.precision = sum_p / static_cast<double>(dominant.size());
+    out.recall = sum_r / static_cast<double>(dominant.size());
+    out.mean_query_millis = out.total_query_millis / static_cast<double>(dominant.size());
+  }
+  out.ingest_cheaper_by =
+      out.focus_ingest_millis > 0.0 ? out.gt_all_millis / out.focus_ingest_millis : 0.0;
+  out.query_faster_by =
+      out.mean_query_millis > 0.0 ? out.gt_all_millis / out.mean_query_millis : 0.0;
+  return out;
+}
+
+StreamOutcome DeployConfig(const video::ClassCatalog& catalog, const video::StreamRun& run,
+                           const core::IngestParams& params, const cnn::Cnn& gt_cnn,
+                           core::Policy policy) {
+  StreamOutcome out;
+  out.stream = run.profile().name;
+  out.policy = policy;
+  out.model = params.model.name;
+  out.k = params.k;
+  out.threshold = params.cluster_threshold;
+
+  cnn::Cnn cheap(params.model, &catalog);
+  core::IngestResult ingest = core::RunIngest(run, cheap, params);
+  out.detections = ingest.detections;
+  out.clusters = ingest.num_clusters;
+  out.focus_ingest_millis = ingest.gpu_millis;
+  out.gt_all_millis = static_cast<double>(ingest.detections) * gt_cnn.inference_cost_millis();
+
+  cnn::SegmentGroundTruth truth(run, gt_cnn);
+  core::AccuracyEvaluator evaluator(&truth, run.fps());
+  core::QueryEngine engine(&ingest.index, &cheap, &gt_cnn);
+  std::vector<common::ClassId> dominant = truth.DominantClasses(0.95, 12);
+  out.dominant_classes = static_cast<int64_t>(dominant.size());
+  double sum_p = 0.0;
+  double sum_r = 0.0;
+  for (common::ClassId cls : dominant) {
+    core::QueryResult qr = engine.Query(cls, params.k, {}, run.fps());
+    core::PrecisionRecall pr = evaluator.Evaluate(cls, qr);
+    sum_p += pr.precision;
+    sum_r += pr.recall;
+    out.total_query_millis += qr.gpu_millis;
+  }
+  if (!dominant.empty()) {
+    out.precision = sum_p / static_cast<double>(dominant.size());
+    out.recall = sum_r / static_cast<double>(dominant.size());
+    out.mean_query_millis = out.total_query_millis / static_cast<double>(dominant.size());
+  }
+  out.ingest_cheaper_by =
+      out.focus_ingest_millis > 0.0 ? out.gt_all_millis / out.focus_ingest_millis : 0.0;
+  out.query_faster_by =
+      out.mean_query_millis > 0.0 ? out.gt_all_millis / out.mean_query_millis : 0.0;
+  return out;
+}
+
+StreamOutcome RunFocusOnStream(const video::ClassCatalog& catalog, const std::string& stream_name,
+                               const BenchConfig& config, const core::FocusOptions& options) {
+  StreamOutcome out;
+  if (!TryRunFocusOnStream(catalog, stream_name, config, options, &out)) {
+    std::fprintf(stderr, "FocusStream::Build(%s) failed\n", stream_name.c_str());
+    std::abort();
+  }
+  return out;
+}
+
+bool TryRunFocusOnStream(const video::ClassCatalog& catalog, const std::string& stream_name,
+                         const BenchConfig& config, const core::FocusOptions& options,
+                         StreamOutcome* out) {
+  video::StreamRun run = MakeRun(catalog, stream_name, config);
+  auto focus_or = core::FocusStream::Build(&run, &catalog, options);
+  if (!focus_or.ok()) {
+    std::fprintf(stderr, "FocusStream::Build(%s): %s\n", stream_name.c_str(),
+                 focus_or.error().message.c_str());
+    return false;
+  }
+  *out = MeasureOutcome(catalog, **focus_or, options.policy);
+  return true;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+std::string FormatFactor(double factor) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", factor);
+  return buf;
+}
+
+}  // namespace focus::bench

@@ -1,0 +1,91 @@
+// Shared harness for the per-figure/table benchmark binaries.
+//
+// Each bench binary regenerates one table or figure from the paper's evaluation
+// (§6): it simulates the relevant streams, runs Focus and the baselines, and prints
+// the same rows/series the paper reports. Simulated duration per stream defaults to
+// 0.15 hours and can be raised with FOCUS_BENCH_HOURS (the reported quantities are
+// ratios and are duration-stable); FOCUS_BENCH_SEED overrides the world seed.
+#ifndef FOCUS_BENCH_BENCH_UTIL_H_
+#define FOCUS_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baseline/baselines.h"
+#include "src/cnn/ground_truth.h"
+#include "src/core/focus_stream.h"
+#include "src/video/dataset.h"
+
+namespace focus::bench {
+
+struct BenchConfig {
+  double hours = 0.15;
+  double fps = 30.0;
+  uint64_t world_seed = 42;
+  uint64_t stream_seed_base = 1000;
+
+  double duration_sec() const { return hours * 3600.0; }
+};
+
+// Reads FOCUS_BENCH_HOURS / FOCUS_BENCH_SEED from the environment.
+BenchConfig ConfigFromEnv();
+
+// Per-stream end-to-end outcome, in the units the paper reports.
+struct StreamOutcome {
+  std::string stream;
+  core::Policy policy = core::Policy::kBalance;
+  // Chosen configuration.
+  std::string model;
+  int k = 0;
+  double threshold = 0.0;
+  // Paper metrics.
+  double ingest_cheaper_by = 0.0;  // Ingest-all GPU time / Focus ingest GPU time.
+  double query_faster_by = 0.0;    // Query-all GPU time / mean Focus query GPU time.
+  double precision = 0.0;          // Mean over dominant classes, full run.
+  double recall = 0.0;
+  // Raw quantities.
+  int64_t detections = 0;
+  int64_t clusters = 0;
+  int64_t dominant_classes = 0;
+  common::GpuMillis focus_ingest_millis = 0.0;
+  common::GpuMillis tuning_millis = 0.0;
+  common::GpuMillis gt_all_millis = 0.0;       // = Ingest-all = Query-all cost.
+  common::GpuMillis mean_query_millis = 0.0;
+  common::GpuMillis total_query_millis = 0.0;  // Sum over dominant classes.
+};
+
+// Runs Focus end-to-end on one Table 1 stream and measures the paper's metrics
+// against ground truth over the full run. Aborts the process on setup errors (bench
+// binaries are not recoverable contexts).
+StreamOutcome RunFocusOnStream(const video::ClassCatalog& catalog, const std::string& stream_name,
+                               const BenchConfig& config, const core::FocusOptions& options);
+
+// Non-aborting variant: returns false when tuning finds no usable configuration
+// (e.g., a very short or very quiet sample window).
+bool TryRunFocusOnStream(const video::ClassCatalog& catalog, const std::string& stream_name,
+                         const BenchConfig& config, const core::FocusOptions& options,
+                         StreamOutcome* out);
+
+// Same, reusing an already-built FocusStream (for multi-policy studies).
+StreamOutcome MeasureOutcome(const video::ClassCatalog& catalog, const core::FocusStream& focus,
+                             core::Policy policy);
+
+// Deploys an explicit configuration on |run| (full ingest + dominant-class queries)
+// and measures the paper metrics. Used by benches that tune once via
+// ParameterTuner::EvaluateGrid and then deploy several selections.
+StreamOutcome DeployConfig(const video::ClassCatalog& catalog, const video::StreamRun& run,
+                           const core::IngestParams& params, const cnn::Cnn& gt_cnn,
+                           core::Policy policy);
+
+// Builds the stream run for a Table 1 stream (seed derived from the config).
+video::StreamRun MakeRun(const video::ClassCatalog& catalog, const std::string& stream_name,
+                         const BenchConfig& config, double fps_override = -1.0);
+
+// Pretty printing helpers.
+void PrintHeader(const std::string& title);
+std::string FormatFactor(double factor);
+
+}  // namespace focus::bench
+
+#endif  // FOCUS_BENCH_BENCH_UTIL_H_

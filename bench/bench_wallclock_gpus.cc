@@ -1,0 +1,82 @@
+// Wall-clock query latency vs. GPU fleet size (§1, §5, §6.2).
+//
+// The paper translates GPU-time into user-visible latency: Query-all on a month of
+// video is 280 GPU-hours ("to achieve a query latency of one minute ... would require
+// tens of thousands of GPUs"), and with Focus "with a 10-GPU cluster, the query
+// latency on a 24-hour video goes down from one hour to less than two minutes". This
+// bench schedules Focus's centroid classifications and Query-all's full-object
+// classifications on virtual GPU clusters of increasing size and prints both wall
+// clocks, scaled to a 24-hour recording.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/logging.h"
+#include "src/core/focus_stream.h"
+#include "src/runtime/gpu_device.h"
+
+int main() {
+  using namespace focus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::BenchConfig config = bench::ConfigFromEnv();
+  video::ClassCatalog catalog(config.world_seed);
+  video::StreamRun run = bench::MakeRun(catalog, "auburn_c", config);
+
+  core::FocusOptions options;
+  auto focus_or = core::FocusStream::Build(&run, &catalog, options);
+  if (!focus_or.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", focus_or.error().message.c_str());
+    return 1;
+  }
+  const core::FocusStream& focus = **focus_or;
+
+  cnn::SegmentGroundTruth truth(run, focus.gt_cnn());
+  std::vector<common::ClassId> dominant = truth.DominantClasses(0.95, 8);
+  if (dominant.empty()) {
+    std::fprintf(stderr, "no dominant classes\n");
+    return 1;
+  }
+
+  // Mean per-query centroid count and the Query-all workload, scaled from the
+  // simulated duration up to a 24-hour recording.
+  double mean_centroids = 0.0;
+  for (common::ClassId cls : dominant) {
+    mean_centroids += static_cast<double>(focus.Query(cls).centroids_classified);
+  }
+  mean_centroids /= static_cast<double>(dominant.size());
+  const double scale = (24.0 * 3600.0) / run.duration_sec();
+  const int64_t focus_jobs = static_cast<int64_t>(mean_centroids * scale);
+  const int64_t query_all_jobs =
+      static_cast<int64_t>(static_cast<double>(focus.ingest().detections) * scale);
+  const common::GpuMillis cost = focus.gt_cnn().inference_cost_millis();
+
+  bench::PrintHeader("Wall-clock query latency vs GPU fleet size (auburn_c, scaled to 24h)");
+  std::printf("Focus centroids/query: %lld    Query-all objects: %lld    GT-CNN cost: %.1fms\n\n",
+              static_cast<long long>(focus_jobs), static_cast<long long>(query_all_jobs), cost);
+  std::printf("%8s %22s %22s %12s\n", "GPUs", "Query-all latency", "Focus latency", "Speedup");
+
+  auto human = [](common::GpuMillis ms) {
+    char buf[64];
+    if (ms >= 3600e3) {
+      std::snprintf(buf, sizeof(buf), "%.1f h", ms / 3600e3);
+    } else if (ms >= 60e3) {
+      std::snprintf(buf, sizeof(buf), "%.1f min", ms / 60e3);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.1f s", ms / 1e3);
+    }
+    return std::string(buf);
+  };
+
+  for (int gpus : {1, 10, 100, 1000}) {
+    const common::GpuMillis focus_ms = runtime::ParallelLatencyMillis(focus_jobs, cost, gpus);
+    const common::GpuMillis all_ms = runtime::ParallelLatencyMillis(query_all_jobs, cost, gpus);
+    std::printf("%8d %22s %22s %12s\n", gpus, human(all_ms).c_str(), human(focus_ms).c_str(),
+                bench::FormatFactor(focus_ms > 0 ? all_ms / focus_ms : 0).c_str());
+  }
+
+  std::printf(
+      "\nPaper checkpoint: on 10 GPUs a 24-hour video takes ~an hour with Query-all\n"
+      "and under two minutes with Focus; the speedup factor is flat across fleet\n"
+      "sizes until the fleet exceeds the number of Focus centroids.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "src/baseline/baselines.h"
+
+#include <algorithm>
+
+namespace focus::baseline {
+
+IngestAllResult RunIngestAll(const video::StreamRun& run, const cnn::Cnn& gt_cnn) {
+  IngestAllResult result;
+  std::map<common::ClassId, std::vector<std::pair<common::FrameIndex, common::FrameIndex>>> raw;
+  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    for (const video::Detection& d : dets) {
+      ++result.detections;
+      result.ingest_gpu_millis += gt_cnn.inference_cost_millis();
+      common::ClassId label = gt_cnn.Top1(d);
+      auto& runs = raw[label];
+      if (!runs.empty() && runs.back().second == frame) {
+        continue;  // Already recorded for this frame.
+      }
+      if (!runs.empty() && runs.back().second == frame - 1) {
+        runs.back().second = frame;
+      } else {
+        runs.emplace_back(frame, frame);
+      }
+    }
+  });
+  for (auto& [cls, runs] : raw) {
+    result.frames_by_class[cls] = core::MergeFrameRuns(std::move(runs));
+  }
+  return result;
+}
+
+core::QueryResult QueryIngestAll(const IngestAllResult& index, common::ClassId cls) {
+  core::QueryResult result;
+  result.queried = cls;
+  auto it = index.frames_by_class.find(cls);
+  if (it != index.frames_by_class.end()) {
+    result.frame_runs = it->second;
+    for (const auto& [first, last] : result.frame_runs) {
+      result.frames_returned += last - first + 1;
+    }
+  }
+  // Query latency of Ingest-all is zero (§6.1): a pure index lookup.
+  result.gpu_millis = 0.0;
+  return result;
+}
+
+core::QueryResult RunQueryAll(const video::StreamRun& run, const cnn::Cnn& gt_cnn,
+                              common::ClassId cls, common::TimeRange range) {
+  core::QueryResult result;
+  result.queried = cls;
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> runs;
+  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    if (!dets.empty() && !range.ContainsFrame(frame, run.fps())) {
+      return;
+    }
+    for (const video::Detection& d : dets) {
+      result.gpu_millis += gt_cnn.inference_cost_millis();
+      ++result.centroids_classified;
+      if (gt_cnn.Top1(d) == cls) {
+        if (!runs.empty() && runs.back().second >= frame - 1) {
+          runs.back().second = std::max(runs.back().second, frame);
+        } else {
+          runs.emplace_back(frame, frame);
+        }
+      }
+    }
+  });
+  result.frame_runs = core::MergeFrameRuns(std::move(runs));
+  for (const auto& [first, last] : result.frame_runs) {
+    result.frames_returned += last - first + 1;
+  }
+  return result;
+}
+
+common::GpuMillis QueryAllCostMillis(const video::StreamRun& run, const cnn::Cnn& gt_cnn,
+                                     common::TimeRange range) {
+  int64_t detections = 0;
+  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    if (!dets.empty() && !range.ContainsFrame(frame, run.fps())) {
+      return;
+    }
+    detections += static_cast<int64_t>(dets.size());
+  });
+  return static_cast<double>(detections) * gt_cnn.inference_cost_millis();
+}
+
+QueryTimeOnlyResult RunFocusQueryTimeOnly(const video::StreamRun& run,
+                                          const cnn::Cnn& ingest_cnn, const cnn::Cnn& gt_cnn,
+                                          const core::IngestParams& params, common::ClassId cls,
+                                          const core::IngestOptions& options) {
+  QueryTimeOnlyResult result;
+  // All of Focus's ingest work happens lazily, inside the query.
+  core::IngestResult ingest = core::RunIngest(run, ingest_cnn, params, options);
+  core::QueryEngine engine(&ingest.index, &ingest_cnn, &gt_cnn);
+  result.query = engine.Query(cls, params.k, {}, run.fps());
+  result.total_gpu_millis = ingest.gpu_millis + result.query.gpu_millis;
+  return result;
+}
+
+}  // namespace focus::baseline

@@ -1,0 +1,78 @@
+// The paper's two baselines plus the §6.7 query-time-only Focus variant.
+//
+// Both baselines are "strengthened with basic motion detection" (§6.1): they only
+// spend GPU time on moving-object detections, never on empty frames — which is one of
+// NoScope's core techniques, so these correspond to the paper's NoScope-augmented
+// comparison points.
+//
+//   Ingest-all: runs the GT-CNN on every detection at ingest time and stores an
+//     inverted index; queries are free index lookups (query latency 0).
+//   Query-all: stores only the detections at ingest (ingest GPU cost 0); a query runs
+//     the GT-CNN over every detection in the queried interval.
+//   Query-time-only Focus (§6.7): when almost no video is ever queried, Focus can
+//     defer all of its own ingest work to query time: cheap CNN + clustering +
+//     centroid verification all run at query time. Latency = ingest work + query
+//     work, still far below Query-all.
+#ifndef FOCUS_SRC_BASELINE_BASELINES_H_
+#define FOCUS_SRC_BASELINE_BASELINES_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/cnn/cnn.h"
+#include "src/cnn/ground_truth.h"
+#include "src/core/config.h"
+#include "src/core/ingest_pipeline.h"
+#include "src/core/query_engine.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::baseline {
+
+// --- Ingest-all ---
+
+struct IngestAllResult {
+  // Inverted index: class -> frames where the GT-CNN reported it (as merged runs).
+  std::map<common::ClassId, std::vector<std::pair<common::FrameIndex, common::FrameIndex>>>
+      frames_by_class;
+  common::GpuMillis ingest_gpu_millis = 0.0;
+  int64_t detections = 0;
+};
+
+// Runs the GT-CNN over every detection of |run| and builds the inverted index.
+IngestAllResult RunIngestAll(const video::StreamRun& run, const cnn::Cnn& gt_cnn);
+
+// Query on the Ingest-all index: free (no GPU time), exact by construction.
+core::QueryResult QueryIngestAll(const IngestAllResult& index, common::ClassId cls);
+
+// --- Query-all ---
+
+// Runs the GT-CNN over every detection in |range| at query time and returns the
+// frames where it reported |cls|. Ingest cost is zero by definition.
+core::QueryResult RunQueryAll(const video::StreamRun& run, const cnn::Cnn& gt_cnn,
+                              common::ClassId cls, common::TimeRange range = {});
+
+// GPU time Query-all spends on one query over |range| (= detections in range x GT
+// cost) without materializing results. Used for normalization everywhere.
+common::GpuMillis QueryAllCostMillis(const video::StreamRun& run, const cnn::Cnn& gt_cnn,
+                                     common::TimeRange range = {});
+
+// --- Query-time-only Focus (§6.7) ---
+
+struct QueryTimeOnlyResult {
+  core::QueryResult query;
+  // Total query-time GPU cost: cheap-CNN indexing of the interval + centroid
+  // verification (ingest-side cost is zero).
+  common::GpuMillis total_gpu_millis = 0.0;
+};
+
+// Runs the whole Focus pipeline lazily at query time with the given parameters.
+QueryTimeOnlyResult RunFocusQueryTimeOnly(const video::StreamRun& run,
+                                          const cnn::Cnn& ingest_cnn, const cnn::Cnn& gt_cnn,
+                                          const core::IngestParams& params,
+                                          common::ClassId cls,
+                                          const core::IngestOptions& options = {});
+
+}  // namespace focus::baseline
+
+#endif  // FOCUS_SRC_BASELINE_BASELINES_H_

@@ -1,0 +1,96 @@
+#include "src/baseline/noscope.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/cnn/model_desc.h"
+#include "src/common/hashing.h"
+
+namespace focus::baseline {
+
+NoScopeSession::NoScopeSession(const video::StreamRun* run, const video::ClassCatalog* catalog,
+                               const cnn::Cnn* gt_cnn, NoScopeOptions options)
+    : run_(run), catalog_(catalog), gt_cnn_(gt_cnn), options_(options) {}
+
+const cnn::Cnn& NoScopeSession::ModelFor(common::ClassId cls, common::GpuMillis* train_cost) {
+  auto it = models_.find(cls);
+  if (it != models_.end()) {
+    *train_cost = 0.0;  // Cached from an earlier query for the same class.
+    return it->second;
+  }
+
+  // Training data: GT-CNN labels over the train sample. The labelling is the
+  // GPU-bearing part of training (NoScope distills from the reference model).
+  const double sample_sec = std::min(options_.train_sample_sec, run_->duration_sec());
+  const common::FrameIndex limit = static_cast<common::FrameIndex>(sample_sec * run_->fps());
+  int64_t labelled = 0;
+  run_->ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    if (frame >= limit) {
+      return;
+    }
+    labelled += static_cast<int64_t>(dets.size());
+  });
+  *train_cost = static_cast<double>(labelled) * gt_cnn_->inference_cost_millis();
+
+  // The binary specialized model: class X vs OTHER. Variability follows the stream
+  // (a NoScope model is as stream-specialized as a Focus one).
+  cnn::ModelDesc desc;
+  desc.name = "noscope_" + catalog_->Name(cls);
+  desc.layers = options_.layers;
+  desc.input_px = options_.input_px;
+  desc.classes = {cls};
+  desc.has_other_class = true;
+  desc.training_variability = run_->profile().appearance_variability;
+  desc.weights_seed = common::DeriveSeed(run_->seed(), common::HashString(desc.name));
+
+  auto [inserted, unused] = models_.emplace(cls, cnn::Cnn(desc, catalog_));
+  return inserted->second;
+}
+
+NoScopeQueryResult NoScopeSession::Query(common::ClassId cls, common::TimeRange range) {
+  NoScopeQueryResult result;
+  result.query.queried = cls;
+
+  const cnn::Cnn& binary = ModelFor(cls, &result.train_gpu_millis);
+
+  // Difference-detector state: last verdict per object.
+  std::unordered_map<common::ObjectId, bool> last_verdict;
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> hit_runs;
+
+  run_->ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    if (!range.ContainsFrame(frame, run_->fps())) {
+      return;
+    }
+    for (const video::Detection& d : dets) {
+      bool positive = false;
+      auto it = last_verdict.find(d.object_id);
+      if (options_.use_difference_detector && d.pixel_diff_suppressed &&
+          it != last_verdict.end()) {
+        positive = it->second;  // Crop unchanged: reuse the previous verdict.
+      } else {
+        // Stage 1: the binary model filters.
+        ++result.binary_invocations;
+        result.filter_gpu_millis += binary.inference_cost_millis();
+        if (binary.Top1(d) == cls) {
+          // Stage 2: GT-CNN verifies every binary positive.
+          ++result.verified_detections;
+          result.verify_gpu_millis += gt_cnn_->inference_cost_millis();
+          positive = gt_cnn_->Top1(d) == cls;
+        }
+        last_verdict[d.object_id] = positive;
+      }
+      if (positive) {
+        hit_runs.emplace_back(d.frame, d.frame);
+      }
+    }
+  });
+
+  result.query.frame_runs = core::MergeFrameRuns(std::move(hit_runs));
+  for (const auto& [first, last] : result.query.frame_runs) {
+    result.query.frames_returned += last - first + 1;
+  }
+  result.query.gpu_millis = result.total_gpu_millis();
+  return result;
+}
+
+}  // namespace focus::baseline

@@ -1,0 +1,170 @@
+#include "src/cluster/incremental_clusterer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace focus::cluster {
+
+namespace {
+
+// How many trailing member runs to scan when extending an object's frame run.
+constexpr size_t kRunMergeScan = 8;
+
+void AppendMember(Cluster& cluster, const video::Detection& detection) {
+  // Extend an existing run when this is the next sampled frame of the same object.
+  size_t scanned = 0;
+  for (auto it = cluster.members.rbegin();
+       it != cluster.members.rend() && scanned < kRunMergeScan; ++it, ++scanned) {
+    if (it->object == detection.object_id) {
+      if (detection.frame == it->last_frame + 1) {
+        it->last_frame = detection.frame;
+        return;
+      }
+      break;  // Same object but non-contiguous: new run.
+    }
+  }
+  MemberRun run;
+  run.object = detection.object_id;
+  run.first_frame = detection.frame;
+  run.last_frame = detection.frame;
+  cluster.members.push_back(run);
+}
+
+}  // namespace
+
+IncrementalClusterer::IncrementalClusterer(ClustererOptions options) : options_(options) {}
+
+double IncrementalClusterer::FastHitRate() const {
+  return fast_lookups_ > 0 ? static_cast<double>(fast_hits_) / static_cast<double>(fast_lookups_)
+                           : 0.0;
+}
+
+int64_t IncrementalClusterer::CreateCluster(const video::Detection& detection,
+                                            const common::FeatureVec& feature) {
+  Cluster c;
+  c.id = static_cast<int64_t>(clusters_.size());
+  c.centroid = feature;
+  c.size = 1;
+  c.representative = detection;
+  AppendMember(c, detection);
+  clusters_.push_back(std::move(c));
+  active_ids_.push_back(clusters_.back().id);
+  if (active_ids_.size() > options_.max_active) {
+    RetireSmallest();
+  }
+  TouchLru(clusters_.back().id);
+  return clusters_.back().id;
+}
+
+void IncrementalClusterer::Join(Cluster& cluster, const video::Detection& detection,
+                                const common::FeatureVec& feature) {
+  // Running-mean centroid update.
+  double w = 1.0 / static_cast<double>(cluster.size + 1);
+  for (size_t i = 0; i < cluster.centroid.size(); ++i) {
+    cluster.centroid[i] =
+        static_cast<float>(cluster.centroid[i] * (1.0 - w) + feature[i] * w);
+  }
+  ++cluster.size;
+  AppendMember(cluster, detection);
+}
+
+void IncrementalClusterer::RetireSmallest() {
+  auto it = std::min_element(active_ids_.begin(), active_ids_.end(), [this](int64_t a, int64_t b) {
+    return clusters_[static_cast<size_t>(a)].size < clusters_[static_cast<size_t>(b)].size;
+  });
+  if (it == active_ids_.end()) {
+    return;
+  }
+  clusters_[static_cast<size_t>(*it)].active = false;
+  active_ids_.erase(it);
+}
+
+void IncrementalClusterer::TouchLru(int64_t id) {
+  lru_.push_front(id);
+  if (lru_.size() > options_.lru_probes * 2) {
+    lru_.resize(options_.lru_probes);
+  }
+}
+
+int64_t IncrementalClusterer::Add(const video::Detection& detection,
+                                  const common::FeatureVec& feature) {
+  ++total_assignments_;
+  const double threshold_sq = options_.threshold * options_.threshold;
+
+  if (options_.mode == ClustererOptions::Mode::kFast) {
+    ++fast_lookups_;
+    // 1. The cluster this object joined most recently.
+    auto it = last_cluster_of_object_.find(detection.object_id);
+    if (it != last_cluster_of_object_.end()) {
+      Cluster& c = clusters_[static_cast<size_t>(it->second)];
+      if (c.active &&
+          common::SquaredL2DistanceBounded(c.centroid, feature, threshold_sq) <= threshold_sq) {
+        Join(c, detection, feature);
+        ++fast_hits_;
+        return c.id;
+      }
+    }
+    // 2. Recently used clusters.
+    size_t probes = 0;
+    for (int64_t id : lru_) {
+      if (probes++ >= options_.lru_probes) {
+        break;
+      }
+      Cluster& c = clusters_[static_cast<size_t>(id)];
+      if (c.active &&
+          common::SquaredL2DistanceBounded(c.centroid, feature, threshold_sq) <= threshold_sq) {
+        Join(c, detection, feature);
+        last_cluster_of_object_[detection.object_id] = c.id;
+        TouchLru(c.id);
+        ++fast_hits_;
+        return c.id;
+      }
+    }
+  }
+
+  // Full scan: closest active cluster within T. Candidates beyond the current best
+  // (or beyond T) exit the distance loop early; the strict < keeps first-seen tie
+  // semantics identical to the plain scan.
+  int64_t best = -1;
+  double best_dist = std::numeric_limits<double>::max();
+  double bound = threshold_sq;
+  for (int64_t id : active_ids_) {
+    const Cluster& c = clusters_[static_cast<size_t>(id)];
+    double d = common::SquaredL2DistanceBounded(c.centroid, feature, bound);
+    if (d <= bound && d < best_dist) {
+      best_dist = d;
+      best = id;
+      bound = d;
+    }
+  }
+  if (best >= 0 && best_dist <= threshold_sq) {
+    Cluster& c = clusters_[static_cast<size_t>(best)];
+    Join(c, detection, feature);
+    last_cluster_of_object_[detection.object_id] = c.id;
+    TouchLru(c.id);
+    return c.id;
+  }
+
+  int64_t id = CreateCluster(detection, feature);
+  last_cluster_of_object_[detection.object_id] = id;
+  return id;
+}
+
+int64_t IncrementalClusterer::AddSuppressed(const video::Detection& detection,
+                                            const common::FeatureVec& feature) {
+  ++total_assignments_;
+  auto it = last_cluster_of_object_.find(detection.object_id);
+  if (it != last_cluster_of_object_.end()) {
+    Cluster& c = clusters_[static_cast<size_t>(it->second)];
+    if (c.active) {
+      // Membership only: the crop did not change, so the previous classification and
+      // feature are reused and the centroid is left untouched.
+      ++c.size;
+      AppendMember(c, detection);
+      return c.id;
+    }
+  }
+  return Add(detection, feature);
+}
+
+}  // namespace focus::cluster

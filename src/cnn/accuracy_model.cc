@@ -1,0 +1,73 @@
+#include "src/cnn/accuracy_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace focus::cnn {
+
+namespace {
+
+// Calibration constants (see file comment in accuracy_model.h for the anchors).
+constexpr double kTop1Intercept = 0.06;
+constexpr double kTop1Slope = 0.9;
+constexpr double kTop1Max = 0.96;
+constexpr double kTop1Min = 0.02;
+constexpr double kTailShrink = 1.02;
+constexpr double kFeatureNoiseFloor = 0.04;
+constexpr double kFeatureNoiseScale = 0.30;
+constexpr double kFlickerFloor = 0.10;
+constexpr double kFlickerScale = 0.25;
+
+}  // namespace
+
+double ModelCapacity(const ModelDesc& desc) {
+  double depth = static_cast<double>(desc.layers) / kGtCnnLayers;
+  double res = static_cast<double>(desc.input_px) / kGtCnnInputPx;
+  return std::sqrt(std::max(1e-6, depth)) * std::sqrt(std::max(1e-6, res));
+}
+
+double TaskDifficulty(const ModelDesc& desc) {
+  double n = static_cast<double>(std::max(2, desc.label_space_size()));
+  double breadth = std::log(n) / std::log(static_cast<double>(video::kNumClasses));
+  return std::max(0.05, breadth * desc.training_variability);
+}
+
+AccuracyParams ComputeAccuracy(const ModelDesc& desc) {
+  double s = ModelCapacity(desc) / TaskDifficulty(desc);
+  AccuracyParams params;
+  params.top1_accuracy = std::clamp(kTop1Intercept + kTop1Slope * s, kTop1Min, kTop1Max);
+  double n = static_cast<double>(std::max(2, desc.label_space_size()));
+  params.log_rank_tail = std::max(std::log(2.0), std::log(n) * (kTailShrink - s));
+  params.feature_noise = kFeatureNoiseFloor + kFeatureNoiseScale * std::exp(-3.0 * s);
+  params.flicker_prob = kFlickerFloor + kFlickerScale * std::exp(-2.0 * s);
+  return params;
+}
+
+double RecallAtK(const AccuracyParams& params, int k, int label_space) {
+  k = std::clamp(k, 1, std::max(1, label_space));
+  if (k == label_space) {
+    return 1.0;
+  }
+  double tail = params.log_rank_tail;
+  double recall = params.top1_accuracy +
+                  (1.0 - params.top1_accuracy) * std::log(static_cast<double>(k)) / tail;
+  return std::clamp(recall, 0.0, 1.0);
+}
+
+int SampleRank(const AccuracyParams& params, int label_space, common::Pcg32& rng) {
+  if (label_space <= 1) {
+    return 1;
+  }
+  if (rng.NextBool(params.top1_accuracy)) {
+    return 1;
+  }
+  // Log-uniform tail: rank = ceil(exp(u)), u ~ U(0, log_rank_tail], clamped to the
+  // label space. exp(u) >= 1, and ceil of values in (1, 2] is rank 2, so a miss never
+  // silently lands back on rank 1.
+  double u = rng.NextDouble() * params.log_rank_tail;
+  double r = std::exp(u);
+  int rank = static_cast<int>(std::ceil(std::max(2.0, r + 1e-12)));
+  return std::min(rank, label_space);
+}
+
+}  // namespace focus::cnn

@@ -1,0 +1,65 @@
+// Calibrated accuracy model: how a CNN's architecture maps to its error statistics.
+//
+// The paper's techniques depend on a CNN through exactly three behaviours:
+//   1. the rank at which the GT-CNN's top-1 class appears in the cheap CNN's ranked
+//      output (drives top-K index recall, Fig. 5);
+//   2. the noise of the penultimate-layer feature vector (drives clustering quality,
+//      §2.2.3 / §4.2);
+//   3. frame-to-frame output stability (the paper's GT-CNN "sometimes gives different
+//      answers to the exact same object in consecutive frames", §6.1).
+//
+// This file defines those statistics as explicit functions of model capacity and task
+// difficulty, calibrated against the paper's anchors:
+//   - ResNet18@224 / -3 layers@112 / -5 layers@56 (7x/28x/58x cheaper generic models)
+//     reach ~90% recall at K around 60/100/200 on a 1000-class space (Fig. 5);
+//   - stream-specialized models over a few dozen classes reach the 95% recall target
+//     at K = 2-4 (§4.3);
+//   - the GT-CNN itself is ~97% stable top-1 (motivating the paper's one-second
+//     segment smoothing).
+//
+// Rank model: with probability |top1_accuracy| the true class is rank 1; otherwise
+// its log-rank is uniform on (0, log_rank_tail], giving the analytic recall curve
+//   RecallAtK(K) = top1 + (1 - top1) * ln(K) / log_rank_tail.
+#ifndef FOCUS_SRC_CNN_ACCURACY_MODEL_H_
+#define FOCUS_SRC_CNN_ACCURACY_MODEL_H_
+
+#include "src/cnn/model_desc.h"
+#include "src/common/rng.h"
+
+namespace focus::cnn {
+
+struct AccuracyParams {
+  // Probability that the true class is the top-1 output.
+  double top1_accuracy = 0.5;
+  // ln of the maximum rank the true class can fall to when it misses top-1.
+  double log_rank_tail = 4.0;
+  // Std-dev of the Gaussian noise the model adds to the true appearance when
+  // extracting features.
+  double feature_noise = 0.1;
+  // Per-frame probability that the model re-draws its rank for the same object
+  // (output flicker between consecutive frames).
+  double flicker_prob = 0.15;
+};
+
+// Model capacity in (0, 1]: concave in depth and input resolution (doubling either
+// helps, with diminishing returns).
+double ModelCapacity(const ModelDesc& desc);
+
+// Task difficulty in (0, ~1]: grows with the log of the label-space size and with the
+// appearance variability of the training distribution (§4.3: specialized streams are
+// visually constrained, making the task easier).
+double TaskDifficulty(const ModelDesc& desc);
+
+// The calibrated error statistics for a model.
+AccuracyParams ComputeAccuracy(const ModelDesc& desc);
+
+// Analytic P(true class within top K) under |params| for a label space of
+// |label_space| classes. K is clamped to [1, label_space].
+double RecallAtK(const AccuracyParams& params, int k, int label_space);
+
+// Samples a rank in [1, label_space] from the rank model.
+int SampleRank(const AccuracyParams& params, int label_space, common::Pcg32& rng);
+
+}  // namespace focus::cnn
+
+#endif  // FOCUS_SRC_CNN_ACCURACY_MODEL_H_

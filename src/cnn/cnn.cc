@@ -1,0 +1,224 @@
+#include "src/cnn/cnn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/hashing.h"
+
+namespace focus::cnn {
+
+namespace {
+
+// Draw kinds for the deterministic per-(model, object[, frame]) RNG streams.
+constexpr uint64_t kKindBaseRank = 0x01;
+constexpr uint64_t kKindFlicker = 0x02;
+constexpr uint64_t kKindFrameRank = 0x03;
+constexpr uint64_t kKindConfusion = 0x04;
+constexpr uint64_t kKindFeature = 0x05;
+
+// Probability that a wrong high-ranked class comes from the true class's semantic
+// group rather than anywhere in the label space.
+constexpr double kGroupConfusionBias = 0.55;
+
+// CNN outputs are strongly temporally correlated: consecutive frames of one object
+// yield near-identical softmax vectors, and output "flicker" happens at the multi-
+// second scale, not per frame. Rank re-draws therefore apply per window of this many
+// frames (~4 s at 30 fps, longer than a typical cluster's span). This is what keeps a
+// cluster's member top-Ks from acting as a large independent ensemble: cluster-level
+// recall tracks per-object recall, so the tuner genuinely needs K = 2-4 even for
+// specialized models (§4.3).
+constexpr int64_t kFlickerWindowFrames = 128;
+
+// Geometric confidence decay of the synthesized ranked output.
+constexpr float kTopConfidence = 0.5f;
+constexpr float kConfidenceDecay = 0.8f;
+
+}  // namespace
+
+Cnn::Cnn(ModelDesc desc, const video::ClassCatalog* catalog)
+    : desc_(std::move(desc)),
+      catalog_(catalog),
+      accuracy_(ComputeAccuracy(desc_)),
+      cost_millis_(InferenceCostMillis(desc_)) {
+  assert(catalog_ != nullptr);
+  // Materialize the label space.
+  if (desc_.classes.empty()) {
+    labels_.resize(video::kNumClasses);
+    for (common::ClassId c = 0; c < video::kNumClasses; ++c) {
+      labels_[static_cast<size_t>(c)] = c;
+    }
+  } else {
+    labels_ = desc_.classes;
+    std::sort(labels_.begin(), labels_.end());
+    if (desc_.has_other_class) {
+      labels_.push_back(kOtherClass);
+    }
+  }
+  label_index_.assign(video::kNumClasses + 1, -1);
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    label_index_[static_cast<size_t>(labels_[i])] = static_cast<int>(i);
+  }
+  labels_by_group_.resize(video::kNumSemanticGroups);
+  for (common::ClassId label : labels_) {
+    if (label == kOtherClass) {
+      continue;
+    }
+    labels_by_group_[static_cast<int>(catalog_->Group(label))].push_back(label);
+  }
+}
+
+common::Pcg32 Cnn::RngFor(const video::Detection& detection, uint64_t kind,
+                          bool per_frame) const {
+  uint64_t label = common::HashCombine(kind, static_cast<uint64_t>(detection.object_id),
+                                       per_frame ? static_cast<uint64_t>(detection.frame) + 1 : 0);
+  return common::Pcg32(common::DeriveSeed(desc_.weights_seed, label));
+}
+
+int Cnn::LabelIndex(common::ClassId cls) const {
+  if (cls < 0 || cls > video::kNumClasses) {
+    return -1;
+  }
+  return label_index_[static_cast<size_t>(cls)];
+}
+
+common::ClassId Cnn::MapTrueLabel(common::ClassId true_class) const {
+  if (desc_.classes.empty()) {
+    return true_class;
+  }
+  if (LabelIndex(true_class) >= 0) {
+    return true_class;
+  }
+  return desc_.has_other_class ? kOtherClass : labels_.front();
+}
+
+int Cnn::TrueClassRank(const video::Detection& detection) const {
+  int space = static_cast<int>(labels_.size());
+  // The object's stable base rank...
+  common::Pcg32 base_rng = RngFor(detection, kKindBaseRank, /*per_frame=*/false);
+  int rank = SampleRank(accuracy_, space, base_rng);
+  // ...re-drawn on flicker *windows* (outputs are temporally correlated within ~1 s).
+  const uint64_t window = static_cast<uint64_t>(detection.frame / kFlickerWindowFrames) + 1;
+  common::Pcg32 flick_rng(common::DeriveSeed(
+      desc_.weights_seed,
+      common::HashCombine(kKindFlicker, static_cast<uint64_t>(detection.object_id), window)));
+  if (flick_rng.NextBool(accuracy_.flicker_prob)) {
+    common::Pcg32 window_rng(common::DeriveSeed(
+        desc_.weights_seed, common::HashCombine(kKindFrameRank,
+                                                static_cast<uint64_t>(detection.object_id),
+                                                window)));
+    rank = SampleRank(accuracy_, space, window_rng);
+  }
+  return rank;
+}
+
+TopKResult Cnn::Classify(const video::Detection& detection, int k) const {
+  const int space = static_cast<int>(labels_.size());
+  k = std::clamp(k, 1, space);
+  const common::ClassId true_label = MapTrueLabel(detection.true_class);
+  const int true_rank = TrueClassRank(detection);
+
+  TopKResult result;
+  result.entries.reserve(static_cast<size_t>(k));
+
+  common::Pcg32 confuse_rng = RngFor(detection, kKindConfusion, /*per_frame=*/false);
+  // Wrong-class fill: biased toward the true class's *visual* semantic group (the
+  // object looks like what it is, even when a specialized model calls it OTHER).
+  const std::vector<common::ClassId>* group_pool = nullptr;
+  if (detection.true_class >= 0 && detection.true_class < video::kNumClasses) {
+    const auto& pool = labels_by_group_[static_cast<int>(catalog_->Group(detection.true_class))];
+    if (!pool.empty()) {
+      group_pool = &pool;
+    }
+  }
+
+  // Membership bitmap over label indices to deduplicate fills.
+  std::vector<bool> used(labels_.size(), false);
+  auto try_emit = [&](common::ClassId label) -> bool {
+    int idx = LabelIndex(label);
+    if (idx < 0 || used[static_cast<size_t>(idx)]) {
+      return false;
+    }
+    used[static_cast<size_t>(idx)] = true;
+    float conf = kTopConfidence *
+                 std::pow(kConfidenceDecay, static_cast<float>(result.entries.size()));
+    result.entries.emplace_back(label, conf);
+    return true;
+  };
+
+  int misses_in_a_row = 0;
+  while (static_cast<int>(result.entries.size()) < k) {
+    int position = static_cast<int>(result.entries.size()) + 1;
+    if (position == true_rank) {
+      try_emit(true_label);
+      continue;
+    }
+    common::ClassId candidate;
+    if (group_pool != nullptr && confuse_rng.NextBool(kGroupConfusionBias)) {
+      candidate = (*group_pool)[confuse_rng.NextBounded(static_cast<uint32_t>(group_pool->size()))];
+    } else {
+      candidate = labels_[confuse_rng.NextBounded(static_cast<uint32_t>(labels_.size()))];
+    }
+    if (candidate == true_label) {
+      // The true label only appears at its sampled rank. Counts as a miss so a tiny
+      // label pool cannot spin forever.
+      if (++misses_in_a_row > 64) {
+        break;
+      }
+      continue;
+    }
+    if (try_emit(candidate)) {
+      misses_in_a_row = 0;
+    } else if (++misses_in_a_row > 64) {
+      // Dense fill fallback (k close to the label space): take the first unused.
+      for (size_t i = 0; i < labels_.size() && static_cast<int>(result.entries.size()) < k; ++i) {
+        if (!used[i] && labels_[i] != true_label) {
+          try_emit(labels_[i]);
+        } else if (!used[i] && static_cast<int>(result.entries.size()) + 1 == true_rank) {
+          try_emit(true_label);
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+common::ClassId Cnn::Top1(const video::Detection& detection) const {
+  const common::ClassId true_label = MapTrueLabel(detection.true_class);
+  if (TrueClassRank(detection) == 1) {
+    return true_label;
+  }
+  // The top slot is a confusable wrong answer; draw it the same way Classify fills
+  // position 1.
+  common::Pcg32 confuse_rng = RngFor(detection, kKindConfusion, /*per_frame=*/false);
+  const std::vector<common::ClassId>* group_pool = nullptr;
+  if (detection.true_class >= 0 && detection.true_class < video::kNumClasses) {
+    const auto& pool = labels_by_group_[static_cast<int>(catalog_->Group(detection.true_class))];
+    if (!pool.empty()) {
+      group_pool = &pool;
+    }
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    common::ClassId candidate;
+    if (group_pool != nullptr && confuse_rng.NextBool(kGroupConfusionBias)) {
+      candidate = (*group_pool)[confuse_rng.NextBounded(static_cast<uint32_t>(group_pool->size()))];
+    } else {
+      candidate = labels_[confuse_rng.NextBounded(static_cast<uint32_t>(labels_.size()))];
+    }
+    if (candidate != true_label) {
+      return candidate;
+    }
+  }
+  return labels_.front();
+}
+
+common::FeatureVec Cnn::ExtractFeature(const video::Detection& detection) const {
+  common::Pcg32 rng = RngFor(detection, kKindFeature, /*per_frame=*/true);
+  common::FeatureVec v = detection.appearance;
+  common::AddIsotropicNoise(v, accuracy_.feature_noise, rng);
+  common::NormalizeInPlace(v);
+  return v;
+}
+
+}  // namespace focus::cnn

@@ -1,0 +1,51 @@
+#include "src/cnn/compression.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/hashing.h"
+
+namespace focus::cnn {
+
+namespace {
+
+constexpr int kMinLayers = 4;
+constexpr int kMinInputPx = 28;
+
+void Rename(ModelDesc& desc) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "cnn%d_px%d%s", desc.layers, desc.input_px,
+                desc.specialized() ? "_spec" : "");
+  desc.name = buf;
+  // Distinct architectures must have distinct error draws: fold the shape into the
+  // weights seed as a retrained network would have fresh weights.
+  desc.weights_seed = common::DeriveSeed(
+      desc.weights_seed,
+      common::HashCombine(static_cast<uint64_t>(desc.layers), static_cast<uint64_t>(desc.input_px)));
+}
+
+}  // namespace
+
+ModelDesc RemoveLayers(const ModelDesc& base, int count) {
+  ModelDesc desc = base;
+  desc.layers = std::max(kMinLayers, base.layers - count);
+  Rename(desc);
+  return desc;
+}
+
+ModelDesc RescaleInput(const ModelDesc& base, int input_px) {
+  ModelDesc desc = base;
+  desc.input_px = std::max(kMinInputPx, input_px);
+  Rename(desc);
+  return desc;
+}
+
+ModelDesc Compress(const ModelDesc& base, int remove_layer_count, int input_px) {
+  ModelDesc desc = base;
+  desc.layers = std::max(kMinLayers, base.layers - remove_layer_count);
+  desc.input_px = std::max(kMinInputPx, input_px);
+  Rename(desc);
+  return desc;
+}
+
+}  // namespace focus::cnn

@@ -1,0 +1,29 @@
+// CNN compression transforms (§2.1, §4.1).
+//
+// Compression derives cheaper architectures from a base model by removing
+// convolutional layers and shrinking the input resolution, trading accuracy for cost.
+// These are descriptor-level transforms: the resulting ModelDesc gets its cost from
+// src/cnn/cost_model.h and its (lower) accuracy from src/cnn/accuracy_model.h, the
+// same way a retrained compressed network would behave.
+#ifndef FOCUS_SRC_CNN_COMPRESSION_H_
+#define FOCUS_SRC_CNN_COMPRESSION_H_
+
+#include <vector>
+
+#include "src/cnn/model_desc.h"
+
+namespace focus::cnn {
+
+// Removes |count| convolutional layers (floors at 4 layers).
+ModelDesc RemoveLayers(const ModelDesc& base, int count);
+
+// Rescales the input image to |input_px| per side (floors at 28 px).
+ModelDesc RescaleInput(const ModelDesc& base, int input_px);
+
+// Applies both transforms and renames the descriptor canonically
+// ("<family><layers>_px<input>").
+ModelDesc Compress(const ModelDesc& base, int remove_layer_count, int input_px);
+
+}  // namespace focus::cnn
+
+#endif  // FOCUS_SRC_CNN_COMPRESSION_H_

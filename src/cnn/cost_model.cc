@@ -1,0 +1,17 @@
+#include "src/cnn/cost_model.h"
+
+namespace focus::cnn {
+
+double RelativeCost(const ModelDesc& desc) {
+  double depth = static_cast<double>(desc.layers) / kGtCnnLayers;
+  double res = static_cast<double>(desc.input_px) / kGtCnnInputPx;
+  return kFixedOverheadShare + (1.0 - kFixedOverheadShare) * depth * res * res;
+}
+
+common::GpuMillis InferenceCostMillis(const ModelDesc& desc) {
+  return RelativeCost(desc) * kGtCnnUnitMillis;
+}
+
+double CheapnessFactor(const ModelDesc& desc) { return 1.0 / RelativeCost(desc); }
+
+}  // namespace focus::cnn

@@ -1,0 +1,97 @@
+#include "src/cnn/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/hashing.h"
+
+namespace focus::cnn {
+
+ModelDesc GtCnnDesc(uint64_t weights_seed) {
+  ModelDesc desc;
+  desc.name = "resnet152";
+  desc.layers = kGtCnnLayers;
+  desc.input_px = kGtCnnInputPx;
+  desc.training_variability = 1.0;
+  desc.weights_seed = common::DeriveSeed(weights_seed, common::HashString("gt-cnn"));
+  return desc;
+}
+
+SegmentGroundTruth::SegmentGroundTruth(const video::StreamRun& run, const Cnn& gt_cnn) {
+  const double fps = run.fps();
+  const int64_t frames_per_segment = std::max<int64_t>(1, static_cast<int64_t>(std::lround(fps)));
+  num_segments_ = (run.num_frames() + frames_per_segment - 1) / frames_per_segment;
+
+  // Count, per (segment, class), the number of frames in which the GT-CNN reported
+  // the class for at least one object.
+  std::map<std::pair<common::SegmentId, common::ClassId>, int64_t> frame_counts;
+  std::set<std::pair<common::SegmentId, common::ClassId>> seen_this_frame;
+
+  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    if (dets.empty()) {
+      return;
+    }
+    common::SegmentId seg = frame / frames_per_segment;
+    seen_this_frame.clear();
+    for (const video::Detection& d : dets) {
+      ++total_detections_;
+      common::ClassId label = gt_cnn.Top1(d);
+      if (d.first_observation) {
+        // Object counts use the GT label at first sight (one count per track).
+        ++objects_per_class_[label];
+      }
+      if (seen_this_frame.insert({seg, label}).second) {
+        ++frame_counts[{seg, label}];
+      }
+    }
+  });
+
+  for (const auto& [key, count] : frame_counts) {
+    const auto& [seg, cls] = key;
+    if (count * 2 >= frames_per_segment) {
+      segments_with_class_[cls].insert(seg);
+    }
+  }
+  for (const auto& [cls, segs] : segments_with_class_) {
+    segments_per_class_[cls] = static_cast<int64_t>(segs.size());
+  }
+}
+
+const std::set<common::SegmentId>& SegmentGroundTruth::SegmentsWithClass(
+    common::ClassId cls) const {
+  auto it = segments_with_class_.find(cls);
+  return it == segments_with_class_.end() ? empty_ : it->second;
+}
+
+std::vector<common::ClassId> SegmentGroundTruth::DominantClasses(double coverage,
+                                                                 size_t max_classes) const {
+  std::vector<std::pair<int64_t, common::ClassId>> by_count;
+  int64_t total = 0;
+  for (const auto& [cls, count] : objects_per_class_) {
+    by_count.emplace_back(count, cls);
+    total += count;
+  }
+  std::sort(by_count.begin(), by_count.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<common::ClassId> dominant;
+  int64_t covered = 0;
+  // A class needs a handful of objects before per-class precision/recall is
+  // meaningful; singletons are noise, not "dominant classes".
+  const int64_t min_count = std::max<int64_t>(3, total / 500);
+  for (const auto& [count, cls] : by_count) {
+    if (dominant.size() >= max_classes) {
+      break;
+    }
+    if (total > 0 && static_cast<double>(covered) >= coverage * static_cast<double>(total)) {
+      break;
+    }
+    if (count < min_count) {
+      break;
+    }
+    dominant.push_back(cls);
+    covered += count;
+  }
+  return dominant;
+}
+
+}  // namespace focus::cnn

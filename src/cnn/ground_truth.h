@@ -1,0 +1,67 @@
+// Ground-truth machinery: the GT-CNN and segment-level truth construction.
+//
+// Following the paper (§6.1), ground truth is *defined* as what the GT-CNN
+// (ResNet152) reports, smoothed over one-second segments: a class is present in a
+// segment when the GT-CNN reports it in at least 50% of the segment's frames, which
+// filters the GT-CNN's own frame-to-frame flicker.
+#ifndef FOCUS_SRC_CNN_GROUND_TRUTH_H_
+#define FOCUS_SRC_CNN_GROUND_TRUTH_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/cnn/cnn.h"
+#include "src/common/time_types.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::cnn {
+
+// Builds the GT-CNN descriptor (ResNet152 @ 224, generic 1000-class space).
+ModelDesc GtCnnDesc(uint64_t weights_seed);
+
+// Per-segment ground truth for one stream: for each segment, the set of classes
+// present under the 50%-of-frames rule.
+class SegmentGroundTruth {
+ public:
+  // Sweeps |run| once, labelling every detection with |gt_cnn|'s top-1 output.
+  SegmentGroundTruth(const video::StreamRun& run, const Cnn& gt_cnn);
+
+  // Segments in which |cls| is present.
+  const std::set<common::SegmentId>& SegmentsWithClass(common::ClassId cls) const;
+
+  // All classes present in at least one segment, with the number of segments each
+  // covers (the basis for choosing "dominant" classes in the evaluation).
+  const std::map<common::ClassId, int64_t>& segments_per_class() const {
+    return segments_per_class_;
+  }
+
+  // Object counts per GT label (the distribution the specialization trainer also
+  // estimates from samples).
+  const std::map<common::ClassId, int64_t>& objects_per_class() const {
+    return objects_per_class_;
+  }
+
+  // The dominant classes: most frequent classes covering |coverage| of all objects
+  // (capped at |max_classes|), ordered most-frequent first. The paper evaluates query
+  // metrics over these (§6.1 "Metrics").
+  std::vector<common::ClassId> DominantClasses(double coverage, size_t max_classes) const;
+
+  int64_t num_segments() const { return num_segments_; }
+
+  // Detections the GT-CNN labelled while building the truth (one inference each).
+  int64_t total_detections() const { return total_detections_; }
+
+ private:
+  int64_t total_detections_ = 0;
+  std::map<common::ClassId, std::set<common::SegmentId>> segments_with_class_;
+  std::map<common::ClassId, int64_t> segments_per_class_;
+  std::map<common::ClassId, int64_t> objects_per_class_;
+  std::set<common::SegmentId> empty_;
+  int64_t num_segments_ = 0;
+};
+
+}  // namespace focus::cnn
+
+#endif  // FOCUS_SRC_CNN_GROUND_TRUTH_H_

@@ -1,0 +1,63 @@
+// Architecture descriptors for (simulated) CNN classifiers.
+//
+// A ModelDesc captures everything that determines a model's cost and accuracy in this
+// system: depth (convolutional layers), input resolution, the label space it
+// classifies over, and the training context (generic ImageNet-style vs. specialized
+// to one stream's constrained appearance). Real weights never exist — src/cnn/cnn.h
+// turns a descriptor into a behavioural model with calibrated error statistics.
+#ifndef FOCUS_SRC_CNN_MODEL_DESC_H_
+#define FOCUS_SRC_CNN_MODEL_DESC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time_types.h"
+#include "src/video/class_catalog.h"
+
+namespace focus::cnn {
+
+// Label id of the synthetic OTHER class in specialized models (§4.3): "not one of the
+// Ls classes this model was specialized for".
+inline constexpr common::ClassId kOtherClass = video::kNumClasses;
+
+// Reference architecture constants (ResNet152 @ 224px is the paper's GT-CNN).
+inline constexpr int kGtCnnLayers = 152;
+inline constexpr int kGtCnnInputPx = 224;
+
+struct ModelDesc {
+  std::string name;
+  // Convolutional depth; compression removes layers (§2.1).
+  int layers = kGtCnnLayers;
+  // Input image side in pixels; compression rescales inputs (§4.1).
+  int input_px = kGtCnnInputPx;
+
+  // Label space. Empty means the full generic space [0, kNumClasses). A specialized
+  // model lists its Ls most-frequent stream classes; |has_other_class| appends the
+  // OTHER catch-all label.
+  std::vector<common::ClassId> classes;
+  bool has_other_class = false;
+
+  // Appearance variability of the training distribution: 1.0 for generic training
+  // data (ImageNet-like); a stream-specialized model is trained on that stream's more
+  // constrained objects (§4.3), so it inherits the stream's lower variability and the
+  // classification task gets easier.
+  double training_variability = 1.0;
+
+  // Seed namespace for this model's deterministic error draws.
+  uint64_t weights_seed = 0;
+
+  bool specialized() const { return !classes.empty(); }
+
+  // Number of labels the model can emit.
+  int label_space_size() const {
+    if (classes.empty()) {
+      return video::kNumClasses;
+    }
+    return static_cast<int>(classes.size()) + (has_other_class ? 1 : 0);
+  }
+};
+
+}  // namespace focus::cnn
+
+#endif  // FOCUS_SRC_CNN_MODEL_DESC_H_

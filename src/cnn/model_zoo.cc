@@ -1,0 +1,40 @@
+#include "src/cnn/model_zoo.h"
+
+#include "src/cnn/compression.h"
+#include "src/cnn/ground_truth.h"
+#include "src/common/hashing.h"
+
+namespace focus::cnn {
+
+std::vector<ModelDesc> GenericCheapCandidates(uint64_t weights_seed) {
+  ModelDesc resnet18;
+  resnet18.name = "resnet18";
+  resnet18.layers = 18;
+  resnet18.input_px = kGtCnnInputPx;
+  resnet18.weights_seed = common::DeriveSeed(weights_seed, common::HashString("resnet18"));
+
+  ModelDesc alexnet;
+  alexnet.name = "alexnet";
+  alexnet.layers = 8;
+  alexnet.input_px = kGtCnnInputPx;
+  alexnet.weights_seed = common::DeriveSeed(weights_seed, common::HashString("alexnet"));
+
+  std::vector<ModelDesc> zoo;
+  // Figure 5's three reference cheap CNNs.
+  zoo.push_back(Compress(resnet18, 0, 224));  // CheapCNN1 (~8x cheaper).
+  zoo.push_back(Compress(resnet18, 3, 112));  // CheapCNN2 (~28x cheaper).
+  zoo.push_back(Compress(resnet18, 5, 56));   // CheapCNN3 (~58x cheaper).
+  // Additional generic options in the search space.
+  zoo.push_back(Compress(resnet18, 0, 112));
+  zoo.push_back(Compress(alexnet, 0, 112));
+  zoo.push_back(Compress(alexnet, 2, 56));
+  return zoo;
+}
+
+std::vector<SpecializedArch> SpecializedArchGrid() {
+  return {
+      {18, 112}, {12, 112}, {18, 56}, {12, 56}, {9, 56}, {6, 56},
+  };
+}
+
+}  // namespace focus::cnn

@@ -1,0 +1,30 @@
+// The model zoo: the GT-CNN plus the candidate cheap architectures Focus searches
+// over (§4.1: the user provides classifier architectures such as ResNet, AlexNet and
+// VGG; Focus applies various levels of compression to build its CheapCNN options).
+#ifndef FOCUS_SRC_CNN_MODEL_ZOO_H_
+#define FOCUS_SRC_CNN_MODEL_ZOO_H_
+
+#include <vector>
+
+#include "src/cnn/model_desc.h"
+
+namespace focus::cnn {
+
+// The generic cheap CNN candidates, ordered roughly most- to least-expensive. The
+// first three reproduce the paper's Figure 5 reference models: ResNet18 @ 224,
+// ResNet18 minus 3 layers @ 112, and ResNet18 minus 5 layers @ 56 (approximately 8x,
+// 28x and 58x cheaper than ResNet152 under the cost model).
+std::vector<ModelDesc> GenericCheapCandidates(uint64_t weights_seed);
+
+// Architecture grid (layers, input px) the specialization trainer instantiates
+// per-stream models from (§4.3: a family of architectures with different numbers of
+// convolutional layers and input resolutions).
+struct SpecializedArch {
+  int layers;
+  int input_px;
+};
+std::vector<SpecializedArch> SpecializedArchGrid();
+
+}  // namespace focus::cnn
+
+#endif  // FOCUS_SRC_CNN_MODEL_ZOO_H_

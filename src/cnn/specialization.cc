@@ -1,0 +1,86 @@
+#include "src/cnn/specialization.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/hashing.h"
+
+namespace focus::cnn {
+
+std::vector<common::ClassId> ClassDistributionEstimate::TopClasses(size_t ls) const {
+  std::vector<std::pair<int64_t, common::ClassId>> by_count;
+  by_count.reserve(objects_per_class.size());
+  for (const auto& [cls, count] : objects_per_class) {
+    by_count.emplace_back(count, cls);
+  }
+  std::sort(by_count.begin(), by_count.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<common::ClassId> top;
+  top.reserve(std::min(ls, by_count.size()));
+  for (const auto& [count, cls] : by_count) {
+    if (top.size() >= ls) {
+      break;
+    }
+    top.push_back(cls);
+  }
+  return top;
+}
+
+double ClassDistributionEstimate::CoverageOfTop(size_t ls) const {
+  if (total_objects <= 0) {
+    return 0.0;
+  }
+  std::vector<common::ClassId> top = TopClasses(ls);
+  int64_t covered = 0;
+  for (common::ClassId cls : top) {
+    auto it = objects_per_class.find(cls);
+    if (it != objects_per_class.end()) {
+      covered += it->second;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(total_objects);
+}
+
+ClassDistributionEstimate EstimateClassDistribution(const video::StreamRun& run,
+                                                    const Cnn& gt_cnn, double sample_sec,
+                                                    int frame_stride) {
+  ClassDistributionEstimate est;
+  frame_stride = std::max(1, frame_stride);
+  const common::FrameIndex max_frame =
+      static_cast<common::FrameIndex>(sample_sec * run.fps());
+  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    if (frame >= max_frame || frame % frame_stride != 0) {
+      return;
+    }
+    for (const video::Detection& d : dets) {
+      common::ClassId label = gt_cnn.Top1(d);
+      ++est.objects_per_class[label];
+      ++est.total_objects;
+      est.gpu_cost_millis += gt_cnn.inference_cost_millis();
+    }
+  });
+  return est;
+}
+
+ModelDesc TrainSpecializedModel(const ClassDistributionEstimate& distribution,
+                                const SpecializationOptions& options, double stream_variability,
+                                uint64_t weights_seed) {
+  ModelDesc desc;
+  desc.layers = options.layers;
+  desc.input_px = options.input_px;
+  desc.classes = distribution.TopClasses(static_cast<size_t>(std::max(1, options.ls)));
+  desc.has_other_class = true;
+  desc.training_variability = stream_variability;
+  desc.weights_seed = common::DeriveSeed(
+      weights_seed, common::HashCombine(common::HashString("specialized"),
+                                        static_cast<uint64_t>(options.layers),
+                                        static_cast<uint64_t>(options.input_px),
+                                        static_cast<uint64_t>(desc.classes.size())));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "spec%d_px%d_ls%zu", desc.layers, desc.input_px,
+                desc.classes.size());
+  desc.name = buf;
+  return desc;
+}
+
+}  // namespace focus::cnn

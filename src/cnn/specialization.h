@@ -1,0 +1,69 @@
+// Video-specific CNN specialization (§4.3).
+//
+// Focus periodically samples a stream, labels the sample with the GT-CNN to estimate
+// the stream's class distribution, selects the Ls most frequent classes, and
+// "retrains" cheap models that classify only those classes plus a catch-all OTHER
+// label. A specialized model faces a far easier task (few classes, visually
+// constrained stream), so a small architecture reaches high accuracy and the top-K
+// index can use K = 2-4 instead of 60-200.
+//
+// Training is simulated at the descriptor level: the produced ModelDesc carries the
+// stream's class subset and appearance variability, and src/cnn/accuracy_model.h
+// turns that into the correspondingly higher accuracy. The trainer also charges the
+// GPU time spent labelling the sample with the GT-CNN, so ingest-cost accounting
+// includes what retraining costs.
+#ifndef FOCUS_SRC_CNN_SPECIALIZATION_H_
+#define FOCUS_SRC_CNN_SPECIALIZATION_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/cnn/cnn.h"
+#include "src/cnn/model_desc.h"
+#include "src/common/time_types.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::cnn {
+
+// Estimated class distribution of a stream, from a GT-CNN-labelled sample.
+struct ClassDistributionEstimate {
+  // Objects per GT label in the sample.
+  std::map<common::ClassId, int64_t> objects_per_class;
+  int64_t total_objects = 0;
+  // GPU time spent labelling the sample.
+  common::GpuMillis gpu_cost_millis = 0.0;
+
+  // The |ls| most frequent classes, most frequent first.
+  std::vector<common::ClassId> TopClasses(size_t ls) const;
+  // Fraction of sampled objects covered by the |ls| most frequent classes.
+  double CoverageOfTop(size_t ls) const;
+};
+
+// Labels the first |sample_sec| seconds of the stream with |gt_cnn|, sampling one
+// frame in |frame_stride| (the paper samples a small fraction of frames).
+ClassDistributionEstimate EstimateClassDistribution(const video::StreamRun& run,
+                                                    const Cnn& gt_cnn, double sample_sec,
+                                                    int frame_stride);
+
+struct SpecializationOptions {
+  // Number of popular classes the specialized model distinguishes (Ls in §4.3).
+  int ls = 20;
+  // Architecture of the specialized model.
+  int layers = 12;
+  int input_px = 56;
+};
+
+// Produces the specialized model descriptor for a stream.
+//
+// |stream_variability| is the visual constraint of the stream's objects relative to
+// generic training data (StreamProfile::appearance_variability); in a real system
+// this is implicit in the retraining data, here it parameterizes the simulated
+// accuracy. Retraining is charged by the caller via the estimate's gpu_cost_millis.
+ModelDesc TrainSpecializedModel(const ClassDistributionEstimate& distribution,
+                                const SpecializationOptions& options, double stream_variability,
+                                uint64_t weights_seed);
+
+}  // namespace focus::cnn
+
+#endif  // FOCUS_SRC_CNN_SPECIALIZATION_H_

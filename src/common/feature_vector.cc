@@ -1,0 +1,132 @@
+#include "src/common/feature_vector.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace focus::common {
+
+double SquaredL2Distance(const FeatureVec& a, const FeatureVec& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+double SquaredL2DistanceBounded(const FeatureVec& a, const FeatureVec& b, double bound) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  size_t i = 0;
+  // Unrolled by 8 with a bound check per block: one branch per 8 dims keeps the
+  // common (early-exit) case cheap without penalizing full evaluations.
+  const size_t n8 = a.size() - a.size() % 8;
+  for (; i < n8; i += 8) {
+    double block = 0.0;
+    for (size_t j = i; j < i + 8; ++j) {
+      double d = static_cast<double>(a[j]) - static_cast<double>(b[j]);
+      block += d * d;
+    }
+    sum += block;
+    if (sum > bound) {
+      return sum;
+    }
+  }
+  for (; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+double L2Distance(const FeatureVec& a, const FeatureVec& b) {
+  return std::sqrt(SquaredL2Distance(a, b));
+}
+
+double Norm(const FeatureVec& v) {
+  double sum = 0.0;
+  for (float x : v) {
+    sum += static_cast<double>(x) * static_cast<double>(x);
+  }
+  return std::sqrt(sum);
+}
+
+double Dot(const FeatureVec& a, const FeatureVec& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return sum;
+}
+
+double CosineSimilarity(const FeatureVec& a, const FeatureVec& b) {
+  double na = Norm(a);
+  double nb = Norm(b);
+  if (na <= 0.0 || nb <= 0.0) {
+    return 0.0;
+  }
+  return Dot(a, b) / (na * nb);
+}
+
+void NormalizeInPlace(FeatureVec& v) {
+  double n = Norm(v);
+  if (n <= 0.0) {
+    return;
+  }
+  ScaleInPlace(v, 1.0 / n);
+}
+
+void AddInPlace(FeatureVec& a, const FeatureVec& b) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] += b[i];
+  }
+}
+
+void AddScaledInPlace(FeatureVec& a, const FeatureVec& b, double scale) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] += static_cast<float>(scale * b[i]);
+  }
+}
+
+void ScaleInPlace(FeatureVec& v, double scale) {
+  for (float& x : v) {
+    x = static_cast<float>(x * scale);
+  }
+}
+
+FeatureVec RandomGaussianVector(size_t dim, Pcg32& rng) {
+  FeatureVec v(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    v[i] = static_cast<float>(rng.NextGaussian());
+  }
+  return v;
+}
+
+FeatureVec RandomUnitVector(size_t dim, Pcg32& rng) {
+  FeatureVec v = RandomGaussianVector(dim, rng);
+  NormalizeInPlace(v);
+  return v;
+}
+
+void AddIsotropicNoise(FeatureVec& v, double magnitude, Pcg32& rng) {
+  if (v.empty()) {
+    return;
+  }
+  double sigma = magnitude / std::sqrt(static_cast<double>(v.size()));
+  for (float& x : v) {
+    x += static_cast<float>(sigma * rng.NextGaussian());
+  }
+}
+
+FeatureVec PerturbedUnitVector(const FeatureVec& base, double noise_scale, Pcg32& rng) {
+  FeatureVec v = base;
+  AddIsotropicNoise(v, noise_scale, rng);
+  NormalizeInPlace(v);
+  return v;
+}
+
+}  // namespace focus::common

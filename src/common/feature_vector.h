@@ -1,0 +1,75 @@
+// Feature-vector math used throughout the simulator.
+//
+// CNN penultimate-layer activations are modelled as unit-norm real vectors (the paper
+// reports 512-4096 dimensions for real classifiers; we default to 64 dimensions, which
+// preserves the geometry the system depends on — same-object observations cluster
+// tightly, same-class objects are near, different classes are far — at simulation
+// speed). All distances are L2, matching §4.2 of the paper.
+#ifndef FOCUS_SRC_COMMON_FEATURE_VECTOR_H_
+#define FOCUS_SRC_COMMON_FEATURE_VECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace focus::common {
+
+using FeatureVec = std::vector<float>;
+
+// Default dimensionality of simulated CNN features.
+inline constexpr size_t kDefaultFeatureDim = 64;
+
+// Squared L2 distance; the workhorse for clustering (avoids the sqrt in hot loops).
+double SquaredL2Distance(const FeatureVec& a, const FeatureVec& b);
+
+// Squared L2 distance with early exit: gives up as soon as the partial sum exceeds
+// |bound| and returns that partial sum. The return value is exact when it is <=
+// |bound| (the loop ran to completion), and otherwise only guarantees > |bound| —
+// which is all a threshold or nearest-neighbour scan needs. This is the clusterer's
+// scan primitive: with a tight threshold almost every candidate exits within a few
+// dimensions instead of touching all of them.
+double SquaredL2DistanceBounded(const FeatureVec& a, const FeatureVec& b, double bound);
+
+// L2 (Euclidean) distance.
+double L2Distance(const FeatureVec& a, const FeatureVec& b);
+
+// Euclidean norm.
+double Norm(const FeatureVec& v);
+
+// Dot product.
+double Dot(const FeatureVec& a, const FeatureVec& b);
+
+// Cosine similarity in [-1, 1]; returns 0 for zero-norm inputs.
+double CosineSimilarity(const FeatureVec& a, const FeatureVec& b);
+
+// Scales |v| in place to unit norm (no-op on the zero vector).
+void NormalizeInPlace(FeatureVec& v);
+
+// a += b (dimensions must match).
+void AddInPlace(FeatureVec& a, const FeatureVec& b);
+
+// a += scale * b.
+void AddScaledInPlace(FeatureVec& a, const FeatureVec& b, double scale);
+
+// v *= scale.
+void ScaleInPlace(FeatureVec& v, double scale);
+
+// Draws a vector with i.i.d. standard-normal entries (isotropic direction).
+FeatureVec RandomGaussianVector(size_t dim, Pcg32& rng);
+
+// Draws a unit vector uniformly on the sphere.
+FeatureVec RandomUnitVector(size_t dim, Pcg32& rng);
+
+// Adds isotropic Gaussian noise with expected L2 displacement |magnitude| (per-
+// dimension sigma = magnitude / sqrt(dim)). All noise scales in this codebase are
+// expressed as displacements, independent of the feature dimensionality.
+void AddIsotropicNoise(FeatureVec& v, double magnitude, Pcg32& rng);
+
+// Returns normalize(base + isotropic noise of displacement |noise_scale|). This is how
+// the simulator perturbs an archetype vector into an instance/observation vector.
+FeatureVec PerturbedUnitVector(const FeatureVec& base, double noise_scale, Pcg32& rng);
+
+}  // namespace focus::common
+
+#endif  // FOCUS_SRC_COMMON_FEATURE_VECTOR_H_

@@ -1,0 +1,38 @@
+// Deterministic, platform-independent hashing helpers.
+//
+// std::hash is implementation-defined and therefore unsuitable for deriving simulation
+// seeds; these helpers give stable results across toolchains.
+#ifndef FOCUS_SRC_COMMON_HASHING_H_
+#define FOCUS_SRC_COMMON_HASHING_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/rng.h"
+
+namespace focus::common {
+
+// FNV-1a 64-bit over a byte string.
+constexpr uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Order-dependent combination of two 64-bit hashes.
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return SplitMix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// Convenience: combine an arbitrary number of 64-bit values.
+template <typename... Rest>
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b, uint64_t c, Rest... rest) {
+  return HashCombine(HashCombine(a, b), c, rest...);
+}
+
+}  // namespace focus::common
+
+#endif  // FOCUS_SRC_COMMON_HASHING_H_

@@ -1,0 +1,65 @@
+// Minimal leveled logging for library and harness code.
+//
+// Deliberately tiny: streams to stderr, level filtered by a process-global threshold.
+// Benches set the level to kWarning so experiment tables stay clean on stdout.
+#ifndef FOCUS_SRC_COMMON_LOGGING_H_
+#define FOCUS_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace focus::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr (thread-safe at the line level).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace focus::common
+
+#define FOCUS_LOG(level) ::focus::common::internal::LogLine(::focus::common::LogLevel::level)
+
+namespace focus::common::internal {
+
+// Out-of-line failure path keeps the macro's happy path branch-only.
+[[noreturn]] void CheckFailed(const char* condition, const char* file, int line);
+
+}  // namespace focus::common::internal
+
+// Aborts on violated invariants. For programmer errors only — recoverable conditions
+// (bad user input, missing files) return common::Result instead (see result.h).
+#define FOCUS_CHECK(condition)                                              \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      ::focus::common::internal::CheckFailed(#condition, __FILE__, __LINE__); \
+    }                                                                       \
+  } while (false)
+
+#endif  // FOCUS_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,101 @@
+// Lightweight StatusOr-style result type for fallible APIs.
+//
+// Library code in this repository does not throw for expected failure modes (bad
+// configuration, missing file, empty input); it returns Result<T> instead, reserving
+// exceptions for programming errors surfaced by the standard library.
+#ifndef FOCUS_SRC_COMMON_RESULT_H_
+#define FOCUS_SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace focus::common {
+
+// Error payload: machine-readable code plus human-readable message.
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kIo,
+};
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+inline const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "InvalidArgument";
+    case ErrorCode::kNotFound:
+      return "NotFound";
+    case ErrorCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case ErrorCode::kOutOfRange:
+      return "OutOfRange";
+    case ErrorCode::kInternal:
+      return "Internal";
+    case ErrorCode::kIo:
+      return "Io";
+  }
+  return "Unknown";
+}
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error keeps call sites terse.
+  Result(T value) : value_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+  Result(Error error) : value_(std::in_place_index<1>, std::move(error)) {}  // NOLINT
+
+  bool ok() const { return value_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<1>(value_);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+// Helpers for building errors at call sites.
+inline Error InvalidArgument(std::string message) {
+  return Error{ErrorCode::kInvalidArgument, std::move(message)};
+}
+inline Error NotFound(std::string message) { return Error{ErrorCode::kNotFound, std::move(message)}; }
+inline Error FailedPrecondition(std::string message) {
+  return Error{ErrorCode::kFailedPrecondition, std::move(message)};
+}
+inline Error OutOfRange(std::string message) { return Error{ErrorCode::kOutOfRange, std::move(message)}; }
+inline Error Internal(std::string message) { return Error{ErrorCode::kInternal, std::move(message)}; }
+inline Error IoError(std::string message) { return Error{ErrorCode::kIo, std::move(message)}; }
+
+}  // namespace focus::common
+
+#endif  // FOCUS_SRC_COMMON_RESULT_H_

@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation for the Focus simulator.
+//
+// Everything in this repository derives randomness from explicit 64-bit seeds so that
+// every experiment is reproducible bit-for-bit. We use PCG32 (O'Neill, 2014) as the
+// core generator because it is small, fast, and has excellent statistical quality for
+// simulation workloads, and SplitMix64 to derive independent sub-seeds from a root
+// seed (e.g., one sub-stream per video stream, per model, per object).
+#ifndef FOCUS_SRC_COMMON_RNG_H_
+#define FOCUS_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace focus::common {
+
+// SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value. Used both as a
+// stand-alone hash and to expand a root seed into independent sub-seeds.
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// PCG32: 64-bit state, 32-bit output, period 2^64 per stream.
+class Pcg32 {
+ public:
+  using result_type = uint32_t;
+
+  // Seeds the generator. |seq| selects one of 2^63 independent streams.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t seq = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (seq << 1u) | 1u;
+    Next();
+    state_ += SplitMix64(seed);
+    Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<uint32_t>::max(); }
+
+  result_type operator()() { return Next(); }
+
+  uint32_t Next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  uint64_t Next64() { return (static_cast<uint64_t>(Next()) << 32) | Next(); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return Next() * (1.0 / 4294967296.0); }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n). Uses Lemire's unbiased bounded method.
+  uint32_t NextBounded(uint32_t n);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (cached second value).
+  double NextGaussian();
+
+  // Gaussian with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) { return mean + stddev * NextGaussian(); }
+
+  // Exponential with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  // Bernoulli trial.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Poisson-distributed count (Knuth for small means, normal approximation for large).
+  uint32_t NextPoisson(double mean);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// Derives an independent child seed from a parent seed and a stream label. Labels are
+// arbitrary 64-bit tags (e.g., a hashed name plus an index).
+constexpr uint64_t DeriveSeed(uint64_t parent, uint64_t label) {
+  return SplitMix64(parent ^ SplitMix64(label + 0x632be59bd9b4e019ULL));
+}
+
+}  // namespace focus::common
+
+#endif  // FOCUS_SRC_COMMON_RNG_H_

@@ -1,0 +1,128 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace focus::common {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double GeometricMean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) {
+      return 0.0;
+    }
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<CdfPoint> TopHeavyCdf(const std::map<int, uint64_t>& weight_by_key, size_t total_key_space) {
+  std::vector<uint64_t> weights;
+  weights.reserve(weight_by_key.size());
+  uint64_t total = 0;
+  for (const auto& [key, w] : weight_by_key) {
+    weights.push_back(w);
+    total += w;
+  }
+  std::sort(weights.begin(), weights.end(), std::greater<uint64_t>());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(weights.size());
+  if (total == 0 || total_key_space == 0) {
+    return cdf;
+  }
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    CdfPoint p;
+    p.key_fraction = static_cast<double>(i + 1) / static_cast<double>(total_key_space);
+    p.weight_fraction = static_cast<double>(cumulative) / static_cast<double>(total);
+    cdf.push_back(p);
+  }
+  return cdf;
+}
+
+double FractionOfKeysCovering(const std::map<int, uint64_t>& weight_by_key, size_t total_key_space,
+                              double target_weight_fraction) {
+  std::vector<CdfPoint> cdf = TopHeavyCdf(weight_by_key, total_key_space);
+  for (const CdfPoint& p : cdf) {
+    if (p.weight_fraction >= target_weight_fraction) {
+      return p.key_fraction;
+    }
+  }
+  return cdf.empty() ? 0.0 : cdf.back().key_fraction;
+}
+
+double JaccardIndex(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.empty() && b.empty()) {
+    return 1.0;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  size_t inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace focus::common

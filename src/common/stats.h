@@ -1,0 +1,67 @@
+// Streaming and batch statistics used by the evaluation harness.
+#ifndef FOCUS_SRC_COMMON_STATS_H_
+#define FOCUS_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace focus::common {
+
+// Welford running mean / variance / min / max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // Sample variance (n-1 denominator); 0 for fewer than 2 points.
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Arithmetic mean of a batch; 0 for an empty batch.
+double Mean(const std::vector<double>& xs);
+
+// Geometric mean of a batch of positive values; 0 if any value is non-positive or the
+// batch is empty. Used for averaging improvement factors across streams, as is
+// conventional for speedup-style metrics.
+double GeometricMean(const std::vector<double>& xs);
+
+// Returns the q-quantile (q in [0,1]) using linear interpolation between order
+// statistics. Sorts a copy; 0 for an empty batch.
+double Quantile(std::vector<double> xs, double q);
+
+// Empirical CDF: given per-item weights keyed by an ordinal (e.g., objects per class),
+// produces the cumulative share of total weight covered by the top-N heaviest keys,
+// for N = 1..keys. Mirrors the construction of Figure 3 in the paper.
+struct CdfPoint {
+  // Fraction of keys included, in (0, 1].
+  double key_fraction = 0.0;
+  // Fraction of total weight covered by those keys, in [0, 1].
+  double weight_fraction = 0.0;
+};
+std::vector<CdfPoint> TopHeavyCdf(const std::map<int, uint64_t>& weight_by_key, size_t total_key_space);
+
+// Smallest fraction of the key space whose heaviest keys cover at least
+// |target_weight_fraction| of the total weight. Returns 0 when there is no weight.
+double FractionOfKeysCovering(const std::map<int, uint64_t>& weight_by_key, size_t total_key_space,
+                              double target_weight_fraction);
+
+// Jaccard index |A ∩ B| / |A ∪ B| of two sets given as sorted unique vectors.
+double JaccardIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace focus::common
+
+#endif  // FOCUS_SRC_COMMON_STATS_H_

@@ -1,0 +1,55 @@
+// Virtual-time and identifier vocabulary shared across modules.
+//
+// The simulator runs on a virtual clock measured in seconds from the start of each
+// video stream; frames are indexed from 0 at the stream's native frame rate. Ground
+// truth and query results are aggregated into one-second segments, matching the
+// paper's accuracy methodology (§6.1).
+#ifndef FOCUS_SRC_COMMON_TIME_TYPES_H_
+#define FOCUS_SRC_COMMON_TIME_TYPES_H_
+
+#include <cstdint>
+
+namespace focus::common {
+
+// Frame number within a stream at the stream's native fps.
+using FrameIndex = int64_t;
+
+// One-second bucket index within a stream.
+using SegmentId = int64_t;
+
+// Unique identifier of a tracked object instance within a stream.
+using ObjectId = int64_t;
+
+// CNN class label. The generic label space is [0, kNumClasses); specialized models add
+// a synthetic OTHER label (see src/cnn/specialization.h).
+using ClassId = int32_t;
+
+// Sentinel for "no class".
+inline constexpr ClassId kInvalidClass = -1;
+
+// Virtual GPU time, in milliseconds of accelerator occupancy.
+using GpuMillis = double;
+
+// Converts a frame index to its one-second segment at the given fps.
+constexpr SegmentId SegmentOfFrame(FrameIndex frame, double fps) {
+  return static_cast<SegmentId>(static_cast<double>(frame) / fps);
+}
+
+// Time range restriction for queries, in seconds from stream start. A negative
+// |end_sec| means "until the end of the recording".
+struct TimeRange {
+  double begin_sec = 0.0;
+  double end_sec = -1.0;
+
+  bool ContainsFrame(FrameIndex frame, double fps) const {
+    double t = static_cast<double>(frame) / fps;
+    if (t < begin_sec) {
+      return false;
+    }
+    return end_sec < 0.0 || t < end_sec;
+  }
+};
+
+}  // namespace focus::common
+
+#endif  // FOCUS_SRC_COMMON_TIME_TYPES_H_

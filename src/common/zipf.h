@@ -1,0 +1,39 @@
+// Zipf (power-law) sampling over a finite rank space.
+//
+// Real video streams exhibit strongly skewed class-frequency distributions (§2.2.2 of
+// the paper: 3-10% of classes cover >=95% of objects). The synthetic video generator
+// draws object classes from a Zipf distribution whose exponent controls that skew.
+#ifndef FOCUS_SRC_COMMON_ZIPF_H_
+#define FOCUS_SRC_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace focus::common {
+
+// Precomputed-CDF Zipf sampler: P(rank = k) proportional to 1 / (k+1)^exponent for
+// k in [0, n). Sampling is O(log n) by binary search.
+class ZipfDistribution {
+ public:
+  // |n| must be >= 1; |exponent| >= 0 (0 degenerates to uniform).
+  ZipfDistribution(size_t n, double exponent);
+
+  // Draws a rank in [0, n).
+  size_t Sample(Pcg32& rng) const;
+
+  // Probability mass of a given rank.
+  double Pmf(size_t rank) const;
+
+  size_t size() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+}  // namespace focus::common
+
+#endif  // FOCUS_SRC_COMMON_ZIPF_H_

@@ -1,0 +1,81 @@
+#include "src/core/accuracy_evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace focus::core {
+
+AccuracyEvaluator::AccuracyEvaluator(const cnn::SegmentGroundTruth* truth, double fps)
+    : truth_(truth),
+      frames_per_segment_(std::max<int64_t>(1, static_cast<int64_t>(std::lround(fps)))) {
+  assert(truth_ != nullptr);
+}
+
+std::set<common::SegmentId> AccuracyEvaluator::ClaimedSegments(const QueryResult& result) const {
+  // Count covered frames per segment from the disjoint frame runs.
+  std::map<common::SegmentId, int64_t> covered;
+  for (const auto& [first, last] : result.frame_runs) {
+    common::FrameIndex f = first;
+    while (f <= last) {
+      common::SegmentId seg = f / frames_per_segment_;
+      common::FrameIndex seg_end = (seg + 1) * frames_per_segment_ - 1;
+      common::FrameIndex stop = std::min(last, seg_end);
+      covered[seg] += stop - f + 1;
+      f = stop + 1;
+    }
+  }
+  std::set<common::SegmentId> claimed;
+  for (const auto& [seg, frames] : covered) {
+    if (frames * 2 >= frames_per_segment_) {
+      claimed.insert(seg);
+    }
+  }
+  return claimed;
+}
+
+PrecisionRecall AccuracyEvaluator::Evaluate(common::ClassId cls, const QueryResult& result) const {
+  const std::set<common::SegmentId>& truth = truth_->SegmentsWithClass(cls);
+  std::set<common::SegmentId> claimed = ClaimedSegments(result);
+
+  PrecisionRecall pr;
+  pr.claimed_segments = static_cast<int64_t>(claimed.size());
+  pr.truth_segments = static_cast<int64_t>(truth.size());
+  for (common::SegmentId seg : claimed) {
+    if (truth.contains(seg)) {
+      ++pr.correct_segments;
+    }
+  }
+  pr.precision = pr.claimed_segments > 0 ? static_cast<double>(pr.correct_segments) /
+                                               static_cast<double>(pr.claimed_segments)
+                                         : 1.0;
+  pr.recall = pr.truth_segments > 0 ? static_cast<double>(pr.correct_segments) /
+                                          static_cast<double>(pr.truth_segments)
+                                    : 1.0;
+  return pr;
+}
+
+PrecisionRecall AccuracyEvaluator::EvaluateClasses(const std::vector<common::ClassId>& classes,
+                                                   const std::vector<QueryResult>& results) const {
+  assert(classes.size() == results.size());
+  PrecisionRecall avg;
+  if (classes.empty()) {
+    return avg;
+  }
+  double sum_p = 0.0;
+  double sum_r = 0.0;
+  for (size_t i = 0; i < classes.size(); ++i) {
+    PrecisionRecall pr = Evaluate(classes[i], results[i]);
+    sum_p += pr.precision;
+    sum_r += pr.recall;
+    avg.claimed_segments += pr.claimed_segments;
+    avg.truth_segments += pr.truth_segments;
+    avg.correct_segments += pr.correct_segments;
+  }
+  avg.precision = sum_p / static_cast<double>(classes.size());
+  avg.recall = sum_r / static_cast<double>(classes.size());
+  return avg;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,48 @@
+// Segment-level precision/recall evaluation (§6.1 "Accuracy Target").
+//
+// Ground truth: a class is present in a one-second segment when the GT-CNN reports it
+// in >= 50% of the segment's frames (cnn::SegmentGroundTruth). A query result claims
+// a segment under the same 50% rule applied to its returned frames. Precision =
+// claimed-and-true / claimed; recall = claimed-and-true / true.
+#ifndef FOCUS_SRC_CORE_ACCURACY_EVALUATOR_H_
+#define FOCUS_SRC_CORE_ACCURACY_EVALUATOR_H_
+
+#include <set>
+#include <vector>
+
+#include "src/cnn/ground_truth.h"
+#include "src/core/query_engine.h"
+
+namespace focus::core {
+
+struct PrecisionRecall {
+  double precision = 1.0;
+  double recall = 1.0;
+  int64_t claimed_segments = 0;
+  int64_t truth_segments = 0;
+  int64_t correct_segments = 0;
+};
+
+class AccuracyEvaluator {
+ public:
+  // |truth| must outlive the evaluator; |fps| is the evaluated stream's frame rate.
+  AccuracyEvaluator(const cnn::SegmentGroundTruth* truth, double fps);
+
+  // Segments claimed by |result| under the 50%-of-frames rule.
+  std::set<common::SegmentId> ClaimedSegments(const QueryResult& result) const;
+
+  PrecisionRecall Evaluate(common::ClassId cls, const QueryResult& result) const;
+
+  // Average P/R over several classes (how the paper reports per-stream accuracy:
+  // dominant classes averaged, §6.1 "Metrics").
+  PrecisionRecall EvaluateClasses(const std::vector<common::ClassId>& classes,
+                                  const std::vector<QueryResult>& results) const;
+
+ private:
+  const cnn::SegmentGroundTruth* truth_;
+  int64_t frames_per_segment_;
+};
+
+}  // namespace focus::core
+
+#endif  // FOCUS_SRC_CORE_ACCURACY_EVALUATOR_H_

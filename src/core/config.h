@@ -1,0 +1,40 @@
+// User-facing configuration vocabulary for Focus (§3, §4.4).
+#ifndef FOCUS_SRC_CORE_CONFIG_H_
+#define FOCUS_SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/cluster/incremental_clusterer.h"
+#include "src/cnn/model_desc.h"
+
+namespace focus::core {
+
+// Accuracy the query results must achieve relative to the GT-CNN (§3). Defaults
+// follow the paper's evaluation setting of 95% precision and 95% recall.
+struct AccuracyTarget {
+  double precision = 0.95;
+  double recall = 0.95;
+};
+
+// Ingest-cost vs. query-latency preference (§4.4 "Trading off Ingest Cost and Query
+// Latency").
+enum class Policy {
+  kBalance,    // Minimize ingest + query GPU time (the default).
+  kOptIngest,  // Pareto point with the cheapest ingest.
+  kOptQuery,   // Pareto point with the fastest queries.
+};
+
+const char* PolicyName(Policy policy);
+
+// One "configuration" in the §4.4 sense: the ingest CNN and the three coupled
+// parameters Focus tunes per stream.
+struct IngestParams {
+  cnn::ModelDesc model;           // CheapCNN_i (generic compressed or specialized).
+  int k = 4;                      // Top-K index width.
+  double cluster_threshold = 0.6; // T, the clustering distance threshold.
+  int ls = 0;                     // Ls (0 when the model is generic).
+};
+
+}  // namespace focus::core
+
+#endif  // FOCUS_SRC_CORE_CONFIG_H_

@@ -1,0 +1,175 @@
+#include "src/core/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace focus::core {
+
+double TotalVariationDistance(const std::map<common::ClassId, int64_t>& a,
+                              const std::map<common::ClassId, int64_t>& b) {
+  int64_t total_a = 0;
+  int64_t total_b = 0;
+  for (const auto& [cls, n] : a) {
+    total_a += n;
+  }
+  for (const auto& [cls, n] : b) {
+    total_b += n;
+  }
+  if (total_a == 0 || total_b == 0) {
+    return total_a == total_b ? 0.0 : 1.0;
+  }
+  // TV = 1/2 * sum over the union of |p(c) - q(c)|.
+  double tv = 0.0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    double pa = 0.0;
+    double pb = 0.0;
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      pa = static_cast<double>(ia->second) / static_cast<double>(total_a);
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      pb = static_cast<double>(ib->second) / static_cast<double>(total_b);
+      ++ib;
+    } else {
+      pa = static_cast<double>(ia->second) / static_cast<double>(total_a);
+      pb = static_cast<double>(ib->second) / static_cast<double>(total_b);
+      ++ia;
+      ++ib;
+    }
+    tv += std::abs(pa - pb);
+  }
+  return tv / 2.0;
+}
+
+DriftMonitor::DriftMonitor(const cnn::ClassDistributionEstimate& reference,
+                           std::vector<common::ClassId> ls_classes,
+                           DriftMonitorOptions options)
+    : reference_(reference.objects_per_class),
+      ls_classes_(std::move(ls_classes)),
+      options_(options) {}
+
+DriftReport DriftMonitor::AddProbe(ProbeSample probe) {
+  probe_gpu_millis_ += probe.gpu_cost_millis;
+  window_.push_back(std::move(probe));
+  while (window_.size() > options_.window_probes) {
+    window_.pop_front();
+  }
+  return Current();
+}
+
+DriftReport DriftMonitor::Current() const {
+  DriftReport report;
+  std::map<common::ClassId, int64_t> pooled;
+  for (const ProbeSample& probe : window_) {
+    for (const auto& [cls, n] : probe.objects_per_class) {
+      pooled[cls] += n;
+    }
+    report.recent_objects += probe.total_objects;
+  }
+  if (report.recent_objects == 0) {
+    return report;  // Nothing observed: no drift claim.
+  }
+  report.total_variation = TotalVariationDistance(reference_, pooled);
+
+  int64_t covered = 0;
+  for (common::ClassId cls : ls_classes_) {
+    auto it = pooled.find(cls);
+    if (it != pooled.end()) {
+      covered += it->second;
+    }
+  }
+  int64_t pooled_total = 0;
+  for (const auto& [cls, n] : pooled) {
+    pooled_total += n;
+  }
+  report.ls_coverage =
+      pooled_total > 0 ? static_cast<double>(covered) / static_cast<double>(pooled_total) : 1.0;
+
+  report.retrain_recommended = report.recent_objects >= options_.min_objects &&
+                               (report.total_variation > options_.max_total_variation ||
+                                report.ls_coverage < options_.min_ls_coverage);
+  return report;
+}
+
+void DriftMonitor::Rebase(const cnn::ClassDistributionEstimate& reference,
+                          std::vector<common::ClassId> ls_classes) {
+  reference_ = reference.objects_per_class;
+  ls_classes_ = std::move(ls_classes);
+  window_.clear();
+}
+
+ProbeSample ProbeStream(const video::StreamRun& run, const cnn::Cnn& gt_cnn, double begin_sec,
+                        double end_sec, int frame_stride) {
+  ProbeSample probe;
+  const common::FrameIndex begin_frame = static_cast<common::FrameIndex>(begin_sec * run.fps());
+  const common::FrameIndex end_frame = static_cast<common::FrameIndex>(end_sec * run.fps());
+  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    if (frame < begin_frame || frame >= end_frame ||
+        (frame - begin_frame) % frame_stride != 0) {
+      return;
+    }
+    for (const video::Detection& d : dets) {
+      ++probe.objects_per_class[gt_cnn.Top1(d)];
+      ++probe.total_objects;
+      probe.gpu_cost_millis += gt_cnn.inference_cost_millis();
+    }
+  });
+  return probe;
+}
+
+RetrainController::RetrainController(const video::StreamRun* run,
+                                     const video::ClassCatalog* catalog, const cnn::Cnn* gt_cnn,
+                                     const cnn::ClassDistributionEstimate& initial,
+                                     RetrainControllerOptions options)
+    : run_(run),
+      catalog_(catalog),
+      gt_cnn_(gt_cnn),
+      options_(options),
+      monitor_(initial, initial.TopClasses(static_cast<size_t>(options.specialization.ls)),
+               options.monitor),
+      model_(cnn::TrainSpecializedModel(initial, options.specialization,
+                                        run->profile().appearance_variability, run->seed())) {}
+
+TickOutcome RetrainController::Tick(double now_sec) {
+  TickOutcome outcome;
+  if (last_probe_sec_ >= 0.0 && now_sec - last_probe_sec_ < options_.probe_period_sec) {
+    outcome.report = monitor_.Current();
+    return outcome;
+  }
+  last_probe_sec_ = now_sec;
+  outcome.probed = true;
+
+  const double begin = std::max(0.0, now_sec - options_.probe_window_sec);
+  outcome.report =
+      monitor_.AddProbe(ProbeStream(*run_, *gt_cnn_, begin, now_sec, options_.probe_frame_stride));
+  const bool in_cooldown =
+      last_retrain_sec_ >= 0.0 && now_sec - last_retrain_sec_ < options_.min_retrain_interval_sec;
+  if (!outcome.report.retrain_recommended || in_cooldown) {
+    return outcome;
+  }
+
+  // §4.3 retraining: re-estimate on recent content (a denser sample of the same
+  // window), re-specialize, rebase the monitor on the new reference.
+  cnn::ClassDistributionEstimate fresh;
+  ProbeSample dense = ProbeStream(*run_, *gt_cnn_, begin, now_sec, /*frame_stride=*/2);
+  fresh.objects_per_class = dense.objects_per_class;
+  fresh.total_objects = dense.total_objects;
+  fresh.gpu_cost_millis = dense.gpu_cost_millis;
+  retrain_gpu_millis_ += dense.gpu_cost_millis;
+
+  model_ = cnn::TrainSpecializedModel(
+      fresh, options_.specialization, run_->profile().appearance_variability,
+      run_->seed() + static_cast<uint64_t>(retrain_count_) + 1);
+  monitor_.Rebase(fresh, fresh.TopClasses(static_cast<size_t>(options_.specialization.ls)));
+  ++retrain_count_;
+  last_retrain_sec_ = now_sec;
+  outcome.retrained = true;
+  return outcome;
+}
+
+common::GpuMillis RetrainController::maintenance_gpu_millis() const {
+  return monitor_.probe_gpu_millis() + retrain_gpu_millis_;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,160 @@
+// Class-distribution drift monitoring and the periodic retraining loop (§4.3).
+//
+// "On each video stream Focus periodically obtains a small sample of video frames
+// and classifies their objects using GT-CNN to estimate the ground truth of
+// distribution of object classes ... Retraining is relatively infrequent and done
+// once every few days." Between retrains, the specialized model's Ls classes can go
+// stale: a construction site appears, winter empties a plaza, a channel changes its
+// programming. Stale Ls classes hurt twice — recall drops for new popular classes
+// (they fall into OTHER, where the index is coarse) and query latency rises for them
+// (every OTHER cluster must be verified).
+//
+// DriftMonitor implements the detection half: it maintains the reference class
+// distribution the current model was specialized for, ingests periodic GT-labelled
+// probe samples (whose GPU cost it accounts), and reports drift as the total
+// variation distance between reference and recent distributions plus the coverage
+// the current Ls classes retain. RetrainController turns that signal into the §4.3
+// loop: when drift crosses a threshold, re-estimate, re-specialize, and re-tune.
+#ifndef FOCUS_SRC_CORE_DRIFT_MONITOR_H_
+#define FOCUS_SRC_CORE_DRIFT_MONITOR_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/cnn/specialization.h"
+#include "src/common/time_types.h"
+
+namespace focus::core {
+
+// One GT-labelled probe of recent stream content.
+struct ProbeSample {
+  std::map<common::ClassId, int64_t> objects_per_class;
+  int64_t total_objects = 0;
+  common::GpuMillis gpu_cost_millis = 0.0;
+};
+
+// Total variation distance between two (possibly unnormalized) class histograms:
+// 0 = identical mixes, 1 = disjoint supports.
+double TotalVariationDistance(const std::map<common::ClassId, int64_t>& a,
+                              const std::map<common::ClassId, int64_t>& b);
+
+struct DriftReport {
+  // TV distance between the reference distribution and the pooled recent probes.
+  double total_variation = 0.0;
+  // Fraction of recently observed objects whose class is in the model's Ls set.
+  double ls_coverage = 1.0;
+  // Total probe objects the report is based on.
+  int64_t recent_objects = 0;
+  bool retrain_recommended = false;
+};
+
+struct DriftMonitorOptions {
+  // Probes pooled into the "recent" distribution (sliding window).
+  size_t window_probes = 4;
+  // Drift thresholds: recommend retraining when TV distance exceeds
+  // |max_total_variation| or the Ls set covers less than |min_ls_coverage| of
+  // recent objects. Deliberately tolerant: probes are small samples, and two
+  // windows of the *same* healthy stream easily differ by TV 0.2-0.3 (arrival
+  // noise, diurnal mix shift); only a sustained, large shift should trigger the
+  // expensive retrain.
+  double max_total_variation = 0.45;
+  double min_ls_coverage = 0.80;
+  // Minimum pooled objects before a recommendation is made (avoids reacting to an
+  // empty or near-empty probe).
+  int64_t min_objects = 100;
+};
+
+class DriftMonitor {
+ public:
+  // |reference| is the distribution the current model was specialized on; |ls_classes|
+  // the model's specialized class set.
+  DriftMonitor(const cnn::ClassDistributionEstimate& reference,
+               std::vector<common::ClassId> ls_classes, DriftMonitorOptions options = {});
+
+  // Adds a probe and returns the updated report.
+  DriftReport AddProbe(ProbeSample probe);
+
+  // Report over the current window without adding anything.
+  DriftReport Current() const;
+
+  // Resets the reference after a retrain: the new model's distribution and Ls set.
+  void Rebase(const cnn::ClassDistributionEstimate& reference,
+              std::vector<common::ClassId> ls_classes);
+
+  // Cumulative GPU time spent on probes since construction (charged to ingest).
+  common::GpuMillis probe_gpu_millis() const { return probe_gpu_millis_; }
+
+ private:
+  std::map<common::ClassId, int64_t> reference_;
+  std::vector<common::ClassId> ls_classes_;
+  DriftMonitorOptions options_;
+  std::deque<ProbeSample> window_;
+  common::GpuMillis probe_gpu_millis_ = 0.0;
+};
+
+// Labels the window [begin_sec, end_sec) of |run| with |gt_cnn| at |frame_stride| to
+// build a probe (the §4.3 "small sample of video frames").
+ProbeSample ProbeStream(const video::StreamRun& run, const cnn::Cnn& gt_cnn, double begin_sec,
+                        double end_sec, int frame_stride);
+
+// The full periodic loop: probe on a schedule, retrain when the monitor says so.
+//
+// Owns a DriftMonitor plus the retraining recipe (Ls, architecture, stream
+// variability). Callers advance virtual time with Tick(now_sec): the controller
+// probes the recent window, and when drift is flagged it re-estimates the class
+// distribution, re-specializes a model, and rebases the monitor. The caller then
+// re-ingests with the returned model (indexing is outside the controller's scope —
+// it produces models, not indexes).
+struct RetrainControllerOptions {
+  double probe_period_sec = 60.0;  // §4.3: "periodically obtains a small sample".
+  double probe_window_sec = 30.0;  // Length of each probe window (ending at now).
+  int probe_frame_stride = 10;
+  // Cooldown after a retrain: the fresh model must observe at least this much
+  // stream time before another retrain is allowed, so sampling noise right after a
+  // rebase cannot thrash the deployment (§4.3: retraining is infrequent).
+  double min_retrain_interval_sec = 240.0;
+  cnn::SpecializationOptions specialization;
+  DriftMonitorOptions monitor;
+};
+
+struct TickOutcome {
+  bool probed = false;
+  bool retrained = false;
+  DriftReport report;
+};
+
+class RetrainController {
+ public:
+  // |run|, |catalog| and |gt_cnn| must outlive the controller. |initial| is the
+  // distribution the current deployment was specialized on.
+  RetrainController(const video::StreamRun* run, const video::ClassCatalog* catalog,
+                    const cnn::Cnn* gt_cnn, const cnn::ClassDistributionEstimate& initial,
+                    RetrainControllerOptions options = {});
+
+  // Advances the loop to virtual time |now_sec|; probes at most once per call.
+  TickOutcome Tick(double now_sec);
+
+  // The model currently in force (initially from |initial|, replaced on retrain).
+  const cnn::ModelDesc& current_model() const { return model_; }
+  int64_t retrain_count() const { return retrain_count_; }
+
+  // Total GPU time spent on probes and retraining samples (charged to ingest).
+  common::GpuMillis maintenance_gpu_millis() const;
+
+ private:
+  const video::StreamRun* run_;
+  const video::ClassCatalog* catalog_;
+  const cnn::Cnn* gt_cnn_;
+  RetrainControllerOptions options_;
+  DriftMonitor monitor_;
+  cnn::ModelDesc model_;
+  double last_probe_sec_ = -1.0;
+  double last_retrain_sec_ = -1.0;
+  int64_t retrain_count_ = 0;
+  common::GpuMillis retrain_gpu_millis_ = 0.0;
+};
+
+}  // namespace focus::core
+
+#endif  // FOCUS_SRC_CORE_DRIFT_MONITOR_H_

@@ -1,0 +1,94 @@
+#include "src/core/fleet.h"
+
+#include <utility>
+
+namespace focus::core {
+
+std::vector<std::string> FleetQueryResult::CamerasWithHits() const {
+  std::vector<std::string> names;
+  for (const CameraHits& h : hits) {
+    if (h.result.frames_returned > 0) {
+      names.push_back(h.camera);
+    }
+  }
+  return names;
+}
+
+common::Result<bool> FocusFleet::AddCamera(const std::string& name,
+                                           const video::ClassCatalog* catalog,
+                                           const video::StreamProfile& profile,
+                                           double duration_sec, double fps, uint64_t seed,
+                                           const FocusOptions& options) {
+  if (cameras_.contains(name)) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "camera already registered: " + name};
+  }
+  auto run = std::make_unique<video::StreamRun>(catalog, profile, duration_sec, fps, seed);
+  auto stream_or = FocusStream::Build(run.get(), catalog, options);
+  if (!stream_or.ok()) {
+    return stream_or.error();
+  }
+  Camera camera;
+  camera.run = std::move(run);
+  camera.stream = std::move(*stream_or);
+  cameras_.emplace(name, std::move(camera));
+  order_.push_back(name);
+  return true;
+}
+
+common::Result<bool> FocusFleet::AdoptCamera(const std::string& name,
+                                             std::unique_ptr<video::StreamRun> run,
+                                             std::unique_ptr<FocusStream> stream) {
+  if (run == nullptr || stream == nullptr) {
+    return common::Error{common::ErrorCode::kInvalidArgument, "null run or stream"};
+  }
+  if (cameras_.contains(name)) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "camera already registered: " + name};
+  }
+  Camera camera;
+  camera.run = std::move(run);
+  camera.stream = std::move(stream);
+  cameras_.emplace(name, std::move(camera));
+  order_.push_back(name);
+  return true;
+}
+
+common::Result<FleetQueryResult> FocusFleet::Query(common::ClassId cls,
+                                                   const std::vector<std::string>& cameras,
+                                                   common::TimeRange range, int kx) const {
+  FleetQueryResult fleet_result;
+  fleet_result.queried = cls;
+  const std::vector<std::string>& selected = cameras.empty() ? order_ : cameras;
+  for (const std::string& name : selected) {
+    auto it = cameras_.find(name);
+    if (it == cameras_.end()) {
+      return common::Error{common::ErrorCode::kNotFound, "unknown camera: " + name};
+    }
+    CameraHits hits;
+    hits.camera = name;
+    hits.result = it->second.stream->Query(cls, kx, range);
+    fleet_result.total_frames += hits.result.frames_returned;
+    fleet_result.total_centroids_classified += hits.result.centroids_classified;
+    fleet_result.total_gpu_millis += hits.result.gpu_millis;
+    fleet_result.hits.push_back(std::move(hits));
+  }
+  return fleet_result;
+}
+
+const FocusStream* FocusFleet::Find(const std::string& name) const {
+  auto it = cameras_.find(name);
+  return it == cameras_.end() ? nullptr : it->second.stream.get();
+}
+
+std::vector<std::string> FocusFleet::CameraNames() const { return order_; }
+
+common::GpuMillis FocusFleet::TotalIngestGpuMillis() const {
+  common::GpuMillis total = 0;
+  for (const auto& [name, camera] : cameras_) {
+    total += camera.stream->total_ingest_gpu_millis();
+  }
+  return total;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,84 @@
+// Multi-camera deployments: building and querying many Focus streams as one fleet.
+//
+// The paper's query model is "find all frames with objects of class X", optionally
+// "restricted to a subset of cameras and a time range" (§3). FocusFleet owns one
+// FocusStream per camera and implements that cross-camera form: it fans the query out
+// to the selected cameras, aggregates per-camera frame runs, and accounts the total
+// GT-CNN work — the foundation for the investigation workflows in the examples
+// ("which intersections saw a truck between 2pm and 4pm?").
+#ifndef FOCUS_SRC_CORE_FLEET_H_
+#define FOCUS_SRC_CORE_FLEET_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/focus_stream.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::core {
+
+// One camera's slice of a fleet query result.
+struct CameraHits {
+  std::string camera;
+  QueryResult result;
+};
+
+struct FleetQueryResult {
+  common::ClassId queried = common::kInvalidClass;
+  std::vector<CameraHits> hits;  // One entry per queried camera, in fleet order.
+  int64_t total_frames = 0;
+  int64_t total_centroids_classified = 0;
+  common::GpuMillis total_gpu_millis = 0.0;
+
+  // Cameras that returned at least one frame.
+  std::vector<std::string> CamerasWithHits() const;
+};
+
+class FocusFleet {
+ public:
+  FocusFleet() = default;
+
+  FocusFleet(const FocusFleet&) = delete;
+  FocusFleet& operator=(const FocusFleet&) = delete;
+
+  // Builds and registers one camera: generates its recording, tunes and ingests it.
+  // |catalog| must outlive the fleet. Camera names must be unique.
+  common::Result<bool> AddCamera(const std::string& name, const video::ClassCatalog* catalog,
+                                 const video::StreamProfile& profile, double duration_sec,
+                                 double fps, uint64_t seed, const FocusOptions& options);
+
+  // Registers an externally built stream under |name|, taking ownership of both the
+  // run and the stream (the stream must have been built against that run).
+  common::Result<bool> AdoptCamera(const std::string& name,
+                                   std::unique_ptr<video::StreamRun> run,
+                                   std::unique_ptr<FocusStream> stream);
+
+  // Queries |cls| across |cameras| (empty: every camera) within |range|. Unknown
+  // camera names return kNotFound.
+  common::Result<FleetQueryResult> Query(common::ClassId cls,
+                                         const std::vector<std::string>& cameras = {},
+                                         common::TimeRange range = {}, int kx = -1) const;
+
+  const FocusStream* Find(const std::string& name) const;
+  std::vector<std::string> CameraNames() const;  // In registration order.
+  size_t size() const { return order_.size(); }
+
+  // Sum of per-camera ingest GPU time (indexing plus tuning).
+  common::GpuMillis TotalIngestGpuMillis() const;
+
+ private:
+  struct Camera {
+    std::unique_ptr<video::StreamRun> run;
+    std::unique_ptr<FocusStream> stream;
+  };
+
+  std::map<std::string, Camera> cameras_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace focus::core
+
+#endif  // FOCUS_SRC_CORE_FLEET_H_

@@ -1,0 +1,218 @@
+#include "src/core/ingest_pipeline.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace focus::core {
+
+namespace {
+
+// Per-cluster index state: for every class that appeared in some member's top-K
+// output, the best (smallest) rank it achieved. Union semantics follow §3's index —
+// a cluster is retrievable under class X when any of its objects had X in its top-K —
+// and the best rank supports the §5 dynamic-Kx filter.
+//
+// Stored as flat per-cluster arrays over the class space (generic labels plus
+// OTHER): a rank update is two array accesses, which matters because ingest performs
+// one update per (detection, top-K position) — with K~200 that is the single
+// hottest loop of the tuner's grid sweep.
+class BestRankTable {
+ public:
+  // Records that |cls| appeared at 1-based |rank| in cluster |cluster_id|'s member
+  // output, keeping the minimum rank per (cluster, class).
+  void Update(int64_t cluster_id, common::ClassId cls, int32_t rank) {
+    if (static_cast<size_t>(cluster_id) >= ranks_.size()) {
+      ranks_.resize(static_cast<size_t>(cluster_id) + 1);
+      present_.resize(static_cast<size_t>(cluster_id) + 1);
+    }
+    std::vector<int32_t>& row = ranks_[static_cast<size_t>(cluster_id)];
+    if (row.empty()) {
+      row.assign(kRankSpace, kUnranked);
+    }
+    int32_t& slot = row[static_cast<size_t>(cls)];
+    if (slot == kUnranked) {
+      present_[static_cast<size_t>(cluster_id)].push_back(cls);
+      slot = rank;
+    } else if (rank < slot) {
+      slot = rank;
+    }
+  }
+
+  // Fills |entry|'s ranked class lists (best rank first, class id tie-break).
+  void Finalize(int64_t cluster_id, index::ClusterEntry* entry) const {
+    if (static_cast<size_t>(cluster_id) >= ranks_.size()) {
+      return;
+    }
+    const std::vector<int32_t>& row = ranks_[static_cast<size_t>(cluster_id)];
+    std::vector<std::pair<int32_t, common::ClassId>> ranked;
+    ranked.reserve(present_[static_cast<size_t>(cluster_id)].size());
+    for (common::ClassId cls : present_[static_cast<size_t>(cluster_id)]) {
+      ranked.emplace_back(row[static_cast<size_t>(cls)], cls);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    entry->topk_classes.reserve(ranked.size());
+    entry->topk_ranks.reserve(ranked.size());
+    for (const auto& [rank, cls] : ranked) {
+      entry->topk_classes.push_back(cls);
+      entry->topk_ranks.push_back(rank);
+    }
+  }
+
+ private:
+  // Generic label space plus the specialized models' OTHER label.
+  static constexpr int kRankSpace = video::kNumClasses + 1;
+  static constexpr int32_t kUnranked = std::numeric_limits<int32_t>::max();
+
+  std::vector<std::vector<int32_t>> ranks_;           // cluster -> class -> best rank.
+  std::vector<std::vector<common::ClassId>> present_; // cluster -> classes seen.
+};
+
+}  // namespace
+
+ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
+                                int k, const IngestOptions& options) {
+  ClassifiedSample sample;
+  sample.k = k;
+
+  std::unordered_map<common::ObjectId, size_t> last_index;  // Object -> last stored entry.
+  const common::FrameIndex limit_frame =
+      options.limit_sec < 0.0 ? run.num_frames()
+                              : static_cast<common::FrameIndex>(options.limit_sec * run.fps());
+
+  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    if (frame >= limit_frame) {
+      return;
+    }
+    for (const video::Detection& d : dets) {
+      ClassifiedDetection entry;
+      entry.detection = d;
+      auto it = last_index.find(d.object_id);
+      const bool can_reuse =
+          options.use_pixel_diff && d.pixel_diff_suppressed && it != last_index.end();
+      if (can_reuse) {
+        ++sample.suppressed;
+        entry.reused = true;
+        entry.topk = sample.detections[it->second].topk;
+        entry.feature = sample.detections[it->second].feature;
+      } else {
+        ++sample.cnn_invocations;
+        sample.gpu_millis += ingest_cnn.inference_cost_millis();
+        entry.topk = ingest_cnn.Classify(d, k);
+        entry.feature = ingest_cnn.ExtractFeature(d);
+      }
+      last_index[d.object_id] = sample.detections.size();
+      sample.detections.push_back(std::move(entry));
+    }
+  });
+  return sample;
+}
+
+IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestParams& params,
+                                 const IngestOptions& options) {
+  IngestResult result;
+  result.gpu_millis = sample.gpu_millis;
+  result.cnn_invocations = sample.cnn_invocations;
+  result.suppressed = sample.suppressed;
+
+  cluster::ClustererOptions copts;
+  copts.threshold = params.cluster_threshold;
+  copts.max_active = options.max_active_clusters;
+  copts.mode = options.cluster_mode;
+  cluster::IncrementalClusterer clusterer(copts);
+
+  const size_t rank_width = static_cast<size_t>(std::min(params.k, sample.k));
+  BestRankTable ranks;
+  for (const ClassifiedDetection& entry : sample.detections) {
+    ++result.detections;
+    const int64_t cluster_id = entry.reused
+                                   ? clusterer.AddSuppressed(entry.detection, entry.feature)
+                                   : clusterer.Add(entry.detection, entry.feature);
+    const size_t width = std::min(rank_width, entry.topk.entries.size());
+    for (size_t pos = 0; pos < width; ++pos) {
+      ranks.Update(cluster_id, entry.topk.entries[pos].first, static_cast<int32_t>(pos) + 1);
+    }
+  }
+
+  for (const cluster::Cluster& c : clusterer.clusters()) {
+    index::ClusterEntry entry;
+    entry.cluster_id = c.id;
+    entry.representative = c.representative;
+    entry.members = c.members;
+    entry.size = c.size;
+    ranks.Finalize(c.id, &entry);
+    result.index.AddCluster(std::move(entry));
+  }
+  result.num_clusters = static_cast<int64_t>(result.index.num_clusters());
+  result.clusterer_fast_hit_rate = clusterer.FastHitRate();
+  return result;
+}
+
+IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
+                       const IngestParams& params, const IngestOptions& options) {
+  IngestResult result;
+
+  cluster::ClustererOptions copts;
+  copts.threshold = params.cluster_threshold;
+  copts.max_active = options.max_active_clusters;
+  copts.mode = options.cluster_mode;
+  cluster::IncrementalClusterer clusterer(copts);
+
+  BestRankTable ranks;
+  // Last classification of each object, reused on pixel-diff suppressed frames.
+  std::unordered_map<common::ObjectId, cnn::TopKResult> last_result;
+  std::unordered_map<common::ObjectId, common::FeatureVec> last_feature;
+
+  const common::FrameIndex limit_frame =
+      options.limit_sec < 0.0 ? run.num_frames()
+                              : static_cast<common::FrameIndex>(options.limit_sec * run.fps());
+
+  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    if (frame >= limit_frame) {
+      return;
+    }
+    for (const video::Detection& d : dets) {
+      ++result.detections;
+      const bool can_reuse = options.use_pixel_diff && d.pixel_diff_suppressed &&
+                             last_result.contains(d.object_id);
+      int64_t cluster_id = -1;
+      const cnn::TopKResult* topk = nullptr;
+      if (can_reuse) {
+        ++result.suppressed;
+        // IT1 skipped: reuse the previous classification and feature (§4.2).
+        cluster_id = clusterer.AddSuppressed(d, last_feature[d.object_id]);
+        topk = &last_result[d.object_id];
+      } else {
+        ++result.cnn_invocations;
+        result.gpu_millis += ingest_cnn.inference_cost_millis();
+        cnn::TopKResult fresh = ingest_cnn.Classify(d, params.k);
+        common::FeatureVec feature = ingest_cnn.ExtractFeature(d);
+        cluster_id = clusterer.Add(d, feature);
+        auto [it, unused] = last_result.insert_or_assign(d.object_id, std::move(fresh));
+        topk = &it->second;
+        last_feature.insert_or_assign(d.object_id, std::move(feature));
+      }
+      for (size_t pos = 0; pos < topk->entries.size(); ++pos) {
+        ranks.Update(cluster_id, topk->entries[pos].first, static_cast<int32_t>(pos) + 1);
+      }
+    }
+  });
+
+  // IT4: finalize clusters into the top-K index, each carrying its top-K classes by
+  // aggregated confidence.
+  for (const cluster::Cluster& c : clusterer.clusters()) {
+    index::ClusterEntry entry;
+    entry.cluster_id = c.id;
+    entry.representative = c.representative;
+    entry.members = c.members;
+    entry.size = c.size;
+    ranks.Finalize(c.id, &entry);
+    result.index.AddCluster(std::move(entry));
+  }
+  result.num_clusters = static_cast<int64_t>(result.index.num_clusters());
+  result.clusterer_fast_hit_rate = clusterer.FastHitRate();
+  return result;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,83 @@
+// Ingest-time processing (§3 left side: IT1-IT4).
+//
+// For every moving-object detection of the stream, the pipeline (1) runs the cheap
+// ingest CNN to get the top-K classes and the feature vector — unless pixel
+// differencing lets it reuse the previous frame's result, (2) clusters the object by
+// feature vector, (3) aggregates per-cluster class confidences, and (4) emits the
+// top-K index mapping classes to clusters. GPU time is accounted per inference.
+#ifndef FOCUS_SRC_CORE_INGEST_PIPELINE_H_
+#define FOCUS_SRC_CORE_INGEST_PIPELINE_H_
+
+#include <cstdint>
+
+#include "src/cluster/incremental_clusterer.h"
+#include "src/cnn/cnn.h"
+#include "src/core/config.h"
+#include "src/index/topk_index.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::core {
+
+struct IngestResult {
+  index::TopKIndex index;
+  // GPU time spent by the cheap CNN.
+  common::GpuMillis gpu_millis = 0.0;
+  int64_t detections = 0;
+  int64_t cnn_invocations = 0;   // Detections actually classified.
+  int64_t suppressed = 0;        // Reused via pixel differencing.
+  int64_t num_clusters = 0;
+  double clusterer_fast_hit_rate = 0.0;
+};
+
+struct IngestOptions {
+  cluster::ClustererOptions::Mode cluster_mode = cluster::ClustererOptions::Mode::kFast;
+  size_t max_active_clusters = 4096;
+  // Stop ingesting after this many seconds of video (negative: whole run). Used by
+  // the tuner to process only a sample window.
+  double limit_sec = -1.0;
+  // Honor pixel-differencing suppression (§4.2). Disabled by the ablation bench to
+  // measure how much ingest cost the technique saves.
+  bool use_pixel_diff = true;
+};
+
+// Runs ingest over |run| with |ingest_cnn| and parameters |params|.
+IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
+                       const IngestParams& params, const IngestOptions& options = {});
+
+// --- Classify-once / re-cluster-many ---
+//
+// The CNN outputs of ingest depend only on the model and K, not on the clustering
+// threshold T. When several T values must be compared (the tuner's second selection
+// step, or an operator retuning a live deployment), classifying once and replaying
+// the stored outputs through clustering+indexing avoids re-running the cheap CNN —
+// the only GPU-bearing stage.
+
+// One detection's stored ingest-time CNN output.
+struct ClassifiedDetection {
+  video::Detection detection;
+  cnn::TopKResult topk;
+  common::FeatureVec feature;
+  bool reused = false;  // Pixel-diff path: outputs copied from the previous frame.
+};
+
+struct ClassifiedSample {
+  std::vector<ClassifiedDetection> detections;  // In sweep (frame) order.
+  int k = 0;                                    // Top-K width of the stored outputs.
+  common::GpuMillis gpu_millis = 0.0;           // Cheap-CNN GPU time.
+  int64_t cnn_invocations = 0;
+  int64_t suppressed = 0;
+};
+
+// Runs the classification stage only (IT1 + pixel differencing) over |run|.
+ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
+                                int k, const IngestOptions& options = {});
+
+// Runs clustering + indexing (IT2-IT4) over stored outputs. |params.k| must not
+// exceed |sample.k|. Produces the same IngestResult as RunIngest with the same
+// parameters (GPU cost comes from the stored classification pass).
+IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestParams& params,
+                                 const IngestOptions& options = {});
+
+}  // namespace focus::core
+
+#endif  // FOCUS_SRC_CORE_INGEST_PIPELINE_H_

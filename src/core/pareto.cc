@@ -1,0 +1,32 @@
+#include "src/core/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace focus::core {
+
+std::vector<size_t> ParetoBoundary(const std::vector<CostPoint>& points) {
+  std::vector<size_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  // Sort by ingest ascending, query ascending as tie-break; then sweep keeping points
+  // that strictly improve the best query seen so far.
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (points[a].ingest != points[b].ingest) {
+      return points[a].ingest < points[b].ingest;
+    }
+    return points[a].query < points[b].query;
+  });
+  std::vector<size_t> boundary;
+  double best_query = std::numeric_limits<double>::max();
+  for (size_t idx : order) {
+    if (points[idx].query < best_query) {
+      boundary.push_back(idx);
+      best_query = points[idx].query;
+    }
+  }
+  return boundary;
+}
+
+}  // namespace focus::core

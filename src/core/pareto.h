@@ -1,0 +1,22 @@
+// Pareto-boundary selection over (ingest cost, query latency) points (§4.4, Fig. 6).
+#ifndef FOCUS_SRC_CORE_PARETO_H_
+#define FOCUS_SRC_CORE_PARETO_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace focus::core {
+
+struct CostPoint {
+  double ingest = 0.0;
+  double query = 0.0;
+};
+
+// Indices of the points on the Pareto boundary (minimizing both coordinates): a point
+// is kept iff no other point is <= in both coordinates and < in at least one.
+// Returned in increasing-ingest order.
+std::vector<size_t> ParetoBoundary(const std::vector<CostPoint>& points);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_SRC_CORE_PARETO_H_

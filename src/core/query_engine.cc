@@ -1,0 +1,79 @@
+#include "src/core/query_engine.h"
+
+#include <algorithm>
+
+namespace focus::core {
+
+std::vector<std::pair<common::FrameIndex, common::FrameIndex>> MergeFrameRuns(
+    std::vector<std::pair<common::FrameIndex, common::FrameIndex>> runs) {
+  if (runs.empty()) {
+    return runs;
+  }
+  std::sort(runs.begin(), runs.end());
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> merged;
+  merged.push_back(runs.front());
+  for (size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].first <= merged.back().second + 1) {
+      merged.back().second = std::max(merged.back().second, runs[i].second);
+    } else {
+      merged.push_back(runs[i]);
+    }
+  }
+  return merged;
+}
+
+QueryEngine::QueryEngine(const index::TopKIndex* index, const cnn::Cnn* ingest_cnn,
+                         const cnn::Cnn* gt_cnn)
+    : index_(index), ingest_cnn_(ingest_cnn), gt_cnn_(gt_cnn) {}
+
+QueryResult QueryEngine::Query(common::ClassId cls, int kx, common::TimeRange range,
+                               double fps) const {
+  QueryResult result;
+  result.queried = cls;
+
+  // QT1/QT2: map the queried class into the ingest model's label space (a class the
+  // specialized model was not trained on lives under OTHER, §4.3) and pull the
+  // posting list.
+  const common::ClassId lookup = ingest_cnn_->MapTrueLabel(cls);
+  const std::vector<int64_t>& candidates = index_->ClustersForClass(lookup);
+
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> runs;
+  for (int64_t id : candidates) {
+    const index::ClusterEntry& entry = index_->cluster(id);
+    if (kx > 0 && !entry.MatchesWithin(lookup, kx)) {
+      continue;
+    }
+    // QT3: GT-CNN on the centroid object.
+    ++result.centroids_classified;
+    result.gpu_millis += gt_cnn_->inference_cost_millis();
+    if (gt_cnn_->Top1(entry.representative) != cls) {
+      continue;
+    }
+    // QT4: the whole cluster inherits the centroid's label.
+    ++result.clusters_matched;
+    for (const cluster::MemberRun& run : entry.members) {
+      common::FrameIndex first = run.first_frame;
+      common::FrameIndex last = run.last_frame;
+      if (range.begin_sec > 0.0 || range.end_sec >= 0.0) {
+        // Clip to the queried time range.
+        while (first <= last && !range.ContainsFrame(first, fps)) {
+          ++first;
+        }
+        while (last >= first && !range.ContainsFrame(last, fps)) {
+          --last;
+        }
+        if (first > last) {
+          continue;
+        }
+      }
+      runs.emplace_back(first, last);
+    }
+  }
+  result.frame_runs = MergeFrameRuns(std::move(runs));
+  for (const auto& [first, last] : result.frame_runs) {
+    result.frames_returned += last - first + 1;
+  }
+  return result;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,55 @@
+// Query-time processing (§3 right side: QT1-QT4).
+//
+// For a query "find all frames with objects of class X": look up the top-K index for
+// clusters indexed under X (mapping X to OTHER when the ingest model was specialized
+// and X is not one of its Ls classes), classify each matching cluster's centroid
+// object with the GT-CNN, and return the member frames of the clusters whose centroid
+// the GT-CNN confirmed as X. Query GPU time = centroid classifications.
+//
+// Supports the §5 enhancement of a dynamic Kx <= K: filtering with a smaller Kx
+// shrinks the candidate set (lower latency) at some recall cost.
+#ifndef FOCUS_SRC_CORE_QUERY_ENGINE_H_
+#define FOCUS_SRC_CORE_QUERY_ENGINE_H_
+
+#include <vector>
+
+#include "src/cnn/cnn.h"
+#include "src/common/time_types.h"
+#include "src/index/topk_index.h"
+
+namespace focus::core {
+
+struct QueryResult {
+  common::ClassId queried = common::kInvalidClass;
+  // Returned frames as sorted, disjoint [first, last] runs.
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> frame_runs;
+  int64_t centroids_classified = 0;
+  int64_t clusters_matched = 0;  // Centroid confirmed as the queried class.
+  int64_t frames_returned = 0;
+  common::GpuMillis gpu_millis = 0.0;
+};
+
+class QueryEngine {
+ public:
+  // |index|, |ingest_cnn| (the model that built the index, for label-space mapping)
+  // and |gt_cnn| must outlive the engine.
+  QueryEngine(const index::TopKIndex* index, const cnn::Cnn* ingest_cnn, const cnn::Cnn* gt_cnn);
+
+  // Runs the query. |kx| <= K restricts matching to the top-kx indexed classes
+  // (negative: use the full indexed width K). |range| restricts returned frames.
+  QueryResult Query(common::ClassId cls, int kx = -1, common::TimeRange range = {},
+                    double fps = 30.0) const;
+
+ private:
+  const index::TopKIndex* index_;
+  const cnn::Cnn* ingest_cnn_;
+  const cnn::Cnn* gt_cnn_;
+};
+
+// Merges possibly-overlapping frame runs into sorted disjoint runs.
+std::vector<std::pair<common::FrameIndex, common::FrameIndex>> MergeFrameRuns(
+    std::vector<std::pair<common::FrameIndex, common::FrameIndex>> runs);
+
+}  // namespace focus::core
+
+#endif  // FOCUS_SRC_CORE_QUERY_ENGINE_H_

@@ -1,0 +1,109 @@
+#include "src/core/query_session.h"
+
+#include <algorithm>
+
+namespace focus::core {
+
+namespace {
+
+// Subtracts |existing| (sorted, disjoint) from |candidate|, appending the parts of
+// |candidate| not covered to |out|. Counting new frames exactly keeps batch outputs
+// disjoint across expansions even when a cluster's members overlap earlier results.
+void AppendUncovered(std::pair<common::FrameIndex, common::FrameIndex> candidate,
+                     const std::vector<std::pair<common::FrameIndex, common::FrameIndex>>&
+                         existing,
+                     std::vector<std::pair<common::FrameIndex, common::FrameIndex>>* out) {
+  common::FrameIndex cursor = candidate.first;
+  // First covered run that could overlap: lower_bound on run end.
+  auto it = std::lower_bound(existing.begin(), existing.end(), cursor,
+                             [](const auto& run, common::FrameIndex frame) {
+                               return run.second < frame;
+                             });
+  while (cursor <= candidate.second) {
+    if (it == existing.end() || it->first > candidate.second) {
+      out->emplace_back(cursor, candidate.second);
+      return;
+    }
+    if (it->first > cursor) {
+      out->emplace_back(cursor, it->first - 1);
+    }
+    cursor = std::max(cursor, it->second + 1);
+    ++it;
+  }
+}
+
+}  // namespace
+
+QuerySession::QuerySession(const index::TopKIndex* index, const cnn::Cnn* ingest_cnn,
+                           const cnn::Cnn* gt_cnn, common::ClassId cls,
+                           common::TimeRange range, double fps)
+    : index_(index),
+      ingest_cnn_(ingest_cnn),
+      gt_cnn_(gt_cnn),
+      cls_(cls),
+      lookup_(ingest_cnn->MapTrueLabel(cls)),
+      range_(range),
+      fps_(fps) {}
+
+QueryBatch QuerySession::ExpandTo(int kx) {
+  QueryBatch batch;
+  batch.kx = std::max(kx, current_kx_);
+  if (kx <= current_kx_) {
+    return batch;
+  }
+
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> new_runs;
+  for (int64_t id : index_->ClustersForClass(lookup_)) {
+    const index::ClusterEntry& entry = index_->cluster(id);
+    // Newly matching at this Kx: within kx but not within the previous cursor.
+    if (!entry.MatchesWithin(lookup_, kx)) {
+      continue;
+    }
+    if (current_kx_ > 0 && entry.MatchesWithin(lookup_, current_kx_)) {
+      continue;  // Already handled by an earlier batch.
+    }
+    auto [it, inserted] = verdicts_.try_emplace(id, false);
+    if (inserted) {
+      // First time this cluster's centroid is needed: pay the GT-CNN inference.
+      ++batch.centroids_classified;
+      batch.gpu_millis += gt_cnn_->inference_cost_millis();
+      it->second = gt_cnn_->Top1(entry.representative) == cls_;
+    }
+    if (!it->second) {
+      continue;
+    }
+    for (const cluster::MemberRun& run : entry.members) {
+      common::FrameIndex first = run.first_frame;
+      common::FrameIndex last = run.last_frame;
+      if (range_.begin_sec > 0.0 || range_.end_sec >= 0.0) {
+        while (first <= last && !range_.ContainsFrame(first, fps_)) {
+          ++first;
+        }
+        while (last >= first && !range_.ContainsFrame(last, fps_)) {
+          --last;
+        }
+        if (first > last) {
+          continue;
+        }
+      }
+      AppendUncovered({first, last}, cumulative_runs_, &new_runs);
+    }
+  }
+
+  batch.new_frame_runs = MergeFrameRuns(std::move(new_runs));
+  for (const auto& [first, last] : batch.new_frame_runs) {
+    batch.new_frames += last - first + 1;
+  }
+
+  // Fold the batch into the cumulative view.
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> all = cumulative_runs_;
+  all.insert(all.end(), batch.new_frame_runs.begin(), batch.new_frame_runs.end());
+  cumulative_runs_ = MergeFrameRuns(std::move(all));
+  total_frames_ += batch.new_frames;
+  total_centroids_ += batch.centroids_classified;
+  total_gpu_millis_ += batch.gpu_millis;
+  current_kx_ = kx;
+  return batch;
+}
+
+}  // namespace focus::core

@@ -1,0 +1,75 @@
+// Incremental query sessions: the §5 "Dynamically adjusting K at query-time"
+// enhancement as a stateful API.
+//
+// "If we want to retrieve only some objects of class X, we can use very low Kx to
+// quickly retrieve them. If more objects are required, we can increase Kx to extract
+// a new batch of results." A QuerySession keeps the per-query state that makes the
+// expansion cheap: centroids already classified by the GT-CNN are never re-classified
+// when Kx grows, so the total GPU cost of reaching Kx = K through any sequence of
+// batches equals the cost of a single query at K.
+#ifndef FOCUS_SRC_CORE_QUERY_SESSION_H_
+#define FOCUS_SRC_CORE_QUERY_SESSION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/cnn/cnn.h"
+#include "src/common/time_types.h"
+#include "src/core/query_engine.h"
+#include "src/index/topk_index.h"
+
+namespace focus::core {
+
+// One expansion step's incremental output.
+struct QueryBatch {
+  int kx = 0;  // The Kx this batch expanded to.
+  // Frames newly added by this batch (disjoint from all earlier batches' frames).
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> new_frame_runs;
+  int64_t new_frames = 0;
+  int64_t centroids_classified = 0;  // GT-CNN inferences paid by this batch alone.
+  common::GpuMillis gpu_millis = 0.0;
+};
+
+class QuerySession {
+ public:
+  // |index|, |ingest_cnn| and |gt_cnn| must outlive the session. |range| restricts
+  // every batch.
+  QuerySession(const index::TopKIndex* index, const cnn::Cnn* ingest_cnn,
+               const cnn::Cnn* gt_cnn, common::ClassId cls, common::TimeRange range = {},
+               double fps = 30.0);
+
+  // Expands the session to |kx| (monotonic: values at or below the current Kx return
+  // an empty batch). Classifies only centroids of clusters that newly match.
+  QueryBatch ExpandTo(int kx);
+
+  // Cumulative results across all batches so far (merged, sorted frame runs).
+  const std::vector<std::pair<common::FrameIndex, common::FrameIndex>>& frame_runs() const {
+    return cumulative_runs_;
+  }
+  int64_t total_frames() const { return total_frames_; }
+  int64_t total_centroids_classified() const { return total_centroids_; }
+  common::GpuMillis total_gpu_millis() const { return total_gpu_millis_; }
+  int current_kx() const { return current_kx_; }
+  common::ClassId queried() const { return cls_; }
+
+ private:
+  const index::TopKIndex* index_;
+  const cnn::Cnn* ingest_cnn_;
+  const cnn::Cnn* gt_cnn_;
+  common::ClassId cls_;
+  common::ClassId lookup_;  // cls_ mapped into the ingest model's label space.
+  common::TimeRange range_;
+  double fps_;
+
+  int current_kx_ = 0;
+  // Centroid verdicts already paid for: cluster id -> confirmed as cls_.
+  std::unordered_map<int64_t, bool> verdicts_;
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> cumulative_runs_;
+  int64_t total_frames_ = 0;
+  int64_t total_centroids_ = 0;
+  common::GpuMillis total_gpu_millis_ = 0.0;
+};
+
+}  // namespace focus::core
+
+#endif  // FOCUS_SRC_CORE_QUERY_SESSION_H_

@@ -1,0 +1,97 @@
+#include "src/index/kv_store.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace focus::index {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'O', 'C', 'U', 'S', 'K', 'V', '1'};
+
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> KvStore::Scan(const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = map_.lower_bound(prefix); it != map_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+common::Result<bool> KvStore::SaveToFile(const std::string& path) const {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return common::IoError("cannot open " + tmp + " for writing");
+    }
+    out.write(kMagic, sizeof(kMagic));
+    WriteU64(out, map_.size());
+    for (const auto& [key, value] : map_) {
+      WriteU64(out, key.size());
+      out.write(key.data(), static_cast<std::streamsize>(key.size()));
+      WriteU64(out, value.size());
+      out.write(value.data(), static_cast<std::streamsize>(value.size()));
+    }
+    if (!out) {
+      return common::IoError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return common::IoError("rename " + tmp + " -> " + path + " failed");
+  }
+  return true;
+}
+
+common::Result<bool> KvStore::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::NotFound("cannot open " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return common::IoError(path + " is not a KvStore snapshot");
+  }
+  uint64_t count = 0;
+  if (!ReadU64(in, &count)) {
+    return common::IoError("truncated snapshot header in " + path);
+  }
+  std::map<std::string, std::string> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t klen = 0;
+    if (!ReadU64(in, &klen)) {
+      return common::IoError("truncated key length in " + path);
+    }
+    std::string key(klen, '\0');
+    in.read(key.data(), static_cast<std::streamsize>(klen));
+    uint64_t vlen = 0;
+    if (!in || !ReadU64(in, &vlen)) {
+      return common::IoError("truncated key/value in " + path);
+    }
+    std::string value(vlen, '\0');
+    in.read(value.data(), static_cast<std::streamsize>(vlen));
+    if (!in) {
+      return common::IoError("truncated value in " + path);
+    }
+    loaded.emplace(std::move(key), std::move(value));
+  }
+  map_ = std::move(loaded);
+  return true;
+}
+
+}  // namespace focus::index

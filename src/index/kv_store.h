@@ -1,0 +1,53 @@
+// Embedded ordered key-value store.
+//
+// The paper stores the top-K index in MongoDB for query-time retrieval (§5); this is
+// the equivalent embedded substrate: an ordered string->string map with prefix scans
+// and an atomic-rename file snapshot format, enough to persist and reload indexes
+// across process restarts.
+#ifndef FOCUS_SRC_INDEX_KV_STORE_H_
+#define FOCUS_SRC_INDEX_KV_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace focus::index {
+
+class KvStore {
+ public:
+  KvStore() = default;
+
+  void Put(const std::string& key, std::string value) { map_[key] = std::move(value); }
+
+  std::optional<std::string> Get(const std::string& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  bool Erase(const std::string& key) { return map_.erase(key) > 0; }
+
+  // All (key, value) pairs whose key starts with |prefix|, in key order.
+  std::vector<std::pair<std::string, std::string>> Scan(const std::string& prefix) const;
+
+  size_t size() const { return map_.size(); }
+  void Clear() { map_.clear(); }
+
+  // Snapshot to / restore from a file. The format is length-prefixed binary; writes
+  // go to a temp file renamed into place so a crash never leaves a torn snapshot.
+  common::Result<bool> SaveToFile(const std::string& path) const;
+  common::Result<bool> LoadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+}  // namespace focus::index
+
+#endif  // FOCUS_SRC_INDEX_KV_STORE_H_

@@ -1,0 +1,203 @@
+#include "src/index/topk_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace focus::index {
+
+namespace {
+
+// Minimal binary (de)serialization into std::string values for the KvStore.
+void PutRaw(std::string& out, const void* data, size_t n) {
+  out.append(static_cast<const char*>(data), n);
+}
+template <typename T>
+void PutPod(std::string& out, T v) {
+  PutRaw(out, &v, sizeof(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  template <typename T>
+  bool Read(T* v) {
+    if (pos_ + sizeof(T) > data_.size()) {
+      return false;
+    }
+    std::memcpy(v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ok() const { return pos_ <= data_.size(); }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+std::string EncodeCluster(const ClusterEntry& e) {
+  std::string out;
+  PutPod(out, e.cluster_id);
+  PutPod(out, e.size);
+  // Representative detection.
+  PutPod(out, e.representative.frame);
+  PutPod(out, e.representative.object_id);
+  PutPod(out, e.representative.true_class);
+  PutPod(out, e.representative.bbox.x);
+  PutPod(out, e.representative.bbox.y);
+  PutPod(out, e.representative.bbox.w);
+  PutPod(out, e.representative.bbox.h);
+  PutPod(out, static_cast<uint32_t>(e.representative.appearance.size()));
+  for (float f : e.representative.appearance) {
+    PutPod(out, f);
+  }
+  PutPod(out, static_cast<uint32_t>(e.members.size()));
+  for (const cluster::MemberRun& run : e.members) {
+    PutPod(out, run.object);
+    PutPod(out, run.first_frame);
+    PutPod(out, run.last_frame);
+  }
+  PutPod(out, static_cast<uint32_t>(e.topk_classes.size()));
+  for (common::ClassId cls : e.topk_classes) {
+    PutPod(out, cls);
+  }
+  PutPod(out, static_cast<uint32_t>(e.topk_ranks.size()));
+  for (int32_t rank : e.topk_ranks) {
+    PutPod(out, rank);
+  }
+  return out;
+}
+
+bool DecodeCluster(const std::string& data, ClusterEntry* e) {
+  Reader r(data);
+  uint32_t n = 0;
+  if (!r.Read(&e->cluster_id) || !r.Read(&e->size) || !r.Read(&e->representative.frame) ||
+      !r.Read(&e->representative.object_id) || !r.Read(&e->representative.true_class) ||
+      !r.Read(&e->representative.bbox.x) || !r.Read(&e->representative.bbox.y) ||
+      !r.Read(&e->representative.bbox.w) || !r.Read(&e->representative.bbox.h) || !r.Read(&n)) {
+    return false;
+  }
+  e->representative.appearance.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!r.Read(&e->representative.appearance[i])) {
+      return false;
+    }
+  }
+  if (!r.Read(&n)) {
+    return false;
+  }
+  e->members.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!r.Read(&e->members[i].object) || !r.Read(&e->members[i].first_frame) ||
+        !r.Read(&e->members[i].last_frame)) {
+      return false;
+    }
+  }
+  if (!r.Read(&n)) {
+    return false;
+  }
+  e->topk_classes.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!r.Read(&e->topk_classes[i])) {
+      return false;
+    }
+  }
+  if (!r.Read(&n)) {
+    return false;
+  }
+  e->topk_ranks.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!r.Read(&e->topk_ranks[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ClusterKey(const std::string& prefix, int64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/c/%012lld", static_cast<long long>(id));
+  return prefix + buf;
+}
+
+}  // namespace
+
+void TopKIndex::AddCluster(ClusterEntry entry) {
+  int64_t id = static_cast<int64_t>(clusters_.size());
+  entry.cluster_id = id;
+  total_detections_ += entry.size;
+  for (common::ClassId cls : entry.topk_classes) {
+    postings_[cls].push_back(id);
+  }
+  clusters_.push_back(std::move(entry));
+}
+
+const std::vector<int64_t>& TopKIndex::ClustersForClass(common::ClassId cls) const {
+  auto it = postings_.find(cls);
+  return it == postings_.end() ? empty_ : it->second;
+}
+
+std::vector<common::ClassId> TopKIndex::IndexedClasses() const {
+  std::vector<common::ClassId> out;
+  out.reserve(postings_.size());
+  for (const auto& [cls, ids] : postings_) {
+    if (!ids.empty()) {
+      out.push_back(cls);
+    }
+  }
+  return out;
+}
+
+common::Result<bool> TopKIndex::SaveTo(KvStore& store, const std::string& prefix) const {
+  std::string meta;
+  PutPod(meta, static_cast<uint64_t>(clusters_.size()));
+  store.Put(prefix + "/meta", meta);
+  for (const ClusterEntry& e : clusters_) {
+    store.Put(ClusterKey(prefix, e.cluster_id), EncodeCluster(e));
+  }
+  return true;
+}
+
+common::Result<bool> TopKIndex::LoadFrom(const KvStore& store, const std::string& prefix) {
+  auto meta = store.Get(prefix + "/meta");
+  if (!meta.has_value()) {
+    return common::NotFound("no index under prefix " + prefix);
+  }
+  Reader r(*meta);
+  uint64_t count = 0;
+  if (!r.Read(&count)) {
+    return common::IoError("corrupt index meta under " + prefix);
+  }
+  clusters_.clear();
+  postings_.clear();
+  total_detections_ = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    auto blob = store.Get(ClusterKey(prefix, static_cast<int64_t>(i)));
+    if (!blob.has_value()) {
+      return common::IoError("missing cluster blob " + std::to_string(i));
+    }
+    ClusterEntry e;
+    if (!DecodeCluster(*blob, &e)) {
+      return common::IoError("corrupt cluster blob " + std::to_string(i));
+    }
+    AddCluster(std::move(e));
+  }
+  return true;
+}
+
+void TopKIndex::MergeFrom(TopKIndex other, common::FrameIndex frame_offset) {
+  for (ClusterEntry& entry : other.clusters_) {
+    entry.representative.frame += frame_offset;
+    for (cluster::MemberRun& run : entry.members) {
+      run.first_frame += frame_offset;
+      run.last_frame += frame_offset;
+    }
+    // AddCluster renumbers the id and rebuilds the postings.
+    AddCluster(std::move(entry));
+  }
+}
+
+}  // namespace focus::index

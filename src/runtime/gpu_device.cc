@@ -1,0 +1,94 @@
+#include "src/runtime/gpu_device.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace focus::runtime {
+
+GpuJobTicket GpuDevice::Submit(common::GpuMillis now_millis, common::GpuMillis cost_millis) {
+  FOCUS_CHECK(cost_millis >= 0.0);
+  GpuJobTicket ticket;
+  ticket.start_millis = std::max(now_millis, free_at_);
+  ticket.finish_millis = ticket.start_millis + cost_millis;
+  free_at_ = ticket.finish_millis;
+  busy_millis_ += cost_millis;
+  ++jobs_executed_;
+  return ticket;
+}
+
+double GpuDevice::UtilizationOver(common::GpuMillis horizon_millis) const {
+  if (horizon_millis <= 0.0) {
+    return 0.0;
+  }
+  return std::min(1.0, busy_millis_ / horizon_millis);
+}
+
+void GpuDevice::Reset() {
+  free_at_ = 0;
+  busy_millis_ = 0;
+  jobs_executed_ = 0;
+}
+
+GpuCluster::GpuCluster(int num_devices) {
+  FOCUS_CHECK(num_devices >= 1);
+  devices_.resize(static_cast<size_t>(num_devices));
+}
+
+GpuJobTicket GpuCluster::Submit(common::GpuMillis now_millis, common::GpuMillis cost_millis) {
+  size_t best = 0;
+  for (size_t i = 1; i < devices_.size(); ++i) {
+    if (devices_[i].free_at() < devices_[best].free_at()) {
+      best = i;
+    }
+  }
+  GpuJobTicket ticket = devices_[best].Submit(now_millis, cost_millis);
+  ticket.device = static_cast<int>(best);
+  return ticket;
+}
+
+common::GpuMillis GpuCluster::SubmitBatch(common::GpuMillis now_millis, int64_t count,
+                                          common::GpuMillis cost_each_millis) {
+  common::GpuMillis last_finish = now_millis;
+  for (int64_t i = 0; i < count; ++i) {
+    last_finish = std::max(last_finish, Submit(now_millis, cost_each_millis).finish_millis);
+  }
+  return last_finish;
+}
+
+common::GpuMillis GpuCluster::EarliestFree() const {
+  common::GpuMillis earliest = devices_[0].free_at();
+  for (const GpuDevice& d : devices_) {
+    earliest = std::min(earliest, d.free_at());
+  }
+  return earliest;
+}
+
+GpuClusterStats GpuCluster::Stats() const {
+  GpuClusterStats stats;
+  stats.num_devices = num_devices();
+  common::GpuMillis max_busy = 0;
+  for (const GpuDevice& d : devices_) {
+    stats.jobs_executed += d.jobs_executed();
+    stats.total_busy_millis += d.busy_millis();
+    stats.makespan_millis = std::max(stats.makespan_millis, d.free_at());
+    max_busy = std::max(max_busy, d.busy_millis());
+  }
+  double mean_busy = stats.total_busy_millis / static_cast<double>(stats.num_devices);
+  stats.imbalance = mean_busy > 0.0 ? max_busy / mean_busy : 0.0;
+  return stats;
+}
+
+void GpuCluster::Reset() {
+  for (GpuDevice& d : devices_) {
+    d.Reset();
+  }
+}
+
+common::GpuMillis ParallelLatencyMillis(int64_t count, common::GpuMillis cost_each_millis,
+                                        int num_gpus) {
+  GpuCluster cluster(num_gpus);
+  return cluster.SubmitBatch(0.0, count, cost_each_millis);
+}
+
+}  // namespace focus::runtime

@@ -1,0 +1,111 @@
+// Virtual GPU devices and clusters (§5 "GPUs for CNN classification").
+//
+// The paper's metrics are measured in GPU time, but its latency claims ("with a
+// 10-GPU cluster, the query latency on a 24-hour video goes down from one hour to
+// less than two minutes") depend on how that GPU time schedules onto a fleet of
+// accelerators. This module models that scheduling in virtual time: a GpuDevice is a
+// FIFO execution resource; a GpuCluster dispatches jobs to the least-loaded device.
+// Jobs are CNN inference batches with costs taken from the cnn cost model; no real
+// accelerator is involved, which is exactly the substitution DESIGN.md documents for
+// the authors' NVIDIA testbed.
+//
+// All times are common::GpuMillis on a virtual clock owned by the caller. Devices are
+// deterministic: the same submission sequence always yields the same schedule.
+#ifndef FOCUS_SRC_RUNTIME_GPU_DEVICE_H_
+#define FOCUS_SRC_RUNTIME_GPU_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time_types.h"
+
+namespace focus::runtime {
+
+// Completion record of one submitted job.
+struct GpuJobTicket {
+  int device = -1;                      // Index of the executing device.
+  common::GpuMillis start_millis = 0;   // When the device began the job.
+  common::GpuMillis finish_millis = 0;  // When the job completed.
+};
+
+// One accelerator: a FIFO queue in virtual time. A job submitted at virtual time t
+// with cost c starts at max(t, device_free_at) and occupies the device for c.
+class GpuDevice {
+ public:
+  GpuDevice() = default;
+
+  // Submits a job of |cost_millis| at virtual time |now_millis|; returns its
+  // schedule. |cost_millis| must be >= 0.
+  GpuJobTicket Submit(common::GpuMillis now_millis, common::GpuMillis cost_millis);
+
+  // Virtual time at which the device next becomes idle.
+  common::GpuMillis free_at() const { return free_at_; }
+
+  // Total virtual time the device has spent executing jobs.
+  common::GpuMillis busy_millis() const { return busy_millis_; }
+
+  int64_t jobs_executed() const { return jobs_executed_; }
+
+  // Fraction of [0, horizon] the device spent busy; 0 for a zero horizon.
+  double UtilizationOver(common::GpuMillis horizon_millis) const;
+
+  // Forgets all state (free_at, counters).
+  void Reset();
+
+ private:
+  common::GpuMillis free_at_ = 0;
+  common::GpuMillis busy_millis_ = 0;
+  int64_t jobs_executed_ = 0;
+};
+
+// Aggregate load statistics for a cluster.
+struct GpuClusterStats {
+  int num_devices = 0;
+  int64_t jobs_executed = 0;
+  common::GpuMillis total_busy_millis = 0;
+  common::GpuMillis makespan_millis = 0;  // max over devices of free_at.
+  double imbalance = 0.0;                 // max busy / mean busy (1.0 = perfectly even).
+};
+
+// A fleet of identical devices with least-loaded (earliest-free) dispatch. This is
+// the "disaggregated on a remote cluster" deployment of §5; the same interface also
+// models the single local GPU (size 1).
+class GpuCluster {
+ public:
+  // |num_devices| must be >= 1.
+  explicit GpuCluster(int num_devices);
+
+  // Submits one job at |now_millis| to the device that frees up earliest (ties to
+  // the lowest index, keeping dispatch deterministic).
+  GpuJobTicket Submit(common::GpuMillis now_millis, common::GpuMillis cost_millis);
+
+  // Submits |count| identical jobs at |now_millis| and returns the virtual time at
+  // which the last one finishes. This is the wall-clock latency of an
+  // embarrassingly-parallel classification batch (a query's centroid set, §5
+  // "We parallelize a query's work across many worker processes").
+  common::GpuMillis SubmitBatch(common::GpuMillis now_millis, int64_t count,
+                                common::GpuMillis cost_each_millis);
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  const GpuDevice& device(int i) const { return devices_.at(static_cast<size_t>(i)); }
+
+  // Earliest virtual time at which some device is idle.
+  common::GpuMillis EarliestFree() const;
+
+  GpuClusterStats Stats() const;
+  void Reset();
+
+ private:
+  std::vector<GpuDevice> devices_;
+};
+
+// Wall-clock latency (virtual millis) of classifying |count| images of cost
+// |cost_each_millis| on a fresh |num_gpus|-device cluster. Pure convenience for
+// benches and examples reporting "query latency on an N-GPU cluster".
+common::GpuMillis ParallelLatencyMillis(int64_t count, common::GpuMillis cost_each_millis,
+                                        int num_gpus);
+
+}  // namespace focus::runtime
+
+#endif  // FOCUS_SRC_RUNTIME_GPU_DEVICE_H_

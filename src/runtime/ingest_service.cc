@@ -1,0 +1,77 @@
+#include "src/runtime/ingest_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/runtime/worker_pool.h"
+
+namespace focus::runtime {
+
+IngestService::IngestService(IngestServiceOptions options, MetricsRegistry* metrics)
+    : options_(options), metrics_(metrics != nullptr ? metrics : &GlobalMetrics()) {
+  FOCUS_CHECK(options_.num_worker_threads >= 1);
+  FOCUS_CHECK(options_.num_gpus >= 1);
+}
+
+size_t IngestService::AddStream(IngestJob job) {
+  FOCUS_CHECK(job.run != nullptr);
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+FleetIngestSummary IngestService::RunAll() {
+  FleetIngestSummary summary;
+  summary.reports.resize(jobs_.size());
+
+  // Phase 1: run every stream's ingest pipeline on the worker pool. Each worker
+  // builds its own CNN instance; results land in pre-sized slots so no locking is
+  // needed beyond the pool's own synchronization.
+  {
+    WorkerPool pool(options_.num_worker_threads, std::max<size_t>(jobs_.size(), 1));
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+      pool.Submit([this, i, &summary] {
+        const IngestJob& job = jobs_[i];
+        cnn::Cnn cheap(job.params.model, &job.run->catalog());
+        IngestReport& report = summary.reports[i];
+        report.name = job.name;
+        report.result = core::RunIngest(*job.run, cheap, job.params, job.options);
+        const double video_millis = job.run->duration_sec() * 1000.0;
+        report.gpu_occupancy =
+            video_millis > 0.0 ? report.result.gpu_millis / video_millis : 0.0;
+      });
+    }
+    pool.Drain();
+    pool.Shutdown();
+  }
+
+  // Phase 2: deterministic cluster accounting, in registration order. Each stream's
+  // inference workload is submitted as one batch of per-inference jobs arriving at
+  // time zero — the replay upper-bounds queueing because live ingest spreads arrivals
+  // over the recording.
+  GpuCluster cluster(options_.num_gpus);
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    const IngestJob& job = jobs_[i];
+    IngestReport& report = summary.reports[i];
+    cnn::Cnn cheap(job.params.model, &job.run->catalog());
+    report.cluster_finish_millis = cluster.SubmitBatch(
+        0.0, report.result.cnn_invocations, cheap.inference_cost_millis());
+    summary.total_gpu_occupancy += report.gpu_occupancy;
+
+    metrics_->IncrementCounter("ingest.detections", report.result.detections);
+    metrics_->IncrementCounter("ingest.cnn_invocations", report.result.cnn_invocations);
+    metrics_->IncrementCounter("ingest.suppressed", report.result.suppressed);
+    metrics_->Observe("ingest.gpu_occupancy", report.gpu_occupancy);
+  }
+  summary.cluster = cluster.Stats();
+  summary.min_gpus_for_realtime =
+      std::max(1, static_cast<int>(std::ceil(summary.total_gpu_occupancy)));
+  metrics_->SetGauge("ingest.min_gpus_for_realtime", summary.min_gpus_for_realtime);
+  return summary;
+}
+
+double IngestService::CostPerStreamMonthly(double gpu_occupancy) const {
+  return gpu_occupancy * options_.dollars_per_gpu_month;
+}
+
+}  // namespace focus::runtime

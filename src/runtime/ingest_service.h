@@ -1,0 +1,98 @@
+// Multi-stream ingest service: the §5 worker fleet around the core ingest pipeline.
+//
+// "Focus's ingest-time work is distributed across many machines, with each machine
+// running one worker process for each video stream's ingestion." This service runs
+// one ingest worker per registered stream on a thread pool, accounts each stream's
+// inference workload on a shared virtual GPU cluster, and answers the provisioning
+// question behind the paper's cost claims: how many GPUs does it take to ingest all
+// streams in real time, and what does each stream cost per month.
+//
+// Determinism: the per-stream ingest itself is deterministic; GPU-cluster accounting
+// is applied after the parallel phase in stream registration order, so the reported
+// schedule does not depend on thread interleaving.
+#ifndef FOCUS_SRC_RUNTIME_INGEST_SERVICE_H_
+#define FOCUS_SRC_RUNTIME_INGEST_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cnn/cnn.h"
+#include "src/core/config.h"
+#include "src/core/ingest_pipeline.h"
+#include "src/runtime/gpu_device.h"
+#include "src/runtime/metrics.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::runtime {
+
+// One registered stream with its tuned ingest configuration.
+struct IngestJob {
+  std::string name;
+  const video::StreamRun* run = nullptr;  // Must outlive the service.
+  core::IngestParams params;
+  core::IngestOptions options;
+};
+
+// Per-stream outcome.
+struct IngestReport {
+  std::string name;
+  core::IngestResult result;
+  // GPU-seconds of cheap-CNN work per second of video: < 1.0 / num_streams_per_gpu
+  // means the stream ingests in real time on its share of a device.
+  double gpu_occupancy = 0.0;
+  // Virtual wall time to replay the whole recording's inference workload on the
+  // shared cluster (includes queueing behind other streams).
+  common::GpuMillis cluster_finish_millis = 0.0;
+};
+
+struct IngestServiceOptions {
+  int num_worker_threads = 4;
+  int num_gpus = 1;
+  // Dollars per GPU-month used by CostPerStreamMonthly (the paper quotes Azure
+  // pricing where Ingest-all costs ~$250/month/stream).
+  double dollars_per_gpu_month = 250.0;
+};
+
+struct FleetIngestSummary {
+  std::vector<IngestReport> reports;  // In registration order.
+  GpuClusterStats cluster;
+  // Sum of per-stream occupancies: total GPUs needed for real-time ingest.
+  double total_gpu_occupancy = 0.0;
+  int min_gpus_for_realtime = 0;
+
+  common::GpuMillis total_gpu_millis() const {
+    common::GpuMillis total = 0;
+    for (const IngestReport& r : reports) {
+      total += r.result.gpu_millis;
+    }
+    return total;
+  }
+};
+
+class IngestService {
+ public:
+  explicit IngestService(IngestServiceOptions options, MetricsRegistry* metrics = nullptr);
+
+  // Registers a stream; returns its job index. |job.run| must stay valid until
+  // RunAll() returns.
+  size_t AddStream(IngestJob job);
+
+  // Ingests every registered stream (parallel across |num_worker_threads|), then
+  // replays the combined inference workload on a fresh |num_gpus| cluster.
+  FleetIngestSummary RunAll();
+
+  // Monthly cost of one stream whose ingest occupies |gpu_occupancy| of a device.
+  double CostPerStreamMonthly(double gpu_occupancy) const;
+
+  const IngestServiceOptions& options() const { return options_; }
+
+ private:
+  IngestServiceOptions options_;
+  MetricsRegistry* metrics_;
+  std::vector<IngestJob> jobs_;
+};
+
+}  // namespace focus::runtime
+
+#endif  // FOCUS_SRC_RUNTIME_INGEST_SERVICE_H_

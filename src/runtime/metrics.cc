@@ -1,0 +1,83 @@
+#include "src/runtime/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace focus::runtime {
+
+void MetricsRegistry::IncrementCounter(const std::string& name, int64_t delta) {
+  FOCUS_CHECK(delta >= 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Distribution& d = distributions_[name];
+  if (d.count == 0) {
+    d.min = value;
+    d.max = value;
+  } else {
+    d.min = std::min(d.min, value);
+    d.max = std::max(d.max, value);
+  }
+  ++d.count;
+  d.sum += value;
+}
+
+int64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+MetricsRegistry::Distribution MetricsRegistry::distribution(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = distributions_.find(name);
+  return it == distributions_.end() ? Distribution{} : it->second;
+}
+
+std::string MetricsRegistry::Render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << name << "=" << value << "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    out << name << "=" << value << "\n";
+  }
+  for (const auto& [name, d] : distributions_) {
+    out << name << "_count=" << d.count << "\n";
+    out << name << "_mean=" << d.Mean() << "\n";
+    out << name << "_min=" << d.min << "\n";
+    out << name << "_max=" << d.max << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  distributions_.clear();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace focus::runtime

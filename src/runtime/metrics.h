@@ -1,0 +1,63 @@
+// Process-wide metrics registry: named monotonic counters and last-value gauges.
+//
+// The observability surface a production deployment of Focus would scrape: ingest
+// workers count detections, CNN invocations and suppressions; the query service
+// records candidate set sizes and latencies. Thread-safe; cheap enough to update from
+// worker threads.
+#ifndef FOCUS_SRC_RUNTIME_METRICS_H_
+#define FOCUS_SRC_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace focus::runtime {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Adds |delta| (>= 0) to the counter named |name|, creating it at zero.
+  void IncrementCounter(const std::string& name, int64_t delta = 1);
+
+  // Sets the gauge named |name| to |value|.
+  void SetGauge(const std::string& name, double value);
+
+  // Records one |value| into the distribution named |name| (count/sum/min/max).
+  void Observe(const std::string& name, double value);
+
+  int64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+
+  struct Distribution {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  };
+  Distribution distribution(const std::string& name) const;
+
+  // One line per metric, "name=value", sorted by name. For logs and examples.
+  std::string Render() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Distribution> distributions_;
+};
+
+// The process-global registry used by services unless given their own.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace focus::runtime
+
+#endif  // FOCUS_SRC_RUNTIME_METRICS_H_

@@ -1,0 +1,54 @@
+#include "src/runtime/query_service.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace focus::runtime {
+
+QueryService::QueryService(QueryServiceOptions options, MetricsRegistry* metrics)
+    : options_(options),
+      metrics_(metrics != nullptr ? metrics : &GlobalMetrics()),
+      cluster_(options.num_gpus) {}
+
+QueryExecution QueryService::Execute(const QueryRequest& request) {
+  return ScheduleAt(request, cluster_.EarliestFree());
+}
+
+std::vector<QueryExecution> QueryService::ExecuteConcurrently(
+    const std::vector<QueryRequest>& requests) {
+  // All requests share one submission instant; interleaving happens through the
+  // cluster's least-loaded dispatch, so earlier requests in the vector get the first
+  // slots deterministically.
+  const common::GpuMillis submit = cluster_.EarliestFree();
+  std::vector<QueryExecution> executions;
+  executions.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    executions.push_back(ScheduleAt(request, submit));
+  }
+  return executions;
+}
+
+void QueryService::ResetCluster() { cluster_.Reset(); }
+
+QueryExecution QueryService::ScheduleAt(const QueryRequest& request,
+                                        common::GpuMillis submit_millis) {
+  FOCUS_CHECK(request.stream != nullptr);
+  QueryExecution execution;
+  execution.submit_millis = submit_millis;
+  execution.result = request.stream->Query(request.cls, request.kx, request.range);
+
+  // The query's GPU work is its centroid classifications, each an independent GT-CNN
+  // inference fanned out across the fleet.
+  const common::GpuMillis cost_each = request.stream->gt_cnn().inference_cost_millis();
+  execution.finish_millis = cluster_.SubmitBatch(
+      submit_millis, execution.result.centroids_classified, cost_each);
+
+  metrics_->IncrementCounter("query.requests");
+  metrics_->IncrementCounter("query.centroids_classified",
+                             execution.result.centroids_classified);
+  metrics_->Observe("query.latency_millis", execution.latency_millis());
+  return execution;
+}
+
+}  // namespace focus::runtime

@@ -1,0 +1,103 @@
+// Bounded multi-producer multi-consumer task queue.
+//
+// The coordination primitive behind the §5 worker-process model: ingest workers pull
+// per-stream work items, and query workers pull centroid-classification shards. The
+// queue is bounded so a slow consumer applies backpressure to producers instead of
+// letting work pile up unboundedly (the paper's ingest must keep up with live video).
+#ifndef FOCUS_SRC_RUNTIME_TASK_QUEUE_H_
+#define FOCUS_SRC_RUNTIME_TASK_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace focus::runtime {
+
+template <typename T>
+class TaskQueue {
+ public:
+  // |capacity| bounds the number of queued items; 0 is invalid.
+  explicit TaskQueue(size_t capacity) : capacity_(capacity) { FOCUS_CHECK(capacity > 0); }
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  // Blocks until there is room, then enqueues. Returns false iff the queue was
+  // closed (the item is dropped).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking enqueue; returns false when full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained; nullopt
+  // means "closed and empty" (the consumer should exit).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Closes the queue: producers fail, consumers drain the backlog then get nullopt.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace focus::runtime
+
+#endif  // FOCUS_SRC_RUNTIME_TASK_QUEUE_H_

@@ -1,0 +1,58 @@
+#include "src/runtime/worker_pool.h"
+
+#include "src/common/logging.h"
+
+namespace focus::runtime {
+
+WorkerPool::WorkerPool(int num_workers, size_t queue_capacity) : queue_(queue_capacity) {
+  FOCUS_CHECK(num_workers >= 1);
+  threads_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+bool WorkerPool::Submit(std::function<void()> task) {
+  FOCUS_CHECK(task != nullptr);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.Push(std::move(task))) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void WorkerPool::Drain() {
+  const int64_t target = submitted_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [&] { return completed_.load(std::memory_order_acquire) >= target; });
+}
+
+void WorkerPool::Shutdown() {
+  bool expected = false;
+  if (!shut_down_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  queue_.Close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void WorkerPool::WorkerMain() {
+  while (true) {
+    std::optional<std::function<void()>> task = queue_.Pop();
+    if (!task.has_value()) {
+      return;  // Closed and drained.
+    }
+    (*task)();
+    completed_.fetch_add(1, std::memory_order_release);
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace focus::runtime

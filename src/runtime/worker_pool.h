@@ -1,0 +1,62 @@
+// Fixed-size thread pool executing closures from a bounded queue.
+//
+// Models the §5 worker fleet: "Focus's ingest-time work is distributed across many
+// machines, with each machine running one worker process for each video stream's
+// ingestion" and "We parallelize a query's work across many worker processes if
+// resources are idle". Here worker processes are threads; the unit of distribution
+// (a closure over one stream or one classification shard) is the same.
+#ifndef FOCUS_SRC_RUNTIME_WORKER_POOL_H_
+#define FOCUS_SRC_RUNTIME_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/task_queue.h"
+
+namespace focus::runtime {
+
+class WorkerPool {
+ public:
+  // Spawns |num_workers| threads (>= 1). |queue_capacity| bounds pending tasks.
+  explicit WorkerPool(int num_workers, size_t queue_capacity = 1024);
+
+  // Drains remaining tasks, then joins all workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues |task|; blocks when the queue is full. Returns false after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished executing. Tasks may keep
+  // being submitted by other threads; this waits for the count observed at entry.
+  void Drain();
+
+  // Stops accepting tasks, drains the backlog, joins the threads. Idempotent.
+  void Shutdown();
+
+  int num_workers() const { return static_cast<int>(threads_.size()); }
+  int64_t tasks_completed() const { return completed_.load(std::memory_order_relaxed); }
+
+ private:
+  void WorkerMain();
+
+  TaskQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> completed_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace focus::runtime
+
+#endif  // FOCUS_SRC_RUNTIME_WORKER_POOL_H_

@@ -1,0 +1,121 @@
+#include "src/server/protocol.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace focus::server {
+
+namespace {
+
+common::Error BadRequest(const std::string& what) {
+  return common::Error{common::ErrorCode::kInvalidArgument, what};
+}
+
+// Parses the optional [BEGIN s] [END s] [KX n] tail of QUERY.
+common::Result<bool> ParseQueryOptions(const std::vector<std::string>& tokens, size_t from,
+                                       Request* request) {
+  size_t i = from;
+  while (i < tokens.size()) {
+    const std::string& key = tokens[i];
+    if (i + 1 >= tokens.size()) {
+      return BadRequest("option " + key + " needs a value");
+    }
+    const std::string& value = tokens[i + 1];
+    char* end = nullptr;
+    if (key == "BEGIN") {
+      request->range.begin_sec = std::strtod(value.c_str(), &end);
+    } else if (key == "END") {
+      request->range.end_sec = std::strtod(value.c_str(), &end);
+    } else if (key == "KX") {
+      request->kx = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      if (request->kx <= 0) {
+        return BadRequest("KX must be positive");
+      }
+    } else {
+      return BadRequest("unknown option " + key);
+    }
+    if (end == value.c_str() || *end != '\0') {
+      return BadRequest("bad number for " + key + ": " + value);
+    }
+    i += 2;
+  }
+  if (request->range.end_sec >= 0.0 && request->range.end_sec <= request->range.begin_sec) {
+    return BadRequest("END must be after BEGIN");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+common::Result<Request> ParseRequest(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return BadRequest("empty request");
+  }
+  Request request;
+  const std::string& verb = tokens[0];
+  if (verb == "PING") {
+    if (tokens.size() != 1) {
+      return BadRequest("PING takes no arguments");
+    }
+    request.verb = Verb::kPing;
+    return request;
+  }
+  if (verb == "CAMERAS") {
+    if (tokens.size() != 1) {
+      return BadRequest("CAMERAS takes no arguments");
+    }
+    request.verb = Verb::kCameras;
+    return request;
+  }
+  if (verb == "CLASSES") {
+    if (tokens.size() > 2) {
+      return BadRequest("CLASSES takes at most one filter");
+    }
+    request.verb = Verb::kClasses;
+    request.class_filter = tokens.size() == 2 ? tokens[1] : "";
+    return request;
+  }
+  if (verb == "STATS") {
+    if (tokens.size() != 2) {
+      return BadRequest("usage: STATS <camera>");
+    }
+    request.verb = Verb::kStats;
+    request.camera = tokens[1];
+    return request;
+  }
+  if (verb == "QUERY") {
+    if (tokens.size() < 3) {
+      return BadRequest("usage: QUERY <camera> <class> [BEGIN s] [END s] [KX n]");
+    }
+    request.verb = Verb::kQuery;
+    request.camera = tokens[1];
+    request.class_name = tokens[2];
+    auto options = ParseQueryOptions(tokens, 3, &request);
+    if (!options.ok()) {
+      return options.error();
+    }
+    return request;
+  }
+  return BadRequest("unknown verb " + verb);
+}
+
+std::string OkResponse(const std::string& payload) {
+  return payload.empty() ? "OK" : "OK " + payload;
+}
+
+std::string ErrResponse(common::ErrorCode code, const std::string& message) {
+  return std::string("ERR ") + common::ErrorCodeName(code) + " " + message;
+}
+
+}  // namespace focus::server

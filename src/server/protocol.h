@@ -1,0 +1,54 @@
+// Request/response vocabulary and text framing for the Focus query server.
+//
+// The wire format is a deliberately simple line protocol (one request line in, one
+// framed response out) so any transport — a socket, a pipe, a REPL — can carry it
+// and tests can drive the server with plain strings:
+//
+//   QUERY <camera> <class> [BEGIN <sec>] [END <sec>] [KX <n>]
+//   CAMERAS
+//   CLASSES <substring>
+//   STATS <camera>
+//   PING
+//
+// Responses are "OK <payload...>" on success, "ERR <code> <message>" on failure.
+// Parsing is strict: unknown verbs, missing arguments, or trailing junk are errors —
+// a query frontend that guesses is a frontend that silently answers the wrong
+// question.
+#ifndef FOCUS_SRC_SERVER_PROTOCOL_H_
+#define FOCUS_SRC_SERVER_PROTOCOL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/time_types.h"
+
+namespace focus::server {
+
+enum class Verb { kQuery, kCameras, kClasses, kStats, kPing };
+
+struct Request {
+  Verb verb = Verb::kPing;
+  // QUERY fields.
+  std::string camera;
+  std::string class_name;
+  common::TimeRange range{};
+  int kx = -1;
+  // CLASSES field.
+  std::string class_filter;
+};
+
+// Parses one request line. Errors carry a human-readable reason.
+common::Result<Request> ParseRequest(const std::string& line);
+
+// Response helpers (the server composes payloads; these add the framing).
+std::string OkResponse(const std::string& payload);
+std::string ErrResponse(common::ErrorCode code, const std::string& message);
+
+// Splits on single spaces, ignoring leading/trailing whitespace.
+std::vector<std::string> Tokenize(const std::string& line);
+
+}  // namespace focus::server
+
+#endif  // FOCUS_SRC_SERVER_PROTOCOL_H_

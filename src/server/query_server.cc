@@ -1,0 +1,105 @@
+#include "src/server/query_server.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace focus::server {
+
+QueryServer::QueryServer(const core::FocusFleet* fleet, const video::ClassCatalog* catalog,
+                         runtime::MetricsRegistry* metrics)
+    : fleet_(fleet),
+      catalog_(catalog),
+      metrics_(metrics != nullptr ? metrics : &runtime::GlobalMetrics()) {}
+
+std::string QueryServer::HandleLine(const std::string& line) {
+  metrics_->IncrementCounter("server.requests");
+  auto request = ParseRequest(line);
+  if (!request.ok()) {
+    metrics_->IncrementCounter("server.parse_errors");
+    return ErrResponse(request.error().code, request.error().message);
+  }
+  return Handle(*request);
+}
+
+std::string QueryServer::Handle(const Request& request) {
+  switch (request.verb) {
+    case Verb::kPing:
+      return OkResponse("PONG");
+    case Verb::kCameras:
+      return HandleCameras();
+    case Verb::kClasses:
+      return HandleClasses(request.class_filter);
+    case Verb::kStats:
+      return HandleStats(request.camera);
+    case Verb::kQuery:
+      return HandleQuery(request);
+  }
+  return ErrResponse(common::ErrorCode::kInternal, "unhandled verb");
+}
+
+std::string QueryServer::HandleQuery(const Request& request) {
+  const common::ClassId cls = catalog_->IdForName(request.class_name);
+  if (cls == common::kInvalidClass) {
+    return ErrResponse(common::ErrorCode::kNotFound,
+                       "unknown class " + request.class_name);
+  }
+  auto result = fleet_->Query(cls, {request.camera}, request.range, request.kx);
+  if (!result.ok()) {
+    return ErrResponse(result.error().code, result.error().message);
+  }
+  metrics_->IncrementCounter("server.queries");
+  metrics_->Observe("server.query_gpu_millis", result->total_gpu_millis);
+
+  // Payload: summary line, then one "RUN first last" per frame run.
+  const core::QueryResult& qr = result->hits[0].result;
+  std::ostringstream out;
+  out << "FRAMES " << qr.frames_returned << " RUNS " << qr.frame_runs.size() << " CENTROIDS "
+      << qr.centroids_classified << " GPU_MS " << qr.gpu_millis;
+  for (const auto& [first, last] : qr.frame_runs) {
+    out << "\nRUN " << first << " " << last;
+  }
+  return OkResponse(out.str());
+}
+
+std::string QueryServer::HandleCameras() {
+  std::ostringstream out;
+  const std::vector<std::string> names = fleet_->CameraNames();
+  out << names.size();
+  for (const std::string& name : names) {
+    out << "\n" << name;
+  }
+  return OkResponse(out.str());
+}
+
+std::string QueryServer::HandleClasses(const std::string& filter) {
+  std::ostringstream out;
+  int matches = 0;
+  std::ostringstream list;
+  for (common::ClassId cls = 0; cls < video::kNumClasses; ++cls) {
+    const std::string& name = catalog_->Name(cls);
+    if (!filter.empty() && name.find(filter) == std::string::npos) {
+      continue;
+    }
+    ++matches;
+    if (matches <= 50) {  // Bounded payload; the filter narrows further.
+      list << "\n" << name;
+    }
+  }
+  out << matches << (matches > 50 ? " (first 50 shown)" : "") << list.str();
+  return OkResponse(out.str());
+}
+
+std::string QueryServer::HandleStats(const std::string& camera) {
+  const core::FocusStream* stream = fleet_->Find(camera);
+  if (stream == nullptr) {
+    return ErrResponse(common::ErrorCode::kNotFound, "unknown camera " + camera);
+  }
+  std::ostringstream out;
+  out << "MODEL " << stream->chosen_params().model.name << " K " << stream->chosen_params().k
+      << " T " << stream->chosen_params().cluster_threshold << " CLUSTERS "
+      << stream->ingest().num_clusters << " DETECTIONS " << stream->ingest().detections
+      << " INGEST_GPU_MS " << stream->total_ingest_gpu_millis();
+  return OkResponse(out.str());
+}
+
+}  // namespace focus::server

@@ -1,0 +1,45 @@
+// The Focus query frontend: serves protocol requests against a camera fleet.
+//
+// Transport-agnostic by design — HandleLine(request) -> response string — so the
+// same server backs a REPL, a pipe, or a socket loop. All state it serves (the
+// fleet's indexes and models) is read-only at query time, so concurrent HandleLine
+// calls from a worker pool are safe.
+#ifndef FOCUS_SRC_SERVER_QUERY_SERVER_H_
+#define FOCUS_SRC_SERVER_QUERY_SERVER_H_
+
+#include <string>
+
+#include "src/core/fleet.h"
+#include "src/runtime/metrics.h"
+#include "src/server/protocol.h"
+#include "src/video/class_catalog.h"
+
+namespace focus::server {
+
+class QueryServer {
+ public:
+  // |fleet| and |catalog| must outlive the server; |metrics| may be null (global).
+  QueryServer(const core::FocusFleet* fleet, const video::ClassCatalog* catalog,
+              runtime::MetricsRegistry* metrics = nullptr);
+
+  // Parses and executes one request line; always returns a framed response
+  // ("OK ..." or "ERR <code> ...") and never throws.
+  std::string HandleLine(const std::string& line);
+
+  // Structured entry point (for callers that already hold a Request).
+  std::string Handle(const Request& request);
+
+ private:
+  std::string HandleQuery(const Request& request);
+  std::string HandleCameras();
+  std::string HandleClasses(const std::string& filter);
+  std::string HandleStats(const std::string& camera);
+
+  const core::FocusFleet* fleet_;
+  const video::ClassCatalog* catalog_;
+  runtime::MetricsRegistry* metrics_;
+};
+
+}  // namespace focus::server
+
+#endif  // FOCUS_SRC_SERVER_QUERY_SERVER_H_

@@ -1,0 +1,51 @@
+// Versioned binary snapshot format for the top-K ingest index.
+//
+// The paper persists its index in MongoDB (§5); the KvStore path (TopKIndex::SaveTo)
+// covers that access pattern. This codec is the complementary bulk format: one
+// compact blob per stream that an operator can ship between machines or archive with
+// the recording. Layout:
+//
+//   [magic "FIDX"] [version u32] [header: stream name, k, model name, cluster count]
+//   [cluster records...] [crc32 of everything before it]
+//
+// Decoding validates magic, version, CRC and internal counts, and fails soft
+// (Result) on any mismatch — a truncated or corrupted snapshot must never crash a
+// query server at startup.
+#ifndef FOCUS_SRC_STORAGE_INDEX_CODEC_H_
+#define FOCUS_SRC_STORAGE_INDEX_CODEC_H_
+
+#include <string>
+
+#include "src/cnn/model_desc.h"
+#include "src/common/result.h"
+#include "src/index/topk_index.h"
+
+namespace focus::storage {
+
+// Metadata stored alongside the clusters — enough to stand up a query server from
+// the snapshot alone: the full ingest ModelDesc (for label-space mapping of queried
+// classes, §4.3 OTHER semantics) and the world seed (to reconstruct the catalog and
+// the GT-CNN).
+struct IndexSnapshotHeader {
+  std::string stream_name;
+  std::string model_name;
+  int32_t k = 0;
+  double cluster_threshold = 0.0;
+  uint64_t world_seed = 0;
+  double fps = 30.0;  // Native frame rate of the indexed recording.
+  cnn::ModelDesc model;
+};
+
+inline constexpr uint32_t kIndexCodecVersion = 1;
+
+// Serializes |index| with |header| into a self-validating blob.
+std::string EncodeIndexSnapshot(const IndexSnapshotHeader& header, const index::TopKIndex& index);
+
+// Parses a blob produced by EncodeIndexSnapshot. On success fills both outputs;
+// errors carry the reason (bad magic, version skew, CRC mismatch, truncation).
+common::Result<bool> DecodeIndexSnapshot(const std::string& blob, IndexSnapshotHeader* header,
+                                         index::TopKIndex* index);
+
+}  // namespace focus::storage
+
+#endif  // FOCUS_SRC_STORAGE_INDEX_CODEC_H_

@@ -1,0 +1,67 @@
+#include "src/storage/record_log.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "src/storage/serializer.h"
+#include "src/storage/snapshot_store.h"
+
+namespace focus::storage {
+
+common::Result<RecordLogWriter> RecordLogWriter::Open(const std::string& path) {
+  auto out = std::make_unique<std::ofstream>(path, std::ios::binary | std::ios::app);
+  if (!*out) {
+    return common::Error{common::ErrorCode::kIo,
+                         "record log open: " + path + ": " + std::strerror(errno)};
+  }
+  RecordLogWriter writer;
+  writer.path_ = path;
+  writer.out_ = std::move(out);
+  return writer;
+}
+
+common::Result<bool> RecordLogWriter::Append(const std::string& payload) {
+  Encoder frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  out_->write(frame.bytes().data(), static_cast<std::streamsize>(frame.size()));
+  out_->write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out_->flush();
+  if (!*out_) {
+    return common::Error{common::ErrorCode::kIo, "record log append: " + path_};
+  }
+  ++records_written_;
+  return true;
+}
+
+common::Result<RecordLogContents> ReadRecordLog(const std::string& path) {
+  RecordLogContents contents;
+  if (!FileExists(path)) {
+    return contents;
+  }
+  auto blob = ReadFile(path);
+  if (!blob.ok()) {
+    return blob.error();
+  }
+  Decoder dec(*blob);
+  while (!dec.Done()) {
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    if (!dec.GetU32(&length) || !dec.GetU32(&crc) || length > dec.remaining()) {
+      contents.truncated_tail = true;  // Torn frame header or short payload.
+      break;
+    }
+    std::string payload(blob->data() + dec.offset(), length);
+    if (Crc32(payload) != crc) {
+      contents.truncated_tail = true;  // Torn payload write.
+      break;
+    }
+    dec.Skip(length);  // Past the payload just validated.
+    contents.records.push_back(std::move(payload));
+  }
+  return contents;
+}
+
+}  // namespace focus::storage

@@ -1,0 +1,65 @@
+#include "src/storage/snapshot_store.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace focus::storage {
+
+namespace {
+
+common::Error IoError(const std::string& what, const std::string& path) {
+  return common::Error{common::ErrorCode::kIo, what + ": " + path + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+common::Result<bool> WriteFileAtomic(const std::string& path, const std::string& blob) {
+  // The temp file must live in the same directory so the rename is atomic (same
+  // filesystem).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return IoError("open for write", tmp);
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return IoError("write", tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return common::Error{common::ErrorCode::kIo, "rename " + tmp + " -> " + path + ": " +
+                                                     ec.message()};
+  }
+  return true;
+}
+
+common::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return IoError("open for read", path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return IoError("read", path);
+  }
+  return buffer.str();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+}  // namespace focus::storage

@@ -1,0 +1,27 @@
+// Atomic file snapshots.
+//
+// Writes a blob to a temporary file in the destination directory, fsyncs, then
+// renames into place, so readers either see the previous complete snapshot or the new
+// complete snapshot — never a torn write. This is the durability contract under the
+// index snapshots and vault manifests.
+#ifndef FOCUS_SRC_STORAGE_SNAPSHOT_STORE_H_
+#define FOCUS_SRC_STORAGE_SNAPSHOT_STORE_H_
+
+#include <string>
+
+#include "src/common/result.h"
+
+namespace focus::storage {
+
+// Atomically replaces |path| with |blob|.
+common::Result<bool> WriteFileAtomic(const std::string& path, const std::string& blob);
+
+// Reads the whole file at |path|.
+common::Result<std::string> ReadFile(const std::string& path);
+
+// True when |path| exists and is a regular file.
+bool FileExists(const std::string& path);
+
+}  // namespace focus::storage
+
+#endif  // FOCUS_SRC_STORAGE_SNAPSHOT_STORE_H_

@@ -1,0 +1,201 @@
+#include "src/storage/video_vault.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/storage/serializer.h"
+
+namespace focus::storage {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'V', 'L', 'T'};
+constexpr uint32_t kManifestVersion = 1;
+
+}  // namespace
+
+double StreamManifest::RetainedSeconds() const {
+  double total = 0.0;
+  for (const RecordingChunk& c : chunks) {
+    total += c.duration_sec();
+  }
+  return total;
+}
+
+int64_t StreamManifest::RetainedBytes() const {
+  int64_t total = 0;
+  for (const RecordingChunk& c : chunks) {
+    total += c.size_bytes;
+  }
+  return total;
+}
+
+std::optional<double> StreamManifest::OldestSec() const {
+  if (chunks.empty()) {
+    return std::nullopt;
+  }
+  return chunks.front().begin_sec;
+}
+
+common::Result<bool> VideoVault::AppendChunk(const std::string& stream, RecordingChunk chunk) {
+  if (chunk.end_sec <= chunk.begin_sec) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "chunk has non-positive duration"};
+  }
+  if (chunk.size_bytes < 0) {
+    return common::Error{common::ErrorCode::kInvalidArgument, "chunk has negative size"};
+  }
+  StreamManifest& manifest = streams_[stream];
+  if (manifest.stream_name.empty()) {
+    manifest.stream_name = stream;
+  }
+  if (!manifest.chunks.empty() && chunk.begin_sec < manifest.chunks.back().end_sec) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "chunk overlaps or precedes the previous chunk"};
+  }
+  manifest.chunks.push_back(std::move(chunk));
+  return true;
+}
+
+void VideoVault::SetIndexSnapshot(const std::string& stream, std::string uri) {
+  StreamManifest& manifest = streams_[stream];
+  if (manifest.stream_name.empty()) {
+    manifest.stream_name = stream;
+  }
+  manifest.index_snapshot_uri = std::move(uri);
+}
+
+const StreamManifest* VideoVault::Find(const std::string& stream) const {
+  auto it = streams_.find(stream);
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> VideoVault::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, manifest] : streams_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+int64_t VideoVault::TrimBefore(double horizon_sec) {
+  int64_t dropped = 0;
+  for (auto& [name, manifest] : streams_) {
+    auto& chunks = manifest.chunks;
+    size_t keep_from = 0;
+    while (keep_from < chunks.size() && chunks[keep_from].end_sec <= horizon_sec) {
+      ++keep_from;
+    }
+    dropped += static_cast<int64_t>(keep_from);
+    chunks.erase(chunks.begin(), chunks.begin() + static_cast<ptrdiff_t>(keep_from));
+  }
+  return dropped;
+}
+
+int64_t VideoVault::TrimToBudget(int64_t budget_bytes) {
+  int64_t dropped = 0;
+  while (TotalBytes() > budget_bytes) {
+    // Find the globally oldest chunk (stream name breaks ties deterministically
+    // because map iteration is ordered).
+    StreamManifest* victim = nullptr;
+    for (auto& [name, manifest] : streams_) {
+      if (manifest.chunks.empty()) {
+        continue;
+      }
+      if (victim == nullptr ||
+          manifest.chunks.front().begin_sec < victim->chunks.front().begin_sec) {
+        victim = &manifest;
+      }
+    }
+    if (victim == nullptr) {
+      break;  // Nothing left to drop; budget is unreachable.
+    }
+    victim->chunks.erase(victim->chunks.begin());
+    ++dropped;
+  }
+  return dropped;
+}
+
+int64_t VideoVault::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& [name, manifest] : streams_) {
+    total += manifest.RetainedBytes();
+  }
+  return total;
+}
+
+std::string VideoVault::EncodeManifest() const {
+  Encoder enc;
+  for (char c : kMagic) {
+    enc.PutU8(static_cast<uint8_t>(c));
+  }
+  enc.PutU32(kManifestVersion);
+  enc.PutVarint(streams_.size());
+  for (const auto& [name, manifest] : streams_) {
+    enc.PutString(name);
+    enc.PutString(manifest.index_snapshot_uri);
+    enc.PutVector(manifest.chunks, [](Encoder& e, const RecordingChunk& c) {
+      e.PutDouble(c.begin_sec);
+      e.PutDouble(c.end_sec);
+      e.PutSignedVarint(c.size_bytes);
+      e.PutString(c.uri);
+    });
+  }
+  enc.PutU32(Crc32(enc.bytes()));
+  return enc.TakeBytes();
+}
+
+common::Result<bool> VideoVault::DecodeManifest(const std::string& blob) {
+  auto fail = [](const std::string& what) {
+    return common::Error{common::ErrorCode::kIo, "vault manifest: " + what};
+  };
+  if (blob.size() < 12) {
+    return fail("truncated");
+  }
+  const std::string_view body(blob.data(), blob.size() - 4);
+  Decoder trailer(std::string_view(blob).substr(blob.size() - 4));
+  uint32_t stored_crc = 0;
+  if (!trailer.GetU32(&stored_crc) || Crc32(body) != stored_crc) {
+    return fail("CRC mismatch");
+  }
+  Decoder dec(body);
+  uint8_t magic[4] = {};
+  for (uint8_t& b : magic) {
+    dec.GetU8(&b);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return fail("bad magic");
+  }
+  uint32_t version = 0;
+  if (!dec.GetU32(&version) || version != kManifestVersion) {
+    return fail("unsupported version");
+  }
+  uint64_t count = 0;
+  if (!dec.GetVarint(&count)) {
+    return fail("truncated stream count");
+  }
+  std::map<std::string, StreamManifest> streams;
+  for (uint64_t i = 0; i < count; ++i) {
+    StreamManifest manifest;
+    if (!dec.GetString(&manifest.stream_name) || !dec.GetString(&manifest.index_snapshot_uri)) {
+      return fail("truncated stream header");
+    }
+    bool ok = dec.GetVector(&manifest.chunks, [](Decoder& d, RecordingChunk* c) {
+      return d.GetDouble(&c->begin_sec) && d.GetDouble(&c->end_sec) &&
+             d.GetSignedVarint(&c->size_bytes) && d.GetString(&c->uri);
+    });
+    if (!ok) {
+      return fail("malformed chunk list");
+    }
+    std::string name = manifest.stream_name;
+    streams.emplace(std::move(name), std::move(manifest));
+  }
+  if (!dec.Done()) {
+    return fail("trailing garbage");
+  }
+  streams_ = std::move(streams);
+  return true;
+}
+
+}  // namespace focus::storage

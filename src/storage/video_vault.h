@@ -1,0 +1,83 @@
+// Recording catalog: what the deployment has on disk, per stream and per segment.
+//
+// The paper's setting is "videos from these cameras are continuously recorded" and
+// queried after the fact; something must track which time ranges of which cameras are
+// still retained, how much storage they use, and which index snapshot covers them.
+// The vault is that catalog. Recordings are tracked as per-stream segment manifests
+// (one entry per fixed-length chunk, as camera DVRs store them); actual pixel payload
+// stays out of scope — the simulator regenerates frames — but sizes are accounted so
+// retention policies are meaningful.
+#ifndef FOCUS_SRC_STORAGE_VIDEO_VAULT_H_
+#define FOCUS_SRC_STORAGE_VIDEO_VAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/time_types.h"
+
+namespace focus::storage {
+
+// One stored chunk of recording.
+struct RecordingChunk {
+  double begin_sec = 0.0;
+  double end_sec = 0.0;
+  int64_t size_bytes = 0;
+  // Path (or object key) of the chunk payload; informational.
+  std::string uri;
+
+  double duration_sec() const { return end_sec - begin_sec; }
+};
+
+// Per-stream manifest: ordered, non-overlapping chunks plus the index snapshot that
+// covers them.
+struct StreamManifest {
+  std::string stream_name;
+  std::vector<RecordingChunk> chunks;  // Sorted by begin_sec.
+  std::string index_snapshot_uri;      // Empty when not yet indexed.
+
+  double RetainedSeconds() const;
+  int64_t RetainedBytes() const;
+  // Earliest retained instant; nullopt when empty.
+  std::optional<double> OldestSec() const;
+};
+
+class VideoVault {
+ public:
+  VideoVault() = default;
+
+  // Registers a chunk for |stream|. Chunks must be appended in time order and must
+  // not overlap the previous chunk; violations return kInvalidArgument.
+  common::Result<bool> AppendChunk(const std::string& stream, RecordingChunk chunk);
+
+  // Associates the stream's current index snapshot.
+  void SetIndexSnapshot(const std::string& stream, std::string uri);
+
+  const StreamManifest* Find(const std::string& stream) const;
+  std::vector<std::string> StreamNames() const;
+
+  // Drops chunks that end at or before |horizon_sec| for every stream; returns the
+  // number of chunks dropped. This is the retention sweep a DVR runs.
+  int64_t TrimBefore(double horizon_sec);
+
+  // Drops oldest chunks (across all streams) until total retained bytes fit
+  // |budget_bytes|; returns chunks dropped. Ties break toward the lexicographically
+  // smaller stream name so sweeps are deterministic.
+  int64_t TrimToBudget(int64_t budget_bytes);
+
+  int64_t TotalBytes() const;
+
+  // Manifest persistence (versioned, checksummed blob).
+  std::string EncodeManifest() const;
+  common::Result<bool> DecodeManifest(const std::string& blob);
+
+ private:
+  std::map<std::string, StreamManifest> streams_;
+};
+
+}  // namespace focus::storage
+
+#endif  // FOCUS_SRC_STORAGE_VIDEO_VAULT_H_

@@ -1,0 +1,124 @@
+#include "src/video/class_catalog.h"
+
+#include <array>
+#include <cstdio>
+
+#include "src/common/hashing.h"
+#include "src/common/rng.h"
+
+namespace focus::video {
+
+namespace {
+
+// A few well-known names at fixed ids so that examples and docs can query for "car"
+// or "person" without looking up synthetic identifiers. The rest of the 1000-class
+// space gets generated names.
+struct NamedClass {
+  const char* name;
+  SemanticGroup group;
+};
+
+constexpr std::array<NamedClass, 40> kNamedClasses = {{
+    {"car", SemanticGroup::kVehicle},
+    {"truck", SemanticGroup::kVehicle},
+    {"bus", SemanticGroup::kVehicle},
+    {"motorcycle", SemanticGroup::kVehicle},
+    {"bicycle", SemanticGroup::kVehicle},
+    {"van", SemanticGroup::kVehicle},
+    {"taxi", SemanticGroup::kVehicle},
+    {"trailer", SemanticGroup::kVehicle},
+    {"person", SemanticGroup::kPerson},
+    {"pedestrian", SemanticGroup::kPerson},
+    {"cyclist", SemanticGroup::kPerson},
+    {"police_officer", SemanticGroup::kPerson},
+    {"dog", SemanticGroup::kAnimal},
+    {"cat", SemanticGroup::kAnimal},
+    {"bird", SemanticGroup::kAnimal},
+    {"horse", SemanticGroup::kAnimal},
+    {"backpack", SemanticGroup::kBag},
+    {"handbag", SemanticGroup::kBag},
+    {"suitcase", SemanticGroup::kBag},
+    {"shopping_bag", SemanticGroup::kBag},
+    {"bench", SemanticGroup::kFurniture},
+    {"chair", SemanticGroup::kFurniture},
+    {"table", SemanticGroup::kFurniture},
+    {"desk", SemanticGroup::kFurniture},
+    {"monitor", SemanticGroup::kElectronics},
+    {"laptop", SemanticGroup::kElectronics},
+    {"phone", SemanticGroup::kElectronics},
+    {"camera", SemanticGroup::kElectronics},
+    {"jacket", SemanticGroup::kClothing},
+    {"hat", SemanticGroup::kClothing},
+    {"umbrella", SemanticGroup::kClothing},
+    {"coffee_cup", SemanticGroup::kFood},
+    {"pizza", SemanticGroup::kFood},
+    {"storefront", SemanticGroup::kBuilding},
+    {"kiosk", SemanticGroup::kBuilding},
+    {"tree", SemanticGroup::kPlant},
+    {"potted_plant", SemanticGroup::kPlant},
+    {"traffic_light", SemanticGroup::kSign},
+    {"stop_sign", SemanticGroup::kSign},
+    {"billboard", SemanticGroup::kSign},
+}};
+
+// Archetype composition: archetype = normalize(kGroupWeight * group_center +
+// kUniqueWeight * idiosyncratic_direction). With nearly-orthogonal random directions
+// this puts same-group classes ~1.05 apart and cross-group classes ~1.41 apart in L2,
+// so classes within a group are genuinely confusable (car vs. truck) while groups
+// stay separable — which is what defeats very cheap CNNs and keeps the top-K index
+// honest.
+constexpr double kGroupWeight = 0.65;
+constexpr double kUniqueWeight = 0.76;
+
+}  // namespace
+
+ClassCatalog::ClassCatalog(uint64_t world_seed, size_t feature_dim)
+    : world_seed_(world_seed), feature_dim_(feature_dim) {
+  names_.resize(kNumClasses);
+  groups_.resize(kNumClasses);
+  archetypes_.resize(kNumClasses);
+  by_group_.resize(kNumSemanticGroups);
+
+  // Group centers: well-separated unit directions.
+  std::vector<common::FeatureVec> centers;
+  centers.reserve(kNumSemanticGroups);
+  for (int g = 0; g < kNumSemanticGroups; ++g) {
+    common::Pcg32 rng(common::DeriveSeed(world_seed, common::HashCombine(0xC0FFEE, g)));
+    centers.push_back(common::RandomUnitVector(feature_dim, rng));
+  }
+
+  for (common::ClassId id = 0; id < kNumClasses; ++id) {
+    size_t idx = static_cast<size_t>(id);
+    if (idx < kNamedClasses.size()) {
+      names_[idx] = kNamedClasses[idx].name;
+      groups_[idx] = kNamedClasses[idx].group;
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "class_%04d", id);
+      names_[idx] = buf;
+      // Spread the anonymous classes round-robin with a hashed shuffle so group sizes
+      // are balanced but membership looks arbitrary.
+      uint64_t h = common::HashCombine(world_seed, 0xBEEF, static_cast<uint64_t>(id));
+      groups_[idx] = static_cast<SemanticGroup>(h % kNumSemanticGroups);
+    }
+
+    common::Pcg32 rng(common::DeriveSeed(world_seed, common::HashCombine(0xA11CE, id)));
+    common::FeatureVec v = common::RandomUnitVector(feature_dim, rng);
+    common::ScaleInPlace(v, kUniqueWeight);
+    common::AddScaledInPlace(v, centers[static_cast<int>(groups_[idx])], kGroupWeight);
+    common::NormalizeInPlace(v);
+    archetypes_[idx] = std::move(v);
+    by_group_[static_cast<int>(groups_[idx])].push_back(id);
+  }
+}
+
+common::ClassId ClassCatalog::IdForName(const std::string& name) const {
+  for (common::ClassId id = 0; id < kNumClasses; ++id) {
+    if (names_[static_cast<size_t>(id)] == name) {
+      return id;
+    }
+  }
+  return common::kInvalidClass;
+}
+
+}  // namespace focus::video

@@ -1,0 +1,82 @@
+// The 1000-class label space and its appearance geometry.
+//
+// Mirrors the ImageNet-1000 label space the paper's GT-CNN (ResNet152) classifies
+// over. Each class has a deterministic "archetype" feature vector; classes belong to
+// semantic groups (vehicles, people, animals, ...) whose archetypes are closer to one
+// another than to other groups, which is what makes some classes genuinely confusable
+// (car vs. truck) and drives the precision/recall trade-offs in clustering and top-K
+// indexing.
+#ifndef FOCUS_SRC_VIDEO_CLASS_CATALOG_H_
+#define FOCUS_SRC_VIDEO_CLASS_CATALOG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/feature_vector.h"
+#include "src/common/time_types.h"
+
+namespace focus::video {
+
+// Size of the generic label space (matches ResNet152's ImageNet head).
+inline constexpr common::ClassId kNumClasses = 1000;
+
+// Semantic groups used to lay out archetypes. Streams draw their class mix with a
+// domain-dependent bias over these groups (traffic cameras see vehicles and people,
+// news channels see people and studio objects, etc.).
+enum class SemanticGroup : int {
+  kVehicle = 0,
+  kPerson,
+  kAnimal,
+  kBag,
+  kFurniture,
+  kElectronics,
+  kClothing,
+  kFood,
+  kBuilding,
+  kPlant,
+  kSign,
+  kMisc,
+};
+inline constexpr int kNumSemanticGroups = 12;
+
+// Immutable catalog of the 1000 classes: names, groups, and archetype vectors. The
+// catalog is derived entirely from |world_seed|, so two catalogs with the same seed
+// are identical.
+class ClassCatalog {
+ public:
+  explicit ClassCatalog(uint64_t world_seed, size_t feature_dim = common::kDefaultFeatureDim);
+
+  size_t feature_dim() const { return feature_dim_; }
+  uint64_t world_seed() const { return world_seed_; }
+
+  // Human-readable class name ("car", "person", ..., "class_0417").
+  const std::string& Name(common::ClassId id) const { return names_[static_cast<size_t>(id)]; }
+
+  // Class id for a name; common::kInvalidClass if unknown.
+  common::ClassId IdForName(const std::string& name) const;
+
+  SemanticGroup Group(common::ClassId id) const { return groups_[static_cast<size_t>(id)]; }
+
+  // Unit-norm appearance archetype of the class.
+  const common::FeatureVec& Archetype(common::ClassId id) const {
+    return archetypes_[static_cast<size_t>(id)];
+  }
+
+  // All classes in a semantic group.
+  const std::vector<common::ClassId>& ClassesInGroup(SemanticGroup group) const {
+    return by_group_[static_cast<int>(group)];
+  }
+
+ private:
+  uint64_t world_seed_;
+  size_t feature_dim_;
+  std::vector<std::string> names_;
+  std::vector<SemanticGroup> groups_;
+  std::vector<common::FeatureVec> archetypes_;
+  std::vector<std::vector<common::ClassId>> by_group_;
+};
+
+}  // namespace focus::video
+
+#endif  // FOCUS_SRC_VIDEO_CLASS_CATALOG_H_

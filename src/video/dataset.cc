@@ -1,0 +1,76 @@
+#include "src/video/dataset.h"
+
+#include <algorithm>
+
+namespace focus::video {
+
+StreamStatistics ComputeStreamStatistics(const StreamRun& run) {
+  StreamStatistics stats;
+  stats.name = run.profile().name;
+  stats.type = run.profile().type;
+
+  std::map<int, uint64_t> per_class;
+  SweepStats sweep = run.ForEachFrame([&](common::FrameIndex, const std::vector<Detection>& dets) {
+    for (const Detection& d : dets) {
+      if (d.first_observation) {
+        ++per_class[d.true_class];
+      }
+    }
+  });
+
+  stats.total_frames = sweep.total_frames;
+  stats.frames_with_moving_objects = sweep.frames_with_moving_objects;
+  stats.total_detections = sweep.total_detections;
+  stats.num_moving_objects = sweep.num_objects;
+  stats.objects_per_class = std::move(per_class);
+  stats.distinct_classes = static_cast<int>(stats.objects_per_class.size());
+  stats.class_space_fraction =
+      static_cast<double>(stats.distinct_classes) / static_cast<double>(kNumClasses);
+  if (stats.distinct_classes > 0) {
+    stats.classes_covering_95pct =
+        common::FractionOfKeysCovering(stats.objects_per_class, kNumClasses, 0.95);
+    uint64_t top = 0;
+    uint64_t total = 0;
+    for (const auto& [cls, count] : stats.objects_per_class) {
+      top = std::max(top, count);
+      total += count;
+    }
+    stats.top_class_share = total > 0 ? static_cast<double>(top) / static_cast<double>(total) : 0.0;
+  }
+  return stats;
+}
+
+std::vector<common::CdfPoint> ClassFrequencyCdf(const StreamStatistics& stats) {
+  return common::TopHeavyCdf(stats.objects_per_class, kNumClasses);
+}
+
+double ClassJaccard(const StreamStatistics& a, const StreamStatistics& b) {
+  std::vector<int> ca;
+  ca.reserve(a.objects_per_class.size());
+  for (const auto& [cls, count] : a.objects_per_class) {
+    ca.push_back(cls);
+  }
+  std::vector<int> cb;
+  cb.reserve(b.objects_per_class.size());
+  for (const auto& [cls, count] : b.objects_per_class) {
+    cb.push_back(cls);
+  }
+  return common::JaccardIndex(ca, cb);
+}
+
+double MeanPairwiseJaccard(const std::vector<StreamStatistics>& stats) {
+  if (stats.size() < 2) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  int pairs = 0;
+  for (size_t i = 0; i < stats.size(); ++i) {
+    for (size_t j = i + 1; j < stats.size(); ++j) {
+      sum += ClassJaccard(stats[i], stats[j]);
+      ++pairs;
+    }
+  }
+  return sum / pairs;
+}
+
+}  // namespace focus::video

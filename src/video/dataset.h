@@ -1,0 +1,60 @@
+// Dataset-level statistics over one or more stream runs.
+//
+// Computes the characterization numbers from §2.2 and Table 1 of the paper: fraction
+// of frames with moving objects, number of distinct classes observed, the class
+// frequency CDF (Fig. 3), the share of classes needed to cover 95% of objects, and
+// cross-stream Jaccard indexes.
+#ifndef FOCUS_SRC_VIDEO_DATASET_H_
+#define FOCUS_SRC_VIDEO_DATASET_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::video {
+
+struct StreamStatistics {
+  std::string name;
+  StreamType type = StreamType::kTraffic;
+  int64_t total_frames = 0;
+  int64_t frames_with_moving_objects = 0;
+  int64_t total_detections = 0;
+  int64_t num_moving_objects = 0;
+  // Objects per true class (computed from generator ground truth; in the paper this
+  // comes from running the GT-CNN over everything).
+  std::map<int, uint64_t> objects_per_class;
+  int distinct_classes = 0;
+  // Fraction of the 1000-class space that ever occurs.
+  double class_space_fraction = 0.0;
+  // Smallest fraction of the full 1000-class space whose most frequent classes cover
+  // >=95% of objects (Fig. 3's x-axis; the paper reports 3%-10%).
+  double classes_covering_95pct = 0.0;
+  // Share of objects belonging to the single most frequent class.
+  double top_class_share = 0.0;
+
+  double FractionFramesWithObjects() const {
+    return total_frames > 0
+               ? static_cast<double>(frames_with_moving_objects) / static_cast<double>(total_frames)
+               : 0.0;
+  }
+};
+
+// Sweeps the run once and gathers its statistics. O(detections).
+StreamStatistics ComputeStreamStatistics(const StreamRun& run);
+
+// CDF of class frequency over the full 1000-class space (Fig. 3 x-axis construction).
+std::vector<common::CdfPoint> ClassFrequencyCdf(const StreamStatistics& stats);
+
+// Jaccard index of the observed class sets of two streams.
+double ClassJaccard(const StreamStatistics& a, const StreamStatistics& b);
+
+// Mean pairwise Jaccard over a set of streams (the paper reports 0.46).
+double MeanPairwiseJaccard(const std::vector<StreamStatistics>& stats);
+
+}  // namespace focus::video
+
+#endif  // FOCUS_SRC_VIDEO_DATASET_H_

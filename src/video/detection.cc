@@ -1,0 +1,22 @@
+#include "src/video/detection.h"
+
+#include <algorithm>
+
+namespace focus::video {
+
+float IoU(const BBox& a, const BBox& b) {
+  float ix = std::max(a.x, b.x);
+  float iy = std::max(a.y, b.y);
+  float ix2 = std::min(a.x + a.w, b.x + b.w);
+  float iy2 = std::min(a.y + a.h, b.y + b.h);
+  float iw = std::max(0.0f, ix2 - ix);
+  float ih = std::max(0.0f, iy2 - iy);
+  float inter = iw * ih;
+  float uni = a.Area() + b.Area() - inter;
+  if (uni <= 0.0f) {
+    return 0.0f;
+  }
+  return inter / uni;
+}
+
+}  // namespace focus::video

@@ -1,0 +1,55 @@
+// Moving-object detections: the unit of work flowing through ingest.
+//
+// A Detection is what background subtraction hands to the rest of the system: a
+// bounding box in a specific frame, plus simulator-internal ground truth (the object's
+// identity, true class, and current true appearance vector). Production code in
+// src/core must never read |true_class| or |appearance| directly — it goes through
+// src/cnn models, which add the model-dependent error; only cnn::GtOracle and the
+// evaluation harness may look at the truth.
+#ifndef FOCUS_SRC_VIDEO_DETECTION_H_
+#define FOCUS_SRC_VIDEO_DETECTION_H_
+
+#include <cstdint>
+
+#include "src/common/feature_vector.h"
+#include "src/common/time_types.h"
+
+namespace focus::video {
+
+struct BBox {
+  float x = 0.0f;  // Top-left corner, pixels.
+  float y = 0.0f;
+  float w = 0.0f;
+  float h = 0.0f;
+
+  float Area() const { return w * h; }
+  float CenterX() const { return x + w / 2.0f; }
+  float CenterY() const { return y + h / 2.0f; }
+};
+
+// Intersection-over-union of two boxes; 0 when disjoint or degenerate.
+float IoU(const BBox& a, const BBox& b);
+
+struct Detection {
+  common::FrameIndex frame = 0;
+  common::ObjectId object_id = 0;
+  BBox bbox;
+
+  // True if ingest-time pixel differencing found this crop nearly identical to the
+  // same object's crop in the previous sampled frame (§4.2 "Pixel Differencing of
+  // Objects"): the cheap CNN can be skipped and the previous result reused.
+  bool pixel_diff_suppressed = false;
+
+  // True on the first sampled frame of this object's track.
+  bool first_observation = false;
+
+  // --- Simulator ground truth (see file comment for access discipline). ---
+  common::ClassId true_class = common::kInvalidClass;
+  // The object's current true appearance (unit vector); evolves as a random walk
+  // across the track to model pose/scale change.
+  common::FeatureVec appearance;
+};
+
+}  // namespace focus::video
+
+#endif  // FOCUS_SRC_VIDEO_DETECTION_H_

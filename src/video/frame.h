@@ -1,0 +1,43 @@
+// Grayscale frame buffer shared by the renderer and the vision substrate.
+#ifndef FOCUS_SRC_VIDEO_FRAME_H_
+#define FOCUS_SRC_VIDEO_FRAME_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace focus::video {
+
+// Row-major 8-bit grayscale image.
+class FrameBuffer {
+ public:
+  FrameBuffer() = default;
+  FrameBuffer(int width, int height, uint8_t fill = 0)
+      : width_(width), height_(height), pixels_(static_cast<size_t>(width) * height, fill) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+
+  uint8_t At(int x, int y) const {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+  void Set(int x, int y, uint8_t v) {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    pixels_[static_cast<size_t>(y) * width_ + x] = v;
+  }
+
+  const std::vector<uint8_t>& pixels() const { return pixels_; }
+  std::vector<uint8_t>& pixels() { return pixels_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> pixels_;
+};
+
+}  // namespace focus::video
+
+#endif  // FOCUS_SRC_VIDEO_FRAME_H_

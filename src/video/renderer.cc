@@ -1,0 +1,115 @@
+#include "src/video/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/hashing.h"
+#include "src/common/rng.h"
+
+namespace focus::video {
+
+namespace {
+
+// Deterministic per-pixel noise in [-amplitude, +amplitude].
+int PixelNoise(uint64_t seed, common::FrameIndex frame, int x, int y, int amplitude) {
+  uint64_t h = common::HashCombine(seed, static_cast<uint64_t>(frame),
+                                   (static_cast<uint64_t>(x) << 32) | static_cast<uint32_t>(y));
+  return static_cast<int>(h % (2 * amplitude + 1)) - amplitude;
+}
+
+uint8_t Clamp8(int v) { return static_cast<uint8_t>(std::clamp(v, 0, 255)); }
+
+}  // namespace
+
+Renderer::Renderer(const StreamRun* run) : run_(run) {
+  const StreamProfile& p = run_->profile();
+  background_ = FrameBuffer(p.frame_width, p.frame_height);
+  common::Pcg32 rng(common::DeriveSeed(run_->seed(), common::HashString("background")));
+  // Smooth-ish background: low-frequency gradient plus mild texture.
+  double gx = rng.NextDouble(0.1, 0.6);
+  double gy = rng.NextDouble(0.1, 0.6);
+  for (int y = 0; y < p.frame_height; ++y) {
+    for (int x = 0; x < p.frame_width; ++x) {
+      double base = 90.0 + 50.0 * std::sin(gx * x / 10.0) + 40.0 * std::cos(gy * y / 10.0);
+      background_.Set(x, y, Clamp8(static_cast<int>(base + rng.NextInt(-8, 8))));
+    }
+  }
+}
+
+void Renderer::PaintObject(FrameBuffer& fb, const TrackedObject& obj, double t) const {
+  const StreamProfile& p = run_->profile();
+  double et = t - obj.enter_sec;
+  int size = std::max(2, static_cast<int>(obj.size_px));
+  int ox = static_cast<int>(
+      std::fmod(std::abs(obj.x0 + obj.vx * et), std::max(1.0f, p.frame_width - obj.size_px)));
+  int oy = static_cast<int>(
+      std::fmod(std::abs(obj.y0 + obj.vy * et), std::max(1.0f, p.frame_height - obj.size_px)));
+  // Object texture: deterministic per-object pattern that contrasts with background.
+  common::Pcg32 tex_rng(obj.appearance_seed);
+  int base_intensity = tex_rng.NextBool(0.5) ? tex_rng.NextInt(190, 250) : tex_rng.NextInt(5, 60);
+  for (int dy = 0; dy < size; ++dy) {
+    for (int dx = 0; dx < size; ++dx) {
+      int x = ox + dx;
+      int y = oy + dy;
+      if (x < 0 || x >= fb.width() || y < 0 || y >= fb.height()) {
+        continue;
+      }
+      uint64_t h = common::HashCombine(obj.appearance_seed, static_cast<uint64_t>(dx),
+                                       static_cast<uint64_t>(dy));
+      int texture = static_cast<int>(h % 40) - 20;
+      fb.Set(x, y, Clamp8(base_intensity + texture));
+    }
+  }
+}
+
+FrameBuffer Renderer::Render(common::FrameIndex frame) const {
+  const StreamProfile& p = run_->profile();
+  double t = static_cast<double>(frame) / run_->fps();
+  FrameBuffer fb = background_;
+  // Slow illumination drift (clouds, sun angle) plus per-pixel sensor noise.
+  int drift = static_cast<int>(6.0 * std::sin(2.0 * M_PI * t / 900.0));
+  uint64_t noise_seed = common::DeriveSeed(run_->seed(), common::HashString("sensor-noise"));
+  for (int y = 0; y < fb.height(); ++y) {
+    for (int x = 0; x < fb.width(); ++x) {
+      int v = fb.At(x, y) + drift + PixelNoise(noise_seed, frame, x, y, 3);
+      fb.Set(x, y, Clamp8(v));
+    }
+  }
+  // Paint every object alive at t, stationary ones included.
+  for (const TrackedObject& obj : run_->objects()) {
+    if (obj.enter_sec > t) {
+      break;  // Objects are sorted by arrival.
+    }
+    if (obj.exit_sec() <= t) {
+      continue;
+    }
+    PaintObject(fb, obj, t);
+  }
+  return fb;
+}
+
+std::vector<BBox> Renderer::MovingObjectBoxes(common::FrameIndex frame) const {
+  const StreamProfile& p = run_->profile();
+  double t = static_cast<double>(frame) / run_->fps();
+  std::vector<BBox> boxes;
+  for (const TrackedObject& obj : run_->objects()) {
+    if (obj.enter_sec > t) {
+      break;
+    }
+    if (obj.exit_sec() <= t || obj.stationary) {
+      continue;
+    }
+    double et = t - obj.enter_sec;
+    BBox b;
+    b.x = static_cast<float>(
+        std::fmod(std::abs(obj.x0 + obj.vx * et), std::max(1.0f, p.frame_width - obj.size_px)));
+    b.y = static_cast<float>(
+        std::fmod(std::abs(obj.y0 + obj.vy * et), std::max(1.0f, p.frame_height - obj.size_px)));
+    b.w = obj.size_px;
+    b.h = obj.size_px;
+    boxes.push_back(b);
+  }
+  return boxes;
+}
+
+}  // namespace focus::video

@@ -1,0 +1,39 @@
+// Renders synthetic frames (pixels) for a StreamRun.
+//
+// The renderer exists so that the vision substrate (background subtraction, blob
+// extraction, pixel differencing) runs on real pixel data, exactly as OpenCV does in
+// the paper's pipeline. Each frame is the stream's static background plus slow
+// illumination drift and sensor noise, with every active object drawn as a textured
+// patch at its trajectory position. Stationary objects are painted too (they are part
+// of the background as far as motion detection is concerned).
+#ifndef FOCUS_SRC_VIDEO_RENDERER_H_
+#define FOCUS_SRC_VIDEO_RENDERER_H_
+
+#include <vector>
+
+#include "src/video/frame.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::video {
+
+class Renderer {
+ public:
+  explicit Renderer(const StreamRun* run);
+
+  // Renders the frame at index |frame| (at the run's fps).
+  FrameBuffer Render(common::FrameIndex frame) const;
+
+  // The ground-truth boxes of moving objects in the frame, for validating the vision
+  // substrate against the generator.
+  std::vector<BBox> MovingObjectBoxes(common::FrameIndex frame) const;
+
+ private:
+  void PaintObject(FrameBuffer& fb, const TrackedObject& obj, double t) const;
+
+  const StreamRun* run_;
+  FrameBuffer background_;
+};
+
+}  // namespace focus::video
+
+#endif  // FOCUS_SRC_VIDEO_RENDERER_H_

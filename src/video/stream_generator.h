@@ -1,0 +1,116 @@
+// Synthetic video stream generator.
+//
+// Generates a deterministic "recording" of a camera described by a StreamProfile:
+// objects arrive as a time-inhomogeneous Poisson process (day/night modulated), carry
+// a class drawn from the stream's Zipfian class mix, dwell in frame for a log-normal
+// duration, move along simple trajectories, and evolve their appearance vector as a
+// random walk (pose/scale change). The generator exposes the *moving-object
+// detections* per frame — exactly what background subtraction extracts from pixels —
+// plus enough ground truth for the evaluation harness.
+//
+// Prefix stability: a run of duration D and a run of duration D' > D over the same
+// (profile, seed) produce identical detections for the first D seconds. The parameter
+// tuner relies on this to tune on a sample window of the stream.
+#ifndef FOCUS_SRC_VIDEO_STREAM_GENERATOR_H_
+#define FOCUS_SRC_VIDEO_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time_types.h"
+#include "src/common/zipf.h"
+#include "src/video/class_catalog.h"
+#include "src/video/detection.h"
+#include "src/video/stream_profile.h"
+
+namespace focus::video {
+
+// One object's lifetime in the recording.
+struct TrackedObject {
+  common::ObjectId id = 0;
+  common::ClassId true_class = common::kInvalidClass;
+  double enter_sec = 0.0;
+  double dwell_sec = 0.0;
+  bool stationary = false;
+  // Visually ambiguous instance: its appearance sits midway between its own class and
+  // a confusable same-group class (|confused_with|). These are the objects that make
+  // large clustering thresholds lose precision (§4.2) and make the GT-CNN flicker.
+  bool ambiguous = false;
+  common::ClassId confused_with = common::kInvalidClass;
+  // Entry position and velocity (pixels/sec) of the bounding-box top-left corner.
+  float x0 = 0.0f, y0 = 0.0f;
+  float vx = 0.0f, vy = 0.0f;
+  float size_px = 14.0f;
+  uint64_t appearance_seed = 0;
+
+  double exit_sec() const { return enter_sec + dwell_sec; }
+};
+
+// Per-frame sweep statistics, accumulated over a full run.
+struct SweepStats {
+  int64_t total_frames = 0;
+  int64_t frames_with_moving_objects = 0;
+  int64_t total_detections = 0;
+  int64_t suppressed_detections = 0;  // Pixel-diff suppressed.
+  int64_t num_objects = 0;            // Distinct moving tracks observed.
+};
+
+class StreamRun {
+ public:
+  // |catalog| must outlive the run. |fps| must divide into the native fps sensibly
+  // (30, 10, 5, 1 are the rates the paper evaluates). |seed| determines all content.
+  StreamRun(const ClassCatalog* catalog, StreamProfile profile, double duration_sec, double fps,
+            uint64_t seed);
+
+  // Invokes |callback| once per sampled frame, in order, with the moving-object
+  // detections of that frame. Returns aggregate sweep statistics.
+  using FrameCallback =
+      std::function<void(common::FrameIndex frame, const std::vector<Detection>& detections)>;
+  SweepStats ForEachFrame(const FrameCallback& callback) const;
+
+  // The stream's class list (the only classes that ever occur), sorted ascending.
+  const std::vector<common::ClassId>& present_classes() const { return present_classes_; }
+
+  // The same classes in decreasing popularity order (rank 0 = most frequent). Exposed
+  // for tests and dataset statistics; system code must estimate popularity itself.
+  const std::vector<common::ClassId>& classes_by_popularity() const { return ordered_classes_; }
+
+  // All generated object tracks, ordered by arrival time. Moving and stationary.
+  const std::vector<TrackedObject>& objects() const { return objects_; }
+
+  const StreamProfile& profile() const { return profile_; }
+  const ClassCatalog& catalog() const { return *catalog_; }
+  double duration_sec() const { return duration_sec_; }
+  double fps() const { return fps_; }
+  uint64_t seed() const { return seed_; }
+  common::FrameIndex num_frames() const {
+    return static_cast<common::FrameIndex>(duration_sec_ * fps_);
+  }
+
+  // Arrival-rate multiplier at a given time of day (diurnal cycle). Exposed for tests.
+  double ActivityAt(double t_sec) const;
+
+  // The true appearance vector of an object at its first observation (archetype +
+  // instance offset, before any walk). Exposed for tests and the vision substrate.
+  common::FeatureVec InitialAppearance(const TrackedObject& object) const;
+
+ private:
+  void GenerateObjects();
+
+  const ClassCatalog* catalog_;
+  StreamProfile profile_;
+  double duration_sec_;
+  double fps_;
+  uint64_t seed_;
+
+  std::vector<common::ClassId> present_classes_;
+  std::vector<common::ClassId> ordered_classes_;
+  common::ZipfDistribution class_rank_dist_;
+  std::vector<TrackedObject> objects_;
+};
+
+}  // namespace focus::video
+
+#endif  // FOCUS_SRC_VIDEO_STREAM_GENERATOR_H_

@@ -1,0 +1,237 @@
+#include "src/video/stream_profile.h"
+
+namespace focus::video {
+
+const char* StreamTypeName(StreamType type) {
+  switch (type) {
+    case StreamType::kTraffic:
+      return "Traffic";
+    case StreamType::kSurveillance:
+      return "Surveillance";
+    case StreamType::kNews:
+      return "News";
+  }
+  return "?";
+}
+
+namespace {
+
+StreamProfile Base(StreamType type) {
+  StreamProfile p;
+  p.type = type;
+  switch (type) {
+    case StreamType::kTraffic:
+      p.num_classes_present = 280;
+      p.zipf_exponent = 2.0;
+      p.peak_arrival_rate_per_sec = 0.4;
+      p.night_activity_fraction = 0.15;
+      p.mean_dwell_sec = 10.0;
+      p.dwell_sigma = 0.6;
+      p.stationary_fraction = 0.3;
+      p.appearance_walk_step = 0.20;
+      p.pixel_diff_suppression = 0.35;
+      p.appearance_variability = 0.5;
+      break;
+    case StreamType::kSurveillance:
+      p.num_classes_present = 260;
+      p.zipf_exponent = 2.2;
+      p.peak_arrival_rate_per_sec = 0.25;
+      p.night_activity_fraction = 0.1;
+      p.mean_dwell_sec = 20.0;
+      p.dwell_sigma = 0.7;
+      p.stationary_fraction = 0.35;
+      p.appearance_walk_step = 0.18;
+      p.pixel_diff_suppression = 0.4;
+      p.appearance_variability = 0.55;
+      break;
+    case StreamType::kNews:
+      p.num_classes_present = 600;
+      p.zipf_exponent = 1.7;
+      p.peak_arrival_rate_per_sec = 0.5;
+      p.night_activity_fraction = 0.9;
+      p.mean_dwell_sec = 15.0;
+      p.dwell_sigma = 0.8;
+      p.stationary_fraction = 0.2;
+      p.appearance_walk_step = 0.24;
+      p.pixel_diff_suppression = 0.3;
+      p.appearance_variability = 0.7;
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<StreamProfile> Table1Profiles() {
+  std::vector<StreamProfile> profiles;
+  profiles.reserve(13);
+
+  {
+    StreamProfile p = Base(StreamType::kTraffic);
+    p.name = "auburn_c";
+    p.location = "AL, USA";
+    p.description = "A commercial area intersection in the City of Auburn";
+    p.num_classes_present = 300;
+    p.zipf_exponent = 1.85;
+    p.peak_arrival_rate_per_sec = 0.55;  // Busy commercial intersection.
+    p.appearance_variability = 0.48;
+    profiles.push_back(p);
+  }
+  {
+    StreamProfile p = Base(StreamType::kTraffic);
+    p.name = "auburn_r";
+    p.location = "AL, USA";
+    p.description = "A residential area intersection in the City of Auburn";
+    p.num_classes_present = 230;
+    p.zipf_exponent = 2.5;  // Quiet residential: one class (cars) dominates strongly.
+    p.peak_arrival_rate_per_sec = 0.12;
+    p.appearance_variability = 0.52;
+    profiles.push_back(p);
+  }
+  {
+    StreamProfile p = Base(StreamType::kTraffic);
+    p.name = "city_a_d";
+    p.location = "USA";
+    p.description = "A downtown intersection in City A";
+    p.num_classes_present = 320;
+    p.zipf_exponent = 1.8;
+    p.peak_arrival_rate_per_sec = 0.5;
+    p.appearance_variability = 0.56;
+    profiles.push_back(p);
+  }
+  {
+    StreamProfile p = Base(StreamType::kTraffic);
+    p.name = "city_a_r";
+    p.location = "USA";
+    p.description = "A residential area intersection in City A";
+    p.num_classes_present = 250;
+    p.zipf_exponent = 2.1;
+    p.peak_arrival_rate_per_sec = 0.2;
+    p.appearance_variability = 0.56;
+    profiles.push_back(p);
+  }
+  {
+    StreamProfile p = Base(StreamType::kTraffic);
+    p.name = "bend";
+    p.location = "OR, USA";
+    p.description = "A road-side camera in the City of Bend";
+    p.num_classes_present = 220;
+    p.zipf_exponent = 2.7;  // Road-side: almost exclusively vehicles.
+    p.peak_arrival_rate_per_sec = 0.12;
+    p.appearance_variability = 0.56;
+    profiles.push_back(p);
+  }
+  {
+    StreamProfile p = Base(StreamType::kTraffic);
+    p.name = "jacksonh";
+    p.location = "WY, USA";
+    p.description = "A busy intersection (Town Square) in Jackson Hole";
+    p.num_classes_present = 330;
+    p.zipf_exponent = 1.75;
+    p.peak_arrival_rate_per_sec = 0.6;
+    p.mean_dwell_sec = 14.0;  // Pedestrians linger in the square.
+    p.appearance_variability = 0.6;
+    profiles.push_back(p);
+  }
+
+  {
+    StreamProfile p = Base(StreamType::kSurveillance);
+    p.name = "church_st";
+    p.location = "VT, USA";
+    p.description = "A video stream rotating among cameras in a shopping mall (Church Street Marketplace)";
+    p.num_classes_present = 280;
+    p.zipf_exponent = 1.95;
+    p.peak_arrival_rate_per_sec = 0.25;
+    p.appearance_walk_step = 0.28;  // Camera rotation resets views frequently.
+    p.mean_dwell_sec = 9.0;         // Rotation truncates dwell.
+    p.appearance_variability = 0.42;  // Each fixed view is extremely constrained.
+    profiles.push_back(p);
+  }
+  {
+    StreamProfile p = Base(StreamType::kSurveillance);
+    p.name = "lausanne";
+    p.location = "Switzerland";
+    p.description = "A pedestrian plaza (Place de la Palud) in Lausanne";
+    p.num_classes_present = 240;
+    p.zipf_exponent = 2.6;  // Pedestrians dominate overwhelmingly.
+    p.peak_arrival_rate_per_sec = 0.15;
+    p.mean_dwell_sec = 30.0;  // People linger in the plaza.
+    p.appearance_variability = 0.45;
+    profiles.push_back(p);
+  }
+  {
+    StreamProfile p = Base(StreamType::kSurveillance);
+    p.name = "oxford";
+    p.location = "England";
+    p.description = "A bookshop street in the University of Oxford";
+    p.num_classes_present = 230;
+    p.zipf_exponent = 2.9;  // The least diverse stream: nearly all pedestrians.
+    p.peak_arrival_rate_per_sec = 0.1;
+    p.mean_dwell_sec = 35.0;
+    p.appearance_walk_step = 0.13;   // Slow walkers, stable viewpoint.
+    p.appearance_variability = 0.58;
+    profiles.push_back(p);
+  }
+  {
+    StreamProfile p = Base(StreamType::kSurveillance);
+    p.name = "sittard";
+    p.location = "Netherlands";
+    p.description = "A market square in Sittard";
+    p.num_classes_present = 300;
+    p.zipf_exponent = 2.05;
+    p.peak_arrival_rate_per_sec = 0.3;
+    p.mean_dwell_sec = 22.0;
+    p.appearance_variability = 0.52;
+    profiles.push_back(p);
+  }
+
+  {
+    StreamProfile p = Base(StreamType::kNews);
+    p.name = "cnn";
+    p.location = "USA";
+    p.description = "News channel";
+    p.num_classes_present = 620;
+    p.zipf_exponent = 1.7;
+    p.appearance_variability = 0.62;
+    profiles.push_back(p);
+  }
+  {
+    StreamProfile p = Base(StreamType::kNews);
+    p.name = "foxnews";
+    p.location = "USA";
+    p.description = "News channel";
+    p.num_classes_present = 560;
+    p.zipf_exponent = 1.75;
+    p.appearance_variability = 0.72;  // Heavier graphics overlays: hardest to specialize.
+    profiles.push_back(p);
+  }
+  {
+    StreamProfile p = Base(StreamType::kNews);
+    p.name = "msnbc";
+    p.location = "USA";
+    p.description = "News channel";
+    p.num_classes_present = 690;
+    p.zipf_exponent = 1.65;
+    p.appearance_variability = 0.6;
+    profiles.push_back(p);
+  }
+
+  return profiles;
+}
+
+bool FindProfile(const std::string& name, StreamProfile* out) {
+  for (const StreamProfile& p : Table1Profiles()) {
+    if (p.name == name) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> RepresentativeNineStreams() {
+  return {"auburn_c", "city_a_r", "jacksonh", "church_st", "lausanne",
+          "sittard",  "cnn",      "foxnews",  "msnbc"};
+}
+
+}  // namespace focus::video

@@ -1,0 +1,88 @@
+// Per-stream statistical profiles for the 13 video streams of Table 1.
+//
+// Each profile captures the stream-level statistics the paper's techniques exploit:
+// how many of the 1000 classes ever appear (§2.2.2), how skewed their frequencies are
+// (Fig. 3), how long objects dwell in frame (§2.2.3), how busy the scene is, and how
+// much activity varies between day and night. The actual content of a stream is then
+// generated deterministically from the profile plus a seed.
+#ifndef FOCUS_SRC_VIDEO_STREAM_PROFILE_H_
+#define FOCUS_SRC_VIDEO_STREAM_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/video/class_catalog.h"
+
+namespace focus::video {
+
+enum class StreamType { kTraffic, kSurveillance, kNews };
+
+const char* StreamTypeName(StreamType type);
+
+struct StreamProfile {
+  std::string name;
+  StreamType type = StreamType::kTraffic;
+  std::string location;
+  std::string description;
+
+  // --- Class mix (§2.2.2) ---
+  // Number of the 1000 classes that ever occur in this stream (220-690 in the paper's
+  // streams).
+  int num_classes_present = 300;
+  // Zipf exponent over the stream's class ranks; higher means a few classes dominate
+  // more strongly (Fig. 3: 3-10% of classes cover >=95% of objects).
+  double zipf_exponent = 1.6;
+  // Weight of the domain-shared class pool when composing this stream's class list.
+  // Controls the cross-stream Jaccard index (~0.46 in the paper).
+  double domain_class_affinity = 0.45;
+
+  // --- Scene dynamics ---
+  // Mean moving-object arrivals per second at peak activity.
+  double peak_arrival_rate_per_sec = 0.5;
+  // Day/night activity ratio: arrival rate at the quietest hour as a fraction of peak.
+  // News channels run flat (1.0); streets go quiet at night (0.05-0.3).
+  double night_activity_fraction = 0.2;
+  // Log-normal dwell time (seconds an object stays in frame).
+  double mean_dwell_sec = 12.0;
+  double dwell_sigma = 0.6;  // Sigma of the underlying normal.
+  // Fraction of objects that are stationary (parked cars, anchored props): they are
+  // present in pixels but produce no motion detections (§2.2.1).
+  double stationary_fraction = 0.25;
+  // Appearance drift per frame (random-walk step of the object's feature vector, as a
+  // fraction of unit norm): pose/scale changes as objects cross the scene. News
+  // streams have larger drift (cuts, graphics); fixed traffic cameras less.
+  double appearance_walk_step = 0.05;
+  // Per-frame observation jitter (sensor noise, motion blur).
+  double frame_jitter = 0.05;
+  // Probability that the pixel crop of an object in consecutive frames is close enough
+  // for ingest-time pixel differencing to suppress re-classification (§4.2).
+  double pixel_diff_suppression = 0.35;
+  // How visually constrained this stream's objects are relative to a generic dataset
+  // (§4.3: traffic-camera cars share angle/distortion/size). Lower values make
+  // specialization more effective; 1.0 would mean ImageNet-like variability.
+  double appearance_variability = 0.55;
+
+  // --- Rendering (used by the vision substrate) ---
+  int frame_width = 160;
+  int frame_height = 120;
+  double mean_object_px = 14.0;  // Mean object bounding-box side, pixels.
+
+  // Native capture rate.
+  double native_fps = 30.0;
+};
+
+// The 13 streams of Table 1, in paper order. Deterministic content follows from
+// (profile, world seed, stream seed).
+std::vector<StreamProfile> Table1Profiles();
+
+// Look up a Table 1 profile by stream name (e.g., "auburn_c"); returns true and fills
+// |out| when found.
+bool FindProfile(const std::string& name, StreamProfile* out);
+
+// The representative 9-stream subset the paper uses in Figures 8 and 9.
+std::vector<std::string> RepresentativeNineStreams();
+
+}  // namespace focus::video
+
+#endif  // FOCUS_SRC_VIDEO_STREAM_PROFILE_H_

@@ -1,0 +1,46 @@
+#include "src/vision/background_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace focus::vision {
+
+BackgroundModel::BackgroundModel(int width, int height, BackgroundModelOptions options)
+    : options_(options), width_(width), height_(height) {
+  size_t n = static_cast<size_t>(width) * height;
+  mean_.assign(n, 0.0);
+  variance_.assign(n, options_.min_variance);
+}
+
+video::FrameBuffer BackgroundModel::Apply(const video::FrameBuffer& frame) {
+  assert(frame.width() == width_ && frame.height() == height_);
+  video::FrameBuffer mask(width_, height_, 0);
+  const bool warming = frames_seen_ < options_.warmup_frames;
+  const double alpha = warming ? 0.5 : options_.learning_rate;
+  const double thresh_sq = options_.threshold_sigma * options_.threshold_sigma;
+  const std::vector<uint8_t>& px = frame.pixels();
+  std::vector<uint8_t>& out = mask.pixels();
+  for (size_t i = 0; i < px.size(); ++i) {
+    double v = static_cast<double>(px[i]);
+    double d = v - mean_[i];
+    bool foreground = !warming && (d * d > thresh_sq * variance_[i]);
+    if (foreground) {
+      out[i] = 255;
+      // Foreground pixels update the model slowly so a stopped object is eventually
+      // absorbed but a passing one is not.
+      double slow = alpha * 0.1;
+      mean_[i] += slow * d;
+      variance_[i] += slow * (d * d - variance_[i]);
+    } else {
+      mean_[i] += alpha * d;
+      variance_[i] += alpha * (d * d - variance_[i]);
+    }
+    if (variance_[i] < options_.min_variance) {
+      variance_[i] = options_.min_variance;
+    }
+  }
+  ++frames_seen_;
+  return mask;
+}
+
+}  // namespace focus::vision

@@ -1,0 +1,93 @@
+#include "src/vision/blob_extractor.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace focus::vision {
+
+namespace {
+
+video::FrameBuffer Dilate(const video::FrameBuffer& mask, int radius) {
+  if (radius <= 0) {
+    return mask;
+  }
+  video::FrameBuffer out(mask.width(), mask.height(), 0);
+  for (int y = 0; y < mask.height(); ++y) {
+    for (int x = 0; x < mask.width(); ++x) {
+      if (mask.At(x, y) == 0) {
+        continue;
+      }
+      int x0 = std::max(0, x - radius);
+      int x1 = std::min(mask.width() - 1, x + radius);
+      int y0 = std::max(0, y - radius);
+      int y1 = std::min(mask.height() - 1, y + radius);
+      for (int yy = y0; yy <= y1; ++yy) {
+        for (int xx = x0; xx <= x1; ++xx) {
+          out.Set(xx, yy, 255);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<video::BBox> BlobExtractor::Extract(const video::FrameBuffer& mask) const {
+  video::FrameBuffer work = Dilate(mask, options_.dilate_radius);
+  const int w = work.width();
+  const int h = work.height();
+  std::vector<int32_t> label(static_cast<size_t>(w) * h, 0);
+  std::vector<video::BBox> blobs;
+  int32_t next_label = 1;
+  std::queue<std::pair<int, int>> frontier;
+
+  for (int sy = 0; sy < h; ++sy) {
+    for (int sx = 0; sx < w; ++sx) {
+      size_t sidx = static_cast<size_t>(sy) * w + sx;
+      if (work.At(sx, sy) == 0 || label[sidx] != 0) {
+        continue;
+      }
+      // BFS flood fill of one 8-connected component.
+      int32_t id = next_label++;
+      label[sidx] = id;
+      frontier.emplace(sx, sy);
+      int min_x = sx, max_x = sx, min_y = sy, max_y = sy;
+      int area = 0;
+      while (!frontier.empty()) {
+        auto [x, y] = frontier.front();
+        frontier.pop();
+        ++area;
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+        min_y = std::min(min_y, y);
+        max_y = std::max(max_y, y);
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            int nx = x + dx;
+            int ny = y + dy;
+            if (nx < 0 || nx >= w || ny < 0 || ny >= h) {
+              continue;
+            }
+            size_t nidx = static_cast<size_t>(ny) * w + nx;
+            if (work.At(nx, ny) != 0 && label[nidx] == 0) {
+              label[nidx] = id;
+              frontier.emplace(nx, ny);
+            }
+          }
+        }
+      }
+      if (area >= options_.min_area) {
+        video::BBox b;
+        b.x = static_cast<float>(min_x);
+        b.y = static_cast<float>(min_y);
+        b.w = static_cast<float>(max_x - min_x + 1);
+        b.h = static_cast<float>(max_y - min_y + 1);
+        blobs.push_back(b);
+      }
+    }
+  }
+  return blobs;
+}
+
+}  // namespace focus::vision

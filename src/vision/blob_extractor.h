@@ -1,0 +1,37 @@
+// Connected-component blob extraction over a foreground mask.
+//
+// Takes the binary mask produced by background subtraction and returns bounding boxes
+// of 8-connected foreground components, filtered by a minimum area so single-pixel
+// noise never becomes an "object".
+#ifndef FOCUS_SRC_VISION_BLOB_EXTRACTOR_H_
+#define FOCUS_SRC_VISION_BLOB_EXTRACTOR_H_
+
+#include <vector>
+
+#include "src/video/detection.h"
+#include "src/video/frame.h"
+
+namespace focus::vision {
+
+struct BlobExtractorOptions {
+  // Minimum component area in pixels for a blob to count as an object.
+  int min_area = 9;
+  // Morphological dilation radius applied to the mask before labelling, to bridge
+  // small gaps inside one object.
+  int dilate_radius = 1;
+};
+
+class BlobExtractor {
+ public:
+  explicit BlobExtractor(BlobExtractorOptions options = {}) : options_(options) {}
+
+  // Returns the bounding boxes of qualifying blobs in |mask| (255 = foreground).
+  std::vector<video::BBox> Extract(const video::FrameBuffer& mask) const;
+
+ private:
+  BlobExtractorOptions options_;
+};
+
+}  // namespace focus::vision
+
+#endif  // FOCUS_SRC_VISION_BLOB_EXTRACTOR_H_

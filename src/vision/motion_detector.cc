@@ -1,0 +1,30 @@
+#include "src/vision/motion_detector.h"
+
+namespace focus::vision {
+
+MotionDetector::MotionDetector(int width, int height, MotionDetectorOptions options)
+    : background_(width, height, options.background), blobs_(options.blobs) {}
+
+std::vector<video::BBox> MotionDetector::Detect(const video::FrameBuffer& frame) {
+  video::FrameBuffer mask = background_.Apply(frame);
+  return blobs_.Extract(mask);
+}
+
+double DetectionRecall(const std::vector<video::BBox>& detected,
+                       const std::vector<video::BBox>& truth, float iou_threshold) {
+  if (truth.empty()) {
+    return 1.0;
+  }
+  int matched = 0;
+  for (const video::BBox& t : truth) {
+    for (const video::BBox& d : detected) {
+      if (video::IoU(t, d) >= iou_threshold) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(matched) / static_cast<double>(truth.size());
+}
+
+}  // namespace focus::vision

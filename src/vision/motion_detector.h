@@ -1,0 +1,44 @@
+// End-to-end motion detection: frames in, moving-object boxes out.
+//
+// Combines the background model and the blob extractor into the moving-object
+// detector both Focus and the strengthened baselines use as their first stage
+// (§6.1 "Baselines": both baselines skip frames with no moving objects).
+#ifndef FOCUS_SRC_VISION_MOTION_DETECTOR_H_
+#define FOCUS_SRC_VISION_MOTION_DETECTOR_H_
+
+#include <vector>
+
+#include "src/vision/background_model.h"
+#include "src/vision/blob_extractor.h"
+#include "src/video/detection.h"
+#include "src/video/frame.h"
+
+namespace focus::vision {
+
+struct MotionDetectorOptions {
+  BackgroundModelOptions background;
+  BlobExtractorOptions blobs;
+};
+
+class MotionDetector {
+ public:
+  MotionDetector(int width, int height, MotionDetectorOptions options = {});
+
+  // Processes the next frame of the stream (frames must be fed in order) and returns
+  // the bounding boxes of moving objects.
+  std::vector<video::BBox> Detect(const video::FrameBuffer& frame);
+
+ private:
+  BackgroundModel background_;
+  BlobExtractor blobs_;
+};
+
+// Match quality between detected boxes and ground-truth boxes: the fraction of truth
+// boxes that have a detected box with IoU above |iou_threshold|. Used by tests to
+// validate the vision substrate against the generator.
+double DetectionRecall(const std::vector<video::BBox>& detected,
+                       const std::vector<video::BBox>& truth, float iou_threshold);
+
+}  // namespace focus::vision
+
+#endif  // FOCUS_SRC_VISION_MOTION_DETECTOR_H_

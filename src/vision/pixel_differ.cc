@@ -1,0 +1,29 @@
+#include "src/vision/pixel_differ.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace focus::vision {
+
+double PixelDiffer::CropDifference(const video::FrameBuffer& prev, const video::FrameBuffer& cur,
+                                   const video::BBox& box) const {
+  int x0 = std::max(0, static_cast<int>(box.x));
+  int y0 = std::max(0, static_cast<int>(box.y));
+  int x1 = std::min(cur.width(), static_cast<int>(box.x + box.w));
+  int y1 = std::min(cur.height(), static_cast<int>(box.y + box.h));
+  if (x1 <= x0 || y1 <= y0 || prev.width() != cur.width() || prev.height() != cur.height()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double sum = 0.0;
+  int n = 0;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      sum += std::abs(static_cast<int>(cur.At(x, y)) - static_cast<int>(prev.At(x, y)));
+      ++n;
+    }
+  }
+  return sum / n;
+}
+
+}  // namespace focus::vision

@@ -1,0 +1,44 @@
+// Pixel differencing of object crops between adjacent frames (§4.2).
+//
+// If the crop of an object in frame t is nearly identical to its crop in frame t-1,
+// Focus skips the cheap CNN for it at ingest and reuses the previous result. This
+// class implements the crop comparison over real pixel buffers; the large-scale
+// simulation path models the same effect statistically (StreamProfile::
+// pixel_diff_suppression), and the vision tests check the two agree in rate.
+#ifndef FOCUS_SRC_VISION_PIXEL_DIFFER_H_
+#define FOCUS_SRC_VISION_PIXEL_DIFFER_H_
+
+#include <vector>
+
+#include "src/video/detection.h"
+#include "src/video/frame.h"
+
+namespace focus::vision {
+
+struct PixelDifferOptions {
+  // Mean absolute intensity difference (0-255) below which two crops are "the same".
+  double mean_abs_threshold = 6.0;
+};
+
+class PixelDiffer {
+ public:
+  explicit PixelDiffer(PixelDifferOptions options = {}) : options_(options) {}
+
+  // Mean absolute difference of the |box| region across two frames. The box is
+  // clamped to frame bounds; returns +inf for degenerate boxes.
+  double CropDifference(const video::FrameBuffer& prev, const video::FrameBuffer& cur,
+                        const video::BBox& box) const;
+
+  // True when the crops are similar enough to suppress re-classification.
+  bool ShouldSuppress(const video::FrameBuffer& prev, const video::FrameBuffer& cur,
+                      const video::BBox& box) const {
+    return CropDifference(prev, cur, box) <= options_.mean_abs_threshold;
+  }
+
+ private:
+  PixelDifferOptions options_;
+};
+
+}  // namespace focus::vision
+
+#endif  // FOCUS_SRC_VISION_PIXEL_DIFFER_H_

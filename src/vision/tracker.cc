@@ -1,0 +1,121 @@
+#include "src/vision/tracker.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace focus::vision {
+
+IouTracker::IouTracker(TrackerOptions options) : options_(options) {}
+
+video::BBox IouTracker::PredictTo(const Track& track, common::FrameIndex frame) {
+  const float dt = static_cast<float>(frame - track.last_seen);
+  video::BBox predicted = track.bbox;
+  predicted.x += track.vx * dt;
+  predicted.y += track.vy * dt;
+  return predicted;
+}
+
+std::vector<TrackedBox> IouTracker::Update(common::FrameIndex frame,
+                                           const std::vector<video::BBox>& boxes) {
+  FOCUS_CHECK(frame > last_frame_);
+  last_frame_ = frame;
+
+  // Retire tracks that coasted too long.
+  for (Track& track : tracks_) {
+    if (track.alive && frame - track.last_seen > options_.max_coast_frames) {
+      track.alive = false;
+    }
+  }
+
+  // Score all (live track, detection) pairs above the IoU floor.
+  struct Candidate {
+    double iou;
+    size_t track_index;
+    size_t box_index;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t t = 0; t < tracks_.size(); ++t) {
+    if (!tracks_[t].alive) {
+      continue;
+    }
+    const video::BBox predicted = PredictTo(tracks_[t], frame);
+    for (size_t b = 0; b < boxes.size(); ++b) {
+      const double iou = video::IoU(predicted, boxes[b]);
+      if (iou >= options_.min_iou) {
+        candidates.push_back({iou, t, b});
+      }
+    }
+  }
+  // Greedy one-to-one in decreasing IoU; index tie-breaks keep it deterministic.
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.iou != b.iou) {
+      return a.iou > b.iou;
+    }
+    if (a.track_index != b.track_index) {
+      return a.track_index < b.track_index;
+    }
+    return a.box_index < b.box_index;
+  });
+
+  std::vector<TrackedBox> out(boxes.size());
+  std::vector<bool> track_taken(tracks_.size(), false);
+  std::vector<bool> box_taken(boxes.size(), false);
+  for (const Candidate& c : candidates) {
+    if (track_taken[c.track_index] || box_taken[c.box_index]) {
+      continue;
+    }
+    track_taken[c.track_index] = true;
+    box_taken[c.box_index] = true;
+
+    Track& track = tracks_[c.track_index];
+    const video::BBox& observed = boxes[c.box_index];
+    const float dt = static_cast<float>(frame - track.last_seen);
+    if (dt > 0) {
+      const float a = static_cast<float>(options_.velocity_alpha);
+      track.vx = (1.0f - a) * track.vx + a * (observed.x - track.bbox.x) / dt;
+      track.vy = (1.0f - a) * track.vy + a * (observed.y - track.bbox.y) / dt;
+    }
+    track.bbox = observed;
+    track.last_seen = frame;
+    out[c.box_index] = {track.id, observed, /*is_new_track=*/false};
+  }
+
+  // Unmatched detections start new tracks.
+  for (size_t b = 0; b < boxes.size(); ++b) {
+    if (box_taken[b]) {
+      continue;
+    }
+    Track track;
+    track.id = next_id_++;
+    track.bbox = boxes[b];
+    track.last_seen = frame;
+    tracks_.push_back(track);
+    out[b] = {track.id, boxes[b], /*is_new_track=*/true};
+  }
+
+  // Compact retired tracks occasionally so long runs stay O(live).
+  if (tracks_.size() > 64 && live_tracks() * 4 < static_cast<int64_t>(tracks_.size())) {
+    std::vector<Track> live;
+    live.reserve(tracks_.size() / 2);
+    for (Track& track : tracks_) {
+      if (track.alive) {
+        live.push_back(track);
+      }
+    }
+    tracks_ = std::move(live);
+  }
+  return out;
+}
+
+int64_t IouTracker::live_tracks() const {
+  int64_t n = 0;
+  for (const Track& track : tracks_) {
+    if (track.alive) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace focus::vision

@@ -1,0 +1,78 @@
+// Multi-object tracking by IoU association.
+//
+// Everything downstream of detection reasons about *objects*, not boxes: pixel
+// differencing reuses the same object's previous classification (§4.2), member runs
+// in the top-K index are per-object frame ranges, and the clusterer's fast path keys
+// on the object id. When detections come from a pixel pipeline (background
+// subtraction + blob extraction) rather than from the simulator's ground-truth ids,
+// something must link boxes across frames into tracks — this tracker.
+//
+// The association rule is the standard greedy IoU matcher: predict each live track's
+// box one frame ahead with a constant-velocity model, match tracks to detections in
+// decreasing IoU order (one-to-one), spawn new tracks for unmatched detections, and
+// retire tracks unseen for |max_coast_frames|. Greedy matching is O(T·D) per frame
+// with small constants — the right cost profile for an ingest-side component that
+// must keep up with live video.
+#ifndef FOCUS_SRC_VISION_TRACKER_H_
+#define FOCUS_SRC_VISION_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time_types.h"
+#include "src/video/detection.h"
+
+namespace focus::vision {
+
+struct TrackerOptions {
+  // Minimum IoU between a predicted track box and a detection to associate them.
+  double min_iou = 0.25;
+  // Frames a track may go undetected before it is retired (occlusion tolerance).
+  int max_coast_frames = 8;
+  // Blend factor for the constant-velocity estimate (1.0 = instantaneous velocity,
+  // lower = smoother).
+  double velocity_alpha = 0.5;
+};
+
+// One box association produced by Update().
+struct TrackedBox {
+  common::ObjectId track_id = 0;
+  video::BBox bbox;
+  bool is_new_track = false;  // First observation of this track.
+};
+
+class IouTracker {
+ public:
+  explicit IouTracker(TrackerOptions options = {});
+
+  // Associates |boxes| (detections of frame |frame|) with live tracks; frames must
+  // be fed in increasing order. Returns one TrackedBox per input box, in input
+  // order, with stable track ids.
+  std::vector<TrackedBox> Update(common::FrameIndex frame, const std::vector<video::BBox>& boxes);
+
+  // Tracks still alive (matched or coasting within max_coast_frames).
+  int64_t live_tracks() const;
+  int64_t tracks_started() const { return next_id_; }
+
+ private:
+  struct Track {
+    common::ObjectId id = 0;
+    video::BBox bbox;
+    float vx = 0.0f;  // Pixels per frame.
+    float vy = 0.0f;
+    common::FrameIndex last_seen = 0;
+    bool alive = true;
+  };
+
+  // The track's box extrapolated to |frame|.
+  static video::BBox PredictTo(const Track& track, common::FrameIndex frame);
+
+  TrackerOptions options_;
+  std::vector<Track> tracks_;
+  common::ObjectId next_id_ = 0;
+  common::FrameIndex last_frame_ = -1;
+};
+
+}  // namespace focus::vision
+
+#endif  // FOCUS_SRC_VISION_TRACKER_H_

@@ -1,0 +1,101 @@
+// Unit tests for the Ingest-all / Query-all baselines and the query-time-only Focus
+// variant (§6.1 "Baselines", §6.7).
+#include <gtest/gtest.h>
+
+#include "src/baseline/baselines.h"
+#include "src/cnn/ground_truth.h"
+#include "src/cnn/specialization.h"
+#include "src/core/accuracy_evaluator.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::baseline {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  BaselineFixture() : catalog_(kSeed), gt_(cnn::GtCnnDesc(kSeed), &catalog_) {
+    video::StreamProfile profile;
+    video::FindProfile("jacksonh", &profile);
+    run_ = std::make_unique<video::StreamRun>(&catalog_, profile, 240.0, 30.0, 9);
+    truth_ = std::make_unique<cnn::SegmentGroundTruth>(*run_, gt_);
+    dominant_ = truth_->DominantClasses(0.5, 2);
+  }
+
+  video::ClassCatalog catalog_;
+  cnn::Cnn gt_;
+  std::unique_ptr<video::StreamRun> run_;
+  std::unique_ptr<cnn::SegmentGroundTruth> truth_;
+  std::vector<common::ClassId> dominant_;
+};
+
+TEST_F(BaselineFixture, IngestAllChargesEveryDetection) {
+  IngestAllResult result = RunIngestAll(*run_, gt_);
+  EXPECT_GT(result.detections, 0);
+  EXPECT_NEAR(result.ingest_gpu_millis,
+              static_cast<double>(result.detections) * gt_.inference_cost_millis(), 1e-6);
+  EXPECT_FALSE(result.frames_by_class.empty());
+}
+
+TEST_F(BaselineFixture, IngestAllQueryIsFreeAndExact) {
+  ASSERT_FALSE(dominant_.empty());
+  IngestAllResult index = RunIngestAll(*run_, gt_);
+  core::QueryResult qr = QueryIngestAll(index, dominant_[0]);
+  EXPECT_EQ(qr.gpu_millis, 0.0);  // §6.1: "The query latency of Ingest-all is 0".
+  EXPECT_GT(qr.frames_returned, 0);
+  // Exact by construction: its segment-level accuracy against the GT truth is 1.0.
+  core::AccuracyEvaluator evaluator(truth_.get(), run_->fps());
+  core::PrecisionRecall pr = evaluator.Evaluate(dominant_[0], qr);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST_F(BaselineFixture, QueryAllChargesEveryDetectionInRange) {
+  ASSERT_FALSE(dominant_.empty());
+  core::QueryResult full = RunQueryAll(*run_, gt_, dominant_[0]);
+  EXPECT_GT(full.centroids_classified, 0);
+  EXPECT_NEAR(full.gpu_millis, QueryAllCostMillis(*run_, gt_), 1e-6);
+
+  common::TimeRange window{30.0, 90.0};
+  core::QueryResult windowed = RunQueryAll(*run_, gt_, dominant_[0], window);
+  EXPECT_LT(windowed.centroids_classified, full.centroids_classified);
+  for (const auto& [first, last] : windowed.frame_runs) {
+    EXPECT_TRUE(window.ContainsFrame(first, run_->fps()));
+    EXPECT_TRUE(window.ContainsFrame(last, run_->fps()));
+  }
+}
+
+TEST_F(BaselineFixture, QueryAllMatchesIngestAllResults) {
+  // Both baselines run the same GT-CNN over the same detections, so they must return
+  // identical frame sets for the same class.
+  ASSERT_FALSE(dominant_.empty());
+  IngestAllResult index = RunIngestAll(*run_, gt_);
+  core::QueryResult via_index = QueryIngestAll(index, dominant_[0]);
+  core::QueryResult via_scan = RunQueryAll(*run_, gt_, dominant_[0]);
+  EXPECT_EQ(via_index.frame_runs, via_scan.frame_runs);
+}
+
+TEST_F(BaselineFixture, QueryTimeOnlyFocusIsFasterThanQueryAll) {
+  ASSERT_FALSE(dominant_.empty());
+  cnn::ClassDistributionEstimate est = cnn::EstimateClassDistribution(*run_, gt_, 240.0, 5);
+  cnn::SpecializationOptions sopts;
+  sopts.ls = 20;
+  sopts.layers = 12;
+  sopts.input_px = 56;
+  core::IngestParams params;
+  params.model = cnn::TrainSpecializedModel(est, sopts, 0.5, kSeed);
+  params.k = 4;
+  params.cluster_threshold = 0.6;
+  cnn::Cnn cheap(params.model, &catalog_);
+
+  QueryTimeOnlyResult lazy = RunFocusQueryTimeOnly(*run_, cheap, gt_, params, dominant_[0]);
+  double query_all = QueryAllCostMillis(*run_, gt_);
+  EXPECT_GT(lazy.total_gpu_millis, 0.0);
+  // §6.7: deferring all Focus work to query time still beats Query-all comfortably.
+  EXPECT_LT(lazy.total_gpu_millis, query_all / 4.0);
+  EXPECT_GT(lazy.query.frames_returned, 0);
+}
+
+}  // namespace
+}  // namespace focus::baseline

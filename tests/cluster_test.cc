@@ -1,0 +1,207 @@
+// Unit tests for the incremental clusterer (§4.2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cluster/incremental_clusterer.h"
+#include "src/common/rng.h"
+
+namespace focus::cluster {
+namespace {
+
+video::Detection Det(common::ObjectId object, common::FrameIndex frame) {
+  video::Detection d;
+  d.object_id = object;
+  d.frame = frame;
+  return d;
+}
+
+common::FeatureVec Vec(std::initializer_list<float> values) { return common::FeatureVec(values); }
+
+ClustererOptions ExactOptions(double threshold) {
+  ClustererOptions opts;
+  opts.threshold = threshold;
+  opts.mode = ClustererOptions::Mode::kExact;
+  return opts;
+}
+
+TEST(ClustererTest, FirstObjectFormsFirstCluster) {
+  IncrementalClusterer clusterer(ExactOptions(0.5));
+  int64_t id = clusterer.Add(Det(1, 0), Vec({1.0f, 0.0f}));
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(clusterer.num_clusters(), 1u);
+}
+
+TEST(ClustererTest, NearbyPointsJoinFarPointsSplit) {
+  IncrementalClusterer clusterer(ExactOptions(0.5));
+  int64_t a = clusterer.Add(Det(1, 0), Vec({1.0f, 0.0f}));
+  int64_t b = clusterer.Add(Det(2, 0), Vec({1.0f, 0.1f}));  // Distance 0.1 < T.
+  int64_t c = clusterer.Add(Det(3, 0), Vec({0.0f, 1.0f}));  // Distance ~1.4 > T.
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(clusterer.num_clusters(), 2u);
+}
+
+TEST(ClustererTest, AssignsToClosestCluster) {
+  IncrementalClusterer clusterer(ExactOptions(1.0));
+  clusterer.Add(Det(1, 0), Vec({0.0f, 0.0f}));
+  clusterer.Add(Det(2, 0), Vec({2.0f, 0.0f}));  // Beyond T from cluster 0: new cluster.
+  ASSERT_EQ(clusterer.num_clusters(), 2u);
+  // 1.2 is within T of cluster 1 (distance 0.8) and beyond cluster 0 (1.2 > 1.0).
+  int64_t id = clusterer.Add(Det(3, 0), Vec({1.2f, 0.0f}));
+  EXPECT_EQ(id, 1);
+}
+
+TEST(ClustererTest, CentroidTracksRunningMean) {
+  IncrementalClusterer clusterer(ExactOptions(2.0));
+  clusterer.Add(Det(1, 0), Vec({0.0f, 0.0f}));
+  clusterer.Add(Det(2, 0), Vec({1.0f, 0.0f}));
+  const Cluster& c = clusterer.clusters()[0];
+  EXPECT_NEAR(c.centroid[0], 0.5f, 1e-6);
+  EXPECT_EQ(c.size, 2);
+}
+
+TEST(ClustererTest, MemberRunsMergeConsecutiveFrames) {
+  IncrementalClusterer clusterer(ExactOptions(0.5));
+  for (common::FrameIndex f = 0; f < 10; ++f) {
+    clusterer.Add(Det(7, f), Vec({1.0f, 0.0f}));
+  }
+  const Cluster& c = clusterer.clusters()[0];
+  ASSERT_EQ(c.members.size(), 1u);
+  EXPECT_EQ(c.members[0].object, 7);
+  EXPECT_EQ(c.members[0].first_frame, 0);
+  EXPECT_EQ(c.members[0].last_frame, 9);
+  EXPECT_EQ(c.members[0].FrameCount(), 10);
+}
+
+TEST(ClustererTest, InterleavedObjectsKeepSeparateRuns) {
+  IncrementalClusterer clusterer(ExactOptions(0.5));
+  for (common::FrameIndex f = 0; f < 6; ++f) {
+    clusterer.Add(Det(1, f), Vec({1.0f, 0.0f}));
+    clusterer.Add(Det(2, f), Vec({1.0f, 0.05f}));
+  }
+  const Cluster& c = clusterer.clusters()[0];
+  ASSERT_EQ(c.members.size(), 2u);
+  EXPECT_EQ(c.members[0].FrameCount(), 6);
+  EXPECT_EQ(c.members[1].FrameCount(), 6);
+}
+
+TEST(ClustererTest, NonContiguousFramesOpenNewRun) {
+  IncrementalClusterer clusterer(ExactOptions(0.5));
+  clusterer.Add(Det(1, 0), Vec({1.0f, 0.0f}));
+  clusterer.Add(Det(1, 5), Vec({1.0f, 0.0f}));  // Gap.
+  const Cluster& c = clusterer.clusters()[0];
+  ASSERT_EQ(c.members.size(), 2u);
+}
+
+TEST(ClustererTest, RepresentativeIsFoundingDetection) {
+  IncrementalClusterer clusterer(ExactOptions(0.5));
+  clusterer.Add(Det(11, 3), Vec({1.0f, 0.0f}));
+  clusterer.Add(Det(12, 4), Vec({1.0f, 0.05f}));
+  EXPECT_EQ(clusterer.clusters()[0].representative.object_id, 11);
+  EXPECT_EQ(clusterer.clusters()[0].representative.frame, 3);
+}
+
+TEST(ClustererTest, MaxActiveCapRetiresSmallest) {
+  ClustererOptions opts = ExactOptions(0.1);
+  opts.max_active = 3;
+  IncrementalClusterer clusterer(opts);
+  // Grow cluster 0 with several members so it is never the smallest.
+  for (common::FrameIndex f = 0; f < 5; ++f) {
+    clusterer.Add(Det(1, f), Vec({0.0f, 0.0f}));
+  }
+  clusterer.Add(Det(2, 0), Vec({10.0f, 0.0f}));
+  clusterer.Add(Det(3, 0), Vec({20.0f, 0.0f}));
+  EXPECT_EQ(clusterer.num_active(), 3u);
+  clusterer.Add(Det(4, 0), Vec({30.0f, 0.0f}));  // Forces retirement of a singleton.
+  EXPECT_EQ(clusterer.num_active(), 3u);
+  EXPECT_EQ(clusterer.num_clusters(), 4u);  // Retired clusters remain in the output.
+  int active = 0;
+  for (const Cluster& c : clusterer.clusters()) {
+    if (c.active) {
+      ++active;
+    }
+  }
+  EXPECT_EQ(active, 3);
+  // The big cluster survived.
+  EXPECT_TRUE(clusterer.clusters()[0].active);
+}
+
+TEST(ClustererTest, SuppressedAddReusesPreviousCluster) {
+  IncrementalClusterer clusterer(ExactOptions(0.5));
+  clusterer.Add(Det(1, 0), Vec({1.0f, 0.0f}));
+  common::FeatureVec before = clusterer.clusters()[0].centroid;
+  int64_t id = clusterer.AddSuppressed(Det(1, 1), Vec({0.0f, 9.0f}));  // Feature ignored.
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(clusterer.clusters()[0].centroid, before);  // Centroid untouched.
+  EXPECT_EQ(clusterer.clusters()[0].size, 2);
+}
+
+TEST(ClustererTest, SuppressedAddWithoutHistoryFallsBack) {
+  IncrementalClusterer clusterer(ExactOptions(0.5));
+  int64_t id = clusterer.AddSuppressed(Det(5, 0), Vec({1.0f, 0.0f}));
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(clusterer.num_clusters(), 1u);
+}
+
+TEST(ClustererTest, FastModeApproximatesExactMode) {
+  // Run the same synthetic workload through both modes; cluster counts must be close
+  // and same-object assignments identical in the common case.
+  common::Pcg32 rng(13);
+  constexpr int kObjects = 60;
+  constexpr int kFramesPerObject = 40;
+  constexpr size_t kDim = 16;
+
+  std::vector<common::FeatureVec> base(kObjects);
+  for (auto& v : base) {
+    v = common::RandomUnitVector(kDim, rng);
+  }
+
+  ClustererOptions exact = ExactOptions(0.4);
+  ClustererOptions fast = exact;
+  fast.mode = ClustererOptions::Mode::kFast;
+  IncrementalClusterer a(exact);
+  IncrementalClusterer b(fast);
+  common::Pcg32 noise(29);
+  for (int f = 0; f < kFramesPerObject; ++f) {
+    for (int o = 0; o < kObjects; ++o) {
+      common::FeatureVec v = common::PerturbedUnitVector(base[o], 0.05, noise);
+      a.Add(Det(o, f), v);
+      b.Add(Det(o, f), v);
+    }
+  }
+  double ratio = static_cast<double>(b.num_clusters()) / static_cast<double>(a.num_clusters());
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+  EXPECT_GT(b.FastHitRate(), 0.8);
+}
+
+TEST(ClustererTest, ThresholdControlsGranularity) {
+  common::Pcg32 rng(31);
+  std::vector<common::FeatureVec> points;
+  common::FeatureVec center = common::RandomUnitVector(16, rng);
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(common::PerturbedUnitVector(center, 0.3, rng));
+  }
+  size_t tight_clusters = 0;
+  size_t loose_clusters = 0;
+  {
+    IncrementalClusterer tight(ExactOptions(0.15));
+    for (size_t i = 0; i < points.size(); ++i) {
+      tight.Add(Det(static_cast<common::ObjectId>(i), 0), points[i]);
+    }
+    tight_clusters = tight.num_clusters();
+  }
+  {
+    IncrementalClusterer loose(ExactOptions(1.0));
+    for (size_t i = 0; i < points.size(); ++i) {
+      loose.Add(Det(static_cast<common::ObjectId>(i), 0), points[i]);
+    }
+    loose_clusters = loose.num_clusters();
+  }
+  EXPECT_GT(tight_clusters, loose_clusters);
+  EXPECT_LE(loose_clusters, 3u);
+}
+
+}  // namespace
+}  // namespace focus::cluster

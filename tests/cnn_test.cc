@@ -1,0 +1,351 @@
+// Unit tests for the CNN substrate: cost model, accuracy model, inference simulator,
+// compression, ground truth, and specialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/cnn/accuracy_model.h"
+#include "src/cnn/cnn.h"
+#include "src/cnn/compression.h"
+#include "src/cnn/cost_model.h"
+#include "src/cnn/ground_truth.h"
+#include "src/cnn/model_zoo.h"
+#include "src/cnn/specialization.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::cnn {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+
+video::Detection MakeDetection(const video::ClassCatalog& catalog, common::ClassId cls,
+                               common::ObjectId object, common::FrameIndex frame,
+                               uint64_t seed = 99) {
+  video::Detection d;
+  d.frame = frame;
+  d.object_id = object;
+  d.true_class = cls;
+  common::Pcg32 rng(common::DeriveSeed(seed, static_cast<uint64_t>(object)));
+  d.appearance = common::PerturbedUnitVector(catalog.Archetype(cls), 0.25, rng);
+  return d;
+}
+
+TEST(CostModelTest, GtCnnCostsOneUnit) {
+  ModelDesc gt = GtCnnDesc(kSeed);
+  EXPECT_NEAR(RelativeCost(gt), 1.0, 1e-9);
+  EXPECT_NEAR(InferenceCostMillis(gt), kGtCnnUnitMillis, 1e-9);
+}
+
+TEST(CostModelTest, ResNet18IsEightTimesCheaper) {
+  // §2.1: "ResNet18, which is a ResNet152 variant with only 18 layers is 8x cheaper".
+  ModelDesc d;
+  d.layers = 18;
+  d.input_px = 224;
+  EXPECT_NEAR(CheapnessFactor(d), 8.0, 0.5);
+}
+
+TEST(CostModelTest, InputRescalingShrinksCostQuadratically) {
+  ModelDesc full;
+  full.layers = 18;
+  full.input_px = 224;
+  ModelDesc half = RescaleInput(full, 112);
+  // Without the fixed overhead the ratio would be exactly 4.
+  double ratio = RelativeCost(full) / RelativeCost(half);
+  EXPECT_GT(ratio, 2.8);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(CostModelTest, FixedOverheadBoundsCheapness) {
+  ModelDesc tiny;
+  tiny.layers = 4;
+  tiny.input_px = 28;
+  EXPECT_LT(CheapnessFactor(tiny), 1.0 / kFixedOverheadShare);
+}
+
+TEST(AccuracyModelTest, CapacityMonotoneInDepthAndResolution) {
+  ModelDesc big;
+  big.layers = 152;
+  big.input_px = 224;
+  ModelDesc fewer_layers = big;
+  fewer_layers.layers = 18;
+  ModelDesc smaller_input = big;
+  smaller_input.input_px = 56;
+  EXPECT_GT(ModelCapacity(big), ModelCapacity(fewer_layers));
+  EXPECT_GT(ModelCapacity(big), ModelCapacity(smaller_input));
+}
+
+TEST(AccuracyModelTest, SpecializationLowersDifficulty) {
+  ModelDesc generic;
+  generic.layers = 12;
+  generic.input_px = 56;
+  ModelDesc specialized = generic;
+  specialized.classes = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  specialized.has_other_class = true;
+  specialized.training_variability = 0.5;
+  EXPECT_LT(TaskDifficulty(specialized), TaskDifficulty(generic));
+  EXPECT_GT(ComputeAccuracy(specialized).top1_accuracy, ComputeAccuracy(generic).top1_accuracy);
+}
+
+TEST(AccuracyModelTest, RecallAtKMonotoneAndBounded) {
+  ModelDesc d;
+  d.layers = 18;
+  d.input_px = 224;
+  AccuracyParams p = ComputeAccuracy(d);
+  double prev = 0.0;
+  for (int k : {1, 2, 5, 10, 50, 100, 500, 1000}) {
+    double r = RecallAtK(p, k, 1000);
+    EXPECT_GE(r, prev);
+    EXPECT_LE(r, 1.0);
+    prev = r;
+  }
+  EXPECT_DOUBLE_EQ(RecallAtK(p, 1000, 1000), 1.0);
+  EXPECT_NEAR(RecallAtK(p, 1, 1000), p.top1_accuracy, 1e-12);
+}
+
+TEST(AccuracyModelTest, Figure5AnchorsReproduce) {
+  // The three generic cheap CNNs reach high recall only at large K, ordered by cost:
+  // the cheaper the model, the larger the K needed (Fig. 5).
+  auto zoo = GenericCheapCandidates(kSeed);
+  ASSERT_GE(zoo.size(), 3u);
+  AccuracyParams c1 = ComputeAccuracy(zoo[0]);  // ~8x cheaper.
+  AccuracyParams c2 = ComputeAccuracy(zoo[1]);  // ~28x.
+  AccuracyParams c3 = ComputeAccuracy(zoo[2]);  // ~58x.
+  EXPECT_GT(RecallAtK(c1, 60, 1000), 0.85);
+  EXPECT_GT(RecallAtK(c2, 100, 1000), 0.85);
+  EXPECT_GT(RecallAtK(c3, 200, 1000), 0.85);
+  // Same K, cheaper model -> lower recall.
+  for (int k : {10, 20, 60, 100}) {
+    EXPECT_GT(RecallAtK(c1, k, 1000), RecallAtK(c2, k, 1000));
+    EXPECT_GT(RecallAtK(c2, k, 1000), RecallAtK(c3, k, 1000));
+  }
+}
+
+TEST(AccuracyModelTest, SampledRankMatchesAnalyticRecall) {
+  ModelDesc d;
+  d.layers = 15;
+  d.input_px = 112;
+  AccuracyParams p = ComputeAccuracy(d);
+  common::Pcg32 rng(123);
+  constexpr int kDraws = 200000;
+  for (int k : {1, 10, 60, 200}) {
+    int hits = 0;
+    common::Pcg32 local(k * 7919 + 1);
+    for (int i = 0; i < kDraws; ++i) {
+      if (SampleRank(p, 1000, local) <= k) {
+        ++hits;
+      }
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, RecallAtK(p, k, 1000), 0.01) << "K=" << k;
+  }
+}
+
+TEST(CompressionTest, TransformsFloorAndRename) {
+  ModelDesc base;
+  base.name = "resnet18";
+  base.layers = 18;
+  base.input_px = 224;
+  ModelDesc cut = RemoveLayers(base, 30);
+  EXPECT_EQ(cut.layers, 4);  // Floored.
+  ModelDesc small = RescaleInput(base, 8);
+  EXPECT_EQ(small.input_px, 28);  // Floored.
+  ModelDesc both = Compress(base, 3, 112);
+  EXPECT_EQ(both.layers, 15);
+  EXPECT_EQ(both.input_px, 112);
+  EXPECT_NE(both.name, base.name);
+  EXPECT_NE(both.weights_seed, base.weights_seed);
+  EXPECT_LT(RelativeCost(both), RelativeCost(base));
+}
+
+class CnnTest : public ::testing::Test {
+ protected:
+  CnnTest() : catalog_(kSeed), gt_(GtCnnDesc(kSeed), &catalog_) {}
+  video::ClassCatalog catalog_;
+  Cnn gt_;
+};
+
+TEST_F(CnnTest, ClassifyIsDeterministic) {
+  video::Detection d = MakeDetection(catalog_, 0, 1, 100);
+  TopKResult a = gt_.Classify(d, 5);
+  TopKResult b = gt_.Classify(d, 5);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].first, b.entries[i].first);
+  }
+}
+
+TEST_F(CnnTest, TopKEntriesAreDistinctAndConfidencesDecay) {
+  video::Detection d = MakeDetection(catalog_, 3, 2, 7);
+  TopKResult r = gt_.Classify(d, 20);
+  ASSERT_EQ(r.entries.size(), 20u);
+  std::set<common::ClassId> seen;
+  float prev_conf = 2.0f;
+  for (const auto& [cls, conf] : r.entries) {
+    EXPECT_TRUE(seen.insert(cls).second) << "duplicate class in top-K";
+    EXPECT_LT(conf, prev_conf);
+    prev_conf = conf;
+  }
+}
+
+TEST_F(CnnTest, GtCnnIsHighlyAccurate) {
+  int correct = 0;
+  constexpr int kObjects = 2000;
+  for (int i = 0; i < kObjects; ++i) {
+    video::Detection d = MakeDetection(catalog_, i % 100, i, 0);
+    if (gt_.Top1(d) == d.true_class) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / kObjects, 0.93);
+}
+
+TEST_F(CnnTest, Top1AgreesWithClassify) {
+  for (int i = 0; i < 200; ++i) {
+    video::Detection d = MakeDetection(catalog_, i % 40, 1000 + i, i);
+    EXPECT_EQ(gt_.Top1(d), gt_.Classify(d, 3).Top1());
+  }
+}
+
+TEST_F(CnnTest, CheapModelRecallImprovesWithK) {
+  auto zoo = GenericCheapCandidates(kSeed);
+  Cnn cheap(zoo[2], &catalog_);  // The cheapest Figure 5 model.
+  constexpr int kObjects = 3000;
+  std::map<int, int> hits;
+  for (int i = 0; i < kObjects; ++i) {
+    video::Detection d = MakeDetection(catalog_, i % 50, i, 0);
+    int rank = cheap.TrueClassRank(d);
+    for (int k : {10, 60, 200}) {
+      if (rank <= k) {
+        ++hits[k];
+      }
+    }
+  }
+  EXPECT_LT(hits[10], hits[60]);
+  EXPECT_LT(hits[60], hits[200]);
+  EXPECT_GT(static_cast<double>(hits[200]) / kObjects, 0.85);
+}
+
+TEST_F(CnnTest, FeatureVectorsClusterByObjectAndClass) {
+  // §2.2.3: nearest neighbor by cheap-CNN features is nearly always the same class.
+  auto zoo = GenericCheapCandidates(kSeed);
+  Cnn cheap(zoo[0], &catalog_);
+  video::Detection obj_a0 = MakeDetection(catalog_, 0, 1, 10);
+  video::Detection obj_a1 = MakeDetection(catalog_, 0, 1, 11);  // Same object, next frame.
+  video::Detection obj_b = MakeDetection(catalog_, 0, 2, 10);   // Same class, other object.
+  video::Detection obj_c = MakeDetection(catalog_, 500, 3, 10); // Different class.
+  auto fa0 = cheap.ExtractFeature(obj_a0);
+  auto fa1 = cheap.ExtractFeature(obj_a1);
+  auto fb = cheap.ExtractFeature(obj_b);
+  auto fc = cheap.ExtractFeature(obj_c);
+  double same_object = common::L2Distance(fa0, fa1);
+  double same_class = common::L2Distance(fa0, fb);
+  double cross_class = common::L2Distance(fa0, fc);
+  EXPECT_LT(same_object, same_class);
+  EXPECT_LT(same_class, cross_class);
+}
+
+TEST_F(CnnTest, SpecializedModelMapsUnknownToOther) {
+  ModelDesc spec;
+  spec.layers = 12;
+  spec.input_px = 56;
+  spec.classes = {0, 1, 2};
+  spec.has_other_class = true;
+  spec.training_variability = 0.5;
+  spec.weights_seed = 7;
+  Cnn cnn(spec, &catalog_);
+  EXPECT_EQ(cnn.MapTrueLabel(1), 1);
+  EXPECT_EQ(cnn.MapTrueLabel(999), kOtherClass);
+  EXPECT_EQ(cnn.label_space_size(), 4);
+
+  // A detection of an unknown class classifies as OTHER with decent probability.
+  int other = 0;
+  for (int i = 0; i < 500; ++i) {
+    video::Detection d = MakeDetection(catalog_, 900, 5000 + i, 0);
+    if (cnn.Top1(d) == kOtherClass) {
+      ++other;
+    }
+  }
+  EXPECT_GT(other, 250);
+}
+
+TEST(GroundTruthTest, SegmentRuleFiltersFlicker) {
+  video::ClassCatalog catalog(kSeed);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile("auburn_c", &profile));
+  video::StreamRun run(&catalog, profile, 180.0, 30.0, 3);
+  Cnn gt(GtCnnDesc(kSeed), &catalog);
+  SegmentGroundTruth truth(run, gt);
+  EXPECT_GT(truth.total_detections(), 0);
+  EXPECT_EQ(truth.num_segments(), 180);
+  // Dominant classes exist and are ordered by frequency.
+  auto dominant = truth.DominantClasses(0.95, 10);
+  ASSERT_FALSE(dominant.empty());
+  auto counts = truth.objects_per_class();
+  for (size_t i = 1; i < dominant.size(); ++i) {
+    EXPECT_GE(counts[dominant[i - 1]], counts[dominant[i]]);
+  }
+  // Segments of the top class are a plausible subset.
+  const auto& segs = truth.SegmentsWithClass(dominant[0]);
+  EXPECT_GT(segs.size(), 0u);
+  EXPECT_LE(static_cast<int64_t>(segs.size()), truth.num_segments());
+}
+
+TEST(SpecializationTest, DistributionEstimateFindsDominantClasses) {
+  video::ClassCatalog catalog(kSeed);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile("bend", &profile));  // Heavily dominated stream.
+  video::StreamRun run(&catalog, profile, 600.0, 30.0, 3);
+  Cnn gt(GtCnnDesc(kSeed), &catalog);
+  ClassDistributionEstimate est = EstimateClassDistribution(run, gt, 600.0, 5);
+  ASSERT_GT(est.total_objects, 0);
+  EXPECT_GT(est.gpu_cost_millis, 0.0);
+  // Top classes cover the bulk of objects (power law, §2.2.2).
+  EXPECT_GT(est.CoverageOfTop(30), 0.8);
+  auto top = est.TopClasses(5);
+  ASSERT_EQ(top.size(), 5u);
+  // Top-1 estimated class should be the stream's actual most popular class.
+  EXPECT_EQ(top[0], run.classes_by_popularity()[0]);
+}
+
+TEST(SpecializationTest, TrainedModelIsCheapAndAccurate) {
+  video::ClassCatalog catalog(kSeed);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile("sittard", &profile));
+  video::StreamRun run(&catalog, profile, 600.0, 30.0, 3);
+  Cnn gt(GtCnnDesc(kSeed), &catalog);
+  ClassDistributionEstimate est = EstimateClassDistribution(run, gt, 600.0, 5);
+  SpecializationOptions opts;
+  opts.ls = 20;
+  opts.layers = 15;
+  opts.input_px = 112;
+  ModelDesc spec = TrainSpecializedModel(est, opts, profile.appearance_variability, kSeed);
+  EXPECT_TRUE(spec.specialized());
+  EXPECT_TRUE(spec.has_other_class);
+  // Ls caps the class count; a quiet stream may have fewer distinct classes.
+  EXPECT_LE(spec.classes.size(), 20u);
+  EXPECT_GE(spec.classes.size(), 5u);
+  // §6.3: specialized models are 7x-71x cheaper than the GT-CNN... our grid spans
+  // roughly that band (the smallest models exceed it slightly).
+  EXPECT_GT(CheapnessFactor(spec), 7.0);
+  // §4.3: small K suffices for high recall.
+  AccuracyParams p = ComputeAccuracy(spec);
+  EXPECT_GT(RecallAtK(p, 4, spec.label_space_size()), 0.9);
+}
+
+TEST(ModelZooTest, CandidatesSpanCostRange) {
+  auto zoo = GenericCheapCandidates(kSeed);
+  ASSERT_GE(zoo.size(), 3u);
+  EXPECT_NEAR(CheapnessFactor(zoo[0]), 8.0, 1.0);
+  EXPECT_NEAR(CheapnessFactor(zoo[1]), 28.0, 6.0);
+  EXPECT_NEAR(CheapnessFactor(zoo[2]), 58.0, 15.0);
+  // Distinct weight seeds (independently trained networks).
+  std::set<uint64_t> seeds;
+  for (const auto& m : zoo) {
+    seeds.insert(m.weights_seed);
+  }
+  EXPECT_EQ(seeds.size(), zoo.size());
+}
+
+}  // namespace
+}  // namespace focus::cnn

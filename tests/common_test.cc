@@ -1,0 +1,283 @@
+// Unit tests for the common substrate: RNG, hashing, zipf, stats, feature math.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/common/feature_vector.h"
+#include "src/common/hashing.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/time_types.h"
+#include "src/common/zipf.h"
+
+namespace focus::common {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123);
+  Pcg32 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiverge) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Pcg32Test, NextBoundedIsUnbiasedAcrossRange) {
+  Pcg32 rng(11);
+  std::map<uint32_t, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint32_t v = rng.NextBounded(6);
+    ASSERT_LT(v, 6u);
+    ++counts[v];
+  }
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 6, kDraws / 60);
+  }
+}
+
+TEST(Pcg32Test, NextBoundedZeroAndOne) {
+  Pcg32 rng(3);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Pcg32Test, GaussianMoments) {
+  Pcg32 rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.NextGaussian());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Pcg32Test, ExponentialMean) {
+  Pcg32 rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.NextExponential(2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Pcg32Test, PoissonMeanSmallAndLarge) {
+  Pcg32 rng(8);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 50000; ++i) {
+    small.Add(rng.NextPoisson(3.5));
+    large.Add(rng.NextPoisson(80.0));
+  }
+  EXPECT_NEAR(small.mean(), 3.5, 0.1);
+  EXPECT_NEAR(large.mean(), 80.0, 1.0);
+}
+
+TEST(Pcg32Test, NextIntCoversInclusiveRange) {
+  Pcg32 rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(SeedDerivationTest, ChildSeedsIndependent) {
+  uint64_t parent = 42;
+  EXPECT_NE(DeriveSeed(parent, 1), DeriveSeed(parent, 2));
+  EXPECT_NE(DeriveSeed(parent, 1), parent);
+  // Stable across calls.
+  EXPECT_EQ(DeriveSeed(parent, 1), DeriveSeed(parent, 1));
+}
+
+TEST(HashingTest, HashStringStableAndDistinct) {
+  EXPECT_EQ(HashString("car"), HashString("car"));
+  EXPECT_NE(HashString("car"), HashString("cat"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(HashingTest, HashCombineOrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_EQ(HashCombine(1, 2, 3), HashCombine(HashCombine(1, 2), 3));
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.5);
+  double sum = 0.0;
+  for (size_t k = 0; k < 100; ++k) {
+    sum += zipf.Pmf(k);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroDominatesWithHighExponent) {
+  ZipfDistribution zipf(1000, 2.0);
+  EXPECT_GT(zipf.Pmf(0), 0.5);
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(10));
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  ZipfDistribution zipf(50, 1.2);
+  Pcg32 rng(17);
+  std::map<size_t, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, zipf.Pmf(0), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kDraws, zipf.Pmf(1), 0.01);
+}
+
+TEST(FeatureVectorTest, DistanceBasics) {
+  FeatureVec a = {1.0f, 0.0f};
+  FeatureVec b = {0.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(SquaredL2Distance(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(L2Distance(a, a), 0.0);
+  EXPECT_NEAR(L2Distance(a, b), std::sqrt(2.0), 1e-12);
+}
+
+TEST(FeatureVectorTest, NormalizeProducesUnitNorm) {
+  Pcg32 rng(19);
+  FeatureVec v = RandomGaussianVector(64, rng);
+  NormalizeInPlace(v);
+  EXPECT_NEAR(Norm(v), 1.0, 1e-6);
+}
+
+TEST(FeatureVectorTest, NormalizeZeroVectorIsNoop) {
+  FeatureVec v(8, 0.0f);
+  NormalizeInPlace(v);
+  EXPECT_DOUBLE_EQ(Norm(v), 0.0);
+}
+
+TEST(FeatureVectorTest, RandomUnitVectorsNearlyOrthogonalInHighDim) {
+  Pcg32 rng(23);
+  FeatureVec a = RandomUnitVector(64, rng);
+  FeatureVec b = RandomUnitVector(64, rng);
+  EXPECT_LT(std::abs(CosineSimilarity(a, b)), 0.5);
+}
+
+TEST(FeatureVectorTest, PerturbedVectorStaysClose) {
+  Pcg32 rng(29);
+  FeatureVec base = RandomUnitVector(64, rng);
+  FeatureVec near = PerturbedUnitVector(base, 0.05, rng);
+  FeatureVec far = PerturbedUnitVector(base, 1.5, rng);
+  EXPECT_LT(L2Distance(base, near), 0.3);
+  EXPECT_GT(L2Distance(base, far), L2Distance(base, near));
+  EXPECT_NEAR(Norm(near), 1.0, 1e-6);
+}
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.count(), 8u);
+}
+
+TEST(StatsTest, GeometricMeanOfFactors) {
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({1.0, -2.0}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+}
+
+TEST(StatsTest, TopHeavyCdfOrdersHeaviestFirst) {
+  std::map<int, uint64_t> weights = {{1, 90}, {2, 9}, {3, 1}};
+  auto cdf = TopHeavyCdf(weights, 10);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_NEAR(cdf[0].weight_fraction, 0.9, 1e-12);
+  EXPECT_NEAR(cdf[0].key_fraction, 0.1, 1e-12);
+  EXPECT_NEAR(cdf[2].weight_fraction, 1.0, 1e-12);
+}
+
+TEST(StatsTest, FractionOfKeysCovering) {
+  std::map<int, uint64_t> weights = {{1, 90}, {2, 9}, {3, 1}};
+  EXPECT_NEAR(FractionOfKeysCovering(weights, 10, 0.89), 0.1, 1e-12);
+  EXPECT_NEAR(FractionOfKeysCovering(weights, 10, 0.95), 0.2, 1e-12);
+}
+
+TEST(StatsTest, JaccardIndex) {
+  EXPECT_DOUBLE_EQ(JaccardIndex({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardIndex({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardIndex({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardIndex({1, 2}, {1, 2}), 1.0);
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  Result<int> err(NotFound("missing"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(err.error().message, "missing");
+  EXPECT_STREQ(ErrorCodeName(err.error().code), "NotFound");
+}
+
+TEST(TimeTypesTest, SegmentOfFrame) {
+  EXPECT_EQ(SegmentOfFrame(0, 30.0), 0);
+  EXPECT_EQ(SegmentOfFrame(29, 30.0), 0);
+  EXPECT_EQ(SegmentOfFrame(30, 30.0), 1);
+  EXPECT_EQ(SegmentOfFrame(59, 1.0), 59);
+}
+
+TEST(TimeTypesTest, TimeRangeContains) {
+  TimeRange all;
+  EXPECT_TRUE(all.ContainsFrame(0, 30.0));
+  EXPECT_TRUE(all.ContainsFrame(1000000, 30.0));
+
+  TimeRange window{10.0, 20.0};
+  EXPECT_FALSE(window.ContainsFrame(299, 30.0));  // 9.97s
+  EXPECT_TRUE(window.ContainsFrame(300, 30.0));   // 10.0s
+  EXPECT_TRUE(window.ContainsFrame(599, 30.0));   // 19.97s
+  EXPECT_FALSE(window.ContainsFrame(600, 30.0));  // 20.0s
+}
+
+}  // namespace
+}  // namespace focus::common

@@ -1,0 +1,268 @@
+// Tests for drift monitoring and the §4.3 periodic retraining loop: the TV-distance
+// metric, window pooling, recommendation thresholds, GPU accounting for probes, and
+// an end-to-end retrain scenario where the stream's class mix shifts and a
+// re-specialized model restores Ls coverage.
+#include <gtest/gtest.h>
+
+#include "src/cnn/ground_truth.h"
+#include "src/cnn/specialization.h"
+#include "src/core/drift_monitor.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::core {
+namespace {
+
+std::map<common::ClassId, int64_t> Hist(std::initializer_list<std::pair<int, int64_t>> items) {
+  std::map<common::ClassId, int64_t> h;
+  for (const auto& [cls, n] : items) {
+    h[static_cast<common::ClassId>(cls)] = n;
+  }
+  return h;
+}
+
+// --- TotalVariationDistance ---
+
+TEST(TotalVariationTest, IdenticalDistributionsAreZero) {
+  auto h = Hist({{1, 10}, {2, 30}});
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(h, h), 0.0);
+}
+
+TEST(TotalVariationTest, ScaleInvariant) {
+  auto a = Hist({{1, 1}, {2, 3}});
+  auto b = Hist({{1, 100}, {2, 300}});
+  EXPECT_NEAR(TotalVariationDistance(a, b), 0.0, 1e-12);
+}
+
+TEST(TotalVariationTest, DisjointSupportsAreOne) {
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(Hist({{1, 5}}), Hist({{2, 5}})), 1.0);
+}
+
+TEST(TotalVariationTest, PartialOverlapIsBetween) {
+  // p = (0.5, 0.5, 0), q = (0.5, 0, 0.5) -> TV = 0.5.
+  auto a = Hist({{1, 5}, {2, 5}});
+  auto b = Hist({{1, 5}, {3, 5}});
+  EXPECT_NEAR(TotalVariationDistance(a, b), 0.5, 1e-12);
+}
+
+TEST(TotalVariationTest, EmptyHistograms) {
+  std::map<common::ClassId, int64_t> empty;
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(empty, Hist({{1, 3}})), 1.0);
+}
+
+TEST(TotalVariationTest, Symmetric) {
+  auto a = Hist({{1, 7}, {2, 2}, {5, 1}});
+  auto b = Hist({{2, 4}, {5, 6}});
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(a, b), TotalVariationDistance(b, a));
+}
+
+// --- DriftMonitor ---
+
+cnn::ClassDistributionEstimate Reference(std::initializer_list<std::pair<int, int64_t>> items) {
+  cnn::ClassDistributionEstimate ref;
+  ref.objects_per_class = Hist(items);
+  for (const auto& [cls, n] : ref.objects_per_class) {
+    ref.total_objects += n;
+  }
+  return ref;
+}
+
+ProbeSample Probe(std::initializer_list<std::pair<int, int64_t>> items,
+                  common::GpuMillis cost = 10.0) {
+  ProbeSample probe;
+  probe.objects_per_class = Hist(items);
+  for (const auto& [cls, n] : probe.objects_per_class) {
+    probe.total_objects += n;
+  }
+  probe.gpu_cost_millis = cost;
+  return probe;
+}
+
+TEST(DriftMonitorTest, StableMixRecommendsNothing) {
+  DriftMonitor monitor(Reference({{1, 60}, {2, 40}}), {1, 2});
+  DriftReport report = monitor.AddProbe(Probe({{1, 61}, {2, 39}}));
+  EXPECT_LT(report.total_variation, 0.05);
+  EXPECT_GT(report.ls_coverage, 0.99);
+  EXPECT_FALSE(report.retrain_recommended);
+}
+
+TEST(DriftMonitorTest, NewDominantClassTriggersRetrain) {
+  DriftMonitor monitor(Reference({{1, 60}, {2, 40}}), {1, 2});
+  // Class 9 (not in Ls) takes over half the scene.
+  DriftReport report = monitor.AddProbe(Probe({{1, 25}, {2, 15}, {9, 60}}));
+  EXPECT_GT(report.total_variation, 0.25);
+  EXPECT_LT(report.ls_coverage, 0.90);
+  EXPECT_TRUE(report.retrain_recommended);
+}
+
+TEST(DriftMonitorTest, TinyProbesNeverRecommend) {
+  DriftMonitorOptions options;
+  options.min_objects = 50;
+  DriftMonitor monitor(Reference({{1, 100}}), {1}, options);
+  DriftReport report = monitor.AddProbe(Probe({{9, 10}}));  // Total drift, 10 objects.
+  EXPECT_FALSE(report.retrain_recommended);
+  EXPECT_EQ(report.recent_objects, 10);
+}
+
+TEST(DriftMonitorTest, WindowSlidesOldProbesOut) {
+  DriftMonitorOptions options;
+  options.window_probes = 2;
+  options.min_objects = 10;
+  DriftMonitor monitor(Reference({{1, 100}}), {1}, options);
+  monitor.AddProbe(Probe({{9, 100}}));  // Drifted probe...
+  monitor.AddProbe(Probe({{1, 100}}));
+  DriftReport report = monitor.AddProbe(Probe({{1, 100}}));  // ...now outside the window.
+  EXPECT_LT(report.total_variation, 0.05);
+  EXPECT_FALSE(report.retrain_recommended);
+}
+
+TEST(DriftMonitorTest, ProbeGpuCostAccumulates) {
+  DriftMonitor monitor(Reference({{1, 10}}), {1});
+  monitor.AddProbe(Probe({{1, 10}}, 12.5));
+  monitor.AddProbe(Probe({{1, 10}}, 7.5));
+  EXPECT_DOUBLE_EQ(monitor.probe_gpu_millis(), 20.0);
+}
+
+TEST(DriftMonitorTest, RebaseResetsReferenceAndWindow) {
+  DriftMonitor monitor(Reference({{1, 100}}), {1});
+  monitor.AddProbe(Probe({{9, 100}}));
+  monitor.Rebase(Reference({{9, 100}}), {9});
+  DriftReport report = monitor.AddProbe(Probe({{9, 100}}));
+  EXPECT_LT(report.total_variation, 0.05);
+  EXPECT_FALSE(report.retrain_recommended);
+}
+
+TEST(DriftMonitorTest, EmptyWindowReportsNoDrift) {
+  DriftMonitor monitor(Reference({{1, 100}}), {1});
+  DriftReport report = monitor.Current();
+  EXPECT_EQ(report.recent_objects, 0);
+  EXPECT_FALSE(report.retrain_recommended);
+}
+
+// --- End-to-end probe + retrain over a real stream ---
+
+TEST(DriftRetrainTest, ProbeStreamMatchesDistributionEstimate) {
+  video::ClassCatalog catalog(5);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile("auburn_c", &profile));
+  video::StreamRun run(&catalog, profile, 120.0, 30.0, 7);
+  cnn::Cnn gt(cnn::GtCnnDesc(catalog.world_seed()), &catalog);
+
+  ProbeSample probe = ProbeStream(run, gt, 0.0, 60.0, /*frame_stride=*/10);
+  EXPECT_GT(probe.total_objects, 0);
+  EXPECT_DOUBLE_EQ(probe.gpu_cost_millis,
+                   static_cast<double>(probe.total_objects) * gt.inference_cost_millis());
+  // A later window of the same stationary-mix stream should look similar.
+  ProbeSample later = ProbeStream(run, gt, 60.0, 120.0, 10);
+  EXPECT_LT(TotalVariationDistance(probe.objects_per_class, later.objects_per_class), 0.5);
+}
+
+TEST(DriftRetrainTest, RetrainRestoresLsCoverageAfterSimulatedShift) {
+  // Simulate a content shift by using two different streams as "before" and
+  // "after": specialize on stream A's mix, probe with stream B's detections, watch
+  // the monitor demand a retrain, retrain on B, and verify coverage recovers.
+  video::ClassCatalog catalog(5);
+  video::StreamProfile profile_a;
+  video::StreamProfile profile_b;
+  ASSERT_TRUE(video::FindProfile("auburn_c", &profile_a));
+  ASSERT_TRUE(video::FindProfile("cnn", &profile_b));  // News: very different mix.
+  video::StreamRun before(&catalog, profile_a, 90.0, 30.0, 7);
+  video::StreamRun after(&catalog, profile_b, 90.0, 30.0, 8);
+  cnn::Cnn gt(cnn::GtCnnDesc(catalog.world_seed()), &catalog);
+
+  cnn::ClassDistributionEstimate ref = cnn::EstimateClassDistribution(before, gt, 90.0, 5);
+  std::vector<common::ClassId> ls = ref.TopClasses(12);
+  DriftMonitorOptions options;
+  options.min_objects = 20;
+  DriftMonitor monitor(ref, ls, options);
+
+  ProbeSample shifted = ProbeStream(after, gt, 0.0, 60.0, 10);
+  DriftReport drifted = monitor.AddProbe(shifted);
+  EXPECT_TRUE(drifted.retrain_recommended)
+      << "TV=" << drifted.total_variation << " coverage=" << drifted.ls_coverage;
+
+  // §4.3 retraining loop: re-estimate on the new content, re-specialize, rebase.
+  cnn::ClassDistributionEstimate new_ref = cnn::EstimateClassDistribution(after, gt, 90.0, 5);
+  monitor.Rebase(new_ref, new_ref.TopClasses(12));
+  DriftReport recovered = monitor.AddProbe(ProbeStream(after, gt, 60.0, 90.0, 10));
+  EXPECT_FALSE(recovered.retrain_recommended)
+      << "TV=" << recovered.total_variation << " coverage=" << recovered.ls_coverage;
+}
+
+// --- RetrainController ---
+
+TEST(RetrainControllerTest, ProbesOnScheduleOnly) {
+  video::ClassCatalog catalog(5);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile("auburn_c", &profile));
+  video::StreamRun run(&catalog, profile, 180.0, 30.0, 7);
+  cnn::Cnn gt(cnn::GtCnnDesc(catalog.world_seed()), &catalog);
+  cnn::ClassDistributionEstimate ref = cnn::EstimateClassDistribution(run, gt, 60.0, 10);
+
+  RetrainControllerOptions options;
+  options.probe_period_sec = 60.0;
+  RetrainController controller(&run, &catalog, &gt, ref, options);
+
+  TickOutcome first = controller.Tick(60.0);
+  EXPECT_TRUE(first.probed);
+  TickOutcome again = controller.Tick(90.0);  // Within the period: no probe.
+  EXPECT_FALSE(again.probed);
+  TickOutcome next = controller.Tick(121.0);
+  EXPECT_TRUE(next.probed);
+}
+
+TEST(RetrainControllerTest, StableStreamNeverRetrains) {
+  video::ClassCatalog catalog(5);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile("auburn_c", &profile));
+  video::StreamRun run(&catalog, profile, 300.0, 30.0, 7);
+  cnn::Cnn gt(cnn::GtCnnDesc(catalog.world_seed()), &catalog);
+  cnn::ClassDistributionEstimate ref = cnn::EstimateClassDistribution(run, gt, 120.0, 5);
+
+  RetrainControllerOptions options;
+  options.probe_period_sec = 60.0;
+  options.probe_window_sec = 60.0;
+  RetrainController controller(&run, &catalog, &gt, ref, options);
+  const std::string initial_model = controller.current_model().name;
+
+  for (double now = 60.0; now <= 300.0; now += 60.0) {
+    controller.Tick(now);
+  }
+  EXPECT_EQ(controller.retrain_count(), 0);
+  EXPECT_EQ(controller.current_model().name, initial_model);
+  EXPECT_GT(controller.maintenance_gpu_millis(), 0.0);  // Probes still cost GPU.
+}
+
+TEST(RetrainControllerTest, ForeignReferenceForcesOneRetrainThenSettles) {
+  // Deploy a model specialized on a *different* stream's mix; the first probes see
+  // total drift, force a retrain, and subsequent probes accept the new model.
+  video::ClassCatalog catalog(5);
+  video::StreamProfile news;
+  video::StreamProfile traffic;
+  ASSERT_TRUE(video::FindProfile("cnn", &news));
+  ASSERT_TRUE(video::FindProfile("auburn_c", &traffic));
+  video::StreamRun news_run(&catalog, news, 120.0, 30.0, 8);
+  video::StreamRun traffic_run(&catalog, traffic, 300.0, 30.0, 7);
+  cnn::Cnn gt(cnn::GtCnnDesc(catalog.world_seed()), &catalog);
+
+  cnn::ClassDistributionEstimate wrong_ref =
+      cnn::EstimateClassDistribution(news_run, gt, 120.0, 5);
+  RetrainControllerOptions options;
+  options.probe_period_sec = 60.0;
+  options.probe_window_sec = 60.0;
+  options.monitor.min_objects = 20;
+  RetrainController controller(&traffic_run, &catalog, &gt, wrong_ref, options);
+
+  int64_t retrains = 0;
+  for (double now = 60.0; now <= 300.0; now += 60.0) {
+    TickOutcome outcome = controller.Tick(now);
+    retrains += outcome.retrained ? 1 : 0;
+  }
+  EXPECT_GE(retrains, 1);
+  // After rebasing on the actual stream, the loop settles instead of thrashing.
+  EXPECT_LE(retrains, 2);
+  EXPECT_EQ(controller.retrain_count(), retrains);
+}
+
+}  // namespace
+}  // namespace focus::core

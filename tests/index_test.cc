@@ -1,0 +1,210 @@
+// Unit tests for the KvStore and the top-K index.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <filesystem>
+
+#include "src/index/kv_store.h"
+#include "src/index/topk_index.h"
+
+namespace focus::index {
+namespace {
+
+TEST(KvStoreTest, PutGetErase) {
+  KvStore store;
+  store.Put("a", "1");
+  store.Put("b", "2");
+  EXPECT_EQ(store.Get("a").value(), "1");
+  EXPECT_FALSE(store.Get("c").has_value());
+  EXPECT_TRUE(store.Erase("a"));
+  EXPECT_FALSE(store.Erase("a"));
+  EXPECT_FALSE(store.Get("a").has_value());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, OverwriteReplacesValue) {
+  KvStore store;
+  store.Put("k", "old");
+  store.Put("k", "new");
+  EXPECT_EQ(store.Get("k").value(), "new");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, PrefixScanInOrder) {
+  KvStore store;
+  store.Put("idx/2", "b");
+  store.Put("idx/1", "a");
+  store.Put("other/1", "x");
+  store.Put("idx/3", "c");
+  auto rows = store.Scan("idx/");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "idx/1");
+  EXPECT_EQ(rows[2].second, "c");
+  EXPECT_TRUE(store.Scan("zzz").empty());
+}
+
+TEST(KvStoreTest, SaveAndLoadRoundTrip) {
+  std::string path = std::filesystem::temp_directory_path() / "focus_kv_test.bin";
+  {
+    KvStore store;
+    store.Put("key1", "value1");
+    store.Put("key2", std::string("bin\0ary", 7));
+    auto saved = store.SaveToFile(path);
+    ASSERT_TRUE(saved.ok()) << saved.error().message;
+  }
+  KvStore loaded;
+  auto ok = loaded.LoadFromFile(path);
+  ASSERT_TRUE(ok.ok()) << ok.error().message;
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.Get("key1").value(), "value1");
+  EXPECT_EQ(loaded.Get("key2").value(), std::string("bin\0ary", 7));
+  std::remove(path.c_str());
+}
+
+TEST(KvStoreTest, LoadMissingFileIsNotFound) {
+  KvStore store;
+  auto result = store.LoadFromFile("/nonexistent/path/focus.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::ErrorCode::kNotFound);
+}
+
+TEST(KvStoreTest, LoadCorruptFileFails) {
+  std::string path = std::filesystem::temp_directory_path() / "focus_kv_corrupt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a snapshot";
+  }
+  KvStore store;
+  store.Put("pre", "served");
+  auto result = store.LoadFromFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::ErrorCode::kIo);
+  // Failed load must not clobber existing contents.
+  EXPECT_EQ(store.Get("pre").value(), "served");
+  std::remove(path.c_str());
+}
+
+ClusterEntry MakeEntry(int64_t id, std::vector<common::ClassId> classes,
+                       std::vector<cluster::MemberRun> members) {
+  ClusterEntry e;
+  e.cluster_id = id;
+  e.topk_classes = std::move(classes);
+  for (size_t i = 0; i < e.topk_classes.size(); ++i) {
+    e.topk_ranks.push_back(static_cast<int32_t>(i) + 1);
+  }
+  e.members = std::move(members);
+  e.size = 0;
+  for (const auto& run : e.members) {
+    e.size += run.FrameCount();
+  }
+  e.representative.object_id = e.members.empty() ? 0 : e.members[0].object;
+  e.representative.frame = e.members.empty() ? 0 : e.members[0].first_frame;
+  e.representative.true_class = e.topk_classes.empty() ? 0 : e.topk_classes[0];
+  e.representative.appearance = {1.0f, 0.0f, 0.5f};
+  return e;
+}
+
+TEST(TopKIndexTest, PostingsMapClassesToClusters) {
+  TopKIndex index;
+  index.AddCluster(MakeEntry(0, {1, 2, 3}, {{10, 0, 5}}));
+  index.AddCluster(MakeEntry(1, {2, 4}, {{11, 3, 9}}));
+  EXPECT_EQ(index.num_clusters(), 2u);
+  EXPECT_EQ(index.ClustersForClass(2).size(), 2u);
+  EXPECT_EQ(index.ClustersForClass(1).size(), 1u);
+  EXPECT_TRUE(index.ClustersForClass(99).empty());
+  auto classes = index.IndexedClasses();
+  EXPECT_EQ(classes.size(), 4u);
+}
+
+TEST(TopKIndexTest, MatchesWithinUsesRankedPrefix) {
+  ClusterEntry e = MakeEntry(0, {7, 8, 9}, {{1, 0, 1}});
+  EXPECT_TRUE(e.MatchesWithin(7, 1));
+  EXPECT_FALSE(e.MatchesWithin(8, 1));
+  EXPECT_TRUE(e.MatchesWithin(8, 2));
+  EXPECT_TRUE(e.MatchesWithin(9, 100));  // kx beyond the list is clamped.
+  EXPECT_FALSE(e.MatchesWithin(99, 100));
+}
+
+TEST(TopKIndexTest, TotalsAndFrameCounts) {
+  TopKIndex index;
+  index.AddCluster(MakeEntry(0, {1}, {{10, 0, 4}, {11, 2, 3}}));
+  EXPECT_EQ(index.total_indexed_detections(), 7);
+  EXPECT_EQ(index.cluster(0).TotalFrameCount(), 7);
+}
+
+TEST(TopKIndexTest, KvStoreRoundTripPreservesEverything) {
+  TopKIndex index;
+  index.AddCluster(MakeEntry(0, {1, 2}, {{10, 0, 5}, {12, 8, 9}}));
+  index.AddCluster(MakeEntry(1, {3}, {{11, 3, 9}}));
+
+  KvStore store;
+  auto saved = index.SaveTo(store, "stream0");
+  ASSERT_TRUE(saved.ok());
+
+  TopKIndex loaded;
+  auto ok = loaded.LoadFrom(store, "stream0");
+  ASSERT_TRUE(ok.ok()) << ok.error().message;
+  ASSERT_EQ(loaded.num_clusters(), 2u);
+  EXPECT_EQ(loaded.ClustersForClass(2).size(), 1u);
+  const ClusterEntry& e = loaded.cluster(0);
+  EXPECT_EQ(e.members.size(), 2u);
+  EXPECT_EQ(e.members[1].object, 12);
+  EXPECT_EQ(e.topk_classes, (std::vector<common::ClassId>{1, 2}));
+  EXPECT_EQ(e.representative.appearance.size(), 3u);
+  EXPECT_EQ(e.size, 8);
+  EXPECT_EQ(loaded.total_indexed_detections(), index.total_indexed_detections());
+}
+
+TEST(TopKIndexTest, LoadFromMissingPrefixFails) {
+  KvStore store;
+  TopKIndex index;
+  auto result = index.LoadFrom(store, "nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, common::ErrorCode::kNotFound);
+}
+
+TEST(TopKIndexTest, MergeFromRenumbersAndShiftsFrames) {
+  TopKIndex day1;
+  day1.AddCluster(MakeEntry(0, {1, 2}, {{10, 0, 5}}));
+  day1.AddCluster(MakeEntry(1, {3}, {{11, 6, 9}}));
+
+  TopKIndex day2;
+  day2.AddCluster(MakeEntry(0, {2, 5}, {{20, 0, 4}}));
+
+  // Day 2's frames continue day 1's timeline at frame 1000.
+  day1.MergeFrom(std::move(day2), /*frame_offset=*/1000);
+
+  ASSERT_EQ(day1.num_clusters(), 3u);
+  const ClusterEntry& merged = day1.cluster(2);
+  EXPECT_EQ(merged.cluster_id, 2);  // Renumbered dense.
+  EXPECT_EQ(merged.members[0].first_frame, 1000);
+  EXPECT_EQ(merged.members[0].last_frame, 1004);
+  EXPECT_EQ(merged.representative.frame, 1000);
+
+  // Postings span both shards.
+  EXPECT_EQ(day1.ClustersForClass(2), (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(day1.ClustersForClass(5), (std::vector<int64_t>{2}));
+  EXPECT_EQ(day1.total_indexed_detections(), 6 + 4 + 5);
+}
+
+TEST(TopKIndexTest, MergeFromEmptyIsNoop) {
+  TopKIndex index;
+  index.AddCluster(MakeEntry(0, {7}, {{1, 0, 3}}));
+  index.MergeFrom(TopKIndex{}, 500);
+  EXPECT_EQ(index.num_clusters(), 1u);
+  EXPECT_EQ(index.cluster(0).members[0].first_frame, 0);
+}
+
+TEST(TopKIndexTest, MergeIntoEmptyAdoptsEverything) {
+  TopKIndex empty;
+  TopKIndex shard;
+  shard.AddCluster(MakeEntry(0, {4}, {{2, 10, 12}}));
+  empty.MergeFrom(std::move(shard));
+  ASSERT_EQ(empty.num_clusters(), 1u);
+  EXPECT_EQ(empty.ClustersForClass(4).size(), 1u);
+  EXPECT_EQ(empty.cluster(0).members[0].first_frame, 10);  // Zero offset.
+}
+
+}  // namespace
+}  // namespace focus::index

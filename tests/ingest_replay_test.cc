@@ -1,0 +1,230 @@
+// Tests for the classify-once / re-cluster-many ingest path (ClassifySample +
+// RunIngestClassified) and the bounded-distance scan primitive underneath the
+// clusterer. The replay path must be indistinguishable from RunIngest — the tuner's
+// correctness depends on it — and the bounded distance must agree exactly with the
+// plain distance on every accept/reject decision.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/cluster/incremental_clusterer.h"
+#include "src/cnn/model_zoo.h"
+#include "src/common/feature_vector.h"
+#include "src/common/rng.h"
+#include "src/core/ingest_pipeline.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::core {
+namespace {
+
+class IngestReplayTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new video::ClassCatalog(17);
+    video::StreamProfile profile;
+    ASSERT_TRUE(video::FindProfile("auburn_c", &profile));
+    run_ = new video::StreamRun(catalog_, profile, 90.0, 30.0, 3);
+  }
+
+  static void TearDownTestSuite() {
+    delete run_;
+    delete catalog_;
+    run_ = nullptr;
+    catalog_ = nullptr;
+  }
+
+  static IngestParams Params(int k, double threshold) {
+    IngestParams params;
+    params.model = cnn::GenericCheapCandidates(5)[1];  // Mid-cost generic model.
+    params.k = k;
+    params.cluster_threshold = threshold;
+    return params;
+  }
+
+  static void ExpectSameIndex(const IngestResult& a, const IngestResult& b) {
+    EXPECT_EQ(a.detections, b.detections);
+    EXPECT_EQ(a.cnn_invocations, b.cnn_invocations);
+    EXPECT_EQ(a.suppressed, b.suppressed);
+    EXPECT_DOUBLE_EQ(a.gpu_millis, b.gpu_millis);
+    ASSERT_EQ(a.index.num_clusters(), b.index.num_clusters());
+    for (size_t i = 0; i < a.index.num_clusters(); ++i) {
+      const index::ClusterEntry& ca = a.index.clusters()[i];
+      const index::ClusterEntry& cb = b.index.clusters()[i];
+      EXPECT_EQ(ca.cluster_id, cb.cluster_id);
+      EXPECT_EQ(ca.size, cb.size);
+      EXPECT_EQ(ca.topk_classes, cb.topk_classes);
+      EXPECT_EQ(ca.topk_ranks, cb.topk_ranks);
+      ASSERT_EQ(ca.members.size(), cb.members.size());
+      for (size_t m = 0; m < ca.members.size(); ++m) {
+        EXPECT_EQ(ca.members[m].object, cb.members[m].object);
+        EXPECT_EQ(ca.members[m].first_frame, cb.members[m].first_frame);
+        EXPECT_EQ(ca.members[m].last_frame, cb.members[m].last_frame);
+      }
+    }
+  }
+
+  static video::ClassCatalog* catalog_;
+  static video::StreamRun* run_;
+};
+
+video::ClassCatalog* IngestReplayTest::catalog_ = nullptr;
+video::StreamRun* IngestReplayTest::run_ = nullptr;
+
+TEST_F(IngestReplayTest, ReplayMatchesDirectIngestExactly) {
+  IngestParams params = Params(32, 0.5);
+  cnn::Cnn cheap(params.model, catalog_);
+  IngestResult direct = RunIngest(*run_, cheap, params);
+  ClassifiedSample sample = ClassifySample(*run_, cheap, params.k);
+  IngestResult replayed = RunIngestClassified(sample, params);
+  ExpectSameIndex(direct, replayed);
+}
+
+TEST_F(IngestReplayTest, OneClassificationServesManyThresholds) {
+  IngestParams params = Params(16, 0.0);
+  cnn::Cnn cheap(params.model, catalog_);
+  ClassifiedSample sample = ClassifySample(*run_, cheap, params.k);
+  for (double threshold : {0.3, 0.45, 0.6, 0.9}) {
+    params.cluster_threshold = threshold;
+    IngestResult direct = RunIngest(*run_, cheap, params);
+    IngestResult replayed = RunIngestClassified(sample, params);
+    ExpectSameIndex(direct, replayed);
+  }
+}
+
+TEST_F(IngestReplayTest, NarrowerKIsAPrefixOfTheStoredWidth) {
+  cnn::Cnn cheap(Params(1, 0).model, catalog_);
+  ClassifiedSample wide = ClassifySample(*run_, cheap, 64);
+  IngestParams narrow = Params(8, 0.5);
+  IngestResult from_wide = RunIngestClassified(wide, narrow);
+  IngestResult direct = RunIngest(*run_, cheap, narrow);
+  ExpectSameIndex(direct, from_wide);
+}
+
+TEST_F(IngestReplayTest, SampleAccountsGpuOnlyForFreshClassifications) {
+  cnn::Cnn cheap(Params(1, 0).model, catalog_);
+  ClassifiedSample sample = ClassifySample(*run_, cheap, 8);
+  EXPECT_GT(sample.suppressed, 0);  // The stream has near-duplicate crops.
+  EXPECT_EQ(static_cast<int64_t>(sample.detections.size()),
+            sample.cnn_invocations + sample.suppressed);
+  // Accumulated per inference vs multiplied once: equal up to FP associativity.
+  EXPECT_NEAR(sample.gpu_millis,
+              static_cast<double>(sample.cnn_invocations) * cheap.inference_cost_millis(),
+              1e-6);
+}
+
+TEST_F(IngestReplayTest, PixelDiffDisabledClassifiesEverything) {
+  cnn::Cnn cheap(Params(1, 0).model, catalog_);
+  IngestOptions no_diff;
+  no_diff.use_pixel_diff = false;
+  ClassifiedSample sample = ClassifySample(*run_, cheap, 8, no_diff);
+  EXPECT_EQ(sample.suppressed, 0);
+  EXPECT_EQ(sample.cnn_invocations, static_cast<int64_t>(sample.detections.size()));
+}
+
+TEST_F(IngestReplayTest, LimitSecTruncatesTheSample) {
+  cnn::Cnn cheap(Params(1, 0).model, catalog_);
+  IngestOptions limited;
+  limited.limit_sec = 30.0;
+  ClassifiedSample sample = ClassifySample(*run_, cheap, 8, limited);
+  const common::FrameIndex limit_frame = static_cast<common::FrameIndex>(30.0 * run_->fps());
+  for (const ClassifiedDetection& entry : sample.detections) {
+    EXPECT_LT(entry.detection.frame, limit_frame);
+  }
+}
+
+// --- SquaredL2DistanceBounded ---
+
+TEST(BoundedDistanceTest, AgreesWithPlainDistanceWhenUnderBound) {
+  common::Pcg32 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    common::FeatureVec a = common::RandomUnitVector(64, rng);
+    common::FeatureVec b = common::RandomUnitVector(64, rng);
+    double exact = common::SquaredL2Distance(a, b);
+    double bounded = common::SquaredL2DistanceBounded(a, b, exact + 1.0);
+    // Blocked summation reassociates adds; agreement is to rounding, not bitwise.
+    EXPECT_NEAR(bounded, exact, 1e-12);
+  }
+}
+
+TEST(BoundedDistanceTest, ExceedsBoundWheneverExactDoes) {
+  common::Pcg32 rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    common::FeatureVec a = common::RandomUnitVector(64, rng);
+    common::FeatureVec b = common::RandomUnitVector(64, rng);
+    double exact = common::SquaredL2Distance(a, b);
+    double bound = exact * 0.5;  // Deliberately below the true distance.
+    EXPECT_GT(common::SquaredL2DistanceBounded(a, b, bound), bound);
+  }
+}
+
+TEST(BoundedDistanceTest, HandlesNonMultipleOfEightDimensions) {
+  common::Pcg32 rng(11);
+  for (size_t dim : {1u, 3u, 7u, 9u, 15u, 63u, 65u}) {
+    common::FeatureVec a = common::RandomUnitVector(dim, rng);
+    common::FeatureVec b = common::RandomUnitVector(dim, rng);
+    double exact = common::SquaredL2Distance(a, b);
+    EXPECT_DOUBLE_EQ(common::SquaredL2DistanceBounded(a, b, 1e9), exact) << "dim=" << dim;
+  }
+}
+
+TEST(BoundedDistanceTest, ZeroBoundStillExactForIdenticalVectors) {
+  common::FeatureVec v(16, 0.25f);
+  EXPECT_DOUBLE_EQ(common::SquaredL2DistanceBounded(v, v, 0.0), 0.0);
+}
+
+TEST(BoundedDistanceTest, ClusterAssignmentsIdenticalUnderExactScan) {
+  // The bounded scan must not change any clustering decision: run the exact-mode
+  // clusterer over a real stream twice — the implementation uses the bounded
+  // primitive internally, so equality against an independent brute-force assignment
+  // validates it end-to-end.
+  video::ClassCatalog catalog(23);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile("city_a_r", &profile));
+  video::StreamRun run(&catalog, profile, 45.0, 30.0, 5);
+  cnn::Cnn cheap(cnn::GenericCheapCandidates(5)[0], &catalog);
+
+  cluster::ClustererOptions copts;
+  copts.threshold = 0.5;
+  copts.mode = cluster::ClustererOptions::Mode::kExact;
+  cluster::IncrementalClusterer clusterer(copts);
+
+  // Independent brute force with the plain distance.
+  std::vector<common::FeatureVec> centroids;
+  std::vector<int64_t> sizes;
+  run.ForEachFrame([&](common::FrameIndex, const std::vector<video::Detection>& dets) {
+    for (const video::Detection& d : dets) {
+      common::FeatureVec f = cheap.ExtractFeature(d);
+      int64_t got = clusterer.Add(d, f);
+
+      // Textbook rule: argmin distance (first-seen wins ties), join iff <= T^2.
+      int64_t expect = -1;
+      double best = std::numeric_limits<double>::max();
+      for (size_t i = 0; i < centroids.size(); ++i) {
+        double dist = common::SquaredL2Distance(centroids[i], f);
+        if (dist < best) {
+          best = dist;
+          expect = static_cast<int64_t>(i);
+        }
+      }
+      if (expect >= 0 && best > 0.5 * 0.5) {
+        expect = -1;
+      }
+      if (expect < 0) {
+        centroids.push_back(f);
+        sizes.push_back(1);
+        expect = static_cast<int64_t>(centroids.size()) - 1;
+      } else {
+        double w = 1.0 / static_cast<double>(sizes[static_cast<size_t>(expect)] + 1);
+        common::FeatureVec& c = centroids[static_cast<size_t>(expect)];
+        for (size_t j = 0; j < c.size(); ++j) {
+          c[j] = static_cast<float>(c[j] * (1.0 - w) + f[j] * w);
+        }
+        ++sizes[static_cast<size_t>(expect)];
+      }
+      ASSERT_EQ(got, expect) << "diverged at frame " << d.frame;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace focus::core

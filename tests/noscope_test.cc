@@ -1,0 +1,158 @@
+// Tests for the NoScope-style per-query cascade baseline: cost structure (training
+// paid once per class, filter+verify per query), the difference detector, result
+// sanity against ground truth, and the architectural contrast with Focus that §7.3
+// claims (repeated multi-class querying amortizes for Focus but not for NoScope).
+#include <gtest/gtest.h>
+
+#include "src/baseline/noscope.h"
+#include "src/cnn/ground_truth.h"
+#include "src/core/accuracy_evaluator.h"
+#include "src/core/focus_stream.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::baseline {
+namespace {
+
+class NoScopeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new video::ClassCatalog(31);
+    video::StreamProfile profile;
+    ASSERT_TRUE(video::FindProfile("auburn_c", &profile));
+    run_ = new video::StreamRun(catalog_, profile, 150.0, 30.0, 13);
+    gt_ = new cnn::Cnn(cnn::GtCnnDesc(catalog_->world_seed()), catalog_);
+    truth_ = new cnn::SegmentGroundTruth(*run_, *gt_);
+    auto dominant = truth_->DominantClasses(0.95, 4);
+    ASSERT_FALSE(dominant.empty());
+    dominant_ = dominant;
+  }
+
+  static void TearDownTestSuite() {
+    delete truth_;
+    delete gt_;
+    delete run_;
+    delete catalog_;
+    truth_ = nullptr;
+    gt_ = nullptr;
+    run_ = nullptr;
+    catalog_ = nullptr;
+  }
+
+  static video::ClassCatalog* catalog_;
+  static video::StreamRun* run_;
+  static cnn::Cnn* gt_;
+  static cnn::SegmentGroundTruth* truth_;
+  static std::vector<common::ClassId> dominant_;
+};
+
+video::ClassCatalog* NoScopeTest::catalog_ = nullptr;
+video::StreamRun* NoScopeTest::run_ = nullptr;
+cnn::Cnn* NoScopeTest::gt_ = nullptr;
+cnn::SegmentGroundTruth* NoScopeTest::truth_ = nullptr;
+std::vector<common::ClassId> NoScopeTest::dominant_;
+
+TEST_F(NoScopeTest, TrainingPaidOncePerClass) {
+  NoScopeSession session(run_, catalog_, gt_);
+  NoScopeQueryResult first = session.Query(dominant_[0]);
+  EXPECT_GT(first.train_gpu_millis, 0.0);
+  EXPECT_EQ(session.models_trained(), 1u);
+
+  NoScopeQueryResult repeat = session.Query(dominant_[0]);
+  EXPECT_DOUBLE_EQ(repeat.train_gpu_millis, 0.0);  // Model cached.
+  EXPECT_EQ(session.models_trained(), 1u);
+  // But the filter pass is not cached — NoScope has no index.
+  EXPECT_GT(repeat.filter_gpu_millis, 0.0);
+  EXPECT_DOUBLE_EQ(repeat.filter_gpu_millis, first.filter_gpu_millis);
+}
+
+TEST_F(NoScopeTest, EachNewClassTrainsANewModel) {
+  ASSERT_GE(dominant_.size(), 2u);
+  NoScopeSession session(run_, catalog_, gt_);
+  session.Query(dominant_[0]);
+  NoScopeQueryResult second = session.Query(dominant_[1]);
+  EXPECT_GT(second.train_gpu_millis, 0.0);
+  EXPECT_EQ(session.models_trained(), 2u);
+}
+
+TEST_F(NoScopeTest, VerifiesOnlyBinaryPositives) {
+  NoScopeSession session(run_, catalog_, gt_);
+  NoScopeQueryResult result = session.Query(dominant_[0]);
+  EXPECT_GT(result.binary_invocations, 0);
+  EXPECT_LE(result.verified_detections, result.binary_invocations);
+  // Verification is the expensive stage per item, filtering the cheap one.
+  EXPECT_DOUBLE_EQ(result.verify_gpu_millis,
+                   static_cast<double>(result.verified_detections) *
+                       gt_->inference_cost_millis());
+}
+
+TEST_F(NoScopeTest, DifferenceDetectorCutsBinaryInvocations) {
+  NoScopeSession with(run_, catalog_, gt_);
+  NoScopeOptions no_diff;
+  no_diff.use_difference_detector = false;
+  NoScopeSession without(run_, catalog_, gt_, no_diff);
+  NoScopeQueryResult a = with.Query(dominant_[0]);
+  NoScopeQueryResult b = without.Query(dominant_[0]);
+  EXPECT_LT(a.binary_invocations, b.binary_invocations);
+}
+
+TEST_F(NoScopeTest, CheaperThanQueryAllPerQuery) {
+  // A training sample proportionate to the short test recording (the 120 s default
+  // targets multi-hour streams and would dominate a 150 s run).
+  NoScopeOptions options;
+  options.train_sample_sec = 20.0;
+  NoScopeSession session(run_, catalog_, gt_, options);
+  NoScopeQueryResult result = session.Query(dominant_[0]);
+  int64_t detections = 0;
+  run_->ForEachFrame([&](common::FrameIndex, const std::vector<video::Detection>& dets) {
+    detections += static_cast<int64_t>(dets.size());
+  });
+  const common::GpuMillis query_all =
+      static_cast<double>(detections) * gt_->inference_cost_millis();
+  // Even including training, the cascade beats brute force on a busy stream.
+  EXPECT_LT(result.total_gpu_millis(), query_all);
+}
+
+TEST_F(NoScopeTest, RecallAgainstGroundTruthIsHigh) {
+  NoScopeSession session(run_, catalog_, gt_);
+  NoScopeQueryResult result = session.Query(dominant_[0]);
+  core::AccuracyEvaluator evaluator(truth_, run_->fps());
+  core::PrecisionRecall pr = evaluator.Evaluate(dominant_[0], result.query);
+  // GT-CNN verification keeps precision near-perfect; recall is bounded by the
+  // binary model's misses.
+  EXPECT_GE(pr.precision, 0.9);
+  EXPECT_GE(pr.recall, 0.5);
+}
+
+TEST_F(NoScopeTest, TimeRangeRestrictsCascade) {
+  NoScopeSession session(run_, catalog_, gt_);
+  common::TimeRange window{.begin_sec = 0.0, .end_sec = 50.0};
+  NoScopeQueryResult windowed = session.Query(dominant_[0], window);
+  NoScopeQueryResult full = session.Query(dominant_[0]);
+  EXPECT_LE(windowed.binary_invocations, full.binary_invocations);
+  for (const auto& [first, last] : windowed.query.frame_runs) {
+    EXPECT_LT(static_cast<double>(last) / run_->fps(), window.end_sec);
+  }
+}
+
+TEST_F(NoScopeTest, FocusAmortizesAcrossClassesNoScopeDoesNot) {
+  // The §7.3 architectural claim, measured: query every dominant class once. Focus
+  // pays its (tuning + ingest) once and tiny per-query verification; NoScope pays
+  // training plus a full filter pass per class.
+  core::FocusOptions options;
+  auto focus_or = core::FocusStream::Build(run_, catalog_, options);
+  ASSERT_TRUE(focus_or.ok());
+  const core::FocusStream& focus = **focus_or;
+
+  common::GpuMillis focus_total = focus.total_ingest_gpu_millis();
+  NoScopeSession session(run_, catalog_, gt_);
+  common::GpuMillis noscope_total = 0.0;
+  for (common::ClassId cls : dominant_) {
+    focus_total += focus.Query(cls).gpu_millis;
+    noscope_total += session.Query(cls).total_gpu_millis();
+  }
+  // With several classes queried, the one-time index already wins.
+  EXPECT_LT(focus_total, noscope_total);
+}
+
+}  // namespace
+}  // namespace focus::baseline

@@ -1,0 +1,226 @@
+// Property-based tests: parameterized sweeps over the simulator's invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/cluster/incremental_clusterer.h"
+#include "src/cnn/accuracy_model.h"
+#include "src/cnn/cnn.h"
+#include "src/cnn/cost_model.h"
+#include "src/common/zipf.h"
+#include "src/core/query_engine.h"
+#include "src/video/stream_generator.h"
+
+namespace focus {
+namespace {
+
+// --- Zipf invariants over a sweep of exponents and sizes. ---
+
+class ZipfProperty : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(ZipfProperty, PmfIsNormalizedAndMonotone) {
+  auto [n, exponent] = GetParam();
+  common::ZipfDistribution zipf(n, exponent);
+  double sum = 0.0;
+  double prev = 1.0;
+  for (size_t k = 0; k < n; ++k) {
+    double p = zipf.Pmf(k);
+    EXPECT_LE(p, prev + 1e-12);
+    EXPECT_GE(p, 0.0);
+    sum += p;
+    prev = p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(ZipfProperty, SamplesStayInRange) {
+  auto [n, exponent] = GetParam();
+  common::ZipfDistribution zipf(n, exponent);
+  common::Pcg32 rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZipfProperty,
+                         ::testing::Combine(::testing::Values<size_t>(1, 10, 300, 1000),
+                                            ::testing::Values(0.0, 1.0, 1.8, 2.7)));
+
+// --- Accuracy-model invariants across the architecture grid. ---
+
+struct ArchCase {
+  int layers;
+  int input_px;
+};
+
+class AccuracyProperty : public ::testing::TestWithParam<ArchCase> {};
+
+TEST_P(AccuracyProperty, RecallMonotoneInKAndConsistentWithSampling) {
+  cnn::ModelDesc desc;
+  desc.layers = GetParam().layers;
+  desc.input_px = GetParam().input_px;
+  cnn::AccuracyParams params = cnn::ComputeAccuracy(desc);
+  double prev = 0.0;
+  for (int k = 1; k <= 1000; k *= 2) {
+    double r = cnn::RecallAtK(params, k, 1000);
+    EXPECT_GE(r, prev - 1e-12);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+    prev = r;
+  }
+  // Empirical rank sampling agrees with the analytic curve.
+  common::Pcg32 rng(desc.layers * 1000 + desc.input_px);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  constexpr int kProbe = 24;
+  for (int i = 0; i < kDraws; ++i) {
+    if (cnn::SampleRank(params, 1000, rng) <= kProbe) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, cnn::RecallAtK(params, kProbe, 1000), 0.015);
+}
+
+TEST_P(AccuracyProperty, CostAndCapacityArePositiveAndBounded) {
+  cnn::ModelDesc desc;
+  desc.layers = GetParam().layers;
+  desc.input_px = GetParam().input_px;
+  EXPECT_GT(cnn::RelativeCost(desc), 0.0);
+  EXPECT_LE(cnn::RelativeCost(desc), 1.0 + 1e-12);
+  EXPECT_GT(cnn::ModelCapacity(desc), 0.0);
+  EXPECT_LE(cnn::ModelCapacity(desc), 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(ArchGrid, AccuracyProperty,
+                         ::testing::Values(ArchCase{152, 224}, ArchCase{18, 224},
+                                           ArchCase{18, 112}, ArchCase{15, 112},
+                                           ArchCase{13, 56}, ArchCase{9, 56}, ArchCase{6, 56},
+                                           ArchCase{4, 28}));
+
+// --- Clusterer invariants across thresholds and modes. ---
+
+class ClustererProperty
+    : public ::testing::TestWithParam<std::tuple<double, cluster::ClustererOptions::Mode>> {};
+
+TEST_P(ClustererProperty, EveryDetectionIsRecordedExactlyOnce) {
+  auto [threshold, mode] = GetParam();
+  cluster::ClustererOptions opts;
+  opts.threshold = threshold;
+  opts.mode = mode;
+  opts.max_active = 64;
+  cluster::IncrementalClusterer clusterer(opts);
+
+  common::Pcg32 rng(23);
+  constexpr int kObjects = 40;
+  constexpr int kFrames = 30;
+  std::vector<common::FeatureVec> base;
+  for (int o = 0; o < kObjects; ++o) {
+    base.push_back(common::RandomUnitVector(32, rng));
+  }
+  int64_t added = 0;
+  for (int f = 0; f < kFrames; ++f) {
+    for (int o = 0; o < kObjects; ++o) {
+      video::Detection d;
+      d.object_id = o;
+      d.frame = f;
+      clusterer.Add(d, common::PerturbedUnitVector(base[o], 0.1, rng));
+      ++added;
+    }
+  }
+  // Conservation: total member frame-counts equal the number of additions, and no
+  // (object, frame) pair appears in two clusters.
+  int64_t recorded = 0;
+  std::set<std::pair<common::ObjectId, common::FrameIndex>> seen;
+  for (const cluster::Cluster& c : clusterer.clusters()) {
+    EXPECT_EQ(c.centroid.size(), 32u);
+    for (const cluster::MemberRun& run : c.members) {
+      recorded += run.FrameCount();
+      for (common::FrameIndex f = run.first_frame; f <= run.last_frame; ++f) {
+        EXPECT_TRUE(seen.insert({run.object, f}).second)
+            << "duplicate membership for object " << run.object << " frame " << f;
+      }
+    }
+  }
+  EXPECT_EQ(recorded, added);
+  EXPECT_EQ(clusterer.total_assignments(), added);
+  EXPECT_LE(clusterer.num_active(), opts.max_active);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClustererProperty,
+    ::testing::Combine(::testing::Values(0.05, 0.3, 0.6, 1.2),
+                       ::testing::Values(cluster::ClustererOptions::Mode::kExact,
+                                         cluster::ClustererOptions::Mode::kFast)));
+
+// --- Generator invariants across streams and frame rates. ---
+
+class StreamProperty : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(StreamProperty, SweepInvariants) {
+  auto [name, fps] = GetParam();
+  static video::ClassCatalog catalog(42);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile(name, &profile));
+  video::StreamRun run(&catalog, profile, 180.0, fps, 11);
+
+  std::set<common::ObjectId> seen_objects;
+  common::FrameIndex last_frame = -1;
+  video::SweepStats stats =
+      run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+        EXPECT_EQ(frame, last_frame + 1);  // Frames arrive densely, in order.
+        last_frame = frame;
+        for (const video::Detection& d : dets) {
+          EXPECT_GE(d.true_class, 0);
+          EXPECT_LT(d.true_class, video::kNumClasses);
+          EXPECT_NEAR(common::Norm(d.appearance), 1.0, 1e-4);
+          EXPECT_GE(d.bbox.x, 0.0f);
+          EXPECT_GE(d.bbox.y, 0.0f);
+          EXPECT_FALSE(d.first_observation && d.pixel_diff_suppressed);
+          seen_objects.insert(d.object_id);
+        }
+      });
+  EXPECT_EQ(stats.total_frames, static_cast<int64_t>(180.0 * fps));
+  EXPECT_EQ(stats.num_objects, static_cast<int64_t>(seen_objects.size()));
+  EXPECT_LE(stats.suppressed_detections, stats.total_detections);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, StreamProperty,
+    ::testing::Combine(::testing::Values("auburn_c", "bend", "church_st", "msnbc"),
+                       ::testing::Values(30.0, 5.0, 1.0)));
+
+// --- Frame-run merging properties over random inputs. ---
+
+class MergeRunsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeRunsProperty, MergedRunsAreSortedDisjointAndCoverSameFrames) {
+  common::Pcg32 rng(GetParam());
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> runs;
+  std::set<common::FrameIndex> frames;
+  for (int i = 0; i < 40; ++i) {
+    common::FrameIndex start = rng.NextInt(0, 500);
+    common::FrameIndex end = start + rng.NextInt(0, 30);
+    runs.emplace_back(start, end);
+    for (common::FrameIndex f = start; f <= end; ++f) {
+      frames.insert(f);
+    }
+  }
+  auto merged = core::MergeFrameRuns(runs);
+  std::set<common::FrameIndex> covered;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i].first, merged[i].second);
+    if (i > 0) {
+      EXPECT_GT(merged[i].first, merged[i - 1].second + 1);  // Disjoint, non-adjacent.
+    }
+    for (common::FrameIndex f = merged[i].first; f <= merged[i].second; ++f) {
+      covered.insert(f);
+    }
+  }
+  EXPECT_EQ(covered, frames);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeRunsProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace focus

@@ -1,0 +1,436 @@
+// Unit tests for the runtime substrate: virtual GPU scheduling, the task queue and
+// worker pool, metrics, and the ingest/query services over small streams.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/cnn/model_zoo.h"
+#include "src/core/focus_stream.h"
+#include "src/runtime/gpu_device.h"
+#include "src/runtime/ingest_service.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/query_service.h"
+#include "src/runtime/task_queue.h"
+#include "src/runtime/worker_pool.h"
+
+namespace focus::runtime {
+namespace {
+
+// --- GpuDevice ---
+
+TEST(GpuDeviceTest, JobsRunBackToBackInFifoOrder) {
+  GpuDevice device;
+  GpuJobTicket a = device.Submit(0.0, 10.0);
+  GpuJobTicket b = device.Submit(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(a.start_millis, 0.0);
+  EXPECT_DOUBLE_EQ(a.finish_millis, 10.0);
+  EXPECT_DOUBLE_EQ(b.start_millis, 10.0);  // Queued behind a.
+  EXPECT_DOUBLE_EQ(b.finish_millis, 15.0);
+  EXPECT_DOUBLE_EQ(device.free_at(), 15.0);
+  EXPECT_DOUBLE_EQ(device.busy_millis(), 15.0);
+  EXPECT_EQ(device.jobs_executed(), 2);
+}
+
+TEST(GpuDeviceTest, LateSubmissionStartsAtSubmitTime) {
+  GpuDevice device;
+  device.Submit(0.0, 10.0);
+  GpuJobTicket late = device.Submit(100.0, 5.0);
+  EXPECT_DOUBLE_EQ(late.start_millis, 100.0);  // Device idle since t=10.
+  EXPECT_DOUBLE_EQ(late.finish_millis, 105.0);
+}
+
+TEST(GpuDeviceTest, ZeroCostJobIsLegalAndInstant) {
+  GpuDevice device;
+  GpuJobTicket t = device.Submit(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(t.start_millis, 3.0);
+  EXPECT_DOUBLE_EQ(t.finish_millis, 3.0);
+}
+
+TEST(GpuDeviceTest, UtilizationIsBusyOverHorizon) {
+  GpuDevice device;
+  device.Submit(0.0, 25.0);
+  EXPECT_DOUBLE_EQ(device.UtilizationOver(100.0), 0.25);
+  EXPECT_DOUBLE_EQ(device.UtilizationOver(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(device.UtilizationOver(10.0), 1.0);  // Clamped.
+}
+
+TEST(GpuDeviceTest, ResetForgetsEverything) {
+  GpuDevice device;
+  device.Submit(0.0, 10.0);
+  device.Reset();
+  EXPECT_DOUBLE_EQ(device.free_at(), 0.0);
+  EXPECT_DOUBLE_EQ(device.busy_millis(), 0.0);
+  EXPECT_EQ(device.jobs_executed(), 0);
+}
+
+// --- GpuCluster ---
+
+TEST(GpuClusterTest, DispatchesToLeastLoadedDevice) {
+  GpuCluster cluster(2);
+  GpuJobTicket a = cluster.Submit(0.0, 10.0);
+  GpuJobTicket b = cluster.Submit(0.0, 10.0);
+  GpuJobTicket c = cluster.Submit(0.0, 10.0);
+  EXPECT_EQ(a.device, 0);
+  EXPECT_EQ(b.device, 1);  // Device 0 busy until t=10.
+  EXPECT_EQ(c.device, 0);  // Both busy; ties go to the lowest index... device 0 frees first.
+  EXPECT_DOUBLE_EQ(c.start_millis, 10.0);
+}
+
+TEST(GpuClusterTest, BatchLatencyScalesInverselyWithDevices) {
+  // 100 unit jobs: 1 GPU -> 100, 10 GPUs -> 10, 100 GPUs -> 1.
+  EXPECT_DOUBLE_EQ(ParallelLatencyMillis(100, 1.0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(ParallelLatencyMillis(100, 1.0, 10), 10.0);
+  EXPECT_DOUBLE_EQ(ParallelLatencyMillis(100, 1.0, 100), 1.0);
+}
+
+TEST(GpuClusterTest, BatchWithFewerJobsThanDevicesTakesOneJobTime) {
+  EXPECT_DOUBLE_EQ(ParallelLatencyMillis(3, 7.0, 10), 7.0);
+}
+
+TEST(GpuClusterTest, EmptyBatchFinishesImmediately) {
+  GpuCluster cluster(4);
+  EXPECT_DOUBLE_EQ(cluster.SubmitBatch(5.0, 0, 1.0), 5.0);
+}
+
+TEST(GpuClusterTest, StatsAggregateAcrossDevices) {
+  GpuCluster cluster(3);
+  cluster.SubmitBatch(0.0, 9, 2.0);
+  GpuClusterStats stats = cluster.Stats();
+  EXPECT_EQ(stats.num_devices, 3);
+  EXPECT_EQ(stats.jobs_executed, 9);
+  EXPECT_DOUBLE_EQ(stats.total_busy_millis, 18.0);
+  EXPECT_DOUBLE_EQ(stats.makespan_millis, 6.0);
+  EXPECT_NEAR(stats.imbalance, 1.0, 1e-9);  // 9 jobs split 3/3/3.
+}
+
+TEST(GpuClusterTest, SchedulesAreDeterministic) {
+  GpuCluster a(4);
+  GpuCluster b(4);
+  for (int i = 0; i < 50; ++i) {
+    GpuJobTicket ta = a.Submit(static_cast<double>(i), 3.0);
+    GpuJobTicket tb = b.Submit(static_cast<double>(i), 3.0);
+    EXPECT_EQ(ta.device, tb.device);
+    EXPECT_DOUBLE_EQ(ta.finish_millis, tb.finish_millis);
+  }
+}
+
+// --- TaskQueue ---
+
+TEST(TaskQueueTest, FifoWithinSingleThread) {
+  TaskQueue<int> queue(8);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  ASSERT_TRUE(queue.Push(3));
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_EQ(queue.Pop().value(), 3);
+}
+
+TEST(TaskQueueTest, TryPushFailsWhenFull) {
+  TaskQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(TaskQueueTest, CloseDrainsBacklogThenSignalsEnd) {
+  TaskQueue<int> queue(4);
+  queue.Push(7);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(8));  // Rejected after close.
+  EXPECT_EQ(queue.Pop().value(), 7);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(TaskQueueTest, BlockedConsumerWakesOnPush) {
+  TaskQueue<int> queue(4);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] { got.store(queue.Pop().value_or(-2)); });
+  queue.Push(42);
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(TaskQueueTest, ManyProducersManyConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  TaskQueue<int> queue(16);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  consumers.reserve(3);
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.Pop()) {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        EXPECT_TRUE(seen.insert(*item).second);  // Each item delivered exactly once.
+      }
+    });
+  }
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  queue.Close();
+  for (std::thread& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+// --- WorkerPool ---
+
+TEST(WorkerPoolTest, ExecutesAllSubmittedTasks) {
+  WorkerPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { counter.fetch_add(1); }));
+  }
+  pool.Drain();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.tasks_completed(), 100);
+}
+
+TEST(WorkerPoolTest, DrainWithNoTasksReturnsImmediately) {
+  WorkerPool pool(2);
+  pool.Drain();
+  EXPECT_EQ(pool.tasks_completed(), 0);
+}
+
+TEST(WorkerPoolTest, ShutdownRejectsFurtherWork) {
+  WorkerPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(WorkerPoolTest, DestructorDrainsBacklog) {
+  std::atomic<int> counter{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+// --- MetricsRegistry ---
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricsRegistry metrics;
+  metrics.IncrementCounter("a");
+  metrics.IncrementCounter("a", 4);
+  EXPECT_EQ(metrics.counter("a"), 5);
+  EXPECT_EQ(metrics.counter("missing"), 0);
+}
+
+TEST(MetricsTest, GaugesKeepLastValue) {
+  MetricsRegistry metrics;
+  metrics.SetGauge("g", 1.5);
+  metrics.SetGauge("g", 2.5);
+  EXPECT_DOUBLE_EQ(metrics.gauge("g"), 2.5);
+}
+
+TEST(MetricsTest, DistributionsTrackCountSumMinMax) {
+  MetricsRegistry metrics;
+  metrics.Observe("d", 2.0);
+  metrics.Observe("d", 6.0);
+  metrics.Observe("d", 4.0);
+  MetricsRegistry::Distribution d = metrics.distribution("d");
+  EXPECT_EQ(d.count, 3);
+  EXPECT_DOUBLE_EQ(d.sum, 12.0);
+  EXPECT_DOUBLE_EQ(d.min, 2.0);
+  EXPECT_DOUBLE_EQ(d.max, 6.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 4.0);
+}
+
+TEST(MetricsTest, ConcurrentUpdatesDoNotLoseIncrements) {
+  MetricsRegistry metrics;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        metrics.IncrementCounter("c");
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(metrics.counter("c"), 4000);
+}
+
+TEST(MetricsTest, RenderListsAllMetrics) {
+  MetricsRegistry metrics;
+  metrics.IncrementCounter("requests", 3);
+  metrics.SetGauge("load", 0.5);
+  std::string rendered = metrics.Render();
+  EXPECT_NE(rendered.find("requests=3"), std::string::npos);
+  EXPECT_NE(rendered.find("load=0.5"), std::string::npos);
+}
+
+// --- IngestService / QueryService over a real (small) stream ---
+
+class RuntimeServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new video::ClassCatalog(21);
+    video::StreamProfile profile;
+    ASSERT_TRUE(video::FindProfile("auburn_c", &profile));
+    run_ = new video::StreamRun(catalog_, profile, 120.0, 30.0, 5);
+  }
+
+  static void TearDownTestSuite() {
+    delete run_;
+    delete catalog_;
+    run_ = nullptr;
+    catalog_ = nullptr;
+  }
+
+  static core::IngestParams GenericParams() {
+    core::IngestParams params;
+    params.model = cnn::GenericCheapCandidates(33)[0];  // ResNet18 @ 224.
+    params.k = 40;
+    params.cluster_threshold = 0.6;
+    return params;
+  }
+
+  static video::ClassCatalog* catalog_;
+  static video::StreamRun* run_;
+};
+
+video::ClassCatalog* RuntimeServiceTest::catalog_ = nullptr;
+video::StreamRun* RuntimeServiceTest::run_ = nullptr;
+
+TEST_F(RuntimeServiceTest, IngestServiceMatchesDirectPipelineRun) {
+  IngestServiceOptions options;
+  options.num_worker_threads = 2;
+  MetricsRegistry metrics;
+  IngestService service(options, &metrics);
+  IngestJob job;
+  job.name = "auburn_c";
+  job.run = run_;
+  job.params = GenericParams();
+  service.AddStream(job);
+  FleetIngestSummary summary = service.RunAll();
+  ASSERT_EQ(summary.reports.size(), 1u);
+
+  cnn::Cnn cheap(GenericParams().model, catalog_);
+  core::IngestResult direct = core::RunIngest(*run_, cheap, GenericParams());
+  EXPECT_EQ(summary.reports[0].result.detections, direct.detections);
+  EXPECT_EQ(summary.reports[0].result.cnn_invocations, direct.cnn_invocations);
+  EXPECT_DOUBLE_EQ(summary.reports[0].result.gpu_millis, direct.gpu_millis);
+  EXPECT_EQ(metrics.counter("ingest.detections"), direct.detections);
+}
+
+TEST_F(RuntimeServiceTest, ParallelIngestOfClonedStreamsIsDeterministic) {
+  auto run_fleet = [&] {
+    IngestServiceOptions options;
+    options.num_worker_threads = 3;
+    MetricsRegistry metrics;
+    IngestService service(options, &metrics);
+    for (int i = 0; i < 3; ++i) {
+      IngestJob job;
+      job.name = "clone" + std::to_string(i);
+      job.run = run_;
+      job.params = GenericParams();
+      service.AddStream(job);
+    }
+    return service.RunAll();
+  };
+  FleetIngestSummary a = run_fleet();
+  FleetIngestSummary b = run_fleet();
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.reports[i].result.gpu_millis, b.reports[i].result.gpu_millis);
+    EXPECT_DOUBLE_EQ(a.reports[i].cluster_finish_millis, b.reports[i].cluster_finish_millis);
+  }
+  EXPECT_DOUBLE_EQ(a.total_gpu_occupancy, b.total_gpu_occupancy);
+}
+
+TEST_F(RuntimeServiceTest, OccupancyAnswersRealtimeProvisioning) {
+  IngestServiceOptions options;
+  MetricsRegistry metrics;
+  IngestService service(options, &metrics);
+  IngestJob job;
+  job.name = "auburn_c";
+  job.run = run_;
+  job.params = GenericParams();
+  service.AddStream(job);
+  FleetIngestSummary summary = service.RunAll();
+  // A cheap CNN ingesting one stream must need (far) less than one full GPU.
+  EXPECT_GT(summary.reports[0].gpu_occupancy, 0.0);
+  EXPECT_LT(summary.reports[0].gpu_occupancy, 1.0);
+  EXPECT_EQ(summary.min_gpus_for_realtime, 1);
+  // Monthly cost scales linearly with occupancy.
+  EXPECT_NEAR(service.CostPerStreamMonthly(summary.reports[0].gpu_occupancy),
+              summary.reports[0].gpu_occupancy * 250.0, 1e-9);
+}
+
+TEST_F(RuntimeServiceTest, QueryServiceLatencyDropsWithMoreGpus) {
+  core::FocusOptions focus_options;
+  auto focus_or = core::FocusStream::Build(run_, catalog_, focus_options);
+  ASSERT_TRUE(focus_or.ok()) << focus_or.error().message;
+  const core::FocusStream& focus = **focus_or;
+
+  cnn::SegmentGroundTruth truth(*run_, focus.gt_cnn());
+  std::vector<common::ClassId> dominant = truth.DominantClasses(0.95, 3);
+  ASSERT_FALSE(dominant.empty());
+
+  QueryRequest request;
+  request.stream = &focus;
+  request.cls = dominant[0];
+
+  QueryService one_gpu(QueryServiceOptions{.num_gpus = 1});
+  QueryService ten_gpus(QueryServiceOptions{.num_gpus = 10});
+  QueryExecution on_one = one_gpu.Execute(request);
+  QueryExecution on_ten = ten_gpus.Execute(request);
+  EXPECT_EQ(on_one.result.centroids_classified, on_ten.result.centroids_classified);
+  if (on_one.result.centroids_classified >= 10) {
+    EXPECT_LT(on_ten.latency_millis(), on_one.latency_millis());
+    // Perfect parallelism within rounding: one GPU's latency is ~10x ten GPUs'.
+    EXPECT_NEAR(on_one.latency_millis() / on_ten.latency_millis(), 10.0, 2.0);
+  }
+}
+
+TEST_F(RuntimeServiceTest, ConcurrentQueriesShareTheCluster) {
+  core::FocusOptions focus_options;
+  auto focus_or = core::FocusStream::Build(run_, catalog_, focus_options);
+  ASSERT_TRUE(focus_or.ok()) << focus_or.error().message;
+  const core::FocusStream& focus = **focus_or;
+
+  cnn::SegmentGroundTruth truth(*run_, focus.gt_cnn());
+  std::vector<common::ClassId> dominant = truth.DominantClasses(0.95, 4);
+  ASSERT_GE(dominant.size(), 2u);
+
+  std::vector<QueryRequest> batch;
+  for (common::ClassId cls : dominant) {
+    batch.push_back(QueryRequest{.stream = &focus, .cls = cls});
+  }
+  QueryService service(QueryServiceOptions{.num_gpus = 4});
+  std::vector<QueryExecution> executions = service.ExecuteConcurrently(batch);
+  ASSERT_EQ(executions.size(), batch.size());
+  // All requests were admitted at the same instant; total busy time equals the sum
+  // of per-query work.
+  common::GpuMillis total_work = 0;
+  for (const QueryExecution& e : executions) {
+    total_work += e.result.gpu_millis;
+  }
+  EXPECT_NEAR(service.cluster().Stats().total_busy_millis, total_work, 1e-6);
+}
+
+}  // namespace
+}  // namespace focus::runtime

@@ -1,0 +1,208 @@
+// Tests for the query-server frontend: protocol parsing (strictness, options,
+// errors), request handling against a real one-camera fleet, payload framing, and
+// concurrent read-only query handling through a worker pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "src/cnn/ground_truth.h"
+#include "src/runtime/worker_pool.h"
+#include "src/server/query_server.h"
+
+namespace focus::server {
+namespace {
+
+// --- ParseRequest ---
+
+TEST(ProtocolTest, ParsesPingCamerasClasses) {
+  auto ping = ParseRequest("PING");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->verb, Verb::kPing);
+
+  auto cameras = ParseRequest("  CAMERAS  ");
+  ASSERT_TRUE(cameras.ok());
+  EXPECT_EQ(cameras->verb, Verb::kCameras);
+
+  auto classes = ParseRequest("CLASSES ped");
+  ASSERT_TRUE(classes.ok());
+  EXPECT_EQ(classes->verb, Verb::kClasses);
+  EXPECT_EQ(classes->class_filter, "ped");
+}
+
+TEST(ProtocolTest, ParsesFullQuery) {
+  auto request = ParseRequest("QUERY north car BEGIN 60 END 120.5 KX 2");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->verb, Verb::kQuery);
+  EXPECT_EQ(request->camera, "north");
+  EXPECT_EQ(request->class_name, "car");
+  EXPECT_DOUBLE_EQ(request->range.begin_sec, 60.0);
+  EXPECT_DOUBLE_EQ(request->range.end_sec, 120.5);
+  EXPECT_EQ(request->kx, 2);
+}
+
+TEST(ProtocolTest, QueryDefaultsAreOpenEnded) {
+  auto request = ParseRequest("QUERY cam car");
+  ASSERT_TRUE(request.ok());
+  EXPECT_DOUBLE_EQ(request->range.begin_sec, 0.0);
+  EXPECT_LT(request->range.end_sec, 0.0);
+  EXPECT_EQ(request->kx, -1);
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("FROB x").ok());               // Unknown verb.
+  EXPECT_FALSE(ParseRequest("PING extra").ok());           // Trailing junk.
+  EXPECT_FALSE(ParseRequest("QUERY cam").ok());            // Missing class.
+  EXPECT_FALSE(ParseRequest("QUERY cam car BEGIN").ok());  // Option without value.
+  EXPECT_FALSE(ParseRequest("QUERY cam car BEGIN abc").ok());
+  EXPECT_FALSE(ParseRequest("QUERY cam car FOO 3").ok());  // Unknown option.
+  EXPECT_FALSE(ParseRequest("QUERY cam car KX 0").ok());   // Non-positive Kx.
+  EXPECT_FALSE(ParseRequest("QUERY cam car BEGIN 100 END 50").ok());  // Inverted range.
+  EXPECT_FALSE(ParseRequest("STATS").ok());
+  EXPECT_FALSE(ParseRequest("CLASSES a b").ok());
+}
+
+TEST(ProtocolTest, ResponsesAreFramed) {
+  EXPECT_EQ(OkResponse(""), "OK");
+  EXPECT_EQ(OkResponse("PONG"), "OK PONG");
+  std::string err = ErrResponse(common::ErrorCode::kNotFound, "nope");
+  EXPECT_EQ(err, "ERR NotFound nope");
+}
+
+// --- QueryServer over a real fleet ---
+
+class QueryServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new video::ClassCatalog(29);
+    fleet_ = new core::FocusFleet();
+    core::FocusOptions options;
+    video::StreamProfile profile;
+    ASSERT_TRUE(video::FindProfile("auburn_c", &profile));
+    ASSERT_TRUE(
+        fleet_->AddCamera("north", catalog_, profile, 120.0, 30.0, 77, options).ok());
+
+    const core::FocusStream* north = fleet_->Find("north");
+    cnn::SegmentGroundTruth truth(north->run(), north->gt_cnn());
+    auto dominant = truth.DominantClasses(0.95, 1);
+    ASSERT_FALSE(dominant.empty());
+    dominant_name_ = new std::string(catalog_->Name(dominant[0]));
+  }
+
+  static void TearDownTestSuite() {
+    delete dominant_name_;
+    delete fleet_;
+    delete catalog_;
+    dominant_name_ = nullptr;
+    fleet_ = nullptr;
+    catalog_ = nullptr;
+  }
+
+  static video::ClassCatalog* catalog_;
+  static core::FocusFleet* fleet_;
+  static std::string* dominant_name_;
+};
+
+video::ClassCatalog* QueryServerTest::catalog_ = nullptr;
+core::FocusFleet* QueryServerTest::fleet_ = nullptr;
+std::string* QueryServerTest::dominant_name_ = nullptr;
+
+TEST_F(QueryServerTest, PingPongs) {
+  runtime::MetricsRegistry metrics;
+  QueryServer server(fleet_, catalog_, &metrics);
+  EXPECT_EQ(server.HandleLine("PING"), "OK PONG");
+  EXPECT_EQ(metrics.counter("server.requests"), 1);
+}
+
+TEST_F(QueryServerTest, CamerasListsTheFleet) {
+  runtime::MetricsRegistry metrics;
+  QueryServer server(fleet_, catalog_, &metrics);
+  EXPECT_EQ(server.HandleLine("CAMERAS"), "OK 1\nnorth");
+}
+
+TEST_F(QueryServerTest, QueryReturnsFramesAndRuns) {
+  runtime::MetricsRegistry metrics;
+  QueryServer server(fleet_, catalog_, &metrics);
+  std::string response = server.HandleLine("QUERY north " + *dominant_name_);
+  ASSERT_EQ(response.rfind("OK FRAMES ", 0), 0u) << response;
+
+  // Every RUN line parses as two ordered frame numbers.
+  std::istringstream lines(response);
+  std::string line;
+  std::getline(lines, line);  // Summary.
+  int64_t runs = 0;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    int64_t first = 0;
+    int64_t last = 0;
+    ASSERT_TRUE(fields >> tag >> first >> last) << line;
+    EXPECT_EQ(tag, "RUN");
+    EXPECT_LE(first, last);
+    ++runs;
+  }
+  EXPECT_GT(runs, 0);
+  EXPECT_EQ(metrics.counter("server.queries"), 1);
+}
+
+TEST_F(QueryServerTest, QueryAgreesWithDirectFleetCall) {
+  QueryServer server(fleet_, catalog_);
+  std::string response =
+      server.HandleLine("QUERY north " + *dominant_name_ + " BEGIN 30 END 90");
+  auto direct = fleet_->Query(catalog_->IdForName(*dominant_name_), {"north"},
+                              common::TimeRange{30.0, 90.0});
+  ASSERT_TRUE(direct.ok());
+  std::ostringstream expected;
+  expected << "OK FRAMES " << direct->hits[0].result.frames_returned;
+  EXPECT_EQ(response.rfind(expected.str(), 0), 0u) << response;
+}
+
+TEST_F(QueryServerTest, ErrorsAreFramedNotThrown) {
+  QueryServer server(fleet_, catalog_);
+  EXPECT_EQ(server.HandleLine("QUERY nowhere car").rfind("ERR NotFound", 0), 0u);
+  EXPECT_EQ(server.HandleLine("QUERY north not_a_class").rfind("ERR NotFound", 0), 0u);
+  EXPECT_EQ(server.HandleLine("gibberish").rfind("ERR InvalidArgument", 0), 0u);
+}
+
+TEST_F(QueryServerTest, ClassesFilterBoundsThePayload) {
+  QueryServer server(fleet_, catalog_);
+  std::string all = server.HandleLine("CLASSES");
+  EXPECT_EQ(all.rfind("OK 1000", 0), 0u) << all.substr(0, 40);
+  EXPECT_NE(all.find("first 50 shown"), std::string::npos);
+
+  std::string none = server.HandleLine("CLASSES zzz_no_such_class");
+  EXPECT_EQ(none, "OK 0");
+}
+
+TEST_F(QueryServerTest, StatsDescribesTheDeployment) {
+  QueryServer server(fleet_, catalog_);
+  std::string response = server.HandleLine("STATS north");
+  EXPECT_EQ(response.rfind("OK MODEL ", 0), 0u);
+  EXPECT_NE(response.find(" CLUSTERS "), std::string::npos);
+  EXPECT_NE(response.find(" INGEST_GPU_MS "), std::string::npos);
+}
+
+TEST_F(QueryServerTest, ConcurrentQueriesAreConsistent) {
+  QueryServer server(fleet_, catalog_);
+  const std::string request = "QUERY north " + *dominant_name_;
+  const std::string expected = server.HandleLine(request);
+
+  std::atomic<int> mismatches{0};
+  {
+    runtime::WorkerPool pool(4);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&] {
+        if (server.HandleLine(request) != expected) {
+          mismatches.fetch_add(1);
+        }
+      });
+    }
+    pool.Drain();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace focus::server

@@ -1,0 +1,519 @@
+// Unit tests for the storage substrate: serializer primitives, index snapshot codec,
+// atomic snapshot files, the append-only record log (including torn-tail recovery),
+// and the video vault's retention logic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <string>
+
+#include "src/index/topk_index.h"
+#include "src/storage/index_codec.h"
+#include "src/storage/record_log.h"
+#include "src/storage/serializer.h"
+#include "src/storage/snapshot_store.h"
+#include "src/storage/video_vault.h"
+
+namespace focus::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("focus_storage_test_" + name)).string();
+}
+
+// --- Serializer ---
+
+TEST(SerializerTest, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xAB);
+  enc.PutU32(0xDEADBEEF);
+  enc.PutU64(0x0123456789ABCDEFull);
+  Decoder dec(enc.bytes());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  ASSERT_TRUE(dec.GetU8(&u8));
+  ASSERT_TRUE(dec.GetU32(&u32));
+  ASSERT_TRUE(dec.GetU64(&u64));
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(SerializerTest, VarintRoundTripAcrossMagnitudes) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  Encoder enc;
+  for (uint64_t v : values) {
+    enc.PutVarint(v);
+  }
+  Decoder dec(enc.bytes());
+  for (uint64_t expected : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(dec.GetVarint(&got));
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(SerializerTest, SignedVarintRoundTripIncludingNegatives) {
+  const int64_t values[] = {0, -1, 1, -64, 64, std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  Encoder enc;
+  for (int64_t v : values) {
+    enc.PutSignedVarint(v);
+  }
+  Decoder dec(enc.bytes());
+  for (int64_t expected : values) {
+    int64_t got = 0;
+    ASSERT_TRUE(dec.GetSignedVarint(&got));
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(SerializerTest, SmallSignedValuesEncodeCompactly) {
+  Encoder enc;
+  enc.PutSignedVarint(-1);  // ZigZag: one byte.
+  EXPECT_EQ(enc.size(), 1u);
+}
+
+TEST(SerializerTest, DoubleAndFloatRoundTripExactly) {
+  Encoder enc;
+  enc.PutDouble(3.14159265358979);
+  enc.PutDouble(-0.0);
+  enc.PutFloat(2.5f);
+  Decoder dec(enc.bytes());
+  double d1 = 0;
+  double d2 = 0;
+  float f = 0;
+  ASSERT_TRUE(dec.GetDouble(&d1));
+  ASSERT_TRUE(dec.GetDouble(&d2));
+  ASSERT_TRUE(dec.GetFloat(&f));
+  EXPECT_DOUBLE_EQ(d1, 3.14159265358979);
+  EXPECT_EQ(std::signbit(d2), true);
+  EXPECT_FLOAT_EQ(f, 2.5f);
+}
+
+TEST(SerializerTest, StringRoundTripIncludingEmbeddedNul) {
+  Encoder enc;
+  enc.PutString(std::string("ab\0cd", 5));
+  enc.PutString("");
+  Decoder dec(enc.bytes());
+  std::string a;
+  std::string b;
+  ASSERT_TRUE(dec.GetString(&a));
+  ASSERT_TRUE(dec.GetString(&b));
+  EXPECT_EQ(a, std::string("ab\0cd", 5));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(SerializerTest, TruncatedReadsFailCleanly) {
+  Encoder enc;
+  enc.PutU64(42);
+  Decoder dec(std::string_view(enc.bytes()).substr(0, 5));
+  uint64_t v = 0;
+  EXPECT_FALSE(dec.GetU64(&v));
+}
+
+TEST(SerializerTest, MalformedVarintFails) {
+  // Eleven continuation bytes exceed the 64-bit range.
+  std::string bad(11, static_cast<char>(0xFF));
+  Decoder dec(bad);
+  uint64_t v = 0;
+  EXPECT_FALSE(dec.GetVarint(&v));
+}
+
+TEST(SerializerTest, StringLengthBeyondPayloadFails) {
+  Encoder enc;
+  enc.PutVarint(1000);  // Claims 1000 bytes; none follow.
+  Decoder dec(enc.bytes());
+  std::string s;
+  EXPECT_FALSE(dec.GetString(&s));
+}
+
+TEST(SerializerTest, SkipAdvancesAndBoundsChecks) {
+  Encoder enc;
+  enc.PutU32(7);
+  enc.PutU8(9);
+  Decoder dec(enc.bytes());
+  ASSERT_TRUE(dec.Skip(4));
+  uint8_t v = 0;
+  ASSERT_TRUE(dec.GetU8(&v));
+  EXPECT_EQ(v, 9);
+  EXPECT_FALSE(dec.Skip(1));
+}
+
+TEST(SerializerTest, Crc32MatchesKnownVector) {
+  // Standard check value for the IEEE polynomial.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(SerializerTest, Crc32DetectsSingleBitFlip) {
+  std::string data = "the quick brown fox";
+  uint32_t clean = Crc32(data);
+  data[3] = static_cast<char>(data[3] ^ 0x01);
+  EXPECT_NE(Crc32(data), clean);
+}
+
+// --- Index codec ---
+
+index::TopKIndex MakeSmallIndex() {
+  index::TopKIndex idx;
+  for (int64_t c = 0; c < 3; ++c) {
+    index::ClusterEntry entry;
+    entry.cluster_id = c;
+    entry.size = 10 * (c + 1);
+    entry.representative.frame = 100 * c;
+    entry.representative.object_id = 7 + c;
+    entry.representative.bbox = {1.0f, 2.0f, 14.0f, 14.0f};
+    entry.representative.true_class = static_cast<common::ClassId>(42 + c);
+    entry.representative.appearance = {0.5f, -0.25f, 0.125f};
+    entry.members.push_back({7 + c, 100 * c, 100 * c + 30});
+    entry.topk_classes = {static_cast<common::ClassId>(42 + c),
+                          static_cast<common::ClassId>(142 + c)};
+    entry.topk_ranks = {1, 3};
+    idx.AddCluster(std::move(entry));
+  }
+  return idx;
+}
+
+TEST(IndexCodecTest, RoundTripPreservesEverything) {
+  index::TopKIndex original = MakeSmallIndex();
+  IndexSnapshotHeader header;
+  header.stream_name = "auburn_c";
+  header.model_name = "spec12_px56";
+  header.k = 4;
+  header.cluster_threshold = 0.6;
+  header.world_seed = 42;
+  header.fps = 10.0;
+  header.model.name = "spec12_px56";
+  header.model.layers = 12;
+  header.model.input_px = 56;
+  header.model.classes = {3, 9, 27};
+  header.model.has_other_class = true;
+  header.model.training_variability = 0.55;
+  header.model.weights_seed = 77;
+
+  std::string blob = EncodeIndexSnapshot(header, original);
+  IndexSnapshotHeader decoded_header;
+  index::TopKIndex decoded;
+  auto result = DecodeIndexSnapshot(blob, &decoded_header, &decoded);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+
+  EXPECT_EQ(decoded_header.stream_name, "auburn_c");
+  EXPECT_EQ(decoded_header.model_name, "spec12_px56");
+  EXPECT_EQ(decoded_header.k, 4);
+  EXPECT_DOUBLE_EQ(decoded_header.cluster_threshold, 0.6);
+  EXPECT_EQ(decoded_header.world_seed, 42u);
+  EXPECT_DOUBLE_EQ(decoded_header.fps, 10.0);
+  EXPECT_EQ(decoded_header.model.name, "spec12_px56");
+  EXPECT_EQ(decoded_header.model.layers, 12);
+  EXPECT_EQ(decoded_header.model.input_px, 56);
+  EXPECT_EQ(decoded_header.model.classes, (std::vector<common::ClassId>{3, 9, 27}));
+  EXPECT_TRUE(decoded_header.model.has_other_class);
+  EXPECT_DOUBLE_EQ(decoded_header.model.training_variability, 0.55);
+  EXPECT_EQ(decoded_header.model.weights_seed, 77u);
+
+  ASSERT_EQ(decoded.num_clusters(), original.num_clusters());
+  for (size_t i = 0; i < original.num_clusters(); ++i) {
+    const index::ClusterEntry& a = original.clusters()[i];
+    const index::ClusterEntry& b = decoded.clusters()[i];
+    EXPECT_EQ(a.cluster_id, b.cluster_id);
+    EXPECT_EQ(a.size, b.size);
+    EXPECT_EQ(a.representative.frame, b.representative.frame);
+    EXPECT_EQ(a.representative.object_id, b.representative.object_id);
+    EXPECT_EQ(a.representative.appearance, b.representative.appearance);
+    ASSERT_EQ(a.members.size(), b.members.size());
+    EXPECT_EQ(a.members[0].first_frame, b.members[0].first_frame);
+    EXPECT_EQ(a.topk_classes, b.topk_classes);
+    EXPECT_EQ(a.topk_ranks, b.topk_ranks);
+  }
+  // Postings survive the rebuild.
+  EXPECT_EQ(decoded.ClustersForClass(42).size(), 1u);
+  EXPECT_EQ(decoded.ClustersForClass(143).size(), 1u);
+}
+
+TEST(IndexCodecTest, EmptyIndexRoundTrips) {
+  index::TopKIndex empty;
+  std::string blob = EncodeIndexSnapshot(IndexSnapshotHeader{}, empty);
+  IndexSnapshotHeader header;
+  index::TopKIndex decoded;
+  ASSERT_TRUE(DecodeIndexSnapshot(blob, &header, &decoded).ok());
+  EXPECT_EQ(decoded.num_clusters(), 0u);
+}
+
+TEST(IndexCodecTest, RejectsCorruptedByte) {
+  std::string blob = EncodeIndexSnapshot(IndexSnapshotHeader{}, MakeSmallIndex());
+  blob[blob.size() / 2] = static_cast<char>(blob[blob.size() / 2] ^ 0x40);
+  IndexSnapshotHeader header;
+  index::TopKIndex decoded;
+  EXPECT_FALSE(DecodeIndexSnapshot(blob, &header, &decoded).ok());
+}
+
+TEST(IndexCodecTest, RejectsTruncation) {
+  std::string blob = EncodeIndexSnapshot(IndexSnapshotHeader{}, MakeSmallIndex());
+  blob.resize(blob.size() - 7);
+  IndexSnapshotHeader header;
+  index::TopKIndex decoded;
+  EXPECT_FALSE(DecodeIndexSnapshot(blob, &header, &decoded).ok());
+}
+
+TEST(IndexCodecTest, RejectsBadMagicEvenWithValidCrc) {
+  std::string blob = EncodeIndexSnapshot(IndexSnapshotHeader{}, MakeSmallIndex());
+  // Flip the magic, then re-stamp the CRC so only the magic check can object.
+  blob[0] = 'X';
+  const std::string_view body(blob.data(), blob.size() - 4);
+  uint32_t crc = Crc32(body);
+  for (int i = 0; i < 4; ++i) {
+    blob[blob.size() - 4 + static_cast<size_t>(i)] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  IndexSnapshotHeader header;
+  index::TopKIndex decoded;
+  auto result = DecodeIndexSnapshot(blob, &header, &decoded);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("magic"), std::string::npos);
+}
+
+TEST(IndexCodecTest, RejectsEmptyBlob) {
+  IndexSnapshotHeader header;
+  index::TopKIndex decoded;
+  EXPECT_FALSE(DecodeIndexSnapshot("", &header, &decoded).ok());
+}
+
+// --- Snapshot store ---
+
+TEST(SnapshotStoreTest, WriteThenReadBack) {
+  const std::string path = TempPath("snap.bin");
+  std::string payload = "hello\0world";
+  ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  EXPECT_TRUE(FileExists(path));
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotStoreTest, OverwriteReplacesAtomically) {
+  const std::string path = TempPath("snap_overwrite.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "v1").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "v2-longer-content").ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "v2-longer-content");
+  EXPECT_FALSE(FileExists(path + ".tmp"));  // Temp cleaned up.
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotStoreTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadFile(TempPath("does_not_exist.bin")).ok());
+  EXPECT_FALSE(FileExists(TempPath("does_not_exist.bin")));
+}
+
+TEST(SnapshotStoreTest, IndexSnapshotSurvivesDiskRoundTrip) {
+  const std::string path = TempPath("index_snap.bin");
+  index::TopKIndex original = MakeSmallIndex();
+  ASSERT_TRUE(WriteFileAtomic(path, EncodeIndexSnapshot(IndexSnapshotHeader{}, original)).ok());
+  auto blob = ReadFile(path);
+  ASSERT_TRUE(blob.ok());
+  IndexSnapshotHeader header;
+  index::TopKIndex decoded;
+  ASSERT_TRUE(DecodeIndexSnapshot(*blob, &header, &decoded).ok());
+  EXPECT_EQ(decoded.num_clusters(), original.num_clusters());
+  std::filesystem::remove(path);
+}
+
+// --- Record log ---
+
+TEST(RecordLogTest, AppendAndReplay) {
+  const std::string path = TempPath("log1.bin");
+  std::filesystem::remove(path);
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("alpha").ok());
+    ASSERT_TRUE(writer->Append("beta").ok());
+    ASSERT_TRUE(writer->Append(std::string("\0\x01\x02", 3)).ok());
+    EXPECT_EQ(writer->records_written(), 3);
+  }
+  auto contents = ReadRecordLog(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 3u);
+  EXPECT_EQ(contents->records[0], "alpha");
+  EXPECT_EQ(contents->records[1], "beta");
+  EXPECT_EQ(contents->records[2], std::string("\0\x01\x02", 3));
+  EXPECT_FALSE(contents->truncated_tail);
+  std::filesystem::remove(path);
+}
+
+TEST(RecordLogTest, MissingLogReadsAsEmpty) {
+  auto contents = ReadRecordLog(TempPath("never_created.bin"));
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->records.empty());
+  EXPECT_FALSE(contents->truncated_tail);
+}
+
+TEST(RecordLogTest, ReopenAppendsAfterExistingRecords) {
+  const std::string path = TempPath("log_reopen.bin");
+  std::filesystem::remove(path);
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("first").ok());
+  }
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("second").ok());
+  }
+  auto contents = ReadRecordLog(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[0], "first");
+  EXPECT_EQ(contents->records[1], "second");
+  std::filesystem::remove(path);
+}
+
+TEST(RecordLogTest, TornTailIsDroppedNotFatal) {
+  const std::string path = TempPath("log_torn.bin");
+  std::filesystem::remove(path);
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("complete-record").ok());
+    ASSERT_TRUE(writer->Append("will-be-torn").ok());
+  }
+  // Simulate a crash mid-append: chop bytes off the final record's payload.
+  auto blob = ReadFile(path);
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(WriteFileAtomic(path, blob->substr(0, blob->size() - 4)).ok());
+
+  auto contents = ReadRecordLog(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0], "complete-record");
+  EXPECT_TRUE(contents->truncated_tail);
+  std::filesystem::remove(path);
+}
+
+TEST(RecordLogTest, CorruptMiddleRecordStopsReplayAtThatPoint) {
+  const std::string path = TempPath("log_corrupt.bin");
+  std::filesystem::remove(path);
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("good").ok());
+    ASSERT_TRUE(writer->Append("bad-soon").ok());
+    ASSERT_TRUE(writer->Append("unreachable").ok());
+  }
+  auto blob = ReadFile(path);
+  ASSERT_TRUE(blob.ok());
+  std::string mutated = *blob;
+  // Flip a byte inside the second record's payload (after the first frame: 8 header
+  // bytes + 4 payload bytes; second frame header is 8 more; flip its first byte).
+  mutated[8 + 4 + 8] = static_cast<char>(mutated[8 + 4 + 8] ^ 0xFF);
+  ASSERT_TRUE(WriteFileAtomic(path, mutated).ok());
+
+  auto contents = ReadRecordLog(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0], "good");
+  EXPECT_TRUE(contents->truncated_tail);
+  std::filesystem::remove(path);
+}
+
+// --- Video vault ---
+
+RecordingChunk Chunk(double begin, double end, int64_t bytes) {
+  RecordingChunk c;
+  c.begin_sec = begin;
+  c.end_sec = end;
+  c.size_bytes = bytes;
+  c.uri = "chunk://" + std::to_string(static_cast<int64_t>(begin));
+  return c;
+}
+
+TEST(VideoVaultTest, AppendAndAccounting) {
+  VideoVault vault;
+  ASSERT_TRUE(vault.AppendChunk("cam1", Chunk(0, 60, 1000)).ok());
+  ASSERT_TRUE(vault.AppendChunk("cam1", Chunk(60, 120, 1200)).ok());
+  ASSERT_TRUE(vault.AppendChunk("cam2", Chunk(0, 30, 500)).ok());
+  const StreamManifest* cam1 = vault.Find("cam1");
+  ASSERT_NE(cam1, nullptr);
+  EXPECT_DOUBLE_EQ(cam1->RetainedSeconds(), 120.0);
+  EXPECT_EQ(cam1->RetainedBytes(), 2200);
+  EXPECT_DOUBLE_EQ(cam1->OldestSec().value(), 0.0);
+  EXPECT_EQ(vault.TotalBytes(), 2700);
+  EXPECT_EQ(vault.StreamNames().size(), 2u);
+}
+
+TEST(VideoVaultTest, RejectsOverlapAndBadChunks) {
+  VideoVault vault;
+  ASSERT_TRUE(vault.AppendChunk("cam", Chunk(0, 60, 10)).ok());
+  EXPECT_FALSE(vault.AppendChunk("cam", Chunk(30, 90, 10)).ok());   // Overlap.
+  EXPECT_FALSE(vault.AppendChunk("cam", Chunk(100, 100, 10)).ok()); // Zero length.
+  EXPECT_FALSE(vault.AppendChunk("cam", Chunk(100, 90, 10)).ok());  // Negative length.
+  RecordingChunk negative = Chunk(100, 160, -5);
+  EXPECT_FALSE(vault.AppendChunk("cam", negative).ok());
+}
+
+TEST(VideoVaultTest, TrimBeforeDropsWholeChunksOnly) {
+  VideoVault vault;
+  ASSERT_TRUE(vault.AppendChunk("cam", Chunk(0, 60, 10)).ok());
+  ASSERT_TRUE(vault.AppendChunk("cam", Chunk(60, 120, 10)).ok());
+  ASSERT_TRUE(vault.AppendChunk("cam", Chunk(120, 180, 10)).ok());
+  EXPECT_EQ(vault.TrimBefore(119.0), 1);  // Second chunk ends at 120 > 119: kept.
+  EXPECT_EQ(vault.Find("cam")->chunks.size(), 2u);
+  EXPECT_EQ(vault.TrimBefore(180.0), 2);
+  EXPECT_TRUE(vault.Find("cam")->chunks.empty());
+}
+
+TEST(VideoVaultTest, TrimToBudgetEvictsOldestFirst) {
+  VideoVault vault;
+  ASSERT_TRUE(vault.AppendChunk("a", Chunk(0, 60, 100)).ok());
+  ASSERT_TRUE(vault.AppendChunk("a", Chunk(60, 120, 100)).ok());
+  ASSERT_TRUE(vault.AppendChunk("b", Chunk(10, 70, 100)).ok());
+  EXPECT_EQ(vault.TrimToBudget(250), 1);  // Drops a's [0,60) — globally oldest.
+  EXPECT_EQ(vault.TotalBytes(), 200);
+  EXPECT_DOUBLE_EQ(vault.Find("a")->OldestSec().value(), 60.0);
+  EXPECT_EQ(vault.TrimToBudget(0), 2);
+  EXPECT_EQ(vault.TotalBytes(), 0);
+}
+
+TEST(VideoVaultTest, ManifestRoundTrip) {
+  VideoVault vault;
+  ASSERT_TRUE(vault.AppendChunk("cam1", Chunk(0, 60, 1000)).ok());
+  ASSERT_TRUE(vault.AppendChunk("cam2", Chunk(5, 35, 700)).ok());
+  vault.SetIndexSnapshot("cam1", "snap://cam1/latest");
+
+  VideoVault restored;
+  ASSERT_TRUE(restored.DecodeManifest(vault.EncodeManifest()).ok());
+  const StreamManifest* cam1 = restored.Find("cam1");
+  ASSERT_NE(cam1, nullptr);
+  EXPECT_EQ(cam1->index_snapshot_uri, "snap://cam1/latest");
+  ASSERT_EQ(cam1->chunks.size(), 1u);
+  EXPECT_DOUBLE_EQ(cam1->chunks[0].end_sec, 60.0);
+  EXPECT_EQ(restored.TotalBytes(), 1700);
+}
+
+TEST(VideoVaultTest, ManifestRejectsCorruption) {
+  VideoVault vault;
+  ASSERT_TRUE(vault.AppendChunk("cam", Chunk(0, 60, 10)).ok());
+  std::string blob = vault.EncodeManifest();
+  blob[6] = static_cast<char>(blob[6] ^ 0x10);
+  VideoVault restored;
+  EXPECT_FALSE(restored.DecodeManifest(blob).ok());
+}
+
+}  // namespace
+}  // namespace focus::storage

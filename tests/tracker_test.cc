@@ -1,0 +1,191 @@
+// Tests for the IoU multi-object tracker: identity maintenance on synthetic
+// trajectories, occlusion coasting, crossing objects, retirement, and an
+// end-to-end check against the stream generator's ground-truth object ids.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/video/stream_generator.h"
+#include "src/vision/tracker.h"
+
+namespace focus::vision {
+namespace {
+
+video::BBox Box(float x, float y, float w = 10.0f, float h = 10.0f) {
+  return video::BBox{x, y, w, h};
+}
+
+TEST(IouTrackerTest, SingleObjectKeepsOneId) {
+  IouTracker tracker;
+  common::ObjectId id = -1;
+  for (int f = 0; f < 30; ++f) {
+    auto tracked = tracker.Update(f, {Box(10.0f + 2.0f * f, 20.0f)});
+    ASSERT_EQ(tracked.size(), 1u);
+    if (f == 0) {
+      EXPECT_TRUE(tracked[0].is_new_track);
+      id = tracked[0].track_id;
+    } else {
+      EXPECT_FALSE(tracked[0].is_new_track) << "lost identity at frame " << f;
+      EXPECT_EQ(tracked[0].track_id, id);
+    }
+  }
+  EXPECT_EQ(tracker.tracks_started(), 1);
+}
+
+TEST(IouTrackerTest, EmptyFramesAreLegal) {
+  IouTracker tracker;
+  EXPECT_TRUE(tracker.Update(0, {}).empty());
+  auto tracked = tracker.Update(1, {Box(5, 5)});
+  EXPECT_EQ(tracked.size(), 1u);
+  EXPECT_TRUE(tracker.Update(2, {}).empty());
+}
+
+TEST(IouTrackerTest, TwoSeparatedObjectsKeepDistinctIds) {
+  IouTracker tracker;
+  std::vector<common::ObjectId> ids(2, -1);
+  for (int f = 0; f < 20; ++f) {
+    auto tracked = tracker.Update(f, {Box(10.0f + 1.5f * f, 10.0f),
+                                      Box(100.0f - 1.5f * f, 80.0f)});
+    ASSERT_EQ(tracked.size(), 2u);
+    if (f == 0) {
+      ids[0] = tracked[0].track_id;
+      ids[1] = tracked[1].track_id;
+      EXPECT_NE(ids[0], ids[1]);
+    } else {
+      EXPECT_EQ(tracked[0].track_id, ids[0]);
+      EXPECT_EQ(tracked[1].track_id, ids[1]);
+    }
+  }
+  EXPECT_EQ(tracker.tracks_started(), 2);
+}
+
+TEST(IouTrackerTest, CoastsThroughShortOcclusion) {
+  IouTracker tracker;
+  common::ObjectId id = tracker.Update(0, {Box(10, 10)})[0].track_id;
+  tracker.Update(1, {Box(12, 10)});
+  // Frames 2-4: occluded (no detection).
+  tracker.Update(2, {});
+  tracker.Update(3, {});
+  tracker.Update(4, {});
+  // Reappears roughly where the constant-velocity prediction says.
+  auto tracked = tracker.Update(5, {Box(20, 10)});
+  ASSERT_EQ(tracked.size(), 1u);
+  EXPECT_EQ(tracked[0].track_id, id);
+  EXPECT_FALSE(tracked[0].is_new_track);
+}
+
+TEST(IouTrackerTest, RetiresAfterMaxCoastAndStartsFresh) {
+  TrackerOptions options;
+  options.max_coast_frames = 3;
+  IouTracker tracker(options);
+  common::ObjectId id = tracker.Update(0, {Box(10, 10)})[0].track_id;
+  for (int f = 1; f <= 4; ++f) {
+    tracker.Update(f, {});
+  }
+  EXPECT_EQ(tracker.live_tracks(), 0);
+  auto tracked = tracker.Update(5, {Box(10, 10)});
+  EXPECT_TRUE(tracked[0].is_new_track);
+  EXPECT_NE(tracked[0].track_id, id);
+}
+
+TEST(IouTrackerTest, PredictionSeparatesCrossingObjects) {
+  // Two objects on converging then diverging horizontal paths; velocity prediction
+  // should carry identities through the near-miss.
+  IouTracker tracker;
+  auto first = tracker.Update(0, {Box(0, 40), Box(80, 44)});
+  common::ObjectId left = first[0].track_id;
+  common::ObjectId right = first[1].track_id;
+  for (int f = 1; f <= 20; ++f) {
+    // Left object moves +4 px/frame, right object -4 px/frame; they pass near
+    // frame 10 with a small vertical offset.
+    auto tracked = tracker.Update(f, {Box(0.0f + 4.0f * f, 40), Box(80.0f - 4.0f * f, 44)});
+    ASSERT_EQ(tracked.size(), 2u);
+    EXPECT_EQ(tracked[0].track_id, left) << "left identity flipped at frame " << f;
+    EXPECT_EQ(tracked[1].track_id, right) << "right identity flipped at frame " << f;
+  }
+  EXPECT_EQ(tracker.tracks_started(), 2);
+}
+
+TEST(IouTrackerTest, OutputOrderMatchesInputOrder) {
+  IouTracker tracker;
+  tracker.Update(0, {Box(10, 10), Box(50, 50)});
+  // Swap the detection order; track ids must follow the boxes, not the positions.
+  auto tracked = tracker.Update(1, {Box(50, 50), Box(10, 10)});
+  ASSERT_EQ(tracked.size(), 2u);
+  EXPECT_GT(tracked[0].bbox.x, tracked[1].bbox.x);
+  EXPECT_NE(tracked[0].track_id, tracked[1].track_id);
+}
+
+TEST(IouTrackerTest, ManyTracksCompactionKeepsLiveIdsStable) {
+  TrackerOptions options;
+  options.max_coast_frames = 1;
+  IouTracker tracker(options);
+  // 100 short-lived tracks force the compaction path; one long-lived track must
+  // keep its id across it.
+  common::ObjectId persistent = tracker.Update(0, {Box(200, 200)})[0].track_id;
+  for (int f = 1; f < 100; ++f) {
+    std::vector<video::BBox> boxes = {Box(200, 200)};                 // The survivor.
+    boxes.push_back(Box(static_cast<float>(5 * (f % 20)), 0.0f));    // Churn.
+    auto tracked = tracker.Update(f, boxes);
+    EXPECT_EQ(tracked[0].track_id, persistent) << "id lost at frame " << f;
+  }
+}
+
+TEST(IouTrackerTest, AgreesWithGeneratorGroundTruthIdentities) {
+  // End-to-end against the stream generator: track its detections by box alone and
+  // compare fragmentation to the unavoidable identity breaks. The generator wraps
+  // object trajectories at the frame edges, and a wrap is a teleport no box-only
+  // tracker can follow — so the principled invariant is
+  //   fragments(object) <= 1 + teleports(object) + slack,
+  // where a teleport is a between-frame jump larger than the object's own box.
+  video::ClassCatalog catalog(3);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile("auburn_c", &profile));
+  video::StreamRun run(&catalog, profile, 60.0, 30.0, 19);
+
+  IouTracker tracker;
+  std::map<common::ObjectId, std::set<common::ObjectId>> tracks_per_object;
+  std::map<common::ObjectId, int64_t> teleports;
+  std::map<common::ObjectId, video::BBox> last_box;
+  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    std::vector<video::BBox> boxes;
+    boxes.reserve(dets.size());
+    for (const video::Detection& d : dets) {
+      boxes.push_back(d.bbox);
+    }
+    auto tracked = tracker.Update(frame, boxes);
+    for (size_t i = 0; i < dets.size(); ++i) {
+      const video::Detection& d = dets[i];
+      tracks_per_object[d.object_id].insert(tracked[i].track_id);
+      auto it = last_box.find(d.object_id);
+      if (it != last_box.end()) {
+        const float dx = d.bbox.x - it->second.x;
+        const float dy = d.bbox.y - it->second.y;
+        const float jump_sq = dx * dx + dy * dy;
+        const float span = std::max(d.bbox.w, d.bbox.h);
+        if (jump_sq > span * span) {
+          ++teleports[d.object_id];
+        }
+      }
+      last_box[d.object_id] = d.bbox;
+    }
+  });
+  ASSERT_FALSE(tracks_per_object.empty());
+
+  int64_t excess = 0;
+  int64_t objects = 0;
+  for (const auto& [object, tracks] : tracks_per_object) {
+    ++objects;
+    const int64_t allowed = 1 + teleports[object];
+    excess += std::max<int64_t>(0, static_cast<int64_t>(tracks.size()) - allowed);
+  }
+  // Beyond teleports, fragmentation should be rare (occlusion/overlap only).
+  EXPECT_LE(excess, objects) << excess << " unexplained fragments over " << objects
+                             << " objects";
+}
+
+}  // namespace
+}  // namespace focus::vision

@@ -1,0 +1,353 @@
+// Unit tests for the video substrate: catalog, profiles, generator, dataset stats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/video/class_catalog.h"
+#include "src/video/dataset.h"
+#include "src/video/renderer.h"
+#include "src/video/stream_generator.h"
+#include "src/video/stream_profile.h"
+
+namespace focus::video {
+namespace {
+
+constexpr uint64_t kWorldSeed = 42;
+
+TEST(ClassCatalogTest, HasThousandClasses) {
+  ClassCatalog catalog(kWorldSeed);
+  EXPECT_EQ(catalog.Name(0), "car");
+  EXPECT_EQ(catalog.Name(8), "person");
+  EXPECT_EQ(catalog.Name(999), "class_0999");
+  EXPECT_EQ(catalog.IdForName("car"), 0);
+  EXPECT_EQ(catalog.IdForName("no_such_class"), common::kInvalidClass);
+}
+
+TEST(ClassCatalogTest, ArchetypesAreUnitNorm) {
+  ClassCatalog catalog(kWorldSeed);
+  for (common::ClassId c = 0; c < 50; ++c) {
+    EXPECT_NEAR(common::Norm(catalog.Archetype(c)), 1.0, 1e-5);
+  }
+}
+
+TEST(ClassCatalogTest, DeterministicForSameSeed) {
+  ClassCatalog a(kWorldSeed);
+  ClassCatalog b(kWorldSeed);
+  EXPECT_EQ(a.Archetype(123), b.Archetype(123));
+  ClassCatalog c(kWorldSeed + 1);
+  EXPECT_NE(a.Archetype(123), c.Archetype(123));
+}
+
+TEST(ClassCatalogTest, SameGroupArchetypesCloserThanCrossGroup) {
+  ClassCatalog catalog(kWorldSeed);
+  // Average same-group vs cross-group distances over vehicle classes.
+  double same = 0.0;
+  int same_n = 0;
+  double cross = 0.0;
+  int cross_n = 0;
+  const auto& vehicles = catalog.ClassesInGroup(SemanticGroup::kVehicle);
+  const auto& animals = catalog.ClassesInGroup(SemanticGroup::kAnimal);
+  for (size_t i = 0; i < 20 && i < vehicles.size(); ++i) {
+    for (size_t j = i + 1; j < 20 && j < vehicles.size(); ++j) {
+      same += common::L2Distance(catalog.Archetype(vehicles[i]), catalog.Archetype(vehicles[j]));
+      ++same_n;
+    }
+    for (size_t j = 0; j < 20 && j < animals.size(); ++j) {
+      cross += common::L2Distance(catalog.Archetype(vehicles[i]), catalog.Archetype(animals[j]));
+      ++cross_n;
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_LT(same / same_n, cross / cross_n);
+}
+
+TEST(ClassCatalogTest, GroupsPartitionTheClassSpace) {
+  ClassCatalog catalog(kWorldSeed);
+  size_t total = 0;
+  for (int g = 0; g < kNumSemanticGroups; ++g) {
+    total += catalog.ClassesInGroup(static_cast<SemanticGroup>(g)).size();
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kNumClasses));
+}
+
+TEST(StreamProfileTest, ThirteenStreamsMatchingTable1) {
+  auto profiles = Table1Profiles();
+  ASSERT_EQ(profiles.size(), 13u);
+  int traffic = 0;
+  int surveillance = 0;
+  int news = 0;
+  std::set<std::string> names;
+  for (const auto& p : profiles) {
+    names.insert(p.name);
+    switch (p.type) {
+      case StreamType::kTraffic:
+        ++traffic;
+        break;
+      case StreamType::kSurveillance:
+        ++surveillance;
+        break;
+      case StreamType::kNews:
+        ++news;
+        break;
+    }
+  }
+  EXPECT_EQ(traffic, 6);
+  EXPECT_EQ(surveillance, 4);
+  EXPECT_EQ(news, 3);
+  EXPECT_EQ(names.size(), 13u);  // Unique names.
+  EXPECT_TRUE(names.contains("auburn_c"));
+  EXPECT_TRUE(names.contains("jacksonh"));
+  EXPECT_TRUE(names.contains("msnbc"));
+}
+
+TEST(StreamProfileTest, FindProfileByName) {
+  StreamProfile p;
+  EXPECT_TRUE(FindProfile("lausanne", &p));
+  EXPECT_EQ(p.type, StreamType::kSurveillance);
+  EXPECT_FALSE(FindProfile("nope", &p));
+}
+
+TEST(StreamProfileTest, RepresentativeNineAreValid) {
+  StreamProfile p;
+  for (const std::string& name : RepresentativeNineStreams()) {
+    EXPECT_TRUE(FindProfile(name, &p)) << name;
+  }
+}
+
+class StreamRunTest : public ::testing::Test {
+ protected:
+  StreamRunTest() : catalog_(kWorldSeed) {
+    StreamProfile profile;
+    FindProfile("auburn_c", &profile);
+    run_ = std::make_unique<StreamRun>(&catalog_, profile, 120.0, 30.0, 7);
+  }
+  ClassCatalog catalog_;
+  std::unique_ptr<StreamRun> run_;
+};
+
+TEST_F(StreamRunTest, FrameCountMatchesDuration) {
+  EXPECT_EQ(run_->num_frames(), 3600);
+  SweepStats stats = run_->ForEachFrame([](common::FrameIndex, const std::vector<Detection>&) {});
+  EXPECT_EQ(stats.total_frames, 3600);
+}
+
+TEST_F(StreamRunTest, DetectionsOnlyFromPresentClasses) {
+  const auto& present = run_->present_classes();
+  std::set<common::ClassId> present_set(present.begin(), present.end());
+  run_->ForEachFrame([&](common::FrameIndex, const std::vector<Detection>& dets) {
+    for (const Detection& d : dets) {
+      EXPECT_TRUE(present_set.contains(d.true_class));
+    }
+  });
+}
+
+TEST_F(StreamRunTest, AppearanceVectorsAreUnitNorm) {
+  int checked = 0;
+  run_->ForEachFrame([&](common::FrameIndex, const std::vector<Detection>& dets) {
+    for (const Detection& d : dets) {
+      if (++checked % 97 == 0) {
+        EXPECT_NEAR(common::Norm(d.appearance), 1.0, 1e-5);
+      }
+    }
+  });
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(StreamRunTest, SweepIsDeterministic) {
+  std::vector<size_t> counts_a;
+  std::vector<size_t> counts_b;
+  run_->ForEachFrame([&](common::FrameIndex, const std::vector<Detection>& dets) {
+    counts_a.push_back(dets.size());
+  });
+  run_->ForEachFrame([&](common::FrameIndex, const std::vector<Detection>& dets) {
+    counts_b.push_back(dets.size());
+  });
+  EXPECT_EQ(counts_a, counts_b);
+}
+
+TEST_F(StreamRunTest, FirstObservationOncePerObject) {
+  std::map<common::ObjectId, int> firsts;
+  std::set<common::ObjectId> seen;
+  run_->ForEachFrame([&](common::FrameIndex, const std::vector<Detection>& dets) {
+    for (const Detection& d : dets) {
+      if (d.first_observation) {
+        ++firsts[d.object_id];
+      } else {
+        EXPECT_TRUE(seen.contains(d.object_id));
+      }
+      seen.insert(d.object_id);
+    }
+  });
+  for (const auto& [id, count] : firsts) {
+    EXPECT_EQ(count, 1) << "object " << id;
+  }
+}
+
+TEST_F(StreamRunTest, ObjectFramesAreContiguous) {
+  std::map<common::ObjectId, common::FrameIndex> last_frame;
+  run_->ForEachFrame([&](common::FrameIndex frame, const std::vector<Detection>& dets) {
+    for (const Detection& d : dets) {
+      auto it = last_frame.find(d.object_id);
+      if (it != last_frame.end()) {
+        EXPECT_EQ(frame, it->second + 1) << "object " << d.object_id;
+        it->second = frame;
+      } else {
+        last_frame[d.object_id] = frame;
+      }
+    }
+  });
+}
+
+TEST_F(StreamRunTest, PrefixStability) {
+  StreamProfile profile;
+  FindProfile("auburn_c", &profile);
+  StreamRun longer(&catalog_, profile, 240.0, 30.0, 7);
+  std::vector<std::pair<common::FrameIndex, common::ObjectId>> a;
+  std::vector<std::pair<common::FrameIndex, common::ObjectId>> b;
+  run_->ForEachFrame([&](common::FrameIndex f, const std::vector<Detection>& dets) {
+    for (const Detection& d : dets) {
+      a.emplace_back(f, d.object_id);
+    }
+  });
+  longer.ForEachFrame([&](common::FrameIndex f, const std::vector<Detection>& dets) {
+    if (f < run_->num_frames()) {
+      for (const Detection& d : dets) {
+        b.emplace_back(f, d.object_id);
+      }
+    }
+  });
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(StreamRunTest, AppearanceDriftsAcrossTrack) {
+  // The appearance random walk must move an object's feature vector over time.
+  std::map<common::ObjectId, common::FeatureVec> first_seen;
+  double max_drift = 0.0;
+  run_->ForEachFrame([&](common::FrameIndex, const std::vector<Detection>& dets) {
+    for (const Detection& d : dets) {
+      auto [it, inserted] = first_seen.emplace(d.object_id, d.appearance);
+      if (!inserted) {
+        max_drift = std::max(max_drift, common::L2Distance(it->second, d.appearance));
+      }
+    }
+  });
+  EXPECT_GT(max_drift, 0.3);
+}
+
+TEST_F(StreamRunTest, DiurnalActivityVaries) {
+  StreamProfile profile;
+  FindProfile("auburn_c", &profile);
+  StreamRun run(&catalog_, profile, 10.0, 30.0, 7);
+  double day = run.ActivityAt(2 * 3600.0);    // ~noon (start 10:00 + 2h).
+  double night = run.ActivityAt(16 * 3600.0); // ~2am.
+  EXPECT_GT(day, night);
+  EXPECT_GE(night, profile.night_activity_fraction * 0.9);
+}
+
+TEST(StreamRunFpsTest, LowerFpsScalesDetections) {
+  ClassCatalog catalog(kWorldSeed);
+  StreamProfile profile;
+  FindProfile("auburn_c", &profile);
+  StreamRun full(&catalog, profile, 300.0, 30.0, 7);
+  StreamRun low(&catalog, profile, 300.0, 5.0, 7);
+  SweepStats s30 = full.ForEachFrame([](common::FrameIndex, const std::vector<Detection>&) {});
+  SweepStats s5 = low.ForEachFrame([](common::FrameIndex, const std::vector<Detection>&) {});
+  EXPECT_EQ(s30.total_frames, 9000);
+  EXPECT_EQ(s5.total_frames, 1500);
+  // Same world: ~6x fewer detections at 1/6 the sampling rate.
+  EXPECT_NEAR(static_cast<double>(s30.total_detections) / s5.total_detections, 6.0, 1.2);
+  // Pixel-diff suppression is rarer when frames are farther apart.
+  double supp30 = static_cast<double>(s30.suppressed_detections) / s30.total_detections;
+  double supp5 = static_cast<double>(s5.suppressed_detections) / s5.total_detections;
+  EXPECT_GT(supp30, supp5);
+}
+
+TEST(DatasetTest, StatisticsMatchPaperCharacterization) {
+  ClassCatalog catalog(kWorldSeed);
+  StreamProfile profile;
+  FindProfile("auburn_c", &profile);
+  StreamRun run(&catalog, profile, 900.0, 30.0, 7);
+  StreamStatistics stats = ComputeStreamStatistics(run);
+
+  EXPECT_GT(stats.total_detections, 0);
+  EXPECT_GT(stats.num_moving_objects, 50);
+  // §2.2.1: sizeable fraction of frames have no moving objects.
+  EXPECT_LT(stats.FractionFramesWithObjects(), 1.0);
+  // §2.2.2: only a limited subset of the 1000 classes occurs.
+  EXPECT_LT(stats.class_space_fraction, 0.75);
+  // Fig. 3: a small fraction of the 1000-class space covers 95% of objects (the paper
+  // reports 3%-10%).
+  EXPECT_LT(stats.classes_covering_95pct, 0.10);
+  EXPECT_GT(stats.top_class_share, 0.05);
+}
+
+TEST(DatasetTest, JaccardHigherWithinDomain) {
+  ClassCatalog catalog(kWorldSeed);
+  StreamProfile a;
+  StreamProfile b;
+  StreamProfile c;
+  FindProfile("auburn_c", &a);
+  FindProfile("city_a_d", &b);
+  FindProfile("cnn", &c);
+  StreamRun ra(&catalog, a, 600.0, 30.0, 1);
+  StreamRun rb(&catalog, b, 600.0, 30.0, 2);
+  StreamRun rc(&catalog, c, 600.0, 30.0, 3);
+  auto sa = ComputeStreamStatistics(ra);
+  auto sb = ComputeStreamStatistics(rb);
+  auto sc = ComputeStreamStatistics(rc);
+  double within = ClassJaccard(sa, sb);
+  double cross = ClassJaccard(sa, sc);
+  EXPECT_GT(within, 0.05);
+  EXPECT_GT(within, cross);
+}
+
+TEST(RendererTest, FramesHaveConfiguredSize) {
+  ClassCatalog catalog(kWorldSeed);
+  StreamProfile profile;
+  FindProfile("bend", &profile);
+  StreamRun run(&catalog, profile, 30.0, 30.0, 11);
+  Renderer renderer(&run);
+  FrameBuffer fb = renderer.Render(10);
+  EXPECT_EQ(fb.width(), profile.frame_width);
+  EXPECT_EQ(fb.height(), profile.frame_height);
+}
+
+TEST(RendererTest, MovingObjectsChangePixels) {
+  ClassCatalog catalog(kWorldSeed);
+  StreamProfile profile;
+  FindProfile("jacksonh", &profile);  // Busy: objects present early.
+  StreamRun run(&catalog, profile, 60.0, 30.0, 11);
+  Renderer renderer(&run);
+  // Find a frame with moving objects.
+  common::FrameIndex with_objects = -1;
+  for (common::FrameIndex f = 60; f < 1800; ++f) {
+    if (!renderer.MovingObjectBoxes(f).empty()) {
+      with_objects = f;
+      break;
+    }
+  }
+  ASSERT_GE(with_objects, 0);
+  FrameBuffer t0 = renderer.Render(with_objects);
+  FrameBuffer t1 = renderer.Render(with_objects + 15);
+  int diff = 0;
+  for (size_t i = 0; i < t0.pixels().size(); ++i) {
+    if (std::abs(static_cast<int>(t0.pixels()[i]) - static_cast<int>(t1.pixels()[i])) > 20) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 10);
+}
+
+TEST(BBoxTest, IoUBasics) {
+  BBox a{0, 0, 10, 10};
+  BBox b{5, 5, 10, 10};
+  BBox c{20, 20, 5, 5};
+  EXPECT_NEAR(IoU(a, a), 1.0, 1e-6);
+  EXPECT_NEAR(IoU(a, b), 25.0 / 175.0, 1e-6);
+  EXPECT_EQ(IoU(a, c), 0.0f);
+}
+
+}  // namespace
+}  // namespace focus::video

@@ -1,0 +1,186 @@
+// Unit tests for the vision substrate: background subtraction, blobs, motion
+// detection against generator ground truth, pixel differencing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/vision/background_model.h"
+#include "src/vision/blob_extractor.h"
+#include "src/vision/motion_detector.h"
+#include "src/vision/pixel_differ.h"
+#include "src/video/renderer.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::vision {
+namespace {
+
+video::FrameBuffer FlatFrame(int w, int h, uint8_t value) { return video::FrameBuffer(w, h, value); }
+
+// Paints a filled rectangle of the given intensity.
+void PaintRect(video::FrameBuffer& fb, int x0, int y0, int w, int h, uint8_t value) {
+  for (int y = y0; y < y0 + h && y < fb.height(); ++y) {
+    for (int x = x0; x < x0 + w && x < fb.width(); ++x) {
+      fb.Set(x, y, value);
+    }
+  }
+}
+
+TEST(BackgroundModelTest, StaticSceneProducesNoForeground) {
+  BackgroundModel model(32, 32);
+  video::FrameBuffer frame = FlatFrame(32, 32, 100);
+  video::FrameBuffer mask;
+  for (int i = 0; i < 20; ++i) {
+    mask = model.Apply(frame);
+  }
+  int fg = std::count(mask.pixels().begin(), mask.pixels().end(), 255);
+  EXPECT_EQ(fg, 0);
+}
+
+TEST(BackgroundModelTest, NewObjectIsForeground) {
+  BackgroundModel model(32, 32);
+  video::FrameBuffer background = FlatFrame(32, 32, 100);
+  for (int i = 0; i < 20; ++i) {
+    model.Apply(background);
+  }
+  video::FrameBuffer with_object = background;
+  PaintRect(with_object, 10, 10, 6, 6, 220);
+  video::FrameBuffer mask = model.Apply(with_object);
+  int fg = std::count(mask.pixels().begin(), mask.pixels().end(), 255);
+  EXPECT_NEAR(fg, 36, 6);
+}
+
+TEST(BackgroundModelTest, StationaryObjectIsAbsorbed) {
+  BackgroundModelOptions opts;
+  opts.learning_rate = 0.1;
+  BackgroundModel model(32, 32, opts);
+  video::FrameBuffer background = FlatFrame(32, 32, 100);
+  for (int i = 0; i < 20; ++i) {
+    model.Apply(background);
+  }
+  video::FrameBuffer parked = background;
+  PaintRect(parked, 10, 10, 6, 6, 220);
+  int last_fg = 0;
+  for (int i = 0; i < 400; ++i) {
+    video::FrameBuffer mask = model.Apply(parked);
+    last_fg = std::count(mask.pixels().begin(), mask.pixels().end(), 255);
+  }
+  // The parked object no longer triggers motion (§2.2.1: parked cars stop being
+  // detected).
+  EXPECT_EQ(last_fg, 0);
+}
+
+TEST(BlobExtractorTest, FindsIsolatedComponents) {
+  video::FrameBuffer mask(64, 64, 0);
+  PaintRect(mask, 5, 5, 6, 6, 255);
+  PaintRect(mask, 40, 40, 8, 4, 255);
+  BlobExtractorOptions opts;
+  opts.dilate_radius = 0;
+  BlobExtractor extractor(opts);
+  auto blobs = extractor.Extract(mask);
+  ASSERT_EQ(blobs.size(), 2u);
+}
+
+TEST(BlobExtractorTest, MinAreaFiltersNoise) {
+  video::FrameBuffer mask(64, 64, 0);
+  mask.Set(3, 3, 255);  // Single-pixel noise.
+  PaintRect(mask, 20, 20, 5, 5, 255);
+  BlobExtractorOptions opts;
+  opts.dilate_radius = 0;
+  opts.min_area = 9;
+  BlobExtractor extractor(opts);
+  auto blobs = extractor.Extract(mask);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].x, 20.0f);
+}
+
+TEST(BlobExtractorTest, DilationBridgesGaps) {
+  video::FrameBuffer mask(64, 64, 0);
+  PaintRect(mask, 10, 10, 4, 4, 255);
+  PaintRect(mask, 15, 10, 4, 4, 255);  // 1px gap at x=14.
+  BlobExtractorOptions no_dilate;
+  no_dilate.dilate_radius = 0;
+  no_dilate.min_area = 4;
+  // A one-column gap separates the rectangles under plain 8-connectivity...
+  EXPECT_EQ(BlobExtractor(no_dilate).Extract(mask).size(), 2u);
+  // ...and dilation bridges it into a single blob.
+  BlobExtractorOptions dilate;
+  dilate.dilate_radius = 1;
+  dilate.min_area = 4;
+  EXPECT_EQ(BlobExtractor(dilate).Extract(mask).size(), 1u);
+}
+
+TEST(BlobExtractorTest, BoundingBoxIsTight) {
+  video::FrameBuffer mask(64, 64, 0);
+  PaintRect(mask, 12, 8, 10, 6, 255);
+  BlobExtractorOptions opts;
+  opts.dilate_radius = 0;
+  auto blobs = BlobExtractor(opts).Extract(mask);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].x, 12.0f);
+  EXPECT_EQ(blobs[0].y, 8.0f);
+  EXPECT_EQ(blobs[0].w, 10.0f);
+  EXPECT_EQ(blobs[0].h, 6.0f);
+}
+
+TEST(MotionDetectorTest, DetectsGeneratedMovingObjects) {
+  // End-to-end vision check: render synthetic frames, subtract background, and match
+  // detected blobs against the generator's ground-truth boxes.
+  video::ClassCatalog catalog(42);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile("jacksonh", &profile));
+  video::StreamRun run(&catalog, profile, 90.0, 30.0, 5);
+  video::Renderer renderer(&run);
+  MotionDetector detector(profile.frame_width, profile.frame_height);
+
+  double recall_sum = 0.0;
+  int frames_with_truth = 0;
+  for (common::FrameIndex f = 0; f < 900; ++f) {
+    video::FrameBuffer frame = renderer.Render(f);
+    auto detected = detector.Detect(frame);
+    if (f < 30) {
+      continue;  // Model warm-up.
+    }
+    auto truth = renderer.MovingObjectBoxes(f);
+    if (truth.empty()) {
+      continue;
+    }
+    recall_sum += DetectionRecall(detected, truth, 0.25f);
+    ++frames_with_truth;
+  }
+  ASSERT_GT(frames_with_truth, 50);
+  // Background subtraction finds the bulk of moving objects.
+  EXPECT_GT(recall_sum / frames_with_truth, 0.7);
+}
+
+TEST(PixelDifferTest, IdenticalCropsSuppress) {
+  video::FrameBuffer a = FlatFrame(32, 32, 90);
+  PaintRect(a, 8, 8, 8, 8, 200);
+  video::FrameBuffer b = a;
+  PixelDiffer differ;
+  video::BBox box{8, 8, 8, 8};
+  EXPECT_EQ(differ.CropDifference(a, b, box), 0.0);
+  EXPECT_TRUE(differ.ShouldSuppress(a, b, box));
+}
+
+TEST(PixelDifferTest, MovedObjectDoesNotSuppress) {
+  video::FrameBuffer a = FlatFrame(32, 32, 90);
+  PaintRect(a, 8, 8, 8, 8, 200);
+  video::FrameBuffer b = FlatFrame(32, 32, 90);
+  PaintRect(b, 14, 14, 8, 8, 200);  // Object moved.
+  PixelDiffer differ;
+  video::BBox box{8, 8, 8, 8};
+  EXPECT_FALSE(differ.ShouldSuppress(a, b, box));
+}
+
+TEST(PixelDifferTest, DegenerateBoxIsInfinite) {
+  video::FrameBuffer a = FlatFrame(16, 16, 10);
+  video::FrameBuffer b = FlatFrame(16, 16, 10);
+  PixelDiffer differ;
+  video::BBox off_screen{100, 100, 5, 5};
+  EXPECT_TRUE(std::isinf(differ.CropDifference(a, b, off_screen)));
+  EXPECT_FALSE(differ.ShouldSuppress(a, b, off_screen));
+}
+
+}  // namespace
+}  // namespace focus::vision
