@@ -1,0 +1,250 @@
+// Cluster-assignment throughput: scalar AoS full scan (the seed implementation)
+// vs the SoA CentroidStore with norm-pruned, SIMD-batched candidate search.
+//
+// The per-detection assignment scan is the hottest loop of ingest (§4.2 runs it
+// once per detection against up to max_active centroids), so this bench tracks
+// the speedup of the store-based scan across feature dimensionality and active-
+// set size, and — because the optimization must not change results — verifies
+// that both implementations produce identical assignment sequences on the same
+// fixed-seed stream.
+//
+// Workload: |active| well-separated unit archetypes (random unit vectors in high
+// dimension are near-orthogonal, pairwise distance ~= sqrt(2)); one warmup
+// detection per archetype populates the active set, then every measured
+// detection is a noisy observation of a random archetype, which joins its
+// archetype's cluster under T = 0.5 — exactly the steady-state geometry the
+// simulator's ingest produces.
+//
+// Emits BENCH_cluster_assign.json next to the binary. FOCUS_BENCH_ASSIGNS
+// overrides the measured detections per configuration (default 2000).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/cluster/incremental_clusterer.h"
+#include "src/common/feature_vector.h"
+#include "src/common/rng.h"
+
+namespace {
+
+using focus::cluster::ClustererOptions;
+using focus::cluster::IncrementalClusterer;
+using focus::common::FeatureVec;
+
+// The seed's assignment path, kept verbatim as the baseline: array-of-structs
+// centroids (one heap-allocated vector each), scalar double-precision bounded
+// distances, linear min-size retire scan. Membership bookkeeping is omitted —
+// it is identical in both implementations and outside the scan under test.
+class ReferenceClusterer {
+ public:
+  ReferenceClusterer(double threshold, size_t max_active)
+      : threshold_sq_(threshold * threshold), max_active_(max_active) {}
+
+  int64_t Add(const FeatureVec& feature) {
+    int64_t best = -1;
+    double best_dist = std::numeric_limits<double>::max();
+    double bound = threshold_sq_;
+    for (int64_t id : active_ids_) {
+      const Centroid& c = centroids_[static_cast<size_t>(id)];
+      double d = focus::common::SquaredL2DistanceBounded(c.mean, feature, bound);
+      if (d <= bound && d < best_dist) {
+        best_dist = d;
+        best = id;
+        bound = d;
+      }
+    }
+    if (best >= 0) {
+      Join(centroids_[static_cast<size_t>(best)], feature);
+      return best;
+    }
+    // Retire-before-insert, matching IncrementalClusterer::CreateCluster.
+    if (active_ids_.size() >= max_active_) {
+      RetireSmallest();
+    }
+    Centroid c;
+    c.mean = feature;
+    c.size = 1;
+    int64_t id = static_cast<int64_t>(centroids_.size());
+    centroids_.push_back(std::move(c));
+    active_ids_.push_back(id);
+    return id;
+  }
+
+ private:
+  struct Centroid {
+    FeatureVec mean;
+    int64_t size = 0;
+  };
+
+  void Join(Centroid& c, const FeatureVec& feature) {
+    double w = 1.0 / static_cast<double>(c.size + 1);
+    for (size_t i = 0; i < c.mean.size(); ++i) {
+      c.mean[i] = static_cast<float>(c.mean[i] * (1.0 - w) + feature[i] * w);
+    }
+    ++c.size;
+  }
+
+  void RetireSmallest() {
+    auto it = active_ids_.begin();
+    for (auto cur = active_ids_.begin(); cur != active_ids_.end(); ++cur) {
+      if (centroids_[static_cast<size_t>(*cur)].size <
+          centroids_[static_cast<size_t>(*it)].size) {
+        it = cur;
+      }
+    }
+    if (it != active_ids_.end()) {
+      active_ids_.erase(it);
+    }
+  }
+
+  double threshold_sq_;
+  size_t max_active_;
+  std::vector<Centroid> centroids_;
+  std::vector<int64_t> active_ids_;
+};
+
+struct ConfigResult {
+  size_t dim = 0;
+  size_t active = 0;
+  int64_t assigns = 0;
+  double ref_ns_per_assign = 0.0;
+  double simd_ns_per_assign = 0.0;
+  double speedup = 0.0;
+  double prune_rate = 0.0;
+  bool identical = false;
+};
+
+focus::video::Detection Det(int64_t i) {
+  focus::video::Detection d;
+  d.object_id = i;
+  d.frame = i;
+  return d;
+}
+
+ConfigResult RunConfig(size_t dim, size_t active, int64_t assigns) {
+  constexpr double kThreshold = 0.5;
+  constexpr double kNoise = 0.2;
+
+  focus::common::Pcg32 rng(focus::common::DeriveSeed(42, dim * 100003 + active));
+  std::vector<FeatureVec> archetypes;
+  archetypes.reserve(active);
+  for (size_t i = 0; i < active; ++i) {
+    archetypes.push_back(focus::common::RandomUnitVector(dim, rng));
+  }
+  // Warmup detections (one per archetype, creating the active set), then the
+  // measured stream of noisy observations of random archetypes.
+  std::vector<FeatureVec> stream;
+  stream.reserve(active + static_cast<size_t>(assigns));
+  for (size_t i = 0; i < active; ++i) {
+    stream.push_back(focus::common::PerturbedUnitVector(archetypes[i], kNoise, rng));
+  }
+  for (int64_t i = 0; i < assigns; ++i) {
+    const FeatureVec& arch = archetypes[rng.Next() % active];
+    stream.push_back(focus::common::PerturbedUnitVector(arch, kNoise, rng));
+  }
+
+  ConfigResult out;
+  out.dim = dim;
+  out.active = active;
+  out.assigns = assigns;
+
+  std::vector<int64_t> ref_assignments(stream.size());
+  std::vector<int64_t> simd_assignments(stream.size());
+
+  {
+    ReferenceClusterer ref(kThreshold, active);
+    for (size_t i = 0; i < active; ++i) {
+      ref_assignments[i] = ref.Add(stream[i]);
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = active; i < stream.size(); ++i) {
+      ref_assignments[i] = ref.Add(stream[i]);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    out.ref_ns_per_assign =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / static_cast<double>(assigns);
+  }
+
+  {
+    ClustererOptions opts;
+    opts.threshold = kThreshold;
+    opts.max_active = active;
+    opts.mode = ClustererOptions::Mode::kExact;  // Full scan: the path under test.
+    IncrementalClusterer clusterer(opts);
+    for (size_t i = 0; i < active; ++i) {
+      simd_assignments[i] = clusterer.Add(Det(static_cast<int64_t>(i)), stream[i]);
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = active; i < stream.size(); ++i) {
+      simd_assignments[i] = clusterer.Add(Det(static_cast<int64_t>(i)), stream[i]);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    out.simd_ns_per_assign =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / static_cast<double>(assigns);
+    const auto& store = clusterer.centroid_store();
+    out.prune_rate = store.scan_candidates() > 0
+                         ? static_cast<double>(store.scan_pruned()) /
+                               static_cast<double>(store.scan_candidates())
+                         : 0.0;
+  }
+
+  out.identical = ref_assignments == simd_assignments;
+  out.speedup = out.simd_ns_per_assign > 0.0 ? out.ref_ns_per_assign / out.simd_ns_per_assign : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  int64_t assigns = 2000;
+  if (const char* env = std::getenv("FOCUS_BENCH_ASSIGNS")) {
+    assigns = std::atoll(env);
+  }
+
+  const size_t dims[] = {128, 512, 1024};
+  const size_t actives[] = {256, 4096};
+
+  std::printf("cluster-assignment throughput: scalar AoS full scan vs SoA + SIMD scan\n");
+  std::printf("%6s %7s %9s %14s %14s %8s %7s %10s\n", "dim", "active", "assigns", "scalar ns/add",
+              "simd ns/add", "speedup", "prune", "identical");
+
+  std::vector<ConfigResult> results;
+  bool all_identical = true;
+  for (size_t dim : dims) {
+    for (size_t active : actives) {
+      ConfigResult r = RunConfig(dim, active, assigns);
+      all_identical = all_identical && r.identical;
+      std::printf("%6zu %7zu %9lld %14.0f %14.0f %7.2fx %6.1f%% %10s\n", r.dim, r.active,
+                  static_cast<long long>(r.assigns), r.ref_ns_per_assign, r.simd_ns_per_assign,
+                  r.speedup, 100.0 * r.prune_rate, r.identical ? "yes" : "NO");
+      results.push_back(r);
+    }
+  }
+
+  FILE* f = std::fopen("BENCH_cluster_assign.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"cluster_assign\",\n  \"configs\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ConfigResult& r = results[i];
+      std::fprintf(f,
+                   "    {\"dim\": %zu, \"active\": %zu, \"assigns\": %lld, "
+                   "\"scalar_ns_per_assign\": %.1f, \"simd_ns_per_assign\": %.1f, "
+                   "\"speedup\": %.3f, \"prune_rate\": %.4f, \"identical\": %s}%s\n",
+                   r.dim, r.active, static_cast<long long>(r.assigns), r.ref_ns_per_assign,
+                   r.simd_ns_per_assign, r.speedup, r.prune_rate,
+                   r.identical ? "true" : "false", i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_cluster_assign.json\n");
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: assignment mismatch between scalar and SIMD paths\n");
+    return 1;
+  }
+  return 0;
+}

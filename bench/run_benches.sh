@@ -1,0 +1,25 @@
+#!/bin/sh
+# Runs the perf-tracking microbenches and leaves BENCH_*.json files in the
+# build directory, so the perf trajectory of the hot paths is recorded per PR.
+#
+#   bench/run_benches.sh [build_dir]      (or: cmake --build build --target bench)
+#
+# FOCUS_BENCH_FULL=1 additionally runs the google-benchmark micro suites
+# (slower; per-operation costs rather than the tracked hot-path comparisons).
+set -e
+
+BUILD_DIR="${1:-build}"
+cd "$BUILD_DIR"
+
+./bench_cluster_assign
+
+if [ "${FOCUS_BENCH_FULL:-0}" = "1" ]; then
+  if [ -x ./bench_micro_substrates ]; then
+    ./bench_micro_substrates --benchmark_format=json >BENCH_micro_substrates.json
+    echo "wrote $PWD/BENCH_micro_substrates.json"
+  fi
+  if [ -x ./bench_micro_runtime ]; then
+    ./bench_micro_runtime --benchmark_format=json >BENCH_micro_runtime.json
+    echo "wrote $PWD/BENCH_micro_runtime.json"
+  fi
+fi

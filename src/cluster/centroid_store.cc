@@ -1,0 +1,233 @@
+#include "src/cluster/centroid_store.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/common/simd_distance.h"
+
+namespace focus::cluster {
+
+namespace {
+
+// Fractional + absolute slack on the norm prune. The lower bound
+// (||c|| - ||q||)^2 is mathematically <= ||c - q||^2, but both norms carry float
+// rounding; the slack guarantees the prune never drops a candidate the distance
+// kernel would have accepted, so pruned and unpruned scans assign identically.
+// (The head-partial prune needs no slack: a head partial is the exact prefix of
+// the monotone distance accumulation, never larger than the full sum.)
+constexpr float kPruneSlackMul = 1.0f + 1e-4f;
+constexpr float kPruneSlackAdd = 1e-6f;
+
+constexpr float kInf = std::numeric_limits<float>::max();
+
+}  // namespace
+
+void CentroidStore::Reset() {
+  dim_ = 0;
+  head_dim_ = 0;
+  arena_.clear();
+  head_.clear();
+  norms_.clear();
+  sizes_.clear();
+  ids_.clear();
+  slot_of_id_.clear();
+  scan_candidates_ = 0;
+  scan_pruned_ = 0;
+  scan_head_only_ = 0;
+}
+
+int32_t CentroidStore::SlotOf(int64_t id) const {
+  if (id < 0 || static_cast<size_t>(id) >= slot_of_id_.size()) {
+    return kNoSlot;
+  }
+  return slot_of_id_[static_cast<size_t>(id)];
+}
+
+void CentroidStore::Add(int64_t id, const float* centroid, size_t dim, int64_t size) {
+  assert(id >= 0);
+  assert(SlotOf(id) == kNoSlot);
+  if (dim_ == 0) {
+    dim_ = dim;
+    head_dim_ = dim < kHeadDim ? dim : kHeadDim;
+  }
+  assert(dim == dim_ && dim_ > 0);
+  const int32_t slot = static_cast<int32_t>(ids_.size());
+  arena_.insert(arena_.end(), centroid, centroid + dim_);
+  head_.insert(head_.end(), centroid, centroid + head_dim_);
+  norms_.push_back(std::sqrt(common::simd::NormSquared(centroid, dim_)));
+  sizes_.push_back(size);
+  ids_.push_back(id);
+  if (static_cast<size_t>(id) >= slot_of_id_.size()) {
+    slot_of_id_.resize(static_cast<size_t>(id) + 1, kNoSlot);
+  }
+  slot_of_id_[static_cast<size_t>(id)] = slot;
+}
+
+bool CentroidStore::Contains(int64_t id) const { return SlotOf(id) != kNoSlot; }
+
+void CentroidStore::Remove(int64_t id) {
+  const int32_t slot = SlotOf(id);
+  if (slot == kNoSlot) {
+    return;
+  }
+  const size_t s = static_cast<size_t>(slot);
+  const size_t last = ids_.size() - 1;
+  if (s != last) {
+    std::memcpy(arena_.data() + s * dim_, arena_.data() + last * dim_,
+                dim_ * sizeof(float));
+    std::memcpy(head_.data() + s * head_dim_, head_.data() + last * head_dim_,
+                head_dim_ * sizeof(float));
+    norms_[s] = norms_[last];
+    sizes_[s] = sizes_[last];
+    ids_[s] = ids_[last];
+    slot_of_id_[static_cast<size_t>(ids_[s])] = slot;
+  }
+  arena_.resize(last * dim_);
+  head_.resize(last * head_dim_);
+  norms_.pop_back();
+  sizes_.pop_back();
+  ids_.pop_back();
+  slot_of_id_[static_cast<size_t>(id)] = kNoSlot;
+}
+
+void CentroidStore::Update(int64_t id, const float* centroid) {
+  const int32_t slot = SlotOf(id);
+  assert(slot != kNoSlot);
+  const size_t s = static_cast<size_t>(slot);
+  std::memcpy(arena_.data() + s * dim_, centroid, dim_ * sizeof(float));
+  std::memcpy(head_.data() + s * head_dim_, centroid, head_dim_ * sizeof(float));
+  norms_[s] = std::sqrt(common::simd::NormSquared(centroid, dim_));
+}
+
+void CentroidStore::SetSize(int64_t id, int64_t size) {
+  const int32_t slot = SlotOf(id);
+  assert(slot != kNoSlot);
+  sizes_[static_cast<size_t>(slot)] = size;
+}
+
+const float* CentroidStore::CentroidOf(int64_t id) const {
+  const int32_t slot = SlotOf(id);
+  if (slot == kNoSlot) {
+    return nullptr;
+  }
+  return arena_.data() + static_cast<size_t>(slot) * dim_;
+}
+
+float CentroidStore::ResumeDistance(const float* query, size_t slot, float head_partial,
+                                    float bound) const {
+  if (head_dim_ == dim_) {
+    return head_partial;
+  }
+  const float tail_bound = bound - head_partial;
+  const float tail = common::simd::SquaredL2Bounded(
+      query + head_dim_, arena_.data() + slot * dim_ + head_dim_, dim_ - head_dim_,
+      tail_bound);
+  if (tail > tail_bound) {
+    // Early-exited: |tail| is only a partial sum, so head_partial + tail says
+    // nothing about the true distance beyond "> bound" — and can even round
+    // back to exactly |bound| when the kernel overshot by less than an ulp.
+    // Return an explicit rejection instead of a fabricated distance.
+    return kInf;
+  }
+  return head_partial + tail;
+}
+
+int64_t CentroidStore::FindNearest(const float* query, size_t dim, float threshold_sq,
+                                   float* out_dist_sq) const {
+  const size_t n = ids_.size();
+  if (n == 0) {
+    return -1;
+  }
+  assert(dim == dim_);
+  (void)dim;
+  scan_candidates_ += static_cast<int64_t>(n);
+
+  float bound = threshold_sq;
+  const float query_norm = std::sqrt(common::simd::NormSquared(query, dim_));
+  const float prune_limit = bound * kPruneSlackMul + kPruneSlackAdd;
+
+  if (head_dist_.size() < n) {
+    head_dist_.resize(n);
+  }
+
+  // Head pass: one contiguous batched sweep computes every candidate's partial
+  // distance over the first head_dim_ dims; norm-pruned candidates are skipped.
+  int64_t pruned = 0;
+  for (size_t s = 0; s < n; ++s) {
+    if (common::simd::NormLowerBound(norms_[s], query_norm) > prune_limit) {
+      head_dist_[s] = kInf;
+      ++pruned;
+    } else {
+      head_dist_[s] = -1.0f;  // Survivor marker (distances are non-negative).
+    }
+  }
+  scan_pruned_ += pruned;
+  if (pruned == 0) {
+    common::simd::SquaredL2Batch(query, head_.data(), n, head_dim_, kInf,
+                                 head_dist_.data());
+  } else {
+    for (size_t s = 0; s < n; ++s) {
+      if (head_dist_[s] < 0.0f) {
+        head_dist_[s] =
+            common::simd::SquaredL2(query, head_.data() + s * head_dim_, head_dim_);
+      }
+    }
+  }
+
+  // Probe: complete the candidate with the smallest head partial first. In
+  // steady state that is the cluster the detection belongs to, so the bound
+  // tightens from T^2 to the eventual best distance before anything else is
+  // resumed — after which almost every other candidate's head partial already
+  // exceeds the bound and its remaining dims are never read.
+  size_t probe = 0;
+  for (size_t s = 1; s < n; ++s) {
+    if (head_dist_[s] < head_dist_[probe]) {
+      probe = s;
+    }
+  }
+
+  float best_dist = kInf;
+  int64_t best_id = -1;
+  int64_t resumed = 0;
+  if (head_dist_[probe] <= bound) {
+    ++resumed;
+    const float d = ResumeDistance(query, probe, head_dist_[probe], bound);
+    if (d <= bound) {
+      best_dist = d;
+      best_id = ids_[probe];
+      bound = d;
+    }
+  }
+
+  // Resume pass over the other candidates under the tightened bound. A head
+  // partial is an exact prefix of the full monotone accumulation, so skipping
+  // head_dist_ > bound can never drop a candidate the full kernel would accept.
+  for (size_t s = 0; s < n; ++s) {
+    if (s == probe || head_dist_[s] > bound) {
+      continue;
+    }
+    ++resumed;
+    const float d = ResumeDistance(query, s, head_dist_[s], bound);
+    if (d > bound) {
+      continue;
+    }
+    const int64_t id = ids_[s];
+    // Ties go to the smallest id == the seed scan's first-seen semantics.
+    if (d < best_dist || (d == best_dist && id < best_id)) {
+      best_dist = d;
+      best_id = id;
+      bound = d;
+    }
+  }
+  // Head-only = had a head partial computed but was never resumed past it.
+  scan_head_only_ += static_cast<int64_t>(n) - pruned - resumed;
+
+  if (best_id >= 0 && out_dist_sq != nullptr) {
+    *out_dist_sq = best_dist;
+  }
+  return best_id;
+}
+
+}  // namespace focus::cluster

@@ -1,0 +1,126 @@
+// Structure-of-arrays store for the active-centroid working set.
+//
+// The clusterer's full scan is the single hottest loop of ingest: one query
+// vector against up to max_active centroids, once per detection. The seed kept
+// centroids as per-cluster heap-allocated vectors (array-of-structs), which
+// scatters candidates across the heap and starves the vector units. This store
+// keeps every *active* centroid in one contiguous row-major float arena with
+// parallel arrays of norms, member counts, and cluster ids, so a scan is a
+// linear walk that the SIMD kernels in src/common/simd_distance.h can stream.
+//
+// The scan is staged so that almost all of the arena is never touched:
+//   1. norm prune — by the reverse triangle inequality,
+//      (||c|| - ||q||)^2 <= ||c - q||^2, so a candidate whose norm gap already
+//      exceeds the threshold is skipped after reading one cached float;
+//   2. head pass — the first kHeadDim dims of every centroid are mirrored in a
+//      dense (slots x kHeadDim) tile; one SquaredL2Batch sweep over this
+//      contiguous tile yields a monotone partial distance per candidate;
+//   3. probe — the candidate with the smallest head partial (in steady state,
+//      the cluster the detection belongs to) is completed first, tightening the
+//      scan bound from T^2 to its exact distance;
+//   4. resume — only candidates whose head partial is within the tightened
+//      bound continue past dim kHeadDim, resuming from their stored partial
+//      through the bounded SIMD kernel.
+// Because squared-distance partial sums only grow (non-negative terms, monotone
+// float accumulation), steps 2-4 prune exactly: no candidate the full kernel
+// would have accepted is ever dropped.
+//
+// Removal is swap-with-last (O(dim)), so slot order is arbitrary; FindNearest
+// breaks distance ties toward the smallest cluster id, which — because ids are
+// assigned monotonically and every cluster enters the active set exactly once —
+// reproduces the seed's first-seen-in-insertion-order tie semantics exactly.
+#ifndef FOCUS_SRC_CLUSTER_CENTROID_STORE_H_
+#define FOCUS_SRC_CLUSTER_CENTROID_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace focus::cluster {
+
+class CentroidStore {
+ public:
+  CentroidStore() = default;
+
+  // Drops all centroids but keeps the allocated arenas, so a store reused
+  // across a tuner grid sweep stops paying allocation/fault cost after the
+  // first run.
+  void Reset();
+
+  // Number of active centroids.
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  // Dimensionality, fixed by the first Add after construction/Reset (0 = none).
+  size_t dim() const { return dim_; }
+
+  // Inserts the centroid of cluster |id| (must not already be present).
+  void Add(int64_t id, const float* centroid, size_t dim, int64_t size);
+
+  // Whether cluster |id| currently has an active centroid.
+  bool Contains(int64_t id) const;
+
+  // Removes cluster |id| (swap-with-last; no-op if absent).
+  void Remove(int64_t id);
+
+  // Overwrites cluster |id|'s centroid (after a running-mean update) and
+  // refreshes its cached norm. The cluster must be present.
+  void Update(int64_t id, const float* centroid);
+
+  // Updates the cached member count of cluster |id| (must be present).
+  void SetSize(int64_t id, int64_t size);
+
+  // Row pointer for cluster |id|, or nullptr when it is not in the store. Valid
+  // until the next Add/Remove/Reset.
+  const float* CentroidOf(int64_t id) const;
+
+  // Nearest centroid to |query| with squared distance <= |threshold_sq|, ties
+  // broken toward the smallest cluster id. Returns the cluster id, or -1 when no
+  // centroid qualifies; on success *out_dist_sq receives the squared distance.
+  int64_t FindNearest(const float* query, size_t dim, float threshold_sq,
+                      float* out_dist_sq) const;
+
+  // Active cluster ids, in slot order (arbitrary).
+  const std::vector<int64_t>& ids() const { return ids_; }
+  // Cached (non-squared) norms, parallel to ids().
+  const std::vector<float>& norms() const { return norms_; }
+  // Cached member counts, parallel to ids().
+  const std::vector<int64_t>& sizes() const { return sizes_; }
+
+  // Scan statistics since construction/Reset: candidates considered by
+  // FindNearest, how many the norm prune skipped, and how many were resolved by
+  // the head tile alone (never touched past dim kHeadDim).
+  int64_t scan_candidates() const { return scan_candidates_; }
+  int64_t scan_pruned() const { return scan_pruned_; }
+  int64_t scan_head_only() const { return scan_head_only_; }
+
+  // Dims per candidate mirrored in the dense head tile.
+  static constexpr size_t kHeadDim = 64;
+
+ private:
+  // Slot of cluster |id|, or kNoSlot.
+  int32_t SlotOf(int64_t id) const;
+  // Exact distance of |query| to slot |s| resumed from its head partial, with
+  // early exit at |bound|.
+  float ResumeDistance(const float* query, size_t slot, float head_partial,
+                       float bound) const;
+
+  static constexpr int32_t kNoSlot = -1;
+
+  size_t dim_ = 0;
+  size_t head_dim_ = 0;          // min(dim_, kHeadDim).
+  std::vector<float> arena_;     // size() rows of dim() floats.
+  std::vector<float> head_;      // size() rows of head_dim_ floats (dense tile).
+  std::vector<float> norms_;     // ||centroid||, parallel to ids_.
+  std::vector<int64_t> sizes_;   // Member counts, parallel to ids_.
+  std::vector<int64_t> ids_;     // Cluster id per slot.
+  std::vector<int32_t> slot_of_id_;  // Cluster id -> slot (ids are dense).
+
+  mutable std::vector<float> head_dist_;  // FindNearest per-slot head partials.
+  mutable int64_t scan_candidates_ = 0;
+  mutable int64_t scan_pruned_ = 0;
+  mutable int64_t scan_head_only_ = 0;
+};
+
+}  // namespace focus::cluster
+
+#endif  // FOCUS_SRC_CLUSTER_CENTROID_STORE_H_

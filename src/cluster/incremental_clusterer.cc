@@ -1,7 +1,10 @@
 #include "src/cluster/incremental_clusterer.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
+
+#include "src/common/simd_distance.h"
 
 namespace focus::cluster {
 
@@ -34,6 +37,18 @@ void AppendMember(Cluster& cluster, const video::Detection& detection) {
 
 IncrementalClusterer::IncrementalClusterer(ClustererOptions options) : options_(options) {}
 
+void IncrementalClusterer::Reset(ClustererOptions options) {
+  options_ = options;
+  clusters_.clear();
+  store_.Reset();
+  retire_heap_.clear();
+  last_cluster_of_object_.clear();
+  lru_.clear();
+  total_assignments_ = 0;
+  fast_hits_ = 0;
+  fast_lookups_ = 0;
+}
+
 double IncrementalClusterer::FastHitRate() const {
   return fast_lookups_ > 0 ? static_cast<double>(fast_hits_) / static_cast<double>(fast_lookups_)
                            : 0.0;
@@ -41,6 +56,11 @@ double IncrementalClusterer::FastHitRate() const {
 
 int64_t IncrementalClusterer::CreateCluster(const video::Detection& detection,
                                             const common::FeatureVec& feature) {
+  // Retire *before* inserting: retiring after could evict the just-created
+  // size-1 cluster while it is still handed out as the assignment target.
+  if (store_.size() >= options_.max_active) {
+    RetireSmallest();
+  }
   Cluster c;
   c.id = static_cast<int64_t>(clusters_.size());
   c.centroid = feature;
@@ -48,12 +68,12 @@ int64_t IncrementalClusterer::CreateCluster(const video::Detection& detection,
   c.representative = detection;
   AppendMember(c, detection);
   clusters_.push_back(std::move(c));
-  active_ids_.push_back(clusters_.back().id);
-  if (active_ids_.size() > options_.max_active) {
-    RetireSmallest();
-  }
-  TouchLru(clusters_.back().id);
-  return clusters_.back().id;
+  const int64_t id = clusters_.back().id;
+  store_.Add(id, clusters_.back().centroid.data(), clusters_.back().centroid.size(), 1);
+  retire_heap_.emplace_back(1, id);
+  std::push_heap(retire_heap_.begin(), retire_heap_.end(), std::greater<>());
+  TouchLru(id);
+  return id;
 }
 
 void IncrementalClusterer::Join(Cluster& cluster, const video::Detection& detection,
@@ -66,17 +86,32 @@ void IncrementalClusterer::Join(Cluster& cluster, const video::Detection& detect
   }
   ++cluster.size;
   AppendMember(cluster, detection);
+  store_.Update(cluster.id, cluster.centroid.data());
+  store_.SetSize(cluster.id, cluster.size);
 }
 
 void IncrementalClusterer::RetireSmallest() {
-  auto it = std::min_element(active_ids_.begin(), active_ids_.end(), [this](int64_t a, int64_t b) {
-    return clusters_[static_cast<size_t>(a)].size < clusters_[static_cast<size_t>(b)].size;
-  });
-  if (it == active_ids_.end()) {
+  // Lazy heap: a popped entry whose size is stale (the cluster grew since push)
+  // is re-keyed at its current size; the first fresh pop is the minimum over
+  // current sizes (sizes only grow), with ties on the smaller id — the same
+  // cluster the seed's first-seen min_element scan picked.
+  while (!retire_heap_.empty()) {
+    std::pop_heap(retire_heap_.begin(), retire_heap_.end(), std::greater<>());
+    const auto [size_at_push, id] = retire_heap_.back();
+    retire_heap_.pop_back();
+    Cluster& c = clusters_[static_cast<size_t>(id)];
+    if (!c.active) {
+      continue;
+    }
+    if (c.size != size_at_push) {
+      retire_heap_.emplace_back(c.size, id);
+      std::push_heap(retire_heap_.begin(), retire_heap_.end(), std::greater<>());
+      continue;
+    }
+    c.active = false;
+    store_.Remove(id);
     return;
   }
-  clusters_[static_cast<size_t>(*it)].active = false;
-  active_ids_.erase(it);
 }
 
 void IncrementalClusterer::TouchLru(int64_t id) {
@@ -86,23 +121,30 @@ void IncrementalClusterer::TouchLru(int64_t id) {
   }
 }
 
+float IncrementalClusterer::ActiveDistance(int64_t id, const common::FeatureVec& feature,
+                                           float bound) const {
+  const float* row = store_.CentroidOf(id);
+  if (row == nullptr) {
+    return std::numeric_limits<float>::max();
+  }
+  return common::simd::SquaredL2Bounded(feature.data(), row, feature.size(), bound);
+}
+
 int64_t IncrementalClusterer::Add(const video::Detection& detection,
                                   const common::FeatureVec& feature) {
   ++total_assignments_;
-  const double threshold_sq = options_.threshold * options_.threshold;
+  const float threshold_sq = static_cast<float>(options_.threshold * options_.threshold);
 
   if (options_.mode == ClustererOptions::Mode::kFast) {
     ++fast_lookups_;
     // 1. The cluster this object joined most recently.
     auto it = last_cluster_of_object_.find(detection.object_id);
-    if (it != last_cluster_of_object_.end()) {
+    if (it != last_cluster_of_object_.end() &&
+        ActiveDistance(it->second, feature, threshold_sq) <= threshold_sq) {
       Cluster& c = clusters_[static_cast<size_t>(it->second)];
-      if (c.active &&
-          common::SquaredL2DistanceBounded(c.centroid, feature, threshold_sq) <= threshold_sq) {
-        Join(c, detection, feature);
-        ++fast_hits_;
-        return c.id;
-      }
+      Join(c, detection, feature);
+      ++fast_hits_;
+      return c.id;
     }
     // 2. Recently used clusters.
     size_t probes = 0;
@@ -110,9 +152,8 @@ int64_t IncrementalClusterer::Add(const video::Detection& detection,
       if (probes++ >= options_.lru_probes) {
         break;
       }
-      Cluster& c = clusters_[static_cast<size_t>(id)];
-      if (c.active &&
-          common::SquaredL2DistanceBounded(c.centroid, feature, threshold_sq) <= threshold_sq) {
+      if (ActiveDistance(id, feature, threshold_sq) <= threshold_sq) {
+        Cluster& c = clusters_[static_cast<size_t>(id)];
         Join(c, detection, feature);
         last_cluster_of_object_[detection.object_id] = c.id;
         TouchLru(c.id);
@@ -122,22 +163,12 @@ int64_t IncrementalClusterer::Add(const video::Detection& detection,
     }
   }
 
-  // Full scan: closest active cluster within T. Candidates beyond the current best
-  // (or beyond T) exit the distance loop early; the strict < keeps first-seen tie
-  // semantics identical to the plain scan.
-  int64_t best = -1;
-  double best_dist = std::numeric_limits<double>::max();
-  double bound = threshold_sq;
-  for (int64_t id : active_ids_) {
-    const Cluster& c = clusters_[static_cast<size_t>(id)];
-    double d = common::SquaredL2DistanceBounded(c.centroid, feature, bound);
-    if (d <= bound && d < best_dist) {
-      best_dist = d;
-      best = id;
-      bound = d;
-    }
-  }
-  if (best >= 0 && best_dist <= threshold_sq) {
+  // Full scan: closest active cluster within T (norm prune + batched SIMD over
+  // the contiguous store; first-seen tie semantics preserved via smallest-id).
+  float best_dist = 0.0f;
+  const int64_t best =
+      store_.FindNearest(feature.data(), feature.size(), threshold_sq, &best_dist);
+  if (best >= 0) {
     Cluster& c = clusters_[static_cast<size_t>(best)];
     Join(c, detection, feature);
     last_cluster_of_object_[detection.object_id] = c.id;
@@ -160,6 +191,7 @@ int64_t IncrementalClusterer::AddSuppressed(const video::Detection& detection,
       // Membership only: the crop did not change, so the previous classification and
       // feature are reused and the centroid is left untouched.
       ++c.size;
+      store_.SetSize(c.id, c.size);
       AppendMember(c, detection);
       return c.id;
     }

@@ -17,14 +17,21 @@
 //     LRU of recently used clusters, and only falls back to the full scan on a miss.
 //     Because object appearance drifts slowly, the hit rate is very high and results
 //     are nearly identical at a fraction of the cost; large benches use this.
+//
+// Active centroids live in a contiguous structure-of-arrays CentroidStore; the
+// full scan norm-prunes candidates and batch-evaluates survivors through the SIMD
+// distance kernels, with tie semantics identical to the seed's in-order scan.
+// RetireSmallest is O(log M) amortized via a lazy min-size heap.
 #ifndef FOCUS_SRC_CLUSTER_INCREMENTAL_CLUSTERER_H_
 #define FOCUS_SRC_CLUSTER_INCREMENTAL_CLUSTERER_H_
 
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/cluster/centroid_store.h"
 #include "src/common/feature_vector.h"
 #include "src/common/time_types.h"
 #include "src/video/detection.h"
@@ -43,6 +50,8 @@ struct MemberRun {
 struct Cluster {
   int64_t id = 0;
   // Running mean of member features (not re-normalized; distances use it directly).
+  // While the cluster is active this is mirrored into the clusterer's
+  // CentroidStore; mutating it externally mid-stream desynchronizes the scan.
   common::FeatureVec centroid;
   int64_t size = 0;  // Number of member detections.
   std::vector<MemberRun> members;
@@ -67,6 +76,13 @@ class IncrementalClusterer {
  public:
   explicit IncrementalClusterer(ClustererOptions options = {});
 
+  // Drops all clusters and statistics and adopts |options|, keeping the
+  // centroid-store arenas and the outer containers' capacity (per-cluster
+  // inner allocations — centroids, member runs — are freed with the clusters).
+  // A clusterer reused across a tuner grid sweep (one run per threshold)
+  // avoids re-paying the arena growth on every run.
+  void Reset(ClustererOptions options);
+
   // Assigns |detection| (with ingest-CNN feature |feature|) to a cluster and returns
   // the cluster id.
   int64_t Add(const video::Detection& detection, const common::FeatureVec& feature);
@@ -80,10 +96,14 @@ class IncrementalClusterer {
   const std::vector<Cluster>& clusters() const { return clusters_; }
   std::vector<Cluster>& mutable_clusters() { return clusters_; }
   size_t num_clusters() const { return clusters_.size(); }
-  size_t num_active() const { return active_ids_.size(); }
+  size_t num_active() const { return store_.size(); }
   int64_t total_assignments() const { return total_assignments_; }
   // Fraction of fast-mode assignments resolved without the full scan.
   double FastHitRate() const;
+
+  // The structure-of-arrays working set behind the full scan (scan statistics,
+  // arena introspection).
+  const CentroidStore& centroid_store() const { return store_; }
 
  private:
   int64_t CreateCluster(const video::Detection& detection, const common::FeatureVec& feature);
@@ -91,10 +111,18 @@ class IncrementalClusterer {
             const common::FeatureVec& feature);
   void RetireSmallest();
   void TouchLru(int64_t id);
+  // Squared distance from |feature| to the active centroid of |id| with early
+  // exit at |bound|; > bound when the cluster is not active.
+  float ActiveDistance(int64_t id, const common::FeatureVec& feature, float bound) const;
 
   ClustererOptions options_;
   std::vector<Cluster> clusters_;
-  std::vector<int64_t> active_ids_;
+  CentroidStore store_;
+  // Lazy min-heap of (size-at-push, cluster id) over active clusters; stale
+  // entries (the size grew since push) are re-keyed on pop, so RetireSmallest
+  // finds the (size, id)-smallest active cluster in O(log M) amortized instead
+  // of the seed's O(M) min_element.
+  std::vector<std::pair<int64_t, int64_t>> retire_heap_;
   std::unordered_map<common::ObjectId, int64_t> last_cluster_of_object_;
   std::deque<int64_t> lru_;
   int64_t total_assignments_ = 0;

@@ -1,0 +1,104 @@
+#include "src/common/simd_distance.h"
+
+namespace focus::common::simd {
+
+namespace {
+
+// Width of the unrolled accumulator bank. Eight float lanes fill one AVX2
+// register; on SSE2 the compiler splits them into two 4-lane registers.
+constexpr size_t kLanes = 8;
+
+// Dims per early-exit check in the bounded kernels: four lane-banks between
+// branches keeps the exit test off the vector critical path while still
+// abandoning hopeless candidates after a small prefix.
+constexpr size_t kBoundChunk = 32;
+
+inline float ReduceLanes(const float acc[kLanes]) {
+  return ((acc[0] + acc[4]) + (acc[1] + acc[5])) +
+         ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+}
+
+}  // namespace
+
+float SquaredL2(const float* a, const float* b, size_t dim) {
+  float acc[kLanes] = {};
+  size_t i = 0;
+  const size_t n = dim - dim % kLanes;
+  for (; i < n; i += kLanes) {
+    for (size_t j = 0; j < kLanes; ++j) {
+      float d = a[i + j] - b[i + j];
+      acc[j] += d * d;
+    }
+  }
+  float sum = ReduceLanes(acc);
+  for (; i < dim; ++i) {
+    float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float SquaredL2Bounded(const float* a, const float* b, size_t dim, float bound) {
+  float sum = 0.0f;
+  size_t i = 0;
+  const size_t n_chunk = dim - dim % kBoundChunk;
+  for (; i < n_chunk; i += kBoundChunk) {
+    float acc[kLanes] = {};
+    for (size_t k = 0; k < kBoundChunk; k += kLanes) {
+      for (size_t j = 0; j < kLanes; ++j) {
+        float d = a[i + k + j] - b[i + k + j];
+        acc[j] += d * d;
+      }
+    }
+    sum += ReduceLanes(acc);
+    if (sum > bound) {
+      return sum;
+    }
+  }
+  for (; i < dim; ++i) {
+    float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float Dot(const float* a, const float* b, size_t dim) {
+  float acc[kLanes] = {};
+  size_t i = 0;
+  const size_t n = dim - dim % kLanes;
+  for (; i < n; i += kLanes) {
+    for (size_t j = 0; j < kLanes; ++j) {
+      acc[j] += a[i + j] * b[i + j];
+    }
+  }
+  float sum = ReduceLanes(acc);
+  for (; i < dim; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+float NormSquared(const float* v, size_t dim) {
+  float acc[kLanes] = {};
+  size_t i = 0;
+  const size_t n = dim - dim % kLanes;
+  for (; i < n; i += kLanes) {
+    for (size_t j = 0; j < kLanes; ++j) {
+      acc[j] += v[i + j] * v[i + j];
+    }
+  }
+  float sum = ReduceLanes(acc);
+  for (; i < dim; ++i) {
+    sum += v[i] * v[i];
+  }
+  return sum;
+}
+
+void SquaredL2Batch(const float* query, const float* block, size_t n, size_t dim,
+                    float bound, float* out) {
+  for (size_t row = 0; row < n; ++row) {
+    out[row] = SquaredL2Bounded(query, block + row * dim, dim, bound);
+  }
+}
+
+}  // namespace focus::common::simd

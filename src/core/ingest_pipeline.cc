@@ -110,7 +110,8 @@ ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ing
 }
 
 IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestParams& params,
-                                 const IngestOptions& options) {
+                                 const IngestOptions& options,
+                                 cluster::IncrementalClusterer* scratch) {
   IngestResult result;
   result.gpu_millis = sample.gpu_millis;
   result.cnn_invocations = sample.cnn_invocations;
@@ -120,7 +121,11 @@ IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestPar
   copts.threshold = params.cluster_threshold;
   copts.max_active = options.max_active_clusters;
   copts.mode = options.cluster_mode;
-  cluster::IncrementalClusterer clusterer(copts);
+  cluster::IncrementalClusterer local_clusterer(copts);
+  cluster::IncrementalClusterer& clusterer = scratch != nullptr ? *scratch : local_clusterer;
+  if (scratch != nullptr) {
+    scratch->Reset(copts);
+  }
 
   const size_t rank_width = static_cast<size_t>(std::min(params.k, sample.k));
   BestRankTable ranks;

@@ -75,8 +75,14 @@ ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ing
 // Runs clustering + indexing (IT2-IT4) over stored outputs. |params.k| must not
 // exceed |sample.k|. Produces the same IngestResult as RunIngest with the same
 // parameters (GPU cost comes from the stored classification pass).
+//
+// |scratch| optionally supplies a clusterer to (re)use: it is Reset() with this
+// run's options, so a tuner sweeping a parameter grid over the same sample
+// reuses the centroid arena and per-cluster allocations across re-runs instead
+// of re-growing them from empty on every configuration.
 IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestParams& params,
-                                 const IngestOptions& options = {});
+                                 const IngestOptions& options = {},
+                                 cluster::IncrementalClusterer* scratch = nullptr);
 
 }  // namespace focus::core
 

@@ -206,6 +206,10 @@ std::vector<EvaluatedConfig> ParameterTuner::EvaluateGrid(const video::StreamRun
   const std::vector<cnn::ModelDesc> models =
       CandidateModels(distribution, stream_variability, run.seed());
 
+  // One clusterer reused across the whole (model, T) grid: every re-run Resets
+  // it, keeping the centroid arena and cluster allocations warm.
+  cluster::IncrementalClusterer cluster_scratch;
+
   for (const cnn::ModelDesc& desc : models) {
     cnn::Cnn cheap(desc, catalog_);
     const int space = cheap.label_space_size();
@@ -226,7 +230,8 @@ std::vector<EvaluatedConfig> ParameterTuner::EvaluateGrid(const video::StreamRun
       params.cluster_threshold = threshold;
       params.ls = desc.specialized() ? static_cast<int>(desc.classes.size()) : 0;
 
-      IngestResult ingest = RunIngestClassified(classified, params, options_.ingest);
+      IngestResult ingest =
+          RunIngestClassified(classified, params, options_.ingest, &cluster_scratch);
       const double ingest_norm = ingest.gpu_millis / gt_all_millis;
 
       // Evaluate every K <= k_max as a query-time Kx over the k_max-wide index (§5:

@@ -1,6 +1,8 @@
 #include "src/core/query_engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace focus::core {
 
@@ -22,6 +24,50 @@ std::vector<std::pair<common::FrameIndex, common::FrameIndex>> MergeFrameRuns(
   return merged;
 }
 
+std::pair<common::FrameIndex, common::FrameIndex> FrameBoundsOfRange(common::TimeRange range,
+                                                                     double fps) {
+  constexpr common::FrameIndex kMaxFrame = std::numeric_limits<common::FrameIndex>::max();
+  const double frame_limit = static_cast<double>(kMaxFrame);
+  // First frame with frame/fps >= begin_sec. The arithmetic estimate can land
+  // one frame off ContainsFrame's frame/fps comparison when begin_sec * fps
+  // rounds differently than the division; the fix-up loops below run at most a
+  // step or two, keeping the bound exact without a per-frame walk. Estimates
+  // beyond the representable frame range (range values are client input) are
+  // clamped before the narrowing cast.
+  common::FrameIndex first = 0;
+  if (range.begin_sec > 0.0) {
+    const double est = std::ceil(range.begin_sec * fps);
+    if (!(est < frame_limit)) {
+      // No representable frame reaches begin_sec: the range admits nothing.
+      return {kMaxFrame, kMaxFrame - 1};
+    }
+    first = static_cast<common::FrameIndex>(est);
+    while (first > 0 && static_cast<double>(first - 1) / fps >= range.begin_sec) {
+      --first;
+    }
+    while (static_cast<double>(first) / fps < range.begin_sec) {
+      ++first;
+    }
+  }
+  // Last frame with frame/fps < end_sec (inclusive bound); open-ended otherwise.
+  common::FrameIndex last = kMaxFrame;
+  if (range.end_sec >= 0.0) {
+    const double est = std::ceil(range.end_sec * fps);
+    if (est < frame_limit) {
+      last = static_cast<common::FrameIndex>(est);
+      while (last > 0 && static_cast<double>(last - 1) / fps >= range.end_sec) {
+        --last;
+      }
+      while (static_cast<double>(last) / fps < range.end_sec) {
+        ++last;
+      }
+      --last;  // |last| was the first excluded frame.
+    }
+    // Otherwise every representable frame is below end_sec: leave it open.
+  }
+  return {first, last};
+}
+
 QueryEngine::QueryEngine(const index::TopKIndex* index, const cnn::Cnn* ingest_cnn,
                          const cnn::Cnn* gt_cnn)
     : index_(index), ingest_cnn_(ingest_cnn), gt_cnn_(gt_cnn) {}
@@ -36,6 +82,13 @@ QueryResult QueryEngine::Query(common::ClassId cls, int kx, common::TimeRange ra
   // posting list.
   const common::ClassId lookup = ingest_cnn_->MapTrueLabel(cls);
   const std::vector<int64_t>& candidates = index_->ClustersForClass(lookup);
+
+  // Map the time range to frame bounds once; clipping each run is then O(1).
+  const bool clip = range.begin_sec > 0.0 || range.end_sec >= 0.0;
+  const auto [range_first, range_last] =
+      clip ? FrameBoundsOfRange(range, fps)
+           : std::pair<common::FrameIndex, common::FrameIndex>{
+                 0, std::numeric_limits<common::FrameIndex>::max()};
 
   std::vector<std::pair<common::FrameIndex, common::FrameIndex>> runs;
   for (int64_t id : candidates) {
@@ -52,19 +105,10 @@ QueryResult QueryEngine::Query(common::ClassId cls, int kx, common::TimeRange ra
     // QT4: the whole cluster inherits the centroid's label.
     ++result.clusters_matched;
     for (const cluster::MemberRun& run : entry.members) {
-      common::FrameIndex first = run.first_frame;
-      common::FrameIndex last = run.last_frame;
-      if (range.begin_sec > 0.0 || range.end_sec >= 0.0) {
-        // Clip to the queried time range.
-        while (first <= last && !range.ContainsFrame(first, fps)) {
-          ++first;
-        }
-        while (last >= first && !range.ContainsFrame(last, fps)) {
-          --last;
-        }
-        if (first > last) {
-          continue;
-        }
+      const common::FrameIndex first = std::max(run.first_frame, range_first);
+      const common::FrameIndex last = std::min(run.last_frame, range_last);
+      if (first > last) {
+        continue;
       }
       runs.emplace_back(first, last);
     }

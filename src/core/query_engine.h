@@ -50,6 +50,14 @@ class QueryEngine {
 std::vector<std::pair<common::FrameIndex, common::FrameIndex>> MergeFrameRuns(
     std::vector<std::pair<common::FrameIndex, common::FrameIndex>> runs);
 
+// The frames |range| admits at |fps| as an inclusive [first, last] frame
+// interval (last = max FrameIndex for an open-ended range). Derived
+// arithmetically but agreeing frame-for-frame with TimeRange::ContainsFrame, so
+// clipping a member run to a query's time range is O(1) arithmetic on the run
+// bounds instead of a per-frame walk.
+std::pair<common::FrameIndex, common::FrameIndex> FrameBoundsOfRange(common::TimeRange range,
+                                                                     double fps);
+
 }  // namespace focus::core
 
 #endif  // FOCUS_SRC_CORE_QUERY_ENGINE_H_

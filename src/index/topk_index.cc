@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <type_traits>
 
 namespace focus::index {
 
@@ -16,6 +17,14 @@ template <typename T>
 void PutPod(std::string& out, T v) {
   PutRaw(out, &v, sizeof(v));
 }
+// Length-prefixed bulk append: one memcpy for the whole array instead of one
+// PutPod per element (feature vectors and posting arrays dominate blob size).
+template <typename T>
+void PutArray(std::string& out, const T* data, size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PutPod(out, static_cast<uint32_t>(n));
+  PutRaw(out, data, n * sizeof(T));
+}
 
 class Reader {
  public:
@@ -28,6 +37,25 @@ class Reader {
     }
     std::memcpy(v, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
+    return true;
+  }
+
+  // Counterpart of PutArray: reads the length prefix, then the payload with a
+  // single memcpy.
+  template <typename T>
+  bool ReadArray(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint32_t n = 0;
+    if (!Read(&n)) {
+      return false;
+    }
+    const size_t bytes = static_cast<size_t>(n) * sizeof(T);
+    if (pos_ + bytes > data_.size()) {
+      return false;
+    }
+    out->resize(n);
+    std::memcpy(out->data(), data_.data() + pos_, bytes);
+    pos_ += bytes;
     return true;
   }
 
@@ -50,71 +78,27 @@ std::string EncodeCluster(const ClusterEntry& e) {
   PutPod(out, e.representative.bbox.y);
   PutPod(out, e.representative.bbox.w);
   PutPod(out, e.representative.bbox.h);
-  PutPod(out, static_cast<uint32_t>(e.representative.appearance.size()));
-  for (float f : e.representative.appearance) {
-    PutPod(out, f);
-  }
-  PutPod(out, static_cast<uint32_t>(e.members.size()));
-  for (const cluster::MemberRun& run : e.members) {
-    PutPod(out, run.object);
-    PutPod(out, run.first_frame);
-    PutPod(out, run.last_frame);
-  }
-  PutPod(out, static_cast<uint32_t>(e.topk_classes.size()));
-  for (common::ClassId cls : e.topk_classes) {
-    PutPod(out, cls);
-  }
-  PutPod(out, static_cast<uint32_t>(e.topk_ranks.size()));
-  for (int32_t rank : e.topk_ranks) {
-    PutPod(out, rank);
-  }
+  PutArray(out, e.representative.appearance.data(), e.representative.appearance.size());
+  // MemberRun is three contiguous int64 fields (no padding), so the run list
+  // round-trips as one block.
+  static_assert(sizeof(cluster::MemberRun) ==
+                sizeof(common::ObjectId) + 2 * sizeof(common::FrameIndex));
+  PutArray(out, e.members.data(), e.members.size());
+  PutArray(out, e.topk_classes.data(), e.topk_classes.size());
+  PutArray(out, e.topk_ranks.data(), e.topk_ranks.size());
   return out;
 }
 
 bool DecodeCluster(const std::string& data, ClusterEntry* e) {
   Reader r(data);
-  uint32_t n = 0;
   if (!r.Read(&e->cluster_id) || !r.Read(&e->size) || !r.Read(&e->representative.frame) ||
       !r.Read(&e->representative.object_id) || !r.Read(&e->representative.true_class) ||
       !r.Read(&e->representative.bbox.x) || !r.Read(&e->representative.bbox.y) ||
-      !r.Read(&e->representative.bbox.w) || !r.Read(&e->representative.bbox.h) || !r.Read(&n)) {
+      !r.Read(&e->representative.bbox.w) || !r.Read(&e->representative.bbox.h)) {
     return false;
   }
-  e->representative.appearance.resize(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    if (!r.Read(&e->representative.appearance[i])) {
-      return false;
-    }
-  }
-  if (!r.Read(&n)) {
-    return false;
-  }
-  e->members.resize(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    if (!r.Read(&e->members[i].object) || !r.Read(&e->members[i].first_frame) ||
-        !r.Read(&e->members[i].last_frame)) {
-      return false;
-    }
-  }
-  if (!r.Read(&n)) {
-    return false;
-  }
-  e->topk_classes.resize(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    if (!r.Read(&e->topk_classes[i])) {
-      return false;
-    }
-  }
-  if (!r.Read(&n)) {
-    return false;
-  }
-  e->topk_ranks.resize(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    if (!r.Read(&e->topk_ranks[i])) {
-      return false;
-    }
-  }
-  return true;
+  return r.ReadArray(&e->representative.appearance) && r.ReadArray(&e->members) &&
+         r.ReadArray(&e->topk_classes) && r.ReadArray(&e->topk_ranks);
 }
 
 std::string ClusterKey(const std::string& prefix, int64_t id) {

@@ -13,6 +13,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "src/common/logging.h"
 
@@ -67,6 +68,34 @@ class TaskQueue {
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  // Batch variant of Pop(): blocks until at least one item is available (or the
+  // queue is closed and drained), then appends up to |max_items| items to |out|
+  // in FIFO order and returns how many were taken. Returns 0 iff the queue is
+  // closed and empty. One lock acquisition per batch amortizes lock and wakeup
+  // traffic for consumers that can accept several work items at once (e.g.
+  // ingest workers pulling per-detection tasks).
+  size_t PopBatch(std::vector<T>& out, size_t max_items) {
+    if (max_items == 0) {
+      return 0;
+    }
+    size_t taken = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      while (taken < max_items && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++taken;
+      }
+    }
+    if (taken > 1) {
+      not_full_.notify_all();
+    } else if (taken == 1) {
+      not_full_.notify_one();
+    }
+    return taken;
   }
 
   // Closes the queue: producers fail, consumers drain the backlog then get nullopt.

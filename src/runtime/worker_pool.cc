@@ -4,8 +4,10 @@
 
 namespace focus::runtime {
 
-WorkerPool::WorkerPool(int num_workers, size_t queue_capacity) : queue_(queue_capacity) {
+WorkerPool::WorkerPool(int num_workers, size_t queue_capacity, size_t pop_batch)
+    : queue_(queue_capacity), pop_batch_(pop_batch) {
   FOCUS_CHECK(num_workers >= 1);
+  FOCUS_CHECK(pop_batch >= 1);
   threads_.reserve(static_cast<size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
     threads_.emplace_back([this] { WorkerMain(); });
@@ -44,14 +46,20 @@ void WorkerPool::Shutdown() {
 }
 
 void WorkerPool::WorkerMain() {
+  // Pull up to pop_batch_ tasks per queue lock; one acquisition per batch
+  // amortizes lock and wakeup traffic when many short tasks are queued.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(pop_batch_);
   while (true) {
-    std::optional<std::function<void()>> task = queue_.Pop();
-    if (!task.has_value()) {
+    tasks.clear();
+    if (queue_.PopBatch(tasks, pop_batch_) == 0) {
       return;  // Closed and drained.
     }
-    (*task)();
-    completed_.fetch_add(1, std::memory_order_release);
-    drain_cv_.notify_all();
+    for (std::function<void()>& task : tasks) {
+      task();
+      completed_.fetch_add(1, std::memory_order_release);
+      drain_cv_.notify_all();
+    }
   }
 }
 

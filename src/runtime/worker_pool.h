@@ -23,7 +23,11 @@ namespace focus::runtime {
 class WorkerPool {
  public:
   // Spawns |num_workers| threads (>= 1). |queue_capacity| bounds pending tasks.
-  explicit WorkerPool(int num_workers, size_t queue_capacity = 1024);
+  // |pop_batch| is how many tasks a worker pulls per queue lock (>= 1): raise it
+  // for fleets of short fine-grained tasks to amortize lock/wakeup traffic;
+  // leave it at 1 for coarse tasks (batching those would serialize long jobs
+  // onto one worker while its siblings idle).
+  explicit WorkerPool(int num_workers, size_t queue_capacity = 1024, size_t pop_batch = 1);
 
   // Drains remaining tasks, then joins all workers.
   ~WorkerPool();
@@ -48,6 +52,7 @@ class WorkerPool {
   void WorkerMain();
 
   TaskQueue<std::function<void()>> queue_;
+  const size_t pop_batch_;
   std::vector<std::thread> threads_;
 
   std::atomic<int64_t> submitted_{0};

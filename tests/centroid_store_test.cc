@@ -1,0 +1,186 @@
+// Unit and property tests for the SoA centroid store: bookkeeping invariants
+// under add/update/remove churn, and FindNearest agreement (including tie
+// semantics) with a brute-force scalar scan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/cluster/centroid_store.h"
+#include "src/common/feature_vector.h"
+#include "src/common/rng.h"
+
+namespace focus::cluster {
+namespace {
+
+using common::FeatureVec;
+
+FeatureVec Vec(std::initializer_list<float> values) { return FeatureVec(values); }
+
+TEST(CentroidStoreTest, AddContainsRemoveRoundTrip) {
+  CentroidStore store;
+  FeatureVec a = Vec({1.0f, 0.0f});
+  FeatureVec b = Vec({0.0f, 1.0f});
+  store.Add(0, a.data(), 2, 1);
+  store.Add(1, b.data(), 2, 1);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains(0));
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_FALSE(store.Contains(2));
+
+  const float* row = store.CentroidOf(1);
+  ASSERT_NE(row, nullptr);
+  EXPECT_FLOAT_EQ(row[0], 0.0f);
+  EXPECT_FLOAT_EQ(row[1], 1.0f);
+
+  store.Remove(0);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.Contains(0));
+  EXPECT_EQ(store.CentroidOf(0), nullptr);
+  // Swap-with-last must keep the survivor addressable.
+  row = store.CentroidOf(1);
+  ASSERT_NE(row, nullptr);
+  EXPECT_FLOAT_EQ(row[1], 1.0f);
+}
+
+TEST(CentroidStoreTest, UpdateRefreshesCentroidAndNorm) {
+  CentroidStore store;
+  FeatureVec a = Vec({3.0f, 4.0f});
+  store.Add(0, a.data(), 2, 1);
+  EXPECT_NEAR(store.norms()[0], 5.0f, 1e-6);
+  FeatureVec b = Vec({0.0f, 2.0f});
+  store.Update(0, b.data());
+  EXPECT_NEAR(store.norms()[0], 2.0f, 1e-6);
+  EXPECT_FLOAT_EQ(store.CentroidOf(0)[1], 2.0f);
+}
+
+TEST(CentroidStoreTest, FindNearestEmptyReturnsMinusOne) {
+  CentroidStore store;
+  FeatureVec q = Vec({1.0f});
+  EXPECT_EQ(store.FindNearest(q.data(), 1, 1.0f, nullptr), -1);
+}
+
+TEST(CentroidStoreTest, FindNearestRespectsThreshold) {
+  CentroidStore store;
+  FeatureVec a = Vec({0.0f, 0.0f});
+  store.Add(0, a.data(), 2, 1);
+  FeatureVec q = Vec({1.0f, 0.0f});
+  float d = -1.0f;
+  EXPECT_EQ(store.FindNearest(q.data(), 2, 0.5f, &d), -1);  // 1.0 > 0.5.
+  EXPECT_EQ(store.FindNearest(q.data(), 2, 1.0f, &d), 0);   // 1.0 <= 1.0.
+  EXPECT_NEAR(d, 1.0f, 1e-6);
+}
+
+TEST(CentroidStoreTest, FindNearestBreaksTiesTowardSmallestId) {
+  CentroidStore store;
+  // Two centroids exactly equidistant from the query, inserted with the larger
+  // id occupying the earlier slot after a remove/re-add shuffle.
+  FeatureVec left = Vec({-1.0f, 0.0f});
+  FeatureVec right = Vec({1.0f, 0.0f});
+  FeatureVec filler = Vec({5.0f, 5.0f});
+  store.Add(7, right.data(), 2, 1);
+  store.Add(9, filler.data(), 2, 1);
+  store.Add(3, left.data(), 2, 1);
+  store.Remove(9);  // Swap-with-last: id 3 now sits in slot 1, before nothing.
+  FeatureVec q = Vec({0.0f, 0.0f});
+  float d = -1.0f;
+  // Both at distance 1; the smaller id must win regardless of slot order.
+  EXPECT_EQ(store.FindNearest(q.data(), 2, 2.0f, &d), 3);
+  EXPECT_NEAR(d, 1.0f, 1e-6);
+}
+
+// Brute-force scalar reference over the store's current contents with the exact
+// (distance, id) tie ordering FindNearest promises.
+int64_t BruteForceNearest(const CentroidStore& store, const FeatureVec& q, size_t dim,
+                          double threshold_sq) {
+  int64_t best = -1;
+  double best_dist = std::numeric_limits<double>::max();
+  for (int64_t id : store.ids()) {
+    const float* row = store.CentroidOf(id);
+    FeatureVec c(row, row + dim);
+    double d = common::SquaredL2Distance(c, q);
+    if (d <= threshold_sq && (d < best_dist || (d == best_dist && id < best))) {
+      best_dist = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+TEST(CentroidStoreTest, FindNearestAgreesWithBruteForceUnderChurn) {
+  // Dims straddling the head-tile width to cover head-only and resumed scans.
+  for (size_t dim : {8u, 63u, 64u, 65u, 200u}) {
+    common::Pcg32 rng(1000 + dim);
+    CentroidStore store;
+    std::vector<int64_t> live;
+    int64_t next_id = 0;
+    const double threshold = 1.1;  // Unit-sphere scale: some hits, some misses.
+    const double threshold_sq = threshold * threshold;
+    for (int step = 0; step < 400; ++step) {
+      double action = rng.NextDouble();
+      if (action < 0.5 || live.empty()) {
+        FeatureVec v = common::RandomUnitVector(dim, rng);
+        store.Add(next_id, v.data(), dim, 1);
+        live.push_back(next_id++);
+      } else if (action < 0.65) {
+        size_t pick = rng.Next() % live.size();
+        store.Remove(live[pick]);
+        live.erase(live.begin() + static_cast<long>(pick));
+        if (live.empty()) {
+          continue;
+        }
+      } else if (action < 0.8) {
+        size_t pick = rng.Next() % live.size();
+        FeatureVec v = common::RandomUnitVector(dim, rng);
+        store.Update(live[pick], v.data());
+      }
+      FeatureVec q = common::RandomUnitVector(dim, rng);
+      float d = -1.0f;
+      int64_t got = store.FindNearest(q.data(), dim, static_cast<float>(threshold_sq), &d);
+      int64_t want = BruteForceNearest(store, q, dim, threshold_sq);
+      ASSERT_EQ(got, want) << "dim=" << dim << " step=" << step;
+    }
+  }
+}
+
+TEST(CentroidStoreTest, ResetKeepsStoreUsable) {
+  CentroidStore store;
+  FeatureVec a = Vec({1.0f, 2.0f, 3.0f});
+  store.Add(0, a.data(), 3, 1);
+  store.Reset();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.dim(), 0u);
+  EXPECT_FALSE(store.Contains(0));
+  // A Reset store accepts a different dimensionality.
+  FeatureVec b = Vec({1.0f, 0.0f});
+  store.Add(5, b.data(), 2, 1);
+  EXPECT_EQ(store.size(), 1u);
+  FeatureVec q = Vec({0.9f, 0.0f});
+  EXPECT_EQ(store.FindNearest(q.data(), 2, 1.0f, nullptr), 5);
+}
+
+TEST(CentroidStoreTest, NormPruneSkipsFarNormCandidatesExactly) {
+  const size_t dim = 128;
+  common::Pcg32 rng(77);
+  CentroidStore store;
+  // Centroids at wildly different norms; the prune should fire for most of them
+  // without ever changing the winner.
+  for (int64_t id = 0; id < 50; ++id) {
+    FeatureVec v = common::RandomUnitVector(dim, rng);
+    common::ScaleInPlace(v, 0.1 * static_cast<double>(id + 1));
+    store.Add(id, v.data(), dim, 1);
+  }
+  for (int rep = 0; rep < 50; ++rep) {
+    FeatureVec q = common::RandomUnitVector(dim, rng);
+    common::ScaleInPlace(q, 0.1 * static_cast<double>(1 + rng.Next() % 50));
+    float d = -1.0f;
+    int64_t got = store.FindNearest(q.data(), dim, 0.25f, &d);
+    EXPECT_EQ(got, BruteForceNearest(store, q, dim, 0.25)) << "rep=" << rep;
+  }
+  EXPECT_GT(store.scan_pruned(), 0);
+}
+
+}  // namespace
+}  // namespace focus::cluster

@@ -1,7 +1,9 @@
 // Unit tests for the incremental clusterer (§4.2).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
+#include <vector>
 
 #include "src/cluster/incremental_clusterer.h"
 #include "src/common/rng.h"
@@ -174,6 +176,139 @@ TEST(ClustererTest, FastModeApproximatesExactMode) {
   EXPECT_GT(ratio, 0.8);
   EXPECT_LT(ratio, 1.25);
   EXPECT_GT(b.FastHitRate(), 0.8);
+}
+
+TEST(ClustererTest, NewClusterAtCapacityIsNotRetiredItself) {
+  // Regression: when the active set is full and every existing cluster is
+  // bigger, creating a new cluster used to retire the just-created size-1
+  // cluster — which was then still returned (and LRU'd) as the assignment
+  // target. The retire must evict one of the *old* clusters instead.
+  ClustererOptions opts = ExactOptions(0.1);
+  opts.max_active = 2;
+  IncrementalClusterer clusterer(opts);
+  for (common::FrameIndex f = 0; f < 3; ++f) {
+    clusterer.Add(Det(1, f), Vec({0.0f, 0.0f}));  // Cluster 0, size 3.
+  }
+  for (common::FrameIndex f = 0; f < 2; ++f) {
+    clusterer.Add(Det(2, f), Vec({10.0f, 0.0f}));  // Cluster 1, size 2.
+  }
+  int64_t id = clusterer.Add(Det(3, 0), Vec({20.0f, 0.0f}));  // At capacity.
+  EXPECT_EQ(id, 2);
+  EXPECT_TRUE(clusterer.clusters()[static_cast<size_t>(id)].active);
+  EXPECT_EQ(clusterer.num_active(), 2u);
+  // The smallest *pre-existing* cluster (id 1, size 2) was the one retired.
+  EXPECT_FALSE(clusterer.clusters()[1].active);
+  EXPECT_TRUE(clusterer.clusters()[0].active);
+  // And the new cluster accepts members, as an active cluster must.
+  EXPECT_EQ(clusterer.Add(Det(3, 1), Vec({20.0f, 0.01f})), id);
+}
+
+TEST(ClustererTest, RetireHeapMatchesLinearMinScan) {
+  // The lazy min-size heap must retire exactly the cluster the seed's
+  // min_element scan picked: smallest size, smallest id on ties — including
+  // after sizes grew since the cluster entered the heap.
+  ClustererOptions opts = ExactOptions(0.1);
+  opts.max_active = 4;
+  IncrementalClusterer clusterer(opts);
+  clusterer.Add(Det(1, 0), Vec({0.0f, 0.0f}));    // id 0
+  clusterer.Add(Det(2, 0), Vec({10.0f, 0.0f}));   // id 1
+  clusterer.Add(Det(3, 0), Vec({20.0f, 0.0f}));   // id 2
+  clusterer.Add(Det(4, 0), Vec({30.0f, 0.0f}));   // id 3
+  // Grow ids 0 and 1 after insertion (stale heap entries at size 1).
+  for (common::FrameIndex f = 1; f < 4; ++f) {
+    clusterer.Add(Det(1, f), Vec({0.0f, 0.0f}));
+    clusterer.Add(Det(2, f), Vec({10.0f, 0.0f}));
+  }
+  // ids 2 and 3 are tied at size 1; the smaller id must be retired.
+  clusterer.Add(Det(5, 0), Vec({40.0f, 0.0f}));
+  EXPECT_FALSE(clusterer.clusters()[2].active);
+  EXPECT_TRUE(clusterer.clusters()[0].active);
+  EXPECT_TRUE(clusterer.clusters()[1].active);
+  EXPECT_TRUE(clusterer.clusters()[3].active);
+}
+
+// Scalar double-precision reference of the seed's exact-mode assignment loop
+// (in-order scan, strict-< tie keeping, bounded distances).
+class SeedReferenceClusterer {
+ public:
+  explicit SeedReferenceClusterer(double threshold) : threshold_sq_(threshold * threshold) {}
+
+  int64_t Add(const common::FeatureVec& feature) {
+    int64_t best = -1;
+    double best_dist = std::numeric_limits<double>::max();
+    double bound = threshold_sq_;
+    for (size_t c = 0; c < centroids_.size(); ++c) {
+      double d = common::SquaredL2DistanceBounded(centroids_[c], feature, bound);
+      if (d <= bound && d < best_dist) {
+        best_dist = d;
+        best = static_cast<int64_t>(c);
+        bound = d;
+      }
+    }
+    if (best >= 0) {
+      common::FeatureVec& mean = centroids_[static_cast<size_t>(best)];
+      double w = 1.0 / static_cast<double>(sizes_[static_cast<size_t>(best)] + 1);
+      for (size_t i = 0; i < mean.size(); ++i) {
+        mean[i] = static_cast<float>(mean[i] * (1.0 - w) + feature[i] * w);
+      }
+      ++sizes_[static_cast<size_t>(best)];
+      return best;
+    }
+    centroids_.push_back(feature);
+    sizes_.push_back(1);
+    return static_cast<int64_t>(centroids_.size()) - 1;
+  }
+
+ private:
+  double threshold_sq_;
+  std::vector<common::FeatureVec> centroids_;
+  std::vector<int64_t> sizes_;
+};
+
+TEST(ClustererTest, AssignmentsIdenticalToSeedReferenceOnFixedStream) {
+  // The SoA/SIMD scan must reproduce the seed implementation's assignment
+  // sequence exactly on a fixed-seed stream (dims straddling the head tile).
+  for (size_t dim : {16u, 64u, 96u, 200u}) {
+    common::Pcg32 rng(2000 + dim);
+    constexpr int kArchetypes = 40;
+    std::vector<common::FeatureVec> base(kArchetypes);
+    for (auto& v : base) {
+      v = common::RandomUnitVector(dim, rng);
+    }
+    SeedReferenceClusterer ref(0.5);
+    IncrementalClusterer clusterer(ExactOptions(0.5));
+    for (int i = 0; i < 1500; ++i) {
+      const common::FeatureVec v =
+          common::PerturbedUnitVector(base[rng.Next() % kArchetypes], 0.2, rng);
+      int64_t want = ref.Add(v);
+      int64_t got = clusterer.Add(Det(i, i), v);
+      ASSERT_EQ(got, want) << "dim=" << dim << " i=" << i;
+    }
+  }
+}
+
+TEST(ClustererTest, ResetReusesClustererAcrossRuns) {
+  common::Pcg32 rng(57);
+  std::vector<common::FeatureVec> stream;
+  for (int i = 0; i < 200; ++i) {
+    stream.push_back(common::RandomUnitVector(32, rng));
+  }
+  // A fresh clusterer and a Reset clusterer must produce identical clusterings.
+  IncrementalClusterer fresh(ExactOptions(0.6));
+  IncrementalClusterer reused(ExactOptions(1.5));  // Different options first.
+  for (int i = 0; i < 100; ++i) {
+    reused.Add(Det(i, i), stream[static_cast<size_t>(i)]);
+  }
+  reused.Reset(ExactOptions(0.6));
+  EXPECT_EQ(reused.num_clusters(), 0u);
+  EXPECT_EQ(reused.num_active(), 0u);
+  EXPECT_EQ(reused.total_assignments(), 0);
+  for (int i = 0; i < 200; ++i) {
+    int64_t a = fresh.Add(Det(i, i), stream[static_cast<size_t>(i)]);
+    int64_t b = reused.Add(Det(i, i), stream[static_cast<size_t>(i)]);
+    ASSERT_EQ(a, b) << "i=" << i;
+  }
+  EXPECT_EQ(fresh.num_clusters(), reused.num_clusters());
 }
 
 TEST(ClustererTest, ThresholdControlsGranularity) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "src/cnn/ground_truth.h"
@@ -55,6 +56,53 @@ TEST(MergeFrameRunsTest, MergesOverlapsAndAdjacent) {
   EXPECT_EQ(merged[0], (std::pair<common::FrameIndex, common::FrameIndex>{10, 30}));
   EXPECT_EQ(merged[1], (std::pair<common::FrameIndex, common::FrameIndex>{40, 45}));
   EXPECT_TRUE(MergeFrameRuns({}).empty());
+}
+
+TEST(FrameBoundsOfRangeTest, AgreesWithContainsFrameBruteForce) {
+  // The O(1) arithmetic bounds must admit exactly the frames ContainsFrame
+  // admits, including awkward fps/boundary combinations.
+  const double fps_values[] = {30.0, 29.97, 24.0, 1.0, 7.5};
+  const common::TimeRange ranges[] = {
+      {0.0, -1.0},   {0.0, 10.0},  {1.0, 2.0},     {0.5, 0.5},
+      {2.0, 1.0},    {3.3, -1.0},  {1.0 / 3.0, 2.0 / 3.0}, {0.0, 0.0},
+      {10.0, 10.04}, {0.033, 0.067},
+  };
+  for (double fps : fps_values) {
+    for (const common::TimeRange& range : ranges) {
+      const auto [first, last] = FrameBoundsOfRange(range, fps);
+      for (common::FrameIndex f = 0; f < 400; ++f) {
+        const bool in_bounds = f >= first && f <= last;
+        EXPECT_EQ(in_bounds, range.ContainsFrame(f, fps))
+            << "fps=" << fps << " begin=" << range.begin_sec << " end=" << range.end_sec
+            << " frame=" << f;
+      }
+    }
+  }
+}
+
+TEST(FrameBoundsOfRangeTest, OpenEndedRangeIsUnbounded) {
+  const auto [first, last] = FrameBoundsOfRange({0.0, -1.0}, 30.0);
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(last, std::numeric_limits<common::FrameIndex>::max());
+}
+
+TEST(FrameBoundsOfRangeTest, HugeClientRangeValuesDoNotOverflow) {
+  // Range values arrive from clients via the query protocol; estimates beyond
+  // the representable frame range must clamp instead of overflowing the cast
+  // (or spinning in the fix-up loop).
+  const double huge = 1e18;
+  const double inf = std::numeric_limits<double>::infinity();
+  // Unreachable begin: admits nothing.
+  for (double begin : {huge, inf}) {
+    const auto [first, last] = FrameBoundsOfRange({begin, -1.0}, 30.0);
+    EXPECT_GT(first, last) << "begin=" << begin;
+  }
+  // Unreachable end: effectively open-ended.
+  for (double end : {huge, inf}) {
+    const auto [first, last] = FrameBoundsOfRange({1.0, end}, 30.0);
+    EXPECT_EQ(first, 30) << "end=" << end;
+    EXPECT_EQ(last, std::numeric_limits<common::FrameIndex>::max()) << "end=" << end;
+  }
 }
 
 TEST(ParetoTest, BoundaryExcludesDominatedPoints) {

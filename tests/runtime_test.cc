@@ -190,7 +190,90 @@ TEST(TaskQueueTest, ManyProducersManyConsumersDeliverEverythingOnce) {
   EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
 }
 
+TEST(TaskQueueTest, PopBatchDrainsFifoUpToMax) {
+  TaskQueue<int> queue(8);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(queue.Push(i));
+  }
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopBatch(out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.PopBatch(out, 10), 2u);  // Appends the remainder.
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(TaskQueueTest, PopBatchReturnsZeroWhenClosedAndEmpty) {
+  TaskQueue<int> queue(4);
+  queue.Push(1);
+  queue.Close();
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopBatch(out, 8), 1u);  // Backlog drains first.
+  EXPECT_EQ(queue.PopBatch(out, 8), 0u);  // Then closed-and-empty.
+  EXPECT_TRUE(queue.PopBatch(out, 0) == 0u);
+}
+
+TEST(TaskQueueTest, PopBatchWakesBlockedProducers) {
+  TaskQueue<int> queue(2);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(3));  // Blocks until the batch pop frees capacity.
+    EXPECT_TRUE(queue.Push(4));
+  });
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopBatch(out, 2), 2u);
+  producer.join();
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(TaskQueueTest, PopBatchDeliversEverythingOnceAcrossConsumers) {
+  constexpr int kItems = 1000;
+  TaskQueue<int> queue(16);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      queue.Push(i);
+    }
+    queue.Close();
+  });
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> batch;
+      while (true) {
+        batch.clear();
+        if (queue.PopBatch(batch, 7) == 0) {
+          return;
+        }
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        for (int item : batch) {
+          EXPECT_TRUE(seen.insert(item).second);
+        }
+      }
+    });
+  }
+  producer.join();
+  for (std::thread& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kItems));
+}
+
 // --- WorkerPool ---
+
+TEST(WorkerPoolTest, BatchedWorkersExecuteAllTasks) {
+  WorkerPool pool(4, 1024, /*pop_batch=*/8);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { counter.fetch_add(1); }));
+  }
+  pool.Drain();
+  EXPECT_EQ(counter.load(), 500);
+  EXPECT_EQ(pool.tasks_completed(), 500);
+}
 
 TEST(WorkerPoolTest, ExecutesAllSubmittedTasks) {
   WorkerPool pool(4);

@@ -1,0 +1,179 @@
+// Property tests for the SIMD distance kernels: every kernel must agree with the
+// scalar double-precision reference in feature_vector.cc within 1e-4 relative
+// tolerance, and the bounded/batched variants must honor their early-exit
+// contract ("exact when <= bound, otherwise only > bound").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/common/feature_vector.h"
+#include "src/common/rng.h"
+#include "src/common/simd_distance.h"
+
+namespace focus::common {
+namespace {
+
+constexpr double kRelTol = 1e-4;
+
+// Dimensions straddling the kernels' unroll (8) and bound-check (32) widths.
+const size_t kDims[] = {1, 3, 7, 8, 9, 31, 32, 33, 64, 65, 100, 128, 257, 1024};
+
+double RelErr(double got, double want) {
+  double denom = std::max(std::abs(want), 1e-12);
+  return std::abs(got - want) / denom;
+}
+
+TEST(SimdDistanceTest, SquaredL2MatchesScalarReference) {
+  Pcg32 rng(7);
+  for (size_t dim : kDims) {
+    for (int rep = 0; rep < 20; ++rep) {
+      FeatureVec a = RandomGaussianVector(dim, rng);
+      FeatureVec b = RandomGaussianVector(dim, rng);
+      double want = SquaredL2Distance(a, b);
+      float got = simd::SquaredL2(a.data(), b.data(), dim);
+      EXPECT_LT(RelErr(got, want), kRelTol) << "dim=" << dim;
+    }
+  }
+}
+
+TEST(SimdDistanceTest, DotMatchesScalarReference) {
+  Pcg32 rng(8);
+  for (size_t dim : kDims) {
+    for (int rep = 0; rep < 20; ++rep) {
+      FeatureVec a = RandomGaussianVector(dim, rng);
+      FeatureVec b = RandomGaussianVector(dim, rng);
+      double want = Dot(a, b);
+      float got = simd::Dot(a.data(), b.data(), dim);
+      // Dot products can cancel toward zero; compare against the vector scale.
+      double scale = std::max(1.0, std::sqrt(SquaredL2Distance(a, b)));
+      EXPECT_LT(std::abs(got - want) / scale, kRelTol) << "dim=" << dim;
+    }
+  }
+}
+
+TEST(SimdDistanceTest, NormSquaredMatchesScalarReference) {
+  Pcg32 rng(9);
+  for (size_t dim : kDims) {
+    FeatureVec v = RandomGaussianVector(dim, rng);
+    double want = Norm(v) * Norm(v);
+    EXPECT_LT(RelErr(simd::NormSquared(v.data(), dim), want), kRelTol) << "dim=" << dim;
+  }
+}
+
+TEST(SimdDistanceTest, BoundedIsExactWhenWithinBound) {
+  Pcg32 rng(10);
+  for (size_t dim : kDims) {
+    for (int rep = 0; rep < 20; ++rep) {
+      FeatureVec a = RandomGaussianVector(dim, rng);
+      FeatureVec b = RandomGaussianVector(dim, rng);
+      float full = simd::SquaredL2(a.data(), b.data(), dim);
+      // Loose bound: must run to completion and agree with the unbounded kernel.
+      float got = simd::SquaredL2Bounded(a.data(), b.data(), dim, full * 2.0f + 1.0f);
+      EXPECT_LT(RelErr(got, full), kRelTol) << "dim=" << dim;
+    }
+  }
+}
+
+TEST(SimdDistanceTest, BoundedOnlyGuaranteesGreaterThanBoundOnExit) {
+  Pcg32 rng(11);
+  for (size_t dim : kDims) {
+    if (dim < 64) {
+      continue;  // Small vectors rarely early-exit; covered by the exact case.
+    }
+    for (int rep = 0; rep < 20; ++rep) {
+      FeatureVec a = RandomGaussianVector(dim, rng);
+      FeatureVec b = RandomGaussianVector(dim, rng);
+      float full = simd::SquaredL2(a.data(), b.data(), dim);
+      float bound = full * 0.25f;
+      float got = simd::SquaredL2Bounded(a.data(), b.data(), dim, bound);
+      EXPECT_GT(got, bound) << "dim=" << dim;
+    }
+  }
+}
+
+TEST(SimdDistanceTest, BatchAgreesRowByRowWithScalarReference) {
+  Pcg32 rng(12);
+  for (size_t dim : kDims) {
+    const size_t n = 33;  // Not a multiple of any internal block size.
+    FeatureVec query = RandomGaussianVector(dim, rng);
+    std::vector<float> block(n * dim);
+    std::vector<FeatureVec> rows;
+    for (size_t r = 0; r < n; ++r) {
+      FeatureVec v = RandomGaussianVector(dim, rng);
+      std::copy(v.begin(), v.end(), block.begin() + r * dim);
+      rows.push_back(std::move(v));
+    }
+    std::vector<float> out(n);
+    simd::SquaredL2Batch(query.data(), block.data(), n, dim,
+                         std::numeric_limits<float>::max(), out.data());
+    for (size_t r = 0; r < n; ++r) {
+      double want = SquaredL2Distance(query, rows[r]);
+      EXPECT_LT(RelErr(out[r], want), kRelTol) << "dim=" << dim << " row=" << r;
+    }
+  }
+}
+
+TEST(SimdDistanceTest, BatchHonorsBoundContract) {
+  Pcg32 rng(13);
+  const size_t dim = 256;
+  const size_t n = 64;
+  FeatureVec query = RandomGaussianVector(dim, rng);
+  std::vector<float> block(n * dim);
+  std::vector<double> want(n);
+  for (size_t r = 0; r < n; ++r) {
+    FeatureVec v = RandomGaussianVector(dim, rng);
+    std::copy(v.begin(), v.end(), block.begin() + r * dim);
+    want[r] = SquaredL2Distance(query, v);
+  }
+  // Median-ish bound: some rows complete, some early-exit.
+  std::vector<double> sorted = want;
+  std::sort(sorted.begin(), sorted.end());
+  const float bound = static_cast<float>(sorted[n / 2]);
+  std::vector<float> out(n);
+  simd::SquaredL2Batch(query.data(), block.data(), n, dim, bound, out.data());
+  for (size_t r = 0; r < n; ++r) {
+    if (out[r] <= bound) {
+      EXPECT_LT(RelErr(out[r], want[r]), kRelTol) << "row=" << r;
+    } else {
+      EXPECT_GT(want[r], static_cast<double>(bound) * (1.0 - kRelTol)) << "row=" << r;
+    }
+  }
+}
+
+TEST(SimdDistanceTest, NormIdentityAgreesWithDirectDistance) {
+  Pcg32 rng(14);
+  for (size_t dim : {64u, 256u, 1024u}) {
+    for (int rep = 0; rep < 20; ++rep) {
+      FeatureVec a = RandomUnitVector(dim, rng);
+      FeatureVec b = PerturbedUnitVector(a, 0.5, rng);
+      float na2 = simd::NormSquared(a.data(), dim);
+      float nb2 = simd::NormSquared(b.data(), dim);
+      float dot = simd::Dot(a.data(), b.data(), dim);
+      float via_norms = simd::SquaredL2FromNorms(na2, nb2, dot);
+      double want = SquaredL2Distance(a, b);
+      // The identity cancels catastrophically for tiny distances; the tolerance
+      // here is absolute in the norm scale, which is how callers use it.
+      EXPECT_NEAR(via_norms, want, 1e-3) << "dim=" << dim;
+    }
+  }
+}
+
+TEST(SimdDistanceTest, NormLowerBoundNeverExceedsDistance) {
+  Pcg32 rng(15);
+  for (size_t dim : {8u, 64u, 512u}) {
+    for (int rep = 0; rep < 50; ++rep) {
+      FeatureVec a = RandomGaussianVector(dim, rng);
+      FeatureVec b = RandomGaussianVector(dim, rng);
+      float na = std::sqrt(simd::NormSquared(a.data(), dim));
+      float nb = std::sqrt(simd::NormSquared(b.data(), dim));
+      double d = SquaredL2Distance(a, b);
+      EXPECT_LE(simd::NormLowerBound(na, nb), d * (1.0 + kRelTol) + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace focus::common
