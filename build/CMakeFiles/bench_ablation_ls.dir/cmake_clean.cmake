@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ls.dir/bench/bench_ablation_ls.cc.o"
+  "CMakeFiles/bench_ablation_ls.dir/bench/bench_ablation_ls.cc.o.d"
+  "bench_ablation_ls"
+  "bench_ablation_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pixel_diff.dir/bench/bench_ablation_pixel_diff.cc.o"
+  "CMakeFiles/bench_ablation_pixel_diff.dir/bench/bench_ablation_pixel_diff.cc.o.d"
+  "bench_ablation_pixel_diff"
+  "bench_ablation_pixel_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pixel_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_assign.dir/bench/bench_cluster_assign.cc.o"
+  "CMakeFiles/bench_cluster_assign.dir/bench/bench_cluster_assign.cc.o.d"
+  "bench_cluster_assign"
+  "bench_cluster_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drift_retrain.dir/bench/bench_drift_retrain.cc.o"
+  "CMakeFiles/bench_drift_retrain.dir/bench/bench_drift_retrain.cc.o.d"
+  "bench_drift_retrain"
+  "bench_drift_retrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drift_retrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_frame_sampling.dir/bench/bench_fig12_13_frame_sampling.cc.o"
+  "CMakeFiles/bench_fig12_13_frame_sampling.dir/bench/bench_fig12_13_frame_sampling.cc.o.d"
+  "bench_fig12_13_frame_sampling"
+  "bench_fig12_13_frame_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_frame_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_components.dir/bench/bench_fig8_components.cc.o"
+  "CMakeFiles/bench_fig8_components.dir/bench/bench_fig8_components.cc.o.d"
+  "bench_fig8_components"
+  "bench_fig8_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_policies.dir/bench/bench_fig9_policies.cc.o"
+  "CMakeFiles/bench_fig9_policies.dir/bench/bench_fig9_policies.cc.o.d"
+  "bench_fig9_policies"
+  "bench_fig9_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

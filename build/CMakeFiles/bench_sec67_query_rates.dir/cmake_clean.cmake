@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec67_query_rates.dir/bench/bench_sec67_query_rates.cc.o"
+  "CMakeFiles/bench_sec67_query_rates.dir/bench/bench_sec67_query_rates.cc.o.d"
+  "bench_sec67_query_rates"
+  "bench_sec67_query_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec67_query_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_noscope.dir/bench/bench_vs_noscope.cc.o"
+  "CMakeFiles/bench_vs_noscope.dir/bench/bench_vs_noscope.cc.o.d"
+  "bench_vs_noscope"
+  "bench_vs_noscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_noscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wallclock_gpus.dir/bench/bench_wallclock_gpus.cc.o"
+  "CMakeFiles/bench_wallclock_gpus.dir/bench/bench_wallclock_gpus.cc.o.d"
+  "bench_wallclock_gpus"
+  "bench_wallclock_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wallclock_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

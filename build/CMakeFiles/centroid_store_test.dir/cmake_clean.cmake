@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centroid_store_test.dir/tests/centroid_store_test.cc.o"
+  "CMakeFiles/centroid_store_test.dir/tests/centroid_store_test.cc.o.d"
+  "centroid_store_test"
+  "centroid_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centroid_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_test.dir/tests/cnn_test.cc.o"
+  "CMakeFiles/cnn_test.dir/tests/cnn_test.cc.o.d"
+  "cnn_test"
+  "cnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

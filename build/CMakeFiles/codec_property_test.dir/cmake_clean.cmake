@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_property_test.dir/tests/codec_property_test.cc.o"
+  "CMakeFiles/codec_property_test.dir/tests/codec_property_test.cc.o.d"
+  "codec_property_test"
+  "codec_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_test.dir/tests/drift_test.cc.o"
+  "CMakeFiles/drift_test.dir/tests/drift_test.cc.o.d"
+  "drift_test"
+  "drift_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_camera_hunt.dir/examples/multi_camera_hunt.cpp.o"
+  "CMakeFiles/example_multi_camera_hunt.dir/examples/multi_camera_hunt.cpp.o.d"
+  "example_multi_camera_hunt"
+  "example_multi_camera_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_camera_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

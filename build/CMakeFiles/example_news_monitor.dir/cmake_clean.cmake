@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_news_monitor.dir/examples/news_monitor.cpp.o"
+  "CMakeFiles/example_news_monitor.dir/examples/news_monitor.cpp.o.d"
+  "example_news_monitor"
+  "example_news_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_news_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ops_console.dir/examples/ops_console.cpp.o"
+  "CMakeFiles/example_ops_console.dir/examples/ops_console.cpp.o.d"
+  "example_ops_console"
+  "example_ops_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ops_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pixels_to_query.dir/examples/pixels_to_query.cpp.o"
+  "CMakeFiles/example_pixels_to_query.dir/examples/pixels_to_query.cpp.o.d"
+  "example_pixels_to_query"
+  "example_pixels_to_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pixels_to_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

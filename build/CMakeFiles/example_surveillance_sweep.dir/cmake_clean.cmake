@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_surveillance_sweep.dir/examples/surveillance_sweep.cpp.o"
+  "CMakeFiles/example_surveillance_sweep.dir/examples/surveillance_sweep.cpp.o.d"
+  "example_surveillance_sweep"
+  "example_surveillance_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_surveillance_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

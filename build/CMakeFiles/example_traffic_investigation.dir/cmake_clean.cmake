@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_investigation.dir/examples/traffic_investigation.cpp.o"
+  "CMakeFiles/example_traffic_investigation.dir/examples/traffic_investigation.cpp.o.d"
+  "example_traffic_investigation"
+  "example_traffic_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

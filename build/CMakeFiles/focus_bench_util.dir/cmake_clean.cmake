@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_bench_util.dir/bench/bench_util.cc.o"
+  "CMakeFiles/focus_bench_util.dir/bench/bench_util.cc.o.d"
+  "libfocus_bench_util.a"
+  "libfocus_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

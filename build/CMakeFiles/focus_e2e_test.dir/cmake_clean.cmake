@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focus_e2e_test.dir/tests/focus_e2e_test.cc.o"
+  "CMakeFiles/focus_e2e_test.dir/tests/focus_e2e_test.cc.o.d"
+  "focus_e2e_test"
+  "focus_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focus_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/baselines.cc" "CMakeFiles/focus_lib.dir/src/baseline/baselines.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/baseline/baselines.cc.o.d"
+  "/root/repo/src/baseline/noscope.cc" "CMakeFiles/focus_lib.dir/src/baseline/noscope.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/baseline/noscope.cc.o.d"
+  "/root/repo/src/cluster/centroid_store.cc" "CMakeFiles/focus_lib.dir/src/cluster/centroid_store.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/cluster/centroid_store.cc.o.d"
+  "/root/repo/src/cluster/incremental_clusterer.cc" "CMakeFiles/focus_lib.dir/src/cluster/incremental_clusterer.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/cluster/incremental_clusterer.cc.o.d"
+  "/root/repo/src/cnn/accuracy_model.cc" "CMakeFiles/focus_lib.dir/src/cnn/accuracy_model.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/cnn/accuracy_model.cc.o.d"
+  "/root/repo/src/cnn/cnn.cc" "CMakeFiles/focus_lib.dir/src/cnn/cnn.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/cnn/cnn.cc.o.d"
+  "/root/repo/src/cnn/compression.cc" "CMakeFiles/focus_lib.dir/src/cnn/compression.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/cnn/compression.cc.o.d"
+  "/root/repo/src/cnn/cost_model.cc" "CMakeFiles/focus_lib.dir/src/cnn/cost_model.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/cnn/cost_model.cc.o.d"
+  "/root/repo/src/cnn/ground_truth.cc" "CMakeFiles/focus_lib.dir/src/cnn/ground_truth.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/cnn/ground_truth.cc.o.d"
+  "/root/repo/src/cnn/model_zoo.cc" "CMakeFiles/focus_lib.dir/src/cnn/model_zoo.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/cnn/model_zoo.cc.o.d"
+  "/root/repo/src/cnn/specialization.cc" "CMakeFiles/focus_lib.dir/src/cnn/specialization.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/cnn/specialization.cc.o.d"
+  "/root/repo/src/common/feature_vector.cc" "CMakeFiles/focus_lib.dir/src/common/feature_vector.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/common/feature_vector.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/focus_lib.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/focus_lib.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/simd_distance.cc" "CMakeFiles/focus_lib.dir/src/common/simd_distance.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/common/simd_distance.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/focus_lib.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "CMakeFiles/focus_lib.dir/src/common/zipf.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/common/zipf.cc.o.d"
+  "/root/repo/src/core/accuracy_evaluator.cc" "CMakeFiles/focus_lib.dir/src/core/accuracy_evaluator.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/core/accuracy_evaluator.cc.o.d"
+  "/root/repo/src/core/drift_monitor.cc" "CMakeFiles/focus_lib.dir/src/core/drift_monitor.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/core/drift_monitor.cc.o.d"
+  "/root/repo/src/core/fleet.cc" "CMakeFiles/focus_lib.dir/src/core/fleet.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/core/fleet.cc.o.d"
+  "/root/repo/src/core/focus_stream.cc" "CMakeFiles/focus_lib.dir/src/core/focus_stream.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/core/focus_stream.cc.o.d"
+  "/root/repo/src/core/ingest_pipeline.cc" "CMakeFiles/focus_lib.dir/src/core/ingest_pipeline.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/core/ingest_pipeline.cc.o.d"
+  "/root/repo/src/core/parameter_tuner.cc" "CMakeFiles/focus_lib.dir/src/core/parameter_tuner.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/core/parameter_tuner.cc.o.d"
+  "/root/repo/src/core/pareto.cc" "CMakeFiles/focus_lib.dir/src/core/pareto.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/core/pareto.cc.o.d"
+  "/root/repo/src/core/query_engine.cc" "CMakeFiles/focus_lib.dir/src/core/query_engine.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/core/query_engine.cc.o.d"
+  "/root/repo/src/core/query_session.cc" "CMakeFiles/focus_lib.dir/src/core/query_session.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/core/query_session.cc.o.d"
+  "/root/repo/src/index/kv_store.cc" "CMakeFiles/focus_lib.dir/src/index/kv_store.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/index/kv_store.cc.o.d"
+  "/root/repo/src/index/topk_index.cc" "CMakeFiles/focus_lib.dir/src/index/topk_index.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/index/topk_index.cc.o.d"
+  "/root/repo/src/runtime/gpu_device.cc" "CMakeFiles/focus_lib.dir/src/runtime/gpu_device.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/runtime/gpu_device.cc.o.d"
+  "/root/repo/src/runtime/ingest_service.cc" "CMakeFiles/focus_lib.dir/src/runtime/ingest_service.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/runtime/ingest_service.cc.o.d"
+  "/root/repo/src/runtime/metrics.cc" "CMakeFiles/focus_lib.dir/src/runtime/metrics.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/runtime/metrics.cc.o.d"
+  "/root/repo/src/runtime/query_service.cc" "CMakeFiles/focus_lib.dir/src/runtime/query_service.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/runtime/query_service.cc.o.d"
+  "/root/repo/src/runtime/worker_pool.cc" "CMakeFiles/focus_lib.dir/src/runtime/worker_pool.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/runtime/worker_pool.cc.o.d"
+  "/root/repo/src/server/protocol.cc" "CMakeFiles/focus_lib.dir/src/server/protocol.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/server/protocol.cc.o.d"
+  "/root/repo/src/server/query_server.cc" "CMakeFiles/focus_lib.dir/src/server/query_server.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/server/query_server.cc.o.d"
+  "/root/repo/src/storage/index_codec.cc" "CMakeFiles/focus_lib.dir/src/storage/index_codec.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/storage/index_codec.cc.o.d"
+  "/root/repo/src/storage/record_log.cc" "CMakeFiles/focus_lib.dir/src/storage/record_log.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/storage/record_log.cc.o.d"
+  "/root/repo/src/storage/serializer.cc" "CMakeFiles/focus_lib.dir/src/storage/serializer.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/storage/serializer.cc.o.d"
+  "/root/repo/src/storage/snapshot_store.cc" "CMakeFiles/focus_lib.dir/src/storage/snapshot_store.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/storage/snapshot_store.cc.o.d"
+  "/root/repo/src/storage/video_vault.cc" "CMakeFiles/focus_lib.dir/src/storage/video_vault.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/storage/video_vault.cc.o.d"
+  "/root/repo/src/video/class_catalog.cc" "CMakeFiles/focus_lib.dir/src/video/class_catalog.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/video/class_catalog.cc.o.d"
+  "/root/repo/src/video/dataset.cc" "CMakeFiles/focus_lib.dir/src/video/dataset.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/video/dataset.cc.o.d"
+  "/root/repo/src/video/detection.cc" "CMakeFiles/focus_lib.dir/src/video/detection.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/video/detection.cc.o.d"
+  "/root/repo/src/video/renderer.cc" "CMakeFiles/focus_lib.dir/src/video/renderer.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/video/renderer.cc.o.d"
+  "/root/repo/src/video/stream_generator.cc" "CMakeFiles/focus_lib.dir/src/video/stream_generator.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/video/stream_generator.cc.o.d"
+  "/root/repo/src/video/stream_profile.cc" "CMakeFiles/focus_lib.dir/src/video/stream_profile.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/video/stream_profile.cc.o.d"
+  "/root/repo/src/vision/background_model.cc" "CMakeFiles/focus_lib.dir/src/vision/background_model.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/vision/background_model.cc.o.d"
+  "/root/repo/src/vision/blob_extractor.cc" "CMakeFiles/focus_lib.dir/src/vision/blob_extractor.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/vision/blob_extractor.cc.o.d"
+  "/root/repo/src/vision/motion_detector.cc" "CMakeFiles/focus_lib.dir/src/vision/motion_detector.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/vision/motion_detector.cc.o.d"
+  "/root/repo/src/vision/pixel_differ.cc" "CMakeFiles/focus_lib.dir/src/vision/pixel_differ.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/vision/pixel_differ.cc.o.d"
+  "/root/repo/src/vision/tracker.cc" "CMakeFiles/focus_lib.dir/src/vision/tracker.cc.o" "gcc" "CMakeFiles/focus_lib.dir/src/vision/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

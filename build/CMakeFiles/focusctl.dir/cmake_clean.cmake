@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focusctl.dir/tools/focusctl.cpp.o"
+  "CMakeFiles/focusctl.dir/tools/focusctl.cpp.o.d"
+  "focusctl"
+  "focusctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focusctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_replay_test.dir/tests/ingest_replay_test.cc.o"
+  "CMakeFiles/ingest_replay_test.dir/tests/ingest_replay_test.cc.o.d"
+  "ingest_replay_test"
+  "ingest_replay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noscope_test.dir/tests/noscope_test.cc.o"
+  "CMakeFiles/noscope_test.dir/tests/noscope_test.cc.o.d"
+  "noscope_test"
+  "noscope_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noscope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_property_test.dir/tests/query_property_test.cc.o"
+  "CMakeFiles/query_property_test.dir/tests/query_property_test.cc.o.d"
+  "query_property_test"
+  "query_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_distance_test.dir/tests/simd_distance_test.cc.o"
+  "CMakeFiles/simd_distance_test.dir/tests/simd_distance_test.cc.o.d"
+  "simd_distance_test"
+  "simd_distance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
