@@ -1,6 +1,8 @@
 #!/bin/sh
 # Runs the perf-tracking microbenches and leaves BENCH_*.json files in the
 # build directory, so the perf trajectory of the hot paths is recorded per PR.
+# Each run also refreshes the tracked copies under bench/results/ so the
+# numbers survive build-directory cleanups.
 #
 #   bench/run_benches.sh [build_dir]      (or: cmake --build build --target bench)
 #
@@ -8,10 +10,12 @@
 # (slower; per-operation costs rather than the tracked hot-path comparisons).
 set -e
 
+SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
 BUILD_DIR="${1:-build}"
 cd "$BUILD_DIR"
 
 ./bench_cluster_assign
+./bench_sharded_ingest
 
 if [ "${FOCUS_BENCH_FULL:-0}" = "1" ]; then
   if [ -x ./bench_micro_substrates ]; then
@@ -23,3 +27,7 @@ if [ "${FOCUS_BENCH_FULL:-0}" = "1" ]; then
     echo "wrote $PWD/BENCH_micro_runtime.json"
   fi
 fi
+
+mkdir -p "$SCRIPT_DIR/results"
+cp BENCH_*.json "$SCRIPT_DIR/results/"
+echo "copied BENCH_*.json to $SCRIPT_DIR/results/"

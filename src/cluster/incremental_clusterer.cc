@@ -115,9 +115,19 @@ void IncrementalClusterer::RetireSmallest() {
 }
 
 void IncrementalClusterer::TouchLru(int64_t id) {
+  // Move-to-front with dedup: leaving stale occurrences in place would let one
+  // hot cluster occupy several of the lru_probes slots in Add's probe loop,
+  // silently narrowing the set of distinct clusters the fast path considers.
+  if (!lru_.empty() && lru_.front() == id) {
+    return;
+  }
+  auto it = std::find(lru_.begin(), lru_.end(), id);
+  if (it != lru_.end()) {
+    lru_.erase(it);
+  }
   lru_.push_front(id);
-  if (lru_.size() > options_.lru_probes * 2) {
-    lru_.resize(options_.lru_probes);
+  if (lru_.size() > options_.lru_probes) {
+    lru_.pop_back();
   }
 }
 
@@ -146,12 +156,17 @@ int64_t IncrementalClusterer::Add(const video::Detection& detection,
       ++fast_hits_;
       return c.id;
     }
-    // 2. Recently used clusters.
+    // 2. Recently used clusters. Retired ids are dropped from the deque as they
+    // are encountered, without charging a probe: every one of the lru_probes
+    // attempts goes to a distinct live cluster.
     size_t probes = 0;
-    for (int64_t id : lru_) {
-      if (probes++ >= options_.lru_probes) {
-        break;
+    for (auto it = lru_.begin(); it != lru_.end() && probes < options_.lru_probes;) {
+      const int64_t id = *it;
+      if (!clusters_[static_cast<size_t>(id)].active) {
+        it = lru_.erase(it);
+        continue;
       }
+      ++probes;
       if (ActiveDistance(id, feature, threshold_sq) <= threshold_sq) {
         Cluster& c = clusters_[static_cast<size_t>(id)];
         Join(c, detection, feature);
@@ -160,6 +175,7 @@ int64_t IncrementalClusterer::Add(const video::Detection& detection,
         ++fast_hits_;
         return c.id;
       }
+      ++it;
     }
   }
 

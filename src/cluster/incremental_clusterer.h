@@ -100,6 +100,9 @@ class IncrementalClusterer {
   int64_t total_assignments() const { return total_assignments_; }
   // Fraction of fast-mode assignments resolved without the full scan.
   double FastHitRate() const;
+  // Raw fast-path counters (for aggregating hit rates across sharded instances).
+  int64_t fast_hits() const { return fast_hits_; }
+  int64_t fast_lookups() const { return fast_lookups_; }
 
   // The structure-of-arrays working set behind the full scan (scan statistics,
   // arena introspection).

@@ -1,0 +1,250 @@
+#include "src/cluster/sharded_clusterer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/runtime/worker_pool.h"
+
+namespace focus::cluster {
+
+ShardedClusterer::ShardedClusterer(ShardedClustererOptions options)
+    : options_(options) {
+  FOCUS_CHECK(options_.num_shards >= 1);
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<IncrementalClusterer>(options_.base));
+  }
+  shard_items_.resize(options_.num_shards);
+  merge_scanned_.resize(options_.num_shards, 0);
+}
+
+size_t ShardedClusterer::ShardOf(common::ObjectId object) const {
+  if (options_.num_shards <= 1) {
+    return 0;
+  }
+  // SplitMix64 rather than object % num_shards: object ids are often assigned
+  // sequentially, and a modulo partition of a sequential range correlates with
+  // arrival order (bursts land on one shard).
+  return static_cast<size_t>(common::SplitMix64(static_cast<uint64_t>(object)) %
+                             static_cast<uint64_t>(options_.num_shards));
+}
+
+int64_t ShardedClusterer::Add(const video::Detection& detection,
+                              const common::FeatureVec& feature) {
+  const size_t s = ShardOf(detection.object_id);
+  const int64_t local = shards_[s]->Add(detection, feature);
+  AfterAssignments(1);
+  return GlobalId(s, local);
+}
+
+int64_t ShardedClusterer::AddSuppressed(const video::Detection& detection,
+                                        const common::FeatureVec& feature) {
+  const size_t s = ShardOf(detection.object_id);
+  const int64_t local = shards_[s]->AddSuppressed(detection, feature);
+  AfterAssignments(1);
+  return GlobalId(s, local);
+}
+
+void ShardedClusterer::AssignBatch(const WorkItem* items, size_t count,
+                                   runtime::WorkerPool* pool, int64_t* out) {
+  const size_t num_shards = options_.num_shards;
+  for (std::vector<size_t>& v : shard_items_) {
+    v.clear();
+  }
+  for (size_t i = 0; i < count; ++i) {
+    FOCUS_CHECK(items[i].detection != nullptr && items[i].feature != nullptr);
+    shard_items_[ShardOf(items[i].detection->object_id)].push_back(i);
+  }
+
+  // One ordered task per shard: assignment order within a shard must follow
+  // stream order (the clusterer is stateful), so the shard is the finest safe
+  // work item. Out-slots are disjoint per item, so no synchronization beyond
+  // the pool's Drain() is needed.
+  auto run_shard = [this, items, out](size_t s) {
+    IncrementalClusterer& shard = *shards_[s];
+    for (size_t i : shard_items_[s]) {
+      const WorkItem& item = items[i];
+      const int64_t local = item.suppressed
+                                ? shard.AddSuppressed(*item.detection, *item.feature)
+                                : shard.Add(*item.detection, *item.feature);
+      out[i] = GlobalId(s, local);
+    }
+  };
+
+  if (pool == nullptr || num_shards == 1) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      run_shard(s);
+    }
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (shard_items_[s].empty()) {
+        continue;
+      }
+      FOCUS_CHECK(pool->Submit([run_shard, s] { run_shard(s); }));
+    }
+    pool->Drain();
+  }
+  AfterAssignments(static_cast<int64_t>(count));
+}
+
+void ShardedClusterer::AfterAssignments(int64_t count) {
+  if (options_.merge_interval <= 0) {
+    return;
+  }
+  assignments_since_merge_ += count;
+  if (assignments_since_merge_ >= options_.merge_interval) {
+    RunMergePass(/*full=*/false);
+    assignments_since_merge_ = 0;
+  }
+}
+
+int64_t ShardedClusterer::Find(int64_t global_id) const {
+  const int64_t n = static_cast<int64_t>(parent_.size());
+  int64_t root = global_id;
+  while (root < n && parent_[static_cast<size_t>(root)] != root) {
+    root = parent_[static_cast<size_t>(root)];
+  }
+  // Path compression toward the root keeps repeated canonical lookups cheap.
+  int64_t walk = global_id;
+  while (walk < n && parent_[static_cast<size_t>(walk)] != root) {
+    const int64_t next = parent_[static_cast<size_t>(walk)];
+    parent_[static_cast<size_t>(walk)] = root;
+    walk = next;
+  }
+  return root;
+}
+
+void ShardedClusterer::Union(int64_t a, int64_t b) {
+  int64_t ra = Find(a);
+  int64_t rb = Find(b);
+  if (ra == rb) {
+    return;
+  }
+  if (ra > rb) {
+    std::swap(ra, rb);
+  }
+  // Attach the larger root under the smaller so every component's root is its
+  // minimum global id (the canonical id).
+  if (rb >= static_cast<int64_t>(parent_.size())) {
+    const size_t old = parent_.size();
+    parent_.resize(static_cast<size_t>(rb) + 1);
+    for (size_t g = old; g < parent_.size(); ++g) {
+      parent_[g] = static_cast<int64_t>(g);
+    }
+  }
+  parent_[static_cast<size_t>(rb)] = ra;
+  ++merges_folded_;
+}
+
+void ShardedClusterer::MergePass() { RunMergePass(/*full=*/true); }
+
+void ShardedClusterer::RunMergePass(bool full) {
+  if (options_.num_shards <= 1) {
+    return;
+  }
+  const float threshold_sq =
+      static_cast<float>(options_.base.threshold * options_.base.threshold);
+  // Fixed scan order (shard ascending, local id ascending, other shards
+  // ascending as targets) plus CentroidStore's smallest-id tie break keep the
+  // union-find a pure function of the stream. Only *active* centroids are
+  // scanned: a retired cluster can no longer fold, which is why passes run
+  // periodically rather than once at the end — folds are captured while both
+  // sides are still live. Incremental passes (full == false) only use clusters
+  // created since the previous pass as queries, so the steady-state cost is
+  // proportional to cluster churn, not to the active working set; the full
+  // pass restricts targets to earlier shards (every unordered cross-shard pair
+  // is still covered, from its higher-shard side).
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    const std::vector<Cluster>& clusters = shards_[s]->clusters();
+    const size_t first = full ? 0 : merge_scanned_[s];
+    for (size_t l = first; l < clusters.size(); ++l) {
+      const Cluster& c = clusters[l];
+      if (!c.active) {
+        continue;
+      }
+      for (size_t t = 0; t < (full ? s : options_.num_shards); ++t) {
+        if (t == s) {
+          continue;
+        }
+        const CentroidStore& store = shards_[t]->centroid_store();
+        if (store.empty() || store.dim() != c.centroid.size()) {
+          continue;
+        }
+        float dist_sq = 0.0f;
+        const int64_t target = store.FindNearest(c.centroid.data(), c.centroid.size(),
+                                                 threshold_sq, &dist_sq);
+        if (target >= 0) {
+          Union(GlobalId(s, static_cast<int64_t>(l)), GlobalId(t, target));
+        }
+      }
+    }
+    merge_scanned_[s] = clusters.size();
+  }
+}
+
+int64_t ShardedClusterer::CanonicalOf(int64_t global_id) const { return Find(global_id); }
+
+std::vector<Cluster> ShardedClusterer::FinalizeClusters() {
+  MergePass();
+  const size_t num_shards = options_.num_shards;
+  size_t max_locals = 0;
+  for (const auto& shard : shards_) {
+    max_locals = std::max(max_locals, shard->clusters().size());
+  }
+
+  std::vector<Cluster> table;
+  std::unordered_map<int64_t, size_t> slot_of_root;
+  // Global ids ascend over (local asc, shard asc), and every component's root
+  // is its minimum id, so a component's canonical cluster is always created
+  // before any cluster folds into it.
+  for (size_t l = 0; l < max_locals; ++l) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (l >= shards_[s]->clusters().size()) {
+        continue;
+      }
+      const Cluster& src = shards_[s]->clusters()[l];
+      const int64_t g = GlobalId(s, static_cast<int64_t>(l));
+      const int64_t root = Find(g);
+      if (root == g) {
+        table.push_back(src);
+        table.back().id = g;
+        slot_of_root.emplace(root, table.size() - 1);
+        continue;
+      }
+      Cluster& dst = table[slot_of_root.at(root)];
+      const double total = static_cast<double>(dst.size + src.size);
+      const double ws = static_cast<double>(src.size) / total;
+      for (size_t i = 0; i < dst.centroid.size(); ++i) {
+        dst.centroid[i] =
+            static_cast<float>(dst.centroid[i] * (1.0 - ws) + src.centroid[i] * ws);
+      }
+      dst.size += src.size;
+      dst.members.insert(dst.members.end(), src.members.begin(), src.members.end());
+      dst.active = dst.active || src.active;
+    }
+  }
+  return table;
+}
+
+int64_t ShardedClusterer::total_assignments() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->total_assignments();
+  }
+  return total;
+}
+
+double ShardedClusterer::FastHitRate() const {
+  int64_t hits = 0;
+  int64_t lookups = 0;
+  for (const auto& shard : shards_) {
+    hits += shard->fast_hits();
+    lookups += shard->fast_lookups();
+  }
+  return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+}
+
+}  // namespace focus::cluster

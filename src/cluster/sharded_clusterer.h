@@ -1,0 +1,162 @@
+// Sharded intra-stream clustering: one stream's detections partitioned across
+// per-shard IncrementalClusterer instances (§5 scale-out *within* a stream).
+//
+// The paper's ingest tier must keep up with live video per stream, but the
+// clusterer/CentroidStore path is inherently sequential: each assignment reads
+// the centroids the previous assignment may have moved. This class removes the
+// single-core cap by partitioning detections onto num_shards independent
+// clusterer+CentroidStore instances and merging their outputs:
+//
+//   shard(d) = SplitMix64(d.object_id) % num_shards
+//
+// Hashing on object_id (not frame or round-robin) is load-bearing twice over:
+//   - every detection of one object lands in one shard, so the fast path's
+//     last_cluster_of_object_ locality and the pixel-differencing
+//     AddSuppressed() reuse survive sharding unchanged;
+//   - MemberRun bookkeeping stays well-formed — one object's frame runs are
+//     built by exactly one shard, in stream order, so runs never interleave or
+//     overlap across shards.
+//
+// Shards cluster independently, which means two shards can each grow a cluster
+// for the same real-world appearance (two similar cars whose object ids hash
+// apart). A periodic cross-shard merge pass finds shard-local clusters whose
+// centroids fall within the clustering threshold T of a cluster in another
+// shard and folds them — via a union-find over global cluster ids — into one
+// canonical cluster; FinalizeClusters() emits the canonical table the query
+// side indexes, with member runs concatenated and sizes conserved.
+//
+// Cluster ids: a shard-local id l in shard s is published as the global id
+//   g = l * num_shards + s
+// which is collision-free across shards and reduces to g == l at num_shards=1.
+// Canonical ids after merging are the smallest global id of each merged
+// component (ties cannot occur; ids are unique).
+//
+// Determinism guarantees:
+//   - the partition is a pure function of object_id, so each shard sees a fixed
+//     subsequence of the stream in stream order regardless of thread count or
+//     interleaving; each shard's assignments are those of a lone
+//     IncrementalClusterer over that subsequence;
+//   - the merge pass scans shards and shard-local ids in fixed ascending order
+//     and resolves nearest-centroid ties toward the smallest id (CentroidStore
+//     semantics), so the union-find — and hence every canonical id — is a pure
+//     function of the input stream;
+//   - at num_shards == 1 the global ids, the per-detection assignments, and the
+//     finalized cluster table are identical to a plain IncrementalClusterer
+//     with the same options (the merge pass has no cross-shard pairs and is a
+//     no-op).
+//
+// Thread-safety: externally synchronized. AssignBatch() internally fans out one
+// ordered task per shard onto a caller-supplied WorkerPool and drains it before
+// returning; no other method may run concurrently with it.
+#ifndef FOCUS_SRC_CLUSTER_SHARDED_CLUSTERER_H_
+#define FOCUS_SRC_CLUSTER_SHARDED_CLUSTERER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/incremental_clusterer.h"
+#include "src/common/time_types.h"
+#include "src/video/detection.h"
+
+namespace focus::runtime {
+class WorkerPool;
+}  // namespace focus::runtime
+
+namespace focus::cluster {
+
+struct ShardedClustererOptions {
+  // Per-shard clustering parameters. max_active caps each shard's active set
+  // (the total active working set is up to num_shards * max_active).
+  ClustererOptions base;
+  size_t num_shards = 1;
+  // Assignments between periodic cross-shard merge passes; 0 merges only in
+  // FinalizeClusters(). Merging earlier does not change the final table (the
+  // union-find only accumulates), it bounds how stale CanonicalOf() can be.
+  int64_t merge_interval = 8192;
+};
+
+class ShardedClusterer {
+ public:
+  explicit ShardedClusterer(ShardedClustererOptions options);
+
+  // One detection ready for assignment (pointers must stay valid through the
+  // AssignBatch call that consumes the item).
+  struct WorkItem {
+    const video::Detection* detection = nullptr;
+    const common::FeatureVec* feature = nullptr;
+    // True for pixel-diff suppressed detections (routed to AddSuppressed).
+    bool suppressed = false;
+  };
+
+  size_t num_shards() const { return options_.num_shards; }
+  size_t ShardOf(common::ObjectId object) const;
+  int64_t GlobalId(size_t shard, int64_t local_id) const {
+    return local_id * static_cast<int64_t>(options_.num_shards) + static_cast<int64_t>(shard);
+  }
+
+  // Sequential single-detection assignment; returns the global cluster id.
+  int64_t Add(const video::Detection& detection, const common::FeatureVec& feature);
+  int64_t AddSuppressed(const video::Detection& detection, const common::FeatureVec& feature);
+
+  // Assigns |count| items, writing each item's global cluster id to out[i].
+  // With |pool| non-null, one ordered task per non-empty shard runs on the
+  // pool (which must be dedicated to this call's tasks — Drain() is used to
+  // wait for them); with |pool| null the shards run inline, in shard order.
+  // Both paths produce identical assignments (see determinism notes above).
+  void AssignBatch(const WorkItem* items, size_t count, runtime::WorkerPool* pool,
+                   int64_t* out);
+
+  // Runs one *full* cross-shard merge pass now: every active cluster is
+  // queried against every other shard's store. FinalizeClusters() always runs
+  // one as its correctness backstop. The automatic periodic passes (every
+  // merge_interval assignments) are *incremental* — they only query clusters
+  // created since the previous pass, against all other shards — so steady
+  // state pays per new cluster, not per active cluster. The one case the
+  // incremental policy defers to the final full pass: two long-lived clusters
+  // whose centroids drift toward each other after both were already scanned.
+  void MergePass();
+
+  // Canonical id of |global_id| under the merges performed so far.
+  int64_t CanonicalOf(int64_t global_id) const;
+
+  // Final canonical cluster table, ascending by canonical id: one cluster per
+  // merged component with member runs concatenated in global-id order, size
+  // and member runs conserved, centroid the size-weighted mean of the folded
+  // centroids, and the representative taken from the smallest-global-id member
+  // (the component's canonical cluster).
+  std::vector<Cluster> FinalizeClusters();
+
+  int64_t total_assignments() const;
+  // Aggregate fast-path hit rate across shards.
+  double FastHitRate() const;
+  // Cross-shard merge unions performed so far (distinct pairs folded).
+  int64_t merges_folded() const { return merges_folded_; }
+
+  const IncrementalClusterer& shard(size_t s) const { return *shards_[s]; }
+
+ private:
+  // Union-find over global ids, lazily grown; roots are component minima.
+  int64_t Find(int64_t global_id) const;
+  void Union(int64_t a, int64_t b);
+  void AfterAssignments(int64_t count);
+  // |full| re-queries every active cluster; otherwise only clusters created
+  // since the last pass are used as queries (against all other shards).
+  void RunMergePass(bool full);
+
+  ShardedClustererOptions options_;
+  std::vector<std::unique_ptr<IncrementalClusterer>> shards_;
+  // parent_[g] == g for roots; ids beyond the vector are implicit singletons.
+  mutable std::vector<int64_t> parent_;
+  // Per shard: local cluster count already used as merge queries, so periodic
+  // passes only query what appeared since the previous pass.
+  std::vector<size_t> merge_scanned_;
+  int64_t assignments_since_merge_ = 0;
+  int64_t merges_folded_ = 0;
+  // Per-shard item index lists, reused across AssignBatch calls.
+  std::vector<std::vector<size_t>> shard_items_;
+};
+
+}  // namespace focus::cluster
+
+#endif  // FOCUS_SRC_CLUSTER_SHARDED_CLUSTERER_H_

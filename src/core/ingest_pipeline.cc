@@ -5,6 +5,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/cluster/sharded_clusterer.h"
+#include "src/common/logging.h"
+#include "src/runtime/worker_pool.h"
+
 namespace focus::core {
 
 namespace {
@@ -71,6 +75,82 @@ class BestRankTable {
 
 }  // namespace
 
+// Detections are dispatched in shard_batch chunks onto a dedicated worker pool
+// (one ordered task per shard per chunk), assignments are collected
+// positionally, and rank accounting runs after the final merge so every update
+// lands directly on a canonical cluster id. Result accounting is
+// deterministic: the assignment of each detection, the canonical mapping, and
+// the stream-order rank replay are all pure functions of the sample (see
+// sharded_clusterer.h). The pool lives for this one call — negligible against
+// a stream's worth of assignments, but a tuner-style caller re-running many
+// configurations at num_shards > 1 would want a reusable pool (see ROADMAP).
+IngestResult RunIngestClassifiedSharded(const ClassifiedSample& sample,
+                                        const IngestParams& params,
+                                        const IngestOptions& options) {
+  FOCUS_CHECK(options.num_shards >= 1);
+  IngestResult result;
+  result.gpu_millis = sample.gpu_millis;
+  result.cnn_invocations = sample.cnn_invocations;
+  result.suppressed = sample.suppressed;
+
+  cluster::ShardedClustererOptions sopts;
+  sopts.base.threshold = params.cluster_threshold;
+  sopts.base.max_active = options.max_active_clusters;
+  sopts.base.mode = options.cluster_mode;
+  sopts.num_shards = static_cast<size_t>(options.num_shards);
+  sopts.merge_interval = options.shard_merge_interval;
+  cluster::ShardedClusterer sharded(sopts);
+
+  // pop_batch stays 1: the queued tasks are already shard-coarse, and letting
+  // one worker pull several would serialize shards behind each other.
+  runtime::WorkerPool pool(options.num_shards,
+                           /*queue_capacity=*/static_cast<size_t>(options.num_shards) * 2,
+                           /*pop_batch=*/1);
+
+  const size_t n = sample.detections.size();
+  const size_t batch = std::max<size_t>(options.shard_batch, 1);
+  std::vector<int64_t> assignments(n);
+  std::vector<cluster::ShardedClusterer::WorkItem> items;
+  items.reserve(std::min(batch, n));
+  for (size_t offset = 0; offset < n; offset += batch) {
+    const size_t count = std::min(batch, n - offset);
+    items.clear();
+    for (size_t i = 0; i < count; ++i) {
+      const ClassifiedDetection& entry = sample.detections[offset + i];
+      items.push_back({&entry.detection, &entry.feature, entry.reused});
+    }
+    sharded.AssignBatch(items.data(), count, &pool, assignments.data() + offset);
+  }
+  pool.Shutdown();
+
+  std::vector<cluster::Cluster> canonical = sharded.FinalizeClusters();
+
+  const size_t rank_width = static_cast<size_t>(std::min(params.k, sample.k));
+  BestRankTable ranks;
+  for (size_t i = 0; i < n; ++i) {
+    ++result.detections;
+    const int64_t cluster_id = sharded.CanonicalOf(assignments[i]);
+    const ClassifiedDetection& entry = sample.detections[i];
+    const size_t width = std::min(rank_width, entry.topk.entries.size());
+    for (size_t pos = 0; pos < width; ++pos) {
+      ranks.Update(cluster_id, entry.topk.entries[pos].first, static_cast<int32_t>(pos) + 1);
+    }
+  }
+
+  for (const cluster::Cluster& c : canonical) {
+    index::ClusterEntry entry;
+    entry.cluster_id = c.id;
+    entry.representative = c.representative;
+    entry.members = c.members;
+    entry.size = c.size;
+    ranks.Finalize(c.id, &entry);
+    result.index.AddCluster(std::move(entry));
+  }
+  result.num_clusters = static_cast<int64_t>(result.index.num_clusters());
+  result.clusterer_fast_hit_rate = sharded.FastHitRate();
+  return result;
+}
+
 ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
                                 int k, const IngestOptions& options) {
   ClassifiedSample sample;
@@ -112,6 +192,10 @@ ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ing
 IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestParams& params,
                                  const IngestOptions& options,
                                  cluster::IncrementalClusterer* scratch) {
+  FOCUS_CHECK(options.num_shards >= 1);
+  if (options.num_shards > 1) {
+    return RunIngestClassifiedSharded(sample, params, options);
+  }
   IngestResult result;
   result.gpu_millis = sample.gpu_millis;
   result.cnn_invocations = sample.cnn_invocations;
@@ -156,6 +240,15 @@ IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestPar
 
 IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
                        const IngestParams& params, const IngestOptions& options) {
+  FOCUS_CHECK(options.num_shards >= 1);
+  if (options.num_shards > 1) {
+    // Classify once (IT1 + pixel differencing, the only GPU-bearing stage),
+    // then shard clustering + indexing across the worker pool. GPU time,
+    // invocation, and suppression accounting come from the classification pass
+    // and are identical to the streaming path's.
+    return RunIngestClassified(ClassifySample(run, ingest_cnn, params.k, options), params,
+                               options);
+  }
   IngestResult result;
 
   cluster::ClustererOptions copts;

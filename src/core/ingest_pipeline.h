@@ -38,6 +38,21 @@ struct IngestOptions {
   // Honor pixel-differencing suppression (§4.2). Disabled by the ablation bench to
   // measure how much ingest cost the technique saves.
   bool use_pixel_diff = true;
+
+  // --- Sharded intra-stream clustering (src/cluster/sharded_clusterer.h) ---
+  // Clustering shards for this stream: 1 runs the plain sequential
+  // IncrementalClusterer path; >1 partitions detections by object id onto
+  // per-shard clusterer+store instances driven by a worker pool, with
+  // periodic cross-shard centroid merges folding duplicate clusters into a
+  // canonical table. (The sharded machinery itself also reproduces the
+  // sequential path's output exactly when run with one shard; see
+  // RunIngestClassifiedSharded.)
+  int num_shards = 1;
+  // Detections dispatched per parallel batch on the sharded path.
+  size_t shard_batch = 1024;
+  // Assignments between periodic cross-shard centroid merges (0: merge only
+  // when the stream finishes).
+  int64_t shard_merge_interval = 8192;
 };
 
 // Runs ingest over |run| with |ingest_cnn| and parameters |params|.
@@ -79,10 +94,21 @@ ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ing
 // |scratch| optionally supplies a clusterer to (re)use: it is Reset() with this
 // run's options, so a tuner sweeping a parameter grid over the same sample
 // reuses the centroid arena and per-cluster allocations across re-runs instead
-// of re-growing them from empty on every configuration.
+// of re-growing them from empty on every configuration. With
+// |options.num_shards| > 1 the clustering stage runs sharded on an internal
+// worker pool (|scratch| does not apply there).
 IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestParams& params,
                                  const IngestOptions& options = {},
                                  cluster::IncrementalClusterer* scratch = nullptr);
+
+// The sharded clustering + indexing stage behind RunIngestClassified's
+// |options.num_shards| > 1 route, callable directly at any shard count >= 1 —
+// tests and benches use it at one shard to check the sharded machinery
+// (AssignBatch dispatch, canonical-id mapping, merge passes) reproduces the
+// sequential path's output exactly.
+IngestResult RunIngestClassifiedSharded(const ClassifiedSample& sample,
+                                        const IngestParams& params,
+                                        const IngestOptions& options = {});
 
 }  // namespace focus::core
 

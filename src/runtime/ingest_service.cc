@@ -12,6 +12,7 @@ IngestService::IngestService(IngestServiceOptions options, MetricsRegistry* metr
     : options_(options), metrics_(metrics != nullptr ? metrics : &GlobalMetrics()) {
   FOCUS_CHECK(options_.num_worker_threads >= 1);
   FOCUS_CHECK(options_.num_gpus >= 1);
+  FOCUS_CHECK(options_.num_shards >= 0);
 }
 
 size_t IngestService::AddStream(IngestJob job) {
@@ -35,7 +36,11 @@ FleetIngestSummary IngestService::RunAll() {
         cnn::Cnn cheap(job.params.model, &job.run->catalog());
         IngestReport& report = summary.reports[i];
         report.name = job.name;
-        report.result = core::RunIngest(*job.run, cheap, job.params, job.options);
+        core::IngestOptions opts = job.options;
+        if (options_.num_shards > 0) {
+          opts.num_shards = options_.num_shards;
+        }
+        report.result = core::RunIngest(*job.run, cheap, job.params, opts);
         const double video_millis = job.run->duration_sec() * 1000.0;
         report.gpu_occupancy =
             video_millis > 0.0 ? report.result.gpu_millis / video_millis : 0.0;

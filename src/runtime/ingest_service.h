@@ -49,6 +49,10 @@ struct IngestReport {
 struct IngestServiceOptions {
   int num_worker_threads = 4;
   int num_gpus = 1;
+  // Intra-stream clustering shards (core::IngestOptions::num_shards): > 0
+  // overrides every registered job so a hot deployment can be re-sharded in
+  // one place; 0 leaves each job's own setting untouched.
+  int num_shards = 0;
   // Dollars per GPU-month used by CostPerStreamMonthly (the paper quotes Azure
   // pricing where Ingest-all costs ~$250/month/stream).
   double dollars_per_gpu_month = 250.0;

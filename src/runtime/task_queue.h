@@ -73,13 +73,13 @@ class TaskQueue {
   // Batch variant of Pop(): blocks until at least one item is available (or the
   // queue is closed and drained), then appends up to |max_items| items to |out|
   // in FIFO order and returns how many were taken. Returns 0 iff the queue is
-  // closed and empty. One lock acquisition per batch amortizes lock and wakeup
-  // traffic for consumers that can accept several work items at once (e.g.
-  // ingest workers pulling per-detection tasks).
+  // closed and empty — which is why |max_items| must be >= 1: a zero-size batch
+  // would alias the consumer-exit sentinel on an open queue. One lock
+  // acquisition per batch amortizes lock and wakeup traffic for consumers that
+  // can accept several work items at once (e.g. ingest workers pulling
+  // per-detection tasks).
   size_t PopBatch(std::vector<T>& out, size_t max_items) {
-    if (max_items == 0) {
-      return 0;
-    }
+    FOCUS_CHECK(max_items >= 1);
     size_t taken = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);

@@ -57,9 +57,20 @@ void WorkerPool::WorkerMain() {
     }
     for (std::function<void()>& task : tasks) {
       task();
-      completed_.fetch_add(1, std::memory_order_release);
-      drain_cv_.notify_all();
     }
+    // Publish the whole batch's completions under drain_mutex_, then notify once.
+    // Incrementing outside the mutex loses wakeups: a drainer can evaluate its
+    // predicate (count still short), then this increment-and-notify lands before
+    // the drainer blocks, and if this was the last batch Drain() sleeps forever.
+    // Holding drain_mutex_ for the increment forces it to happen either before
+    // the predicate check (drainer sees the final count) or after the drainer is
+    // parked (the notify reaches it). One notify per batch also replaces the
+    // per-task notify_all storm.
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      completed_.fetch_add(static_cast<int64_t>(tasks.size()), std::memory_order_release);
+    }
+    drain_cv_.notify_all();
   }
 }
 

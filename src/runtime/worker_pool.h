@@ -46,6 +46,8 @@ class WorkerPool {
   void Shutdown();
 
   int num_workers() const { return static_cast<int>(threads_.size()); }
+  // Tasks finished so far. Updated once per popped batch (after its last task),
+  // so mid-execution reads can lag by up to pop_batch - 1.
   int64_t tasks_completed() const { return completed_.load(std::memory_order_relaxed); }
 
  private:

@@ -210,7 +210,22 @@ TEST(TaskQueueTest, PopBatchReturnsZeroWhenClosedAndEmpty) {
   std::vector<int> out;
   EXPECT_EQ(queue.PopBatch(out, 8), 1u);  // Backlog drains first.
   EXPECT_EQ(queue.PopBatch(out, 8), 0u);  // Then closed-and-empty.
-  EXPECT_TRUE(queue.PopBatch(out, 0) == 0u);
+}
+
+TEST(TaskQueueTest, PopBatchEdgeCases) {
+  TaskQueue<int> queue(4);
+  std::vector<int> out;
+  // max_items == 1 is the smallest legal batch and behaves like Pop().
+  ASSERT_TRUE(queue.Push(9));
+  EXPECT_EQ(queue.PopBatch(out, 1), 1u);
+  EXPECT_EQ(out, (std::vector<int>{9}));
+  // A batch wider than the backlog takes what is there without blocking.
+  ASSERT_TRUE(queue.Push(10));
+  EXPECT_EQ(queue.PopBatch(out, 100), 1u);
+  EXPECT_EQ(out, (std::vector<int>{9, 10}));
+  // max_items == 0 is a programmer error: its return value would be
+  // indistinguishable from the closed-and-empty sentinel on an open queue.
+  EXPECT_DEATH_IF_SUPPORTED(queue.PopBatch(out, 0), "max_items");
 }
 
 TEST(TaskQueueTest, PopBatchWakesBlockedProducers) {
@@ -417,6 +432,32 @@ TEST_F(RuntimeServiceTest, IngestServiceMatchesDirectPipelineRun) {
   EXPECT_EQ(summary.reports[0].result.cnn_invocations, direct.cnn_invocations);
   EXPECT_DOUBLE_EQ(summary.reports[0].result.gpu_millis, direct.gpu_millis);
   EXPECT_EQ(metrics.counter("ingest.detections"), direct.detections);
+}
+
+TEST_F(RuntimeServiceTest, ShardedIngestMatchesSequentialAccounting) {
+  IngestServiceOptions options;
+  options.num_worker_threads = 2;
+  options.num_shards = 4;  // Service-level override of the jobs' default of 1.
+  MetricsRegistry metrics;
+  IngestService service(options, &metrics);
+  IngestJob job;
+  job.name = "auburn_c";
+  job.run = run_;
+  job.params = GenericParams();
+  service.AddStream(job);
+  FleetIngestSummary summary = service.RunAll();
+  ASSERT_EQ(summary.reports.size(), 1u);
+
+  // Classification (the GPU-bearing stage) is untouched by sharding: detection,
+  // invocation, and GPU accounting match the sequential pipeline exactly.
+  cnn::Cnn cheap(GenericParams().model, catalog_);
+  core::IngestResult direct = core::RunIngest(*run_, cheap, GenericParams());
+  EXPECT_EQ(summary.reports[0].result.detections, direct.detections);
+  EXPECT_EQ(summary.reports[0].result.cnn_invocations, direct.cnn_invocations);
+  EXPECT_EQ(summary.reports[0].result.suppressed, direct.suppressed);
+  EXPECT_DOUBLE_EQ(summary.reports[0].result.gpu_millis, direct.gpu_millis);
+  EXPECT_GT(summary.reports[0].result.num_clusters, 0);
+  EXPECT_EQ(summary.reports[0].result.index.total_indexed_detections(), direct.detections);
 }
 
 TEST_F(RuntimeServiceTest, ParallelIngestOfClonedStreamsIsDeterministic) {

@@ -1,0 +1,93 @@
+// WorkerPool stress tests targeting the Drain() wakeup protocol.
+//
+// The seed's WorkerMain incremented completed_ and notified *without holding
+// drain_mutex_*: a drainer could evaluate its wait predicate (count still
+// short), lose the CPU, miss the final increment-and-notify, and then block on
+// drain_cv_ forever — a classic lost wakeup. These tests hammer the window:
+// fleets of near-empty tasks and thousands of Submit/Drain cycles from several
+// driver threads, which is exactly the traffic pattern of sharded
+// per-detection ingest. The hang needs a worker to land its increment inside
+// the few-hundred-instruction gap between the drainer's predicate check and
+// its waiter registration, so it fires under real parallelism (multi-core
+// hosts, where worker and drainer truly overlap); the ctest TIMEOUT set in
+// CMakeLists.txt turns any hang into a visible failure rather than a wedged
+// suite. On the fixed pool the suite finishes in well under a second.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/worker_pool.h"
+
+namespace focus::runtime {
+namespace {
+
+TEST(WorkerPoolStressTest, ManyShortTasksManyDrainCycles) {
+  WorkerPool pool(4, /*queue_capacity=*/64, /*pop_batch=*/4);
+  std::atomic<int64_t> executed{0};
+  constexpr int kCycles = 2000;
+  constexpr int kTasksPerCycle = 8;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    for (int t = 0; t < kTasksPerCycle; ++t) {
+      ASSERT_TRUE(pool.Submit([&] { executed.fetch_add(1, std::memory_order_relaxed); }));
+    }
+    pool.Drain();
+    // Everything submitted before this Drain() must have finished by now.
+    ASSERT_GE(executed.load(), static_cast<int64_t>(cycle + 1) * kTasksPerCycle);
+  }
+  EXPECT_EQ(executed.load(), static_cast<int64_t>(kCycles) * kTasksPerCycle);
+  EXPECT_EQ(pool.tasks_completed(), static_cast<int64_t>(kCycles) * kTasksPerCycle);
+}
+
+TEST(WorkerPoolStressTest, ConcurrentSubmitDrainCyclesFromMultipleThreads) {
+  WorkerPool pool(4, /*queue_capacity=*/256, /*pop_batch=*/8);
+  std::atomic<int64_t> executed{0};
+  constexpr int kDrivers = 4;
+  constexpr int kCyclesPerDriver = 400;
+  constexpr int kTasksPerCycle = 16;
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDrivers);
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&] {
+      for (int cycle = 0; cycle < kCyclesPerDriver; ++cycle) {
+        for (int t = 0; t < kTasksPerCycle; ++t) {
+          ASSERT_TRUE(pool.Submit([&] { executed.fetch_add(1, std::memory_order_relaxed); }));
+        }
+        // Waits for at least this driver's own submissions so far; other
+        // drivers keep submitting concurrently, which is the documented
+        // Drain() contract and the hardest case for the wakeup protocol.
+        pool.Drain();
+      }
+    });
+  }
+  for (std::thread& t : drivers) {
+    t.join();
+  }
+  pool.Drain();
+  const int64_t expected =
+      static_cast<int64_t>(kDrivers) * kCyclesPerDriver * kTasksPerCycle;
+  EXPECT_EQ(executed.load(), expected);
+  EXPECT_EQ(pool.tasks_completed(), expected);
+}
+
+TEST(WorkerPoolStressTest, SingleWorkerSingleTaskCyclesMaximizeRaceWindow) {
+  // One worker, one task per cycle: every Drain() depends on exactly one
+  // increment-and-notify, so a single lost wakeup hangs immediately — later
+  // cycles cannot rescue a stuck Drain() because the stuck driver is the only
+  // producer. The race window is narrow (the increment must land between the
+  // drainer's predicate check and its waiter registration), hence the high
+  // cycle count.
+  WorkerPool pool(1, /*queue_capacity=*/4, /*pop_batch=*/1);
+  std::atomic<int64_t> executed{0};
+  constexpr int kCycles = 50000;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    ASSERT_TRUE(pool.Submit([&] { executed.fetch_add(1, std::memory_order_relaxed); }));
+    pool.Drain();
+    ASSERT_EQ(executed.load(), cycle + 1);
+  }
+  EXPECT_EQ(pool.tasks_completed(), kCycles);
+}
+
+}  // namespace
+}  // namespace focus::runtime
