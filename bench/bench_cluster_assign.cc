@@ -111,8 +111,11 @@ struct ConfigResult {
   size_t active = 0;
   int64_t assigns = 0;
   double ref_ns_per_assign = 0.0;
-  double simd_ns_per_assign = 0.0;
-  double speedup = 0.0;
+  double simd_ns_per_assign = 0.0;       // Dim-derived head tile (the default).
+  double simd64_ns_per_assign = 0.0;     // Fixed 64-dim head tile (pre-PR3 policy).
+  size_t head_dim = 0;                   // Width HeadDimFor picked for this dim.
+  double speedup = 0.0;                  // scalar / simd (default policy).
+  double speedup_head64 = 0.0;           // scalar / simd (fixed-64 policy).
   double prune_rate = 0.0;
   bool identical = false;
 };
@@ -168,31 +171,47 @@ ConfigResult RunConfig(size_t dim, size_t active, int64_t assigns) {
         std::chrono::duration<double, std::nano>(t1 - t0).count() / static_cast<double>(assigns);
   }
 
-  {
+  // Store path, twice: the dim-derived head tile (the default policy) and the
+  // fixed 64-dim tile it replaced, on the identical workload — the tracked
+  // before/after of the head-tile-width change. Head width is a cost knob only;
+  // both must reproduce the reference assignments exactly.
+  auto run_store = [&](size_t head_dim, std::vector<int64_t>* assignments_out,
+                       double* ns_out, ConfigResult* stats_out) {
     ClustererOptions opts;
     opts.threshold = kThreshold;
     opts.max_active = active;
     opts.mode = ClustererOptions::Mode::kExact;  // Full scan: the path under test.
+    opts.head_dim = head_dim;
     IncrementalClusterer clusterer(opts);
     for (size_t i = 0; i < active; ++i) {
-      simd_assignments[i] = clusterer.Add(Det(static_cast<int64_t>(i)), stream[i]);
+      (*assignments_out)[i] = clusterer.Add(Det(static_cast<int64_t>(i)), stream[i]);
     }
     auto t0 = std::chrono::steady_clock::now();
     for (size_t i = active; i < stream.size(); ++i) {
-      simd_assignments[i] = clusterer.Add(Det(static_cast<int64_t>(i)), stream[i]);
+      (*assignments_out)[i] = clusterer.Add(Det(static_cast<int64_t>(i)), stream[i]);
     }
     auto t1 = std::chrono::steady_clock::now();
-    out.simd_ns_per_assign =
+    *ns_out =
         std::chrono::duration<double, std::nano>(t1 - t0).count() / static_cast<double>(assigns);
     const auto& store = clusterer.centroid_store();
-    out.prune_rate = store.scan_candidates() > 0
-                         ? static_cast<double>(store.scan_pruned()) /
-                               static_cast<double>(store.scan_candidates())
-                         : 0.0;
-  }
+    if (stats_out != nullptr) {
+      stats_out->head_dim = store.head_dim();
+      stats_out->prune_rate = store.scan_candidates() > 0
+                                  ? static_cast<double>(store.scan_pruned()) /
+                                        static_cast<double>(store.scan_candidates())
+                                  : 0.0;
+    }
+  };
 
-  out.identical = ref_assignments == simd_assignments;
+  run_store(/*head_dim=*/0, &simd_assignments, &out.simd_ns_per_assign, &out);
+  std::vector<int64_t> simd64_assignments(stream.size());
+  run_store(/*head_dim=*/64, &simd64_assignments, &out.simd64_ns_per_assign, nullptr);
+
+  out.identical =
+      ref_assignments == simd_assignments && ref_assignments == simd64_assignments;
   out.speedup = out.simd_ns_per_assign > 0.0 ? out.ref_ns_per_assign / out.simd_ns_per_assign : 0.0;
+  out.speedup_head64 =
+      out.simd64_ns_per_assign > 0.0 ? out.ref_ns_per_assign / out.simd64_ns_per_assign : 0.0;
   return out;
 }
 
@@ -208,8 +227,9 @@ int main() {
   const size_t actives[] = {256, 4096};
 
   std::printf("cluster-assignment throughput: scalar AoS full scan vs SoA + SIMD scan\n");
-  std::printf("%6s %7s %9s %14s %14s %8s %7s %10s\n", "dim", "active", "assigns", "scalar ns/add",
-              "simd ns/add", "speedup", "prune", "identical");
+  std::printf("%6s %7s %9s %5s %14s %14s %14s %8s %9s %7s %10s\n", "dim", "active", "assigns",
+              "head", "scalar ns/add", "simd ns/add", "head64 ns/add", "speedup", "spd-h64",
+              "prune", "identical");
 
   std::vector<ConfigResult> results;
   bool all_identical = true;
@@ -217,9 +237,10 @@ int main() {
     for (size_t active : actives) {
       ConfigResult r = RunConfig(dim, active, assigns);
       all_identical = all_identical && r.identical;
-      std::printf("%6zu %7zu %9lld %14.0f %14.0f %7.2fx %6.1f%% %10s\n", r.dim, r.active,
-                  static_cast<long long>(r.assigns), r.ref_ns_per_assign, r.simd_ns_per_assign,
-                  r.speedup, 100.0 * r.prune_rate, r.identical ? "yes" : "NO");
+      std::printf("%6zu %7zu %9lld %5zu %14.0f %14.0f %14.0f %7.2fx %8.2fx %6.1f%% %10s\n",
+                  r.dim, r.active, static_cast<long long>(r.assigns), r.head_dim,
+                  r.ref_ns_per_assign, r.simd_ns_per_assign, r.simd64_ns_per_assign, r.speedup,
+                  r.speedup_head64, 100.0 * r.prune_rate, r.identical ? "yes" : "NO");
       results.push_back(r);
     }
   }
@@ -230,12 +251,15 @@ int main() {
     for (size_t i = 0; i < results.size(); ++i) {
       const ConfigResult& r = results[i];
       std::fprintf(f,
-                   "    {\"dim\": %zu, \"active\": %zu, \"assigns\": %lld, "
+                   "    {\"dim\": %zu, \"active\": %zu, \"assigns\": %lld, \"head_dim\": %zu, "
                    "\"scalar_ns_per_assign\": %.1f, \"simd_ns_per_assign\": %.1f, "
-                   "\"speedup\": %.3f, \"prune_rate\": %.4f, \"identical\": %s}%s\n",
-                   r.dim, r.active, static_cast<long long>(r.assigns), r.ref_ns_per_assign,
-                   r.simd_ns_per_assign, r.speedup, r.prune_rate,
-                   r.identical ? "true" : "false", i + 1 < results.size() ? "," : "");
+                   "\"simd_head64_ns_per_assign\": %.1f, "
+                   "\"speedup\": %.3f, \"speedup_head64\": %.3f, \"prune_rate\": %.4f, "
+                   "\"identical\": %s}%s\n",
+                   r.dim, r.active, static_cast<long long>(r.assigns), r.head_dim,
+                   r.ref_ns_per_assign, r.simd_ns_per_assign, r.simd64_ns_per_assign, r.speedup,
+                   r.speedup_head64, r.prune_rate, r.identical ? "true" : "false",
+                   i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

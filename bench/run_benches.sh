@@ -16,6 +16,7 @@ cd "$BUILD_DIR"
 
 ./bench_cluster_assign
 ./bench_sharded_ingest
+./bench_query_batch
 
 if [ "${FOCUS_BENCH_FULL:-0}" = "1" ]; then
   if [ -x ./bench_micro_substrates ]; then

@@ -1,5 +1,6 @@
 #include "src/cluster/centroid_store.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstring>
@@ -23,6 +24,12 @@ constexpr float kPruneSlackAdd = 1e-6f;
 constexpr float kInf = std::numeric_limits<float>::max();
 
 }  // namespace
+
+size_t CentroidStore::HeadDimFor(size_t dim) {
+  const size_t quarter = dim / 4;
+  const size_t clamped = std::min(std::max(quarter, kMinHeadDim), kMaxHeadDim);
+  return std::min(dim, clamped);
+}
 
 void CentroidStore::Reset() {
   dim_ = 0;
@@ -50,7 +57,7 @@ void CentroidStore::Add(int64_t id, const float* centroid, size_t dim, int64_t s
   assert(SlotOf(id) == kNoSlot);
   if (dim_ == 0) {
     dim_ = dim;
-    head_dim_ = dim < kHeadDim ? dim : kHeadDim;
+    head_dim_ = head_override_ > 0 ? std::min(dim, head_override_) : HeadDimFor(dim);
   }
   assert(dim == dim_ && dim_ > 0);
   const int32_t slot = static_cast<int32_t>(ids_.size());

@@ -12,14 +12,15 @@
 //   1. norm prune — by the reverse triangle inequality,
 //      (||c|| - ||q||)^2 <= ||c - q||^2, so a candidate whose norm gap already
 //      exceeds the threshold is skipped after reading one cached float;
-//   2. head pass — the first kHeadDim dims of every centroid are mirrored in a
-//      dense (slots x kHeadDim) tile; one SquaredL2Batch sweep over this
-//      contiguous tile yields a monotone partial distance per candidate;
+//   2. head pass — the first head_dim() dims of every centroid (a dim-derived
+//      width, HeadDimFor) are mirrored in a dense (slots x head_dim) tile; one
+//      SquaredL2Batch sweep over this contiguous tile yields a monotone partial
+//      distance per candidate;
 //   3. probe — the candidate with the smallest head partial (in steady state,
 //      the cluster the detection belongs to) is completed first, tightening the
 //      scan bound from T^2 to its exact distance;
 //   4. resume — only candidates whose head partial is within the tightened
-//      bound continue past dim kHeadDim, resuming from their stored partial
+//      bound continue past dim head_dim(), resuming from their stored partial
 //      through the bounded SIMD kernel.
 // Because squared-distance partial sums only grow (non-negative terms, monotone
 // float accumulation), steps 2-4 prune exactly: no candidate the full kernel
@@ -44,14 +45,31 @@ class CentroidStore {
 
   // Drops all centroids but keeps the allocated arenas, so a store reused
   // across a tuner grid sweep stops paying allocation/fault cost after the
-  // first run.
+  // first run. The head-dim override (SetHeadDim) survives the reset.
   void Reset();
+
+  // Head-tile width used for vectors of dimensionality |dim|: a quarter of the
+  // vector, clamped to [kMinHeadDim, kMaxHeadDim] (and never beyond dim). The
+  // tile must be wide enough that the head partial orders candidates reliably
+  // (distance mass is spread evenly across dims for near-unit vectors), but a
+  // fixed 64-dim tile is half of a dim=128 vector — the head pass then costs
+  // half a full scan before pruning starts, which is why bench_cluster_assign
+  // saw only ~1.2-1.4x there vs ~6x at dim=1024.
+  static size_t HeadDimFor(size_t dim);
+
+  // Overrides the head-tile width chosen at the next first-Add (0 restores the
+  // HeadDimFor default). Only meaningful while the store is empty/dimensionless;
+  // exists for benchmarking head-tile policies against each other — pruning is
+  // exact at any width, so this changes cost, never assignments.
+  void SetHeadDim(size_t head_dim) { head_override_ = head_dim; }
 
   // Number of active centroids.
   size_t size() const { return ids_.size(); }
   bool empty() const { return ids_.empty(); }
   // Dimensionality, fixed by the first Add after construction/Reset (0 = none).
   size_t dim() const { return dim_; }
+  // Head-tile width in effect (0 until the first Add fixes the dim).
+  size_t head_dim() const { return head_dim_; }
 
   // Inserts the centroid of cluster |id| (must not already be present).
   void Add(int64_t id, const float* centroid, size_t dim, int64_t size);
@@ -88,13 +106,14 @@ class CentroidStore {
 
   // Scan statistics since construction/Reset: candidates considered by
   // FindNearest, how many the norm prune skipped, and how many were resolved by
-  // the head tile alone (never touched past dim kHeadDim).
+  // the head tile alone (never touched past dim head_dim()).
   int64_t scan_candidates() const { return scan_candidates_; }
   int64_t scan_pruned() const { return scan_pruned_; }
   int64_t scan_head_only() const { return scan_head_only_; }
 
-  // Dims per candidate mirrored in the dense head tile.
-  static constexpr size_t kHeadDim = 64;
+  // Bounds on the dims per candidate mirrored in the dense head tile.
+  static constexpr size_t kMinHeadDim = 16;
+  static constexpr size_t kMaxHeadDim = 64;
 
  private:
   // Slot of cluster |id|, or kNoSlot.
@@ -107,7 +126,8 @@ class CentroidStore {
   static constexpr int32_t kNoSlot = -1;
 
   size_t dim_ = 0;
-  size_t head_dim_ = 0;          // min(dim_, kHeadDim).
+  size_t head_dim_ = 0;          // HeadDimFor(dim_), or the override.
+  size_t head_override_ = 0;     // 0 = derive from dim (HeadDimFor).
   std::vector<float> arena_;     // size() rows of dim() floats.
   std::vector<float> head_;      // size() rows of head_dim_ floats (dense tile).
   std::vector<float> norms_;     // ||centroid||, parallel to ids_.

@@ -35,12 +35,15 @@ void AppendMember(Cluster& cluster, const video::Detection& detection) {
 
 }  // namespace
 
-IncrementalClusterer::IncrementalClusterer(ClustererOptions options) : options_(options) {}
+IncrementalClusterer::IncrementalClusterer(ClustererOptions options) : options_(options) {
+  store_.SetHeadDim(options_.head_dim);
+}
 
 void IncrementalClusterer::Reset(ClustererOptions options) {
   options_ = options;
   clusters_.clear();
   store_.Reset();
+  store_.SetHeadDim(options_.head_dim);
   retire_heap_.clear();
   last_cluster_of_object_.clear();
   lru_.clear();

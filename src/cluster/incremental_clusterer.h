@@ -70,6 +70,11 @@ struct ClustererOptions {
   Mode mode = Mode::kFast;
   // Fast mode: number of recently used clusters probed before the full scan.
   size_t lru_probes = 48;
+  // Head-tile width override for the centroid store's staged scan (0 derives
+  // it from the feature dim, CentroidStore::HeadDimFor). Pruning is exact at
+  // any width, so this is a cost knob — bench_cluster_assign uses it to compare
+  // head-tile policies on identical workloads.
+  size_t head_dim = 0;
 };
 
 class IncrementalClusterer {

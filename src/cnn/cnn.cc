@@ -184,6 +184,28 @@ TopKResult Cnn::Classify(const video::Detection& detection, int k) const {
   return result;
 }
 
+void Cnn::ClassifyBatch(std::span<const video::Detection> detections, int k,
+                        std::vector<TopKResult>* results) const {
+  results->clear();
+  results->reserve(detections.size());
+  for (const video::Detection& detection : detections) {
+    results->push_back(Classify(detection, k));
+  }
+}
+
+void Cnn::ClassifyBatch(std::span<const video::Detection* const> detections, int k,
+                        std::vector<TopKResult>* results) const {
+  results->clear();
+  results->reserve(detections.size());
+  for (const video::Detection* detection : detections) {
+    results->push_back(Classify(*detection, k));
+  }
+}
+
+common::GpuMillis Cnn::BatchCostMillis(int64_t batch_size) const {
+  return BatchInferenceCostMillis(desc_, batch_size);
+}
+
 common::ClassId Cnn::Top1(const video::Detection& detection) const {
   const common::ClassId true_label = MapTrueLabel(detection.true_class);
   if (TrueClassRank(detection) == 1) {

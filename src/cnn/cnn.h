@@ -15,6 +15,7 @@
 #ifndef FOCUS_SRC_CNN_CNN_H_
 #define FOCUS_SRC_CNN_CNN_H_
 
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -68,6 +69,26 @@ class Cnn {
 
   // Classifies |detection|, returning the top |k| classes. Deterministic.
   TopKResult Classify(const video::Detection& detection, int k) const;
+
+  // Classifies every detection of |detections| as one GPU batch, overwriting
+  // |results| with one entry per input, in order. Outputs are identical to
+  // per-element Classify(detection, k) — batching changes when and at what cost
+  // the work runs (BatchCostMillis amortizes the launch overhead across the
+  // batch), never what it computes. This is the execution primitive of the §5
+  // plan/execute query path: QueryEngine::Plan emits centroid work items,
+  // batches of them are classified here, QueryEngine::Resolve folds the
+  // verdicts back into a QueryResult.
+  void ClassifyBatch(std::span<const video::Detection> detections, int k,
+                     std::vector<TopKResult>* results) const;
+  // Gather form for callers whose detections are not contiguous (query plans
+  // hold pointers into the index): classifies through the pointers, no copies.
+  void ClassifyBatch(std::span<const video::Detection* const> detections, int k,
+                     std::vector<TopKResult>* results) const;
+
+  // GPU milliseconds to classify a |batch_size|-image batch in one launch.
+  // Exactly inference_cost_millis() at batch_size = 1; cheaper than batch_size
+  // separate launches above it (cost_model.h, kLaunchOverheadShare).
+  common::GpuMillis BatchCostMillis(int64_t batch_size) const;
 
   // Fast path: the top-1 class only (equivalent to Classify(detection, 1).Top1()).
   common::ClassId Top1(const video::Detection& detection) const;

@@ -12,6 +12,18 @@ common::GpuMillis InferenceCostMillis(const ModelDesc& desc) {
   return RelativeCost(desc) * kGtCnnUnitMillis;
 }
 
+common::GpuMillis BatchInferenceCostMillis(const ModelDesc& desc, int64_t batch_size) {
+  if (batch_size < 1) {
+    batch_size = 1;
+  }
+  // kLaunchOverheadShare + (1 - kLaunchOverheadShare) is exactly 1.0 in binary
+  // floating point, so a batch of 1 reproduces the single-inference cost to the
+  // bit — the batched path must be byte-identical to the per-centroid path there.
+  return InferenceCostMillis(desc) *
+         (kLaunchOverheadShare +
+          (1.0 - kLaunchOverheadShare) * static_cast<double>(batch_size));
+}
+
 double CheapnessFactor(const ModelDesc& desc) { return 1.0 / RelativeCost(desc); }
 
 }  // namespace focus::cnn

@@ -28,8 +28,28 @@ inline constexpr double kGtCnnUnitMillis = 13.0;
 // ResNet152, the factors the paper quotes.
 inline constexpr double kFixedOverheadShare = 0.012;
 
+// Share of a *single-image* inference spent on per-launch work (kernel launch,
+// weight/activation memory movement, host-device transfer setup) rather than
+// per-image compute. Packing b images into one launch pays it once:
+//
+//   BatchInferenceCostMillis(desc, b) = C(1) * (kLaunchOverheadShare
+//                                              + (1 - kLaunchOverheadShare) * b)
+//
+// with C(1) = InferenceCostMillis(desc), so a batch of 1 costs exactly C(1) and
+// the amortized per-image cost approaches (1 - kLaunchOverheadShare) * C(1) at
+// large b (a ~1.33x throughput ceiling from batching alone). This is what makes
+// filling GPU batches — §5's rationale for parallelizing a query's GT-CNN work
+// and sharing idle GPUs across queries — measurably cheaper on the virtual
+// clock than issuing the same classifications one launch each.
+inline constexpr double kLaunchOverheadShare = 0.25;
+
 // GPU milliseconds for one inference of |desc|.
 common::GpuMillis InferenceCostMillis(const ModelDesc& desc);
+
+// GPU milliseconds for classifying |batch_size| images of |desc| in one launch.
+// Exactly InferenceCostMillis(desc) at batch_size = 1 (values below 1 clamp up),
+// strictly cheaper than batch_size independent launches above it.
+common::GpuMillis BatchInferenceCostMillis(const ModelDesc& desc, int64_t batch_size);
 
 // Cost of |desc| relative to the GT-CNN (1.0 = as expensive as ResNet152).
 double RelativeCost(const ModelDesc& desc);

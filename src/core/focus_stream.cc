@@ -41,4 +41,13 @@ QueryResult FocusStream::Query(common::ClassId cls, int kx, common::TimeRange ra
   return engine_->Query(cls, kx, range, run_->fps());
 }
 
+QueryPlan FocusStream::Plan(common::ClassId cls, int kx, common::TimeRange range) const {
+  return engine_->Plan(cls, kx, range, run_->fps());
+}
+
+QueryResult FocusStream::Resolve(const QueryPlan& plan,
+                                 std::span<const common::ClassId> verdicts) const {
+  return engine_->Resolve(plan, verdicts);
+}
+
 }  // namespace focus::core

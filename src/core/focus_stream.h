@@ -45,8 +45,17 @@ class FocusStream {
   FocusStream& operator=(const FocusStream&) = delete;
 
   // Query for all frames containing objects of |cls| (§3). |kx| <= K optionally
-  // narrows the index filter (§5); |range| restricts to a time window.
+  // narrows the index filter (§5); |range| restricts to a time window. One-call
+  // form of the plan/execute pair below (byte-identical results).
   QueryResult Query(common::ClassId cls, int kx = -1, common::TimeRange range = {}) const;
+
+  // Plan/execute form (§5; see query_engine.h): Plan() is the free index-lookup
+  // half at this stream's recording fps; an executor classifies the plan's
+  // centroid work items (batched, possibly shared across concurrent queries —
+  // runtime::QueryService) and Resolve() folds the verdicts into the result.
+  QueryPlan Plan(common::ClassId cls, int kx = -1, common::TimeRange range = {}) const;
+  QueryResult Resolve(const QueryPlan& plan,
+                      std::span<const common::ClassId> verdicts) const;
 
   const TuningResult& tuning() const { return tuning_; }
   const IngestParams& chosen_params() const { return tuning_.chosen().params; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -81,12 +82,13 @@ class BestRankTable {
 // lands directly on a canonical cluster id. Result accounting is
 // deterministic: the assignment of each detection, the canonical mapping, and
 // the stream-order rank replay are all pure functions of the sample (see
-// sharded_clusterer.h). The pool lives for this one call — negligible against
-// a stream's worth of assignments, but a tuner-style caller re-running many
-// configurations at num_shards > 1 would want a reusable pool (see ROADMAP).
+// sharded_clusterer.h) — and independent of which worker pool dispatches the
+// shard tasks, so a caller-supplied |pool| reused across runs changes cost,
+// never output.
 IngestResult RunIngestClassifiedSharded(const ClassifiedSample& sample,
                                         const IngestParams& params,
-                                        const IngestOptions& options) {
+                                        const IngestOptions& options,
+                                        runtime::WorkerPool* pool) {
   FOCUS_CHECK(options.num_shards >= 1);
   IngestResult result;
   result.gpu_millis = sample.gpu_millis;
@@ -103,9 +105,14 @@ IngestResult RunIngestClassifiedSharded(const ClassifiedSample& sample,
 
   // pop_batch stays 1: the queued tasks are already shard-coarse, and letting
   // one worker pull several would serialize shards behind each other.
-  runtime::WorkerPool pool(options.num_shards,
-                           /*queue_capacity=*/static_cast<size_t>(options.num_shards) * 2,
-                           /*pop_batch=*/1);
+  std::unique_ptr<runtime::WorkerPool> local_pool;
+  if (pool == nullptr) {
+    local_pool = std::make_unique<runtime::WorkerPool>(
+        options.num_shards,
+        /*queue_capacity=*/static_cast<size_t>(options.num_shards) * 2,
+        /*pop_batch=*/1);
+    pool = local_pool.get();
+  }
 
   const size_t n = sample.detections.size();
   const size_t batch = std::max<size_t>(options.shard_batch, 1);
@@ -119,9 +126,13 @@ IngestResult RunIngestClassifiedSharded(const ClassifiedSample& sample,
       const ClassifiedDetection& entry = sample.detections[offset + i];
       items.push_back({&entry.detection, &entry.feature, entry.reused});
     }
-    sharded.AssignBatch(items.data(), count, &pool, assignments.data() + offset);
+    sharded.AssignBatch(items.data(), count, pool, assignments.data() + offset);
   }
-  pool.Shutdown();
+  // A per-call pool is torn down here; a caller-supplied one stays alive (its
+  // tasks are all drained — AssignBatch synchronizes per batch).
+  if (local_pool != nullptr) {
+    local_pool->Shutdown();
+  }
 
   std::vector<cluster::Cluster> canonical = sharded.FinalizeClusters();
 
@@ -191,10 +202,11 @@ ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ing
 
 IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestParams& params,
                                  const IngestOptions& options,
-                                 cluster::IncrementalClusterer* scratch) {
+                                 cluster::IncrementalClusterer* scratch,
+                                 runtime::WorkerPool* pool) {
   FOCUS_CHECK(options.num_shards >= 1);
   if (options.num_shards > 1) {
-    return RunIngestClassifiedSharded(sample, params, options);
+    return RunIngestClassifiedSharded(sample, params, options, pool);
   }
   IngestResult result;
   result.gpu_millis = sample.gpu_millis;

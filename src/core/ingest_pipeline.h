@@ -16,6 +16,10 @@
 #include "src/index/topk_index.h"
 #include "src/video/stream_generator.h"
 
+namespace focus::runtime {
+class WorkerPool;
+}  // namespace focus::runtime
+
 namespace focus::core {
 
 struct IngestResult {
@@ -95,20 +99,29 @@ ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ing
 // run's options, so a tuner sweeping a parameter grid over the same sample
 // reuses the centroid arena and per-cluster allocations across re-runs instead
 // of re-growing them from empty on every configuration. With
-// |options.num_shards| > 1 the clustering stage runs sharded on an internal
-// worker pool (|scratch| does not apply there).
+// |options.num_shards| > 1 the clustering stage runs sharded on a worker pool
+// (|scratch| does not apply there; |pool| does — see below).
+//
+// |pool| optionally supplies the worker pool the sharded route dispatches on,
+// so a caller re-running many configurations (the tuner's grid sweep) pays
+// thread spawn/join once instead of per run. Null builds a pool per call; the
+// pool must have >= 1 worker and be dedicated to this call for its duration
+// (the sharded clusterer Drain()s it to synchronize). Ignored at num_shards = 1.
 IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestParams& params,
                                  const IngestOptions& options = {},
-                                 cluster::IncrementalClusterer* scratch = nullptr);
+                                 cluster::IncrementalClusterer* scratch = nullptr,
+                                 runtime::WorkerPool* pool = nullptr);
 
 // The sharded clustering + indexing stage behind RunIngestClassified's
 // |options.num_shards| > 1 route, callable directly at any shard count >= 1 —
 // tests and benches use it at one shard to check the sharded machinery
 // (AssignBatch dispatch, canonical-id mapping, merge passes) reproduces the
-// sequential path's output exactly.
+// sequential path's output exactly. |pool| as in RunIngestClassified: a
+// caller-supplied reusable worker pool, or null for a per-call one.
 IngestResult RunIngestClassifiedSharded(const ClassifiedSample& sample,
                                         const IngestParams& params,
-                                        const IngestOptions& options = {});
+                                        const IngestOptions& options = {},
+                                        runtime::WorkerPool* pool = nullptr);
 
 }  // namespace focus::core
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <memory>
 
 #include "src/cnn/model_zoo.h"
 #include "src/common/logging.h"
+#include "src/runtime/worker_pool.h"
 
 namespace focus::core {
 
@@ -207,8 +209,18 @@ std::vector<EvaluatedConfig> ParameterTuner::EvaluateGrid(const video::StreamRun
       CandidateModels(distribution, stream_variability, run.seed());
 
   // One clusterer reused across the whole (model, T) grid: every re-run Resets
-  // it, keeping the centroid arena and cluster allocations warm.
+  // it, keeping the centroid arena and cluster allocations warm. Likewise one
+  // worker pool for the sharded clustering route — the grid re-runs
+  // RunIngestClassified per configuration, and spawning/joining num_shards
+  // threads on each would dominate small samples.
   cluster::IncrementalClusterer cluster_scratch;
+  std::unique_ptr<runtime::WorkerPool> shard_pool;
+  if (options_.ingest.num_shards > 1) {
+    shard_pool = std::make_unique<runtime::WorkerPool>(
+        options_.ingest.num_shards,
+        /*queue_capacity=*/static_cast<size_t>(options_.ingest.num_shards) * 2,
+        /*pop_batch=*/1);
+  }
 
   for (const cnn::ModelDesc& desc : models) {
     cnn::Cnn cheap(desc, catalog_);
@@ -231,7 +243,8 @@ std::vector<EvaluatedConfig> ParameterTuner::EvaluateGrid(const video::StreamRun
       params.ls = desc.specialized() ? static_cast<int>(desc.classes.size()) : 0;
 
       IngestResult ingest =
-          RunIngestClassified(classified, params, options_.ingest, &cluster_scratch);
+          RunIngestClassified(classified, params, options_.ingest, &cluster_scratch,
+                              shard_pool.get());
       const double ingest_norm = ingest.gpu_millis / gt_all_millis;
 
       // Evaluate every K <= k_max as a query-time Kx over the k_max-wide index (§5:

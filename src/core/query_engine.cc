@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <tuple>
+
+#include "src/common/logging.h"
 
 namespace focus::core {
 
@@ -72,41 +75,77 @@ QueryEngine::QueryEngine(const index::TopKIndex* index, const cnn::Cnn* ingest_c
                          const cnn::Cnn* gt_cnn)
     : index_(index), ingest_cnn_(ingest_cnn), gt_cnn_(gt_cnn) {}
 
-QueryResult QueryEngine::Query(common::ClassId cls, int kx, common::TimeRange range,
-                               double fps) const {
-  QueryResult result;
-  result.queried = cls;
+QueryPlan QueryEngine::Plan(common::ClassId cls, int kx, common::TimeRange range, double fps,
+                            int min_kx) const {
+  QueryPlan plan;
+  plan.queried = cls;
+  plan.kx = kx;
 
   // QT1/QT2: map the queried class into the ingest model's label space (a class the
   // specialized model was not trained on lives under OTHER, §4.3) and pull the
   // posting list.
-  const common::ClassId lookup = ingest_cnn_->MapTrueLabel(cls);
-  const std::vector<int64_t>& candidates = index_->ClustersForClass(lookup);
+  plan.lookup = ingest_cnn_->MapTrueLabel(cls);
+  const std::vector<int64_t>& candidates = index_->ClustersForClass(plan.lookup);
 
   // Map the time range to frame bounds once; clipping each run is then O(1).
   const bool clip = range.begin_sec > 0.0 || range.end_sec >= 0.0;
-  const auto [range_first, range_last] =
-      clip ? FrameBoundsOfRange(range, fps)
-           : std::pair<common::FrameIndex, common::FrameIndex>{
-                 0, std::numeric_limits<common::FrameIndex>::max()};
+  if (clip) {
+    std::tie(plan.range_first, plan.range_last) = FrameBoundsOfRange(range, fps);
+  }
 
-  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> runs;
   for (int64_t id : candidates) {
     const index::ClusterEntry& entry = index_->cluster(id);
-    if (kx > 0 && !entry.MatchesWithin(lookup, kx)) {
+    if (kx > 0 && !entry.MatchesWithin(plan.lookup, kx)) {
       continue;
     }
-    // QT3: GT-CNN on the centroid object.
+    if (min_kx > 0 && entry.MatchesWithin(plan.lookup, min_kx)) {
+      continue;  // Already admitted (and classified) by an earlier expansion.
+    }
+    plan.work.push_back(CentroidWorkItem{id, &entry.representative});
+  }
+  return plan;
+}
+
+std::vector<common::ClassId> QueryEngine::ClassifyPlan(const QueryPlan& plan) const {
+  // Classify the centroid objects as one batch, through the work items'
+  // pointers into the index (no Detection/feature copies on the query path).
+  std::vector<const video::Detection*> crops;
+  crops.reserve(plan.work.size());
+  for (const CentroidWorkItem& item : plan.work) {
+    crops.push_back(item.centroid);
+  }
+  std::vector<cnn::TopKResult> classified;
+  gt_cnn_->ClassifyBatch(crops, /*k=*/1, &classified);
+  std::vector<common::ClassId> verdicts;
+  verdicts.reserve(classified.size());
+  for (const cnn::TopKResult& topk : classified) {
+    verdicts.push_back(topk.Top1());
+  }
+  return verdicts;
+}
+
+QueryResult QueryEngine::Resolve(const QueryPlan& plan,
+                                 std::span<const common::ClassId> verdicts) const {
+  FOCUS_CHECK(verdicts.size() == plan.work.size());
+  QueryResult result;
+  result.queried = plan.queried;
+
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> runs;
+  for (size_t i = 0; i < plan.work.size(); ++i) {
+    // QT3 accounting: one GT-CNN inference per work item, summed term by term so
+    // the total is bit-identical to the seed's per-centroid accumulation no
+    // matter how the verdicts were actually executed.
     ++result.centroids_classified;
     result.gpu_millis += gt_cnn_->inference_cost_millis();
-    if (gt_cnn_->Top1(entry.representative) != cls) {
+    if (verdicts[i] != plan.queried) {
       continue;
     }
     // QT4: the whole cluster inherits the centroid's label.
     ++result.clusters_matched;
+    const index::ClusterEntry& entry = index_->cluster(plan.work[i].cluster_id);
     for (const cluster::MemberRun& run : entry.members) {
-      const common::FrameIndex first = std::max(run.first_frame, range_first);
-      const common::FrameIndex last = std::min(run.last_frame, range_last);
+      const common::FrameIndex first = std::max(run.first_frame, plan.range_first);
+      const common::FrameIndex last = std::min(run.last_frame, plan.range_last);
       if (first > last) {
         continue;
       }
@@ -118,6 +157,12 @@ QueryResult QueryEngine::Query(common::ClassId cls, int kx, common::TimeRange ra
     result.frames_returned += last - first + 1;
   }
   return result;
+}
+
+QueryResult QueryEngine::Query(common::ClassId cls, int kx, common::TimeRange range,
+                               double fps) const {
+  const QueryPlan plan = Plan(cls, kx, range, fps);
+  return Resolve(plan, ClassifyPlan(plan));
 }
 
 }  // namespace focus::core

@@ -37,13 +37,7 @@ void AppendUncovered(std::pair<common::FrameIndex, common::FrameIndex> candidate
 QuerySession::QuerySession(const index::TopKIndex* index, const cnn::Cnn* ingest_cnn,
                            const cnn::Cnn* gt_cnn, common::ClassId cls,
                            common::TimeRange range, double fps)
-    : index_(index),
-      ingest_cnn_(ingest_cnn),
-      gt_cnn_(gt_cnn),
-      cls_(cls),
-      lookup_(ingest_cnn->MapTrueLabel(cls)),
-      range_(range),
-      fps_(fps) {}
+    : engine_(index, ingest_cnn, gt_cnn), cls_(cls), range_(range), fps_(fps) {}
 
 QueryBatch QuerySession::ExpandTo(int kx) {
   QueryBatch batch;
@@ -52,39 +46,46 @@ QueryBatch QuerySession::ExpandTo(int kx) {
     return batch;
   }
 
+  // Plan the increment: candidates newly admitted in (current_kx_, kx].
+  const QueryPlan plan = engine_.Plan(cls_, kx, range_, fps_, /*min_kx=*/current_kx_);
+
+  // Classify the centroids this session has not paid for yet — as one GT-CNN
+  // batch (the sub-plan of uncached work items through ClassifyPlan). In the
+  // monotonic-Kx flow every planned item is fresh (a cluster admitted now was
+  // never admitted before), so the verdict cache is the §5 never-re-pay
+  // guarantee, not a shortcut.
+  QueryPlan fresh;
+  fresh.queried = plan.queried;
+  fresh.lookup = plan.lookup;
+  fresh.kx = plan.kx;
+  fresh.range_first = plan.range_first;
+  fresh.range_last = plan.range_last;
+  fresh.work.reserve(plan.work.size());
+  for (const CentroidWorkItem& item : plan.work) {
+    if (!verdicts_.contains(item.cluster_id)) {
+      fresh.work.push_back(item);
+    }
+  }
+  const std::vector<common::ClassId> fresh_verdicts = engine_.ClassifyPlan(fresh);
+  for (size_t i = 0; i < fresh.work.size(); ++i) {
+    ++batch.centroids_classified;
+    batch.gpu_millis += engine_.gt_cnn().inference_cost_millis();
+    verdicts_[fresh.work[i].cluster_id] = fresh_verdicts[i] == cls_;
+  }
+
+  // Fold the confirmed clusters' member runs, minus frames earlier batches
+  // already returned.
   std::vector<std::pair<common::FrameIndex, common::FrameIndex>> new_runs;
-  for (int64_t id : index_->ClustersForClass(lookup_)) {
-    const index::ClusterEntry& entry = index_->cluster(id);
-    // Newly matching at this Kx: within kx but not within the previous cursor.
-    if (!entry.MatchesWithin(lookup_, kx)) {
+  for (const CentroidWorkItem& item : plan.work) {
+    if (!verdicts_.at(item.cluster_id)) {
       continue;
     }
-    if (current_kx_ > 0 && entry.MatchesWithin(lookup_, current_kx_)) {
-      continue;  // Already handled by an earlier batch.
-    }
-    auto [it, inserted] = verdicts_.try_emplace(id, false);
-    if (inserted) {
-      // First time this cluster's centroid is needed: pay the GT-CNN inference.
-      ++batch.centroids_classified;
-      batch.gpu_millis += gt_cnn_->inference_cost_millis();
-      it->second = gt_cnn_->Top1(entry.representative) == cls_;
-    }
-    if (!it->second) {
-      continue;
-    }
+    const index::ClusterEntry& entry = engine_.index().cluster(item.cluster_id);
     for (const cluster::MemberRun& run : entry.members) {
-      common::FrameIndex first = run.first_frame;
-      common::FrameIndex last = run.last_frame;
-      if (range_.begin_sec > 0.0 || range_.end_sec >= 0.0) {
-        while (first <= last && !range_.ContainsFrame(first, fps_)) {
-          ++first;
-        }
-        while (last >= first && !range_.ContainsFrame(last, fps_)) {
-          --last;
-        }
-        if (first > last) {
-          continue;
-        }
+      const common::FrameIndex first = std::max(run.first_frame, plan.range_first);
+      const common::FrameIndex last = std::min(run.last_frame, plan.range_last);
+      if (first > last) {
+        continue;
       }
       AppendUncovered({first, last}, cumulative_runs_, &new_runs);
     }

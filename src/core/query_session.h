@@ -7,6 +7,12 @@
 // expansion cheap: centroids already classified by the GT-CNN are never re-classified
 // when Kx grows, so the total GPU cost of reaching Kx = K through any sequence of
 // batches equals the cost of a single query at K.
+//
+// Each ExpandTo(kx) step is planned and executed through the QueryEngine
+// plan/execute API: Plan(cls, kx, range, fps, min_kx = current Kx) emits exactly
+// the centroid work a step newly admits, the uncached work items are classified
+// as ONE GT-CNN batch (cnn::Cnn::ClassifyBatch — so even incremental expansion
+// fills GPU launches, §5), and the verdicts fold into the cumulative result.
 #ifndef FOCUS_SRC_CORE_QUERY_SESSION_H_
 #define FOCUS_SRC_CORE_QUERY_SESSION_H_
 
@@ -39,7 +45,8 @@ class QuerySession {
                double fps = 30.0);
 
   // Expands the session to |kx| (monotonic: values at or below the current Kx return
-  // an empty batch). Classifies only centroids of clusters that newly match.
+  // an empty batch). Classifies only centroids of clusters that newly match, as one
+  // GT-CNN batch.
   QueryBatch ExpandTo(int kx);
 
   // Cumulative results across all batches so far (merged, sorted frame runs).
@@ -53,11 +60,8 @@ class QuerySession {
   common::ClassId queried() const { return cls_; }
 
  private:
-  const index::TopKIndex* index_;
-  const cnn::Cnn* ingest_cnn_;
-  const cnn::Cnn* gt_cnn_;
+  QueryEngine engine_;  // Plans, classifies, and folds each expansion step.
   common::ClassId cls_;
-  common::ClassId lookup_;  // cls_ mapped into the ingest model's label space.
   common::TimeRange range_;
   double fps_;
 

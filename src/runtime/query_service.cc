@@ -1,54 +1,169 @@
 #include "src/runtime/query_service.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
 
 #include "src/common/logging.h"
 
 namespace focus::runtime {
 
+namespace {
+
+// Verdict of one unique (stream, centroid) classification: the GT-CNN top-1 label
+// and when the launch that carried it finished on the cluster.
+struct SharedVerdict {
+  common::ClassId top1 = common::kInvalidClass;
+  common::GpuMillis finish_millis = 0.0;
+};
+
+}  // namespace
+
 QueryService::QueryService(QueryServiceOptions options, MetricsRegistry* metrics)
     : options_(options),
       metrics_(metrics != nullptr ? metrics : &GlobalMetrics()),
-      cluster_(options.num_gpus) {}
+      cluster_(options.num_gpus) {
+  FOCUS_CHECK(options.batch_size >= 1);
+}
 
 QueryExecution QueryService::Execute(const QueryRequest& request) {
-  return ScheduleAt(request, cluster_.EarliestFree());
+  return ExecuteConcurrently({request})[0];
 }
 
 std::vector<QueryExecution> QueryService::ExecuteConcurrently(
     const std::vector<QueryRequest>& requests) {
   // All requests share one submission instant; interleaving happens through the
-  // cluster's least-loaded dispatch, so earlier requests in the vector get the first
-  // slots deterministically.
+  // cluster's least-loaded dispatch, so earlier work in the pooled order gets the
+  // first slots deterministically.
   const common::GpuMillis submit = cluster_.EarliestFree();
+
+  QueryBatchStats stats;
+  stats.requests = static_cast<int64_t>(requests.size());
+
+  // Phase 1 — plan every request. Index lookups only; no GPU work yet.
+  std::vector<core::QueryPlan> plans;
+  plans.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    FOCUS_CHECK(request.stream != nullptr);
+    plans.push_back(request.stream->Plan(request.cls, request.kx, request.range));
+  }
+
+  // Phase 2 — pool the work items across requests and deduplicate identical
+  // (stream, centroid) classifications: a cluster indexed under several queried
+  // classes needs one GT-CNN verdict no matter how many concurrent queries ask.
+  // Unique items keep first-appearance order (request order, plan order within a
+  // request), which keeps the schedule deterministic.
+  struct UniqueItem {
+    const core::FocusStream* stream = nullptr;
+    int64_t cluster_id = -1;
+    const video::Detection* centroid = nullptr;
+  };
+  using WorkKey = std::pair<const core::FocusStream*, int64_t>;
+  std::vector<UniqueItem> unique;
+  std::set<WorkKey> seen;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    for (const core::CentroidWorkItem& item : plans[r].work) {
+      ++stats.work_items;
+      if (seen.insert({requests[r].stream, item.cluster_id}).second) {
+        unique.push_back(UniqueItem{requests[r].stream, item.cluster_id, item.centroid});
+      } else {
+        ++stats.dedup_hits;
+      }
+    }
+  }
+  stats.unique_items = static_cast<int64_t>(unique.size());
+
+  // Phase 3 — pack the unique items into GT-CNN launches and run them. Items are
+  // grouped per stream (each stream classifies with its own GT-CNN instance);
+  // within a group the packer is parallelism-first: while there is less work than
+  // idle GPUs, every centroid gets its own launch (the §5 fan-out, and exactly
+  // the legacy per-centroid schedule at batch_size = 1); beyond that, launches
+  // grow — up to batch_size images — so each launch pays its overhead once.
+  std::vector<const core::FocusStream*> stream_order;
+  std::map<const core::FocusStream*, std::vector<size_t>> by_stream;
+  for (size_t i = 0; i < unique.size(); ++i) {
+    auto [it, inserted] = by_stream.try_emplace(unique[i].stream);
+    if (inserted) {
+      stream_order.push_back(unique[i].stream);
+    }
+    it->second.push_back(i);
+  }
+
+  std::map<WorkKey, SharedVerdict> verdicts;
+  std::vector<const video::Detection*> crops;
+  std::vector<cnn::TopKResult> classified;
+  for (const core::FocusStream* stream : stream_order) {
+    const std::vector<size_t>& items = by_stream.at(stream);
+    const int64_t n = static_cast<int64_t>(items.size());
+    // Fewest launches the batch cap allows, rounded up to whole rounds of
+    // num_gpus so the rounds stay balanced: 21 launches on 10 GPUs would leave
+    // one GPU a third round while nine idle — worse latency than not batching —
+    // whereas 30 launches finish in three even rounds. Capped at n (a launch
+    // needs at least one image); at batch_size = 1 this is exactly one launch
+    // per centroid, the legacy schedule.
+    const int64_t by_amortization =
+        (n + options_.batch_size - 1) / static_cast<int64_t>(options_.batch_size);
+    const int64_t rounds =
+        (by_amortization + options_.num_gpus - 1) / static_cast<int64_t>(options_.num_gpus);
+    const int64_t num_launches =
+        std::min<int64_t>(n, rounds * static_cast<int64_t>(options_.num_gpus));
+    const int64_t base = n / num_launches;
+    const int64_t remainder = n % num_launches;
+    int64_t offset = 0;
+    for (int64_t launch = 0; launch < num_launches; ++launch) {
+      const int64_t count = base + (launch < remainder ? 1 : 0);
+      crops.clear();
+      for (int64_t i = 0; i < count; ++i) {
+        crops.push_back(unique[items[static_cast<size_t>(offset + i)]].centroid);
+      }
+      stream->gt_cnn().ClassifyBatch(crops, /*k=*/1, &classified);
+      const common::GpuMillis cost = stream->gt_cnn().BatchCostMillis(count);
+      const GpuJobTicket ticket = cluster_.Submit(submit, cost);
+      for (int64_t i = 0; i < count; ++i) {
+        const UniqueItem& item = unique[items[static_cast<size_t>(offset + i)]];
+        verdicts[{item.stream, item.cluster_id}] =
+            SharedVerdict{classified[static_cast<size_t>(i)].Top1(), ticket.finish_millis};
+      }
+      ++stats.launches;
+      stats.gpu_millis += cost;
+      offset += count;
+    }
+  }
+
+  // Phase 4 — resolve every plan from the shared verdict table. A request is done
+  // when the last launch carrying one of its verdicts finishes; a request with no
+  // work (empty posting list) finishes at its submission instant.
   std::vector<QueryExecution> executions;
   executions.reserve(requests.size());
-  for (const QueryRequest& request : requests) {
-    executions.push_back(ScheduleAt(request, submit));
+  for (size_t r = 0; r < requests.size(); ++r) {
+    std::vector<common::ClassId> plan_verdicts;
+    plan_verdicts.reserve(plans[r].work.size());
+    common::GpuMillis finish = submit;
+    for (const core::CentroidWorkItem& item : plans[r].work) {
+      const SharedVerdict& verdict = verdicts.at({requests[r].stream, item.cluster_id});
+      plan_verdicts.push_back(verdict.top1);
+      finish = std::max(finish, verdict.finish_millis);
+    }
+    QueryExecution execution;
+    execution.submit_millis = submit;
+    execution.finish_millis = finish;
+    execution.result = requests[r].stream->Resolve(plans[r], plan_verdicts);
+
+    metrics_->IncrementCounter("query.requests");
+    metrics_->IncrementCounter("query.centroids_classified",
+                               execution.result.centroids_classified);
+    metrics_->Observe("query.latency_millis", execution.latency_millis());
+    executions.push_back(std::move(execution));
   }
+  metrics_->IncrementCounter("query.batch_launches", stats.launches);
+  metrics_->IncrementCounter("query.dedup_hits", stats.dedup_hits);
+  metrics_->Observe("query.batch_gpu_millis", stats.gpu_millis);
+
+  last_stats_ = stats;
   return executions;
 }
 
 void QueryService::ResetCluster() { cluster_.Reset(); }
-
-QueryExecution QueryService::ScheduleAt(const QueryRequest& request,
-                                        common::GpuMillis submit_millis) {
-  FOCUS_CHECK(request.stream != nullptr);
-  QueryExecution execution;
-  execution.submit_millis = submit_millis;
-  execution.result = request.stream->Query(request.cls, request.kx, request.range);
-
-  // The query's GPU work is its centroid classifications, each an independent GT-CNN
-  // inference fanned out across the fleet.
-  const common::GpuMillis cost_each = request.stream->gt_cnn().inference_cost_millis();
-  execution.finish_millis = cluster_.SubmitBatch(
-      submit_millis, execution.result.centroids_classified, cost_each);
-
-  metrics_->IncrementCounter("query.requests");
-  metrics_->IncrementCounter("query.centroids_classified",
-                             execution.result.centroids_classified);
-  metrics_->Observe("query.latency_millis", execution.latency_millis());
-  return execution;
-}
 
 }  // namespace focus::runtime

@@ -1,4 +1,5 @@
-// Query-time execution service: wall-clock latency of Focus queries on a GPU fleet.
+// Query-time execution service: a cross-query batch scheduler for GT-CNN work on a
+// GPU fleet.
 //
 // The core QueryEngine reports query cost in GPU-milliseconds of GT-CNN work; this
 // service turns that into the latency a user experiences by scheduling the centroid
@@ -7,6 +8,27 @@
 // idle"). It reproduces the paper's headline translation: 280 GPU-hours of Query-all
 // work versus "with a 10-GPU cluster, the query latency on a 24-hour video goes down
 // from one hour to less than two minutes" for Focus.
+//
+// Execution is the plan/execute pipeline of query_engine.h, with batching as the
+// native mode:
+//   1. every request is Plan()ed (index lookups — free, no GPU work);
+//   2. the plans' centroid work items are pooled and deduplicated: a (stream,
+//      centroid) classification shared by concurrent queries — the same cluster
+//      indexed under several queried classes — is executed once and its verdict
+//      shared;
+//   3. the unique items are packed into GT-CNN launches: parallelism first (at
+//      least one launch per idle GPU while work remains — a query's work fans out
+//      across the fleet), then amortization (launches grow up to
+//      QueryServiceOptions::batch_size images, paying the per-launch overhead once
+//      per batch instead of once per image: cnn::Cnn::BatchCostMillis);
+//   4. each plan is Resolve()d from the shared verdict table; a request finishes
+//      when the last launch carrying one of its verdicts finishes.
+//
+// batch_size = 1 reproduces the per-centroid fan-out of the pre-plan/execute
+// service exactly (one launch per unique centroid, each costing one inference).
+// QueryResult::gpu_millis always accounts the per-centroid cost (the
+// execution-independent figure result consumers compare against Query-all); the
+// launch-amortized cost actually charged to the cluster is in last_stats().
 #ifndef FOCUS_SRC_RUNTIME_QUERY_SERVICE_H_
 #define FOCUS_SRC_RUNTIME_QUERY_SERVICE_H_
 
@@ -38,19 +60,38 @@ struct QueryExecution {
 };
 
 struct QueryServiceOptions {
-  int num_gpus = 10;  // The paper's example cluster size.
+  int num_gpus = 10;   // The paper's example cluster size.
+  // Maximum images per GT-CNN launch. 1 reproduces the legacy per-centroid
+  // scheduling (every classification its own launch at full single-inference
+  // cost); larger values amortize the launch overhead whenever there is more
+  // work than idle GPUs.
+  int batch_size = 32;
+};
+
+// Accounting of one Execute/ExecuteConcurrently admission (see last_stats()).
+struct QueryBatchStats {
+  int64_t requests = 0;
+  int64_t work_items = 0;    // Sum of plan sizes across requests (pre-dedup).
+  int64_t unique_items = 0;  // Centroids actually classified after dedup.
+  int64_t dedup_hits = 0;    // work_items - unique_items.
+  int64_t launches = 0;      // GT-CNN batches submitted to the cluster.
+  // GPU time actually charged to the cluster (launch-amortized). At
+  // batch_size = 1 with no dedup this equals the sum of result gpu_millis.
+  common::GpuMillis gpu_millis = 0.0;
 };
 
 class QueryService {
  public:
   explicit QueryService(QueryServiceOptions options, MetricsRegistry* metrics = nullptr);
 
-  // Runs one query: index lookup (free), then centroid classifications scheduled in
-  // parallel on the cluster starting at the cluster's current frontier.
+  // Runs one query through the batched pipeline: plan (free), batch the centroid
+  // classifications onto the cluster starting at its current frontier, resolve.
   QueryExecution Execute(const QueryRequest& request);
 
-  // Runs a batch of queries submitted simultaneously, sharing the cluster; returns
-  // executions in request order. Models several analysts querying at once.
+  // Runs a batch of queries submitted simultaneously, sharing the cluster AND the
+  // classification work: duplicate (stream, centroid) items across requests are
+  // classified once. Returns executions in request order. Models several analysts
+  // querying at once.
   std::vector<QueryExecution> ExecuteConcurrently(const std::vector<QueryRequest>& requests);
 
   // Resets the shared cluster clock (e.g., between experiments).
@@ -58,12 +99,14 @@ class QueryService {
 
   const GpuCluster& cluster() const { return cluster_; }
 
- private:
-  QueryExecution ScheduleAt(const QueryRequest& request, common::GpuMillis submit_millis);
+  // Accounting of the most recent Execute/ExecuteConcurrently call.
+  const QueryBatchStats& last_stats() const { return last_stats_; }
 
+ private:
   QueryServiceOptions options_;
   MetricsRegistry* metrics_;
   GpuCluster cluster_;
+  QueryBatchStats last_stats_;
 };
 
 }  // namespace focus::runtime

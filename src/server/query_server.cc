@@ -6,10 +6,12 @@
 namespace focus::server {
 
 QueryServer::QueryServer(const core::FocusFleet* fleet, const video::ClassCatalog* catalog,
-                         runtime::MetricsRegistry* metrics)
+                         runtime::MetricsRegistry* metrics,
+                         runtime::QueryServiceOptions service_options)
     : fleet_(fleet),
       catalog_(catalog),
-      metrics_(metrics != nullptr ? metrics : &runtime::GlobalMetrics()) {}
+      metrics_(metrics != nullptr ? metrics : &runtime::GlobalMetrics()),
+      service_options_(service_options) {}
 
 std::string QueryServer::HandleLine(const std::string& line) {
   metrics_->IncrementCounter("server.requests");
@@ -43,18 +45,30 @@ std::string QueryServer::HandleQuery(const Request& request) {
     return ErrResponse(common::ErrorCode::kNotFound,
                        "unknown class " + request.class_name);
   }
-  auto result = fleet_->Query(cls, {request.camera}, request.range, request.kx);
-  if (!result.ok()) {
-    return ErrResponse(result.error().code, result.error().message);
+  const core::FocusStream* stream = fleet_->Find(request.camera);
+  if (stream == nullptr) {
+    return ErrResponse(common::ErrorCode::kNotFound, "unknown camera " + request.camera);
   }
+
+  // Execute through the batched query path (§5): the plan's centroid
+  // classifications are packed into GT-CNN launches on a virtual cluster
+  // instead of running one Top1() per centroid. Results are byte-identical to
+  // the per-centroid path. The service (a virtual clock over num_gpus doubles)
+  // is built per request, so concurrent HandleLine calls share nothing mutable
+  // and identical requests report identical latencies.
+  runtime::QueryService service(service_options_, metrics_);
+  const runtime::QueryExecution execution =
+      service.Execute(runtime::QueryRequest{stream, cls, request.kx, request.range});
   metrics_->IncrementCounter("server.queries");
-  metrics_->Observe("server.query_gpu_millis", result->total_gpu_millis);
+  metrics_->Observe("server.query_gpu_millis", execution.result.gpu_millis);
+  metrics_->Observe("server.query_latency_millis", execution.latency_millis());
 
   // Payload: summary line, then one "RUN first last" per frame run.
-  const core::QueryResult& qr = result->hits[0].result;
+  const core::QueryResult& qr = execution.result;
   std::ostringstream out;
   out << "FRAMES " << qr.frames_returned << " RUNS " << qr.frame_runs.size() << " CENTROIDS "
-      << qr.centroids_classified << " GPU_MS " << qr.gpu_millis;
+      << qr.centroids_classified << " GPU_MS " << qr.gpu_millis << " LATENCY_MS "
+      << execution.latency_millis();
   for (const auto& [first, last] : qr.frame_runs) {
     out << "\nRUN " << first << " " << last;
   }

@@ -2,8 +2,16 @@
 //
 // Transport-agnostic by design — HandleLine(request) -> response string — so the
 // same server backs a REPL, a pipe, or a socket loop. All state it serves (the
-// fleet's indexes and models) is read-only at query time, so concurrent HandleLine
-// calls from a worker pool are safe.
+// fleet's indexes and models) is read-only at query time, so concurrent
+// HandleLine calls from a worker pool are safe and fully parallel.
+//
+// QUERY requests execute through the batched plan/execute path (§5,
+// query_engine.h / query_service.h): the plan's centroid classifications are
+// packed into GT-CNN launches on a virtual GPU cluster instead of running one
+// Top1() per centroid. Each request gets a fresh cluster (built from
+// |service_options|), so identical requests always produce byte-identical
+// responses — the reported LATENCY_MS is the request's wall-clock on an
+// otherwise idle cluster, not a function of whoever queried before it.
 #ifndef FOCUS_SRC_SERVER_QUERY_SERVER_H_
 #define FOCUS_SRC_SERVER_QUERY_SERVER_H_
 
@@ -11,6 +19,7 @@
 
 #include "src/core/fleet.h"
 #include "src/runtime/metrics.h"
+#include "src/runtime/query_service.h"
 #include "src/server/protocol.h"
 #include "src/video/class_catalog.h"
 
@@ -18,9 +27,12 @@ namespace focus::server {
 
 class QueryServer {
  public:
-  // |fleet| and |catalog| must outlive the server; |metrics| may be null (global).
+  // |fleet| and |catalog| must outlive the server; |metrics| may be null
+  // (global). |service_options| configures the per-request virtual GPU cluster
+  // and batching (defaults: 10 GPUs, batch_size 32).
   QueryServer(const core::FocusFleet* fleet, const video::ClassCatalog* catalog,
-              runtime::MetricsRegistry* metrics = nullptr);
+              runtime::MetricsRegistry* metrics = nullptr,
+              runtime::QueryServiceOptions service_options = {});
 
   // Parses and executes one request line; always returns a framed response
   // ("OK ..." or "ERR <code> ...") and never throws.
@@ -38,6 +50,7 @@ class QueryServer {
   const core::FocusFleet* fleet_;
   const video::ClassCatalog* catalog_;
   runtime::MetricsRegistry* metrics_;
+  runtime::QueryServiceOptions service_options_;
 };
 
 }  // namespace focus::server

@@ -2,6 +2,7 @@
 // worker pool, metrics, and the ingest/query services over small streams.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <thread>
@@ -518,8 +519,12 @@ TEST_F(RuntimeServiceTest, QueryServiceLatencyDropsWithMoreGpus) {
   request.stream = &focus;
   request.cls = dominant[0];
 
-  QueryService one_gpu(QueryServiceOptions{.num_gpus = 1});
-  QueryService ten_gpus(QueryServiceOptions{.num_gpus = 10});
+  // batch_size = 1 pins the per-centroid fan-out (one launch per centroid at
+  // full single-inference cost), so the speedup from adding GPUs is pure
+  // parallelism — the seed service's contract. Batched launches trade some of
+  // that scaling for launch amortization; see the batching tests below.
+  QueryService one_gpu(QueryServiceOptions{.num_gpus = 1, .batch_size = 1});
+  QueryService ten_gpus(QueryServiceOptions{.num_gpus = 10, .batch_size = 1});
   QueryExecution on_one = one_gpu.Execute(request);
   QueryExecution on_ten = ten_gpus.Execute(request);
   EXPECT_EQ(on_one.result.centroids_classified, on_ten.result.centroids_classified);
@@ -547,13 +552,124 @@ TEST_F(RuntimeServiceTest, ConcurrentQueriesShareTheCluster) {
   QueryService service(QueryServiceOptions{.num_gpus = 4});
   std::vector<QueryExecution> executions = service.ExecuteConcurrently(batch);
   ASSERT_EQ(executions.size(), batch.size());
-  // All requests were admitted at the same instant; total busy time equals the sum
-  // of per-query work.
+  // All requests were admitted at the same instant and share the cluster. The
+  // time actually charged to the cluster is the launch-amortized batched cost
+  // (last_stats), never more than the logical per-centroid sum — batching and
+  // cross-query dedup only remove work.
   common::GpuMillis total_work = 0;
   for (const QueryExecution& e : executions) {
     total_work += e.result.gpu_millis;
   }
-  EXPECT_NEAR(service.cluster().Stats().total_busy_millis, total_work, 1e-6);
+  const QueryBatchStats& stats = service.last_stats();
+  EXPECT_EQ(stats.requests, static_cast<int64_t>(batch.size()));
+  EXPECT_EQ(stats.unique_items + stats.dedup_hits, stats.work_items);
+  EXPECT_NEAR(service.cluster().Stats().total_busy_millis, stats.gpu_millis, 1e-6);
+  EXPECT_LE(service.cluster().Stats().total_busy_millis, total_work + 1e-6);
+}
+
+TEST_F(RuntimeServiceTest, BatchedExecutionIsResultIdenticalToPerCentroid) {
+  core::FocusOptions focus_options;
+  auto focus_or = core::FocusStream::Build(run_, catalog_, focus_options);
+  ASSERT_TRUE(focus_or.ok()) << focus_or.error().message;
+  const core::FocusStream& focus = **focus_or;
+
+  cnn::SegmentGroundTruth truth(*run_, focus.gt_cnn());
+  std::vector<common::ClassId> dominant = truth.DominantClasses(0.95, 4);
+  ASSERT_FALSE(dominant.empty());
+
+  std::vector<QueryRequest> batch;
+  for (common::ClassId cls : dominant) {
+    batch.push_back(QueryRequest{.stream = &focus, .cls = cls});
+  }
+  // The direct engine query is the per-centroid reference; every batch_size must
+  // reproduce it bit for bit (including the execution-independent gpu_millis).
+  for (int batch_size : {1, 4, 32}) {
+    QueryService service(QueryServiceOptions{.num_gpus = 3, .batch_size = batch_size});
+    std::vector<QueryExecution> executions = service.ExecuteConcurrently(batch);
+    ASSERT_EQ(executions.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const core::QueryResult direct = focus.Query(dominant[i]);
+      EXPECT_EQ(executions[i].result.frame_runs, direct.frame_runs) << batch_size;
+      EXPECT_EQ(executions[i].result.frames_returned, direct.frames_returned);
+      EXPECT_EQ(executions[i].result.clusters_matched, direct.clusters_matched);
+      EXPECT_EQ(executions[i].result.centroids_classified, direct.centroids_classified);
+      EXPECT_DOUBLE_EQ(executions[i].result.gpu_millis, direct.gpu_millis);
+    }
+  }
+}
+
+TEST_F(RuntimeServiceTest, DuplicateConcurrentQueriesClassifyEachCentroidOnce) {
+  core::FocusOptions focus_options;
+  auto focus_or = core::FocusStream::Build(run_, catalog_, focus_options);
+  ASSERT_TRUE(focus_or.ok()) << focus_or.error().message;
+  const core::FocusStream& focus = **focus_or;
+
+  cnn::SegmentGroundTruth truth(*run_, focus.gt_cnn());
+  std::vector<common::ClassId> dominant = truth.DominantClasses(0.95, 1);
+  ASSERT_FALSE(dominant.empty());
+  const core::QueryResult direct = focus.Query(dominant[0]);
+  ASSERT_GT(direct.centroids_classified, 0);
+
+  // Three analysts ask the identical question at once: the shared (stream,
+  // centroid) classifications run once and all three resolve from the shared
+  // verdict table, with identical results.
+  std::vector<QueryRequest> batch(3, QueryRequest{.stream = &focus, .cls = dominant[0]});
+  QueryService service(QueryServiceOptions{.num_gpus = 4});
+  std::vector<QueryExecution> executions = service.ExecuteConcurrently(batch);
+  ASSERT_EQ(executions.size(), batch.size());
+
+  const QueryBatchStats& stats = service.last_stats();
+  EXPECT_EQ(stats.work_items, 3 * direct.centroids_classified);
+  EXPECT_EQ(stats.unique_items, direct.centroids_classified);
+  EXPECT_EQ(stats.dedup_hits, 2 * direct.centroids_classified);
+  for (const QueryExecution& e : executions) {
+    EXPECT_EQ(e.result.frame_runs, direct.frame_runs);
+    // Logical accounting stays per-request even though the GPU work was shared.
+    EXPECT_DOUBLE_EQ(e.result.gpu_millis, direct.gpu_millis);
+  }
+  // The cluster was charged for one query's worth of (batched) work, not three.
+  EXPECT_NEAR(service.cluster().Stats().total_busy_millis, stats.gpu_millis, 1e-6);
+  EXPECT_LT(stats.gpu_millis, 3 * direct.gpu_millis);
+}
+
+TEST_F(RuntimeServiceTest, BatchingReducesGpuTimeWithoutChangingResults) {
+  core::FocusOptions focus_options;
+  auto focus_or = core::FocusStream::Build(run_, catalog_, focus_options);
+  ASSERT_TRUE(focus_or.ok()) << focus_or.error().message;
+  const core::FocusStream& focus = **focus_or;
+
+  cnn::SegmentGroundTruth truth(*run_, focus.gt_cnn());
+  std::vector<common::ClassId> dominant = truth.DominantClasses(0.95, 4);
+  ASSERT_FALSE(dominant.empty());
+
+  std::vector<QueryRequest> batch;
+  for (common::ClassId cls : dominant) {
+    batch.push_back(QueryRequest{.stream = &focus, .cls = cls});
+  }
+
+  QueryService unbatched(QueryServiceOptions{.num_gpus = 2, .batch_size = 1});
+  QueryService batched(QueryServiceOptions{.num_gpus = 2, .batch_size = 32});
+  std::vector<QueryExecution> a = unbatched.ExecuteConcurrently(batch);
+  std::vector<QueryExecution> b = batched.ExecuteConcurrently(batch);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].result.frame_runs, b[i].result.frame_runs);
+  }
+  // Same unique work either way; batching packs it into fewer launches whose
+  // amortized cost is strictly lower once launches carry more than one image.
+  EXPECT_EQ(unbatched.last_stats().unique_items, batched.last_stats().unique_items);
+  if (batched.last_stats().unique_items > 2) {
+    EXPECT_LT(batched.last_stats().launches, unbatched.last_stats().launches);
+    EXPECT_LT(batched.cluster().Stats().total_busy_millis,
+              unbatched.cluster().Stats().total_busy_millis);
+    common::GpuMillis max_a = 0.0;
+    common::GpuMillis max_b = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      max_a = std::max(max_a, a[i].latency_millis());
+      max_b = std::max(max_b, b[i].latency_millis());
+    }
+    EXPECT_LE(max_b, max_a);
+  }
 }
 
 }  // namespace

@@ -239,6 +239,45 @@ TEST(ShardedIngestPipelineTest, SingleShardMatchesSequentialPath) {
   }
 }
 
+TEST(ShardedIngestPipelineTest, CallerSuppliedPoolMatchesPerCallPool) {
+  const SyntheticStream stream = MakeStream(32, 16, 800, 23);
+  const core::ClassifiedSample sample = MakeClassifiedSample(stream, 3);
+
+  core::IngestParams params;
+  params.k = 3;
+  params.cluster_threshold = 0.5;
+
+  core::IngestOptions options;
+  options.cluster_mode = ClustererOptions::Mode::kExact;
+  options.num_shards = 3;
+  options.shard_batch = 64;
+  options.shard_merge_interval = 128;
+
+  // Per-call pool (the default) vs one reusable pool across several runs — a
+  // tuner-style caller re-running configurations. Outputs must be identical;
+  // the pool only changes who executes the shard tasks.
+  const core::IngestResult per_call = core::RunIngestClassifiedSharded(sample, params, options);
+  runtime::WorkerPool pool(static_cast<int>(options.num_shards),
+                           /*queue_capacity=*/static_cast<size_t>(options.num_shards) * 2,
+                           /*pop_batch=*/1);
+  for (int rerun = 0; rerun < 3; ++rerun) {
+    const core::IngestResult reused =
+        core::RunIngestClassifiedSharded(sample, params, options, &pool);
+    EXPECT_EQ(reused.detections, per_call.detections);
+    EXPECT_EQ(reused.num_clusters, per_call.num_clusters);
+    ASSERT_EQ(reused.index.num_clusters(), per_call.index.num_clusters());
+    for (size_t i = 0; i < per_call.index.num_clusters(); ++i) {
+      const index::ClusterEntry& a = per_call.index.clusters()[i];
+      const index::ClusterEntry& b = reused.index.clusters()[i];
+      EXPECT_EQ(b.cluster_id, a.cluster_id);
+      EXPECT_EQ(b.size, a.size);
+      EXPECT_EQ(b.topk_classes, a.topk_classes);
+      EXPECT_EQ(b.topk_ranks, a.topk_ranks);
+    }
+  }
+  pool.Shutdown();
+}
+
 TEST(ShardedIngestPipelineTest, FourShardsConserveIndexedDetections) {
   const SyntheticStream stream = MakeStream(48, 16, 900, 19);
   const core::ClassifiedSample sample = MakeClassifiedSample(stream, 3);
