@@ -110,13 +110,15 @@ struct ConfigResult {
   size_t dim = 0;
   size_t active = 0;
   int64_t assigns = 0;
+  bool unit_norm = true;                 // Near-unit vectors (the CNN-feature case).
   double ref_ns_per_assign = 0.0;
   double simd_ns_per_assign = 0.0;       // Dim-derived head tile (the default).
   double simd64_ns_per_assign = 0.0;     // Fixed 64-dim head tile (pre-PR3 policy).
   size_t head_dim = 0;                   // Width HeadDimFor picked for this dim.
   double speedup = 0.0;                  // scalar / simd (default policy).
   double speedup_head64 = 0.0;           // scalar / simd (fixed-64 policy).
-  double prune_rate = 0.0;
+  double prune_rate = 0.0;               // Norm prune (stage 1); ~0 on unit norms.
+  double head_only_rate = 0.0;           // Resolved by the head tile (stage 2-3).
   bool identical = false;
 };
 
@@ -127,7 +129,7 @@ focus::video::Detection Det(int64_t i) {
   return d;
 }
 
-ConfigResult RunConfig(size_t dim, size_t active, int64_t assigns) {
+ConfigResult RunConfig(size_t dim, size_t active, int64_t assigns, bool unit_norm) {
   constexpr double kThreshold = 0.5;
   constexpr double kNoise = 0.2;
 
@@ -137,22 +139,52 @@ ConfigResult RunConfig(size_t dim, size_t active, int64_t assigns) {
   for (size_t i = 0; i < active; ++i) {
     archetypes.push_back(focus::common::RandomUnitVector(dim, rng));
   }
+  // Non-unit workload: give every archetype its own magnitude, so centroid
+  // norms spread across [0.6, 1.8] and the stage-1 norm prune actually fires
+  // (near-unit CNN features never trigger it — all norms are ~1, so the norm
+  // gap can't exceed T; the head tile is what prunes there). Observations keep
+  // their archetype's magnitude; per-observation noise shrinks with the
+  // magnitude so every observation still lands within T of its cluster.
+  std::vector<double> magnitude(active, 1.0);
+  if (!unit_norm) {
+    for (size_t i = 0; i < active; ++i) {
+      magnitude[i] = rng.NextDouble(0.6, 1.8);
+    }
+  }
+  auto observe = [&](size_t archetype) {
+    FeatureVec f =
+        focus::common::PerturbedUnitVector(archetypes[archetype], kNoise * 0.5, rng);
+    if (!unit_norm) {
+      focus::common::ScaleInPlace(f, magnitude[archetype]);
+    }
+    return f;
+  };
   // Warmup detections (one per archetype, creating the active set), then the
   // measured stream of noisy observations of random archetypes.
   std::vector<FeatureVec> stream;
   stream.reserve(active + static_cast<size_t>(assigns));
-  for (size_t i = 0; i < active; ++i) {
-    stream.push_back(focus::common::PerturbedUnitVector(archetypes[i], kNoise, rng));
-  }
-  for (int64_t i = 0; i < assigns; ++i) {
-    const FeatureVec& arch = archetypes[rng.Next() % active];
-    stream.push_back(focus::common::PerturbedUnitVector(arch, kNoise, rng));
+  if (unit_norm) {
+    for (size_t i = 0; i < active; ++i) {
+      stream.push_back(focus::common::PerturbedUnitVector(archetypes[i], kNoise, rng));
+    }
+    for (int64_t i = 0; i < assigns; ++i) {
+      const FeatureVec& arch = archetypes[rng.Next() % active];
+      stream.push_back(focus::common::PerturbedUnitVector(arch, kNoise, rng));
+    }
+  } else {
+    for (size_t i = 0; i < active; ++i) {
+      stream.push_back(observe(i));
+    }
+    for (int64_t i = 0; i < assigns; ++i) {
+      stream.push_back(observe(rng.Next() % active));
+    }
   }
 
   ConfigResult out;
   out.dim = dim;
   out.active = active;
   out.assigns = assigns;
+  out.unit_norm = unit_norm;
 
   std::vector<int64_t> ref_assignments(stream.size());
   std::vector<int64_t> simd_assignments(stream.size());
@@ -200,6 +232,10 @@ ConfigResult RunConfig(size_t dim, size_t active, int64_t assigns) {
                                   ? static_cast<double>(store.scan_pruned()) /
                                         static_cast<double>(store.scan_candidates())
                                   : 0.0;
+      stats_out->head_only_rate = store.scan_candidates() > 0
+                                      ? static_cast<double>(store.scan_head_only()) /
+                                            static_cast<double>(store.scan_candidates())
+                                      : 0.0;
     }
   };
 
@@ -227,23 +263,32 @@ int main() {
   const size_t actives[] = {256, 4096};
 
   std::printf("cluster-assignment throughput: scalar AoS full scan vs SoA + SIMD scan\n");
-  std::printf("%6s %7s %9s %5s %14s %14s %14s %8s %9s %7s %10s\n", "dim", "active", "assigns",
-              "head", "scalar ns/add", "simd ns/add", "head64 ns/add", "speedup", "spd-h64",
-              "prune", "identical");
+  std::printf("%6s %7s %9s %5s %5s %14s %14s %14s %8s %9s %7s %7s %10s\n", "dim", "active",
+              "assigns", "norm", "head", "scalar ns/add", "simd ns/add", "head64 ns/add",
+              "speedup", "spd-h64", "prune", "head-o", "identical");
 
   std::vector<ConfigResult> results;
   bool all_identical = true;
+  auto run_one = [&](size_t dim, size_t active, bool unit_norm) {
+    ConfigResult r = RunConfig(dim, active, assigns, unit_norm);
+    all_identical = all_identical && r.identical;
+    std::printf(
+        "%6zu %7zu %9lld %5s %5zu %14.0f %14.0f %14.0f %7.2fx %8.2fx %6.1f%% %6.1f%% %10s\n",
+        r.dim, r.active, static_cast<long long>(r.assigns), r.unit_norm ? "unit" : "mix",
+        r.head_dim, r.ref_ns_per_assign, r.simd_ns_per_assign, r.simd64_ns_per_assign,
+        r.speedup, r.speedup_head64, 100.0 * r.prune_rate, 100.0 * r.head_only_rate,
+        r.identical ? "yes" : "NO");
+    results.push_back(r);
+  };
   for (size_t dim : dims) {
     for (size_t active : actives) {
-      ConfigResult r = RunConfig(dim, active, assigns);
-      all_identical = all_identical && r.identical;
-      std::printf("%6zu %7zu %9lld %5zu %14.0f %14.0f %14.0f %7.2fx %8.2fx %6.1f%% %10s\n",
-                  r.dim, r.active, static_cast<long long>(r.assigns), r.head_dim,
-                  r.ref_ns_per_assign, r.simd_ns_per_assign, r.simd64_ns_per_assign, r.speedup,
-                  r.speedup_head64, 100.0 * r.prune_rate, r.identical ? "yes" : "NO");
-      results.push_back(r);
+      run_one(dim, active, /*unit_norm=*/true);
     }
   }
+  // One mixed-magnitude config: the workload where the stage-1 norm prune
+  // carries the scan (near-unit configs report prune_rate ~0 by design — the
+  // head tile is the pruning stage there, visible as head_only_rate).
+  run_one(512, 4096, /*unit_norm=*/false);
 
   FILE* f = std::fopen("BENCH_cluster_assign.json", "w");
   if (f != nullptr) {
@@ -251,14 +296,16 @@ int main() {
     for (size_t i = 0; i < results.size(); ++i) {
       const ConfigResult& r = results[i];
       std::fprintf(f,
-                   "    {\"dim\": %zu, \"active\": %zu, \"assigns\": %lld, \"head_dim\": %zu, "
+                   "    {\"dim\": %zu, \"active\": %zu, \"assigns\": %lld, \"unit_norm\": %s, "
+                   "\"head_dim\": %zu, "
                    "\"scalar_ns_per_assign\": %.1f, \"simd_ns_per_assign\": %.1f, "
                    "\"simd_head64_ns_per_assign\": %.1f, "
                    "\"speedup\": %.3f, \"speedup_head64\": %.3f, \"prune_rate\": %.4f, "
-                   "\"identical\": %s}%s\n",
-                   r.dim, r.active, static_cast<long long>(r.assigns), r.head_dim,
-                   r.ref_ns_per_assign, r.simd_ns_per_assign, r.simd64_ns_per_assign, r.speedup,
-                   r.speedup_head64, r.prune_rate, r.identical ? "true" : "false",
+                   "\"head_only_rate\": %.4f, \"identical\": %s}%s\n",
+                   r.dim, r.active, static_cast<long long>(r.assigns),
+                   r.unit_norm ? "true" : "false", r.head_dim, r.ref_ns_per_assign,
+                   r.simd_ns_per_assign, r.simd64_ns_per_assign, r.speedup, r.speedup_head64,
+                   r.prune_rate, r.head_only_rate, r.identical ? "true" : "false",
                    i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compares fresh BENCH_*.json files against the tracked baselines.
+
+Usage: check_bench_regression.py <fresh_dir> <baseline_dir> [tolerance]
+
+Guardrail rows, matched per config:
+  BENCH_cluster_assign.json  configs[].speedup            (higher is better)
+  BENCH_query_batch.json     scenarios[].gpu_millis       (lower is better)
+  BENCH_sharded_ingest.json  configs[].shards[].speedup   (exact mode only)
+  BENCH_arena_resume.json    resume[].gpu_ratio           (higher is better)
+
+sharded_ingest's fast-mode rows sit at parity by design (the per-object cache
+absorbs the scan the shards would parallelize) and their sub-2us timings swing
+far past any sane tolerance, so only the exact-mode rows — the ones carrying
+the tracked scan-bound speedup claim — are gated.
+
+arena_resume's wall-clock speedup is reported in the JSON but not gated: the
+resume side is a couple of milliseconds, where VM scheduler/writeback jitter
+exceeds the tolerance; gpu_ratio is its deterministic guardrail (virtual
+GPU-ms replay must re-pay vs the checkpoint window's).
+
+Exits non-zero when any guardrail regresses by more than the tolerance
+(default 15%), so the perf trajectory recorded under bench/results/ is
+enforceable: `bench/run_benches.sh --check` after `--target bench`.
+Identical-output flags are also re-checked — a bench whose `identical` went
+false is a correctness regression, not a perf one, and always fails.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+
+
+def rows(doc, section):
+    if not doc:
+        return []
+    if section == "configs+shards":
+        # BENCH_sharded_ingest nests per-shard rows under each workload config;
+        # flatten so (mode, dim, active, num_shards) identifies a guardrail row.
+        flat = []
+        for config in doc.get("configs", []):
+            for shard_row in config.get("shards", []):
+                merged = {k: v for k, v in config.items() if k != "shards"}
+                merged.update(shard_row)
+                flat.append(merged)
+        return flat
+    return doc.get(section, [])
+
+
+def key_of(row, fields):
+    return tuple(row.get(f) for f in fields)
+
+
+def check(name, fresh_rows, base_rows, key_fields, metric, higher_is_better, tol, failures,
+          row_filter=None):
+    base_by_key = {key_of(r, key_fields): r for r in base_rows}
+    for row in fresh_rows:
+        if row_filter is not None and not row_filter(row):
+            continue
+        key = key_of(row, key_fields)
+        # Correctness first, and independent of baseline presence: a fresh row
+        # whose `identical` flag went false must fail even if the config is
+        # new or its key fields changed.
+        if row.get("identical") is False:
+            failures.append(f"{name} {key}: identical=false (correctness regression)")
+            continue
+        base = base_by_key.get(key)
+        if base is None or metric not in base or metric not in row:
+            continue
+        fresh_v, base_v = row[metric], base[metric]
+        if base_v <= 0:
+            continue
+        ratio = fresh_v / base_v
+        regressed = ratio < (1 - tol) if higher_is_better else ratio > (1 + tol)
+        direction = "fell" if higher_is_better else "rose"
+        if regressed:
+            failures.append(
+                f"{name} {key}: {metric} {direction} {base_v:.3f} -> {fresh_v:.3f} "
+                f"({100 * abs(ratio - 1):.1f}% past the {100 * tol:.0f}% guardrail)"
+            )
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    fresh_dir, base_dir = sys.argv[1], sys.argv[2]
+    tol = float(sys.argv[3]) if len(sys.argv) > 3 else 0.15
+
+    failures = []
+    checked = 0
+
+    pairs = [
+        ("BENCH_cluster_assign.json", "configs", ["dim", "active", "unit_norm"], "speedup", True,
+         None),
+        ("BENCH_query_batch.json", "scenarios", ["concurrency", "batch_size", "duplicates"],
+         "gpu_millis", False, None),
+        ("BENCH_sharded_ingest.json", "configs+shards", ["mode", "dim", "active", "num_shards"],
+         "speedup", True, lambda row: row.get("mode") == "exact"),
+        ("BENCH_arena_resume.json", "resume", ["crash_fraction", "num_shards"], "gpu_ratio", True,
+         None),
+    ]
+    for filename, section, key_fields, metric, higher, row_filter in pairs:
+        fresh = load(f"{fresh_dir}/{filename}")
+        base = load(f"{base_dir}/{filename}")
+        if fresh is None:
+            failures.append(f"{filename}: missing from {fresh_dir} (bench did not run?)")
+            continue
+        if base is None:
+            print(f"note: no baseline {filename} in {base_dir}; skipping")
+            continue
+        check(filename, rows(fresh, section), rows(base, section), key_fields, metric, higher,
+              tol, failures, row_filter)
+        checked += 1
+
+    if failures:
+        print(f"FAIL: {len(failures)} guardrail regression(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"OK: {checked} bench file(s) within the {100 * tol:.0f}% guardrail")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,10 @@
 #include <cstring>
 #include <limits>
 
+#include "src/common/logging.h"
 #include "src/common/simd_distance.h"
+#include "src/storage/arena_file.h"
+#include "src/storage/record_log.h"
 
 namespace focus::cluster {
 
@@ -40,9 +43,105 @@ void CentroidStore::Reset() {
   sizes_.clear();
   ids_.clear();
   slot_of_id_.clear();
+  file_ = nullptr;
+  undo_ = nullptr;
+  checkpoint_rows_ = 0;
+  dirty_.clear();
   scan_candidates_ = 0;
   scan_pruned_ = 0;
   scan_head_only_ = 0;
+}
+
+void CentroidStore::BindColumns(size_t rows) {
+  arena_.BindMap(file_->arena(), rows * dim_);
+  head_.BindMap(file_->head(), rows * head_dim_);
+  norms_.BindMap(file_->norms(), rows);
+  sizes_.BindMap(file_->sizes(), rows);
+  ids_.BindMap(file_->ids(), rows);
+}
+
+void CentroidStore::AttachArena(storage::ArenaFile* file, storage::RecordLogWriter* undo) {
+  FOCUS_CHECK(empty() && dim_ == 0);
+  FOCUS_CHECK(file != nullptr);
+  file_ = file;
+  undo_ = undo;
+  checkpoint_rows_ = 0;
+  dirty_.clear();
+  if (!file_->initialized()) {
+    return;  // Shaped at the first Add (FixDim).
+  }
+  // Recovery: adopt the file's shape and committed rows verbatim — including
+  // the stored norms, so recovered scans are bit-identical to the checkpointed
+  // store's — and rebuild the dense id->slot map.
+  dim_ = file_->dim();
+  head_dim_ = file_->head_dim();
+  const size_t rows = static_cast<size_t>(file_->committed_rows());
+  BindColumns(rows);
+  slot_of_id_.clear();
+  for (size_t s = 0; s < rows; ++s) {
+    const int64_t id = ids_[s];
+    FOCUS_CHECK(id >= 0);
+    if (static_cast<size_t>(id) >= slot_of_id_.size()) {
+      slot_of_id_.resize(static_cast<size_t>(id) + 1, kNoSlot);
+    }
+    slot_of_id_[static_cast<size_t>(id)] = static_cast<int32_t>(s);
+  }
+  checkpoint_rows_ = rows;
+  dirty_.assign(rows, false);
+}
+
+common::Result<uint64_t> CentroidStore::CommitCheckpoint() {
+  FOCUS_CHECK(file_ != nullptr);
+  auto committed = file_->Commit(ids_.size());
+  if (!committed.ok()) {
+    return committed;
+  }
+  checkpoint_rows_ = ids_.size();
+  dirty_.assign(checkpoint_rows_, false);
+  return committed;
+}
+
+void CentroidStore::FixDim(size_t dim) {
+  dim_ = dim;
+  head_dim_ = head_override_ > 0 ? std::min(dim, head_override_) : HeadDimFor(dim);
+  if (file_ != nullptr) {
+    auto initialized = file_->Initialize(dim_, head_dim_);
+    FOCUS_CHECK(initialized.ok());
+    BindColumns(0);
+  }
+}
+
+void CentroidStore::EnsureRowCapacity(size_t rows) {
+  if (file_ == nullptr || rows <= file_->capacity_rows()) {
+    return;
+  }
+  auto reserved = file_->Reserve(rows);
+  FOCUS_CHECK(reserved.ok());
+  // The mapping may have moved; refresh every column's base pointer.
+  arena_.Rebind(file_->arena());
+  head_.Rebind(file_->head());
+  norms_.Rebind(file_->norms());
+  sizes_.Rebind(file_->sizes());
+  ids_.Rebind(file_->ids());
+}
+
+void CentroidStore::PrepareRowMutation(size_t row) {
+  if (file_ == nullptr || undo_ == nullptr || row >= checkpoint_rows_ || dirty_[row]) {
+    return;
+  }
+  // Write-ahead: the pre-image must be in the log before the row is touched.
+  // The row may sit beyond the current logical size (a slot freed by Remove
+  // being re-filled); its mapped bytes still hold the checkpointed content.
+  storage::ArenaUndo record;
+  record.kind = storage::ArenaUndo::Kind::kRow;
+  record.row = row;
+  record.id = file_->ids()[row];
+  record.size = file_->sizes()[row];
+  record.norm = file_->norms()[row];
+  record.centroid.assign(file_->arena() + row * dim_, file_->arena() + (row + 1) * dim_);
+  auto appended = undo_->Append(record.Encode());
+  FOCUS_CHECK(appended.ok());
+  dirty_[row] = true;
 }
 
 int32_t CentroidStore::SlotOf(int64_t id) const {
@@ -56,13 +155,14 @@ void CentroidStore::Add(int64_t id, const float* centroid, size_t dim, int64_t s
   assert(id >= 0);
   assert(SlotOf(id) == kNoSlot);
   if (dim_ == 0) {
-    dim_ = dim;
-    head_dim_ = head_override_ > 0 ? std::min(dim, head_override_) : HeadDimFor(dim);
+    FixDim(dim);
   }
   assert(dim == dim_ && dim_ > 0);
   const int32_t slot = static_cast<int32_t>(ids_.size());
-  arena_.insert(arena_.end(), centroid, centroid + dim_);
-  head_.insert(head_.end(), centroid, centroid + head_dim_);
+  EnsureRowCapacity(ids_.size() + 1);
+  PrepareRowMutation(static_cast<size_t>(slot));
+  arena_.append(centroid, dim_);
+  head_.append(centroid, head_dim_);
   norms_.push_back(std::sqrt(common::simd::NormSquared(centroid, dim_)));
   sizes_.push_back(size);
   ids_.push_back(id);
@@ -82,6 +182,7 @@ void CentroidStore::Remove(int64_t id) {
   const size_t s = static_cast<size_t>(slot);
   const size_t last = ids_.size() - 1;
   if (s != last) {
+    PrepareRowMutation(s);
     std::memcpy(arena_.data() + s * dim_, arena_.data() + last * dim_,
                 dim_ * sizeof(float));
     std::memcpy(head_.data() + s * head_dim_, head_.data() + last * head_dim_,
@@ -91,8 +192,8 @@ void CentroidStore::Remove(int64_t id) {
     ids_[s] = ids_[last];
     slot_of_id_[static_cast<size_t>(ids_[s])] = slot;
   }
-  arena_.resize(last * dim_);
-  head_.resize(last * head_dim_);
+  arena_.resize_down(last * dim_);
+  head_.resize_down(last * head_dim_);
   norms_.pop_back();
   sizes_.pop_back();
   ids_.pop_back();
@@ -103,6 +204,7 @@ void CentroidStore::Update(int64_t id, const float* centroid) {
   const int32_t slot = SlotOf(id);
   assert(slot != kNoSlot);
   const size_t s = static_cast<size_t>(slot);
+  PrepareRowMutation(s);
   std::memcpy(arena_.data() + s * dim_, centroid, dim_ * sizeof(float));
   std::memcpy(head_.data() + s * head_dim_, centroid, head_dim_ * sizeof(float));
   norms_[s] = std::sqrt(common::simd::NormSquared(centroid, dim_));
@@ -111,6 +213,7 @@ void CentroidStore::Update(int64_t id, const float* centroid) {
 void CentroidStore::SetSize(int64_t id, int64_t size) {
   const int32_t slot = SlotOf(id);
   assert(slot != kNoSlot);
+  PrepareRowMutation(static_cast<size_t>(slot));
   sizes_[static_cast<size_t>(slot)] = size;
 }
 

@@ -30,22 +30,100 @@
 // breaks distance ties toward the smallest cluster id, which — because ids are
 // assigned monotonically and every cluster enters the active set exactly once —
 // reproduces the seed's first-seen-in-insertion-order tie semantics exactly.
+//
+// Backing is pluggable: by default every column lives on the heap
+// (std::vector), but AttachArena() rebinds the five columns onto the mapped
+// sections of a storage::ArenaFile, so the working set survives a crash and
+// arenas larger than RAM page instead of OOM. The staged scan is unchanged —
+// it walks the same contiguous base pointers either way; only the mutation
+// paths differ (mapped appends reserve file capacity first, and overwrites of
+// rows inside the last checkpoint log a write-ahead undo pre-image so recovery
+// can restore the checkpoint exactly — see src/storage/arena_file.h).
 #ifndef FOCUS_SRC_CLUSTER_CENTROID_STORE_H_
 #define FOCUS_SRC_CLUSTER_CENTROID_STORE_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "src/common/result.h"
+
+namespace focus::storage {
+class ArenaFile;
+class RecordLogWriter;
+}  // namespace focus::storage
+
 namespace focus::cluster {
+
+namespace detail {
+
+// One store column: a resizable typed array on the heap, or a view over a
+// mapped ArenaFile section whose capacity the store manages explicitly. Hot
+// readers go through data()/operator[] — a single indirection either way.
+template <typename T>
+class ArenaColumn {
+ public:
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* data() { return mapped_ ? map_ : heap_.data(); }
+  const T* data() const { return mapped_ ? map_ : heap_.data(); }
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  void append(const T* src, size_t n) {
+    if (mapped_) {
+      std::memcpy(map_ + size_, src, n * sizeof(T));
+    } else {
+      heap_.insert(heap_.end(), src, src + n);
+    }
+    size_ += n;
+  }
+  void push_back(const T& v) { append(&v, 1); }
+  void resize_down(size_t n) {
+    if (!mapped_) {
+      heap_.resize(n);
+    }
+    size_ = n;
+  }
+  void pop_back() { resize_down(size_ - 1); }
+  void clear() {
+    heap_.clear();
+    mapped_ = false;
+    map_ = nullptr;
+    size_ = 0;
+  }
+
+  // Mapped binding: |base| points into the ArenaFile section; the store
+  // guarantees capacity via ArenaFile::Reserve before every append.
+  void BindMap(T* base, size_t size) {
+    heap_.clear();
+    mapped_ = true;
+    map_ = base;
+    size_ = size;
+  }
+  // Refreshes the base pointer after a Reserve remapped the file.
+  void Rebind(T* base) { map_ = base; }
+
+ private:
+  std::vector<T> heap_;
+  T* map_ = nullptr;
+  bool mapped_ = false;
+  size_t size_ = 0;
+};
+
+}  // namespace detail
 
 class CentroidStore {
  public:
   CentroidStore() = default;
 
-  // Drops all centroids but keeps the allocated arenas, so a store reused
-  // across a tuner grid sweep stops paying allocation/fault cost after the
-  // first run. The head-dim override (SetHeadDim) survives the reset.
+  // Drops all centroids and detaches any file backing (heap mode again), but
+  // keeps heap arena allocations, so a store reused across a tuner grid sweep
+  // stops paying allocation/fault cost after the first run. The head-dim
+  // override (SetHeadDim) survives the reset.
   void Reset();
 
   // Head-tile width used for vectors of dimensionality |dim|: a quarter of the
@@ -60,8 +138,31 @@ class CentroidStore {
   // Overrides the head-tile width chosen at the next first-Add (0 restores the
   // HeadDimFor default). Only meaningful while the store is empty/dimensionless;
   // exists for benchmarking head-tile policies against each other — pruning is
-  // exact at any width, so this changes cost, never assignments.
+  // exact at any width, so this changes cost, never assignments. A recovered
+  // arena's persisted head width takes precedence.
   void SetHeadDim(size_t head_dim) { head_override_ = head_dim; }
+
+  // --- Persistent backing (src/storage/arena_file.h) ---
+
+  // Rebinds the columns onto |file|'s mapped sections. Must be called while
+  // the store is empty. An uninitialized file is shaped at the first Add; an
+  // initialized one (recovery) is adopted as-is: dim/head_dim/rows/norms come
+  // from the file (the caller must have rolled it back to a consistent
+  // checkpoint first) and the id->slot map is rebuilt. |undo| (optional)
+  // receives a write-ahead pre-image of every row inside the last checkpoint
+  // before it is first overwritten, which is what makes recovery exact; null
+  // degrades to checkpoint-only durability. Both outlive the store or its
+  // next Reset/AttachArena.
+  void AttachArena(storage::ArenaFile* file, storage::RecordLogWriter* undo);
+
+  // Publishes the current rows as the new durable checkpoint (msync + header
+  // commit) and opens a fresh undo window. Returns the new generation.
+  common::Result<uint64_t> CommitCheckpoint();
+
+  // Swaps the undo writer after the caller rotated (truncated) the log.
+  void SetUndoWriter(storage::RecordLogWriter* undo) { undo_ = undo; }
+
+  bool file_backed() const { return file_ != nullptr; }
 
   // Number of active centroids.
   size_t size() const { return ids_.size(); }
@@ -98,11 +199,11 @@ class CentroidStore {
                       float* out_dist_sq) const;
 
   // Active cluster ids, in slot order (arbitrary).
-  const std::vector<int64_t>& ids() const { return ids_; }
+  const detail::ArenaColumn<int64_t>& ids() const { return ids_; }
   // Cached (non-squared) norms, parallel to ids().
-  const std::vector<float>& norms() const { return norms_; }
+  const detail::ArenaColumn<float>& norms() const { return norms_; }
   // Cached member counts, parallel to ids().
-  const std::vector<int64_t>& sizes() const { return sizes_; }
+  const detail::ArenaColumn<int64_t>& sizes() const { return sizes_; }
 
   // Scan statistics since construction/Reset: candidates considered by
   // FindNearest, how many the norm prune skipped, and how many were resolved by
@@ -122,18 +223,32 @@ class CentroidStore {
   // early exit at |bound|.
   float ResumeDistance(const float* query, size_t slot, float head_partial,
                        float bound) const;
+  // Fixes dim_/head_dim_ at the first Add (shaping the arena file if bound).
+  void FixDim(size_t dim);
+  // Mapped mode: ensures file capacity for |rows| rows, rebinding the columns
+  // when the mapping moved.
+  void EnsureRowCapacity(size_t rows);
+  // Mapped mode with an undo writer: logs the pre-image of |row| before its
+  // first overwrite inside the current checkpoint window.
+  void PrepareRowMutation(size_t row);
+  void BindColumns(size_t rows);
 
   static constexpr int32_t kNoSlot = -1;
 
   size_t dim_ = 0;
   size_t head_dim_ = 0;          // HeadDimFor(dim_), or the override.
   size_t head_override_ = 0;     // 0 = derive from dim (HeadDimFor).
-  std::vector<float> arena_;     // size() rows of dim() floats.
-  std::vector<float> head_;      // size() rows of head_dim_ floats (dense tile).
-  std::vector<float> norms_;     // ||centroid||, parallel to ids_.
-  std::vector<int64_t> sizes_;   // Member counts, parallel to ids_.
-  std::vector<int64_t> ids_;     // Cluster id per slot.
+  detail::ArenaColumn<float> arena_;     // size() rows of dim() floats.
+  detail::ArenaColumn<float> head_;      // size() rows of head_dim_ floats (dense tile).
+  detail::ArenaColumn<float> norms_;     // ||centroid||, parallel to ids_.
+  detail::ArenaColumn<int64_t> sizes_;   // Member counts, parallel to ids_.
+  detail::ArenaColumn<int64_t> ids_;     // Cluster id per slot.
   std::vector<int32_t> slot_of_id_;  // Cluster id -> slot (ids are dense).
+
+  storage::ArenaFile* file_ = nullptr;          // Mapped backing (optional).
+  storage::RecordLogWriter* undo_ = nullptr;    // Write-ahead pre-image log.
+  size_t checkpoint_rows_ = 0;   // Rows covered by the last durable checkpoint.
+  std::vector<bool> dirty_;      // Per checkpointed row: pre-image already logged.
 
   mutable std::vector<float> head_dist_;  // FindNearest per-slot head partials.
   mutable int64_t scan_candidates_ = 0;

@@ -1,0 +1,61 @@
+#include "src/cluster/cluster_codec.h"
+
+namespace focus::cluster {
+
+void EncodeFeatureVec(storage::Encoder& enc, const common::FeatureVec& v) {
+  enc.PutVarint(v.size());
+  for (float x : v) {
+    enc.PutFloat(x);
+  }
+}
+
+bool DecodeFeatureVec(storage::Decoder& dec, common::FeatureVec* v) {
+  uint64_t n = 0;
+  // Divide instead of multiplying: n * sizeof(float) can wrap for a corrupt
+  // length, and the guard exists precisely to reject those before resize.
+  if (!dec.GetVarint(&n) || n > dec.remaining() / sizeof(float)) {
+    return false;
+  }
+  v->resize(static_cast<size_t>(n));
+  for (float& x : *v) {
+    if (!dec.GetFloat(&x)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EncodeDetection(storage::Encoder& enc, const video::Detection& d) {
+  enc.PutSignedVarint(d.frame);
+  enc.PutSignedVarint(d.object_id);
+  enc.PutFloat(d.bbox.x);
+  enc.PutFloat(d.bbox.y);
+  enc.PutFloat(d.bbox.w);
+  enc.PutFloat(d.bbox.h);
+  enc.PutU8(d.pixel_diff_suppressed ? 1 : 0);
+  enc.PutU8(d.first_observation ? 1 : 0);
+  enc.PutSignedVarint(d.true_class);
+  EncodeFeatureVec(enc, d.appearance);
+}
+
+bool DecodeDetection(storage::Decoder& dec, video::Detection* d) {
+  int64_t frame = 0;
+  int64_t object = 0;
+  uint8_t suppressed = 0;
+  uint8_t first = 0;
+  int64_t true_class = 0;
+  if (!dec.GetSignedVarint(&frame) || !dec.GetSignedVarint(&object) ||
+      !dec.GetFloat(&d->bbox.x) || !dec.GetFloat(&d->bbox.y) || !dec.GetFloat(&d->bbox.w) ||
+      !dec.GetFloat(&d->bbox.h) || !dec.GetU8(&suppressed) || !dec.GetU8(&first) ||
+      !dec.GetSignedVarint(&true_class) || !DecodeFeatureVec(dec, &d->appearance)) {
+    return false;
+  }
+  d->frame = frame;
+  d->object_id = object;
+  d->pixel_diff_suppressed = suppressed != 0;
+  d->first_observation = first != 0;
+  d->true_class = static_cast<common::ClassId>(true_class);
+  return true;
+}
+
+}  // namespace focus::cluster

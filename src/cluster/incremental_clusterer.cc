@@ -1,14 +1,25 @@
 #include "src/cluster/incremental_clusterer.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <functional>
 #include <limits>
+#include <utility>
 
+#include "src/cluster/cluster_codec.h"
+#include "src/common/logging.h"
 #include "src/common/simd_distance.h"
+#include "src/storage/arena_file.h"
+#include "src/storage/record_log.h"
+#include "src/storage/serializer.h"
+#include "src/storage/snapshot_store.h"
 
 namespace focus::cluster {
 
 namespace {
+
+// Version tag of the <stem>.meta checkpoint snapshot.
+constexpr uint32_t kMetaVersion = 1;
 
 // How many trailing member runs to scan when extending an object's frame run.
 constexpr size_t kRunMergeScan = 8;
@@ -39,7 +50,12 @@ IncrementalClusterer::IncrementalClusterer(ClustererOptions options) : options_(
   store_.SetHeadDim(options_.head_dim);
 }
 
+IncrementalClusterer::~IncrementalClusterer() = default;
+
 void IncrementalClusterer::Reset(ClustererOptions options) {
+  // A persistent clusterer must not be recycled: its checkpoint files would
+  // keep describing the dropped state.
+  FOCUS_CHECK(arena_file_ == nullptr);
   options_ = options;
   clusters_.clear();
   store_.Reset();
@@ -198,6 +214,324 @@ int64_t IncrementalClusterer::Add(const video::Detection& detection,
   int64_t id = CreateCluster(detection, feature);
   last_cluster_of_object_[detection.object_id] = id;
   return id;
+}
+
+std::string IncrementalClusterer::EncodeBookkeeping() const {
+  storage::Encoder enc;
+  // Options echo, validated on restore: recovering under different clustering
+  // parameters would silently change semantics mid-stream.
+  enc.PutDouble(options_.threshold);
+  enc.PutVarint(options_.max_active);
+  enc.PutU8(options_.mode == ClustererOptions::Mode::kFast ? 1 : 0);
+  enc.PutVarint(options_.lru_probes);
+  enc.PutVarint(options_.head_dim);
+
+  // Cluster table. Ids are the table index; active centroids live in the
+  // arena, so only retired clusters carry their centroid here (needed by the
+  // sharded finalize, which folds centroids of clusters retired after a merge).
+  enc.PutVarint(clusters_.size());
+  for (const Cluster& c : clusters_) {
+    enc.PutU8(c.active ? 1 : 0);
+    enc.PutSignedVarint(c.size);
+    EncodeDetection(enc, c.representative);
+    enc.PutVarint(c.members.size());
+    for (const MemberRun& run : c.members) {
+      enc.PutSignedVarint(run.object);
+      enc.PutSignedVarint(run.first_frame);
+      enc.PutSignedVarint(run.last_frame);
+    }
+    if (!c.active) {
+      EncodeFeatureVec(enc, c.centroid);
+    }
+  }
+
+  enc.PutVarint(last_cluster_of_object_.size());
+  for (const auto& [object, cluster] : last_cluster_of_object_) {
+    enc.PutSignedVarint(object);
+    enc.PutSignedVarint(cluster);
+  }
+  enc.PutVarint(lru_.size());
+  for (int64_t id : lru_) {
+    enc.PutSignedVarint(id);
+  }
+  enc.PutSignedVarint(total_assignments_);
+  enc.PutSignedVarint(fast_hits_);
+  enc.PutSignedVarint(fast_lookups_);
+  return enc.TakeBytes();
+}
+
+common::Result<bool> IncrementalClusterer::DecodeBookkeeping(std::string_view bookkeeping) {
+  storage::Decoder dec(bookkeeping);
+  auto corrupt = [] { return common::Error{common::ErrorCode::kIo, "clusterer meta corrupt"}; };
+
+  double threshold = 0.0;
+  uint64_t max_active = 0;
+  uint8_t mode = 0;
+  uint64_t lru_probes = 0;
+  uint64_t head_dim = 0;
+  if (!dec.GetDouble(&threshold) || !dec.GetVarint(&max_active) || !dec.GetU8(&mode) ||
+      !dec.GetVarint(&lru_probes) || !dec.GetVarint(&head_dim)) {
+    return corrupt();
+  }
+  const bool fast = options_.mode == ClustererOptions::Mode::kFast;
+  if (threshold != options_.threshold || max_active != options_.max_active ||
+      (mode != 0) != fast || lru_probes != options_.lru_probes ||
+      head_dim != options_.head_dim) {
+    return common::FailedPrecondition(
+        "clusterer options do not match the checkpointed run");
+  }
+
+  uint64_t num_clusters = 0;
+  if (!dec.GetVarint(&num_clusters) || num_clusters > dec.remaining()) {
+    return corrupt();
+  }
+  clusters_.clear();
+  clusters_.reserve(static_cast<size_t>(num_clusters));
+  for (uint64_t i = 0; i < num_clusters; ++i) {
+    Cluster c;
+    c.id = static_cast<int64_t>(i);
+    uint8_t active = 0;
+    uint64_t num_runs = 0;
+    if (!dec.GetU8(&active) || !dec.GetSignedVarint(&c.size) ||
+        !DecodeDetection(dec, &c.representative) || !dec.GetVarint(&num_runs) ||
+        num_runs > dec.remaining()) {
+      return corrupt();
+    }
+    c.active = active != 0;
+    c.members.reserve(static_cast<size_t>(num_runs));
+    for (uint64_t r = 0; r < num_runs; ++r) {
+      MemberRun run;
+      if (!dec.GetSignedVarint(&run.object) || !dec.GetSignedVarint(&run.first_frame) ||
+          !dec.GetSignedVarint(&run.last_frame)) {
+        return corrupt();
+      }
+      c.members.push_back(run);
+    }
+    if (c.active) {
+      // The live centroid is the arena row recovered into the store.
+      const float* row = store_.CentroidOf(c.id);
+      if (row == nullptr) {
+        return corrupt();
+      }
+      c.centroid.assign(row, row + store_.dim());
+    } else if (!DecodeFeatureVec(dec, &c.centroid)) {
+      return corrupt();
+    }
+    clusters_.push_back(std::move(c));
+  }
+  size_t active_count = 0;
+  for (const Cluster& c : clusters_) {
+    if (c.active) {
+      ++active_count;
+    }
+  }
+  if (active_count != store_.size()) {
+    return corrupt();
+  }
+
+  uint64_t num_objects = 0;
+  if (!dec.GetVarint(&num_objects) || num_objects > dec.remaining()) {
+    return corrupt();
+  }
+  last_cluster_of_object_.clear();
+  last_cluster_of_object_.reserve(static_cast<size_t>(num_objects));
+  for (uint64_t i = 0; i < num_objects; ++i) {
+    int64_t object = 0;
+    int64_t cluster = 0;
+    if (!dec.GetSignedVarint(&object) || !dec.GetSignedVarint(&cluster)) {
+      return corrupt();
+    }
+    last_cluster_of_object_.emplace(object, cluster);
+  }
+  uint64_t lru_len = 0;
+  if (!dec.GetVarint(&lru_len) || lru_len > dec.remaining()) {
+    return corrupt();
+  }
+  lru_.clear();
+  for (uint64_t i = 0; i < lru_len; ++i) {
+    int64_t id = 0;
+    if (!dec.GetSignedVarint(&id)) {
+      return corrupt();
+    }
+    lru_.push_back(id);
+  }
+  if (!dec.GetSignedVarint(&total_assignments_) || !dec.GetSignedVarint(&fast_hits_) ||
+      !dec.GetSignedVarint(&fast_lookups_) || !dec.Done()) {
+    return corrupt();
+  }
+
+  // Rebuild the retire heap from current sizes. The lazy heap's selection is
+  // always the minimum over *current* (size, id) of active clusters — stale
+  // entries re-key on pop — so a freshly keyed heap retires the same clusters
+  // in the same order as the checkpointed one.
+  retire_heap_.clear();
+  for (const Cluster& c : clusters_) {
+    if (c.active) {
+      retire_heap_.emplace_back(c.size, c.id);
+    }
+  }
+  std::make_heap(retire_heap_.begin(), retire_heap_.end(), std::greater<>());
+  return true;
+}
+
+common::Result<bool> IncrementalClusterer::AttachPersistence(
+    std::unique_ptr<storage::ArenaFile> arena, const std::string& undo_path) {
+  FOCUS_CHECK(clusters_.empty() && store_.empty() && arena_file_ == nullptr);
+  auto writer = storage::RecordLogWriter::Open(undo_path, /*truncate=*/true);
+  if (!writer.ok()) {
+    return writer.error();
+  }
+  arena_file_ = std::move(arena);
+  undo_path_ = undo_path;
+  undo_writer_ =
+      std::make_unique<storage::RecordLogWriter>(std::move(writer).value());
+  store_.AttachArena(arena_file_.get(), undo_writer_.get());
+  return true;
+}
+
+common::Result<bool> IncrementalClusterer::RestorePersistent(
+    std::unique_ptr<storage::ArenaFile> arena, const std::string& undo_path,
+    std::string_view bookkeeping) {
+  FOCUS_CHECK(clusters_.empty() && store_.empty() && arena_file_ == nullptr);
+  // Append mode: the old window's records stay until the caller's re-seal
+  // checkpoint rotates the log; no mutation happens in between.
+  auto writer = storage::RecordLogWriter::Open(undo_path, /*truncate=*/false);
+  if (!writer.ok()) {
+    return writer.error();
+  }
+  arena_file_ = std::move(arena);
+  undo_path_ = undo_path;
+  undo_writer_ =
+      std::make_unique<storage::RecordLogWriter>(std::move(writer).value());
+  store_.AttachArena(arena_file_.get(), undo_writer_.get());
+  return DecodeBookkeeping(bookkeeping);
+}
+
+common::Result<uint64_t> IncrementalClusterer::CommitArena() {
+  FOCUS_CHECK(arena_file_ != nullptr);
+  if (!arena_file_->initialized()) {
+    // No detection has fixed the arena shape yet (a checkpoint before the
+    // first Add): generation 0 denotes the empty state.
+    return uint64_t{0};
+  }
+  return store_.CommitCheckpoint();
+}
+
+common::Result<bool> IncrementalClusterer::RotateUndoLog(uint64_t generation) {
+  FOCUS_CHECK(arena_file_ != nullptr);
+  auto writer = storage::RecordLogWriter::Open(undo_path_, /*truncate=*/true);
+  if (!writer.ok()) {
+    return writer.error();
+  }
+  undo_writer_ =
+      std::make_unique<storage::RecordLogWriter>(std::move(writer).value());
+  storage::ArenaUndo marker;
+  marker.kind = storage::ArenaUndo::Kind::kMarker;
+  marker.generation = generation;
+  marker.rows = arena_file_->initialized() ? arena_file_->committed_rows() : 0;
+  if (auto appended = undo_writer_->Append(marker.Encode()); !appended.ok()) {
+    return appended.error();
+  }
+  store_.SetUndoWriter(undo_writer_.get());
+  return true;
+}
+
+common::Result<ClustererRecovery> IncrementalClusterer::OpenOrRecover(
+    const std::string& dir, const std::string& stem) {
+  FOCUS_CHECK(clusters_.empty() && store_.empty() && arena_file_ == nullptr);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return common::Error{common::ErrorCode::kIo,
+                         "create persist dir: " + dir + ": " + ec.message()};
+  }
+  const std::string arena_path = dir + "/" + stem + ".arena";
+  const std::string undo_path = dir + "/" + stem + ".undo";
+  meta_path_ = dir + "/" + stem + ".meta";
+
+  if (!storage::FileExists(meta_path_)) {
+    // No committed checkpoint: fresh persistent state. Stale arena/undo files
+    // from a run that crashed before its first checkpoint are dropped.
+    std::filesystem::remove(arena_path, ec);
+    std::filesystem::remove(undo_path, ec);
+    auto arena = storage::ArenaFile::Open(arena_path);
+    if (!arena.ok()) {
+      return arena.error();
+    }
+    if (auto attached = AttachPersistence(std::move(arena).value(), undo_path);
+        !attached.ok()) {
+      return attached.error();
+    }
+    return ClustererRecovery{};
+  }
+
+  auto blob = storage::ReadFile(meta_path_);
+  if (!blob.ok()) {
+    return blob.error();
+  }
+  storage::Decoder dec(*blob);
+  uint32_t version = 0;
+  uint64_t generation = 0;
+  int64_t position = 0;
+  std::string user_state;
+  std::string bookkeeping;
+  size_t payload_end = 0;
+  uint32_t crc = 0;
+  if (!dec.GetU32(&version) || version != kMetaVersion || !dec.GetU64(&generation) ||
+      !dec.GetSignedVarint(&position) || !dec.GetString(&user_state) ||
+      !dec.GetString(&bookkeeping) || (payload_end = dec.offset(), !dec.GetU32(&crc)) ||
+      storage::Crc32(std::string_view(blob->data(), payload_end)) != crc) {
+    return common::Error{common::ErrorCode::kIo, "clusterer meta corrupt: " + meta_path_};
+  }
+
+  bool needs_reseal = false;
+  auto arena = storage::OpenArenaAtCheckpoint(arena_path, undo_path, generation, &needs_reseal);
+  if (!arena.ok()) {
+    return arena.error();
+  }
+  if (auto restored = RestorePersistent(std::move(arena).value(), undo_path, bookkeeping);
+      !restored.ok()) {
+    return restored.error();
+  }
+  // Re-seal when anything was undone: after a rollback the arena header may
+  // sit a generation ahead of the adopted state, so a fresh checkpoint makes
+  // header, meta, and undo window mutually consistent again before any
+  // mutation. A clean recovery (header at the meta's generation, empty undo
+  // window) skips this — the on-disk state already is the checkpoint, which
+  // keeps rolling restarts O(read + page-in).
+  if (needs_reseal) {
+    if (auto sealed = Checkpoint(position, user_state); !sealed.ok()) {
+      return sealed.error();
+    }
+  }
+  ClustererRecovery out;
+  out.recovered = true;
+  out.position = position;
+  out.user_state = std::move(user_state);
+  return out;
+}
+
+common::Result<bool> IncrementalClusterer::Checkpoint(int64_t position,
+                                                      std::string_view user_state) {
+  FOCUS_CHECK(arena_file_ != nullptr);
+  auto generation = CommitArena();
+  if (!generation.ok()) {
+    return generation.error();
+  }
+  storage::Encoder enc;
+  enc.PutU32(kMetaVersion);
+  enc.PutU64(*generation);
+  enc.PutSignedVarint(position);
+  enc.PutString(user_state);
+  enc.PutString(EncodeBookkeeping());
+  const uint32_t crc = storage::Crc32(enc.bytes());
+  enc.PutU32(crc);
+  // The atomic rename of the meta snapshot is the commit point of the whole
+  // checkpoint: a crash on either side recovers to a consistent generation.
+  if (auto wrote = storage::WriteFileAtomic(meta_path_, enc.bytes()); !wrote.ok()) {
+    return wrote;
+  }
+  return RotateUndoLog(*generation);
 }
 
 int64_t IncrementalClusterer::AddSuppressed(const video::Detection& detection,

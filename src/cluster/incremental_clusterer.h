@@ -27,14 +27,23 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/cluster/centroid_store.h"
 #include "src/common/feature_vector.h"
+#include "src/common/result.h"
 #include "src/common/time_types.h"
 #include "src/video/detection.h"
+
+namespace focus::storage {
+class ArenaFile;
+class RecordLogWriter;
+}  // namespace focus::storage
 
 namespace focus::cluster {
 
@@ -77,16 +86,78 @@ struct ClustererOptions {
   size_t head_dim = 0;
 };
 
+// Outcome of OpenOrRecover: whether a prior checkpoint was adopted, and the
+// caller cursor + opaque caller blob that checkpoint carried.
+struct ClustererRecovery {
+  bool recovered = false;
+  int64_t position = 0;
+  std::string user_state;
+};
+
 class IncrementalClusterer {
  public:
   explicit IncrementalClusterer(ClustererOptions options = {});
+  ~IncrementalClusterer();
+
+  IncrementalClusterer(const IncrementalClusterer&) = delete;
+  IncrementalClusterer& operator=(const IncrementalClusterer&) = delete;
 
   // Drops all clusters and statistics and adopts |options|, keeping the
   // centroid-store arenas and the outer containers' capacity (per-cluster
   // inner allocations — centroids, member runs — are freed with the clusters).
   // A clusterer reused across a tuner grid sweep (one run per threshold)
-  // avoids re-paying the arena growth on every run.
+  // avoids re-paying the arena growth on every run. Not available on a
+  // persistent clusterer (the checkpoint files would silently go stale).
   void Reset(ClustererOptions options);
+
+  // --- Persistence (see docs/persistence.md) ---
+  //
+  // State lives in three files under |dir|: <stem>.arena (the mmap'd centroid
+  // working set, mutated in place), <stem>.undo (write-ahead pre-images of
+  // checkpointed arena rows, rotated at every checkpoint), and <stem>.meta
+  // (everything else — cluster table, member runs, fast-path maps, counters —
+  // snapshotted atomically at each checkpoint; its atomic rename is the commit
+  // point). Recovery restores the exact state of the newest committed
+  // checkpoint: subsequent assignments are byte-identical to a clusterer that
+  // processed the same prefix without the crash.
+
+  // Attaches persistent backing under |dir| (created if needed), recovering
+  // the newest checkpoint when one exists. Must be called on an empty
+  // clusterer whose options match the checkpointed run's.
+  common::Result<ClustererRecovery> OpenOrRecover(const std::string& dir,
+                                                  const std::string& stem);
+
+  // Durably publishes the current state together with an opaque caller cursor
+  // (e.g. the next frame index to ingest) and caller blob. The arena side is
+  // O(dirty working set) (msync + header); the bookkeeping snapshot re-encodes
+  // the full cluster table, so its cost grows with accumulated member runs —
+  // delta-encoding the bookkeeping through the existing RecordLogWriter is
+  // the recorded follow-up for multi-hour retention windows.
+  common::Result<bool> Checkpoint(int64_t position, std::string_view user_state = {});
+
+  bool persistent() const { return arena_file_ != nullptr; }
+
+  // Building blocks for a coordinator (ShardedClusterer) that checkpoints
+  // several clusterers under one atomic meta file. Standalone users call
+  // OpenOrRecover/Checkpoint instead.
+  //
+  // Binds a fresh (possibly uninitialized) arena + undo log; store must be empty.
+  common::Result<bool> AttachPersistence(std::unique_ptr<storage::ArenaFile> arena,
+                                         const std::string& undo_path);
+  // Adopts an arena already rolled back to a consistent checkpoint, plus the
+  // bookkeeping blob snapshotted at that same checkpoint.
+  common::Result<bool> RestorePersistent(std::unique_ptr<storage::ArenaFile> arena,
+                                         const std::string& undo_path,
+                                         std::string_view bookkeeping);
+  // Checkpoint step 1: msync + commit the arena header. Returns the generation.
+  common::Result<uint64_t> CommitArena();
+  // Checkpoint step 3 (after the coordinator's meta commit): truncate the undo
+  // log and open the new window with a marker for |generation|.
+  common::Result<bool> RotateUndoLog(uint64_t generation);
+  // Bookkeeping beyond the arena: cluster table (centroids only for retired
+  // clusters — active ones live in the arena), member runs, fast-path maps,
+  // counters, and an options echo validated on restore.
+  std::string EncodeBookkeeping() const;
 
   // Assigns |detection| (with ingest-CNN feature |feature|) to a cluster and returns
   // the cluster id.
@@ -122,6 +193,7 @@ class IncrementalClusterer {
   // Squared distance from |feature| to the active centroid of |id| with early
   // exit at |bound|; > bound when the cluster is not active.
   float ActiveDistance(int64_t id, const common::FeatureVec& feature, float bound) const;
+  common::Result<bool> DecodeBookkeeping(std::string_view bookkeeping);
 
   ClustererOptions options_;
   std::vector<Cluster> clusters_;
@@ -136,6 +208,14 @@ class IncrementalClusterer {
   int64_t total_assignments_ = 0;
   int64_t fast_hits_ = 0;
   int64_t fast_lookups_ = 0;
+
+  // Persistent backing (null when volatile). The store holds raw pointers to
+  // both but never dereferences them in its destructor, so teardown order is
+  // immaterial.
+  std::unique_ptr<storage::ArenaFile> arena_file_;
+  std::unique_ptr<storage::RecordLogWriter> undo_writer_;
+  std::string undo_path_;
+  std::string meta_path_;
 };
 
 }  // namespace focus::cluster

@@ -1,14 +1,27 @@
 #include "src/cluster/sharded_clusterer.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <unordered_map>
 #include <utility>
 
+#include "src/cluster/cluster_codec.h"
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/runtime/worker_pool.h"
+#include "src/storage/arena_file.h"
+#include "src/storage/record_log.h"
+#include "src/storage/serializer.h"
+#include "src/storage/snapshot_store.h"
 
 namespace focus::cluster {
+
+namespace {
+
+// Version tag of the sharded.meta checkpoint snapshot.
+constexpr uint32_t kShardedMetaVersion = 1;
+
+}  // namespace
 
 ShardedClusterer::ShardedClusterer(ShardedClustererOptions options)
     : options_(options) {
@@ -19,6 +32,7 @@ ShardedClusterer::ShardedClusterer(ShardedClustererOptions options)
   }
   shard_items_.resize(options_.num_shards);
   merge_scanned_.resize(options_.num_shards, 0);
+  merge_considered_.resize(options_.num_shards);
 }
 
 size_t ShardedClusterer::ShardOf(common::ObjectId object) const {
@@ -147,24 +161,33 @@ void ShardedClusterer::RunMergePass(bool full) {
   }
   const float threshold_sq =
       static_cast<float>(options_.base.threshold * options_.base.threshold);
+  // Re-queue radius: an already-considered cluster whose centroid moved more
+  // than this (squared) distance since its last consideration is queried
+  // again — its neighbourhood changed enough that a fold it previously missed
+  // may now be in range.
+  const double requeue_radius = options_.merge_requeue_fraction * options_.base.threshold;
+  const double requeue_dist_sq = requeue_radius * requeue_radius;
   // Fixed scan order (shard ascending, local id ascending, other shards
   // ascending as targets) plus CentroidStore's smallest-id tie break keep the
   // union-find a pure function of the stream. Only *active* centroids are
   // scanned: a retired cluster can no longer fold, which is why passes run
   // periodically rather than once at the end — folds are captured while both
-  // sides are still live. Incremental passes (full == false) only use clusters
-  // created since the previous pass as queries, so the steady-state cost is
-  // proportional to cluster churn, not to the active working set; the full
-  // pass restricts targets to earlier shards (every unordered cross-shard pair
-  // is still covered, from its higher-shard side).
+  // sides are still live. Incremental passes (full == false) use clusters
+  // created since the previous pass as queries, plus active clusters that
+  // drifted past the re-queue radius since they were last considered. The
+  // drift sweep itself costs one L2 distance per already-considered active
+  // cluster per pass — about one assignment-scan equivalent per
+  // merge_interval assignments — so the *merge query* cost stays proportional
+  // to churn and drift, not to the active working set; the full pass
+  // restricts targets to earlier shards (every unordered cross-shard pair is
+  // still covered, from its higher-shard side). Tracking cumulative
+  // displacement at Join time instead of snapshot vectors would drop both the
+  // sweep and the snapshot copies from the checkpoint meta (ROADMAP).
   for (size_t s = 0; s < options_.num_shards; ++s) {
     const std::vector<Cluster>& clusters = shards_[s]->clusters();
-    const size_t first = full ? 0 : merge_scanned_[s];
-    for (size_t l = first; l < clusters.size(); ++l) {
-      const Cluster& c = clusters[l];
-      if (!c.active) {
-        continue;
-      }
+    std::vector<MergeCandidate>& considered = merge_considered_[s];
+
+    auto run_queries = [&](size_t l, const Cluster& c) {
       for (size_t t = 0; t < (full ? s : options_.num_shards); ++t) {
         if (t == s) {
           continue;
@@ -180,6 +203,42 @@ void ShardedClusterer::RunMergePass(bool full) {
           Union(GlobalId(s, static_cast<int64_t>(l)), GlobalId(t, target));
         }
       }
+    };
+
+    // Previously considered clusters, ascending local id: drop retired ones
+    // (their centroids never merge again), re-query drifted or full-pass
+    // ones. The union-find's final components are independent of query order
+    // within a pass (stores do not change mid-pass), so splitting old and new
+    // candidates into two ascending sweeps preserves determinism.
+    size_t keep = 0;
+    for (size_t i = 0; i < considered.size(); ++i) {
+      MergeCandidate& candidate = considered[i];
+      const Cluster& c = clusters[candidate.local_id];
+      if (!c.active) {
+        continue;  // Compacted away.
+      }
+      bool query = full;
+      if (!query && requeue_dist_sq > 0.0) {
+        query = common::SquaredL2Distance(c.centroid, candidate.snapshot) > requeue_dist_sq;
+      }
+      if (query) {
+        run_queries(candidate.local_id, c);
+        candidate.snapshot = c.centroid;  // Drift measures from here now.
+      }
+      if (keep != i) {  // Guard the self-move: it would empty the snapshot.
+        considered[keep] = std::move(candidate);
+      }
+      ++keep;
+    }
+    considered.resize(keep);
+    // Clusters created since the previous pass.
+    for (size_t l = merge_scanned_[s]; l < clusters.size(); ++l) {
+      const Cluster& c = clusters[l];
+      if (!c.active) {
+        continue;
+      }
+      run_queries(l, c);
+      considered.push_back({l, c.centroid});
     }
     merge_scanned_[s] = clusters.size();
   }
@@ -227,6 +286,209 @@ std::vector<Cluster> ShardedClusterer::FinalizeClusters() {
     }
   }
   return table;
+}
+
+common::Result<bool> ShardedClusterer::Checkpoint(int64_t position,
+                                                  std::string_view user_state) {
+  FOCUS_CHECK(persistent());
+  // Step 1: commit every shard's arena (msync + header). Shard arenas may end
+  // up a generation ahead of the meta if we crash below — recovery rolls each
+  // back to the generation recorded here.
+  std::vector<uint64_t> generations(options_.num_shards, 0);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    auto generation = shards_[s]->CommitArena();
+    if (!generation.ok()) {
+      return generation.error();
+    }
+    generations[s] = *generation;
+  }
+
+  // Step 2: one meta snapshot for every shard's bookkeeping plus the merge
+  // state; its atomic rename commits the whole multi-shard checkpoint at once.
+  storage::Encoder enc;
+  enc.PutU32(kShardedMetaVersion);
+  enc.PutVarint(options_.num_shards);
+  enc.PutSignedVarint(options_.merge_interval);
+  enc.PutDouble(options_.merge_requeue_fraction);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    enc.PutU64(generations[s]);
+    enc.PutString(shards_[s]->EncodeBookkeeping());
+  }
+  enc.PutVarint(parent_.size());
+  for (int64_t p : parent_) {
+    enc.PutSignedVarint(p);
+  }
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    enc.PutVarint(merge_scanned_[s]);
+  }
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    enc.PutVarint(merge_considered_[s].size());
+    for (const MergeCandidate& candidate : merge_considered_[s]) {
+      enc.PutVarint(candidate.local_id);
+      EncodeFeatureVec(enc, candidate.snapshot);
+    }
+  }
+  enc.PutSignedVarint(assignments_since_merge_);
+  enc.PutSignedVarint(merges_folded_);
+  enc.PutSignedVarint(position);
+  enc.PutString(user_state);
+  enc.PutU32(storage::Crc32(enc.bytes()));
+  if (auto wrote = storage::WriteFileAtomic(meta_path_, enc.bytes()); !wrote.ok()) {
+    return wrote;
+  }
+
+  // Step 3: open every shard's fresh undo window.
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    if (auto rotated = shards_[s]->RotateUndoLog(generations[s]); !rotated.ok()) {
+      return rotated;
+    }
+  }
+  return true;
+}
+
+common::Result<ClustererRecovery> ShardedClusterer::OpenOrRecover(const std::string& dir) {
+  FOCUS_CHECK(!persistent() && total_assignments() == 0);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return common::Error{common::ErrorCode::kIo,
+                         "create persist dir: " + dir + ": " + ec.message()};
+  }
+  persist_dir_ = dir;
+  meta_path_ = dir + "/sharded.meta";
+  auto arena_path = [&](size_t s) { return dir + "/shard-" + std::to_string(s) + ".arena"; };
+  auto undo_path = [&](size_t s) { return dir + "/shard-" + std::to_string(s) + ".undo"; };
+
+  if (!storage::FileExists(meta_path_)) {
+    // No committed checkpoint: fresh persistent state, stale shard files dropped.
+    for (size_t s = 0; s < options_.num_shards; ++s) {
+      std::filesystem::remove(arena_path(s), ec);
+      std::filesystem::remove(undo_path(s), ec);
+      auto arena = storage::ArenaFile::Open(arena_path(s));
+      if (!arena.ok()) {
+        return arena.error();
+      }
+      if (auto attached =
+              shards_[s]->AttachPersistence(std::move(arena).value(), undo_path(s));
+          !attached.ok()) {
+        return attached.error();
+      }
+    }
+    return ClustererRecovery{};
+  }
+
+  auto blob = storage::ReadFile(meta_path_);
+  if (!blob.ok()) {
+    return blob.error();
+  }
+  auto corrupt = [&] {
+    return common::Error{common::ErrorCode::kIo, "sharded meta corrupt: " + meta_path_};
+  };
+  storage::Decoder dec(*blob);
+  uint32_t version = 0;
+  uint64_t num_shards = 0;
+  int64_t merge_interval = 0;
+  double requeue_fraction = 0.0;
+  if (!dec.GetU32(&version) || version != kShardedMetaVersion ||
+      !dec.GetVarint(&num_shards) || !dec.GetSignedVarint(&merge_interval) ||
+      !dec.GetDouble(&requeue_fraction)) {
+    return corrupt();
+  }
+  if (num_shards != options_.num_shards || merge_interval != options_.merge_interval ||
+      requeue_fraction != options_.merge_requeue_fraction) {
+    return common::FailedPrecondition(
+        "sharded clusterer options do not match the checkpointed run");
+  }
+  std::vector<uint64_t> generations(options_.num_shards, 0);
+  std::vector<std::string> bookkeeping(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    if (!dec.GetU64(&generations[s]) || !dec.GetString(&bookkeeping[s])) {
+      return corrupt();
+    }
+  }
+  uint64_t parent_len = 0;
+  if (!dec.GetVarint(&parent_len) || parent_len > dec.remaining()) {
+    return corrupt();
+  }
+  std::vector<int64_t> parent(static_cast<size_t>(parent_len));
+  for (int64_t& p : parent) {
+    if (!dec.GetSignedVarint(&p)) {
+      return corrupt();
+    }
+  }
+  std::vector<size_t> merge_scanned(options_.num_shards, 0);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    uint64_t scanned = 0;
+    if (!dec.GetVarint(&scanned)) {
+      return corrupt();
+    }
+    merge_scanned[s] = static_cast<size_t>(scanned);
+  }
+  std::vector<std::vector<MergeCandidate>> merge_considered(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    uint64_t count = 0;
+    if (!dec.GetVarint(&count) || count > dec.remaining()) {
+      return corrupt();
+    }
+    merge_considered[s].resize(static_cast<size_t>(count));
+    for (MergeCandidate& candidate : merge_considered[s]) {
+      uint64_t local = 0;
+      if (!dec.GetVarint(&local) || !DecodeFeatureVec(dec, &candidate.snapshot)) {
+        return corrupt();
+      }
+      candidate.local_id = static_cast<size_t>(local);
+    }
+  }
+  int64_t assignments_since_merge = 0;
+  int64_t merges_folded = 0;
+  int64_t position = 0;
+  std::string user_state;
+  size_t payload_end = 0;
+  uint32_t crc = 0;
+  if (!dec.GetSignedVarint(&assignments_since_merge) || !dec.GetSignedVarint(&merges_folded) ||
+      !dec.GetSignedVarint(&position) || !dec.GetString(&user_state) ||
+      (payload_end = dec.offset(), !dec.GetU32(&crc)) ||
+      storage::Crc32(std::string_view(blob->data(), payload_end)) != crc) {
+    return corrupt();
+  }
+
+  // Roll every shard arena back to the committed cut (the shared protocol in
+  // storage::OpenArenaAtCheckpoint), then hand it to its shard. A shard is
+  // re-sealed along with all the others if any of them had to be repaired.
+  bool needs_reseal = false;
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    bool shard_needs_reseal = false;
+    auto arena = storage::OpenArenaAtCheckpoint(arena_path(s), undo_path(s), generations[s],
+                                                &shard_needs_reseal);
+    if (!arena.ok()) {
+      return arena.error();
+    }
+    needs_reseal = needs_reseal || shard_needs_reseal;
+    if (auto restored = shards_[s]->RestorePersistent(std::move(arena).value(), undo_path(s),
+                                                      bookkeeping[s]);
+        !restored.ok()) {
+      return restored.error();
+    }
+  }
+  parent_ = std::move(parent);
+  merge_scanned_ = std::move(merge_scanned);
+  merge_considered_ = std::move(merge_considered);
+  assignments_since_merge_ = assignments_since_merge;
+  merges_folded_ = merges_folded;
+
+  // Re-seal when any shard rolled back (headers, meta, and undo windows must
+  // be mutually consistent before any mutation); a clean recovery of every
+  // shard skips the rewrite — the on-disk cut already is the checkpoint.
+  if (needs_reseal) {
+    if (auto sealed = Checkpoint(position, user_state); !sealed.ok()) {
+      return sealed.error();
+    }
+  }
+  ClustererRecovery out;
+  out.recovered = true;
+  out.position = position;
+  out.user_state = std::move(user_state);
+  return out;
 }
 
 int64_t ShardedClusterer::total_assignments() const {

@@ -74,6 +74,14 @@ struct ShardedClustererOptions {
   // FinalizeClusters(). Merging earlier does not change the final table (the
   // union-find only accumulates), it bounds how stale CanonicalOf() can be.
   int64_t merge_interval = 8192;
+  // Incremental merge passes re-queue an already-considered active cluster
+  // when its centroid has drifted more than this fraction of the clustering
+  // threshold T since it was last used as a merge query, so two long-lived
+  // clusters converging toward each other fold at the next periodic pass
+  // instead of only at the final full pass. 0 disables re-queueing (the
+  // pre-PR4 policy: periodic passes only query clusters created since the
+  // previous pass).
+  double merge_requeue_fraction = 0.5;
 };
 
 class ShardedClusterer {
@@ -110,12 +118,34 @@ class ShardedClusterer {
   // Runs one *full* cross-shard merge pass now: every active cluster is
   // queried against every other shard's store. FinalizeClusters() always runs
   // one as its correctness backstop. The automatic periodic passes (every
-  // merge_interval assignments) are *incremental* — they only query clusters
-  // created since the previous pass, against all other shards — so steady
-  // state pays per new cluster, not per active cluster. The one case the
-  // incremental policy defers to the final full pass: two long-lived clusters
-  // whose centroids drift toward each other after both were already scanned.
+  // merge_interval assignments) are *incremental* — they query clusters
+  // created since the previous pass, plus already-considered active clusters
+  // whose centroid drifted more than merge_requeue_fraction * T since they
+  // were last considered (two long-lived clusters converging mid-stream fold
+  // at the next periodic pass, not only at the final full pass) — so steady
+  // state pays per cluster churn, not per active cluster.
   void MergePass();
+
+  // --- Persistence (see docs/persistence.md) ---
+  //
+  // One arena + undo-log pair per shard (shard-<s>.arena / shard-<s>.undo)
+  // plus a single sharded.meta snapshot carrying every shard's bookkeeping and
+  // the cross-shard merge state. The one atomic meta write is the commit point
+  // for all shards at once: a crash mid-checkpoint leaves some shard arenas a
+  // generation ahead, and recovery rolls each back to the generation the meta
+  // recorded — so the recovered multi-shard state is always a consistent cut.
+
+  // Attaches persistent backing under |dir| (created if needed), recovering
+  // the newest committed checkpoint when one exists. Must be called before any
+  // assignment, with options matching the checkpointed run's.
+  common::Result<ClustererRecovery> OpenOrRecover(const std::string& dir);
+
+  // Durably publishes the current state of every shard plus the merge state,
+  // with an opaque caller cursor and blob. Must not run concurrently with
+  // AssignBatch.
+  common::Result<bool> Checkpoint(int64_t position, std::string_view user_state = {});
+
+  bool persistent() const { return !meta_path_.empty(); }
 
   // Canonical id of |global_id| under the merges performed so far.
   int64_t CanonicalOf(int64_t global_id) const;
@@ -151,10 +181,23 @@ class ShardedClusterer {
   // Per shard: local cluster count already used as merge queries, so periodic
   // passes only query what appeared since the previous pass.
   std::vector<size_t> merge_scanned_;
+  // Per shard: the already-considered *active* clusters (ascending local id)
+  // with each one's centroid as of its last use as a merge query, so
+  // incremental passes can re-queue clusters that drifted since
+  // (merge_requeue_fraction). Entries are dropped as clusters retire, keeping
+  // every pass O(active working set) — never O(clusters ever created).
+  struct MergeCandidate {
+    size_t local_id = 0;
+    common::FeatureVec snapshot;  // Centroid when last considered.
+  };
+  std::vector<std::vector<MergeCandidate>> merge_considered_;
   int64_t assignments_since_merge_ = 0;
   int64_t merges_folded_ = 0;
   // Per-shard item index lists, reused across AssignBatch calls.
   std::vector<std::vector<size_t>> shard_items_;
+  // Persistence (empty when volatile).
+  std::string persist_dir_;
+  std::string meta_path_;
 };
 
 }  // namespace focus::cluster

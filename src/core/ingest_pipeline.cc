@@ -6,9 +6,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/cluster/cluster_codec.h"
 #include "src/cluster/sharded_clusterer.h"
 #include "src/common/logging.h"
 #include "src/runtime/worker_pool.h"
+#include "src/storage/serializer.h"
 
 namespace focus::core {
 
@@ -65,6 +67,56 @@ class BestRankTable {
     }
   }
 
+  // Invokes |fn|(cluster_id, class, best_rank) for every recorded pair. Used
+  // to remap raw sharded cluster ids onto canonical ids (min-rank union is
+  // associative, so replaying per-cluster minima is exactly replaying the
+  // per-detection updates) and to checkpoint the table.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t c = 0; c < present_.size(); ++c) {
+      const std::vector<int32_t>& row = ranks_[c];
+      for (common::ClassId cls : present_[c]) {
+        fn(static_cast<int64_t>(c), cls, row[static_cast<size_t>(cls)]);
+      }
+    }
+  }
+
+  void EncodeTo(storage::Encoder& enc) const {
+    enc.PutVarint(present_.size());
+    for (size_t c = 0; c < present_.size(); ++c) {
+      const std::vector<int32_t>& row = ranks_[c];
+      enc.PutVarint(present_[c].size());
+      for (common::ClassId cls : present_[c]) {
+        enc.PutSignedVarint(cls);
+        enc.PutSignedVarint(row[static_cast<size_t>(cls)]);
+      }
+    }
+  }
+
+  bool DecodeFrom(storage::Decoder& dec) {
+    uint64_t clusters = 0;
+    if (!dec.GetVarint(&clusters) || clusters > dec.remaining()) {
+      return false;
+    }
+    for (uint64_t c = 0; c < clusters; ++c) {
+      uint64_t classes = 0;
+      if (!dec.GetVarint(&classes) || classes > dec.remaining()) {
+        return false;
+      }
+      for (uint64_t i = 0; i < classes; ++i) {
+        int64_t cls = 0;
+        int64_t rank = 0;
+        if (!dec.GetSignedVarint(&cls) || !dec.GetSignedVarint(&rank) || cls < 0 ||
+            cls >= kRankSpace) {
+          return false;
+        }
+        Update(static_cast<int64_t>(c), static_cast<common::ClassId>(cls),
+               static_cast<int32_t>(rank));
+      }
+    }
+    return true;
+  }
+
  private:
   // Generic label space plus the specialized models' OTHER label.
   static constexpr int kRankSpace = video::kNumClasses + 1;
@@ -74,7 +126,263 @@ class BestRankTable {
   std::vector<std::vector<common::ClassId>> present_; // cluster -> classes seen.
 };
 
+// Pipeline-level state the persistent path checkpoints alongside the
+// clusterer snapshot: result counters, the pixel-differencing reuse maps, and
+// the class-rank table (keyed by raw global cluster ids; remapped onto
+// canonical ids only at finalize).
+struct PipelineState {
+  IngestResult* result = nullptr;
+  BestRankTable* ranks = nullptr;
+  std::unordered_map<common::ObjectId, cnn::TopKResult>* last_result = nullptr;
+  std::unordered_map<common::ObjectId, common::FeatureVec>* last_feature = nullptr;
+  // Checkpointed alongside the reuse maps so post-resume eviction sweeps see
+  // the same idle gaps an uninterrupted run sees (at tight checkpoint
+  // cadences an empty map would evict entries the uninterrupted run keeps).
+  std::unordered_map<common::ObjectId, common::FrameIndex>* last_seen = nullptr;
+  // Pipeline-level options echo, validated on resume like the clusterer's:
+  // continuing a stream with a different top-K width or suppression setting
+  // would silently mix two configurations' semantics.
+  int k = 0;
+  bool use_pixel_diff = true;
+
+  std::string Encode() const {
+    storage::Encoder enc;
+    enc.PutSignedVarint(k);
+    enc.PutU8(use_pixel_diff ? 1 : 0);
+    enc.PutSignedVarint(result->detections);
+    enc.PutDouble(result->gpu_millis);
+    enc.PutSignedVarint(result->cnn_invocations);
+    enc.PutSignedVarint(result->suppressed);
+    enc.PutVarint(last_result->size());
+    for (const auto& [object, topk] : *last_result) {
+      enc.PutSignedVarint(object);
+      enc.PutVarint(topk.entries.size());
+      for (const auto& [cls, confidence] : topk.entries) {
+        enc.PutSignedVarint(cls);
+        enc.PutFloat(confidence);
+      }
+    }
+    enc.PutVarint(last_feature->size());
+    for (const auto& [object, feature] : *last_feature) {
+      enc.PutSignedVarint(object);
+      cluster::EncodeFeatureVec(enc, feature);
+    }
+    enc.PutVarint(last_seen->size());
+    for (const auto& [object, frame] : *last_seen) {
+      enc.PutSignedVarint(object);
+      enc.PutSignedVarint(frame);
+    }
+    ranks->EncodeTo(enc);
+    return enc.TakeBytes();
+  }
+
+  bool Decode(std::string_view blob) {
+    storage::Decoder dec(blob);
+    int64_t checkpoint_k = 0;
+    uint8_t checkpoint_pixel_diff = 0;
+    if (!dec.GetSignedVarint(&checkpoint_k) || !dec.GetU8(&checkpoint_pixel_diff) ||
+        checkpoint_k != k || (checkpoint_pixel_diff != 0) != use_pixel_diff) {
+      return false;
+    }
+    if (!dec.GetSignedVarint(&result->detections) || !dec.GetDouble(&result->gpu_millis) ||
+        !dec.GetSignedVarint(&result->cnn_invocations) ||
+        !dec.GetSignedVarint(&result->suppressed)) {
+      return false;
+    }
+    uint64_t num_results = 0;
+    if (!dec.GetVarint(&num_results) || num_results > dec.remaining()) {
+      return false;
+    }
+    for (uint64_t i = 0; i < num_results; ++i) {
+      int64_t object = 0;
+      uint64_t entries = 0;
+      if (!dec.GetSignedVarint(&object) || !dec.GetVarint(&entries) ||
+          entries > dec.remaining()) {
+        return false;
+      }
+      cnn::TopKResult topk;
+      topk.entries.reserve(static_cast<size_t>(entries));
+      for (uint64_t e = 0; e < entries; ++e) {
+        int64_t cls = 0;
+        float confidence = 0.0f;
+        if (!dec.GetSignedVarint(&cls) || !dec.GetFloat(&confidence)) {
+          return false;
+        }
+        topk.entries.emplace_back(static_cast<common::ClassId>(cls), confidence);
+      }
+      last_result->emplace(object, std::move(topk));
+    }
+    uint64_t num_features = 0;
+    if (!dec.GetVarint(&num_features) || num_features > dec.remaining()) {
+      return false;
+    }
+    for (uint64_t i = 0; i < num_features; ++i) {
+      int64_t object = 0;
+      common::FeatureVec feature;
+      if (!dec.GetSignedVarint(&object) || !cluster::DecodeFeatureVec(dec, &feature)) {
+        return false;
+      }
+      last_feature->emplace(object, std::move(feature));
+    }
+    uint64_t num_seen = 0;
+    if (!dec.GetVarint(&num_seen) || num_seen > dec.remaining()) {
+      return false;
+    }
+    for (uint64_t i = 0; i < num_seen; ++i) {
+      int64_t object = 0;
+      int64_t frame = 0;
+      if (!dec.GetSignedVarint(&object) || !dec.GetSignedVarint(&frame)) {
+        return false;
+      }
+      last_seen->emplace(object, frame);
+    }
+    return ranks->DecodeFrom(dec) && dec.Done();
+  }
+};
+
 }  // namespace
+
+IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
+                                const IngestParams& params, const IngestOptions& options) {
+  FOCUS_CHECK(!options.persist_dir.empty());
+  FOCUS_CHECK(options.num_shards >= 1);
+  FOCUS_CHECK(options.checkpoint_every_frames >= 1);
+
+  cluster::ShardedClustererOptions sopts;
+  sopts.base.threshold = params.cluster_threshold;
+  sopts.base.max_active = options.max_active_clusters;
+  sopts.base.mode = options.cluster_mode;
+  sopts.num_shards = static_cast<size_t>(options.num_shards);
+  sopts.merge_interval = options.shard_merge_interval;
+  cluster::ShardedClusterer clusterer(sopts);
+
+  auto recovery = clusterer.OpenOrRecover(options.persist_dir);
+  if (!recovery.ok()) {
+    FOCUS_LOG(kError) << "ingest recovery failed: " << recovery.error().message;
+    FOCUS_CHECK(recovery.ok());
+  }
+
+  IngestResult result;
+  BestRankTable ranks;
+  std::unordered_map<common::ObjectId, cnn::TopKResult> last_result;
+  std::unordered_map<common::ObjectId, common::FeatureVec> last_feature;
+  std::unordered_map<common::ObjectId, common::FrameIndex> last_seen;
+  PipelineState state{&result,       &ranks,     &last_result,
+                      &last_feature, &last_seen, params.k,
+                      options.use_pixel_diff};
+
+  common::FrameIndex resume_frame = 0;
+  if (recovery->recovered) {
+    resume_frame = recovery->position;
+    FOCUS_CHECK(state.Decode(recovery->user_state));
+  }
+  result.resumed_from_frame = resume_frame;
+
+  const common::FrameIndex limit_frame =
+      options.limit_sec < 0.0 ? run.num_frames()
+                              : static_cast<common::FrameIndex>(options.limit_sec * run.fps());
+  const common::FrameIndex crash_frame =
+      options.crash_after_frames < 0 ? -1 : resume_frame + options.crash_after_frames;
+
+  // Reuse-map eviction: pixel differencing only ever reuses the result of the
+  // same object's *previous sampled frame* (suppression requires the crop to
+  // match frame-to-frame, and tracks are continuous), so an entry idle for
+  // more than a few sampled frames belongs to an exited track and can never
+  // be read again. Evicting those at every checkpoint keeps the snapshotted
+  // pipeline state proportional to the objects currently in scene instead of
+  // every object the stream has ever shown — which is what keeps recovery
+  // O(working set) on long retention windows.
+  constexpr common::FrameIndex kReuseEvictGapFrames = 8;
+  auto evict_idle_entries = [&](common::FrameIndex frame) {
+    for (auto it = last_result.begin(); it != last_result.end();) {
+      const auto seen = last_seen.find(it->first);
+      if (seen == last_seen.end() || frame - seen->second > kReuseEvictGapFrames) {
+        last_feature.erase(it->first);
+        if (seen != last_seen.end()) {
+          last_seen.erase(seen);
+        }
+        it = last_result.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  int64_t frames_since_checkpoint = 0;
+  bool crashed = false;
+  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    if (crashed || frame < resume_frame || frame >= limit_frame) {
+      return;
+    }
+    if (crash_frame >= 0 && frame >= crash_frame) {
+      crashed = true;  // Simulated worker crash: abandon mid-stream.
+      return;
+    }
+    for (const video::Detection& d : dets) {
+      ++result.detections;
+      last_seen[d.object_id] = frame;
+      const bool can_reuse = options.use_pixel_diff && d.pixel_diff_suppressed &&
+                             last_result.contains(d.object_id);
+      int64_t cluster_id = -1;
+      const cnn::TopKResult* topk = nullptr;
+      if (can_reuse) {
+        ++result.suppressed;
+        cluster_id = clusterer.AddSuppressed(d, last_feature[d.object_id]);
+        topk = &last_result[d.object_id];
+      } else {
+        ++result.cnn_invocations;
+        result.gpu_millis += ingest_cnn.inference_cost_millis();
+        cnn::TopKResult fresh = ingest_cnn.Classify(d, params.k);
+        common::FeatureVec feature = ingest_cnn.ExtractFeature(d);
+        cluster_id = clusterer.Add(d, feature);
+        auto [it, unused] = last_result.insert_or_assign(d.object_id, std::move(fresh));
+        topk = &it->second;
+        last_feature.insert_or_assign(d.object_id, std::move(feature));
+      }
+      // Raw global ids here; folded onto canonical ids after the final merge.
+      for (size_t pos = 0; pos < topk->entries.size(); ++pos) {
+        ranks.Update(cluster_id, topk->entries[pos].first, static_cast<int32_t>(pos) + 1);
+      }
+    }
+    if (++frames_since_checkpoint >= options.checkpoint_every_frames) {
+      evict_idle_entries(frame);
+      auto checkpointed = clusterer.Checkpoint(frame + 1, state.Encode());
+      FOCUS_CHECK(checkpointed.ok());
+      frames_since_checkpoint = 0;
+    }
+  });
+
+  if (crashed) {
+    // Exactly like a crash: whatever the last periodic checkpoint captured is
+    // the durable state; this attempt's partial counters are returned for the
+    // caller's accounting but nothing further is published.
+    return result;
+  }
+
+  // Seal the end of the stream, then finalize. The final full merge pass and
+  // the canonical fold happen in memory after the seal; a crash during them
+  // resumes at the sealed position and re-finalizes.
+  auto sealed = clusterer.Checkpoint(limit_frame, state.Encode());
+  FOCUS_CHECK(sealed.ok());
+
+  std::vector<cluster::Cluster> canonical = clusterer.FinalizeClusters();
+  BestRankTable canonical_ranks;
+  ranks.ForEach([&](int64_t raw, common::ClassId cls, int32_t rank) {
+    canonical_ranks.Update(clusterer.CanonicalOf(raw), cls, rank);
+  });
+  for (const cluster::Cluster& c : canonical) {
+    index::ClusterEntry entry;
+    entry.cluster_id = c.id;
+    entry.representative = c.representative;
+    entry.members = c.members;
+    entry.size = c.size;
+    canonical_ranks.Finalize(c.id, &entry);
+    result.index.AddCluster(std::move(entry));
+  }
+  result.num_clusters = static_cast<int64_t>(result.index.num_clusters());
+  result.clusterer_fast_hit_rate = clusterer.FastHitRate();
+  return result;
+}
 
 // Detections are dispatched in shard_batch chunks onto a dedicated worker pool
 // (one ordered task per shard per chunk), assignments are collected
@@ -253,6 +561,9 @@ IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestPar
 IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
                        const IngestParams& params, const IngestOptions& options) {
   FOCUS_CHECK(options.num_shards >= 1);
+  if (!options.persist_dir.empty()) {
+    return RunIngestResumable(run, ingest_cnn, params, options);
+  }
   if (options.num_shards > 1) {
     // Classify once (IT1 + pixel differencing, the only GPU-bearing stage),
     // then shard clustering + indexing across the worker pool. GPU time,

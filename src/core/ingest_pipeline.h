@@ -9,6 +9,7 @@
 #define FOCUS_SRC_CORE_INGEST_PIPELINE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/cluster/incremental_clusterer.h"
 #include "src/cnn/cnn.h"
@@ -31,6 +32,11 @@ struct IngestResult {
   int64_t suppressed = 0;        // Reused via pixel differencing.
   int64_t num_clusters = 0;
   double clusterer_fast_hit_rate = 0.0;
+  // Persistent path only: the sampled frame this run resumed from (0 = fresh
+  // start or volatile ingest). Counters cover the whole stream either way —
+  // the at-checkpoint counters are recovered, the re-processed window recounts
+  // exactly what the crashed attempt had counted past the checkpoint.
+  common::FrameIndex resumed_from_frame = 0;
 };
 
 struct IngestOptions {
@@ -57,11 +63,42 @@ struct IngestOptions {
   // Assignments between periodic cross-shard centroid merges (0: merge only
   // when the stream finishes).
   int64_t shard_merge_interval = 8192;
+
+  // --- Persistent ingest (src/storage/arena_file.h, docs/persistence.md) ---
+  // Directory for this stream's durable clustering state. Empty (the default)
+  // keeps ingest volatile; non-empty routes RunIngest through
+  // RunIngestResumable: the centroid arenas live in mmap'd files, the
+  // clusterer checkpoints every checkpoint_every_frames sampled frames, and a
+  // restarted worker resumes from the last checkpoint instead of frame 0.
+  std::string persist_dir;
+  // Sampled frames between checkpoints on the persistent path. Smaller bounds
+  // the re-processed window after a crash; larger amortizes the msync +
+  // bookkeeping-snapshot cost over more stream.
+  int64_t checkpoint_every_frames = 256;
+  // Test/bench hook: abandon the persistent run after this many sampled
+  // frames past the resume position (negative: disabled) — no finalize, no
+  // final checkpoint, exactly like an ingest worker crash. The returned
+  // result carries the partial counters only.
+  int64_t crash_after_frames = -1;
 };
 
-// Runs ingest over |run| with |ingest_cnn| and parameters |params|.
+// Runs ingest over |run| with |ingest_cnn| and parameters |params|. With
+// options.persist_dir set this is RunIngestResumable.
 IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
                        const IngestParams& params, const IngestOptions& options = {});
+
+// Crash-resumable ingest (options.persist_dir must be set). State beyond the
+// mmap'd centroid arenas — counters, the pixel-differencing reuse maps, and
+// the per-cluster class-rank table — checkpoints as an opaque blob alongside
+// the clusterer's own snapshot, so a restarted worker continues from the last
+// checkpoint with state identical to an uninterrupted run's at that frame:
+// the final index, counters, and GPU accounting are byte-identical to running
+// the whole stream without the crash (the re-processed window re-classifies
+// deterministically — cnn::Cnn is a pure function of the detection). Runs the
+// clustering stage through ShardedClusterer at any num_shards >= 1,
+// sequentially (assignment parallelism on the persistent path is a follow-up).
+IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
+                                const IngestParams& params, const IngestOptions& options);
 
 // --- Classify-once / re-cluster-many ---
 //

@@ -40,6 +40,9 @@ FleetIngestSummary IngestService::RunAll() {
         if (options_.num_shards > 0) {
           opts.num_shards = options_.num_shards;
         }
+        if (!options_.persist_dir.empty()) {
+          opts.persist_dir = options_.persist_dir + "/" + job.name;
+        }
         report.result = core::RunIngest(*job.run, cheap, job.params, opts);
         const double video_millis = job.run->duration_sec() * 1000.0;
         report.gpu_occupancy =

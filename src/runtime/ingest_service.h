@@ -53,6 +53,14 @@ struct IngestServiceOptions {
   // overrides every registered job so a hot deployment can be re-sharded in
   // one place; 0 leaves each job's own setting untouched.
   int num_shards = 0;
+  // Root directory for durable per-stream clustering state (mmap'd centroid
+  // arenas + checkpoints, docs/persistence.md). Non-empty gives every
+  // registered stream the subdirectory <persist_dir>/<job name> and routes its
+  // ingest through the resumable path: a crashed/restarted worker resumes the
+  // stream from its recovered frame position instead of frame 0 (see
+  // IngestResult::resumed_from_frame in each report). Empty (default) keeps
+  // ingest volatile. Stream names must be unique and filesystem-safe.
+  std::string persist_dir;
   // Dollars per GPU-month used by CostPerStreamMonthly (the paper quotes Azure
   // pricing where Ingest-all costs ~$250/month/stream).
   double dollars_per_gpu_month = 250.0;

@@ -10,8 +10,9 @@
 
 namespace focus::storage {
 
-common::Result<RecordLogWriter> RecordLogWriter::Open(const std::string& path) {
-  auto out = std::make_unique<std::ofstream>(path, std::ios::binary | std::ios::app);
+common::Result<RecordLogWriter> RecordLogWriter::Open(const std::string& path, bool truncate) {
+  auto out = std::make_unique<std::ofstream>(
+      path, truncate ? (std::ios::binary | std::ios::trunc) : (std::ios::binary | std::ios::app));
   if (!*out) {
     return common::Error{common::ErrorCode::kIo,
                          "record log open: " + path + ": " + std::strerror(errno)};

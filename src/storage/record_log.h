@@ -24,8 +24,10 @@ namespace focus::storage {
 
 class RecordLogWriter {
  public:
-  // Opens |path| for append, creating it when absent.
-  static common::Result<RecordLogWriter> Open(const std::string& path);
+  // Opens |path| for append, creating it when absent. With |truncate| the
+  // existing contents are discarded first — the checkpoint-time rotation of a
+  // delta log whose records are superseded by the checkpoint they led up to.
+  static common::Result<RecordLogWriter> Open(const std::string& path, bool truncate = false);
 
   RecordLogWriter(RecordLogWriter&&) = default;
   RecordLogWriter& operator=(RecordLogWriter&&) = default;

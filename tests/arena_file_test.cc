@@ -1,0 +1,252 @@
+// Tests for the mmap-backed arena file: shape/commit round trips through
+// reopen, growth preserving rows, torn-header fallback, undo-record codec, and
+// RollBackTo restoring a checkpoint exactly.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/storage/arena_file.h"
+#include "src/storage/record_log.h"
+
+namespace focus::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ArenaFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("arena_file_test_" + std::to_string(::getpid()) +
+                                        "_" + ::testing::UnitTest::GetInstance()
+                                                  ->current_test_info()
+                                                  ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+std::vector<float> Row(size_t dim, float seed) {
+  std::vector<float> v(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    v[i] = seed + static_cast<float>(i) * 0.25f;
+  }
+  return v;
+}
+
+TEST_F(ArenaFileTest, InitializeCommitReopen) {
+  const std::string path = Path("a.arena");
+  {
+    auto file = ArenaFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    EXPECT_FALSE((*file)->initialized());
+    ASSERT_TRUE((*file)->Initialize(8, 4).ok());
+    EXPECT_EQ((*file)->dim(), 8u);
+    EXPECT_EQ((*file)->head_dim(), 4u);
+    EXPECT_EQ((*file)->generation(), 0u);
+
+    const std::vector<float> r0 = Row(8, 1.0f);
+    const std::vector<float> r1 = Row(8, 100.0f);
+    (*file)->WriteRow(0, 7, 3, 1.5f, r0.data());
+    (*file)->WriteRow(1, 9, 5, 2.5f, r1.data());
+    auto committed = (*file)->Commit(2);
+    ASSERT_TRUE(committed.ok());
+    EXPECT_EQ(*committed, 1u);
+  }
+  auto file = ArenaFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->initialized());
+  EXPECT_EQ((*file)->dim(), 8u);
+  EXPECT_EQ((*file)->head_dim(), 4u);
+  EXPECT_EQ((*file)->committed_rows(), 2u);
+  EXPECT_EQ((*file)->generation(), 1u);
+  EXPECT_EQ((*file)->ids()[0], 7);
+  EXPECT_EQ((*file)->ids()[1], 9);
+  EXPECT_EQ((*file)->sizes()[1], 5);
+  EXPECT_EQ((*file)->norms()[0], 1.5f);
+  const std::vector<float> r1 = Row(8, 100.0f);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ((*file)->arena()[8 + i], r1[i]);
+  }
+  // The head tile mirrors the centroid prefix.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((*file)->head()[4 + i], r1[i]);
+  }
+}
+
+TEST_F(ArenaFileTest, GrowthPreservesRowsAcrossRemapAndReopen) {
+  const std::string path = Path("grow.arena");
+  constexpr size_t kDim = 16;
+  constexpr size_t kRows = 500;  // Forces several capacity doublings from 64.
+  {
+    auto file = ArenaFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Initialize(kDim, 8).ok());
+    for (size_t r = 0; r < kRows; ++r) {
+      ASSERT_TRUE((*file)->Reserve(r + 1).ok());
+      const std::vector<float> row = Row(kDim, static_cast<float>(r));
+      (*file)->WriteRow(r, static_cast<int64_t>(r), static_cast<int64_t>(r) + 1,
+                        static_cast<float>(r) * 0.5f, row.data());
+    }
+    EXPECT_GE((*file)->capacity_rows(), kRows);
+    ASSERT_TRUE((*file)->Commit(kRows).ok());
+  }
+  auto file = ArenaFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ((*file)->committed_rows(), kRows);
+  for (size_t r = 0; r < kRows; ++r) {
+    ASSERT_EQ((*file)->ids()[r], static_cast<int64_t>(r));
+    ASSERT_EQ((*file)->sizes()[r], static_cast<int64_t>(r) + 1);
+    ASSERT_EQ((*file)->norms()[r], static_cast<float>(r) * 0.5f);
+    const std::vector<float> row = Row(kDim, static_cast<float>(r));
+    for (size_t i = 0; i < kDim; ++i) {
+      ASSERT_EQ((*file)->arena()[r * kDim + i], row[i]) << "row " << r;
+    }
+    for (size_t i = 0; i < 8; ++i) {
+      ASSERT_EQ((*file)->head()[r * 8 + i], row[i]) << "row " << r;
+    }
+  }
+}
+
+TEST_F(ArenaFileTest, TornHeaderSlotFallsBackToOlderGeneration) {
+  const std::string path = Path("torn.arena");
+  {
+    auto file = ArenaFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Initialize(4, 4).ok());
+    const std::vector<float> r0 = Row(4, 1.0f);
+    (*file)->WriteRow(0, 0, 1, 1.0f, r0.data());
+    ASSERT_TRUE((*file)->Commit(1).ok());  // Generation 1.
+    const std::vector<float> r1 = Row(4, 2.0f);
+    (*file)->WriteRow(1, 1, 1, 1.0f, r1.data());
+    ASSERT_TRUE((*file)->Commit(2).ok());  // Generation 2, the other slot.
+  }
+  // Tear each slot in turn (on a fresh copy each time): tearing the slot that
+  // carries generation 2 must fall back to generation 1; tearing the other
+  // leaves generation 2 intact. Either way Open never fails.
+  const std::string backup = Path("torn.arena.bak");
+  fs::copy_file(path, backup);
+  auto generation_after_scribble = [&](size_t slot) -> uint64_t {
+    fs::copy_file(backup, path, fs::copy_options::overwrite_existing);
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(slot * ArenaFile::kHeaderSlotBytes) + 16);
+    const char garbage[8] = {42, 42, 42, 42, 42, 42, 42, 42};
+    f.write(garbage, sizeof(garbage));
+    f.close();
+    auto after = ArenaFile::Open(path);
+    EXPECT_TRUE(after.ok());
+    if (!after.ok()) {
+      return 0;
+    }
+    // The fallback state must be internally consistent: generation 2 committed
+    // two rows, generation 1 committed one.
+    EXPECT_EQ((*after)->committed_rows(), (*after)->generation());
+    return (*after)->generation();
+  };
+  const uint64_t a = generation_after_scribble(0);
+  const uint64_t b = generation_after_scribble(1);
+  EXPECT_EQ(std::min(a, b), 1u);
+  EXPECT_EQ(std::max(a, b), 2u);
+}
+
+TEST_F(ArenaFileTest, UndoRecordCodecRoundTrips) {
+  ArenaUndo marker;
+  marker.kind = ArenaUndo::Kind::kMarker;
+  marker.generation = 42;
+  marker.rows = 17;
+  ArenaUndo out;
+  ASSERT_TRUE(ArenaUndo::Decode(marker.Encode(), &out));
+  EXPECT_EQ(out.kind, ArenaUndo::Kind::kMarker);
+  EXPECT_EQ(out.generation, 42u);
+  EXPECT_EQ(out.rows, 17u);
+
+  ArenaUndo row;
+  row.kind = ArenaUndo::Kind::kRow;
+  row.row = 5;
+  row.id = -3;
+  row.size = 99;
+  row.norm = 1.25f;
+  row.centroid = Row(6, 3.0f);
+  ASSERT_TRUE(ArenaUndo::Decode(row.Encode(), &out));
+  EXPECT_EQ(out.kind, ArenaUndo::Kind::kRow);
+  EXPECT_EQ(out.row, 5u);
+  EXPECT_EQ(out.id, -3);
+  EXPECT_EQ(out.size, 99);
+  EXPECT_EQ(out.norm, 1.25f);
+  EXPECT_EQ(out.centroid, row.centroid);
+
+  EXPECT_FALSE(ArenaUndo::Decode("", &out));
+  EXPECT_FALSE(ArenaUndo::Decode("\x07junk", &out));
+}
+
+TEST_F(ArenaFileTest, RollBackRestoresCheckpointExactly) {
+  const std::string path = Path("rollback.arena");
+  const std::string undo_path = Path("rollback.undo");
+  auto file = ArenaFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Initialize(4, 2).ok());
+  const std::vector<float> r0 = Row(4, 1.0f);
+  const std::vector<float> r1 = Row(4, 2.0f);
+  (*file)->WriteRow(0, 0, 1, 1.0f, r0.data());
+  (*file)->WriteRow(1, 1, 2, 2.0f, r1.data());
+  auto committed = (*file)->Commit(2);
+  ASSERT_TRUE(committed.ok());
+  const uint64_t generation = *committed;
+
+  // Window: marker first, then pre-images before each overwrite — exactly the
+  // store's write-ahead protocol.
+  auto writer = RecordLogWriter::Open(undo_path, /*truncate=*/true);
+  ASSERT_TRUE(writer.ok());
+  ArenaUndo marker;
+  marker.kind = ArenaUndo::Kind::kMarker;
+  marker.generation = generation;
+  marker.rows = 2;
+  ASSERT_TRUE(writer->Append(marker.Encode()).ok());
+
+  ArenaUndo pre;
+  pre.kind = ArenaUndo::Kind::kRow;
+  pre.row = 0;
+  pre.id = 0;
+  pre.size = 1;
+  pre.norm = 1.0f;
+  pre.centroid = r0;
+  ASSERT_TRUE(writer->Append(pre.Encode()).ok());
+  const std::vector<float> scribble = Row(4, 777.0f);
+  (*file)->WriteRow(0, 123, 456, 9.0f, scribble.data());  // Post-checkpoint mutation.
+  (*file)->WriteRow(2, 2, 1, 3.0f, scribble.data());      // Uncommitted tail append.
+
+  auto log = ReadRecordLog(undo_path);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*file)->RollBackTo(generation, log->records).ok());
+  EXPECT_EQ((*file)->committed_rows(), 2u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((*file)->arena()[i], r0[i]);
+  }
+  EXPECT_EQ((*file)->ids()[0], 0);
+  EXPECT_EQ((*file)->sizes()[0], 1);
+  EXPECT_EQ((*file)->norms()[0], 1.0f);
+
+  // A torn tail on the undo log (partial append) is dropped by ReadRecordLog
+  // and rollback still succeeds on the valid prefix.
+  {
+    std::ofstream f(undo_path, std::ios::binary | std::ios::app);
+    f.write("\x40\x00\x00", 3);  // Half a frame header.
+  }
+  auto torn = ReadRecordLog(undo_path);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_TRUE(torn->truncated_tail);
+  EXPECT_TRUE((*file)->RollBackTo(generation, torn->records).ok());
+}
+
+}  // namespace
+}  // namespace focus::storage

@@ -174,6 +174,88 @@ TEST(ShardedClustererTest, CrossShardMergeFoldsIdenticalAppearance) {
   EXPECT_GE(sharded.merges_folded(), 1);
 }
 
+TEST(ShardedClustererTest, DriftedClustersRequeueAndFoldMidStream) {
+  // Two long-lived clusters on different shards whose centroids *converge*
+  // mid-stream: each object's observations approach the midpoint of the two
+  // starting appearances geometrically, so both running-mean centroids drift
+  // toward each other while every observation stays within T of its own
+  // cluster. Created at the very start, both clusters predate the first
+  // incremental merge pass — under the created-since-last-pass policy alone
+  // they are never re-queried, and only FinalizeClusters folds them. With
+  // drift re-queueing they fold at a periodic pass, mid-stream.
+  constexpr size_t kDim = 8;
+  constexpr double kThreshold = 0.5;
+  constexpr float kR = 0.98f;  // Geometric approach ratio toward the midpoint.
+  constexpr size_t kObsPerObject = 400;
+
+  auto build = [&](double requeue_fraction) {
+    ShardedClustererOptions opts = Options(2, kThreshold, ClustererOptions::Mode::kExact);
+    opts.merge_interval = 50;
+    opts.merge_requeue_fraction = requeue_fraction;
+    return opts;
+  };
+  auto run_stream = [&](ShardedClusterer& sharded, int64_t* ga, int64_t* gb) {
+    common::ObjectId a = 0;
+    common::ObjectId b = 1;
+    while (sharded.ShardOf(b) == sharded.ShardOf(a)) {
+      ++b;
+    }
+    common::FeatureVec u(kDim, 0.0f);
+    common::FeatureVec v(kDim, 0.0f);
+    u[0] = 2.0f;  // ||u - v|| = 2*sqrt(2), far beyond T.
+    v[1] = 2.0f;
+    common::FeatureVec mid(kDim, 0.0f);
+    mid[0] = 1.0f;
+    mid[1] = 1.0f;
+    auto approach = [&](const common::FeatureVec& from, float shrink) {
+      common::FeatureVec f(kDim);
+      for (size_t i = 0; i < kDim; ++i) {
+        f[i] = mid[i] + (from[i] - mid[i]) * shrink;
+      }
+      return f;
+    };
+    float shrink = 1.0f;
+    for (size_t k = 0; k < kObsPerObject; ++k) {
+      const int64_t la =
+          sharded.Add(Det(a, static_cast<common::FrameIndex>(k)), approach(u, shrink));
+      const int64_t lb =
+          sharded.Add(Det(b, static_cast<common::FrameIndex>(k)), approach(v, shrink));
+      if (k == 0) {
+        *ga = la;
+        *gb = lb;
+      } else {
+        // The drift must never fragment either track into a second cluster —
+        // otherwise the "created since last pass" policy would see new ids.
+        ASSERT_EQ(la, *ga) << "obs " << k;
+        ASSERT_EQ(lb, *gb) << "obs " << k;
+      }
+      shrink *= kR;
+    }
+  };
+
+  // Baseline policy (no re-queue): converged clusters stay separate until the
+  // final full pass.
+  {
+    ShardedClusterer sharded(build(0.0));
+    int64_t ga = -1;
+    int64_t gb = -1;
+    run_stream(sharded, &ga, &gb);
+    EXPECT_NE(sharded.CanonicalOf(ga), sharded.CanonicalOf(gb));
+    EXPECT_EQ(sharded.merges_folded(), 0);
+    EXPECT_EQ(sharded.FinalizeClusters().size(), 1u);  // Only finalize folds.
+  }
+  // Drift re-queue: the periodic passes fold them mid-stream.
+  {
+    ShardedClusterer sharded(build(0.5));
+    int64_t ga = -1;
+    int64_t gb = -1;
+    run_stream(sharded, &ga, &gb);
+    EXPECT_EQ(sharded.CanonicalOf(ga), sharded.CanonicalOf(gb));
+    EXPECT_GE(sharded.merges_folded(), 1);
+    EXPECT_EQ(sharded.FinalizeClusters().size(), 1u);
+  }
+}
+
 // --- Sharded ingest pipeline path ---
 
 core::ClassifiedSample MakeClassifiedSample(const SyntheticStream& stream, int k) {
