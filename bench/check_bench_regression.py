@@ -8,6 +8,7 @@ Guardrail rows, matched per config:
   BENCH_query_batch.json     scenarios[].gpu_millis       (lower is better)
   BENCH_sharded_ingest.json  configs[].shards[].speedup   (exact mode only)
   BENCH_arena_resume.json    resume[].gpu_ratio           (higher is better)
+  BENCH_live_query.json      live_query[].publish_overhead (lower is better)
 
 sharded_ingest's fast-mode rows sit at parity by design (the per-object cache
 absorbs the scan the shards would parallelize) and their sub-2us timings swing
@@ -62,14 +63,15 @@ def check(name, fresh_rows, base_rows, key_fields, metric, higher_is_better, tol
           row_filter=None):
     base_by_key = {key_of(r, key_fields): r for r in base_rows}
     for row in fresh_rows:
-        if row_filter is not None and not row_filter(row):
-            continue
         key = key_of(row, key_fields)
-        # Correctness first, and independent of baseline presence: a fresh row
-        # whose `identical` flag went false must fail even if the config is
-        # new or its key fields changed.
+        # Correctness first, independent of baseline presence AND of the
+        # row filter: a fresh row whose `identical` flag went false must fail
+        # even if the config is new, its key fields changed, or its perf
+        # metric is not gated.
         if row.get("identical") is False:
             failures.append(f"{name} {key}: identical=false (correctness regression)")
+            continue
+        if row_filter is not None and not row_filter(row):
             continue
         base = base_by_key.get(key)
         if base is None or metric not in base or metric not in row:
@@ -106,6 +108,15 @@ def main():
          "speedup", True, lambda row: row.get("mode") == "exact"),
         ("BENCH_arena_resume.json", "resume", ["crash_fraction", "num_shards"], "gpu_ratio", True,
          None),
+        # Snapshot-publication overhead: share of the cadenced ingest wall spent
+        # building/publishing epoch snapshots (a ratio of CPU-bound times —
+        # median of 3 reps in the bench). Only rows the bench marks `gated`
+        # (full-length streams) are compared: the short rows sum sub-millisecond
+        # publish times that swing with scheduler noise. `identical` rows —
+        # snapshot vs halt-and-finalize — are gated unconditionally like every
+        # bench's.
+        ("BENCH_live_query.json", "live_query", ["num_shards", "stream_frames"],
+         "publish_overhead", False, lambda row: row.get("gated") is True),
     ]
     for filename, section, key_fields, metric, higher, row_filter in pairs:
         fresh = load(f"{fresh_dir}/{filename}")

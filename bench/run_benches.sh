@@ -9,7 +9,8 @@
 # --check compares the fresh BENCH_*.json against the tracked baselines in
 # bench/results/ instead of overwriting them, and exits non-zero on a >15%
 # regression of the guardrail rows (cluster_assign/sharded_ingest `speedup`,
-# query_batch `gpu_millis`, arena_resume `gpu_ratio`) or on any bench whose
+# query_batch `gpu_millis`, arena_resume `gpu_ratio`, live_query
+# `publish_overhead`) or on any bench whose
 # `identical` flag went false — the perf trajectory is enforceable, not just
 # recorded (see bench/check_bench_regression.py). A failed check re-runs the
 # benches once and only fails if the regression reproduces: wall-clock ratios
@@ -35,6 +36,7 @@ run_benches() {
   ./bench_sharded_ingest
   ./bench_query_batch
   ./bench_arena_resume
+  ./bench_live_query
 }
 run_benches
 

@@ -60,6 +60,7 @@ void IncrementalClusterer::Reset(ClustererOptions options) {
   clusters_.clear();
   store_.Reset();
   store_.SetHeadDim(options_.head_dim);
+  retired_store_.Reset();
   retire_heap_.clear();
   last_cluster_of_object_.clear();
   lru_.clear();
@@ -129,8 +130,18 @@ void IncrementalClusterer::RetireSmallest() {
     }
     c.active = false;
     store_.Remove(id);
+    if (retired_targets_) {
+      // Freeze the centroid as a merge target: a duplicate appearance in
+      // another shard may only show up after this retirement.
+      retired_store_.Add(id, c.centroid.data(), c.centroid.size(), c.size);
+    }
     return;
   }
+}
+
+void IncrementalClusterer::EnableRetiredMergeTargets() {
+  FOCUS_CHECK(clusters_.empty());
+  retired_targets_ = true;
 }
 
 void IncrementalClusterer::TouchLru(int64_t id) {
@@ -327,6 +338,15 @@ common::Result<bool> IncrementalClusterer::DecodeBookkeeping(std::string_view bo
   }
   if (active_count != store_.size()) {
     return corrupt();
+  }
+  if (retired_targets_) {
+    // Derived state: re-freeze every retired centroid (ascending id; merge
+    // results are slot-order independent, see retired_store()).
+    for (const Cluster& c : clusters_) {
+      if (!c.active) {
+        retired_store_.Add(c.id, c.centroid.data(), c.centroid.size(), c.size);
+      }
+    }
   }
 
   uint64_t num_objects = 0;

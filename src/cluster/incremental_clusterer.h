@@ -184,6 +184,24 @@ class IncrementalClusterer {
   // arena introspection).
   const CentroidStore& centroid_store() const { return store_; }
 
+  // --- Retired-centroid merge targets (sharded cross-shard merging) ---
+  //
+  // A retired cluster's centroid is frozen, but it is still a legitimate merge
+  // target: a duplicate appearance can arise in another shard *after* the
+  // cluster retired, and folding the pair is exactly what the periodic
+  // cross-shard merge is for. When enabled (ShardedClusterer does this at
+  // num_shards > 1), every retirement freezes the centroid into a secondary
+  // read-only CentroidStore that merge passes query alongside the active one.
+  // Must be called before the first assignment; volatile-cost is one row copy
+  // per retirement, and the store is rebuilt from the bookkeeping snapshot on
+  // recovery.
+  void EnableRetiredMergeTargets();
+  // Frozen centroids of retired clusters (empty unless enabled). Rows are
+  // appended in retirement order on a live run and in ascending-id order after
+  // recovery; FindNearest semantics (smallest-id tie break, exact pruning) are
+  // slot-order independent, so merge results do not depend on which.
+  const CentroidStore& retired_store() const { return retired_store_; }
+
  private:
   int64_t CreateCluster(const video::Detection& detection, const common::FeatureVec& feature);
   void Join(Cluster& cluster, const video::Detection& detection,
@@ -198,6 +216,11 @@ class IncrementalClusterer {
   ClustererOptions options_;
   std::vector<Cluster> clusters_;
   CentroidStore store_;
+  // Frozen centroids of retired clusters (EnableRetiredMergeTargets); always
+  // heap-backed — the centroids are already durable inside the bookkeeping
+  // snapshot, so the store is derived state.
+  CentroidStore retired_store_;
+  bool retired_targets_ = false;
   // Lazy min-heap of (size-at-push, cluster id) over active clusters; stale
   // entries (the size grew since push) are re-keyed on pop, so RetireSmallest
   // finds the (size, id)-smallest active cluster in O(log M) amortized instead

@@ -29,6 +29,12 @@ ShardedClusterer::ShardedClusterer(ShardedClustererOptions options)
   shards_.reserve(options_.num_shards);
   for (size_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<IncrementalClusterer>(options_.base));
+    if (options_.num_shards > 1) {
+      // Cross-shard merges must see retired centroids as targets: a duplicate
+      // of a retired cluster can appear in another shard after the retirement
+      // (at one shard there is no cross-shard pair, so skip the bookkeeping).
+      shards_.back()->EnableRetiredMergeTargets();
+    }
   }
   shard_items_.resize(options_.num_shards);
   merge_scanned_.resize(options_.num_shards, 0);
@@ -169,10 +175,12 @@ void ShardedClusterer::RunMergePass(bool full) {
   const double requeue_dist_sq = requeue_radius * requeue_radius;
   // Fixed scan order (shard ascending, local id ascending, other shards
   // ascending as targets) plus CentroidStore's smallest-id tie break keep the
-  // union-find a pure function of the stream. Only *active* centroids are
-  // scanned: a retired cluster can no longer fold, which is why passes run
-  // periodically rather than once at the end — folds are captured while both
-  // sides are still live. Incremental passes (full == false) use clusters
+  // union-find a pure function of the stream. Targets cover the active working
+  // set and the frozen retired centroids (retired_store): a retired cluster
+  // can no longer drift, but its appearance can re-arise in another shard
+  // after the retirement, and the pair must still fold — each such pair is
+  // captured from the later cluster's side when it queries as a new cluster.
+  // Incremental passes (full == false) use clusters
   // created since the previous pass as queries, plus active clusters that
   // drifted past the re-queue radius since they were last considered. The
   // drift sweep itself costs one L2 distance per already-considered active
@@ -192,13 +200,30 @@ void ShardedClusterer::RunMergePass(bool full) {
         if (t == s) {
           continue;
         }
-        const CentroidStore& store = shards_[t]->centroid_store();
-        if (store.empty() || store.dim() != c.centroid.size()) {
-          continue;
+        // Nearest target within T across the shard's active centroids AND its
+        // frozen retired ones: a cluster that retired before this query's
+        // cluster even existed is still the same real-world appearance and
+        // must fold. Ties between the two stores resolve toward the smaller
+        // local id, matching the single-store smallest-id semantics.
+        int64_t target = -1;
+        float target_dist = 0.0f;
+        for (const CentroidStore* store :
+             {&shards_[t]->centroid_store(), &shards_[t]->retired_store()}) {
+          if (store->empty() || store->dim() != c.centroid.size()) {
+            continue;
+          }
+          float dist_sq = 0.0f;
+          const int64_t found = store->FindNearest(c.centroid.data(), c.centroid.size(),
+                                                   threshold_sq, &dist_sq);
+          if (found < 0) {
+            continue;
+          }
+          if (target < 0 || dist_sq < target_dist ||
+              (dist_sq == target_dist && found < target)) {
+            target = found;
+            target_dist = dist_sq;
+          }
         }
-        float dist_sq = 0.0f;
-        const int64_t target = store.FindNearest(c.centroid.data(), c.centroid.size(),
-                                                 threshold_sq, &dist_sq);
         if (target >= 0) {
           Union(GlobalId(s, static_cast<int64_t>(l)), GlobalId(t, target));
         }
@@ -215,7 +240,13 @@ void ShardedClusterer::RunMergePass(bool full) {
       MergeCandidate& candidate = considered[i];
       const Cluster& c = clusters[candidate.local_id];
       if (!c.active) {
-        continue;  // Compacted away.
+        // Retired since last considered: one final query with the frozen
+        // centroid (it may have drifted into range of another shard's cluster
+        // between its last consideration and its retirement), then drop — the
+        // frozen centroid stays reachable as a merge *target* through
+        // retired_store() forever.
+        run_queries(candidate.local_id, c);
+        continue;
       }
       bool query = full;
       if (!query && requeue_dist_sq > 0.0) {
@@ -231,14 +262,17 @@ void ShardedClusterer::RunMergePass(bool full) {
       ++keep;
     }
     considered.resize(keep);
-    // Clusters created since the previous pass.
+    // Clusters created since the previous pass. A cluster that already retired
+    // (created and evicted within one interval) still queries once with its
+    // frozen centroid — its duplicate may be live in another shard — but is
+    // not tracked for drift: frozen centroids never move, and other shards'
+    // later clusters find it through the retired target store.
     for (size_t l = merge_scanned_[s]; l < clusters.size(); ++l) {
       const Cluster& c = clusters[l];
-      if (!c.active) {
-        continue;
-      }
       run_queries(l, c);
-      considered.push_back({l, c.centroid});
+      if (c.active) {
+        considered.push_back({l, c.centroid});
+      }
     }
     merge_scanned_[s] = clusters.size();
   }

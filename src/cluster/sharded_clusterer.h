@@ -115,9 +115,14 @@ class ShardedClusterer {
   void AssignBatch(const WorkItem* items, size_t count, runtime::WorkerPool* pool,
                    int64_t* out);
 
-  // Runs one *full* cross-shard merge pass now: every active cluster is
-  // queried against every other shard's store. FinalizeClusters() always runs
-  // one as its correctness backstop. The automatic periodic passes (every
+  // Runs one *full* cross-shard merge pass now: every active cluster (plus
+  // clusters new since the last pass, even if already retired) is queried
+  // against every other shard's active AND frozen retired centroids; a
+  // retired cluster that already issued its one final query in an earlier
+  // pass is not re-queried — its frozen centroid cannot move, and it stays
+  // reachable as a *target* forever, so each duplicate pair is still covered
+  // from its later-created side. FinalizeClusters() always runs one full pass
+  // as its correctness backstop. The automatic periodic passes (every
   // merge_interval assignments) are *incremental* — they query clusters
   // created since the previous pass, plus already-considered active clusters
   // whose centroid drifted more than merge_requeue_fraction * T since they

@@ -1,9 +1,12 @@
 #include "src/core/ingest_pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/cluster/cluster_codec.h"
@@ -64,6 +67,20 @@ class BestRankTable {
     for (const auto& [rank, cls] : ranked) {
       entry->topk_classes.push_back(cls);
       entry->topk_ranks.push_back(rank);
+    }
+  }
+
+  // Invokes |fn|(class, best_rank) for every class recorded for |cluster_id|.
+  // The windowed streaming finalize uses this to fold only the raw clusters of
+  // a *changed* canonical component instead of replaying the whole table.
+  template <typename Fn>
+  void ForEachOf(int64_t cluster_id, Fn&& fn) const {
+    if (static_cast<size_t>(cluster_id) >= present_.size()) {
+      return;
+    }
+    const std::vector<int32_t>& row = ranks_[static_cast<size_t>(cluster_id)];
+    for (common::ClassId cls : present_[static_cast<size_t>(cluster_id)]) {
+      fn(cls, row[static_cast<size_t>(cls)]);
     }
   }
 
@@ -240,6 +257,238 @@ struct PipelineState {
   }
 };
 
+// The windowed streaming finalize (src/core/live_snapshot.h): builds and
+// publishes the epoch snapshots of one ingest run. One instance lives for the
+// run and carries the delta-build state across epochs — which raw cluster ids
+// were assigned to since the last snapshot, and where each canonical cluster
+// sat in the previous epoch's index — so an unchanged canonical cluster's
+// index entry is carried forward instead of re-folded and re-sorted.
+//
+// Cadence discipline: boundaries are absolute sampled-frame multiples of
+// finalize_every_frames, so a crash-resumed run hits the same boundaries as an
+// uninterrupted one, and on the sharded path the boundary's full merge pass
+// runs whether or not a consumer is attached — a snapshot consumer observes
+// the stream, it never changes it.
+class WindowedFinalizer {
+ public:
+  WindowedFinalizer(const IngestOptions& options, double fps)
+      : every_(options.finalize_every_frames),
+        slot_(options.snapshot_slot),
+        sink_(options.snapshot_sink),
+        fps_(fps),
+        next_boundary_(every_ > 0 ? every_ : 0) {}
+
+  bool enabled() const { return every_ > 0; }
+  bool has_consumer() const { return slot_ != nullptr || sink_ != nullptr; }
+
+  // Streaming form: true after processing sampled frame |frame| completes a
+  // window (the watermark is then frame + 1).
+  bool AtBoundary(common::FrameIndex frame) const {
+    return enabled() && (frame + 1) % every_ == 0;
+  }
+
+  // Records an assignment target (raw global cluster id) since the last
+  // snapshot; the delta build rebuilds exactly the touched components.
+  void Touch(int64_t raw_id) {
+    if (enabled() && has_consumer()) {
+      touched_.insert(raw_id);
+    }
+  }
+
+  // Replay form: publishes every still-unpublished cadence boundary at or
+  // below |frame| (call before assigning a detection of |frame|; the
+  // classified sample carries no trailing empty frames, so boundaries are
+  // discovered from the detections themselves). |detections| is the number of
+  // sample entries already consumed — all of them below the boundary.
+  template <typename Clusterer>
+  void CatchUp(common::FrameIndex frame, Clusterer& clusterer, const BestRankTable& ranks,
+               int64_t detections) {
+    while (enabled() && frame >= next_boundary_) {
+      Publish(next_boundary_, clusterer, ranks, detections);
+      next_boundary_ += every_;
+    }
+  }
+  common::FrameIndex next_boundary() const { return next_boundary_; }
+
+  // Sequential form: cluster ids are dense and final; the canonical table is
+  // the clusterer's own table, so a clean entry is simply the same id's entry
+  // of the previous epoch.
+  void Publish(common::FrameIndex watermark, const cluster::IncrementalClusterer& clusterer,
+               const BestRankTable& ranks, int64_t detections) {
+    if (!has_consumer()) {
+      return;  // Sequential snapshots have no clustering side effects.
+    }
+    const auto start = std::chrono::steady_clock::now();
+    auto snap = std::make_unique<LiveSnapshot>();
+    snap->watermark = watermark;
+    snap->fps = fps_;
+    snap->detections = detections;
+    for (const cluster::Cluster& c : clusterer.clusters()) {
+      const bool clean = prev_ != nullptr &&
+                         static_cast<size_t>(c.id) < prev_sequential_clusters_ &&
+                         !touched_.contains(c.id);
+      if (clean) {
+        snap->index.AddClusterFrom(prev_->index, static_cast<size_t>(c.id));
+        ++snap->stats.entries_reused;
+      } else {
+        index::ClusterEntry entry;
+        entry.cluster_id = c.id;
+        entry.representative = c.representative;
+        entry.members = c.members;
+        entry.size = c.size;
+        ranks.Finalize(c.id, &entry);
+        snap->index.AddCluster(std::move(entry));
+        ++snap->stats.entries_rebuilt;
+      }
+    }
+    prev_sequential_clusters_ = clusterer.clusters().size();
+    Emit(std::move(snap), start);
+  }
+
+  // Sharded form: runs the full cross-shard merge to convergence first — the
+  // cadence side effect that must happen with or without a consumer — then
+  // folds the canonical table and delta-builds the index.
+  void Publish(common::FrameIndex watermark, cluster::ShardedClusterer& sharded,
+               const BestRankTable& ranks, int64_t detections) {
+    if (!has_consumer()) {
+      sharded.MergePass();  // Keep the boundary's merge semantics consumer-free.
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<cluster::Cluster> table = sharded.FinalizeClusters();
+
+    // Component census: raw clusters per canonical id. A canonical cluster is
+    // clean — its entry of the previous epoch still byte-exact — iff it
+    // existed then, no raw member was assigned to since, and its component
+    // composition (which only ever grows) kept the same raw count.
+    std::unordered_map<int64_t, int64_t> comp_count;
+    const size_t num_shards = sharded.num_shards();
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t locals = sharded.shard(s).clusters().size();
+      for (size_t l = 0; l < locals; ++l) {
+        ++comp_count[sharded.CanonicalOf(sharded.GlobalId(s, static_cast<int64_t>(l)))];
+      }
+    }
+    std::unordered_set<int64_t> touched_canonical;
+    touched_canonical.reserve(touched_.size());
+    for (int64_t raw : touched_) {
+      touched_canonical.insert(sharded.CanonicalOf(raw));
+    }
+    auto is_clean = [&](int64_t canonical) {
+      if (prev_ == nullptr || touched_canonical.contains(canonical)) {
+        return false;
+      }
+      auto slot = prev_slot_of_canonical_.find(canonical);
+      if (slot == prev_slot_of_canonical_.end()) {
+        return false;
+      }
+      auto prev_count = prev_comp_count_.find(canonical);
+      return prev_count != prev_comp_count_.end() &&
+             prev_count->second == comp_count.at(canonical);
+    };
+    // Raw members of each dirty component, (shard asc, local asc) — the rank
+    // fold is a min per class, so the order is immaterial.
+    std::unordered_map<int64_t, std::vector<int64_t>> dirty_raws;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t locals = sharded.shard(s).clusters().size();
+      for (size_t l = 0; l < locals; ++l) {
+        const int64_t g = sharded.GlobalId(s, static_cast<int64_t>(l));
+        const int64_t root = sharded.CanonicalOf(g);
+        if (!is_clean(root)) {
+          dirty_raws[root].push_back(g);
+        }
+      }
+    }
+
+    auto snap = std::make_unique<LiveSnapshot>();
+    snap->watermark = watermark;
+    snap->fps = fps_;
+    snap->detections = detections;
+    std::vector<std::pair<int32_t, common::ClassId>> ranked;  // Scratch per entry.
+    std::unordered_map<common::ClassId, size_t> rank_slot;
+    for (const cluster::Cluster& c : table) {
+      if (is_clean(c.id)) {
+        snap->index.AddClusterFrom(prev_->index, prev_slot_of_canonical_.at(c.id));
+        ++snap->stats.entries_reused;
+        continue;
+      }
+      index::ClusterEntry entry;
+      entry.cluster_id = c.id;
+      entry.representative = c.representative;
+      entry.members = c.members;
+      entry.size = c.size;
+      // Min-fold the component's raw rank rows, then sort (rank, class) —
+      // exactly BestRankTable::Finalize's order on the folded table.
+      ranked.clear();
+      rank_slot.clear();
+      for (int64_t raw : dirty_raws[c.id]) {
+        ranks.ForEachOf(raw, [&](common::ClassId cls, int32_t rank) {
+          auto [it, inserted] = rank_slot.try_emplace(cls, ranked.size());
+          if (inserted) {
+            ranked.emplace_back(rank, cls);
+          } else if (rank < ranked[it->second].first) {
+            ranked[it->second].first = rank;
+          }
+        });
+      }
+      std::sort(ranked.begin(), ranked.end());
+      entry.topk_classes.reserve(ranked.size());
+      entry.topk_ranks.reserve(ranked.size());
+      for (const auto& [rank, cls] : ranked) {
+        entry.topk_classes.push_back(cls);
+        entry.topk_ranks.push_back(rank);
+      }
+      snap->index.AddCluster(std::move(entry));
+      ++snap->stats.entries_rebuilt;
+    }
+
+    prev_slot_of_canonical_.clear();
+    prev_slot_of_canonical_.reserve(table.size());
+    for (size_t i = 0; i < table.size(); ++i) {
+      prev_slot_of_canonical_.emplace(table[i].id, i);
+    }
+    prev_comp_count_ = std::move(comp_count);
+    Emit(std::move(snap), start);
+  }
+
+ private:
+  void Emit(std::unique_ptr<LiveSnapshot> snap,
+            std::chrono::steady_clock::time_point start) {
+    snap->num_clusters = static_cast<int64_t>(snap->index.num_clusters());
+    snap->stats.build_millis =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::shared_ptr<const LiveSnapshot> published;
+    if (slot_ != nullptr) {
+      published = slot_->Publish(std::move(snap));
+    } else {
+      snap->epoch = ++fallback_epoch_;
+      published = std::move(snap);
+    }
+    if (sink_) {
+      sink_(published);
+    }
+    prev_ = std::move(published);
+    touched_.clear();
+  }
+
+  const int64_t every_;
+  SnapshotSlot* const slot_;
+  const std::function<void(std::shared_ptr<const LiveSnapshot>)> sink_;
+  const double fps_;
+  common::FrameIndex next_boundary_;
+  uint64_t fallback_epoch_ = 0;  // Epoch counter when publishing sink-only.
+
+  std::shared_ptr<const LiveSnapshot> prev_;
+  std::unordered_set<int64_t> touched_;  // Raw ids assigned since prev_.
+  // Sharded delta state: canonical id -> dense slot in prev_'s index, and the
+  // component raw count as of prev_.
+  std::unordered_map<int64_t, size_t> prev_slot_of_canonical_;
+  std::unordered_map<int64_t, int64_t> prev_comp_count_;
+  // Sequential delta state: cluster count as of prev_ (ids are dense + stable).
+  size_t prev_sequential_clusters_ = 0;
+};
+
 }  // namespace
 
 IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
@@ -308,6 +557,7 @@ IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ing
     }
   };
 
+  WindowedFinalizer finalizer(options, run.fps());
   int64_t frames_since_checkpoint = 0;
   bool crashed = false;
   run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
@@ -339,10 +589,20 @@ IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ing
         topk = &it->second;
         last_feature.insert_or_assign(d.object_id, std::move(feature));
       }
+      finalizer.Touch(cluster_id);
       // Raw global ids here; folded onto canonical ids after the final merge.
       for (size_t pos = 0; pos < topk->entries.size(); ++pos) {
         ranks.Update(cluster_id, topk->entries[pos].first, static_cast<int32_t>(pos) + 1);
       }
+    }
+    // Publish before the checkpoint so a checkpoint at the same frame captures
+    // the post-boundary merge state: a resumed run then restarts past the
+    // boundary exactly as the uninterrupted run left it, while a crash before
+    // the checkpoint replays the boundary pass from the prior one. Snapshots
+    // themselves are volatile — never checkpointed — and are republished from
+    // live state after the resumed run crosses its next boundary.
+    if (finalizer.AtBoundary(frame)) {
+      finalizer.Publish(frame + 1, clusterer, ranks, result.detections);
     }
     if (++frames_since_checkpoint >= options.checkpoint_every_frames) {
       evict_idle_entries(frame);
@@ -424,17 +684,47 @@ IngestResult RunIngestClassifiedSharded(const ClassifiedSample& sample,
 
   const size_t n = sample.detections.size();
   const size_t batch = std::max<size_t>(options.shard_batch, 1);
+  const size_t rank_width = static_cast<size_t>(std::min(params.k, sample.k));
+  WindowedFinalizer finalizer(options, sample.fps);
+  // Ranks accumulate on *raw* global ids during assignment (the windowed
+  // finalize needs rank state at every cadence boundary, not just at the end)
+  // and fold onto canonical ids per snapshot / at the final table build —
+  // min-rank union is associative, so this is byte-identical to the previous
+  // post-hoc canonical accounting.
+  BestRankTable ranks;
   std::vector<int64_t> assignments(n);
   std::vector<cluster::ShardedClusterer::WorkItem> items;
   items.reserve(std::min(batch, n));
-  for (size_t offset = 0; offset < n; offset += batch) {
-    const size_t count = std::min(batch, n - offset);
+  size_t offset = 0;
+  while (offset < n) {
+    finalizer.CatchUp(sample.detections[offset].detection.frame, sharded, ranks,
+                      static_cast<int64_t>(offset));
+    // One dispatch chunk: up to shard_batch items, never crossing the next
+    // cadence boundary (the chunk cut — like the boundary itself — is a pure
+    // function of the sample, so a run halted at a watermark chunks its
+    // prefix identically).
+    size_t count = 0;
+    while (offset + count < n && count < batch &&
+           (!finalizer.enabled() ||
+            sample.detections[offset + count].detection.frame < finalizer.next_boundary())) {
+      ++count;
+    }
     items.clear();
     for (size_t i = 0; i < count; ++i) {
       const ClassifiedDetection& entry = sample.detections[offset + i];
       items.push_back({&entry.detection, &entry.feature, entry.reused});
     }
     sharded.AssignBatch(items.data(), count, pool, assignments.data() + offset);
+    for (size_t i = 0; i < count; ++i) {
+      const ClassifiedDetection& entry = sample.detections[offset + i];
+      const int64_t raw = assignments[offset + i];
+      finalizer.Touch(raw);
+      const size_t width = std::min(rank_width, entry.topk.entries.size());
+      for (size_t pos = 0; pos < width; ++pos) {
+        ranks.Update(raw, entry.topk.entries[pos].first, static_cast<int32_t>(pos) + 1);
+      }
+    }
+    offset += count;
   }
   // A per-call pool is torn down here; a caller-supplied one stays alive (its
   // tasks are all drained — AssignBatch synchronizes per batch).
@@ -443,26 +733,19 @@ IngestResult RunIngestClassifiedSharded(const ClassifiedSample& sample,
   }
 
   std::vector<cluster::Cluster> canonical = sharded.FinalizeClusters();
+  result.detections = static_cast<int64_t>(n);
 
-  const size_t rank_width = static_cast<size_t>(std::min(params.k, sample.k));
-  BestRankTable ranks;
-  for (size_t i = 0; i < n; ++i) {
-    ++result.detections;
-    const int64_t cluster_id = sharded.CanonicalOf(assignments[i]);
-    const ClassifiedDetection& entry = sample.detections[i];
-    const size_t width = std::min(rank_width, entry.topk.entries.size());
-    for (size_t pos = 0; pos < width; ++pos) {
-      ranks.Update(cluster_id, entry.topk.entries[pos].first, static_cast<int32_t>(pos) + 1);
-    }
-  }
-
+  BestRankTable canonical_ranks;
+  ranks.ForEach([&](int64_t raw, common::ClassId cls, int32_t rank) {
+    canonical_ranks.Update(sharded.CanonicalOf(raw), cls, rank);
+  });
   for (const cluster::Cluster& c : canonical) {
     index::ClusterEntry entry;
     entry.cluster_id = c.id;
     entry.representative = c.representative;
     entry.members = c.members;
     entry.size = c.size;
-    ranks.Finalize(c.id, &entry);
+    canonical_ranks.Finalize(c.id, &entry);
     result.index.AddCluster(std::move(entry));
   }
   result.num_clusters = static_cast<int64_t>(result.index.num_clusters());
@@ -474,6 +757,7 @@ ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ing
                                 int k, const IngestOptions& options) {
   ClassifiedSample sample;
   sample.k = k;
+  sample.fps = run.fps();
 
   std::unordered_map<common::ObjectId, size_t> last_index;  // Object -> last stored entry.
   const common::FrameIndex limit_frame =
@@ -532,12 +816,15 @@ IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestPar
   }
 
   const size_t rank_width = static_cast<size_t>(std::min(params.k, sample.k));
+  WindowedFinalizer finalizer(options, sample.fps);
   BestRankTable ranks;
   for (const ClassifiedDetection& entry : sample.detections) {
+    finalizer.CatchUp(entry.detection.frame, clusterer, ranks, result.detections);
     ++result.detections;
     const int64_t cluster_id = entry.reused
                                    ? clusterer.AddSuppressed(entry.detection, entry.feature)
                                    : clusterer.Add(entry.detection, entry.feature);
+    finalizer.Touch(cluster_id);
     const size_t width = std::min(rank_width, entry.topk.entries.size());
     for (size_t pos = 0; pos < width; ++pos) {
       ranks.Update(cluster_id, entry.topk.entries[pos].first, static_cast<int32_t>(pos) + 1);
@@ -580,6 +867,7 @@ IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
   copts.mode = options.cluster_mode;
   cluster::IncrementalClusterer clusterer(copts);
 
+  WindowedFinalizer finalizer(options, run.fps());
   BestRankTable ranks;
   // Last classification of each object, reused on pixel-diff suppressed frames.
   std::unordered_map<common::ObjectId, cnn::TopKResult> last_result;
@@ -614,9 +902,13 @@ IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
         topk = &it->second;
         last_feature.insert_or_assign(d.object_id, std::move(feature));
       }
+      finalizer.Touch(cluster_id);
       for (size_t pos = 0; pos < topk->entries.size(); ++pos) {
         ranks.Update(cluster_id, topk->entries[pos].first, static_cast<int32_t>(pos) + 1);
       }
+    }
+    if (finalizer.AtBoundary(frame)) {
+      finalizer.Publish(frame + 1, clusterer, ranks, result.detections);
     }
   });
 

@@ -9,11 +9,14 @@
 #define FOCUS_SRC_CORE_INGEST_PIPELINE_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "src/cluster/incremental_clusterer.h"
 #include "src/cnn/cnn.h"
 #include "src/core/config.h"
+#include "src/core/live_snapshot.h"
 #include "src/index/topk_index.h"
 #include "src/video/stream_generator.h"
 
@@ -63,6 +66,27 @@ struct IngestOptions {
   // Assignments between periodic cross-shard centroid merges (0: merge only
   // when the stream finishes).
   int64_t shard_merge_interval = 8192;
+
+  // --- Windowed streaming finalize (src/core/live_snapshot.h,
+  //     docs/live_query.md) ---
+  // > 0: every N sampled frames, run the cross-shard merge to convergence over
+  // the window and publish an immutable, epoch-numbered canonical snapshot —
+  // the cluster table (as top-K index entries), the index, and the frame
+  // watermark — through snapshot_slot / snapshot_sink. Querying snapshot
+  // epoch e is byte-identical to halting ingest at e's watermark (with these
+  // same options) and finalizing the old one-shot way. On the sharded path
+  // the cadence is part of the clustering semantics — the boundary merge
+  // passes run whether or not a consumer is attached, so attaching one never
+  // changes results. 0 (default) keeps the pre-windowed behaviour: a canonical
+  // table only at end-of-stream.
+  int64_t finalize_every_frames = 0;
+  // RCU publication target for the snapshots (not owned; may be null).
+  // runtime::IngestService wires one per live stream and serves it through
+  // LatestSnapshot().
+  SnapshotSlot* snapshot_slot = nullptr;
+  // Optional observer invoked with every published snapshot (after the slot
+  // swap, if any); tests and benches use it to capture each epoch.
+  std::function<void(std::shared_ptr<const LiveSnapshot>)> snapshot_sink;
 
   // --- Persistent ingest (src/storage/arena_file.h, docs/persistence.md) ---
   // Directory for this stream's durable clustering state. Empty (the default)
@@ -122,6 +146,9 @@ struct ClassifiedSample {
   common::GpuMillis gpu_millis = 0.0;           // Cheap-CNN GPU time.
   int64_t cnn_invocations = 0;
   int64_t suppressed = 0;
+  // Recording rate of the classified stream (stamped onto published snapshots
+  // for time-range planning).
+  double fps = 30.0;
 };
 
 // Runs the classification stage only (IT1 + pixel differencing) over |run|.

@@ -1,0 +1,26 @@
+#include "src/core/live_snapshot.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace focus::core {
+
+std::shared_ptr<const LiveSnapshot> SnapshotSlot::Publish(
+    std::unique_ptr<LiveSnapshot> snapshot) {
+  FOCUS_CHECK(snapshot != nullptr);
+  std::shared_ptr<const LiveSnapshot> published;
+  std::shared_ptr<const LiveSnapshot> retired;  // Freed outside the lock.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot->epoch = (latest_ != nullptr ? latest_->epoch : 0) + 1;
+    published = std::move(snapshot);
+    retired = std::move(latest_);
+    latest_ = published;
+  }
+  // |retired| drops here: if this was the last reference, the old epoch's
+  // table is destroyed without holding the slot lock.
+  return published;
+}
+
+}  // namespace focus::core

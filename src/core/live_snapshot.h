@@ -1,0 +1,105 @@
+// Live query-over-ingest: epoch-published canonical snapshots of a stream that
+// is still being ingested.
+//
+// The paper's headline scenario is querying video while it is still arriving —
+// low-latency answers over streams that never end. A one-shot FinalizeClusters()
+// at end-of-stream can never serve that: an infinite stream has no end, so every
+// query would wait forever. The windowed streaming finalize
+// (core::IngestOptions::finalize_every_frames) instead runs the cross-shard
+// merge to convergence every N sampled frames and publishes the result as an
+// immutable LiveSnapshot: the canonical cluster table (carried as the top-K
+// index's cluster entries), the frame watermark the table covers, and a
+// monotone epoch number.
+//
+// Publication is an RCU-style pointer swap (SnapshotSlot): the ingest thread
+// builds the snapshot off to the side and swaps it in atomically; query threads
+// load the current pointer and keep the snapshot alive through their own
+// shared_ptr reference for as long as the query runs, so a reader never sees a
+// half-built table and never blocks the writer. Epochs are stamped by the slot
+// and strictly monotone; the watermark is the first sampled frame NOT covered,
+// so a snapshot with watermark w answers exactly what a query against a stream
+// halted at frame w and finalized the old way would answer — byte-identically
+// (tests/live_snapshot_test.cc holds this as a property over random streams).
+//
+// Snapshots are volatile: they are never written to disk and are rebuilt from
+// the ingest state after a crash-resume (docs/live_query.md covers the
+// interaction with Checkpoint()/OpenOrRecover()).
+#ifndef FOCUS_SRC_CORE_LIVE_SNAPSHOT_H_
+#define FOCUS_SRC_CORE_LIVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/common/time_types.h"
+#include "src/index/topk_index.h"
+
+namespace focus::core {
+
+// Build accounting of one snapshot (the publication overhead the live-query
+// bench tracks).
+struct LiveSnapshotStats {
+  // Index entries carried forward unchanged from the previous epoch (their
+  // component composition, members, and ranks did not change) vs rebuilt from
+  // the rank table. reused + rebuilt == index.num_clusters().
+  int64_t entries_reused = 0;
+  int64_t entries_rebuilt = 0;
+  // Wall-clock of the whole publication: cross-shard merge pass, canonical
+  // table build, index delta build, and the pointer swap.
+  double build_millis = 0.0;
+};
+
+// One immutable published snapshot. Everything here is frozen at publication;
+// readers share the object via shared_ptr and never synchronize further.
+struct LiveSnapshot {
+  // 1-based, strictly monotone per SnapshotSlot (stamped by Publish).
+  uint64_t epoch = 0;
+  // First sampled frame NOT covered: the snapshot answers queries over frames
+  // [0, watermark) exactly as halting ingest at |watermark| and finalizing
+  // would.
+  common::FrameIndex watermark = 0;
+  // Recording fps, for time-range-to-frame mapping at plan time.
+  double fps = 30.0;
+  // The canonical cluster table as the query side consumes it: one ClusterEntry
+  // per canonical cluster (representative, member runs, ranked top-K classes)
+  // plus the class postings.
+  index::TopKIndex index;
+  // Stream counters as of the watermark.
+  int64_t detections = 0;
+  int64_t num_clusters = 0;
+  LiveSnapshotStats stats;
+};
+
+// The RCU slot one ingest run publishes through. Single writer (the ingest
+// thread), any number of concurrent readers. The mutex guards only the
+// pointer copy/swap — nanoseconds — so readers never wait out a merge and the
+// writer never waits out a query: a reader pins its epoch via the shared_ptr
+// refcount and works lock-free from there. (An std::atomic<shared_ptr> would
+// drop even the micro-lock, but GCC 12's _Sp_atomic lock-bit protocol is
+// opaque to ThreadSanitizer and the sanitize gate runs this type.)
+class SnapshotSlot {
+ public:
+  SnapshotSlot() = default;
+  SnapshotSlot(const SnapshotSlot&) = delete;
+  SnapshotSlot& operator=(const SnapshotSlot&) = delete;
+
+  // The newest published snapshot, or null before the first epoch. The caller's
+  // shared_ptr keeps the snapshot (and every index entry a plan points into)
+  // alive even if a newer epoch is published mid-query.
+  std::shared_ptr<const LiveSnapshot> Latest() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latest_;
+  }
+
+  // Stamps the next epoch (previous + 1) onto |snapshot| and swaps it in.
+  // Returns the published (now immutable) snapshot. Single-writer only.
+  std::shared_ptr<const LiveSnapshot> Publish(std::unique_ptr<LiveSnapshot> snapshot);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const LiveSnapshot> latest_;
+};
+
+}  // namespace focus::core
+
+#endif  // FOCUS_SRC_CORE_LIVE_SNAPSHOT_H_

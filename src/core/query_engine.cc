@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "src/common/logging.h"
+#include "src/core/live_snapshot.h"
 
 namespace focus::core {
 
@@ -74,6 +75,10 @@ std::pair<common::FrameIndex, common::FrameIndex> FrameBoundsOfRange(common::Tim
 QueryEngine::QueryEngine(const index::TopKIndex* index, const cnn::Cnn* ingest_cnn,
                          const cnn::Cnn* gt_cnn)
     : index_(index), ingest_cnn_(ingest_cnn), gt_cnn_(gt_cnn) {}
+
+QueryEngine::QueryEngine(const LiveSnapshot* snapshot, const cnn::Cnn* ingest_cnn,
+                         const cnn::Cnn* gt_cnn)
+    : QueryEngine(&snapshot->index, ingest_cnn, gt_cnn) {}
 
 QueryPlan QueryEngine::Plan(common::ClassId cls, int kx, common::TimeRange range, double fps,
                             int min_kx) const {

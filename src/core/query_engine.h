@@ -41,6 +41,8 @@
 
 namespace focus::core {
 
+struct LiveSnapshot;
+
 struct QueryResult {
   common::ClassId queried = common::kInvalidClass;
   // Returned frames as sorted, disjoint [first, last] runs.
@@ -81,6 +83,14 @@ class QueryEngine {
   // |index|, |ingest_cnn| (the model that built the index, for label-space mapping)
   // and |gt_cnn| must outlive the engine.
   QueryEngine(const index::TopKIndex* index, const cnn::Cnn* ingest_cnn, const cnn::Cnn* gt_cnn);
+
+  // Live query-over-ingest (src/core/live_snapshot.h): plans against a
+  // published epoch snapshot's canonical index instead of a final one —
+  // results are byte-identical to halting ingest at the snapshot's watermark
+  // and finalizing. The caller must keep the snapshot alive across
+  // Plan/Resolve (hold its shared_ptr; runtime::QueryService's snapshot
+  // requests do).
+  QueryEngine(const LiveSnapshot* snapshot, const cnn::Cnn* ingest_cnn, const cnn::Cnn* gt_cnn);
 
   // Runs the query: Plan -> ClassifyPlan (one batch) -> Resolve. |kx| <= K restricts
   // matching to the top-kx indexed classes (negative: use the full indexed width K).

@@ -119,6 +119,10 @@ void TopKIndex::AddCluster(ClusterEntry entry) {
   clusters_.push_back(std::move(entry));
 }
 
+void TopKIndex::AddClusterFrom(const TopKIndex& prev, size_t prev_slot) {
+  AddCluster(prev.clusters_[prev_slot]);
+}
+
 const std::vector<int64_t>& TopKIndex::ClustersForClass(common::ClassId cls) const {
   auto it = postings_.find(cls);
   return it == postings_.end() ? empty_ : it->second;

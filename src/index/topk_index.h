@@ -68,6 +68,14 @@ class TopKIndex {
   // Adds a finalized cluster and updates the class postings.
   void AddCluster(ClusterEntry entry);
 
+  // Delta build (windowed streaming finalize, src/core/live_snapshot.h):
+  // carries cluster |prev_slot| of the previous epoch's index forward into
+  // this one unchanged (renumbered to this index's next dense id). Skips the
+  // per-entry construction work — the rank fold and ranked-class sort — that
+  // a canonical cluster untouched since the previous snapshot would only
+  // repeat verbatim.
+  void AddClusterFrom(const TopKIndex& prev, size_t prev_slot);
+
   // Cluster ids whose top-K classes include |cls| (posting list; unordered).
   const std::vector<int64_t>& ClustersForClass(common::ClassId cls) const;
 

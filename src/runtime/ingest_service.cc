@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "src/cnn/ground_truth.h"
 #include "src/common/logging.h"
 #include "src/runtime/worker_pool.h"
 
@@ -15,10 +17,38 @@ IngestService::IngestService(IngestServiceOptions options, MetricsRegistry* metr
   FOCUS_CHECK(options_.num_shards >= 0);
 }
 
+int64_t IngestService::FinalizeCadenceFor(const IngestJob& job) const {
+  return options_.finalize_every_frames > 0 ? options_.finalize_every_frames
+                                            : job.options.finalize_every_frames;
+}
+
 size_t IngestService::AddStream(IngestJob job) {
   FOCUS_CHECK(job.run != nullptr);
+  if (FinalizeCadenceFor(job) > 0) {
+    // Live stream: build the query-side context now, before any worker starts,
+    // so concurrent LatestSnapshot/LiveContext lookups never race AddStream.
+    FOCUS_CHECK(!live_.contains(job.name));
+    auto context = std::make_unique<LiveStreamContext>();
+    const video::ClassCatalog& catalog = job.run->catalog();
+    context->ingest_cnn = std::make_unique<cnn::Cnn>(job.params.model, &catalog);
+    context->gt_cnn =
+        std::make_unique<cnn::Cnn>(cnn::GtCnnDesc(catalog.world_seed()), &catalog);
+    context->fps = job.run->fps();
+    live_.emplace(job.name, std::move(context));
+  }
   jobs_.push_back(std::move(job));
   return jobs_.size() - 1;
+}
+
+std::shared_ptr<const core::LiveSnapshot> IngestService::LatestSnapshot(
+    const std::string& name) const {
+  const LiveStreamContext* context = LiveContext(name);
+  return context != nullptr ? context->slot.Latest() : nullptr;
+}
+
+const LiveStreamContext* IngestService::LiveContext(const std::string& name) const {
+  auto it = live_.find(name);
+  return it != live_.end() ? it->second.get() : nullptr;
 }
 
 FleetIngestSummary IngestService::RunAll() {
@@ -42,6 +72,10 @@ FleetIngestSummary IngestService::RunAll() {
         }
         if (!options_.persist_dir.empty()) {
           opts.persist_dir = options_.persist_dir + "/" + job.name;
+        }
+        opts.finalize_every_frames = FinalizeCadenceFor(job);
+        if (auto live = live_.find(job.name); live != live_.end()) {
+          opts.snapshot_slot = &live->second->slot;
         }
         report.result = core::RunIngest(*job.run, cheap, job.params, opts);
         const double video_millis = job.run->duration_sec() * 1000.0;

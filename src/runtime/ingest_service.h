@@ -13,6 +13,7 @@
 #ifndef FOCUS_SRC_RUNTIME_INGEST_SERVICE_H_
 #define FOCUS_SRC_RUNTIME_INGEST_SERVICE_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "src/cnn/cnn.h"
 #include "src/core/config.h"
 #include "src/core/ingest_pipeline.h"
+#include "src/core/live_snapshot.h"
 #include "src/runtime/gpu_device.h"
 #include "src/runtime/metrics.h"
 #include "src/video/stream_generator.h"
@@ -46,6 +48,18 @@ struct IngestReport {
   common::GpuMillis cluster_finish_millis = 0.0;
 };
 
+// Query-side context of one live (still-ingesting) stream: the RCU slot its
+// ingest worker publishes epoch snapshots through, plus everything a snapshot
+// query needs — the ingest model (label-space mapping), the GT-CNN (centroid
+// verdicts), and the recording fps (time-range planning). Stable from
+// AddStream() on; the slot is safe to read concurrently with RunAll().
+struct LiveStreamContext {
+  core::SnapshotSlot slot;
+  std::unique_ptr<cnn::Cnn> ingest_cnn;
+  std::unique_ptr<cnn::Cnn> gt_cnn;
+  double fps = 30.0;
+};
+
 struct IngestServiceOptions {
   int num_worker_threads = 4;
   int num_gpus = 1;
@@ -64,6 +78,14 @@ struct IngestServiceOptions {
   // Dollars per GPU-month used by CostPerStreamMonthly (the paper quotes Azure
   // pricing where Ingest-all costs ~$250/month/stream).
   double dollars_per_gpu_month = 250.0;
+  // Windowed streaming finalize cadence
+  // (core::IngestOptions::finalize_every_frames): > 0 overrides every
+  // registered job, gives each stream a LiveStreamContext, and publishes an
+  // epoch-numbered canonical snapshot every N sampled frames so queries can
+  // run against the stream while RunAll() is still ingesting it
+  // (LatestSnapshot). 0 leaves each job's own setting untouched (jobs that
+  // set their own cadence still get a context).
+  int64_t finalize_every_frames = 0;
 };
 
 struct FleetIngestSummary {
@@ -97,12 +119,33 @@ class IngestService {
   // Monthly cost of one stream whose ingest occupies |gpu_occupancy| of a device.
   double CostPerStreamMonthly(double gpu_occupancy) const;
 
+  // --- Live query-over-ingest (docs/live_query.md) ---
+  //
+  // The newest published canonical snapshot of |name|, or null before the
+  // first epoch / for streams without a live context. Thread-safe and safe to
+  // call concurrently with RunAll(): snapshots publish through an RCU pointer
+  // swap, and the returned shared_ptr keeps the epoch alive for as long as the
+  // caller's query runs.
+  std::shared_ptr<const core::LiveSnapshot> LatestSnapshot(const std::string& name) const;
+
+  // The live-query context of |name| (slot + models + fps), or null. Stable
+  // once AddStream returned; the server's QUERY verb uses it to execute
+  // snapshot queries.
+  const LiveStreamContext* LiveContext(const std::string& name) const;
+
   const IngestServiceOptions& options() const { return options_; }
 
  private:
+  // Cadence for |job| under the service-wide override.
+  int64_t FinalizeCadenceFor(const IngestJob& job) const;
+
   IngestServiceOptions options_;
   MetricsRegistry* metrics_;
   std::vector<IngestJob> jobs_;
+  // One context per live stream (jobs whose effective finalize cadence > 0),
+  // keyed by stream name. Built in AddStream — before RunAll's workers start —
+  // and never mutated afterwards, so concurrent lookups need no locking.
+  std::map<std::string, std::unique_ptr<LiveStreamContext>> live_;
 };
 
 }  // namespace focus::runtime

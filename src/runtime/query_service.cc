@@ -41,32 +41,55 @@ std::vector<QueryExecution> QueryService::ExecuteConcurrently(
   QueryBatchStats stats;
   stats.requests = static_cast<int64_t>(requests.size());
 
-  // Phase 1 — plan every request. Index lookups only; no GPU work yet.
-  std::vector<core::QueryPlan> plans;
+  // Phase 1 — plan every request. Index lookups only; no GPU work yet. A
+  // request targets either a finalized stream or a published live snapshot
+  // (live query-over-ingest); both reduce to the same plan/execute shape, with
+  // the verdict-sharing identity being the stream (stable across calls) or the
+  // snapshot object (one epoch — two requests share verdicts iff they query
+  // the very same epoch, whose entries are identical by construction).
+  struct PlannedRequest {
+    core::QueryPlan plan;
+    const void* identity = nullptr;
+    const cnn::Cnn* gt = nullptr;
+  };
+  std::vector<PlannedRequest> plans;
   plans.reserve(requests.size());
   for (const QueryRequest& request : requests) {
-    FOCUS_CHECK(request.stream != nullptr);
-    plans.push_back(request.stream->Plan(request.cls, request.kx, request.range));
+    FOCUS_CHECK((request.stream != nullptr) != (request.snapshot != nullptr));
+    PlannedRequest planned;
+    if (request.stream != nullptr) {
+      planned.plan = request.stream->Plan(request.cls, request.kx, request.range);
+      planned.identity = request.stream;
+      planned.gt = &request.stream->gt_cnn();
+    } else {
+      FOCUS_CHECK(request.ingest_cnn != nullptr && request.gt_cnn != nullptr);
+      planned.plan = core::QueryEngine(request.snapshot.get(), request.ingest_cnn,
+                                       request.gt_cnn)
+                         .Plan(request.cls, request.kx, request.range, request.fps);
+      planned.identity = request.snapshot.get();
+      planned.gt = request.gt_cnn;
+    }
+    plans.push_back(std::move(planned));
   }
 
   // Phase 2 — pool the work items across requests and deduplicate identical
-  // (stream, centroid) classifications: a cluster indexed under several queried
+  // (target, centroid) classifications: a cluster indexed under several queried
   // classes needs one GT-CNN verdict no matter how many concurrent queries ask.
   // Unique items keep first-appearance order (request order, plan order within a
   // request), which keeps the schedule deterministic.
   struct UniqueItem {
-    const core::FocusStream* stream = nullptr;
+    const void* identity = nullptr;
     int64_t cluster_id = -1;
     const video::Detection* centroid = nullptr;
   };
-  using WorkKey = std::pair<const core::FocusStream*, int64_t>;
+  using WorkKey = std::pair<const void*, int64_t>;
   std::vector<UniqueItem> unique;
   std::set<WorkKey> seen;
   for (size_t r = 0; r < requests.size(); ++r) {
-    for (const core::CentroidWorkItem& item : plans[r].work) {
+    for (const core::CentroidWorkItem& item : plans[r].plan.work) {
       ++stats.work_items;
-      if (seen.insert({requests[r].stream, item.cluster_id}).second) {
-        unique.push_back(UniqueItem{requests[r].stream, item.cluster_id, item.centroid});
+      if (seen.insert({plans[r].identity, item.cluster_id}).second) {
+        unique.push_back(UniqueItem{plans[r].identity, item.cluster_id, item.centroid});
       } else {
         ++stats.dedup_hits;
       }
@@ -75,27 +98,39 @@ std::vector<QueryExecution> QueryService::ExecuteConcurrently(
   stats.unique_items = static_cast<int64_t>(unique.size());
 
   // Phase 3 — pack the unique items into GT-CNN launches and run them. Items are
-  // grouped per stream (each stream classifies with its own GT-CNN instance);
+  // grouped per target (each target classifies with its own GT-CNN instance);
   // within a group the packer is parallelism-first: while there is less work than
   // idle GPUs, every centroid gets its own launch (the §5 fan-out, and exactly
   // the legacy per-centroid schedule at batch_size = 1); beyond that, launches
   // grow — up to batch_size images — so each launch pays its overhead once.
-  std::vector<const core::FocusStream*> stream_order;
-  std::map<const core::FocusStream*, std::vector<size_t>> by_stream;
-  for (size_t i = 0; i < unique.size(); ++i) {
-    auto [it, inserted] = by_stream.try_emplace(unique[i].stream);
+  struct TargetGroup {
+    const cnn::Cnn* gt = nullptr;
+    std::vector<size_t> items;
+  };
+  std::vector<const void*> target_order;
+  std::map<const void*, TargetGroup> by_target;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    auto [it, inserted] = by_target.try_emplace(plans[r].identity);
     if (inserted) {
-      stream_order.push_back(unique[i].stream);
+      it->second.gt = plans[r].gt;
+      target_order.push_back(plans[r].identity);
     }
-    it->second.push_back(i);
+  }
+  for (size_t i = 0; i < unique.size(); ++i) {
+    by_target.at(unique[i].identity).items.push_back(i);
   }
 
   std::map<WorkKey, SharedVerdict> verdicts;
   std::vector<const video::Detection*> crops;
   std::vector<cnn::TopKResult> classified;
-  for (const core::FocusStream* stream : stream_order) {
-    const std::vector<size_t>& items = by_stream.at(stream);
+  for (const void* target : target_order) {
+    const TargetGroup& group = by_target.at(target);
+    const cnn::Cnn& gt_cnn = *group.gt;
+    const std::vector<size_t>& items = group.items;
     const int64_t n = static_cast<int64_t>(items.size());
+    if (n == 0) {
+      continue;
+    }
     // Fewest launches the batch cap allows, rounded up to whole rounds of
     // num_gpus so the rounds stay balanced: 21 launches on 10 GPUs would leave
     // one GPU a third round while nine idle — worse latency than not batching —
@@ -117,12 +152,12 @@ std::vector<QueryExecution> QueryService::ExecuteConcurrently(
       for (int64_t i = 0; i < count; ++i) {
         crops.push_back(unique[items[static_cast<size_t>(offset + i)]].centroid);
       }
-      stream->gt_cnn().ClassifyBatch(crops, /*k=*/1, &classified);
-      const common::GpuMillis cost = stream->gt_cnn().BatchCostMillis(count);
+      gt_cnn.ClassifyBatch(crops, /*k=*/1, &classified);
+      const common::GpuMillis cost = gt_cnn.BatchCostMillis(count);
       const GpuJobTicket ticket = cluster_.Submit(submit, cost);
       for (int64_t i = 0; i < count; ++i) {
         const UniqueItem& item = unique[items[static_cast<size_t>(offset + i)]];
-        verdicts[{item.stream, item.cluster_id}] =
+        verdicts[{item.identity, item.cluster_id}] =
             SharedVerdict{classified[static_cast<size_t>(i)].Top1(), ticket.finish_millis};
       }
       ++stats.launches;
@@ -138,17 +173,22 @@ std::vector<QueryExecution> QueryService::ExecuteConcurrently(
   executions.reserve(requests.size());
   for (size_t r = 0; r < requests.size(); ++r) {
     std::vector<common::ClassId> plan_verdicts;
-    plan_verdicts.reserve(plans[r].work.size());
+    plan_verdicts.reserve(plans[r].plan.work.size());
     common::GpuMillis finish = submit;
-    for (const core::CentroidWorkItem& item : plans[r].work) {
-      const SharedVerdict& verdict = verdicts.at({requests[r].stream, item.cluster_id});
+    for (const core::CentroidWorkItem& item : plans[r].plan.work) {
+      const SharedVerdict& verdict = verdicts.at({plans[r].identity, item.cluster_id});
       plan_verdicts.push_back(verdict.top1);
       finish = std::max(finish, verdict.finish_millis);
     }
     QueryExecution execution;
     execution.submit_millis = submit;
     execution.finish_millis = finish;
-    execution.result = requests[r].stream->Resolve(plans[r], plan_verdicts);
+    execution.result =
+        requests[r].stream != nullptr
+            ? requests[r].stream->Resolve(plans[r].plan, plan_verdicts)
+            : core::QueryEngine(requests[r].snapshot.get(), requests[r].ingest_cnn,
+                                requests[r].gt_cnn)
+                  .Resolve(plans[r].plan, plan_verdicts);
 
     metrics_->IncrementCounter("query.requests");
     metrics_->IncrementCounter("query.centroids_classified",

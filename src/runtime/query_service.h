@@ -32,22 +32,40 @@
 #ifndef FOCUS_SRC_RUNTIME_QUERY_SERVICE_H_
 #define FOCUS_SRC_RUNTIME_QUERY_SERVICE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/focus_stream.h"
+#include "src/core/live_snapshot.h"
 #include "src/core/query_engine.h"
 #include "src/runtime/gpu_device.h"
 #include "src/runtime/metrics.h"
 
 namespace focus::runtime {
 
-// One query request against a built FocusStream.
+// One query request: against a built FocusStream, or — live query-over-ingest —
+// against a published epoch snapshot of a stream still being ingested. Exactly
+// one of |stream| / |snapshot| is set.
 struct QueryRequest {
   const core::FocusStream* stream = nullptr;  // Must outlive the service call.
   common::ClassId cls = common::kInvalidClass;
   int kx = -1;                 // Dynamic Kx (§5); negative uses the indexed K.
   common::TimeRange range{};   // Restriction to a time window.
+
+  // --- Live snapshot target (src/core/live_snapshot.h) ---
+  // The request's shared_ptr keeps the snapshot — and every index entry the
+  // plan points into — alive through execution even if the ingest worker
+  // publishes a newer epoch mid-query. Two concurrent requests against the
+  // same snapshot object share centroid verdicts exactly like two requests
+  // against the same stream; requests against different epochs never do (the
+  // entries differ). |ingest_cnn| (label-space mapping) and |gt_cnn| (centroid
+  // verdicts) are required with a snapshot; |fps| is the recording rate used
+  // for time-range planning (runtime::LiveStreamContext carries all three).
+  std::shared_ptr<const core::LiveSnapshot> snapshot;
+  const cnn::Cnn* ingest_cnn = nullptr;
+  const cnn::Cnn* gt_cnn = nullptr;
+  double fps = 30.0;
 };
 
 struct QueryExecution {

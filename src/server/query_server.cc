@@ -7,11 +7,13 @@ namespace focus::server {
 
 QueryServer::QueryServer(const core::FocusFleet* fleet, const video::ClassCatalog* catalog,
                          runtime::MetricsRegistry* metrics,
-                         runtime::QueryServiceOptions service_options)
+                         runtime::QueryServiceOptions service_options,
+                         const runtime::IngestService* live)
     : fleet_(fleet),
       catalog_(catalog),
       metrics_(metrics != nullptr ? metrics : &runtime::GlobalMetrics()),
-      service_options_(service_options) {}
+      service_options_(service_options),
+      live_(live) {}
 
 std::string QueryServer::HandleLine(const std::string& line) {
   metrics_->IncrementCounter("server.requests");
@@ -47,6 +49,9 @@ std::string QueryServer::HandleQuery(const Request& request) {
   }
   const core::FocusStream* stream = fleet_->Find(request.camera);
   if (stream == nullptr) {
+    if (live_ != nullptr && live_->LiveContext(request.camera) != nullptr) {
+      return HandleLiveQuery(request, cls);
+    }
     return ErrResponse(common::ErrorCode::kNotFound, "unknown camera " + request.camera);
   }
 
@@ -69,6 +74,43 @@ std::string QueryServer::HandleQuery(const Request& request) {
   out << "FRAMES " << qr.frames_returned << " RUNS " << qr.frame_runs.size() << " CENTROIDS "
       << qr.centroids_classified << " GPU_MS " << qr.gpu_millis << " LATENCY_MS "
       << execution.latency_millis();
+  for (const auto& [first, last] : qr.frame_runs) {
+    out << "\nRUN " << first << " " << last;
+  }
+  return OkResponse(out.str());
+}
+
+std::string QueryServer::HandleLiveQuery(const Request& request, common::ClassId cls) {
+  const runtime::LiveStreamContext* context = live_->LiveContext(request.camera);
+  // Pin the newest epoch for the whole request: the shared_ptr keeps the
+  // snapshot's index entries alive even if ingest publishes a newer epoch
+  // mid-query, and the response is byte-identical to halting ingest at the
+  // snapshot's watermark and finalizing (docs/live_query.md).
+  std::shared_ptr<const core::LiveSnapshot> snapshot = context->slot.Latest();
+  if (snapshot == nullptr) {
+    return ErrResponse(common::ErrorCode::kFailedPrecondition,
+                       "no snapshot published yet for " + request.camera);
+  }
+  runtime::QueryRequest query;
+  query.cls = cls;
+  query.kx = request.kx;
+  query.range = request.range;
+  query.snapshot = snapshot;
+  query.ingest_cnn = context->ingest_cnn.get();
+  query.gt_cnn = context->gt_cnn.get();
+  query.fps = context->fps;
+  runtime::QueryService service(service_options_, metrics_);
+  const runtime::QueryExecution execution = service.Execute(query);
+  metrics_->IncrementCounter("server.live_queries");
+  metrics_->Observe("server.query_gpu_millis", execution.result.gpu_millis);
+  metrics_->Observe("server.query_latency_millis", execution.latency_millis());
+
+  const core::QueryResult& qr = execution.result;
+  std::ostringstream out;
+  out << "LIVE EPOCH " << snapshot->epoch << " WATERMARK " << snapshot->watermark
+      << " FRAMES " << qr.frames_returned << " RUNS " << qr.frame_runs.size()
+      << " CENTROIDS " << qr.centroids_classified << " GPU_MS " << qr.gpu_millis
+      << " LATENCY_MS " << execution.latency_millis();
   for (const auto& [first, last] : qr.frame_runs) {
     out << "\nRUN " << first << " " << last;
   }

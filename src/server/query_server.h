@@ -12,12 +12,20 @@
 // |service_options|), so identical requests always produce byte-identical
 // responses — the reported LATENCY_MS is the request's wall-clock on an
 // otherwise idle cluster, not a function of whoever queried before it.
+//
+// Live query-over-ingest: with a |live| runtime::IngestService attached, a
+// QUERY for a camera not (yet) in the fleet is answered from the stream's
+// newest published canonical snapshot while its ingest is still running — the
+// response carries EPOCH and WATERMARK, and the frame runs are byte-identical
+// to what halting ingest at that watermark and finalizing would return
+// (docs/live_query.md).
 #ifndef FOCUS_SRC_SERVER_QUERY_SERVER_H_
 #define FOCUS_SRC_SERVER_QUERY_SERVER_H_
 
 #include <string>
 
 #include "src/core/fleet.h"
+#include "src/runtime/ingest_service.h"
 #include "src/runtime/metrics.h"
 #include "src/runtime/query_service.h"
 #include "src/server/protocol.h"
@@ -29,10 +37,14 @@ class QueryServer {
  public:
   // |fleet| and |catalog| must outlive the server; |metrics| may be null
   // (global). |service_options| configures the per-request virtual GPU cluster
-  // and batching (defaults: 10 GPUs, batch_size 32).
+  // and batching (defaults: 10 GPUs, batch_size 32). |live| (optional, must
+  // outlive the server) serves QUERYs on cameras whose ingest is still
+  // running, from their published live snapshots; fleet cameras win on a name
+  // collision (a finalized index covers the whole recording).
   QueryServer(const core::FocusFleet* fleet, const video::ClassCatalog* catalog,
               runtime::MetricsRegistry* metrics = nullptr,
-              runtime::QueryServiceOptions service_options = {});
+              runtime::QueryServiceOptions service_options = {},
+              const runtime::IngestService* live = nullptr);
 
   // Parses and executes one request line; always returns a framed response
   // ("OK ..." or "ERR <code> ...") and never throws.
@@ -43,6 +55,9 @@ class QueryServer {
 
  private:
   std::string HandleQuery(const Request& request);
+  // QUERY against a camera whose ingest is still running: plans over the
+  // newest published epoch snapshot.
+  std::string HandleLiveQuery(const Request& request, common::ClassId cls);
   std::string HandleCameras();
   std::string HandleClasses(const std::string& filter);
   std::string HandleStats(const std::string& camera);
@@ -51,6 +66,7 @@ class QueryServer {
   const video::ClassCatalog* catalog_;
   runtime::MetricsRegistry* metrics_;
   runtime::QueryServiceOptions service_options_;
+  const runtime::IngestService* live_;
 };
 
 }  // namespace focus::server

@@ -360,6 +360,73 @@ TEST(ShardedIngestPipelineTest, CallerSuppliedPoolMatchesPerCallPool) {
   pool.Shutdown();
 }
 
+TEST(ShardedClustererTest, RetiredClusterFoldsWithDuplicateCreatedAfterRetirement) {
+  // Regression (ROADMAP: "retired clusters never merge"): shard A builds
+  // cluster X for appearance V, X is retired by the active-set cap, and only
+  // THEN does shard B first see V and build its own cluster Y. X is no longer
+  // in A's active store, so before retired centroids became merge targets the
+  // pair never folded; now Y's merge query finds X's frozen centroid and the
+  // canonical table carries one cluster for V.
+  ShardedClustererOptions opts;
+  opts.base.threshold = 0.5;
+  opts.base.mode = ClustererOptions::Mode::kExact;
+  opts.base.max_active = 2;  // Tiny cap so X retires.
+  opts.num_shards = 2;
+  opts.merge_interval = 0;  // Only the explicit/final pass merges.
+  ShardedClusterer sharded(opts);
+
+  // Pick object ids by their shard.
+  auto object_in_shard = [&](size_t shard, common::ObjectId start) {
+    common::ObjectId object = start;
+    while (sharded.ShardOf(object) != shard) {
+      ++object;
+    }
+    return object;
+  };
+  const common::ObjectId a0 = object_in_shard(0, 0);
+  const common::ObjectId a1 = object_in_shard(0, a0 + 1);
+  const common::ObjectId a2 = object_in_shard(0, a1 + 1);
+  const common::ObjectId b0 = object_in_shard(1, 0);
+
+  common::Pcg32 rng(0xBEEF);
+  const common::FeatureVec v = common::RandomUnitVector(16, rng);
+  const common::FeatureVec other1 = common::RandomUnitVector(16, rng);
+  const common::FeatureVec other2 = common::RandomUnitVector(16, rng);
+
+  // Shard 0: X for appearance V, then two bigger clusters; creating the third
+  // at max_active=2 retires the (size, id)-smallest — X.
+  const int64_t x = sharded.Add(Det(a0, 0), v);
+  sharded.Add(Det(a1, 1), other1);
+  sharded.Add(Det(a1, 2), other1);
+  sharded.Add(Det(a2, 3), other2);
+  sharded.Add(Det(a2, 4), other2);
+  const size_t x_local = static_cast<size_t>(x / 2);
+  ASSERT_FALSE(sharded.shard(0).clusters()[x_local].active) << "X must be retired";
+  ASSERT_EQ(sharded.shard(0).retired_store().size(), 1u);
+
+  // Shard 1: the duplicate appearance, only now.
+  const int64_t y = sharded.Add(Det(b0, 5), v);
+  ASSERT_NE(x, y);
+
+  const std::vector<Cluster> table = sharded.FinalizeClusters();
+  EXPECT_EQ(sharded.CanonicalOf(y), x) << "duplicate must fold onto the retired cluster";
+  EXPECT_GE(sharded.merges_folded(), 1);
+
+  int64_t total_size = 0;
+  bool found_fold = false;
+  for (const Cluster& c : table) {
+    total_size += c.size;
+    if (c.id == x) {
+      found_fold = true;
+      EXPECT_EQ(c.size, 2);  // X's detection + Y's.
+      EXPECT_EQ(c.members.size(), 2u);
+    }
+    EXPECT_NE(c.id, y) << "Y must not appear as its own canonical cluster";
+  }
+  EXPECT_TRUE(found_fold);
+  EXPECT_EQ(total_size, 6);  // All detections conserved through the fold.
+}
+
 TEST(ShardedIngestPipelineTest, FourShardsConserveIndexedDetections) {
   const SyntheticStream stream = MakeStream(48, 16, 900, 19);
   const core::ClassifiedSample sample = MakeClassifiedSample(stream, 3);
