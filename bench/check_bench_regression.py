@@ -9,6 +9,7 @@ Guardrail rows, matched per config:
   BENCH_sharded_ingest.json  configs[].shards[].speedup   (exact mode only)
   BENCH_arena_resume.json    resume[].gpu_ratio           (higher is better)
   BENCH_live_query.json      live_query[].publish_overhead (lower is better)
+  BENCH_chaos.json           overhead[].wrapped_over_direct (lower is better)
 
 sharded_ingest's fast-mode rows sit at parity by design (the per-object cache
 absorbs the scan the shards would parallelize) and their sub-2us timings swing
@@ -117,6 +118,12 @@ def main():
         # bench's.
         ("BENCH_live_query.json", "live_query", ["num_shards", "stream_frames"],
          "publish_overhead", False, lambda row: row.get("gated") is True),
+        # No-fault overhead of the robustness machinery (docs/robustness.md):
+        # wall ratio of the checked/supervised ingest path over the direct one
+        # with no fault plan armed. Target < 1.05; the standard tolerance gates
+        # it. `identical` (wrapped result byte-identical to direct) is gated
+        # unconditionally like every bench's.
+        ("BENCH_chaos.json", "overhead", ["path"], "wrapped_over_direct", False, None),
     ]
     for filename, section, key_fields, metric, higher, row_filter in pairs:
         fresh = load(f"{fresh_dir}/{filename}")

@@ -47,6 +47,7 @@ void CentroidStore::Reset() {
   undo_ = nullptr;
   checkpoint_rows_ = 0;
   dirty_.clear();
+  deferred_error_.reset();
   scan_candidates_ = 0;
   scan_pruned_ = 0;
   scan_head_only_ = 0;
@@ -91,6 +92,11 @@ void CentroidStore::AttachArena(storage::ArenaFile* file, storage::RecordLogWrit
 }
 
 common::Result<uint64_t> CentroidStore::CommitCheckpoint() {
+  if (deferred_error_.has_value()) {
+    // A write-ahead append failed earlier in this window (the store detached to
+    // heap mode); the durable state must not advance past the missing pre-image.
+    return *deferred_error_;
+  }
   FOCUS_CHECK(file_ != nullptr);
   auto committed = file_->Commit(ids_.size());
   if (!committed.ok()) {
@@ -106,7 +112,14 @@ void CentroidStore::FixDim(size_t dim) {
   head_dim_ = head_override_ > 0 ? std::min(dim, head_override_) : HeadDimFor(dim);
   if (file_ != nullptr) {
     auto initialized = file_->Initialize(dim_, head_dim_);
-    FOCUS_CHECK(initialized.ok());
+    if (!initialized.ok()) {
+      // The arena could not be shaped; the columns are still on the heap.
+      // Finish the attempt in memory and fail the next CommitCheckpoint.
+      deferred_error_ = initialized.error();
+      file_ = nullptr;
+      undo_ = nullptr;
+      return;
+    }
     BindColumns(0);
   }
 }
@@ -116,7 +129,17 @@ void CentroidStore::EnsureRowCapacity(size_t rows) {
     return;
   }
   auto reserved = file_->Reserve(rows);
-  FOCUS_CHECK(reserved.ok());
+  if (!reserved.ok()) {
+    // The file could not grow (transient truncate failure). When the old
+    // mapping survived — it does for a refused ftruncate, which fails before
+    // anything is unmapped — the attempt continues on the heap and the error
+    // surfaces at the next CommitCheckpoint. A mapping actually lost mid-swap
+    // is unsalvageable: the columns' bytes are gone.
+    FOCUS_CHECK(file_->mapped());
+    deferred_error_ = reserved.error();
+    DetachFromFile();
+    return;
+  }
   // The mapping may have moved; refresh every column's base pointer.
   arena_.Rebind(file_->arena());
   head_.Rebind(file_->head());
@@ -140,8 +163,28 @@ void CentroidStore::PrepareRowMutation(size_t row) {
   record.norm = file_->norms()[row];
   record.centroid.assign(file_->arena() + row * dim_, file_->arena() + (row + 1) * dim_);
   auto appended = undo_->Append(record.Encode());
-  FOCUS_CHECK(appended.ok());
+  if (!appended.ok()) {
+    // Without a durable pre-image this row must not be overwritten in the
+    // mapped file — recovery could no longer restore the checkpoint. Freeze
+    // the file (it stays rollback-able as-is), finish the attempt on the heap,
+    // and surface the failure at the next CommitCheckpoint.
+    deferred_error_ = appended.error();
+    DetachFromFile();
+    return;
+  }
   dirty_[row] = true;
+}
+
+void CentroidStore::DetachFromFile() {
+  arena_.DetachToHeap();
+  head_.DetachToHeap();
+  norms_.DetachToHeap();
+  sizes_.DetachToHeap();
+  ids_.DetachToHeap();
+  file_ = nullptr;
+  undo_ = nullptr;
+  checkpoint_rows_ = 0;
+  dirty_.clear();
 }
 
 int32_t CentroidStore::SlotOf(int64_t id) const {

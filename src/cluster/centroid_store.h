@@ -45,6 +45,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <vector>
 
 #include "src/common/result.h"
@@ -106,6 +107,17 @@ class ArenaColumn {
   }
   // Refreshes the base pointer after a Reserve remapped the file.
   void Rebind(T* base) { map_ = base; }
+  // Falls back to heap storage, copying the mapped contents. Used when the
+  // write-ahead undo log fails mid-window: the mapped file must stop changing
+  // so recovery can still roll it back to the last checkpoint exactly.
+  void DetachToHeap() {
+    if (!mapped_) {
+      return;
+    }
+    heap_.assign(map_, map_ + size_);
+    mapped_ = false;
+    map_ = nullptr;
+  }
 
  private:
   std::vector<T> heap_;
@@ -229,8 +241,16 @@ class CentroidStore {
   // when the mapping moved.
   void EnsureRowCapacity(size_t rows);
   // Mapped mode with an undo writer: logs the pre-image of |row| before its
-  // first overwrite inside the current checkpoint window.
+  // first overwrite inside the current checkpoint window. If the write-ahead
+  // append fails, the store detaches to heap mode (DetachFromFile) — the
+  // mapped file must not change without a durable pre-image — records the
+  // error, and fails the next CommitCheckpoint with it. The in-memory working
+  // set stays fully correct either way.
   void PrepareRowMutation(size_t row);
+  // Copies every column off the mapped file onto the heap and drops the file
+  // and undo bindings: on-disk state freezes in a rollback-able window while
+  // this attempt finishes in memory.
+  void DetachFromFile();
   void BindColumns(size_t rows);
 
   static constexpr int32_t kNoSlot = -1;
@@ -249,6 +269,9 @@ class CentroidStore {
   storage::RecordLogWriter* undo_ = nullptr;    // Write-ahead pre-image log.
   size_t checkpoint_rows_ = 0;   // Rows covered by the last durable checkpoint.
   std::vector<bool> dirty_;      // Per checkpointed row: pre-image already logged.
+  // First write-ahead failure of this attempt; sticky until Reset. While set,
+  // CommitCheckpoint refuses (the durable state cannot advance past it).
+  std::optional<common::Error> deferred_error_;
 
   mutable std::vector<float> head_dist_;  // FindNearest per-slot head partials.
   mutable int64_t scan_candidates_ = 0;

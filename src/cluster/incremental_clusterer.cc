@@ -397,11 +397,12 @@ common::Result<bool> IncrementalClusterer::DecodeBookkeeping(std::string_view bo
 common::Result<bool> IncrementalClusterer::AttachPersistence(
     std::unique_ptr<storage::ArenaFile> arena, const std::string& undo_path) {
   FOCUS_CHECK(clusters_.empty() && store_.empty() && arena_file_ == nullptr);
-  auto writer = storage::RecordLogWriter::Open(undo_path, /*truncate=*/true);
+  auto writer = storage::RecordLogWriter::Open(undo_path, /*truncate=*/true, options_.undo_fsync);
   if (!writer.ok()) {
     return writer.error();
   }
   arena_file_ = std::move(arena);
+  arena_file_->SetFsyncPolicy(options_.arena_fsync);
   undo_path_ = undo_path;
   undo_writer_ =
       std::make_unique<storage::RecordLogWriter>(std::move(writer).value());
@@ -415,11 +416,12 @@ common::Result<bool> IncrementalClusterer::RestorePersistent(
   FOCUS_CHECK(clusters_.empty() && store_.empty() && arena_file_ == nullptr);
   // Append mode: the old window's records stay until the caller's re-seal
   // checkpoint rotates the log; no mutation happens in between.
-  auto writer = storage::RecordLogWriter::Open(undo_path, /*truncate=*/false);
+  auto writer = storage::RecordLogWriter::Open(undo_path, /*truncate=*/false, options_.undo_fsync);
   if (!writer.ok()) {
     return writer.error();
   }
   arena_file_ = std::move(arena);
+  arena_file_->SetFsyncPolicy(options_.arena_fsync);
   undo_path_ = undo_path;
   undo_writer_ =
       std::make_unique<storage::RecordLogWriter>(std::move(writer).value());
@@ -439,7 +441,7 @@ common::Result<uint64_t> IncrementalClusterer::CommitArena() {
 
 common::Result<bool> IncrementalClusterer::RotateUndoLog(uint64_t generation) {
   FOCUS_CHECK(arena_file_ != nullptr);
-  auto writer = storage::RecordLogWriter::Open(undo_path_, /*truncate=*/true);
+  auto writer = storage::RecordLogWriter::Open(undo_path_, /*truncate=*/true, options_.undo_fsync);
   if (!writer.ok()) {
     return writer.error();
   }

@@ -36,6 +36,7 @@
 
 #include "src/cluster/centroid_store.h"
 #include "src/common/feature_vector.h"
+#include "src/storage/fsync_policy.h"
 #include "src/common/result.h"
 #include "src/common/time_types.h"
 #include "src/video/detection.h"
@@ -84,6 +85,12 @@ struct ClustererOptions {
   // any width, so this is a cost knob — bench_cluster_assign uses it to compare
   // head-tile policies on identical workloads.
   size_t head_dim = 0;
+  // Persistent path only: fsync cadence of the centroid arena's checkpoint
+  // commits and of the write-ahead undo log (see storage/fsync_policy.h and
+  // the durability table in docs/persistence.md). Defaults match the original
+  // hard-coded behavior: arena synced every commit, undo log never.
+  storage::FsyncOptions arena_fsync = storage::FsyncOptions::EveryCommit();
+  storage::FsyncOptions undo_fsync = storage::FsyncOptions::Never();
 };
 
 // Outcome of OpenOrRecover: whether a prior checkpoint was adopted, and the

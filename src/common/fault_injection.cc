@@ -1,0 +1,105 @@
+#include "src/common/fault_injection.h"
+
+#include <atomic>
+
+namespace focus::common {
+namespace {
+
+std::atomic<FaultPlan*> g_active_plan{nullptr};
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::FireOnHit(const std::string& site, int64_t hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteRule& rule = StateFor(site).rule;
+  rule.fire_on_hit = hit;
+  rule.sticky = false;
+  return *this;
+}
+
+FaultPlan& FaultPlan::FireAlwaysFrom(const std::string& site, int64_t hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteRule& rule = StateFor(site).rule;
+  rule.fire_on_hit = hit;
+  rule.sticky = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::FireWithProbability(const std::string& site, double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteRule& rule = StateFor(site).rule;
+  rule.probability = p;
+  return *this;
+}
+
+bool FaultPlan::ShouldFail(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Unmentioned sites never fire, but their hits are still counted: a sweep test
+  // arms an empty plan, runs once to learn how often each site is reached, then
+  // re-runs with FireOnHit(site, n) for every n up to that count.
+  SiteState& state = StateFor(site);
+  ++state.hits;
+  bool fire = false;
+  SiteRule& rule = state.rule;
+  if (rule.fire_on_hit > 0) {
+    fire = rule.sticky ? state.hits >= rule.fire_on_hit : state.hits == rule.fire_on_hit;
+  }
+  if (!fire && rule.probability > 0.0) {
+    if (!rule.rng_seeded) {
+      rule.rng = Pcg32(DeriveSeed(seed_, HashString(site)));
+      rule.rng_seeded = true;
+    }
+    fire = rule.rng.NextBool(rule.probability);
+  }
+  if (fire) ++state.fires;
+  return fire;
+}
+
+int64_t FaultPlan::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultPlan::FireCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+int64_t FaultPlan::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [site, state] : sites_) total += state.fires;
+  return total;
+}
+
+FaultPlan::SiteState& FaultPlan::StateFor(const std::string& site) {
+  return sites_[site];  // Default-constructed on first mention.
+}
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan* plan)
+    : previous_(g_active_plan.exchange(plan, std::memory_order_release)) {}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  g_active_plan.store(previous_, std::memory_order_release);
+}
+
+bool FaultPoint(const char* site) {
+  FaultPlan* plan = g_active_plan.load(std::memory_order_relaxed);
+  if (plan == nullptr) return false;
+  return plan->ShouldFail(site);
+}
+
+FaultPlan* ActiveFaultPlan() { return g_active_plan.load(std::memory_order_relaxed); }
+
+}  // namespace focus::common

@@ -1,0 +1,104 @@
+// Deterministic fault injection for chaos testing.
+//
+// Production code marks its failure-prone operations with named *sites*:
+//
+//   if (common::FaultPoint("arena.commit.msync")) return common::Unavailable(...);
+//
+// With no plan armed (the default, and the only production configuration) a site is a
+// single relaxed atomic load — cheap enough to leave compiled into release builds, so
+// the chaos suite exercises the exact binaries the benches measure.
+//
+// Tests arm a FaultPlan describing *when* each site fires:
+//   - FireOnHit(site, n):       fire exactly on the nth time the site is reached
+//                               (1-based), once.
+//   - FireAlwaysFrom(site, n):  fire on the nth and every later hit — a persistent
+//                               failure (dead disk, wedged GPU).
+//   - FireWithProbability(site, p): independent Bernoulli(p) per hit from a per-site
+//                               PCG stream seeded by (plan seed, site name) — random
+//                               but reproducible given the same hit sequence.
+//
+// Determinism caveat: hit counts are global per site, so concurrent threads racing
+// through the same site interleave nondeterministically. The chaos suites pin the
+// fault-bearing paths to one thread (single ingest worker, sequential checkpoint);
+// see docs/robustness.md.
+#ifndef FOCUS_SRC_COMMON_FAULT_INJECTION_H_
+#define FOCUS_SRC_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace focus::common {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 0) : seed_(seed) {}
+
+  // Fire exactly on the |hit|th (1-based) time |site| is reached.
+  FaultPlan& FireOnHit(const std::string& site, int64_t hit);
+  // Fire on the |hit|th (1-based) and every subsequent hit of |site|.
+  FaultPlan& FireAlwaysFrom(const std::string& site, int64_t hit);
+  // Fire each hit of |site| independently with probability |p|, from a per-site
+  // deterministic stream.
+  FaultPlan& FireWithProbability(const std::string& site, double p);
+
+  // Called by FaultPoint(); counts the hit and decides whether it fires.
+  bool ShouldFail(const char* site);
+
+  // Observability for tests: how often a site was reached / actually fired.
+  int64_t HitCount(const std::string& site) const;
+  int64_t FireCount(const std::string& site) const;
+  // Total fires across all sites.
+  int64_t TotalFires() const;
+
+ private:
+  struct SiteRule {
+    int64_t fire_on_hit = 0;      // 1-based; 0 = disabled.
+    bool sticky = false;          // FireAlwaysFrom semantics.
+    double probability = 0.0;     // Bernoulli per hit when > 0.
+    bool rng_seeded = false;
+    Pcg32 rng;
+  };
+  struct SiteState {
+    SiteRule rule;
+    int64_t hits = 0;
+    int64_t fires = 0;
+  };
+
+  SiteState& StateFor(const std::string& site);
+
+  const uint64_t seed_;
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+};
+
+// Arms |plan| process-wide for the current scope. Nesting replaces the outer plan
+// until the inner scope exits. Not thread-safe against concurrent arming; tests arm
+// once, run, disarm.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan* plan);
+  ~ScopedFaultPlan();
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+ private:
+  FaultPlan* previous_;
+};
+
+// The injection site check. Returns true when the armed plan says this hit of |site|
+// fails; always false when no plan is armed.
+bool FaultPoint(const char* site);
+
+// The currently armed plan, or nullptr. Exposed for decorators (FlakyStreamRun) that
+// need richer behavior than a boolean at a point.
+FaultPlan* ActiveFaultPlan();
+
+}  // namespace focus::common
+
+#endif  // FOCUS_SRC_COMMON_FAULT_INJECTION_H_

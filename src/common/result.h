@@ -22,6 +22,16 @@ enum class ErrorCode {
   kOutOfRange,
   kInternal,
   kIo,
+  // A transient fault: the operation failed now but a retry (possibly after a
+  // restart-and-resume) may succeed — a flapping camera, a failed GPU launch,
+  // a worker whose checkpoint commit was interrupted.
+  kUnavailable,
+  // The operation exceeded its (virtual-time) deadline; the work it occupied
+  // is wasted but the system state is unchanged.
+  kTimeout,
+  // Durable state is unrecoverably inconsistent: recovery found corruption it
+  // could not repair. Never retryable.
+  kDataLoss,
 };
 
 struct Error {
@@ -43,8 +53,23 @@ inline const char* ErrorCodeName(ErrorCode code) {
       return "Internal";
     case ErrorCode::kIo:
       return "Io";
+    case ErrorCode::kUnavailable:
+      return "Unavailable";
+    case ErrorCode::kTimeout:
+      return "Timeout";
+    case ErrorCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
+}
+
+// Whether a failed operation with this code is worth retrying (in place or by
+// restarting the worker and resuming from its checkpoint). kIo is retryable
+// because the storage layer's recovery path repairs torn writes on reopen: an
+// interrupted commit leaves the arena restorable at the previous generation,
+// so the retry re-runs the commit rather than compounding the damage.
+inline bool IsRetryable(ErrorCode code) {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout || code == ErrorCode::kIo;
 }
 
 template <typename T>
@@ -95,6 +120,11 @@ inline Error FailedPrecondition(std::string message) {
 inline Error OutOfRange(std::string message) { return Error{ErrorCode::kOutOfRange, std::move(message)}; }
 inline Error Internal(std::string message) { return Error{ErrorCode::kInternal, std::move(message)}; }
 inline Error IoError(std::string message) { return Error{ErrorCode::kIo, std::move(message)}; }
+inline Error Unavailable(std::string message) {
+  return Error{ErrorCode::kUnavailable, std::move(message)};
+}
+inline Error Timeout(std::string message) { return Error{ErrorCode::kTimeout, std::move(message)}; }
+inline Error DataLoss(std::string message) { return Error{ErrorCode::kDataLoss, std::move(message)}; }
 
 }  // namespace focus::common
 

@@ -1,0 +1,59 @@
+// Bounded retry with exponential backoff in virtual time.
+//
+// The simulator has no wall clock to wait on: backoff is *accounted*, not slept.
+// RetryWithBackoff runs the operation up to |max_attempts| times, accumulating the
+// virtual milliseconds a production system would have spent waiting between attempts
+// into RetryStats::backoff_millis. Callers that track virtual time (the GPU cluster,
+// the ingest cost model) add that to their clocks; callers that don't still get
+// deterministic, schedule-independent retry behavior.
+//
+// Retry is only attempted for codes IsRetryable() accepts (Unavailable, Timeout, Io);
+// anything else — InvalidArgument, DataLoss — fails fast on the first occurrence.
+#ifndef FOCUS_SRC_COMMON_RETRY_H_
+#define FOCUS_SRC_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/result.h"
+
+namespace focus::common {
+
+struct RetryPolicy {
+  // Total attempts, including the first (so 3 = one try + two retries).
+  int max_attempts = 3;
+  // Virtual backoff before the first retry; doubles (by |backoff_multiplier|) per
+  // subsequent retry, capped at |max_backoff_millis|.
+  double initial_backoff_millis = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_millis = 1000.0;
+};
+
+struct RetryStats {
+  int attempts = 0;           // Attempts actually made.
+  double backoff_millis = 0;  // Total virtual time spent backing off.
+};
+
+// Runs |fn| (signature: Result<T>()) under |policy|. Returns the first success, or
+// the last error once attempts are exhausted / the error is not retryable. |stats|
+// may be null.
+template <typename Fn>
+auto RetryWithBackoff(const RetryPolicy& policy, Fn&& fn, RetryStats* stats = nullptr)
+    -> decltype(fn()) {
+  double backoff = policy.initial_backoff_millis;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    auto result = fn();
+    if (stats != nullptr) stats->attempts = attempt;
+    if (result.ok()) return result;
+    if (attempt >= max_attempts || !IsRetryable(result.error().code)) return result;
+    if (stats != nullptr) stats->backoff_millis += backoff;
+    backoff = std::min(backoff * policy.backoff_multiplier, policy.max_backoff_millis);
+  }
+}
+
+}  // namespace focus::common
+
+#endif  // FOCUS_SRC_COMMON_RETRY_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -491,8 +492,10 @@ class WindowedFinalizer {
 
 }  // namespace
 
-IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
-                                const IngestParams& params, const IngestOptions& options) {
+common::Result<IngestResult> RunIngestResumableChecked(const video::StreamRun& run,
+                                                       const cnn::Cnn& ingest_cnn,
+                                                       const IngestParams& params,
+                                                       const IngestOptions& options) {
   FOCUS_CHECK(!options.persist_dir.empty());
   FOCUS_CHECK(options.num_shards >= 1);
   FOCUS_CHECK(options.checkpoint_every_frames >= 1);
@@ -501,6 +504,8 @@ IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ing
   sopts.base.threshold = params.cluster_threshold;
   sopts.base.max_active = options.max_active_clusters;
   sopts.base.mode = options.cluster_mode;
+  sopts.base.arena_fsync = options.arena_fsync;
+  sopts.base.undo_fsync = options.undo_fsync;
   sopts.num_shards = static_cast<size_t>(options.num_shards);
   sopts.merge_interval = options.shard_merge_interval;
   cluster::ShardedClusterer clusterer(sopts);
@@ -508,7 +513,7 @@ IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ing
   auto recovery = clusterer.OpenOrRecover(options.persist_dir);
   if (!recovery.ok()) {
     FOCUS_LOG(kError) << "ingest recovery failed: " << recovery.error().message;
-    FOCUS_CHECK(recovery.ok());
+    return recovery.error();
   }
 
   IngestResult result;
@@ -523,7 +528,11 @@ IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ing
   common::FrameIndex resume_frame = 0;
   if (recovery->recovered) {
     resume_frame = recovery->position;
-    FOCUS_CHECK(state.Decode(recovery->user_state));
+    if (!state.Decode(recovery->user_state)) {
+      // The meta snapshot passed its CRC but the pipeline blob inside does not
+      // parse: durable state from a future/corrupt writer. Not retryable.
+      return common::DataLoss("ingest pipeline state undecodable: " + options.persist_dir);
+    }
   }
   result.resumed_from_frame = resume_frame;
 
@@ -535,17 +544,18 @@ IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ing
 
   // Reuse-map eviction: pixel differencing only ever reuses the result of the
   // same object's *previous sampled frame* (suppression requires the crop to
-  // match frame-to-frame, and tracks are continuous), so an entry idle for
-  // more than a few sampled frames belongs to an exited track and can never
-  // be read again. Evicting those at every checkpoint keeps the snapshotted
-  // pipeline state proportional to the objects currently in scene instead of
-  // every object the stream has ever shown — which is what keeps recovery
-  // O(working set) on long retention windows.
-  constexpr common::FrameIndex kReuseEvictGapFrames = 8;
+  // match frame-to-frame), so an entry idle longer than the configured gap is
+  // treated as an exited track and dropped. Evicting those at every checkpoint
+  // keeps the snapshotted pipeline state proportional to the objects currently
+  // in scene instead of every object the stream has ever shown — which is what
+  // keeps recovery O(working set) on long retention windows. The gap bounds
+  // the occlusion length a track may survive suppressed; see
+  // IngestOptions::reuse_evict_gap_frames.
+  const common::FrameIndex reuse_evict_gap = options.reuse_evict_gap_frames;
   auto evict_idle_entries = [&](common::FrameIndex frame) {
     for (auto it = last_result.begin(); it != last_result.end();) {
       const auto seen = last_seen.find(it->first);
-      if (seen == last_seen.end() || frame - seen->second > kReuseEvictGapFrames) {
+      if (seen == last_seen.end() || frame - seen->second > reuse_evict_gap) {
         last_feature.erase(it->first);
         if (seen != last_seen.end()) {
           last_seen.erase(seen);
@@ -560,8 +570,10 @@ IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ing
   WindowedFinalizer finalizer(options, run.fps());
   int64_t frames_since_checkpoint = 0;
   bool crashed = false;
-  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
-    if (crashed || frame < resume_frame || frame >= limit_frame) {
+  std::optional<common::Error> failure;
+  video::SweepStats sweep =
+      run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+    if (crashed || failure.has_value() || frame < resume_frame || frame >= limit_frame) {
       return;
     }
     if (crash_frame >= 0 && frame >= crash_frame) {
@@ -606,24 +618,47 @@ IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ing
     }
     if (++frames_since_checkpoint >= options.checkpoint_every_frames) {
       evict_idle_entries(frame);
-      auto checkpointed = clusterer.Checkpoint(frame + 1, state.Encode());
-      FOCUS_CHECK(checkpointed.ok());
+      // A transiently failing commit (msync hiccup, rename rejected) is
+      // retried in place: the checkpoint protocol is re-runnable after any
+      // partial failure (the meta rename is the single commit point; arena
+      // generation skips are harmless). Only a persistently failing commit
+      // abandons the attempt to the supervisor.
+      const std::string encoded = state.Encode();
+      auto checkpointed = common::RetryWithBackoff(
+          options.checkpoint_retry, [&] { return clusterer.Checkpoint(frame + 1, encoded); });
+      if (!checkpointed.ok()) {
+        failure = checkpointed.error();
+        return;
+      }
       frames_since_checkpoint = 0;
     }
   });
 
+  if (failure.has_value()) {
+    return *failure;
+  }
   if (crashed) {
     // Exactly like a crash: whatever the last periodic checkpoint captured is
     // the durable state; this attempt's partial counters are returned for the
     // caller's accounting but nothing further is published.
     return result;
   }
+  if (sweep.aborted) {
+    // The stream cut out mid-recording (camera flap / uplink loss). The last
+    // checkpoint is durable; a restarted worker resumes from it and replays
+    // the tail once the stream comes back.
+    return common::Unavailable("stream delivery aborted mid-recording");
+  }
 
   // Seal the end of the stream, then finalize. The final full merge pass and
   // the canonical fold happen in memory after the seal; a crash during them
   // resumes at the sealed position and re-finalizes.
-  auto sealed = clusterer.Checkpoint(limit_frame, state.Encode());
-  FOCUS_CHECK(sealed.ok());
+  const std::string sealed_state = state.Encode();
+  auto sealed = common::RetryWithBackoff(
+      options.checkpoint_retry, [&] { return clusterer.Checkpoint(limit_frame, sealed_state); });
+  if (!sealed.ok()) {
+    return sealed.error();
+  }
 
   std::vector<cluster::Cluster> canonical = clusterer.FinalizeClusters();
   BestRankTable canonical_ranks;
@@ -642,6 +677,16 @@ IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ing
   result.num_clusters = static_cast<int64_t>(result.index.num_clusters());
   result.clusterer_fast_hit_rate = clusterer.FastHitRate();
   return result;
+}
+
+IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
+                                const IngestParams& params, const IngestOptions& options) {
+  auto result = RunIngestResumableChecked(run, ingest_cnn, params, options);
+  if (!result.ok()) {
+    FOCUS_LOG(kError) << "resumable ingest failed: " << result.error().message;
+    FOCUS_CHECK(result.ok());
+  }
+  return *std::move(result);
 }
 
 // Detections are dispatched in shard_batch chunks onto a dedicated worker pool
@@ -764,7 +809,8 @@ ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ing
       options.limit_sec < 0.0 ? run.num_frames()
                               : static_cast<common::FrameIndex>(options.limit_sec * run.fps());
 
-  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+  const video::SweepStats sweep = run.ForEachFrame([&](common::FrameIndex frame,
+                                                       const std::vector<video::Detection>& dets) {
     if (frame >= limit_frame) {
       return;
     }
@@ -789,6 +835,7 @@ ClassifiedSample ClassifySample(const video::StreamRun& run, const cnn::Cnn& ing
       sample.detections.push_back(std::move(entry));
     }
   });
+  sample.delivery_aborted = sweep.aborted;
   return sample;
 }
 
@@ -845,19 +892,26 @@ IngestResult RunIngestClassified(const ClassifiedSample& sample, const IngestPar
   return result;
 }
 
-IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
-                       const IngestParams& params, const IngestOptions& options) {
+common::Result<IngestResult> RunIngestChecked(const video::StreamRun& run,
+                                              const cnn::Cnn& ingest_cnn,
+                                              const IngestParams& params,
+                                              const IngestOptions& options) {
   FOCUS_CHECK(options.num_shards >= 1);
   if (!options.persist_dir.empty()) {
-    return RunIngestResumable(run, ingest_cnn, params, options);
+    return RunIngestResumableChecked(run, ingest_cnn, params, options);
   }
   if (options.num_shards > 1) {
     // Classify once (IT1 + pixel differencing, the only GPU-bearing stage),
     // then shard clustering + indexing across the worker pool. GPU time,
     // invocation, and suppression accounting come from the classification pass
     // and are identical to the streaming path's.
-    return RunIngestClassified(ClassifySample(run, ingest_cnn, params.k, options), params,
-                               options);
+    ClassifiedSample sample = ClassifySample(run, ingest_cnn, params.k, options);
+    if (sample.delivery_aborted) {
+      // Volatile ingest has no checkpoint to resume from: the restarted worker
+      // re-ingests from frame 0 (the recording itself is intact).
+      return common::Unavailable("stream delivery aborted mid-recording");
+    }
+    return RunIngestClassified(sample, params, options);
   }
   IngestResult result;
 
@@ -877,7 +931,8 @@ IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
       options.limit_sec < 0.0 ? run.num_frames()
                               : static_cast<common::FrameIndex>(options.limit_sec * run.fps());
 
-  run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
+  const video::SweepStats sweep = run.ForEachFrame([&](common::FrameIndex frame,
+                                                       const std::vector<video::Detection>& dets) {
     if (frame >= limit_frame) {
       return;
     }
@@ -911,6 +966,9 @@ IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
       finalizer.Publish(frame + 1, clusterer, ranks, result.detections);
     }
   });
+  if (sweep.aborted) {
+    return common::Unavailable("stream delivery aborted mid-recording");
+  }
 
   // IT4: finalize clusters into the top-K index, each carrying its top-K classes by
   // aggregated confidence.
@@ -926,6 +984,16 @@ IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
   result.num_clusters = static_cast<int64_t>(result.index.num_clusters());
   result.clusterer_fast_hit_rate = clusterer.FastHitRate();
   return result;
+}
+
+IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
+                       const IngestParams& params, const IngestOptions& options) {
+  auto result = RunIngestChecked(run, ingest_cnn, params, options);
+  if (!result.ok()) {
+    FOCUS_LOG(kError) << "ingest failed: " << result.error().message;
+    FOCUS_CHECK(result.ok());
+  }
+  return *std::move(result);
 }
 
 }  // namespace focus::core

@@ -15,9 +15,12 @@
 
 #include "src/cluster/incremental_clusterer.h"
 #include "src/cnn/cnn.h"
+#include "src/common/result.h"
+#include "src/common/retry.h"
 #include "src/core/config.h"
 #include "src/core/live_snapshot.h"
 #include "src/index/topk_index.h"
+#include "src/storage/fsync_policy.h"
 #include "src/video/stream_generator.h"
 
 namespace focus::runtime {
@@ -51,6 +54,13 @@ struct IngestOptions {
   // Honor pixel-differencing suppression (§4.2). Disabled by the ablation bench to
   // measure how much ingest cost the technique saves.
   bool use_pixel_diff = true;
+  // Persistent path: sampled frames an object may sit idle in the pixel-diff
+  // reuse maps before checkpoint-time eviction drops its entry. Must exceed the
+  // longest occlusion gap after which a track can resume *suppressed* — an
+  // evicted object that returns suppressed is reclassified, diverging from the
+  // volatile run. 8 keeps recovery O(objects in scene) for continuous tracks;
+  // raise it for scenes with long occlusions (parked-then-moving vehicles).
+  common::FrameIndex reuse_evict_gap_frames = 8;
 
   // --- Sharded intra-stream clustering (src/cluster/sharded_clusterer.h) ---
   // Clustering shards for this stream: 1 runs the plain sequential
@@ -104,12 +114,40 @@ struct IngestOptions {
   // final checkpoint, exactly like an ingest worker crash. The returned
   // result carries the partial counters only.
   int64_t crash_after_frames = -1;
+  // Retry policy for checkpoint commits (including the end-of-stream seal) on
+  // the persistent path: a transiently failing msync/rename is retried with
+  // virtual-time backoff before the attempt is abandoned to the supervisor.
+  common::RetryPolicy checkpoint_retry;
+  // Fsync cadence of the durable state (threaded to ClustererOptions; see
+  // storage/fsync_policy.h and docs/persistence.md). Defaults preserve the
+  // original behavior: arena synced every checkpoint, undo log never.
+  storage::FsyncOptions arena_fsync = storage::FsyncOptions::EveryCommit();
+  storage::FsyncOptions undo_fsync = storage::FsyncOptions::Never();
 };
 
 // Runs ingest over |run| with |ingest_cnn| and parameters |params|. With
-// options.persist_dir set this is RunIngestResumable.
+// options.persist_dir set this is RunIngestResumable. Crashes (FOCUS_CHECK) on
+// any storage or stream-delivery failure; fault-tolerant callers (the
+// supervised IngestService workers) use RunIngestChecked instead.
 IngestResult RunIngest(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
                        const IngestParams& params, const IngestOptions& options = {});
+
+// Fallible ingest: every failure mode — recovery errors, checkpoint commits
+// that stay failed past options.checkpoint_retry, a stream whose delivery
+// aborted mid-recording (SweepStats::aborted) — surfaces as a typed error
+// instead of a crash. Retryable codes (see common::IsRetryable) mean a
+// restarted worker resumes from the last checkpoint (persistent path) or from
+// scratch (volatile path) and can converge to the no-fault result.
+common::Result<IngestResult> RunIngestChecked(const video::StreamRun& run,
+                                              const cnn::Cnn& ingest_cnn,
+                                              const IngestParams& params,
+                                              const IngestOptions& options = {});
+
+// Fallible crash-resumable ingest (options.persist_dir must be set).
+common::Result<IngestResult> RunIngestResumableChecked(const video::StreamRun& run,
+                                                       const cnn::Cnn& ingest_cnn,
+                                                       const IngestParams& params,
+                                                       const IngestOptions& options);
 
 // Crash-resumable ingest (options.persist_dir must be set). State beyond the
 // mmap'd centroid arenas — counters, the pixel-differencing reuse maps, and
@@ -149,6 +187,10 @@ struct ClassifiedSample {
   // Recording rate of the classified stream (stamped onto published snapshots
   // for time-range planning).
   double fps = 30.0;
+  // True when the sweep stopped early (FlakyStreamRun mid-stream restart): the
+  // sample covers a prefix of the recording only. Checked callers treat this
+  // as a retryable failure rather than silently indexing the prefix.
+  bool delivery_aborted = false;
 };
 
 // Runs the classification stage only (IT1 + pixel differencing) over |run|.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/fault_injection.h"
 #include "src/common/logging.h"
 
 namespace focus::runtime {
@@ -44,6 +45,21 @@ GpuJobTicket GpuCluster::Submit(common::GpuMillis now_millis, common::GpuMillis 
   }
   GpuJobTicket ticket = devices_[best].Submit(now_millis, cost_millis);
   ticket.device = static_cast<int>(best);
+  return ticket;
+}
+
+common::Result<GpuJobTicket> GpuCluster::TrySubmit(common::GpuMillis now_millis,
+                                                   common::GpuMillis cost_millis) {
+  if (common::FaultPoint("gpu.launch")) {
+    // Rejected before dispatch: no device was occupied, a retry is free.
+    return common::Unavailable("injected gpu.launch failure");
+  }
+  GpuJobTicket ticket = Submit(now_millis, cost_millis);
+  if (common::FaultPoint("gpu.timeout")) {
+    // The job ran (the device stays busy until finish_millis — that virtual
+    // GPU time is wasted) but produced nothing usable.
+    return common::Timeout("injected gpu.timeout after " + std::to_string(cost_millis) + "ms");
+  }
   return ticket;
 }
 

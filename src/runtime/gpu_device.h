@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/result.h"
 #include "src/common/time_types.h"
 
 namespace focus::runtime {
@@ -79,6 +80,17 @@ class GpuCluster {
   // Submits one job at |now_millis| to the device that frees up earliest (ties to
   // the lowest index, keeping dispatch deterministic).
   GpuJobTicket Submit(common::GpuMillis now_millis, common::GpuMillis cost_millis);
+
+  // Fallible submit, consulting the fault-injection sites:
+  //   "gpu.launch"  - the launch is rejected up front (driver error, OOM on the
+  //                   device): no device time is occupied; returns Unavailable.
+  //   "gpu.timeout" - the job wedges: it occupies its device for the full cost
+  //                   (the virtual time is genuinely wasted) but returns Timeout
+  //                   instead of a usable result.
+  // With no fault armed, behaves exactly like Submit. Callers that must survive
+  // flaky GPUs route launches through this and retry per their RetryPolicy.
+  common::Result<GpuJobTicket> TrySubmit(common::GpuMillis now_millis,
+                                         common::GpuMillis cost_millis);
 
   // Submits |count| identical jobs at |now_millis| and returns the virtual time at
   // which the last one finishes. This is the wall-clock latency of an

@@ -10,11 +10,24 @@
 
 namespace focus::runtime {
 
+const char* StreamStateName(StreamState state) {
+  switch (state) {
+    case StreamState::kHealthy:
+      return "Healthy";
+    case StreamState::kDegraded:
+      return "Degraded";
+    case StreamState::kDown:
+      return "Down";
+  }
+  return "Unknown";
+}
+
 IngestService::IngestService(IngestServiceOptions options, MetricsRegistry* metrics)
     : options_(options), metrics_(metrics != nullptr ? metrics : &GlobalMetrics()) {
   FOCUS_CHECK(options_.num_worker_threads >= 1);
   FOCUS_CHECK(options_.num_gpus >= 1);
   FOCUS_CHECK(options_.num_shards >= 0);
+  FOCUS_CHECK(options_.max_worker_restarts >= 0);
 }
 
 int64_t IngestService::FinalizeCadenceFor(const IngestJob& job) const {
@@ -51,6 +64,42 @@ const LiveStreamContext* IngestService::LiveContext(const std::string& name) con
   return it != live_.end() ? it->second.get() : nullptr;
 }
 
+StreamHealth IngestService::Health(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  auto it = health_.find(name);
+  return it != health_.end() ? it->second : StreamHealth{};
+}
+
+std::map<std::string, StreamHealth> IngestService::FleetHealth() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_;
+}
+
+void IngestService::RecordFailure(const std::string& name, const common::Error& error,
+                                  bool down) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  StreamHealth& health = health_[name];
+  health.state = down ? StreamState::kDown : StreamState::kDegraded;
+  ++health.consecutive_failures;
+  health.last_error = error.message;
+  health.last_code = error.code;
+}
+
+void IngestService::RecordRestart(const std::string& name) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  ++health_[name].restarts;
+}
+
+void IngestService::RecordSuccess(const std::string& name) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  auto it = health_.find(name);
+  if (it == health_.end()) {
+    return;  // Never failed: implicitly Healthy, keep the registry sparse.
+  }
+  it->second.state = StreamState::kHealthy;
+  it->second.consecutive_failures = 0;
+}
+
 FleetIngestSummary IngestService::RunAll() {
   FleetIngestSummary summary;
   summary.reports.resize(jobs_.size());
@@ -77,7 +126,34 @@ FleetIngestSummary IngestService::RunAll() {
         if (auto live = live_.find(job.name); live != live_.end()) {
           opts.snapshot_slot = &live->second->slot;
         }
-        report.result = core::RunIngest(*job.run, cheap, job.params, opts);
+        // Supervision loop: a retryable failure restarts the worker in place —
+        // on the persistent path the restarted attempt resumes from the last
+        // checkpoint (RunIngestChecked re-runs OpenOrRecover), on the volatile
+        // path it re-ingests from frame 0. The budget bounds flapping.
+        int restarts_left = options_.max_worker_restarts;
+        while (true) {
+          auto outcome = core::RunIngestChecked(*job.run, cheap, job.params, opts);
+          if (outcome.ok()) {
+            report.result = *std::move(outcome);
+            RecordSuccess(job.name);
+            break;
+          }
+          const common::Error& error = outcome.error();
+          const bool give_up = !common::IsRetryable(error.code) || restarts_left <= 0;
+          RecordFailure(job.name, error, give_up);
+          if (give_up) {
+            FOCUS_LOG(kError) << "ingest worker down (" << job.name
+                              << "): " << common::ErrorCodeName(error.code) << ": "
+                              << error.message;
+            report.error = error;
+            break;
+          }
+          --restarts_left;
+          RecordRestart(job.name);
+          FOCUS_LOG(kWarning) << "ingest worker restart (" << job.name << ", "
+                           << restarts_left << " left): " << error.message;
+        }
+        report.health = Health(job.name);
         const double video_millis = job.run->duration_sec() * 1000.0;
         report.gpu_occupancy =
             video_millis > 0.0 ? report.result.gpu_millis / video_millis : 0.0;
@@ -104,6 +180,12 @@ FleetIngestSummary IngestService::RunAll() {
     metrics_->IncrementCounter("ingest.cnn_invocations", report.result.cnn_invocations);
     metrics_->IncrementCounter("ingest.suppressed", report.result.suppressed);
     metrics_->Observe("ingest.gpu_occupancy", report.gpu_occupancy);
+    if (report.health.restarts > 0) {
+      metrics_->IncrementCounter("ingest.worker_restarts", report.health.restarts);
+    }
+    if (report.health.state == StreamState::kDown) {
+      metrics_->IncrementCounter("ingest.streams_down", 1);
+    }
   }
   summary.cluster = cluster.Stats();
   summary.min_gpus_for_realtime =

@@ -15,6 +15,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,25 @@ struct IngestJob {
   core::IngestOptions options;
 };
 
+// Supervision state of one stream's ingest worker.
+enum class StreamState {
+  kHealthy,   // Running (or finished) clean.
+  kDegraded,  // Failed at least once; restarted and currently retrying.
+  kDown,      // Restart budget exhausted, or the failure is not retryable.
+};
+
+const char* StreamStateName(StreamState state);
+
+struct StreamHealth {
+  StreamState state = StreamState::kHealthy;
+  // Failures since the last successful completion (reset on success).
+  int consecutive_failures = 0;
+  // Worker restarts consumed by supervision.
+  int restarts = 0;
+  std::string last_error;  // Message of the most recent failure; empty if none.
+  common::ErrorCode last_code = common::ErrorCode::kInternal;  // Valid when last_error set.
+};
+
 // Per-stream outcome.
 struct IngestReport {
   std::string name;
@@ -46,6 +67,11 @@ struct IngestReport {
   // Virtual wall time to replay the whole recording's inference workload on the
   // shared cluster (includes queueing behind other streams).
   common::GpuMillis cluster_finish_millis = 0.0;
+  // Final supervision state. kDown carries |error| and a default-constructed
+  // (empty) result — the stream's last-good epoch snapshot, if any, remains
+  // queryable through LatestSnapshot (degraded serving, docs/robustness.md).
+  StreamHealth health;
+  std::optional<common::Error> error;
 };
 
 // Query-side context of one live (still-ingesting) stream: the RCU slot its
@@ -86,6 +112,11 @@ struct IngestServiceOptions {
   // (LatestSnapshot). 0 leaves each job's own setting untouched (jobs that
   // set their own cadence still get a context).
   int64_t finalize_every_frames = 0;
+  // Worker supervision (docs/robustness.md): a worker that fails with a
+  // retryable error (common::IsRetryable) is restarted up to this many times
+  // per stream — resuming from its checkpoint on the persistent path, from
+  // frame 0 otherwise — before the stream is marked Down.
+  int max_worker_restarts = 3;
 };
 
 struct FleetIngestSummary {
@@ -133,11 +164,24 @@ class IngestService {
   // snapshot queries.
   const LiveStreamContext* LiveContext(const std::string& name) const;
 
+  // Current supervision state of |name|; a stream that never failed (or was
+  // never registered) reads Healthy. Thread-safe and safe to call while
+  // RunAll() is ingesting — the query side uses it to decide STALE framing.
+  StreamHealth Health(const std::string& name) const;
+
+  // Health of every stream that has registered at least one failure or
+  // restart. Streams running clean are omitted (they read Healthy).
+  std::map<std::string, StreamHealth> FleetHealth() const;
+
   const IngestServiceOptions& options() const { return options_; }
 
  private:
   // Cadence for |job| under the service-wide override.
   int64_t FinalizeCadenceFor(const IngestJob& job) const;
+
+  void RecordFailure(const std::string& name, const common::Error& error, bool down);
+  void RecordRestart(const std::string& name);
+  void RecordSuccess(const std::string& name);
 
   IngestServiceOptions options_;
   MetricsRegistry* metrics_;
@@ -146,6 +190,10 @@ class IngestService {
   // keyed by stream name. Built in AddStream — before RunAll's workers start —
   // and never mutated afterwards, so concurrent lookups need no locking.
   std::map<std::string, std::unique_ptr<LiveStreamContext>> live_;
+  // Supervision registry: mutated by worker threads, readable concurrently by
+  // the query side.
+  mutable std::mutex health_mu_;
+  std::map<std::string, StreamHealth> health_;
 };
 
 }  // namespace focus::runtime

@@ -12,10 +12,13 @@ namespace focus::runtime {
 namespace {
 
 // Verdict of one unique (stream, centroid) classification: the GT-CNN top-1 label
-// and when the launch that carried it finished on the cluster.
+// and when the launch that carried it finished on the cluster. |failed| marks a
+// verdict whose launch stayed failed past the retry policy: top1 is invalid and
+// every request that needs it resolves to an error instead of an answer.
 struct SharedVerdict {
   common::ClassId top1 = common::kInvalidClass;
   common::GpuMillis finish_millis = 0.0;
+  bool failed = false;
 };
 
 }  // namespace
@@ -154,11 +157,44 @@ std::vector<QueryExecution> QueryService::ExecuteConcurrently(
       }
       gt_cnn.ClassifyBatch(crops, /*k=*/1, &classified);
       const common::GpuMillis cost = gt_cnn.BatchCostMillis(count);
-      const GpuJobTicket ticket = cluster_.Submit(submit, cost);
+      // Launch with bounded retries (docs/robustness.md): a rejected or timed-out
+      // launch is re-submitted at the cluster's then-current frontier plus the
+      // policy's exponential backoff — all virtual time, nothing sleeps. A
+      // timeout still occupied a device for the launch's full cost (wasted and
+      // accounted); a rejection never reached a device.
+      const common::RetryPolicy& policy = options_.launch_retry;
+      const int max_attempts = std::max(1, policy.max_attempts);
+      double backoff = policy.initial_backoff_millis;
+      common::GpuMillis at = submit;
+      common::Result<GpuJobTicket> ticket = cluster_.TrySubmit(at, cost);
+      for (int attempt = 1; !ticket.ok(); ++attempt) {
+        if (ticket.error().code == common::ErrorCode::kTimeout) {
+          stats.wasted_gpu_millis += cost;
+        }
+        if (attempt >= max_attempts || !common::IsRetryable(ticket.error().code)) {
+          break;
+        }
+        ++stats.launch_retries;
+        at = std::max(at, cluster_.EarliestFree()) + backoff;
+        backoff = std::min(backoff * policy.backoff_multiplier, policy.max_backoff_millis);
+        ticket = cluster_.TrySubmit(at, cost);
+      }
+      if (!ticket.ok()) {
+        ++stats.launches_failed;
+        for (int64_t i = 0; i < count; ++i) {
+          const UniqueItem& item = unique[items[static_cast<size_t>(offset + i)]];
+          SharedVerdict verdict;
+          verdict.finish_millis = at;
+          verdict.failed = true;
+          verdicts[{item.identity, item.cluster_id}] = verdict;
+        }
+        offset += count;
+        continue;
+      }
       for (int64_t i = 0; i < count; ++i) {
         const UniqueItem& item = unique[items[static_cast<size_t>(offset + i)]];
         verdicts[{item.identity, item.cluster_id}] =
-            SharedVerdict{classified[static_cast<size_t>(i)].Top1(), ticket.finish_millis};
+            SharedVerdict{classified[static_cast<size_t>(i)].Top1(), ticket->finish_millis};
       }
       ++stats.launches;
       stats.gpu_millis += cost;
@@ -175,14 +211,27 @@ std::vector<QueryExecution> QueryService::ExecuteConcurrently(
     std::vector<common::ClassId> plan_verdicts;
     plan_verdicts.reserve(plans[r].plan.work.size());
     common::GpuMillis finish = submit;
+    bool failed = false;
     for (const core::CentroidWorkItem& item : plans[r].plan.work) {
       const SharedVerdict& verdict = verdicts.at({plans[r].identity, item.cluster_id});
+      failed = failed || verdict.failed;
       plan_verdicts.push_back(verdict.top1);
       finish = std::max(finish, verdict.finish_millis);
     }
     QueryExecution execution;
     execution.submit_millis = submit;
     execution.finish_millis = finish;
+    if (failed) {
+      // One of this request's verdicts never got a successful launch: surface a
+      // typed error rather than resolving a partial (silently wrong) answer.
+      execution.error = common::Unavailable(
+          "GT-CNN launch failed after " +
+          std::to_string(std::max(1, options_.launch_retry.max_attempts)) + " attempts");
+      metrics_->IncrementCounter("query.requests");
+      metrics_->IncrementCounter("query.requests_failed");
+      executions.push_back(std::move(execution));
+      continue;
+    }
     execution.result =
         requests[r].stream != nullptr
             ? requests[r].stream->Resolve(plans[r].plan, plan_verdicts)

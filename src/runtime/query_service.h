@@ -33,9 +33,12 @@
 #define FOCUS_SRC_RUNTIME_QUERY_SERVICE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/result.h"
+#include "src/common/retry.h"
 #include "src/core/focus_stream.h"
 #include "src/core/live_snapshot.h"
 #include "src/core/query_engine.h"
@@ -73,6 +76,11 @@ struct QueryExecution {
   // Virtual wall-clock times on the shared cluster.
   common::GpuMillis submit_millis = 0.0;
   common::GpuMillis finish_millis = 0.0;
+  // Set when a GT-CNN launch carrying this request's verdicts stayed failed
+  // past QueryServiceOptions::launch_retry: |result| is then the
+  // default-constructed empty answer and must not be served as authoritative
+  // (the server layer degrades or errors; docs/robustness.md).
+  std::optional<common::Error> error;
 
   common::GpuMillis latency_millis() const { return finish_millis - submit_millis; }
 };
@@ -84,6 +92,12 @@ struct QueryServiceOptions {
   // cost); larger values amortize the launch overhead whenever there is more
   // work than idle GPUs.
   int batch_size = 32;
+  // Retry policy for GT-CNN launches that fail or time out (injected via the
+  // "gpu.launch" / "gpu.timeout" fault sites): each retry re-submits at the
+  // cluster's then-current frontier plus the policy's exponential backoff, all
+  // in virtual time. A launch that stays failed marks every execution whose
+  // verdicts it carried with QueryExecution::error.
+  common::RetryPolicy launch_retry;
 };
 
 // Accounting of one Execute/ExecuteConcurrently admission (see last_stats()).
@@ -96,6 +110,13 @@ struct QueryBatchStats {
   // GPU time actually charged to the cluster (launch-amortized). At
   // batch_size = 1 with no dedup this equals the sum of result gpu_millis.
   common::GpuMillis gpu_millis = 0.0;
+  // Fault handling (docs/robustness.md): launch re-submissions consumed by
+  // launch_retry, launches abandoned after the policy was exhausted (their
+  // requests carry QueryExecution::error), and device time burned by launches
+  // that timed out after occupying their full cost.
+  int64_t launch_retries = 0;
+  int64_t launches_failed = 0;
+  common::GpuMillis wasted_gpu_millis = 0.0;
 };
 
 class QueryService {

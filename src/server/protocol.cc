@@ -86,6 +86,14 @@ common::Result<Request> ParseRequest(const std::string& line) {
     request.class_filter = tokens.size() == 2 ? tokens[1] : "";
     return request;
   }
+  if (verb == "HEALTH") {
+    if (tokens.size() > 2) {
+      return BadRequest("usage: HEALTH [camera]");
+    }
+    request.verb = Verb::kHealth;
+    request.camera = tokens.size() == 2 ? tokens[1] : "";
+    return request;
+  }
   if (verb == "STATS") {
     if (tokens.size() != 2) {
       return BadRequest("usage: STATS <camera>");

@@ -8,6 +8,7 @@
 //   CAMERAS
 //   CLASSES <substring>
 //   STATS <camera>
+//   HEALTH [camera]
 //   PING
 //
 // Responses are "OK <payload...>" on success, "ERR <code> <message>" on failure.
@@ -26,11 +27,12 @@
 
 namespace focus::server {
 
-enum class Verb { kQuery, kCameras, kClasses, kStats, kPing };
+enum class Verb { kQuery, kCameras, kClasses, kStats, kHealth, kPing };
 
 struct Request {
   Verb verb = Verb::kPing;
-  // QUERY fields.
+  // QUERY fields (HEALTH and STATS reuse |camera|; for HEALTH it is optional —
+  // empty asks for the whole fleet).
   std::string camera;
   std::string class_name;
   common::TimeRange range{};

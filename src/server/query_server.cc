@@ -35,6 +35,8 @@ std::string QueryServer::Handle(const Request& request) {
       return HandleClasses(request.class_filter);
     case Verb::kStats:
       return HandleStats(request.camera);
+    case Verb::kHealth:
+      return HandleHealth(request.camera);
     case Verb::kQuery:
       return HandleQuery(request);
   }
@@ -64,6 +66,10 @@ std::string QueryServer::HandleQuery(const Request& request) {
   runtime::QueryService service(service_options_, metrics_);
   const runtime::QueryExecution execution =
       service.Execute(runtime::QueryRequest{stream, cls, request.kx, request.range});
+  if (execution.error.has_value()) {
+    metrics_->IncrementCounter("server.query_errors");
+    return ErrResponse(execution.error->code, execution.error->message);
+  }
   metrics_->IncrementCounter("server.queries");
   metrics_->Observe("server.query_gpu_millis", execution.result.gpu_millis);
   metrics_->Observe("server.query_latency_millis", execution.latency_millis());
@@ -87,7 +93,17 @@ std::string QueryServer::HandleLiveQuery(const Request& request, common::ClassId
   // mid-query, and the response is byte-identical to halting ingest at the
   // snapshot's watermark and finalizing (docs/live_query.md).
   std::shared_ptr<const core::LiveSnapshot> snapshot = context->slot.Latest();
+  // Degraded serving (docs/robustness.md): a stream whose ingest worker has
+  // failed still answers from its last-good epoch — framed STALE, never
+  // silently passed off as live — because an index that lags the recording is
+  // still a correct index over the frames it covers.
+  const runtime::StreamHealth health = live_->Health(request.camera);
   if (snapshot == nullptr) {
+    if (health.state == runtime::StreamState::kDown) {
+      return ErrResponse(common::ErrorCode::kUnavailable,
+                         "stream " + request.camera + " is down with no published snapshot: " +
+                             health.last_error);
+    }
     return ErrResponse(common::ErrorCode::kFailedPrecondition,
                        "no snapshot published yet for " + request.camera);
   }
@@ -101,18 +117,73 @@ std::string QueryServer::HandleLiveQuery(const Request& request, common::ClassId
   query.fps = context->fps;
   runtime::QueryService service(service_options_, metrics_);
   const runtime::QueryExecution execution = service.Execute(query);
+  if (execution.error.has_value()) {
+    metrics_->IncrementCounter("server.query_errors");
+    return ErrResponse(execution.error->code, execution.error->message);
+  }
   metrics_->IncrementCounter("server.live_queries");
   metrics_->Observe("server.query_gpu_millis", execution.result.gpu_millis);
   metrics_->Observe("server.query_latency_millis", execution.latency_millis());
 
+  const bool stale = health.state != runtime::StreamState::kHealthy;
+  if (stale) {
+    metrics_->IncrementCounter("server.stale_queries");
+  }
   const core::QueryResult& qr = execution.result;
   std::ostringstream out;
-  out << "LIVE EPOCH " << snapshot->epoch << " WATERMARK " << snapshot->watermark
-      << " FRAMES " << qr.frames_returned << " RUNS " << qr.frame_runs.size()
-      << " CENTROIDS " << qr.centroids_classified << " GPU_MS " << qr.gpu_millis
-      << " LATENCY_MS " << execution.latency_millis();
+  out << (stale ? "STALE" : "LIVE") << " EPOCH " << snapshot->epoch << " WATERMARK "
+      << snapshot->watermark << " FRAMES " << qr.frames_returned << " RUNS "
+      << qr.frame_runs.size() << " CENTROIDS " << qr.centroids_classified << " GPU_MS "
+      << qr.gpu_millis << " LATENCY_MS " << execution.latency_millis();
   for (const auto& [first, last] : qr.frame_runs) {
     out << "\nRUN " << first << " " << last;
+  }
+  return OkResponse(out.str());
+}
+
+std::string QueryServer::HandleHealth(const std::string& camera) {
+  // One line per stream: name, supervision state, restart/failure counters,
+  // and — for live streams with a published epoch — how far the queryable
+  // snapshot reaches. The last failure's code and message close the line.
+  const auto stream_line = [this](const std::string& name,
+                                  const runtime::StreamHealth& health) {
+    std::ostringstream line;
+    line << name << " STATE " << runtime::StreamStateName(health.state) << " RESTARTS "
+         << health.restarts << " FAILURES " << health.consecutive_failures;
+    if (live_ != nullptr) {
+      if (auto snapshot = live_->LatestSnapshot(name); snapshot != nullptr) {
+        line << " EPOCH " << snapshot->epoch << " WATERMARK " << snapshot->watermark;
+      }
+    }
+    if (!health.last_error.empty()) {
+      line << " LAST " << common::ErrorCodeName(health.last_code) << " "
+           << health.last_error;
+    }
+    return line.str();
+  };
+
+  if (!camera.empty()) {
+    const bool known =
+        fleet_->Find(camera) != nullptr ||
+        (live_ != nullptr && live_->LiveContext(camera) != nullptr);
+    if (!known) {
+      return ErrResponse(common::ErrorCode::kNotFound, "unknown camera " + camera);
+    }
+    // A fleet camera (or a live stream that never failed) reads Healthy.
+    const runtime::StreamHealth health =
+        live_ != nullptr ? live_->Health(camera) : runtime::StreamHealth{};
+    return OkResponse(stream_line(camera, health));
+  }
+
+  // Fleet listing: every stream with a registered failure or restart. Streams
+  // running clean are implicitly Healthy and omitted — an empty listing means
+  // the whole fleet is healthy.
+  const std::map<std::string, runtime::StreamHealth> fleet =
+      live_ != nullptr ? live_->FleetHealth() : std::map<std::string, runtime::StreamHealth>{};
+  std::ostringstream out;
+  out << fleet.size();
+  for (const auto& [name, health] : fleet) {
+    out << "\n" << stream_line(name, health);
   }
   return OkResponse(out.str());
 }

@@ -19,6 +19,12 @@
 // response carries EPOCH and WATERMARK, and the frame runs are byte-identical
 // to what halting ingest at that watermark and finalizing would return
 // (docs/live_query.md).
+//
+// Degraded serving (docs/robustness.md): a live stream whose ingest worker is
+// Degraded or Down still answers from its last-good epoch snapshot, framed
+// "STALE EPOCH <e> WATERMARK <w>" instead of "LIVE ..." so the client knows
+// the answer lags the recording. A Down stream with no published snapshot
+// errs Unavailable. The HEALTH verb reports per-stream supervision state.
 #ifndef FOCUS_SRC_SERVER_QUERY_SERVER_H_
 #define FOCUS_SRC_SERVER_QUERY_SERVER_H_
 
@@ -61,6 +67,10 @@ class QueryServer {
   std::string HandleCameras();
   std::string HandleClasses(const std::string& filter);
   std::string HandleStats(const std::string& camera);
+  // HEALTH [camera]: supervision state of one stream, or of every stream that
+  // has registered a failure or restart (clean streams read Healthy and are
+  // omitted from the fleet listing).
+  std::string HandleHealth(const std::string& camera);
 
   const core::FocusFleet* fleet_;
   const video::ClassCatalog* catalog_;

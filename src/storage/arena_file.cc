@@ -10,6 +10,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "src/common/fault_injection.h"
 #include "src/storage/record_log.h"
 #include "src/storage/serializer.h"
 
@@ -228,6 +229,9 @@ void ArenaFile::ComputeSectionPointers() {
 }
 
 common::Result<bool> ArenaFile::MapBytes(size_t bytes) {
+  if (common::FaultPoint("arena.truncate")) {
+    return common::Unavailable("injected arena.truncate failure: " + path_);
+  }
   if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
     return Errno("arena truncate", path_);
   }
@@ -245,7 +249,7 @@ common::Result<bool> ArenaFile::MapBytes(size_t bytes) {
   return true;
 }
 
-common::Result<bool> ArenaFile::WriteHeaderSlot(int slot) {
+common::Result<bool> ArenaFile::WriteHeaderSlot(int slot, bool sync) {
   HeaderImage header;
   header.dim = static_cast<uint32_t>(dim_);
   header.head_dim = static_cast<uint32_t>(head_dim_);
@@ -260,9 +264,16 @@ common::Result<bool> ArenaFile::WriteHeaderSlot(int slot) {
   header.ids_off = ids_off_;
   const std::string image = header.Encode();
   uint8_t* dst = map_ + static_cast<size_t>(slot) * kHeaderSlotBytes;
+  if (common::FaultPoint("arena.header_write")) {
+    // Tear the slot for real: half the image lands, the CRC can't match, and
+    // active_slot_ stays put — Open must adopt the surviving slot, and a retry
+    // rewrites this one from scratch.
+    std::memcpy(dst, image.data(), image.size() / 2);
+    return common::Unavailable("injected arena.header_write torn slot: " + path_);
+  }
   std::memcpy(dst, image.data(), image.size());
   std::memset(dst + image.size(), 0, kHeaderSlotBytes - image.size());
-  if (::msync(map_, 2 * kHeaderSlotBytes, MS_SYNC) != 0) {
+  if (sync && ::msync(map_, 2 * kHeaderSlotBytes, MS_SYNC) != 0) {
     return Errno("arena header msync", path_);
   }
   active_slot_ = slot;
@@ -365,12 +376,16 @@ common::Result<uint64_t> ArenaFile::Commit(uint64_t rows) {
   if (rows > capacity_rows_) {
     return common::Error(common::InvalidArgument("commit rows beyond capacity"));
   }
-  if (::msync(map_, map_bytes_, MS_SYNC) != 0) {
+  const bool sync = fsync_.ShouldSync(++commit_count_);
+  if (common::FaultPoint("arena.commit.msync")) {
+    return common::Error(common::Unavailable("injected arena.commit.msync failure: " + path_));
+  }
+  if (sync && ::msync(map_, map_bytes_, MS_SYNC) != 0) {
     return common::Error(Errno("arena msync", path_));
   }
   committed_rows_ = rows;
   ++generation_;
-  if (auto wrote = WriteHeaderSlot(1 - active_slot_); !wrote.ok()) {
+  if (auto wrote = WriteHeaderSlot(1 - active_slot_, sync); !wrote.ok()) {
     return wrote.error();
   }
   return generation_;

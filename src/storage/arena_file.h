@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/storage/fsync_policy.h"
 
 namespace focus::storage {
 
@@ -99,6 +100,10 @@ class ArenaFile {
   common::Result<bool> Initialize(size_t dim, size_t head_dim);
 
   bool initialized() const { return dim_ > 0; }
+  // Whether the file is currently mapped. A failed Reserve can leave the file
+  // unmapped (mmap failure after the old mapping was released); callers that
+  // want to salvage the in-memory contents must check this first.
+  bool mapped() const { return map_ != nullptr; }
   size_t dim() const { return dim_; }
   size_t head_dim() const { return head_dim_; }
   uint64_t capacity_rows() const { return capacity_rows_; }
@@ -124,10 +129,19 @@ class ArenaFile {
   const int64_t* sizes() const { return sizes_base_; }
   const int64_t* ids() const { return ids_base_; }
 
-  // Checkpoint barrier: msync the data sections, then publish
-  // {generation + 1, rows} through the inactive header slot. Returns the new
-  // generation.
+  // Checkpoint barrier: msync the data sections (per the fsync policy), then
+  // publish {generation + 1, rows} through the inactive header slot. Returns
+  // the new generation. Safe to retry after a failure: the active slot only
+  // advances on success, so a torn inactive-slot write is simply rewritten,
+  // and skipped generations are harmless (Open adopts the highest).
   common::Result<uint64_t> Commit(uint64_t rows);
+
+  // Fsync cadence for Commit. kEveryCommit (the default) is the full
+  // kernel-crash durability contract; kEveryN/kNever trade crash windows for
+  // commit latency (see fsync_policy.h). Initialize/Reserve always sync —
+  // layout publishes must be ordered regardless of checkpoint cadence.
+  void SetFsyncPolicy(FsyncOptions fsync) { fsync_ = fsync; }
+  FsyncOptions fsync_policy() const { return fsync_; }
 
   // Restores the mapping to the checkpoint with generation |generation| using
   // the undo records of |log| (as returned by ReadRecordLog on the undo log):
@@ -158,7 +172,7 @@ class ArenaFile {
   ArenaFile() = default;
 
   common::Result<bool> MapBytes(size_t bytes);
-  common::Result<bool> WriteHeaderSlot(int slot);
+  common::Result<bool> WriteHeaderSlot(int slot, bool sync = true);
   void ComputeSectionPointers();
 
   std::string path_;
@@ -172,6 +186,8 @@ class ArenaFile {
   uint64_t committed_rows_ = 0;
   uint64_t generation_ = 0;
   int active_slot_ = 0;  // Slot holding the newest committed header.
+  FsyncOptions fsync_;   // Commit cadence; Initialize/Reserve always sync.
+  int64_t commit_count_ = 0;
   // Section byte offsets (header-recorded; growth relocates sections into
   // fresh space beyond the old file end, leaving the old header's layout
   // valid until the new one is published).

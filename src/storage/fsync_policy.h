@@ -1,0 +1,55 @@
+// Fsync cadence: how hard the storage layer pushes bytes toward the platter.
+//
+// Every setting keeps the *format* crash-safe — CRC'd ping-pong headers and the
+// length+CRC framed undo log mean recovery always reconstructs a consistent prefix.
+// The policy only changes which crashes can eat acknowledged work:
+//
+//   kEveryCommit  - msync/fsync on every commit. Survives kernel panic and power
+//                   loss; an acknowledged checkpoint is durable. The arena default.
+//   kEveryN       - sync every Nth commit. Bounded loss window under kernel crash
+//                   (up to N-1 commits), full durability against process crash.
+//   kNever        - never sync; rely on the page cache. Survives *process* crashes
+//                   (the kernel still owns the dirty pages) but a kernel panic or
+//                   power cut can roll the file back arbitrarily far. The undo-log
+//                   default, matching its advisory role.
+//
+// See docs/persistence.md for the durability table.
+#ifndef FOCUS_SRC_STORAGE_FSYNC_POLICY_H_
+#define FOCUS_SRC_STORAGE_FSYNC_POLICY_H_
+
+#include <cstdint>
+
+namespace focus::storage {
+
+enum class FsyncPolicy {
+  kEveryCommit,
+  kEveryN,
+  kNever,
+};
+
+struct FsyncOptions {
+  FsyncPolicy policy = FsyncPolicy::kEveryCommit;
+  // Cadence for kEveryN (sync on commits N, 2N, ...). Ignored otherwise.
+  int64_t every_n = 16;
+
+  static FsyncOptions EveryCommit() { return {FsyncPolicy::kEveryCommit, 16}; }
+  static FsyncOptions EveryN(int64_t n) { return {FsyncPolicy::kEveryN, n}; }
+  static FsyncOptions Never() { return {FsyncPolicy::kNever, 16}; }
+
+  // Stateless decision: should the |commit_index|th (1-based) commit sync?
+  bool ShouldSync(int64_t commit_index) const {
+    switch (policy) {
+      case FsyncPolicy::kEveryCommit:
+        return true;
+      case FsyncPolicy::kEveryN:
+        return every_n > 0 && commit_index % every_n == 0;
+      case FsyncPolicy::kNever:
+        return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace focus::storage
+
+#endif  // FOCUS_SRC_STORAGE_FSYNC_POLICY_H_

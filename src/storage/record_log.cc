@@ -1,39 +1,94 @@
 #include "src/storage/record_log.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
-#include <filesystem>
-#include <memory>
+#include <utility>
 
+#include "src/common/fault_injection.h"
 #include "src/storage/serializer.h"
 #include "src/storage/snapshot_store.h"
 
 namespace focus::storage {
+namespace {
 
-common::Result<RecordLogWriter> RecordLogWriter::Open(const std::string& path, bool truncate) {
-  auto out = std::make_unique<std::ofstream>(
-      path, truncate ? (std::ios::binary | std::ios::trunc) : (std::ios::binary | std::ios::app));
-  if (!*out) {
+// write(2) until done or error; returns bytes written (short on error).
+size_t WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return written;
+}
+
+}  // namespace
+
+common::Result<RecordLogWriter> RecordLogWriter::Open(const std::string& path, bool truncate,
+                                                      FsyncOptions fsync) {
+  int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
     return common::Error{common::ErrorCode::kIo,
                          "record log open: " + path + ": " + std::strerror(errno)};
   }
   RecordLogWriter writer;
   writer.path_ = path;
-  writer.out_ = std::move(out);
+  writer.fd_ = fd;
+  writer.fsync_ = fsync;
   return writer;
+}
+
+RecordLogWriter::RecordLogWriter(RecordLogWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      fsync_(other.fsync_),
+      records_written_(other.records_written_) {}
+
+RecordLogWriter& RecordLogWriter::operator=(RecordLogWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    fsync_ = other.fsync_;
+    records_written_ = other.records_written_;
+  }
+  return *this;
+}
+
+RecordLogWriter::~RecordLogWriter() {
+  if (fd_ >= 0) ::close(fd_);
 }
 
 common::Result<bool> RecordLogWriter::Append(const std::string& payload) {
   Encoder frame;
   frame.PutU32(static_cast<uint32_t>(payload.size()));
   frame.PutU32(Crc32(payload));
-  out_->write(frame.bytes().data(), static_cast<std::streamsize>(frame.size()));
-  out_->write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  out_->flush();
-  if (!*out_) {
-    return common::Error{common::ErrorCode::kIo, "record log append: " + path_};
+  std::string bytes = frame.TakeBytes();
+  bytes.append(payload);
+  if (common::FaultPoint("record_log.append")) {
+    // Tear the write for real: half the frame lands in the file, then the
+    // "device" errors. Recovery must truncate this tail on replay.
+    WriteAll(fd_, bytes.data(), bytes.size() / 2);
+    return common::Unavailable("injected record_log.append short write: " + path_);
+  }
+  if (WriteAll(fd_, bytes.data(), bytes.size()) != bytes.size()) {
+    return common::Error{common::ErrorCode::kIo,
+                         "record log append: " + path_ + ": " + std::strerror(errno)};
   }
   ++records_written_;
+  if (fsync_.ShouldSync(records_written_)) {
+    if (::fsync(fd_) != 0) {
+      return common::Error{common::ErrorCode::kIo,
+                           "record log fsync: " + path_ + ": " + std::strerror(errno)};
+    }
+  }
   return true;
 }
 

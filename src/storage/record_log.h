@@ -9,16 +9,19 @@
 // and appended with a flush. On restart, ReadAll() replays records until the first
 // frame that fails its length or CRC check — a torn tail from a crash mid-append is
 // truncated away rather than treated as corruption of the whole log.
+//
+// Durability is governed by an FsyncOptions cadence (see fsync_policy.h): the default
+// kNever matches the log's advisory role — its records are superseded by the next
+// checkpoint, so the loss window is already bounded by the checkpoint cadence.
 #ifndef FOCUS_SRC_STORAGE_RECORD_LOG_H_
 #define FOCUS_SRC_STORAGE_RECORD_LOG_H_
 
 #include <cstdint>
-#include <fstream>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/storage/fsync_policy.h"
 
 namespace focus::storage {
 
@@ -27,12 +30,18 @@ class RecordLogWriter {
   // Opens |path| for append, creating it when absent. With |truncate| the
   // existing contents are discarded first — the checkpoint-time rotation of a
   // delta log whose records are superseded by the checkpoint they led up to.
-  static common::Result<RecordLogWriter> Open(const std::string& path, bool truncate = false);
+  static common::Result<RecordLogWriter> Open(const std::string& path, bool truncate = false,
+                                              FsyncOptions fsync = FsyncOptions::Never());
 
-  RecordLogWriter(RecordLogWriter&&) = default;
-  RecordLogWriter& operator=(RecordLogWriter&&) = default;
+  RecordLogWriter(RecordLogWriter&& other) noexcept;
+  RecordLogWriter& operator=(RecordLogWriter&& other) noexcept;
+  RecordLogWriter(const RecordLogWriter&) = delete;
+  RecordLogWriter& operator=(const RecordLogWriter&) = delete;
+  ~RecordLogWriter();
 
-  // Appends one record and flushes the stream.
+  // Appends one record, then syncs per the fsync policy. Injection site
+  // "record_log.append" produces a genuinely torn tail: half the frame reaches the
+  // file before the error returns, exercising the ReadRecordLog recovery path.
   common::Result<bool> Append(const std::string& payload);
 
   int64_t records_written() const { return records_written_; }
@@ -42,7 +51,8 @@ class RecordLogWriter {
   RecordLogWriter() = default;
 
   std::string path_;
-  std::unique_ptr<std::ofstream> out_;
+  int fd_ = -1;
+  FsyncOptions fsync_;
   int64_t records_written_ = 0;
 };
 

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/fault_injection.h"
+
 namespace focus::storage {
 
 namespace {
@@ -26,6 +28,13 @@ common::Result<bool> WriteFileAtomic(const std::string& path, const std::string&
     if (!out) {
       return IoError("open for write", tmp);
     }
+    if (common::FaultPoint("snapshot.write")) {
+      // Leave a torn temp file behind — the atomic-rename protocol must make
+      // it invisible (the target path is untouched until the rename).
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size() / 2));
+      out.flush();
+      return common::Unavailable("injected snapshot.write failure: " + tmp);
+    }
     out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
     out.flush();
     if (!out) {
@@ -33,6 +42,9 @@ common::Result<bool> WriteFileAtomic(const std::string& path, const std::string&
       std::filesystem::remove(tmp, ec);
       return IoError("write", tmp);
     }
+  }
+  if (common::FaultPoint("snapshot.rename")) {
+    return common::Unavailable("injected snapshot.rename failure: " + path);
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);

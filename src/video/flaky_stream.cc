@@ -1,0 +1,46 @@
+#include "src/video/flaky_stream.h"
+
+#include "src/common/rng.h"
+
+namespace focus::video {
+
+SweepStats FlakyStreamRun::ForEachFrame(const FrameCallback& callback) const {
+  const int attempt = attempts_++;
+  common::Pcg32 rng(common::DeriveSeed(options_.seed, static_cast<uint64_t>(attempt)));
+  const common::FrameIndex abort_at =
+      attempt < static_cast<int>(options_.restart_at_frames.size())
+          ? options_.restart_at_frames[static_cast<size_t>(attempt)]
+          : -1;
+  bool aborted = false;
+  common::FrameIndex flap_until = 0;
+
+  SweepStats stats =
+      StreamRun::ForEachFrame([&](common::FrameIndex frame, const std::vector<Detection>& dets) {
+        if (aborted) {
+          return;  // The uplink is gone; swallow the rest of the recording.
+        }
+        if (abort_at >= 0 && frame >= abort_at) {
+          aborted = true;
+          return;
+        }
+        if (frame < flap_until) {
+          return;  // Camera dark.
+        }
+        if (options_.flap_probability > 0.0 && rng.NextBool(options_.flap_probability)) {
+          flap_until = frame + options_.flap_length_frames;
+          return;
+        }
+        if (options_.drop_probability > 0.0 && rng.NextBool(options_.drop_probability)) {
+          return;
+        }
+        callback(frame, dets);
+        if (options_.duplicate_probability > 0.0 &&
+            rng.NextBool(options_.duplicate_probability)) {
+          callback(frame, dets);
+        }
+      });
+  stats.aborted = aborted;
+  return stats;
+}
+
+}  // namespace focus::video

@@ -1,0 +1,57 @@
+// A fault decorator over StreamRun: the camera misbehaves, deterministically.
+//
+// Real deployments (§5) lose frames to encoder hiccups, deliver duplicates from
+// RTSP retries, go dark for seconds when the camera flaps, and cut the stream
+// entirely when the uplink dies. FlakyStreamRun injects all four over an intact
+// underlying recording:
+//
+//   - restart_at_frames: delivery attempt k stops (SweepStats::aborted) when it
+//     reaches restart_at_frames[k] — a mid-stream cut. Attempts beyond the list
+//     run clean, so a supervised, checkpoint-resuming consumer converges to the
+//     uninterrupted result. Frame *content* is untouched in restarts-only mode,
+//     which is what makes the byte-identity property testable.
+//   - drop_probability: a sampled frame is never delivered.
+//   - duplicate_probability: a delivered frame is delivered again (same index).
+//   - flap_probability/flap_length_frames: the camera goes dark for a window.
+//
+// Content faults draw from Pcg32(DeriveSeed(seed, attempt)): every attempt's
+// fault sequence is a pure function of (seed, attempt), so chaos runs reproduce.
+#ifndef FOCUS_SRC_VIDEO_FLAKY_STREAM_H_
+#define FOCUS_SRC_VIDEO_FLAKY_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time_types.h"
+#include "src/video/stream_generator.h"
+
+namespace focus::video {
+
+struct FlakyStreamOptions {
+  // Attempt k (0-based) aborts delivery upon reaching frame restart_at_frames[k].
+  std::vector<common::FrameIndex> restart_at_frames;
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double flap_probability = 0.0;  // Per-delivered-frame chance a flap window opens.
+  common::FrameIndex flap_length_frames = 0;
+  uint64_t seed = 0;
+};
+
+class FlakyStreamRun : public StreamRun {
+ public:
+  FlakyStreamRun(const StreamRun& base, FlakyStreamOptions options)
+      : StreamRun(base), options_(std::move(options)) {}
+
+  SweepStats ForEachFrame(const FrameCallback& callback) const override;
+
+  // Delivery attempts so far (each ForEachFrame call is one attempt).
+  int attempts() const { return attempts_; }
+
+ private:
+  FlakyStreamOptions options_;
+  mutable int attempts_ = 0;
+};
+
+}  // namespace focus::video
+
+#endif  // FOCUS_SRC_VIDEO_FLAKY_STREAM_H_

@@ -55,6 +55,9 @@ struct SweepStats {
   int64_t total_detections = 0;
   int64_t suppressed_detections = 0;  // Pixel-diff suppressed.
   int64_t num_objects = 0;            // Distinct moving tracks observed.
+  // True when delivery stopped before the end of the recording (a FlakyStreamRun
+  // mid-stream restart). Consumers treat an aborted sweep as a retryable failure.
+  bool aborted = false;
 };
 
 class StreamRun {
@@ -63,12 +66,17 @@ class StreamRun {
   // (30, 10, 5, 1 are the rates the paper evaluates). |seed| determines all content.
   StreamRun(const ClassCatalog* catalog, StreamProfile profile, double duration_sec, double fps,
             uint64_t seed);
+  StreamRun(const StreamRun&) = default;
+  StreamRun& operator=(const StreamRun&) = default;
+  virtual ~StreamRun() = default;
 
   // Invokes |callback| once per sampled frame, in order, with the moving-object
-  // detections of that frame. Returns aggregate sweep statistics.
+  // detections of that frame. Returns aggregate sweep statistics. Virtual so
+  // fault decorators (FlakyStreamRun) and test scripts can reshape delivery
+  // without the consumers knowing.
   using FrameCallback =
       std::function<void(common::FrameIndex frame, const std::vector<Detection>& detections)>;
-  SweepStats ForEachFrame(const FrameCallback& callback) const;
+  virtual SweepStats ForEachFrame(const FrameCallback& callback) const;
 
   // The stream's class list (the only classes that ever occur), sorted ascending.
   const std::vector<common::ClassId>& present_classes() const { return present_classes_; }

@@ -1,0 +1,169 @@
+// Semantics of the deterministic fault-injection plumbing (docs/robustness.md):
+// FireOnHit / FireAlwaysFrom / FireWithProbability firing rules, hit counting
+// for unmentioned sites (the chaos sweep relies on it), scoped arming and
+// nesting, and the RetryPolicy's virtual-time backoff accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injection.h"
+#include "src/common/result.h"
+#include "src/common/retry.h"
+
+namespace focus::common {
+namespace {
+
+TEST(FaultPlanTest, DisarmedSiteNeverFires) {
+  ASSERT_EQ(ActiveFaultPlan(), nullptr);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(FaultPoint("some.site"));
+  }
+}
+
+TEST(FaultPlanTest, FireOnHitFiresExactlyOnce) {
+  FaultPlan plan;
+  plan.FireOnHit("disk.write", 3);
+  ScopedFaultPlan armed(&plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(FaultPoint("disk.write"));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(plan.HitCount("disk.write"), 6);
+  EXPECT_EQ(plan.FireCount("disk.write"), 1);
+}
+
+TEST(FaultPlanTest, FireAlwaysFromIsSticky) {
+  FaultPlan plan;
+  plan.FireAlwaysFrom("gpu.launch", 2);
+  ScopedFaultPlan armed(&plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) {
+    fired.push_back(FaultPoint("gpu.launch"));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, true, true, true}));
+  EXPECT_EQ(plan.FireCount("gpu.launch"), 4);
+}
+
+TEST(FaultPlanTest, UnmentionedSitesAreCountedButNeverFire) {
+  // The chaos sweep arms an *empty* plan first, runs the workload once, and
+  // reads back how often each site was reached — so every site, mentioned or
+  // not, must count its hits.
+  FaultPlan plan;
+  ScopedFaultPlan armed(&plan);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(FaultPoint("arena.commit.msync"));
+  }
+  EXPECT_EQ(plan.HitCount("arena.commit.msync"), 4);
+  EXPECT_EQ(plan.FireCount("arena.commit.msync"), 0);
+  EXPECT_EQ(plan.HitCount("never.reached"), 0);
+  EXPECT_EQ(plan.TotalFires(), 0);
+}
+
+TEST(FaultPlanTest, ProbabilityStreamIsDeterministicPerSeedAndSite) {
+  const auto sample = [](uint64_t seed, const std::string& site) {
+    FaultPlan plan(seed);
+    plan.FireWithProbability(site, 0.5);
+    ScopedFaultPlan armed(&plan);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(FaultPoint(site.c_str()));
+    }
+    return fired;
+  };
+  // Same seed + site: identical sequence. Different seed or site: (with
+  // overwhelming probability over 64 Bernoulli(0.5) draws) a different one.
+  EXPECT_EQ(sample(7, "a"), sample(7, "a"));
+  EXPECT_NE(sample(7, "a"), sample(8, "a"));
+  EXPECT_NE(sample(7, "a"), sample(7, "b"));
+}
+
+TEST(FaultPlanTest, ProbabilityOneFiresEveryHit) {
+  FaultPlan plan(1);
+  plan.FireWithProbability("always", 1.0);
+  ScopedFaultPlan armed(&plan);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(FaultPoint("always"));
+  }
+}
+
+TEST(FaultPlanTest, ScopedArmingNestsAndRestores) {
+  FaultPlan outer;
+  outer.FireAlwaysFrom("site", 1);
+  {
+    ScopedFaultPlan armed_outer(&outer);
+    EXPECT_TRUE(FaultPoint("site"));
+    {
+      FaultPlan inner;  // No rule for "site".
+      ScopedFaultPlan armed_inner(&inner);
+      EXPECT_FALSE(FaultPoint("site"));
+      EXPECT_EQ(ActiveFaultPlan(), &inner);
+    }
+    EXPECT_EQ(ActiveFaultPlan(), &outer);
+    EXPECT_TRUE(FaultPoint("site"));
+  }
+  EXPECT_EQ(ActiveFaultPlan(), nullptr);
+  EXPECT_FALSE(FaultPoint("site"));
+}
+
+TEST(RetryPolicyTest, RetriesTransientFailuresWithExponentialVirtualBackoff) {
+  int calls = 0;
+  RetryStats stats;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_millis = 10.0;
+  policy.backoff_multiplier = 2.0;
+  auto result = RetryWithBackoff(
+      policy,
+      [&]() -> Result<bool> {
+        if (++calls < 3) {
+          return Unavailable("transient");
+        }
+        return true;
+      },
+      &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  // Two backoffs were taken: 10ms then 20ms — virtual time only.
+  EXPECT_DOUBLE_EQ(stats.backoff_millis, 30.0);
+}
+
+TEST(RetryPolicyTest, NonRetryableFailsFast) {
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  auto result = RetryWithBackoff(policy, [&]() -> Result<bool> {
+    ++calls;
+    return DataLoss("corrupt");
+  });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kDataLoss);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, ExhaustsAttemptsAndReturnsLastError) {
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  auto result = RetryWithBackoff(policy, [&]() -> Result<bool> {
+    ++calls;
+    return Timeout("still stuck");
+  });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kTimeout);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicyTest, RetryableTaxonomy) {
+  EXPECT_TRUE(IsRetryable(ErrorCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(ErrorCode::kTimeout));
+  EXPECT_TRUE(IsRetryable(ErrorCode::kIo));  // Storage recovery repairs torn writes.
+  EXPECT_FALSE(IsRetryable(ErrorCode::kDataLoss));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kInternal));
+}
+
+}  // namespace
+}  // namespace focus::common

@@ -50,6 +50,20 @@ TEST(ProtocolTest, QueryDefaultsAreOpenEnded) {
   EXPECT_EQ(request->kx, -1);
 }
 
+TEST(ProtocolTest, ParsesHealthWithOptionalCamera) {
+  auto fleet_wide = ParseRequest("HEALTH");
+  ASSERT_TRUE(fleet_wide.ok());
+  EXPECT_EQ(fleet_wide->verb, Verb::kHealth);
+  EXPECT_TRUE(fleet_wide->camera.empty());
+
+  auto one = ParseRequest("HEALTH north");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->verb, Verb::kHealth);
+  EXPECT_EQ(one->camera, "north");
+
+  EXPECT_FALSE(ParseRequest("HEALTH north extra").ok());
+}
+
 TEST(ProtocolTest, RejectsMalformedRequests) {
   EXPECT_FALSE(ParseRequest("").ok());
   EXPECT_FALSE(ParseRequest("FROB x").ok());               // Unknown verb.

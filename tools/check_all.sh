@@ -1,0 +1,46 @@
+#!/bin/sh
+# The one-command pre-merge gate (docs/robustness.md):
+#
+#   1. unit gate     - full `ctest -L unit` in the plain Release build.
+#   2. chaos gate    - `ctest -L fault` (deterministic fault-injection sweeps)
+#                      in a FOCUS_SANITIZE=address build, so every injected
+#                      failure path also runs leak- and overflow-checked.
+#   3. bench gate    - `bench/run_benches.sh --check`: the tracked perf
+#                      guardrails, including bench_chaos's no-fault overhead
+#                      of the robustness machinery.
+#
+#   tools/check_all.sh [build_dir] [asan_build_dir]
+#
+# Build dirs default to build/ and build-asan/ at the repo root; both are
+# configured if missing and reused if present. Exits non-zero on the first
+# failing gate. FOCUS_SKIP_ASAN=1 skips gate 2 (e.g. on hosts without ASan
+# runtime support) — the fault label still ran inside gate 1's unit sweep,
+# just uninstrumented.
+set -e
+
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_DIR/build}"
+ASAN_DIR="${2:-$REPO_DIR/build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== gate 1/3: unit tests (Release) =="
+cmake -S "$REPO_DIR" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure
+
+if [ "${FOCUS_SKIP_ASAN:-0}" = "1" ]; then
+  echo "== gate 2/3: SKIPPED (FOCUS_SKIP_ASAN=1) =="
+else
+  echo "== gate 2/3: chaos suite under AddressSanitizer =="
+  cmake -S "$REPO_DIR" -B "$ASAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFOCUS_SANITIZE=address
+  # Only the fault-labeled suites are needed; build just their targets.
+  cmake --build "$ASAN_DIR" -j"$JOBS" \
+    --target fault_injection_test chaos_ingest_test flaky_stream_test
+  ctest --test-dir "$ASAN_DIR" -L fault --output-on-failure
+fi
+
+echo "== gate 3/3: bench guardrails =="
+"$REPO_DIR/bench/run_benches.sh" --check "$BUILD_DIR"
+
+echo "check_all: all gates passed"
