@@ -10,6 +10,7 @@ Guardrail rows, matched per config:
   BENCH_arena_resume.json    resume[].gpu_ratio           (higher is better)
   BENCH_live_query.json      live_query[].publish_overhead (lower is better)
   BENCH_chaos.json           overhead[].wrapped_over_direct (lower is better)
+  BENCH_fleet_serving.json   fleets[].saving               (higher is better)
 
 sharded_ingest's fast-mode rows sit at parity by design (the per-object cache
 absorbs the scan the shards would parallelize) and their sub-2us timings swing
@@ -124,6 +125,13 @@ def main():
         # it. `identical` (wrapped result byte-identical to direct) is gated
         # unconditionally like every bench's.
         ("BENCH_chaos.json", "overhead", ["path"], "wrapped_over_direct", False, None),
+        # Fleet serving (docs/fleet_serving.md): GT-CNN GPU-time saving of the
+        # packed cold-cache federated execution over the per-camera sequential
+        # oracle. Deterministic (virtual GPU time), so the tolerance only
+        # absorbs plan drift when the simulated world changes. `identical`
+        # (packed/cached == sequential oracle, warm repeat pays zero) is gated
+        # unconditionally like every bench's.
+        ("BENCH_fleet_serving.json", "fleets", ["cameras"], "saving", True, None),
     ]
     for filename, section, key_fields, metric, higher, row_filter in pairs:
         fresh = load(f"{fresh_dir}/{filename}")

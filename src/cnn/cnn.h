@@ -90,6 +90,13 @@ class Cnn {
   // separate launches above it (cost_model.h, kLaunchOverheadShare).
   common::GpuMillis BatchCostMillis(int64_t batch_size) const;
 
+  // Batch-cost estimator and packing identity for this model (cost_model.h):
+  // a fleet packer groups work by pack_key() — instances sharing a key have
+  // the same architecture and may share a launch — and weighs candidate
+  // launches with batch_cost_model() estimates.
+  BatchCostModel batch_cost_model() const { return BatchCostModel::For(desc_); }
+  ModelPackKey pack_key() const { return ModelPackKey::Of(desc_); }
+
   // Fast path: the top-1 class only (equivalent to Classify(detection, 1).Top1()).
   common::ClassId Top1(const video::Detection& detection) const;
 

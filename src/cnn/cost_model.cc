@@ -24,6 +24,18 @@ common::GpuMillis BatchInferenceCostMillis(const ModelDesc& desc, int64_t batch_
           (1.0 - kLaunchOverheadShare) * static_cast<double>(batch_size));
 }
 
+common::GpuMillis LaunchOverheadMillis(const ModelDesc& desc) {
+  return InferenceCostMillis(desc) * kLaunchOverheadShare;
+}
+
+common::GpuMillis MarginalImageCostMillis(const ModelDesc& desc) {
+  return InferenceCostMillis(desc) * (1.0 - kLaunchOverheadShare);
+}
+
+BatchCostModel BatchCostModel::For(const ModelDesc& desc) {
+  return BatchCostModel{LaunchOverheadMillis(desc), MarginalImageCostMillis(desc)};
+}
+
 double CheapnessFactor(const ModelDesc& desc) { return 1.0 / RelativeCost(desc); }
 
 }  // namespace focus::cnn

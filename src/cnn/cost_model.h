@@ -51,6 +51,51 @@ common::GpuMillis InferenceCostMillis(const ModelDesc& desc);
 // strictly cheaper than batch_size independent launches above it.
 common::GpuMillis BatchInferenceCostMillis(const ModelDesc& desc, int64_t batch_size);
 
+// Per-launch fixed cost of |desc|: what one more launch pays regardless of how
+// many images it carries. The fleet packer minimizes the number of times this
+// is paid per model.
+common::GpuMillis LaunchOverheadMillis(const ModelDesc& desc);
+
+// Per-image marginal cost of |desc| within an existing launch.
+common::GpuMillis MarginalImageCostMillis(const ModelDesc& desc);
+
+// Batch-cost estimator for one model, precomputed so a packer weighing many
+// candidate launches does not re-derive the cost curve per decision. Estimates
+// track BatchInferenceCostMillis to rounding; anything *billed* to a GpuCluster
+// must still use Cnn::BatchCostMillis so accounting stays bit-exact with the
+// per-model curve.
+struct BatchCostModel {
+  common::GpuMillis launch_overhead_millis = 0.0;
+  common::GpuMillis marginal_image_millis = 0.0;
+
+  common::GpuMillis EstimateMillis(int64_t batch_size) const {
+    if (batch_size < 1) {
+      batch_size = 1;
+    }
+    return launch_overhead_millis +
+           marginal_image_millis * static_cast<double>(batch_size);
+  }
+
+  static BatchCostModel For(const ModelDesc& desc);
+};
+
+// Packing identity of a model: two Cnn instances with the same key have the
+// same architecture — the same cost curve and the same launch semantics — so a
+// fleet packer may carry both instances' work items in one launch (each item
+// still classifies through its own instance). Instances with different keys
+// are different models and must never share a launch.
+struct ModelPackKey {
+  std::string name;
+  int layers = 0;
+  int input_px = 0;
+
+  auto operator<=>(const ModelPackKey&) const = default;
+
+  static ModelPackKey Of(const ModelDesc& desc) {
+    return ModelPackKey{desc.name, desc.layers, desc.input_px};
+  }
+};
+
 // Cost of |desc| relative to the GT-CNN (1.0 = as expensive as ResNet152).
 double RelativeCost(const ModelDesc& desc);
 

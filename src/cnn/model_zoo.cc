@@ -37,4 +37,14 @@ std::vector<SpecializedArch> SpecializedArchGrid() {
   };
 }
 
+std::vector<std::pair<ModelDesc, BatchCostModel>> GenericCandidateBatchCosts(
+    uint64_t weights_seed) {
+  std::vector<std::pair<ModelDesc, BatchCostModel>> table;
+  for (ModelDesc& desc : GenericCheapCandidates(weights_seed)) {
+    BatchCostModel cost = BatchCostModel::For(desc);
+    table.emplace_back(std::move(desc), cost);
+  }
+  return table;
+}
+
 }  // namespace focus::cnn

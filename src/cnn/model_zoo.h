@@ -4,8 +4,10 @@
 #ifndef FOCUS_SRC_CNN_MODEL_ZOO_H_
 #define FOCUS_SRC_CNN_MODEL_ZOO_H_
 
+#include <utility>
 #include <vector>
 
+#include "src/cnn/cost_model.h"
 #include "src/cnn/model_desc.h"
 
 namespace focus::cnn {
@@ -24,6 +26,14 @@ struct SpecializedArch {
   int input_px;
 };
 std::vector<SpecializedArch> SpecializedArchGrid();
+
+// Per-model batch-cost table over the generic cheap zoo: the descriptors paired
+// with their BatchCostModel estimators. A fleet-level packer scheduling work
+// for heterogeneous models consumes these to weigh launch count against batch
+// fill per model instead of assuming one shared per-image cost
+// (runtime::FleetQueryService).
+std::vector<std::pair<ModelDesc, BatchCostModel>> GenericCandidateBatchCosts(
+    uint64_t weights_seed);
 
 }  // namespace focus::cnn
 

@@ -1,8 +1,16 @@
 #include "src/core/fleet.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/common/logging.h"
+#include "src/core/query_engine.h"
+
 namespace focus::core {
+
+bool CameraMeta::HasTag(const std::string& tag) const {
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
 
 std::vector<std::string> FleetQueryResult::CamerasWithHits() const {
   std::vector<std::string> names;
@@ -14,14 +22,54 @@ std::vector<std::string> FleetQueryResult::CamerasWithHits() const {
   return names;
 }
 
+int64_t FederatedPlan::TotalWorkItems() const {
+  int64_t total = 0;
+  for (const FederatedCameraPlan& camera : cameras) {
+    total += static_cast<int64_t>(camera.plan.work.size());
+  }
+  return total;
+}
+
+FleetQueryResult MergeFederatedResults(const FederatedPlan& plan,
+                                       std::vector<QueryResult> per_camera) {
+  FOCUS_CHECK(per_camera.size() == plan.cameras.size());
+  FleetQueryResult merged;
+  merged.queried = plan.queried;
+  for (size_t i = 0; i < plan.cameras.size(); ++i) {
+    const FederatedCameraPlan& camera = plan.cameras[i];
+    CameraHits hits;
+    hits.camera = camera.camera;
+    hits.result = std::move(per_camera[i]);
+    hits.live = camera.snapshot != nullptr;
+    hits.epoch = camera.epoch;
+    hits.watermark = camera.watermark;
+    merged.total_frames += hits.result.frames_returned;
+    merged.total_centroids_classified += hits.result.centroids_classified;
+    merged.total_gpu_millis += hits.result.gpu_millis;
+    merged.hits.push_back(std::move(hits));
+  }
+  return merged;
+}
+
+common::Result<bool> FocusFleet::CheckNameFree(const std::string& name) const {
+  if (name.empty()) {
+    return common::Error{common::ErrorCode::kInvalidArgument, "empty camera name"};
+  }
+  if (cameras_.contains(name)) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "camera already registered: " + name};
+  }
+  return true;
+}
+
 common::Result<bool> FocusFleet::AddCamera(const std::string& name,
                                            const video::ClassCatalog* catalog,
                                            const video::StreamProfile& profile,
                                            double duration_sec, double fps, uint64_t seed,
-                                           const FocusOptions& options) {
-  if (cameras_.contains(name)) {
-    return common::Error{common::ErrorCode::kInvalidArgument,
-                         "camera already registered: " + name};
+                                           const FocusOptions& options, CameraMeta meta) {
+  auto free = CheckNameFree(name);
+  if (!free.ok()) {
+    return free.error();
   }
   auto run = std::make_unique<video::StreamRun>(catalog, profile, duration_sec, fps, seed);
   auto stream_or = FocusStream::Build(run.get(), catalog, options);
@@ -31,6 +79,7 @@ common::Result<bool> FocusFleet::AddCamera(const std::string& name,
   Camera camera;
   camera.run = std::move(run);
   camera.stream = std::move(*stream_or);
+  camera.meta = std::move(meta);
   cameras_.emplace(name, std::move(camera));
   order_.push_back(name);
   return true;
@@ -38,17 +87,43 @@ common::Result<bool> FocusFleet::AddCamera(const std::string& name,
 
 common::Result<bool> FocusFleet::AdoptCamera(const std::string& name,
                                              std::unique_ptr<video::StreamRun> run,
-                                             std::unique_ptr<FocusStream> stream) {
+                                             std::unique_ptr<FocusStream> stream,
+                                             CameraMeta meta) {
   if (run == nullptr || stream == nullptr) {
     return common::Error{common::ErrorCode::kInvalidArgument, "null run or stream"};
   }
-  if (cameras_.contains(name)) {
-    return common::Error{common::ErrorCode::kInvalidArgument,
-                         "camera already registered: " + name};
+  auto free = CheckNameFree(name);
+  if (!free.ok()) {
+    return free.error();
   }
   Camera camera;
   camera.run = std::move(run);
   camera.stream = std::move(stream);
+  camera.meta = std::move(meta);
+  cameras_.emplace(name, std::move(camera));
+  order_.push_back(name);
+  return true;
+}
+
+common::Result<bool> FocusFleet::RegisterLiveCamera(const std::string& name,
+                                                    const SnapshotSlot* slot,
+                                                    const cnn::Cnn* ingest_cnn,
+                                                    const cnn::Cnn* gt_cnn, double fps,
+                                                    CameraMeta meta) {
+  if (slot == nullptr || ingest_cnn == nullptr || gt_cnn == nullptr) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "live camera needs a snapshot slot and both models"};
+  }
+  auto free = CheckNameFree(name);
+  if (!free.ok()) {
+    return free.error();
+  }
+  Camera camera;
+  camera.slot = slot;
+  camera.ingest_cnn = ingest_cnn;
+  camera.gt_cnn = gt_cnn;
+  camera.fps = fps;
+  camera.meta = std::move(meta);
   cameras_.emplace(name, std::move(camera));
   order_.push_back(name);
   return true;
@@ -59,11 +134,23 @@ common::Result<FleetQueryResult> FocusFleet::Query(common::ClassId cls,
                                                    common::TimeRange range, int kx) const {
   FleetQueryResult fleet_result;
   fleet_result.queried = cls;
-  const std::vector<std::string>& selected = cameras.empty() ? order_ : cameras;
+  std::vector<std::string> selected = cameras;
+  if (selected.empty()) {
+    // Every finalized member; live members have no one-call Query form.
+    for (const std::string& name : order_) {
+      if (!cameras_.at(name).IsLive()) {
+        selected.push_back(name);
+      }
+    }
+  }
   for (const std::string& name : selected) {
     auto it = cameras_.find(name);
     if (it == cameras_.end()) {
       return common::Error{common::ErrorCode::kNotFound, "unknown camera: " + name};
+    }
+    if (it->second.IsLive()) {
+      return common::Error{common::ErrorCode::kFailedPrecondition,
+                           "camera " + name + " is live; use PlanFederated"};
     }
     CameraHits hits;
     hits.camera = name;
@@ -76,9 +163,110 @@ common::Result<FleetQueryResult> FocusFleet::Query(common::ClassId cls,
   return fleet_result;
 }
 
+common::Result<std::vector<std::string>> FocusFleet::Select(
+    const FederatedSelector& selector) const {
+  const int narrowing = (selector.cameras.empty() ? 0 : 1) +
+                        (selector.region.empty() ? 0 : 1) + (selector.tag.empty() ? 0 : 1);
+  if (narrowing > 1) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "selector sets more than one of cameras/region/tag"};
+  }
+  if (!selector.cameras.empty()) {
+    for (const std::string& name : selector.cameras) {
+      if (!cameras_.contains(name)) {
+        return common::Error{common::ErrorCode::kNotFound, "unknown camera: " + name};
+      }
+    }
+    return selector.cameras;
+  }
+  std::vector<std::string> selected;
+  for (const std::string& name : order_) {
+    const CameraMeta& meta = cameras_.at(name).meta;
+    if (!selector.region.empty() && meta.region != selector.region) {
+      continue;
+    }
+    if (!selector.tag.empty() && !meta.HasTag(selector.tag)) {
+      continue;
+    }
+    selected.push_back(name);
+  }
+  if (selected.empty()) {
+    if (!selector.region.empty()) {
+      return common::Error{common::ErrorCode::kNotFound,
+                           "no cameras in region: " + selector.region};
+    }
+    if (!selector.tag.empty()) {
+      return common::Error{common::ErrorCode::kNotFound, "no cameras tagged: " + selector.tag};
+    }
+    return common::Error{common::ErrorCode::kNotFound, "fleet is empty"};
+  }
+  return selected;
+}
+
+common::Result<FederatedPlan> FocusFleet::PlanFederated(common::ClassId cls,
+                                                        const FederatedSelector& selector,
+                                                        common::TimeRange range, int kx) const {
+  auto selected = Select(selector);
+  if (!selected.ok()) {
+    return selected.error();
+  }
+  FederatedPlan plan;
+  plan.queried = cls;
+  plan.kx = kx;
+  plan.range = range;
+  for (const std::string& name : *selected) {
+    const Camera& camera = cameras_.at(name);
+    FederatedCameraPlan fan;
+    fan.camera = name;
+    if (camera.IsLive()) {
+      fan.snapshot = camera.slot->Latest();
+      if (fan.snapshot == nullptr) {
+        return common::Error{common::ErrorCode::kFailedPrecondition,
+                             "no snapshot published yet for live camera: " + name};
+      }
+      fan.ingest_cnn = camera.ingest_cnn;
+      fan.gt_cnn = camera.gt_cnn;
+      fan.fps = camera.fps;
+      fan.epoch = fan.snapshot->epoch;
+      fan.watermark = fan.snapshot->watermark;
+      fan.plan = QueryEngine(fan.snapshot.get(), fan.ingest_cnn, fan.gt_cnn)
+                     .Plan(cls, kx, range, fan.fps);
+    } else {
+      fan.stream = camera.stream.get();
+      fan.fps = camera.stream->run().fps();
+      fan.plan = fan.stream->Plan(cls, kx, range);
+    }
+    plan.cameras.push_back(std::move(fan));
+  }
+  return plan;
+}
+
+FleetQueryResult FocusFleet::ExecuteFederatedSequential(const FederatedPlan& plan) const {
+  std::vector<QueryResult> per_camera;
+  per_camera.reserve(plan.cameras.size());
+  for (const FederatedCameraPlan& camera : plan.cameras) {
+    if (camera.stream != nullptr) {
+      const std::vector<common::ClassId> verdicts =
+          QueryEngine(&camera.stream->ingest().index, &camera.stream->ingest_cnn(),
+                      &camera.stream->gt_cnn())
+              .ClassifyPlan(camera.plan);
+      per_camera.push_back(camera.stream->Resolve(camera.plan, verdicts));
+    } else {
+      const QueryEngine engine(camera.snapshot.get(), camera.ingest_cnn, camera.gt_cnn);
+      per_camera.push_back(engine.Resolve(camera.plan, engine.ClassifyPlan(camera.plan)));
+    }
+  }
+  return MergeFederatedResults(plan, std::move(per_camera));
+}
+
 const FocusStream* FocusFleet::Find(const std::string& name) const {
   auto it = cameras_.find(name);
   return it == cameras_.end() ? nullptr : it->second.stream.get();
+}
+
+const CameraMeta* FocusFleet::MetaOf(const std::string& name) const {
+  auto it = cameras_.find(name);
+  return it == cameras_.end() ? nullptr : &it->second.meta;
 }
 
 std::vector<std::string> FocusFleet::CameraNames() const { return order_; }
@@ -86,7 +274,9 @@ std::vector<std::string> FocusFleet::CameraNames() const { return order_; }
 common::GpuMillis FocusFleet::TotalIngestGpuMillis() const {
   common::GpuMillis total = 0;
   for (const auto& [name, camera] : cameras_) {
-    total += camera.stream->total_ingest_gpu_millis();
+    if (camera.stream != nullptr) {
+      total += camera.stream->total_ingest_gpu_millis();
+    }
   }
   return total;
 }

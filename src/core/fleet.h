@@ -6,6 +6,20 @@
 // to the selected cameras, aggregates per-camera frame runs, and accounts the total
 // GT-CNN work — the foundation for the investigation workflows in the examples
 // ("which intersections saw a truck between 2pm and 4pm?").
+//
+// Fleet-scale serving (docs/fleet_serving.md) builds on two extensions here:
+//
+//  - The registry carries deployment metadata (CameraMeta: region, tags) and can
+//    hold *live* members — cameras whose ingest is still running — registered by
+//    their snapshot slot instead of a finalized stream. Selection by name list,
+//    region, or tag treats both kinds uniformly.
+//  - PlanFederated() fans a query out into a FederatedPlan: one pinned per-camera
+//    plan each (the finalized index, or the newest published epoch snapshot at
+//    plan time), which any executor classifies and MergeFederatedResults() folds
+//    back with per-camera provenance (epoch/watermark for live members).
+//    ExecuteFederatedSequential() is the reference executor — one camera at a
+//    time, one GT-CNN batch each — that defines the byte-identity oracle for the
+//    packed/cached runtime::FleetQueryService.
 #ifndef FOCUS_SRC_CORE_FLEET_H_
 #define FOCUS_SRC_CORE_FLEET_H_
 
@@ -16,14 +30,28 @@
 
 #include "src/common/result.h"
 #include "src/core/focus_stream.h"
+#include "src/core/live_snapshot.h"
 #include "src/video/stream_generator.h"
 
 namespace focus::core {
 
-// One camera's slice of a fleet query result.
+// Deployment metadata attached to a registered camera.
+struct CameraMeta {
+  std::string region;
+  std::vector<std::string> tags;
+
+  bool HasTag(const std::string& tag) const;
+};
+
+// One camera's slice of a fleet query result. |epoch|/|watermark| carry the
+// provenance of a live member's answer (which published snapshot it was
+// resolved against); both stay 0 for a finalized camera.
 struct CameraHits {
   std::string camera;
   QueryResult result;
+  bool live = false;
+  uint64_t epoch = 0;
+  common::FrameIndex watermark = 0;
 };
 
 struct FleetQueryResult {
@@ -37,6 +65,48 @@ struct FleetQueryResult {
   std::vector<std::string> CamerasWithHits() const;
 };
 
+// Which cameras a federated query fans out to. Exactly one of the three
+// narrowing forms may be set; all empty selects the whole fleet.
+struct FederatedSelector {
+  std::vector<std::string> cameras;  // Explicit names (must all exist).
+  std::string region;                // Every camera whose meta.region matches.
+  std::string tag;                   // Every camera carrying the tag.
+};
+
+// One camera's pinned slice of a federated fan-out. Exactly one of |stream|
+// (finalized index) / |snapshot| (live epoch, pinned at plan time — the
+// shared_ptr keeps its index entries alive through execution) is set.
+struct FederatedCameraPlan {
+  std::string camera;
+  QueryPlan plan;
+  const FocusStream* stream = nullptr;
+  std::shared_ptr<const LiveSnapshot> snapshot;
+  const cnn::Cnn* ingest_cnn = nullptr;  // Set with |snapshot|.
+  const cnn::Cnn* gt_cnn = nullptr;      // Set with |snapshot|.
+  double fps = 30.0;
+  uint64_t epoch = 0;  // 0 for a finalized camera.
+  common::FrameIndex watermark = 0;
+};
+
+// A fleet query fanned out into per-camera plans (selection order = fleet
+// registration order). The plan is self-contained: every target is pinned, so
+// executing it later — or twice — answers against the same indexes.
+struct FederatedPlan {
+  common::ClassId queried = common::kInvalidClass;
+  int kx = -1;
+  common::TimeRange range{};
+  std::vector<FederatedCameraPlan> cameras;
+
+  int64_t TotalWorkItems() const;
+};
+
+// Folds per-camera results (parallel to plan.cameras) into the fleet-level
+// aggregate with per-camera provenance. Pure and deterministic: every executor
+// that produces byte-identical per-camera QueryResults produces a byte-identical
+// fleet result through this.
+FleetQueryResult MergeFederatedResults(const FederatedPlan& plan,
+                                       std::vector<QueryResult> per_camera);
+
 class FocusFleet {
  public:
   FocusFleet() = default;
@@ -48,32 +118,76 @@ class FocusFleet {
   // |catalog| must outlive the fleet. Camera names must be unique.
   common::Result<bool> AddCamera(const std::string& name, const video::ClassCatalog* catalog,
                                  const video::StreamProfile& profile, double duration_sec,
-                                 double fps, uint64_t seed, const FocusOptions& options);
+                                 double fps, uint64_t seed, const FocusOptions& options,
+                                 CameraMeta meta = {});
 
   // Registers an externally built stream under |name|, taking ownership of both the
   // run and the stream (the stream must have been built against that run).
   common::Result<bool> AdoptCamera(const std::string& name,
                                    std::unique_ptr<video::StreamRun> run,
-                                   std::unique_ptr<FocusStream> stream);
+                                   std::unique_ptr<FocusStream> stream,
+                                   CameraMeta meta = {});
+
+  // Registers a *live* member: a camera whose ingest is still running and whose
+  // queryable state is whatever epoch snapshot |slot| has published when a plan
+  // pins it. |slot|, |ingest_cnn| and |gt_cnn| must outlive the fleet (they are
+  // the stream's runtime::LiveStreamContext members in a served deployment).
+  // Live members join selection and federation but have no finalized stream:
+  // Find() returns nullptr for them.
+  common::Result<bool> RegisterLiveCamera(const std::string& name, const SnapshotSlot* slot,
+                                          const cnn::Cnn* ingest_cnn, const cnn::Cnn* gt_cnn,
+                                          double fps, CameraMeta meta = {});
 
   // Queries |cls| across |cameras| (empty: every camera) within |range|. Unknown
-  // camera names return kNotFound.
+  // camera names return kNotFound. Finalized members only (the pre-federation
+  // sequential form; live members need PlanFederated).
   common::Result<FleetQueryResult> Query(common::ClassId cls,
                                          const std::vector<std::string>& cameras = {},
                                          common::TimeRange range = {}, int kx = -1) const;
 
+  // Resolves |selector| to camera names in registration order. Unknown explicit
+  // names error kNotFound; a region/tag selecting nothing errors kNotFound too
+  // (a federated query over zero cameras is almost always a typo).
+  common::Result<std::vector<std::string>> Select(const FederatedSelector& selector) const;
+
+  // Fans |cls| out across the selected cameras: one plan per camera against its
+  // finalized index or — for live members — the newest published epoch snapshot,
+  // pinned. A live member with no published snapshot yet errors
+  // kFailedPrecondition (nothing queryable to pin).
+  common::Result<FederatedPlan> PlanFederated(common::ClassId cls,
+                                              const FederatedSelector& selector = {},
+                                              common::TimeRange range = {}, int kx = -1) const;
+
+  // The reference executor and byte-identity oracle for federated plans: each
+  // camera classified independently, one GT-CNN batch per camera, in plan
+  // order. Packed/cached executors (runtime::FleetQueryService) must reproduce
+  // its result byte-for-byte.
+  FleetQueryResult ExecuteFederatedSequential(const FederatedPlan& plan) const;
+
   const FocusStream* Find(const std::string& name) const;
+  const CameraMeta* MetaOf(const std::string& name) const;
   std::vector<std::string> CameraNames() const;  // In registration order.
   size_t size() const { return order_.size(); }
 
-  // Sum of per-camera ingest GPU time (indexing plus tuning).
+  // Sum of per-camera ingest GPU time (indexing plus tuning). Finalized members.
   common::GpuMillis TotalIngestGpuMillis() const;
 
  private:
   struct Camera {
+    // Finalized member: owned recording + stream.
     std::unique_ptr<video::StreamRun> run;
     std::unique_ptr<FocusStream> stream;
+    // Live member: borrowed snapshot slot + models.
+    const SnapshotSlot* slot = nullptr;
+    const cnn::Cnn* ingest_cnn = nullptr;
+    const cnn::Cnn* gt_cnn = nullptr;
+    double fps = 30.0;
+    CameraMeta meta;
+
+    bool IsLive() const { return slot != nullptr; }
   };
+
+  common::Result<bool> CheckNameFree(const std::string& name) const;
 
   std::map<std::string, Camera> cameras_;
   std::vector<std::string> order_;

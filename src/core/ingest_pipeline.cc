@@ -571,6 +571,21 @@ common::Result<IngestResult> RunIngestResumableChecked(const video::StreamRun& r
   int64_t frames_since_checkpoint = 0;
   bool crashed = false;
   std::optional<common::Error> failure;
+  // Sharded runs dispatch each frame's assignments through a worker pool (one
+  // ordered task per shard, exactly the RunIngestClassifiedSharded pattern) so
+  // persistent resumable ingest scales within a stream like the volatile path.
+  // pop_batch stays 1: the queued tasks are shard-coarse. At num_shards = 1
+  // the pool is skipped and AssignBatch runs inline — the sequential schedule.
+  std::unique_ptr<runtime::WorkerPool> pool;
+  if (options.num_shards > 1) {
+    pool = std::make_unique<runtime::WorkerPool>(
+        options.num_shards,
+        /*queue_capacity=*/static_cast<size_t>(options.num_shards) * 2,
+        /*pop_batch=*/1);
+  }
+  std::vector<cluster::ShardedClusterer::WorkItem> frame_items;
+  std::vector<const cnn::TopKResult*> frame_topk;
+  std::vector<int64_t> frame_out;
   video::SweepStats sweep =
       run.ForEachFrame([&](common::FrameIndex frame, const std::vector<video::Detection>& dets) {
     if (crashed || failure.has_value() || frame < resume_frame || frame >= limit_frame) {
@@ -580,29 +595,47 @@ common::Result<IngestResult> RunIngestResumableChecked(const video::StreamRun& r
       crashed = true;  // Simulated worker crash: abandon mid-stream.
       return;
     }
+    // Stage the frame: classify / extract fresh detections, reuse suppressed
+    // ones. Pointers target the node-based reuse maps, which stay stable
+    // through later inserts; each object appears at most once per frame.
+    frame_items.clear();
+    frame_topk.clear();
     for (const video::Detection& d : dets) {
       ++result.detections;
       last_seen[d.object_id] = frame;
       const bool can_reuse = options.use_pixel_diff && d.pixel_diff_suppressed &&
                              last_result.contains(d.object_id);
-      int64_t cluster_id = -1;
-      const cnn::TopKResult* topk = nullptr;
+      cluster::ShardedClusterer::WorkItem item;
+      item.detection = &d;
       if (can_reuse) {
         ++result.suppressed;
-        cluster_id = clusterer.AddSuppressed(d, last_feature[d.object_id]);
-        topk = &last_result[d.object_id];
+        item.feature = &last_feature[d.object_id];
+        item.suppressed = true;
+        frame_topk.push_back(&last_result[d.object_id]);
       } else {
         ++result.cnn_invocations;
         result.gpu_millis += ingest_cnn.inference_cost_millis();
         cnn::TopKResult fresh = ingest_cnn.Classify(d, params.k);
         common::FeatureVec feature = ingest_cnn.ExtractFeature(d);
-        cluster_id = clusterer.Add(d, feature);
-        auto [it, unused] = last_result.insert_or_assign(d.object_id, std::move(fresh));
-        topk = &it->second;
-        last_feature.insert_or_assign(d.object_id, std::move(feature));
+        auto [rit, r_unused] = last_result.insert_or_assign(d.object_id, std::move(fresh));
+        auto [fit, f_unused] = last_feature.insert_or_assign(d.object_id, std::move(feature));
+        item.feature = &fit->second;
+        frame_topk.push_back(&rit->second);
       }
+      frame_items.push_back(item);
+    }
+    // Assign the frame as one batch. The object-id partition makes the
+    // assignments identical to the sequential per-detection path; only the
+    // cross-shard merge cadence moves to frame granularity (which does not
+    // change the final table — the union-find only accumulates).
+    frame_out.resize(frame_items.size());
+    clusterer.AssignBatch(frame_items.data(), frame_items.size(), pool.get(),
+                          frame_out.data());
+    for (size_t i = 0; i < frame_items.size(); ++i) {
+      const int64_t cluster_id = frame_out[i];
       finalizer.Touch(cluster_id);
       // Raw global ids here; folded onto canonical ids after the final merge.
+      const cnn::TopKResult* topk = frame_topk[i];
       for (size_t pos = 0; pos < topk->entries.size(); ++pos) {
         ranks.Update(cluster_id, topk->entries[pos].first, static_cast<int32_t>(pos) + 1);
       }

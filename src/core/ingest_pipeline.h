@@ -157,8 +157,12 @@ common::Result<IngestResult> RunIngestResumableChecked(const video::StreamRun& r
 // the final index, counters, and GPU accounting are byte-identical to running
 // the whole stream without the crash (the re-processed window re-classifies
 // deterministically — cnn::Cnn is a pure function of the detection). Runs the
-// clustering stage through ShardedClusterer at any num_shards >= 1,
-// sequentially (assignment parallelism on the persistent path is a follow-up).
+// clustering stage through ShardedClusterer at any num_shards >= 1; with
+// num_shards > 1 each frame's assignments dispatch through a WorkerPool (one
+// ordered task per shard), so the persistent path scales within a stream like
+// the volatile sharded path while producing the identical final index (the
+// object-id partition fixes every shard's input subsequence regardless of
+// thread interleaving).
 IngestResult RunIngestResumable(const video::StreamRun& run, const cnn::Cnn& ingest_cnn,
                                 const IngestParams& params, const IngestOptions& options);
 

@@ -66,7 +66,8 @@ QueryBatch QuerySession::ExpandTo(int kx) {
       fresh.work.push_back(item);
     }
   }
-  const std::vector<common::ClassId> fresh_verdicts = engine_.ClassifyPlan(fresh);
+  const std::vector<common::ClassId> fresh_verdicts =
+      classifier_ ? classifier_(fresh) : engine_.ClassifyPlan(fresh);
   for (size_t i = 0; i < fresh.work.size(); ++i) {
     ++batch.centroids_classified;
     batch.gpu_millis += engine_.gt_cnn().inference_cost_millis();

@@ -16,6 +16,7 @@
 #ifndef FOCUS_SRC_CORE_QUERY_SESSION_H_
 #define FOCUS_SRC_CORE_QUERY_SESSION_H_
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +50,17 @@ class QuerySession {
   // GT-CNN batch.
   QueryBatch ExpandTo(int kx);
 
+  // Routes this session's classification through a shared executor instead of
+  // the direct engine batch: the callback receives each expansion step's fresh
+  // sub-plan and must return top-1 verdicts in plan order, byte-identical to
+  // QueryEngine::ClassifyPlan. runtime::FleetQueryService::ClassifySessionPlan
+  // is the intended target — concurrent sessions then share a global verdict
+  // cache and never re-pay a centroid any of them (or any past query) paid.
+  // Per-batch gpu_millis accounting is unchanged (the execution-independent
+  // per-centroid figure); the shared executor's stats show the saved cost.
+  using PlanClassifier = std::function<std::vector<common::ClassId>(const QueryPlan&)>;
+  void SetClassifier(PlanClassifier classifier) { classifier_ = std::move(classifier); }
+
   // Cumulative results across all batches so far (merged, sorted frame runs).
   const std::vector<std::pair<common::FrameIndex, common::FrameIndex>>& frame_runs() const {
     return cumulative_runs_;
@@ -61,6 +73,7 @@ class QuerySession {
 
  private:
   QueryEngine engine_;  // Plans, classifies, and folds each expansion step.
+  PlanClassifier classifier_;  // Optional shared executor (SetClassifier).
   common::ClassId cls_;
   common::TimeRange range_;
   double fps_;

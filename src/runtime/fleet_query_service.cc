@@ -1,0 +1,506 @@
+#include "src/runtime/fleet_query_service.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/common/logging.h"
+
+namespace focus::runtime {
+
+namespace {
+
+// Splitmix-style combine; the camera string dominates, epoch/cluster spread it.
+size_t MixHash(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+size_t FleetQueryService::CacheKeyHash::operator()(const CacheKey& key) const {
+  size_t h = std::hash<std::string>{}(key.camera);
+  h = MixHash(h, std::hash<uint64_t>{}(key.epoch));
+  h = MixHash(h, std::hash<int64_t>{}(static_cast<int64_t>(key.cluster_id)));
+  return h;
+}
+
+FleetQueryService::FleetQueryService(FleetQueryServiceOptions options,
+                                     MetricsRegistry* metrics)
+    : options_(options),
+      metrics_(metrics != nullptr ? metrics : &GlobalMetrics()),
+      cluster_(options.num_gpus) {
+  FOCUS_CHECK(options.batch_size >= 1);
+}
+
+FleetQueryService::Unit FleetQueryService::UnitFromRequest(const FleetQueryRequest& request) {
+  FOCUS_CHECK(!request.camera.empty());
+  const QueryRequest& query = request.query;
+  FOCUS_CHECK((query.stream != nullptr) != (query.snapshot != nullptr));
+  Unit unit;
+  unit.camera = request.camera;
+  if (query.stream != nullptr) {
+    unit.plan = query.stream->Plan(query.cls, query.kx, query.range);
+    unit.gt = &query.stream->gt_cnn();
+    unit.stream = query.stream;
+  } else {
+    FOCUS_CHECK(query.ingest_cnn != nullptr && query.gt_cnn != nullptr);
+    unit.epoch = query.snapshot->epoch;
+    unit.plan = core::QueryEngine(query.snapshot.get(), query.ingest_cnn, query.gt_cnn)
+                    .Plan(query.cls, query.kx, query.range, query.fps);
+    unit.gt = query.gt_cnn;
+    unit.snapshot = query.snapshot;
+    unit.ingest_cnn = query.ingest_cnn;
+  }
+  return unit;
+}
+
+FleetQueryService::Unit FleetQueryService::UnitFromFederated(
+    const core::FederatedCameraPlan& camera) {
+  Unit unit;
+  unit.camera = camera.camera;
+  unit.epoch = camera.epoch;
+  unit.plan = camera.plan;
+  if (camera.stream != nullptr) {
+    unit.gt = &camera.stream->gt_cnn();
+    unit.stream = camera.stream;
+  } else {
+    FOCUS_CHECK(camera.snapshot != nullptr);
+    unit.gt = camera.gt_cnn;
+    unit.snapshot = camera.snapshot;
+    unit.ingest_cnn = camera.ingest_cnn;
+  }
+  return unit;
+}
+
+const common::ClassId* FleetQueryService::CacheLookupLocked(const CacheKey& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // Refresh: most recently used.
+  return &it->second->second;
+}
+
+void FleetQueryService::CacheInsertLocked(CacheKey key, common::ClassId top1) {
+  if (options_.verdict_cache_capacity == 0) {
+    return;
+  }
+  FOCUS_CHECK(!cache_.contains(key));  // Only misses are inserted.
+  lru_.emplace_front(std::move(key), top1);
+  cache_.emplace(lru_.front().first, lru_.begin());
+  while (cache_.size() > options_.verdict_cache_capacity) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.cache_evicted;
+  }
+}
+
+void FleetQueryService::RetireEpochsLocked(const std::string& camera, uint64_t newest_epoch) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.camera == camera && it->first.epoch < newest_epoch) {
+      cache_.erase(it->first);
+      it = lru_.erase(it);
+      ++stats_.cache_retired;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<FleetQueryService::UnitOutcome> FleetQueryService::ExecuteUnitsLocked(
+    const std::vector<Unit>& units, common::GpuMillis* submit_out) {
+  const common::GpuMillis submit = cluster_.EarliestFree();
+  *submit_out = submit;
+  const int64_t cache_hits_before = stats_.cache_hits;
+  const int64_t cache_misses_before = stats_.cache_misses;
+
+  // Epoch advance first, across the whole admission: the first sighting of a
+  // newer epoch of a camera retires every cached verdict of its older epochs
+  // (a unit still pinning a stale snapshot in this same admission simply
+  // re-pays — its entries re-enter the cache under the old epoch and age out
+  // by LRU).
+  for (const Unit& unit : units) {
+    uint64_t& newest = newest_epoch_[unit.camera];
+    if (unit.epoch > newest) {
+      RetireEpochsLocked(unit.camera, unit.epoch);
+      newest = unit.epoch;
+    }
+  }
+
+  // Phase 1 — resolve every work item against the global cache and deduplicate
+  // within the admission. |local| pins this admission's verdict per key so that
+  // concurrent duplicates are counted (and paid) once; fresh keys are marked
+  // pending until their launch lands.
+  struct LocalVerdict {
+    common::ClassId top1 = common::kInvalidClass;
+    common::GpuMillis finish_millis = 0.0;
+    bool failed = false;
+    bool pending = false;
+  };
+  struct FreshItem {
+    size_t unit = 0;
+    int64_t cluster_id = -1;
+    const video::Detection* centroid = nullptr;
+  };
+  std::unordered_map<CacheKey, LocalVerdict, CacheKeyHash> local;
+  std::vector<FreshItem> fresh;
+  for (size_t u = 0; u < units.size(); ++u) {
+    for (const core::CentroidWorkItem& item : units[u].plan.work) {
+      ++stats_.work_items;
+      CacheKey key{units[u].camera, units[u].epoch, item.cluster_id};
+      if (local.contains(key)) {
+        ++stats_.dedup_hits;
+        continue;
+      }
+      if (const common::ClassId* hit = CacheLookupLocked(key)) {
+        // A cached verdict costs nothing and waits on nothing: it contributes
+        // the admission instant as its finish time.
+        ++stats_.cache_hits;
+        local.emplace(std::move(key), LocalVerdict{*hit, submit, false, false});
+        continue;
+      }
+      ++stats_.cache_misses;
+      fresh.push_back(FreshItem{u, item.cluster_id, item.centroid});
+      local.emplace(std::move(key), LocalVerdict{common::kInvalidClass, 0.0, false, true});
+    }
+  }
+
+  // Phase 2 — group fresh items by model architecture (cnn::ModelPackKey): one
+  // launch runs one architecture, but per-camera instances of the same
+  // architecture pool freely (each item is still classified through its own
+  // Cnn instance — identical outputs to per-element classification). Groups
+  // keep first-appearance order; items within a group keep admission order.
+  struct PackGroup {
+    const cnn::Cnn* cost_rep = nullptr;  // Any member; the key pins the cost curve.
+    std::vector<size_t> items;           // Indices into |fresh|.
+  };
+  std::vector<PackGroup> groups;
+  std::map<cnn::ModelPackKey, size_t> group_of;
+  for (size_t f = 0; f < fresh.size(); ++f) {
+    const cnn::Cnn* gt = units[fresh[f].unit].gt;
+    auto [it, inserted] = group_of.try_emplace(gt->pack_key(), groups.size());
+    if (inserted) {
+      groups.push_back(PackGroup{gt, {}});
+    }
+    groups[it->second].items.push_back(f);
+  }
+
+  // Phase 3 — pack each group into launches (parallelism first, then
+  // amortization up to batch_size: the query_service.h schedule), then order
+  // submission across groups by estimated launch cost, heaviest first:
+  // longest-processing-time onto the least-loaded device keeps heterogeneous
+  // GT-CNN mixes balanced. Submission order affects the schedule (latency)
+  // only — verdict values are launch-order independent.
+  struct Launch {
+    size_t group = 0;
+    int64_t offset = 0;
+    int64_t count = 0;
+    common::GpuMillis estimate = 0.0;
+  };
+  std::vector<Launch> launches;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const int64_t n = static_cast<int64_t>(groups[g].items.size());
+    const cnn::BatchCostModel cost_model = groups[g].cost_rep->batch_cost_model();
+    const int64_t by_amortization =
+        (n + options_.batch_size - 1) / static_cast<int64_t>(options_.batch_size);
+    const int64_t rounds =
+        (by_amortization + options_.num_gpus - 1) / static_cast<int64_t>(options_.num_gpus);
+    const int64_t num_launches =
+        std::min<int64_t>(n, rounds * static_cast<int64_t>(options_.num_gpus));
+    const int64_t base = n / num_launches;
+    const int64_t remainder = n % num_launches;
+    int64_t offset = 0;
+    for (int64_t launch = 0; launch < num_launches; ++launch) {
+      const int64_t count = base + (launch < remainder ? 1 : 0);
+      launches.push_back(Launch{g, offset, count, cost_model.EstimateMillis(count)});
+      offset += count;
+    }
+  }
+  std::stable_sort(launches.begin(), launches.end(),
+                   [](const Launch& a, const Launch& b) { return a.estimate > b.estimate; });
+
+  std::vector<const video::Detection*> crops;
+  std::vector<cnn::TopKResult> classified;
+  std::vector<common::ClassId> launch_verdicts;
+  for (const Launch& launch : launches) {
+    const PackGroup& group = groups[launch.group];
+    // Classify the launch's items. Members may come from different cameras
+    // (different Cnn instances of the one architecture): classify each
+    // consecutive same-instance segment through its own instance.
+    launch_verdicts.clear();
+    int64_t seg_begin = launch.offset;
+    while (seg_begin < launch.offset + launch.count) {
+      const cnn::Cnn* gt = units[fresh[group.items[static_cast<size_t>(seg_begin)]].unit].gt;
+      int64_t seg_end = seg_begin;
+      crops.clear();
+      while (seg_end < launch.offset + launch.count &&
+             units[fresh[group.items[static_cast<size_t>(seg_end)]].unit].gt == gt) {
+        crops.push_back(fresh[group.items[static_cast<size_t>(seg_end)]].centroid);
+        ++seg_end;
+      }
+      gt->ClassifyBatch(crops, /*k=*/1, &classified);
+      for (const cnn::TopKResult& result : classified) {
+        launch_verdicts.push_back(result.Top1());
+      }
+      seg_begin = seg_end;
+    }
+    const common::GpuMillis cost = group.cost_rep->BatchCostMillis(launch.count);
+    // Bounded-retry launch (docs/robustness.md), same loop as QueryService:
+    // re-submit at the then-current frontier plus exponential backoff; a
+    // timeout occupied a device for the full cost (wasted and accounted).
+    const common::RetryPolicy& policy = options_.launch_retry;
+    const int max_attempts = std::max(1, policy.max_attempts);
+    double backoff = policy.initial_backoff_millis;
+    common::GpuMillis at = submit;
+    common::Result<GpuJobTicket> ticket = cluster_.TrySubmit(at, cost);
+    for (int attempt = 1; !ticket.ok(); ++attempt) {
+      if (ticket.error().code == common::ErrorCode::kTimeout) {
+        stats_.wasted_gpu_millis += cost;
+      }
+      if (attempt >= max_attempts || !common::IsRetryable(ticket.error().code)) {
+        break;
+      }
+      ++stats_.launch_retries;
+      at = std::max(at, cluster_.EarliestFree()) + backoff;
+      backoff = std::min(backoff * policy.backoff_multiplier, policy.max_backoff_millis);
+      ticket = cluster_.TrySubmit(at, cost);
+    }
+    for (int64_t i = 0; i < launch.count; ++i) {
+      const FreshItem& item = fresh[group.items[static_cast<size_t>(launch.offset + i)]];
+      CacheKey key{units[item.unit].camera, units[item.unit].epoch, item.cluster_id};
+      LocalVerdict& verdict = local.at(key);
+      FOCUS_CHECK(verdict.pending);
+      verdict.pending = false;
+      if (ticket.ok()) {
+        verdict.top1 = launch_verdicts[static_cast<size_t>(i)];
+        verdict.finish_millis = ticket->finish_millis;
+        // Only successful verdicts enter the global cache; a failure is not a
+        // fact about the centroid.
+        CacheInsertLocked(std::move(key), verdict.top1);
+      } else {
+        verdict.failed = true;
+        verdict.finish_millis = at;
+      }
+    }
+    if (ticket.ok()) {
+      ++stats_.launches;
+      stats_.gpu_millis += cost;
+    } else {
+      ++stats_.launches_failed;
+    }
+  }
+
+  // Phase 4 — fold verdicts back per unit, in plan order. A unit finishes when
+  // the last launch carrying one of its verdicts finishes; a fully-cached (or
+  // empty) unit finishes at the admission instant — zero added latency.
+  std::vector<UnitOutcome> outcomes;
+  outcomes.reserve(units.size());
+  for (const Unit& unit : units) {
+    UnitOutcome outcome;
+    outcome.verdicts.reserve(unit.plan.work.size());
+    outcome.finish_millis = submit;
+    for (const core::CentroidWorkItem& item : unit.plan.work) {
+      const LocalVerdict& verdict = local.at(CacheKey{unit.camera, unit.epoch, item.cluster_id});
+      outcome.verdicts.push_back(verdict.top1);
+      outcome.finish_millis = std::max(outcome.finish_millis, verdict.finish_millis);
+      outcome.failed = outcome.failed || verdict.failed;
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+
+  stats_.cache_size = cache_.size();
+  metrics_->IncrementCounter("fleet.admissions");
+  metrics_->IncrementCounter("fleet.cache_hits", stats_.cache_hits - cache_hits_before);
+  metrics_->IncrementCounter("fleet.cache_misses", stats_.cache_misses - cache_misses_before);
+  metrics_->Observe("fleet.admission_launches", static_cast<double>(launches.size()));
+  return outcomes;
+}
+
+QueryExecution FleetQueryService::ResolveUnit(const Unit& unit, const UnitOutcome& outcome,
+                                              common::GpuMillis submit) const {
+  QueryExecution execution;
+  execution.submit_millis = submit;
+  execution.finish_millis = outcome.finish_millis;
+  if (outcome.failed) {
+    execution.error = common::Unavailable(
+        "GT-CNN launch failed after " +
+        std::to_string(std::max(1, options_.launch_retry.max_attempts)) + " attempts");
+    return execution;
+  }
+  execution.result = unit.stream != nullptr
+                         ? unit.stream->Resolve(unit.plan, outcome.verdicts)
+                         : core::QueryEngine(unit.snapshot.get(), unit.ingest_cnn, unit.gt)
+                               .Resolve(unit.plan, outcome.verdicts);
+  return execution;
+}
+
+QueryExecution FleetQueryService::Execute(const FleetQueryRequest& request) {
+  return ExecuteConcurrently({request})[0];
+}
+
+std::vector<QueryExecution> FleetQueryService::ExecuteConcurrently(
+    const std::vector<FleetQueryRequest>& requests) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Unit> units;
+  units.reserve(requests.size());
+  for (const FleetQueryRequest& request : requests) {
+    units.push_back(UnitFromRequest(request));
+  }
+  stats_.requests += static_cast<int64_t>(requests.size());
+  common::GpuMillis submit = 0.0;
+  const std::vector<UnitOutcome> outcomes = ExecuteUnitsLocked(units, &submit);
+  std::vector<QueryExecution> executions;
+  executions.reserve(units.size());
+  for (size_t u = 0; u < units.size(); ++u) {
+    QueryExecution execution = ResolveUnit(units[u], outcomes[u], submit);
+    metrics_->IncrementCounter("fleet.requests");
+    if (execution.error.has_value()) {
+      metrics_->IncrementCounter("fleet.requests_failed");
+    } else {
+      metrics_->Observe("fleet.latency_millis", execution.latency_millis());
+    }
+    executions.push_back(std::move(execution));
+  }
+  return executions;
+}
+
+FederatedExecution FleetQueryService::ExecuteFederated(const core::FederatedPlan& plan,
+                                                       const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Unit> units;
+  units.reserve(plan.cameras.size());
+  for (const core::FederatedCameraPlan& camera : plan.cameras) {
+    units.push_back(UnitFromFederated(camera));
+  }
+  stats_.requests += 1;
+  common::GpuMillis submit = 0.0;
+  const std::vector<UnitOutcome> outcomes = ExecuteUnitsLocked(units, &submit);
+
+  FederatedExecution federated;
+  federated.submit_millis = submit;
+  federated.finish_millis = submit;
+  std::vector<core::QueryResult> per_camera;
+  per_camera.reserve(units.size());
+  for (size_t u = 0; u < units.size(); ++u) {
+    QueryExecution execution = ResolveUnit(units[u], outcomes[u], submit);
+    federated.finish_millis = std::max(federated.finish_millis, execution.finish_millis);
+    if (execution.error.has_value() && !federated.error.has_value()) {
+      federated.error = execution.error;
+    }
+    per_camera.push_back(std::move(execution.result));
+  }
+  federated.result = core::MergeFederatedResults(plan, std::move(per_camera));
+  metrics_->IncrementCounter("fleet.federated_queries");
+  metrics_->IncrementCounter("fleet.federated_cameras", static_cast<int64_t>(units.size()));
+  if (federated.error.has_value()) {
+    metrics_->IncrementCounter("fleet.requests_failed");
+  } else {
+    metrics_->Observe("fleet.latency_millis", federated.latency_millis());
+  }
+  (void)tenant;  // Federated admission is immediate; tenancy shapes queued work.
+  return federated;
+}
+
+std::vector<common::ClassId> FleetQueryService::ClassifySessionPlan(
+    const std::string& camera, const core::FocusStream& stream, const core::QueryPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Unit unit;
+  unit.camera = camera;
+  unit.plan = plan;
+  unit.gt = &stream.gt_cnn();
+  stats_.requests += 1;
+  common::GpuMillis submit = 0.0;
+  std::vector<UnitOutcome> outcomes = ExecuteUnitsLocked({std::move(unit)}, &submit);
+  metrics_->IncrementCounter("fleet.session_expansions");
+  return std::move(outcomes[0].verdicts);
+}
+
+void FleetQueryService::SetTenantWeight(const std::string& tenant, double weight) {
+  FOCUS_CHECK(weight > 0.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  tenant_weights_[tenant] = weight;
+}
+
+uint64_t FleetQueryService::Enqueue(FleetQueryRequest request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  const std::string tenant = request.tenant;
+  queues_[tenant].emplace_back(ticket, std::move(request));
+  metrics_->IncrementCounter("fleet.enqueued");
+  return ticket;
+}
+
+std::vector<std::pair<uint64_t, QueryExecution>> FleetQueryService::DrainAdmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint64_t, QueryExecution>> drained;
+  // Deficit round robin over tenants in name order: each round a tenant earns
+  // its weight in credits and dequeues one request per whole credit (FIFO
+  // within the tenant). Every round executes as ONE pooled admission — its
+  // requests share dedup, cache, and launches, and later rounds submit at the
+  // advanced cluster frontier with earlier rounds' verdicts already cached.
+  std::map<std::string, double> credit;
+  bool work_left = true;
+  while (work_left) {
+    std::vector<uint64_t> tickets;
+    std::vector<FleetQueryRequest> round;
+    work_left = false;
+    for (auto& [tenant, queue] : queues_) {
+      if (queue.empty()) {
+        continue;
+      }
+      auto weight_it = tenant_weights_.find(tenant);
+      credit[tenant] += weight_it != tenant_weights_.end() ? weight_it->second : 1.0;
+      while (credit[tenant] >= 1.0 && !queue.empty()) {
+        credit[tenant] -= 1.0;
+        tickets.push_back(queue.front().first);
+        round.push_back(std::move(queue.front().second));
+        queue.pop_front();
+      }
+      work_left = work_left || !queue.empty();
+    }
+    if (round.empty()) {
+      continue;  // All fractional weights this round; credits accumulate.
+    }
+    std::vector<Unit> units;
+    units.reserve(round.size());
+    for (const FleetQueryRequest& request : round) {
+      units.push_back(UnitFromRequest(request));
+    }
+    stats_.requests += static_cast<int64_t>(round.size());
+    common::GpuMillis submit = 0.0;
+    const std::vector<UnitOutcome> outcomes = ExecuteUnitsLocked(units, &submit);
+    for (size_t u = 0; u < units.size(); ++u) {
+      QueryExecution execution = ResolveUnit(units[u], outcomes[u], submit);
+      metrics_->IncrementCounter("fleet.requests");
+      if (execution.error.has_value()) {
+        metrics_->IncrementCounter("fleet.requests_failed");
+      } else {
+        metrics_->Observe("fleet.latency_millis", execution.latency_millis());
+      }
+      drained.emplace_back(tickets[u], std::move(execution));
+    }
+  }
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    it = it->second.empty() ? queues_.erase(it) : std::next(it);
+  }
+  return drained;
+}
+
+std::map<std::string, size_t> FleetQueryService::QueueDepths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, size_t> depths;
+  for (const auto& [tenant, queue] : queues_) {
+    if (!queue.empty()) {
+      depths[tenant] = queue.size();
+    }
+  }
+  return depths;
+}
+
+FleetServiceStats FleetQueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FleetServiceStats snapshot = stats_;
+  snapshot.cache_size = cache_.size();
+  return snapshot;
+}
+
+}  // namespace focus::runtime

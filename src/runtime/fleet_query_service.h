@@ -1,0 +1,237 @@
+// The persistent fleet query runtime: one long-lived service per serving
+// process, shared by every query against every camera (docs/fleet_serving.md).
+//
+// QueryService (query_service.h) batches the work of one admission and then
+// forgets; this service is the fleet-scale refactor of that path, adding the
+// three things a multi-tenant deployment needs:
+//
+//  - A global verdict cache keyed on (camera, epoch, centroid id): a GT-CNN
+//    verdict is a pure function of the centroid object, so once any query paid
+//    for it, every later query against the same epoch gets it free — across
+//    requests, tenants, sessions, and threads. Bounded capacity with LRU
+//    eviction; entries of a superseded epoch are retired eagerly the first
+//    time a newer epoch of that camera is seen (they can only be re-requested
+//    by a pinned stale snapshot, which simply re-pays).
+//  - Per-tenant admission queues with weighted-fair (deficit round-robin)
+//    dequeue: a burst of analyst queries drains in rounds interleaved with
+//    dashboard traffic instead of ahead of it, so no tenant's latency is a
+//    function of another tenant's backlog depth.
+//  - A cost-aware packer that pools work items across cameras AND queries:
+//    items group by cnn::ModelPackKey (never mixing models in one launch —
+//    launches run one architecture), per-camera instances of the same
+//    architecture share launches, and launch submission is ordered by
+//    cnn::BatchCostModel estimates (heaviest first onto the least-loaded
+//    device) so heterogeneous GT-CNNs pack by cost, not by count.
+//
+// Identity contract: results are byte-identical to per-camera sequential
+// execution (core::FocusFleet::ExecuteFederatedSequential) no matter how work
+// was packed, what the cache held, or in which order tenants were admitted.
+// Caching and packing change when and at what amortized cost a verdict is
+// produced — never its value. QueryResult::gpu_millis stays the
+// execution-independent per-centroid figure; the launch-amortized cost the
+// cluster actually charged — where cache hits and fuller batches show up — is
+// in stats().
+#ifndef FOCUS_SRC_RUNTIME_FLEET_QUERY_SERVICE_H_
+#define FOCUS_SRC_RUNTIME_FLEET_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/retry.h"
+#include "src/core/fleet.h"
+#include "src/core/query_engine.h"
+#include "src/runtime/gpu_device.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/query_service.h"
+
+namespace focus::runtime {
+
+struct FleetQueryServiceOptions {
+  int num_gpus = 10;
+  int batch_size = 32;
+  // Verdict cache capacity in entries. The cache never grows past this; LRU
+  // eviction and epoch retirement keep it bounded under any query mix.
+  size_t verdict_cache_capacity = 1 << 20;
+  common::RetryPolicy launch_retry;
+};
+
+// One request to the fleet service. |camera| is the verdict-cache identity and
+// must name the same target across requests (it is the camera's registry name
+// in a served deployment); |query| carries the target and the query itself.
+struct FleetQueryRequest {
+  std::string camera;
+  std::string tenant = "default";
+  QueryRequest query;
+};
+
+// Cumulative (service-lifetime) accounting. All counters only grow; a caller
+// measuring one admission diffs two readings.
+struct FleetServiceStats {
+  int64_t requests = 0;
+  int64_t work_items = 0;    // Plan items across all admissions (pre-dedup).
+  int64_t cache_hits = 0;    // Items answered from the global verdict cache.
+  int64_t cache_misses = 0;  // Items that had to be classified fresh.
+  int64_t dedup_hits = 0;    // In-admission duplicates of another item.
+  int64_t launches = 0;
+  common::GpuMillis gpu_millis = 0.0;  // Launch-amortized cost charged to the cluster.
+  int64_t launch_retries = 0;
+  int64_t launches_failed = 0;
+  common::GpuMillis wasted_gpu_millis = 0.0;
+  int64_t cache_evicted = 0;  // Capacity (LRU) evictions.
+  int64_t cache_retired = 0;  // Epoch-retirement evictions.
+  size_t cache_size = 0;      // Current entries (bounded by capacity).
+
+  double CacheHitRate() const {
+    const int64_t looked_up = cache_hits + cache_misses;
+    return looked_up == 0 ? 0.0 : static_cast<double>(cache_hits) / looked_up;
+  }
+};
+
+// A federated execution: the merged fleet result plus the virtual wall-clock
+// of the slowest camera. |error| is set if any camera's launches stayed failed
+// past the retry policy (the merged result is then not authoritative).
+struct FederatedExecution {
+  core::FleetQueryResult result;
+  common::GpuMillis submit_millis = 0.0;
+  common::GpuMillis finish_millis = 0.0;
+  std::optional<common::Error> error;
+
+  common::GpuMillis latency_millis() const { return finish_millis - submit_millis; }
+};
+
+class FleetQueryService {
+ public:
+  explicit FleetQueryService(FleetQueryServiceOptions options = {},
+                             MetricsRegistry* metrics = nullptr);
+
+  FleetQueryService(const FleetQueryService&) = delete;
+  FleetQueryService& operator=(const FleetQueryService&) = delete;
+
+  // Executes one request through the shared cache/cluster. Thread-safe:
+  // concurrent callers serialize on the service and see each other's verdicts.
+  QueryExecution Execute(const FleetQueryRequest& request);
+
+  // Executes a batch admitted together: work is pooled, deduplicated and
+  // packed across all requests (and their cameras). Returns executions in
+  // request order.
+  std::vector<QueryExecution> ExecuteConcurrently(const std::vector<FleetQueryRequest>& requests);
+
+  // Executes a federated fan-out (core::FocusFleet::PlanFederated) as one
+  // pooled admission: all cameras' work items share dedup, cache, and
+  // launches. Byte-identical to ExecuteFederatedSequential on the same plan.
+  FederatedExecution ExecuteFederated(const core::FederatedPlan& plan,
+                                      const std::string& tenant = "default");
+
+  // QuerySession integration (core::QuerySession::SetClassifier): classifies
+  // |plan|'s work items for |stream| (registered as |camera|) through the
+  // shared cache, so concurrent sessions over one stream never re-pay a
+  // centroid another session (or any past query) already paid. Returns top-1
+  // verdicts in plan order; items whose launch stayed failed past the retry
+  // policy read common::kInvalidClass (and are not cached).
+  std::vector<common::ClassId> ClassifySessionPlan(const std::string& camera,
+                                                   const core::FocusStream& stream,
+                                                   const core::QueryPlan& plan);
+
+  // --- Admission (weighted-fair tenant queues) ---
+
+  // Sets |tenant|'s scheduling weight (default 1.0; must be > 0). A tenant
+  // with weight w is admitted w requests per round (fractional weights
+  // accumulate deficit credit across rounds).
+  void SetTenantWeight(const std::string& tenant, double weight);
+
+  // Enqueues under request.tenant; returns a ticket to match the execution in
+  // DrainAdmitted()'s output. Nothing executes until a drain.
+  uint64_t Enqueue(FleetQueryRequest request);
+
+  // Drains every queue in weighted-fair rounds: each round admits up to
+  // weight(t) requests per tenant (tenants in name order, FIFO within a
+  // tenant) and executes the round as ONE pooled admission, so a later round's
+  // requests see earlier rounds' verdicts cached and submit at the advanced
+  // cluster frontier. Returns (ticket, execution) in completion order.
+  std::vector<std::pair<uint64_t, QueryExecution>> DrainAdmitted();
+
+  // Queue depth per tenant with queued work (empty map = nothing queued).
+  std::map<std::string, size_t> QueueDepths() const;
+
+  FleetServiceStats stats() const;
+  const FleetQueryServiceOptions& options() const { return options_; }
+
+ private:
+  struct CacheKey {
+    std::string camera;
+    uint64_t epoch = 0;
+    int64_t cluster_id = -1;
+
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const;
+  };
+  using LruList = std::list<std::pair<CacheKey, common::ClassId>>;
+
+  // One planned target inside an admission (a request, a federated camera, or
+  // a session expansion step).
+  struct Unit {
+    std::string camera;
+    uint64_t epoch = 0;
+    core::QueryPlan plan;
+    const cnn::Cnn* gt = nullptr;
+    // Resolver target (exactly one set; both null for session units, which
+    // consume raw verdicts instead of a resolved QueryResult).
+    const core::FocusStream* stream = nullptr;
+    std::shared_ptr<const core::LiveSnapshot> snapshot;
+    const cnn::Cnn* ingest_cnn = nullptr;
+  };
+  // Classification outcome of one unit: verdicts parallel to plan.work.
+  struct UnitOutcome {
+    std::vector<common::ClassId> verdicts;
+    common::GpuMillis finish_millis = 0.0;
+    bool failed = false;
+  };
+
+  static Unit UnitFromRequest(const FleetQueryRequest& request);
+  static Unit UnitFromFederated(const core::FederatedCameraPlan& camera);
+
+  // The shared execution core. Requires lock held. Classifies every unit's
+  // plan through cache -> dedup -> model-grouped cost-ordered launches, at the
+  // cluster's current frontier. |submit| receives the admission instant.
+  std::vector<UnitOutcome> ExecuteUnitsLocked(const std::vector<Unit>& units,
+                                              common::GpuMillis* submit);
+  // Resolves one unit's outcome into the caller-facing execution.
+  QueryExecution ResolveUnit(const Unit& unit, const UnitOutcome& outcome,
+                             common::GpuMillis submit) const;
+
+  // Cache helpers (lock held). Lookup refreshes LRU position.
+  const common::ClassId* CacheLookupLocked(const CacheKey& key);
+  void CacheInsertLocked(CacheKey key, common::ClassId top1);
+  void RetireEpochsLocked(const std::string& camera, uint64_t newest_epoch);
+
+  FleetQueryServiceOptions options_;
+  MetricsRegistry* metrics_;
+
+  mutable std::mutex mu_;
+  GpuCluster cluster_;
+  FleetServiceStats stats_;
+
+  LruList lru_;  // Front = most recently used.
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> cache_;
+  std::unordered_map<std::string, uint64_t> newest_epoch_;
+
+  // Admission state.
+  std::map<std::string, double> tenant_weights_;
+  std::map<std::string, std::deque<std::pair<uint64_t, FleetQueryRequest>>> queues_;
+  uint64_t next_ticket_ = 1;
+};
+
+}  // namespace focus::runtime
+
+#endif  // FOCUS_SRC_RUNTIME_FLEET_QUERY_SERVICE_H_

@@ -11,7 +11,22 @@ common::Error BadRequest(const std::string& what) {
   return common::Error{common::ErrorCode::kInvalidArgument, what};
 }
 
-// Parses the optional [BEGIN s] [END s] [KX n] tail of QUERY.
+// Splits "a,b,c" on commas; empty segments are preserved (caller rejects them).
+std::vector<std::string> SplitCameraList(const std::string& token) {
+  std::vector<std::string> names;
+  size_t begin = 0;
+  while (true) {
+    const size_t comma = token.find(',', begin);
+    if (comma == std::string::npos) {
+      names.push_back(token.substr(begin));
+      return names;
+    }
+    names.push_back(token.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+}
+
+// Parses the optional [BEGIN s] [END s] [KX n] [TENANT t] tail of QUERY.
 common::Result<bool> ParseQueryOptions(const std::vector<std::string>& tokens, size_t from,
                                        Request* request) {
   size_t i = from;
@@ -21,6 +36,11 @@ common::Result<bool> ParseQueryOptions(const std::vector<std::string>& tokens, s
       return BadRequest("option " + key + " needs a value");
     }
     const std::string& value = tokens[i + 1];
+    if (key == "TENANT") {
+      request->tenant = value;
+      i += 2;
+      continue;
+    }
     char* end = nullptr;
     if (key == "BEGIN") {
       request->range.begin_sec = std::strtod(value.c_str(), &end);
@@ -95,21 +115,38 @@ common::Result<Request> ParseRequest(const std::string& line) {
     return request;
   }
   if (verb == "STATS") {
-    if (tokens.size() != 2) {
-      return BadRequest("usage: STATS <camera>");
+    if (tokens.size() > 2) {
+      return BadRequest("usage: STATS [camera]");
     }
     request.verb = Verb::kStats;
-    request.camera = tokens[1];
+    request.camera = tokens.size() == 2 ? tokens[1] : "";
     return request;
   }
   if (verb == "QUERY") {
     if (tokens.size() < 3) {
-      return BadRequest("usage: QUERY <camera> <class> [BEGIN s] [END s] [KX n]");
+      return BadRequest(
+          "usage: QUERY <camera>[,<camera>...] <class> | QUERY REGION <region> <class>");
     }
     request.verb = Verb::kQuery;
-    request.camera = tokens[1];
-    request.class_name = tokens[2];
-    auto options = ParseQueryOptions(tokens, 3, &request);
+    size_t class_at = 2;
+    if (tokens[1] == "REGION") {
+      if (tokens.size() < 4) {
+        return BadRequest("usage: QUERY REGION <region> <class> [options]");
+      }
+      request.region = tokens[2];
+      class_at = 3;
+    } else if (tokens[1].find(',') != std::string::npos) {
+      request.cameras = SplitCameraList(tokens[1]);
+      for (const std::string& name : request.cameras) {
+        if (name.empty()) {
+          return BadRequest("empty camera name in list: " + tokens[1]);
+        }
+      }
+    } else {
+      request.camera = tokens[1];
+    }
+    request.class_name = tokens[class_at];
+    auto options = ParseQueryOptions(tokens, class_at + 1, &request);
     if (!options.ok()) {
       return options.error();
     }

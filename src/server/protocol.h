@@ -4,12 +4,20 @@
 // framed response out) so any transport — a socket, a pipe, a REPL — can carry it
 // and tests can drive the server with plain strings:
 //
-//   QUERY <camera> <class> [BEGIN <sec>] [END <sec>] [KX <n>]
+//   QUERY <camera>[,<camera>...] <class> [BEGIN <sec>] [END <sec>] [KX <n>] [TENANT <t>]
+//   QUERY REGION <region> <class> [BEGIN <sec>] [END <sec>] [KX <n>] [TENANT <t>]
 //   CAMERAS
 //   CLASSES <substring>
-//   STATS <camera>
+//   STATS [camera]
 //   HEALTH [camera]
 //   PING
+//
+// A QUERY naming one camera answers from that camera; a comma-separated list or
+// a REGION form fans out as one federated query (docs/fleet_serving.md) whose
+// response aggregates per-camera hits with provenance. STATS with a camera
+// reports that stream's ingest figures; bare STATS reports the process-wide
+// fleet query service (cache hit rate, dedup, launches, tenant queue depths).
+// TENANT tags the request for the service's per-tenant accounting.
 //
 // Responses are "OK <payload...>" on success, "ERR <code> <message>" on failure.
 // Parsing is strict: unknown verbs, missing arguments, or trailing junk are errors —
@@ -31,12 +39,18 @@ enum class Verb { kQuery, kCameras, kClasses, kStats, kHealth, kPing };
 
 struct Request {
   Verb verb = Verb::kPing;
-  // QUERY fields (HEALTH and STATS reuse |camera|; for HEALTH it is optional —
-  // empty asks for the whole fleet).
+  // QUERY fields (HEALTH and STATS reuse |camera|; for both it is optional —
+  // empty asks for the whole fleet / the shared query service).
   std::string camera;
+  // Federated QUERY forms: a comma-separated camera list lands in |cameras|
+  // (|camera| stays empty), REGION lands in |region|. At most one of
+  // camera/cameras/region is set for a QUERY.
+  std::vector<std::string> cameras;
+  std::string region;
   std::string class_name;
   common::TimeRange range{};
   int kx = -1;
+  std::string tenant = "default";  // TENANT option.
   // CLASSES field.
   std::string class_filter;
 };

@@ -2,8 +2,22 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace focus::server {
+
+namespace {
+
+runtime::FleetQueryServiceOptions FleetOptionsFrom(
+    const runtime::QueryServiceOptions& options) {
+  runtime::FleetQueryServiceOptions fleet_options;
+  fleet_options.num_gpus = options.num_gpus;
+  fleet_options.batch_size = options.batch_size;
+  fleet_options.launch_retry = options.launch_retry;
+  return fleet_options;
+}
+
+}  // namespace
 
 QueryServer::QueryServer(const core::FocusFleet* fleet, const video::ClassCatalog* catalog,
                          runtime::MetricsRegistry* metrics,
@@ -12,8 +26,8 @@ QueryServer::QueryServer(const core::FocusFleet* fleet, const video::ClassCatalo
     : fleet_(fleet),
       catalog_(catalog),
       metrics_(metrics != nullptr ? metrics : &runtime::GlobalMetrics()),
-      service_options_(service_options),
-      live_(live) {}
+      live_(live),
+      service_(FleetOptionsFrom(service_options), metrics) {}
 
 std::string QueryServer::HandleLine(const std::string& line) {
   metrics_->IncrementCounter("server.requests");
@@ -49,6 +63,9 @@ std::string QueryServer::HandleQuery(const Request& request) {
     return ErrResponse(common::ErrorCode::kNotFound,
                        "unknown class " + request.class_name);
   }
+  if (!request.region.empty() || !request.cameras.empty()) {
+    return HandleFederatedQuery(request, cls);
+  }
   const core::FocusStream* stream = fleet_->Find(request.camera);
   if (stream == nullptr) {
     if (live_ != nullptr && live_->LiveContext(request.camera) != nullptr) {
@@ -57,15 +74,17 @@ std::string QueryServer::HandleQuery(const Request& request) {
     return ErrResponse(common::ErrorCode::kNotFound, "unknown camera " + request.camera);
   }
 
-  // Execute through the batched query path (§5): the plan's centroid
-  // classifications are packed into GT-CNN launches on a virtual cluster
-  // instead of running one Top1() per centroid. Results are byte-identical to
-  // the per-centroid path. The service (a virtual clock over num_gpus doubles)
-  // is built per request, so concurrent HandleLine calls share nothing mutable
-  // and identical requests report identical latencies.
-  runtime::QueryService service(service_options_, metrics_);
-  const runtime::QueryExecution execution =
-      service.Execute(runtime::QueryRequest{stream, cls, request.kx, request.range});
+  // Execute through the shared fleet service (§5, docs/fleet_serving.md): the
+  // plan's centroid classifications run launch-packed on the process-wide
+  // virtual cluster, and their verdicts land in the global cache keyed on
+  // (camera, epoch, centroid) — a repeat of this query, by anyone, pays
+  // nothing. The result payload is identical either way; only LATENCY_MS
+  // reflects the cache (0 on a fully warm repeat).
+  runtime::FleetQueryRequest fleet_request;
+  fleet_request.camera = request.camera;
+  fleet_request.tenant = request.tenant;
+  fleet_request.query = runtime::QueryRequest{stream, cls, request.kx, request.range};
+  const runtime::QueryExecution execution = service_.Execute(fleet_request);
   if (execution.error.has_value()) {
     metrics_->IncrementCounter("server.query_errors");
     return ErrResponse(execution.error->code, execution.error->message);
@@ -107,16 +126,17 @@ std::string QueryServer::HandleLiveQuery(const Request& request, common::ClassId
     return ErrResponse(common::ErrorCode::kFailedPrecondition,
                        "no snapshot published yet for " + request.camera);
   }
-  runtime::QueryRequest query;
-  query.cls = cls;
-  query.kx = request.kx;
-  query.range = request.range;
-  query.snapshot = snapshot;
-  query.ingest_cnn = context->ingest_cnn.get();
-  query.gt_cnn = context->gt_cnn.get();
-  query.fps = context->fps;
-  runtime::QueryService service(service_options_, metrics_);
-  const runtime::QueryExecution execution = service.Execute(query);
+  runtime::FleetQueryRequest fleet_request;
+  fleet_request.camera = request.camera;
+  fleet_request.tenant = request.tenant;
+  fleet_request.query.cls = cls;
+  fleet_request.query.kx = request.kx;
+  fleet_request.query.range = request.range;
+  fleet_request.query.snapshot = snapshot;
+  fleet_request.query.ingest_cnn = context->ingest_cnn.get();
+  fleet_request.query.gt_cnn = context->gt_cnn.get();
+  fleet_request.query.fps = context->fps;
+  const runtime::QueryExecution execution = service_.Execute(fleet_request);
   if (execution.error.has_value()) {
     metrics_->IncrementCounter("server.query_errors");
     return ErrResponse(execution.error->code, execution.error->message);
@@ -137,6 +157,45 @@ std::string QueryServer::HandleLiveQuery(const Request& request, common::ClassId
       << qr.gpu_millis << " LATENCY_MS " << execution.latency_millis();
   for (const auto& [first, last] : qr.frame_runs) {
     out << "\nRUN " << first << " " << last;
+  }
+  return OkResponse(out.str());
+}
+
+std::string QueryServer::HandleFederatedQuery(const Request& request, common::ClassId cls) {
+  core::FederatedSelector selector;
+  selector.cameras = request.cameras;
+  selector.region = request.region;
+  auto plan = fleet_->PlanFederated(cls, selector, request.range, request.kx);
+  if (!plan.ok()) {
+    metrics_->IncrementCounter("server.query_errors");
+    return ErrResponse(plan.error().code, plan.error().message);
+  }
+  const runtime::FederatedExecution execution =
+      service_.ExecuteFederated(*plan, request.tenant);
+  if (execution.error.has_value()) {
+    metrics_->IncrementCounter("server.query_errors");
+    return ErrResponse(execution.error->code, execution.error->message);
+  }
+  metrics_->IncrementCounter("server.federated_queries");
+  metrics_->Observe("server.query_gpu_millis", execution.result.total_gpu_millis);
+  metrics_->Observe("server.query_latency_millis", execution.latency_millis());
+
+  // Payload: fleet summary, then per camera one "CAM ..." provenance line
+  // (EPOCH/WATERMARK for live members) followed by its "RUN first last" lines.
+  const core::FleetQueryResult& fr = execution.result;
+  std::ostringstream out;
+  out << "FEDERATED " << fr.hits.size() << " FRAMES " << fr.total_frames << " CENTROIDS "
+      << fr.total_centroids_classified << " GPU_MS " << fr.total_gpu_millis << " LATENCY_MS "
+      << execution.latency_millis();
+  for (const core::CameraHits& hits : fr.hits) {
+    out << "\nCAM " << hits.camera << " FRAMES " << hits.result.frames_returned << " RUNS "
+        << hits.result.frame_runs.size();
+    if (hits.live) {
+      out << " EPOCH " << hits.epoch << " WATERMARK " << hits.watermark;
+    }
+    for (const auto& [first, last] : hits.result.frame_runs) {
+      out << "\nRUN " << first << " " << last;
+    }
   }
   return OkResponse(out.str());
 }
@@ -217,6 +276,23 @@ std::string QueryServer::HandleClasses(const std::string& filter) {
 }
 
 std::string QueryServer::HandleStats(const std::string& camera) {
+  if (camera.empty()) {
+    // Bare STATS: the shared fleet query service. One summary line, then one
+    // "TENANT <name> DEPTH <d>" line per tenant with queued work.
+    const runtime::FleetServiceStats stats = service_.stats();
+    const std::map<std::string, size_t> depths = service_.QueueDepths();
+    std::ostringstream out;
+    out << "SERVICE REQUESTS " << stats.requests << " CACHE_HITS " << stats.cache_hits
+        << " CACHE_MISSES " << stats.cache_misses << " HIT_RATE " << stats.CacheHitRate()
+        << " DEDUP " << stats.dedup_hits << " LAUNCHES " << stats.launches << " GPU_MS "
+        << stats.gpu_millis << " CACHE_SIZE " << stats.cache_size << " EVICTED "
+        << stats.cache_evicted << " RETIRED " << stats.cache_retired << " QUEUED_TENANTS "
+        << depths.size();
+    for (const auto& [tenant, depth] : depths) {
+      out << "\nTENANT " << tenant << " DEPTH " << depth;
+    }
+    return OkResponse(out.str());
+  }
   const core::FocusStream* stream = fleet_->Find(camera);
   if (stream == nullptr) {
     return ErrResponse(common::ErrorCode::kNotFound, "unknown camera " + camera);

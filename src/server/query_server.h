@@ -1,36 +1,47 @@
 // The Focus query frontend: serves protocol requests against a camera fleet.
 //
 // Transport-agnostic by design — HandleLine(request) -> response string — so the
-// same server backs a REPL, a pipe, or a socket loop. All state it serves (the
-// fleet's indexes and models) is read-only at query time, so concurrent
-// HandleLine calls from a worker pool are safe and fully parallel.
+// same server backs a REPL, a pipe, or a socket loop. The fleet's indexes and
+// models are read-only at query time; the one mutable piece is the process-wide
+// runtime::FleetQueryService every QUERY executes through (internally locked),
+// so concurrent HandleLine calls are safe — and share its global verdict cache:
+// a centroid any request classified is never re-paid by a later request
+// against the same camera and epoch (docs/fleet_serving.md).
 //
 // QUERY requests execute through the batched plan/execute path (§5,
-// query_engine.h / query_service.h): the plan's centroid classifications are
-// packed into GT-CNN launches on a virtual GPU cluster instead of running one
-// Top1() per centroid. Each request gets a fresh cluster (built from
-// |service_options|), so identical requests always produce byte-identical
-// responses — the reported LATENCY_MS is the request's wall-clock on an
-// otherwise idle cluster, not a function of whoever queried before it.
+// query_engine.h / fleet_query_service.h): the plan's centroid classifications
+// are packed into GT-CNN launches on the shared virtual GPU cluster. The
+// result payload (FRAMES/RUNS/CENTROIDS/GPU_MS) is byte-identical to
+// per-camera sequential execution regardless of packing, caching, or who
+// queried before; LATENCY_MS is the request's wall-clock on the shared
+// cluster — a warm-cache repeat reports 0 (nothing left to launch).
+//
+// Federated QUERY (comma-separated cameras, or REGION <r>): fans out through
+// core::FocusFleet::PlanFederated and executes all cameras as one pooled
+// admission — cross-camera work shares launches and the cache — answering
+// with per-camera provenance lines.
 //
 // Live query-over-ingest: with a |live| runtime::IngestService attached, a
 // QUERY for a camera not (yet) in the fleet is answered from the stream's
 // newest published canonical snapshot while its ingest is still running — the
 // response carries EPOCH and WATERMARK, and the frame runs are byte-identical
 // to what halting ingest at that watermark and finalizing would return
-// (docs/live_query.md).
+// (docs/live_query.md). Verdicts cache per epoch; superseded epochs are
+// retired from the cache as new ones are first queried.
 //
 // Degraded serving (docs/robustness.md): a live stream whose ingest worker is
 // Degraded or Down still answers from its last-good epoch snapshot, framed
 // "STALE EPOCH <e> WATERMARK <w>" instead of "LIVE ..." so the client knows
 // the answer lags the recording. A Down stream with no published snapshot
-// errs Unavailable. The HEALTH verb reports per-stream supervision state.
+// errs Unavailable. The HEALTH verb reports per-stream supervision state;
+// bare STATS reports the shared service (hit rate, dedup, launches, queues).
 #ifndef FOCUS_SRC_SERVER_QUERY_SERVER_H_
 #define FOCUS_SRC_SERVER_QUERY_SERVER_H_
 
 #include <string>
 
 #include "src/core/fleet.h"
+#include "src/runtime/fleet_query_service.h"
 #include "src/runtime/ingest_service.h"
 #include "src/runtime/metrics.h"
 #include "src/runtime/query_service.h"
@@ -42,9 +53,10 @@ namespace focus::server {
 class QueryServer {
  public:
   // |fleet| and |catalog| must outlive the server; |metrics| may be null
-  // (global). |service_options| configures the per-request virtual GPU cluster
-  // and batching (defaults: 10 GPUs, batch_size 32). |live| (optional, must
-  // outlive the server) serves QUERYs on cameras whose ingest is still
+  // (global). |service_options| configures the shared service's virtual GPU
+  // cluster and batching (defaults: 10 GPUs, batch_size 32); the server builds
+  // ONE FleetQueryService from it for its whole lifetime. |live| (optional,
+  // must outlive the server) serves QUERYs on cameras whose ingest is still
   // running, from their published live snapshots; fleet cameras win on a name
   // collision (a finalized index covers the whole recording).
   QueryServer(const core::FocusFleet* fleet, const video::ClassCatalog* catalog,
@@ -53,19 +65,26 @@ class QueryServer {
               const runtime::IngestService* live = nullptr);
 
   // Parses and executes one request line; always returns a framed response
-  // ("OK ..." or "ERR <code> ...") and never throws.
+  // ("OK ..." or "ERR <code> ...") and never throws. Thread-safe.
   std::string HandleLine(const std::string& line);
 
   // Structured entry point (for callers that already hold a Request).
   std::string Handle(const Request& request);
+
+  // The shared query service (e.g., to set tenant weights or read stats).
+  runtime::FleetQueryService& service() { return service_; }
 
  private:
   std::string HandleQuery(const Request& request);
   // QUERY against a camera whose ingest is still running: plans over the
   // newest published epoch snapshot.
   std::string HandleLiveQuery(const Request& request, common::ClassId cls);
+  // Federated QUERY (camera list or REGION): one pooled admission.
+  std::string HandleFederatedQuery(const Request& request, common::ClassId cls);
   std::string HandleCameras();
   std::string HandleClasses(const std::string& filter);
+  // STATS <camera>: the stream's ingest figures. Bare STATS: the shared
+  // service's cache/dedup/launch counters and per-tenant queue depths.
   std::string HandleStats(const std::string& camera);
   // HEALTH [camera]: supervision state of one stream, or of every stream that
   // has registered a failure or restart (clean streams read Healthy and are
@@ -75,8 +94,8 @@ class QueryServer {
   const core::FocusFleet* fleet_;
   const video::ClassCatalog* catalog_;
   runtime::MetricsRegistry* metrics_;
-  runtime::QueryServiceOptions service_options_;
   const runtime::IngestService* live_;
+  runtime::FleetQueryService service_;  // One per server; internally locked.
 };
 
 }  // namespace focus::server

@@ -630,6 +630,37 @@ TEST_F(PipelinePersistenceTest, ResumedIngestMatchesUninterruptedAndVolatile) {
   }
 }
 
+TEST_F(PipelinePersistenceTest, PooledShardDispatchIsDeterministicAcrossRuns) {
+  // Sharded resumable ingest dispatches each frame's assignments through a
+  // WorkerPool (one ordered task per shard). The object-id partition fixes
+  // every shard's input subsequence, so thread interleaving must not leak into
+  // the output: repeated runs are byte-identical to each other and to the
+  // volatile sharded path, at 1 and 4 shards.
+  for (int num_shards : {1, 4}) {
+    SCOPED_TRACE("num_shards=" + std::to_string(num_shards));
+    cnn::Cnn cheap(Params().model, catalog_);
+    core::IngestOptions volatile_opts;
+    volatile_opts.num_shards = num_shards;
+    const core::IngestResult plain = core::RunIngest(*run_, cheap, Params(), volatile_opts);
+
+    core::IngestOptions persist_opts = volatile_opts;
+    persist_opts.checkpoint_every_frames = 150;
+    core::IngestResult first;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      persist_opts.persist_dir = Dir("pooled-" + std::to_string(num_shards) + "-" +
+                                     std::to_string(attempt));
+      const core::IngestResult run =
+          core::RunIngestResumable(*run_, cheap, Params(), persist_opts);
+      ExpectSameResult(run, plain);
+      if (attempt == 0) {
+        first = run;
+      } else {
+        ExpectSameResult(run, first);
+      }
+    }
+  }
+}
+
 TEST_F(PipelinePersistenceTest, TightCheckpointCadenceStaysByteIdentical) {
   // checkpoint_every_frames at or below the reuse-map eviction gap: the
   // post-resume eviction sweeps run before a long-idle (but still live-mapped)

@@ -1,7 +1,11 @@
 #!/bin/sh
 # The one-command pre-merge gate (docs/robustness.md):
 #
-#   1. unit gate     - full `ctest -L unit` in the plain Release build.
+#   1. unit gate     - full `ctest -L unit` in the plain Release build,
+#                      then the fleet serving suite by its own label
+#                      (`ctest -L fleet`: federated identity vs the sequential
+#                      oracle, verdict cache, weighted-fair admission) so the
+#                      serving-runtime gate is named even if labels reshuffle.
 #   2. chaos gate    - `ctest -L fault` (deterministic fault-injection sweeps)
 #                      in a FOCUS_SANITIZE=address build, so every injected
 #                      failure path also runs leak- and overflow-checked.
@@ -27,6 +31,8 @@ echo "== gate 1/3: unit tests (Release) =="
 cmake -S "$REPO_DIR" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure
+echo "== gate 1/3 (fleet label): fleet serving runtime =="
+ctest --test-dir "$BUILD_DIR" -L fleet --output-on-failure
 
 if [ "${FOCUS_SKIP_ASAN:-0}" = "1" ]; then
   echo "== gate 2/3: SKIPPED (FOCUS_SKIP_ASAN=1) =="
