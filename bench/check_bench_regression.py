@@ -11,6 +11,7 @@ Guardrail rows, matched per config:
   BENCH_live_query.json      live_query[].publish_overhead (lower is better)
   BENCH_chaos.json           overhead[].wrapped_over_direct (lower is better)
   BENCH_fleet_serving.json   fleets[].saving               (higher is better)
+  BENCH_shm_serving.json     shm_serving[].shm_over_inproc (lower is better)
 
 sharded_ingest's fast-mode rows sit at parity by design (the per-object cache
 absorbs the scan the shards would parallelize) and their sub-2us timings swing
@@ -132,6 +133,15 @@ def main():
         # (packed/cached == sequential oracle, warm repeat pays zero) is gated
         # unconditionally like every bench's.
         ("BENCH_fleet_serving.json", "fleets", ["cameras"], "saving", True, None),
+        # Shared-memory serving plane (docs/shm_serving.md): query wall through
+        # the mapped ShmEpochView over the in-process snapshot query on the
+        # same epoch. Only the `gated` (long-stream) row is compared — the
+        # short row's sweep is fast enough for scheduler noise to swing the
+        # ratio. The bench itself also hard-fails past 1.1x on the gated row,
+        # and its `identical` flags (mapped result byte-identical to
+        # in-process) are gated unconditionally like every bench's.
+        ("BENCH_shm_serving.json", "shm_serving", ["duration_sec"], "shm_over_inproc", False,
+         lambda row: row.get("gated") is True),
     ]
     for filename, section, key_fields, metric, higher, row_filter in pairs:
         fresh = load(f"{fresh_dir}/{filename}")

@@ -10,8 +10,8 @@
 # bench/results/ instead of overwriting them, and exits non-zero on a >15%
 # regression of the guardrail rows (cluster_assign/sharded_ingest `speedup`,
 # query_batch `gpu_millis`, arena_resume `gpu_ratio`, live_query
-# `publish_overhead`, chaos `wrapped_over_direct`, fleet_serving `saving`) or
-# on any bench whose
+# `publish_overhead`, chaos `wrapped_over_direct`, fleet_serving `saving`,
+# shm_serving `shm_over_inproc`) or on any bench whose
 # `identical` flag went false — the perf trajectory is enforceable, not just
 # recorded (see bench/check_bench_regression.py). A failed check re-runs the
 # benches once and only fails if the regression reproduces: wall-clock ratios
@@ -40,6 +40,7 @@ run_benches() {
   ./bench_live_query
   ./bench_chaos
   ./bench_fleet_serving
+  ./bench_shm_serving
 }
 run_benches
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -29,6 +30,14 @@ FleetQueryService::FleetQueryService(FleetQueryServiceOptions options,
       metrics_(metrics != nullptr ? metrics : &GlobalMetrics()),
       cluster_(options.num_gpus) {
   FOCUS_CHECK(options.batch_size >= 1);
+  // Split the capacity exactly across stripes (never more stripes than
+  // entries), so the global bound the capacity promises still holds:
+  // sum(stripe capacities) == verdict_cache_capacity.
+  const size_t capacity = options_.verdict_cache_capacity;
+  num_stripes_ = capacity == 0 ? 1 : std::min(kCacheStripes, capacity);
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    stripes_[s].capacity = capacity / num_stripes_ + (s < capacity % num_stripes_ ? 1 : 0);
+  }
 }
 
 FleetQueryService::Unit FleetQueryService::UnitFromRequest(const FleetQueryRequest& request) {
@@ -71,39 +80,64 @@ FleetQueryService::Unit FleetQueryService::UnitFromFederated(
   return unit;
 }
 
-const common::ClassId* FleetQueryService::CacheLookupLocked(const CacheKey& key) {
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    return nullptr;
-  }
-  lru_.splice(lru_.begin(), lru_, it->second);  // Refresh: most recently used.
-  return &it->second->second;
+size_t FleetQueryService::StripeIndexOf(const CacheKey& key) const {
+  // hash(camera, centroid): epoch deliberately excluded, so every epoch of a
+  // centroid shares a stripe and retirement stays a single-stripe sweep.
+  size_t h = std::hash<std::string>{}(key.camera);
+  h = MixHash(h, std::hash<int64_t>{}(key.cluster_id));
+  return h % num_stripes_;
 }
 
-void FleetQueryService::CacheInsertLocked(CacheKey key, common::ClassId top1) {
+std::optional<common::ClassId> FleetQueryService::CacheLookup(const CacheKey& key) {
+  CacheStripe& stripe = stripes_[StripeIndexOf(key)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.map.find(key);
+  if (it == stripe.map.end()) {
+    return std::nullopt;
+  }
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);  // Refresh.
+  return it->second->second;
+}
+
+void FleetQueryService::CacheInsert(CacheKey key, common::ClassId top1) {
   if (options_.verdict_cache_capacity == 0) {
     return;
   }
-  FOCUS_CHECK(!cache_.contains(key));  // Only misses are inserted.
-  lru_.emplace_front(std::move(key), top1);
-  cache_.emplace(lru_.front().first, lru_.begin());
-  while (cache_.size() > options_.verdict_cache_capacity) {
-    cache_.erase(lru_.back().first);
-    lru_.pop_back();
+  CacheStripe& stripe = stripes_[StripeIndexOf(key)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  FOCUS_CHECK(!stripe.map.contains(key));  // Only misses are inserted.
+  stripe.lru.emplace_front(std::move(key), top1);
+  stripe.map.emplace(stripe.lru.front().first, stripe.lru.begin());
+  while (stripe.map.size() > stripe.capacity) {
+    stripe.map.erase(stripe.lru.back().first);
+    stripe.lru.pop_back();
     ++stats_.cache_evicted;
   }
 }
 
-void FleetQueryService::RetireEpochsLocked(const std::string& camera, uint64_t newest_epoch) {
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->first.camera == camera && it->first.epoch < newest_epoch) {
-      cache_.erase(it->first);
-      it = lru_.erase(it);
-      ++stats_.cache_retired;
-    } else {
-      ++it;
+void FleetQueryService::RetireEpochs(const std::string& camera, uint64_t newest_epoch) {
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    CacheStripe& stripe = stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto it = stripe.lru.begin(); it != stripe.lru.end();) {
+      if (it->first.camera == camera && it->first.epoch < newest_epoch) {
+        stripe.map.erase(it->first);
+        it = stripe.lru.erase(it);
+        ++stats_.cache_retired;
+      } else {
+        ++it;
+      }
     }
   }
+}
+
+size_t FleetQueryService::CacheSize() const {
+  size_t total = 0;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    total += stripes_[s].map.size();
+  }
+  return total;
 }
 
 std::vector<FleetQueryService::UnitOutcome> FleetQueryService::ExecuteUnitsLocked(
@@ -121,7 +155,7 @@ std::vector<FleetQueryService::UnitOutcome> FleetQueryService::ExecuteUnitsLocke
   for (const Unit& unit : units) {
     uint64_t& newest = newest_epoch_[unit.camera];
     if (unit.epoch > newest) {
-      RetireEpochsLocked(unit.camera, unit.epoch);
+      RetireEpochs(unit.camera, unit.epoch);
       newest = unit.epoch;
     }
   }
@@ -151,7 +185,7 @@ std::vector<FleetQueryService::UnitOutcome> FleetQueryService::ExecuteUnitsLocke
         ++stats_.dedup_hits;
         continue;
       }
-      if (const common::ClassId* hit = CacheLookupLocked(key)) {
+      if (const std::optional<common::ClassId> hit = CacheLookup(key)) {
         // A cached verdict costs nothing and waits on nothing: it contributes
         // the admission instant as its finish time.
         ++stats_.cache_hits;
@@ -275,7 +309,7 @@ std::vector<FleetQueryService::UnitOutcome> FleetQueryService::ExecuteUnitsLocke
         verdict.finish_millis = ticket->finish_millis;
         // Only successful verdicts enter the global cache; a failure is not a
         // fact about the centroid.
-        CacheInsertLocked(std::move(key), verdict.top1);
+        CacheInsert(std::move(key), verdict.top1);
       } else {
         verdict.failed = true;
         verdict.finish_millis = at;
@@ -307,7 +341,7 @@ std::vector<FleetQueryService::UnitOutcome> FleetQueryService::ExecuteUnitsLocke
     outcomes.push_back(std::move(outcome));
   }
 
-  stats_.cache_size = cache_.size();
+  stats_.cache_size = CacheSize();
   metrics_->IncrementCounter("fleet.admissions");
   metrics_->IncrementCounter("fleet.cache_hits", stats_.cache_hits - cache_hits_before);
   metrics_->IncrementCounter("fleet.cache_misses", stats_.cache_misses - cache_misses_before);
@@ -339,15 +373,88 @@ QueryExecution FleetQueryService::Execute(const FleetQueryRequest& request) {
 
 std::vector<QueryExecution> FleetQueryService::ExecuteConcurrently(
     const std::vector<FleetQueryRequest>& requests) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Plan outside the service lock: planning only reads immutable indexes and
+  // pinned snapshots.
   std::vector<Unit> units;
   units.reserve(requests.size());
   for (const FleetQueryRequest& request : requests) {
     units.push_back(UnitFromRequest(request));
   }
-  stats_.requests += static_cast<int64_t>(requests.size());
+
+  // Fully-cached fast path: probe the striped cache without |mu_|. If every
+  // work item of the admission hits (or duplicates an earlier item), nothing
+  // launches — the admission finishes at the cluster's current frontier — so
+  // concurrent warm HandleLine calls contend only on their verdicts' stripes,
+  // never on the service-wide lock. Any miss falls through to the pooled slow
+  // path; verdicts are pure functions of the centroid, so the two paths are
+  // byte-identical and differ only in stats/latency accounting, which this
+  // path replicates (same hit/dedup counting as phase 1 of the slow path).
+  struct FastProbe {
+    std::vector<std::vector<common::ClassId>> verdicts;
+    int64_t items = 0;
+    int64_t hits = 0;
+    int64_t dups = 0;
+    bool complete = true;
+  };
+  FastProbe probe;
+  probe.verdicts.resize(units.size());
+  std::unordered_map<CacheKey, common::ClassId, CacheKeyHash> probed;
+  for (size_t u = 0; u < units.size() && probe.complete; ++u) {
+    probe.verdicts[u].reserve(units[u].plan.work.size());
+    for (const core::CentroidWorkItem& item : units[u].plan.work) {
+      ++probe.items;
+      CacheKey key{units[u].camera, units[u].epoch, item.cluster_id};
+      if (auto it = probed.find(key); it != probed.end()) {
+        ++probe.dups;
+        probe.verdicts[u].push_back(it->second);
+        continue;
+      }
+      const std::optional<common::ClassId> hit = CacheLookup(key);
+      if (!hit.has_value()) {
+        probe.complete = false;
+        break;
+      }
+      ++probe.hits;
+      probe.verdicts[u].push_back(*hit);
+      probed.emplace(std::move(key), *hit);
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
   common::GpuMillis submit = 0.0;
-  const std::vector<UnitOutcome> outcomes = ExecuteUnitsLocked(units, &submit);
+  std::vector<UnitOutcome> outcomes;
+  bool fast = probe.complete;
+  if (fast) {
+    // Commit requires that no unit carries an epoch the service hasn't seen:
+    // the first sighting of a newer epoch must retire its camera's older
+    // verdicts, which is the slow path's job.
+    for (const Unit& unit : units) {
+      const auto newest = newest_epoch_.find(unit.camera);
+      if (unit.epoch > (newest != newest_epoch_.end() ? newest->second : 0)) {
+        fast = false;
+        break;
+      }
+    }
+  }
+  stats_.requests += static_cast<int64_t>(requests.size());
+  if (fast) {
+    stats_.work_items += probe.items;
+    stats_.cache_hits += probe.hits;
+    stats_.dedup_hits += probe.dups;
+    submit = cluster_.EarliestFree();
+    stats_.cache_size = CacheSize();
+    metrics_->IncrementCounter("fleet.admissions");
+    metrics_->IncrementCounter("fleet.cache_hits", probe.hits);
+    metrics_->Observe("fleet.admission_launches", 0.0);
+    outcomes.reserve(units.size());
+    for (size_t u = 0; u < units.size(); ++u) {
+      outcomes.push_back(UnitOutcome{std::move(probe.verdicts[u]), submit, false});
+    }
+    lock.unlock();  // Resolution reads only the units and outcomes.
+  } else {
+    outcomes = ExecuteUnitsLocked(units, &submit);
+  }
+
   std::vector<QueryExecution> executions;
   executions.reserve(units.size());
   for (size_t u = 0; u < units.size(); ++u) {
@@ -365,39 +472,20 @@ std::vector<QueryExecution> FleetQueryService::ExecuteConcurrently(
 
 FederatedExecution FleetQueryService::ExecuteFederated(const core::FederatedPlan& plan,
                                                        const std::string& tenant) {
+  // Routed through the tenant DRR queues, not executed immediately: the plan
+  // enqueues as one entry under |tenant| and the drain admits it in
+  // weighted-fair rounds against whatever other tenants already have queued —
+  // a federated caller waits its turn exactly like queued single-camera
+  // traffic. Other entries the drain completes along the way stay buffered
+  // for their own DrainAdmitted/TakeFederated callers.
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<Unit> units;
-  units.reserve(plan.cameras.size());
-  for (const core::FederatedCameraPlan& camera : plan.cameras) {
-    units.push_back(UnitFromFederated(camera));
-  }
-  stats_.requests += 1;
-  common::GpuMillis submit = 0.0;
-  const std::vector<UnitOutcome> outcomes = ExecuteUnitsLocked(units, &submit);
-
-  FederatedExecution federated;
-  federated.submit_millis = submit;
-  federated.finish_millis = submit;
-  std::vector<core::QueryResult> per_camera;
-  per_camera.reserve(units.size());
-  for (size_t u = 0; u < units.size(); ++u) {
-    QueryExecution execution = ResolveUnit(units[u], outcomes[u], submit);
-    federated.finish_millis = std::max(federated.finish_millis, execution.finish_millis);
-    if (execution.error.has_value() && !federated.error.has_value()) {
-      federated.error = execution.error;
-    }
-    per_camera.push_back(std::move(execution.result));
-  }
-  federated.result = core::MergeFederatedResults(plan, std::move(per_camera));
-  metrics_->IncrementCounter("fleet.federated_queries");
-  metrics_->IncrementCounter("fleet.federated_cameras", static_cast<int64_t>(units.size()));
-  if (federated.error.has_value()) {
-    metrics_->IncrementCounter("fleet.requests_failed");
-  } else {
-    metrics_->Observe("fleet.latency_millis", federated.latency_millis());
-  }
-  (void)tenant;  // Federated admission is immediate; tenancy shapes queued work.
-  return federated;
+  const uint64_t ticket = EnqueueLocked(tenant, PendingEntry{std::nullopt, plan});
+  DrainRoundsLocked();
+  auto it = completed_federated_.find(ticket);
+  FOCUS_CHECK(it != completed_federated_.end());
+  FederatedExecution execution = std::move(it->second);
+  completed_federated_.erase(it);
+  return execution;
 }
 
 std::vector<common::ClassId> FleetQueryService::ClassifySessionPlan(
@@ -420,28 +508,47 @@ void FleetQueryService::SetTenantWeight(const std::string& tenant, double weight
   tenant_weights_[tenant] = weight;
 }
 
-uint64_t FleetQueryService::Enqueue(FleetQueryRequest request) {
-  std::lock_guard<std::mutex> lock(mu_);
+uint64_t FleetQueryService::EnqueueLocked(const std::string& tenant, PendingEntry entry) {
   const uint64_t ticket = next_ticket_++;
-  const std::string tenant = request.tenant;
-  queues_[tenant].emplace_back(ticket, std::move(request));
+  auto& queue = queues_[tenant];
+  queue.emplace_back(ticket, std::move(entry));
   metrics_->IncrementCounter("fleet.enqueued");
+  metrics_->IncrementCounter("fleet.tenant." + tenant + ".enqueued");
+  metrics_->SetGauge("fleet.tenant." + tenant + ".queue_depth",
+                     static_cast<double>(queue.size()));
   return ticket;
 }
 
-std::vector<std::pair<uint64_t, QueryExecution>> FleetQueryService::DrainAdmitted() {
+uint64_t FleetQueryService::Enqueue(FleetQueryRequest request) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::pair<uint64_t, QueryExecution>> drained;
+  const std::string tenant = request.tenant;
+  return EnqueueLocked(tenant, PendingEntry{std::move(request), std::nullopt});
+}
+
+uint64_t FleetQueryService::EnqueueFederated(core::FederatedPlan plan,
+                                             const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EnqueueLocked(tenant, PendingEntry{std::nullopt, std::move(plan)});
+}
+
+void FleetQueryService::DrainRoundsLocked() {
   // Deficit round robin over tenants in name order: each round a tenant earns
-  // its weight in credits and dequeues one request per whole credit (FIFO
-  // within the tenant). Every round executes as ONE pooled admission — its
-  // requests share dedup, cache, and launches, and later rounds submit at the
-  // advanced cluster frontier with earlier rounds' verdicts already cached.
+  // its weight in credits and dequeues one entry per whole credit (FIFO
+  // within the tenant; a federated plan is one entry however many cameras it
+  // fans out to). Every round executes as ONE pooled admission — all its
+  // entries' units share dedup, cache, and launches, and later rounds submit
+  // at the advanced cluster frontier with earlier rounds' verdicts already
+  // cached. Completions land in |completed_| / |completed_federated_|.
   std::map<std::string, double> credit;
   bool work_left = true;
   while (work_left) {
-    std::vector<uint64_t> tickets;
-    std::vector<FleetQueryRequest> round;
+    struct Admitted {
+      uint64_t ticket = 0;
+      PendingEntry entry;
+      size_t unit_begin = 0;
+      size_t unit_count = 0;
+    };
+    std::vector<Admitted> round;
     work_left = false;
     for (auto& [tenant, queue] : queues_) {
       if (queue.empty()) {
@@ -449,11 +556,17 @@ std::vector<std::pair<uint64_t, QueryExecution>> FleetQueryService::DrainAdmitte
       }
       auto weight_it = tenant_weights_.find(tenant);
       credit[tenant] += weight_it != tenant_weights_.end() ? weight_it->second : 1.0;
+      int64_t admitted = 0;
       while (credit[tenant] >= 1.0 && !queue.empty()) {
         credit[tenant] -= 1.0;
-        tickets.push_back(queue.front().first);
-        round.push_back(std::move(queue.front().second));
+        round.push_back(Admitted{queue.front().first, std::move(queue.front().second), 0, 0});
         queue.pop_front();
+        ++admitted;
+      }
+      if (admitted > 0) {
+        metrics_->IncrementCounter("fleet.tenant." + tenant + ".admitted", admitted);
+        metrics_->SetGauge("fleet.tenant." + tenant + ".queue_depth",
+                           static_cast<double>(queue.size()));
       }
       work_left = work_left || !queue.empty();
     }
@@ -461,28 +574,79 @@ std::vector<std::pair<uint64_t, QueryExecution>> FleetQueryService::DrainAdmitte
       continue;  // All fractional weights this round; credits accumulate.
     }
     std::vector<Unit> units;
-    units.reserve(round.size());
-    for (const FleetQueryRequest& request : round) {
-      units.push_back(UnitFromRequest(request));
+    for (Admitted& admitted : round) {
+      admitted.unit_begin = units.size();
+      if (admitted.entry.request.has_value()) {
+        units.push_back(UnitFromRequest(*admitted.entry.request));
+      } else {
+        for (const core::FederatedCameraPlan& camera : admitted.entry.federated->cameras) {
+          units.push_back(UnitFromFederated(camera));
+        }
+      }
+      admitted.unit_count = units.size() - admitted.unit_begin;
     }
     stats_.requests += static_cast<int64_t>(round.size());
     common::GpuMillis submit = 0.0;
     const std::vector<UnitOutcome> outcomes = ExecuteUnitsLocked(units, &submit);
-    for (size_t u = 0; u < units.size(); ++u) {
-      QueryExecution execution = ResolveUnit(units[u], outcomes[u], submit);
-      metrics_->IncrementCounter("fleet.requests");
-      if (execution.error.has_value()) {
+    for (const Admitted& admitted : round) {
+      if (admitted.entry.request.has_value()) {
+        QueryExecution execution =
+            ResolveUnit(units[admitted.unit_begin], outcomes[admitted.unit_begin], submit);
+        metrics_->IncrementCounter("fleet.requests");
+        if (execution.error.has_value()) {
+          metrics_->IncrementCounter("fleet.requests_failed");
+        } else {
+          metrics_->Observe("fleet.latency_millis", execution.latency_millis());
+        }
+        completed_.emplace_back(admitted.ticket, std::move(execution));
+        continue;
+      }
+      const core::FederatedPlan& plan = *admitted.entry.federated;
+      FederatedExecution federated;
+      federated.submit_millis = submit;
+      federated.finish_millis = submit;
+      std::vector<core::QueryResult> per_camera;
+      per_camera.reserve(admitted.unit_count);
+      for (size_t u = admitted.unit_begin; u < admitted.unit_begin + admitted.unit_count; ++u) {
+        QueryExecution execution = ResolveUnit(units[u], outcomes[u], submit);
+        federated.finish_millis = std::max(federated.finish_millis, execution.finish_millis);
+        if (execution.error.has_value() && !federated.error.has_value()) {
+          federated.error = execution.error;
+        }
+        per_camera.push_back(std::move(execution.result));
+      }
+      federated.result = core::MergeFederatedResults(plan, std::move(per_camera));
+      metrics_->IncrementCounter("fleet.federated_queries");
+      metrics_->IncrementCounter("fleet.federated_cameras",
+                                 static_cast<int64_t>(admitted.unit_count));
+      if (federated.error.has_value()) {
         metrics_->IncrementCounter("fleet.requests_failed");
       } else {
-        metrics_->Observe("fleet.latency_millis", execution.latency_millis());
+        metrics_->Observe("fleet.latency_millis", federated.latency_millis());
       }
-      drained.emplace_back(tickets[u], std::move(execution));
+      completed_federated_.emplace(admitted.ticket, std::move(federated));
     }
   }
   for (auto it = queues_.begin(); it != queues_.end();) {
     it = it->second.empty() ? queues_.erase(it) : std::next(it);
   }
-  return drained;
+}
+
+std::vector<std::pair<uint64_t, QueryExecution>> FleetQueryService::DrainAdmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DrainRoundsLocked();
+  return std::exchange(completed_, {});
+}
+
+std::optional<FederatedExecution> FleetQueryService::TakeFederated(uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = completed_federated_.find(ticket);
+  if (it == completed_federated_.end()) {
+    return std::nullopt;
+  }
+  FederatedExecution execution = std::move(it->second);
+  completed_federated_.erase(it);
+  return execution;
 }
 
 std::map<std::string, size_t> FleetQueryService::QueueDepths() const {
@@ -499,7 +663,7 @@ std::map<std::string, size_t> FleetQueryService::QueueDepths() const {
 FleetServiceStats FleetQueryService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   FleetServiceStats snapshot = stats_;
-  snapshot.cache_size = cache_.size();
+  snapshot.cache_size = CacheSize();
   return snapshot;
 }
 

@@ -34,6 +34,7 @@
 #ifndef FOCUS_SRC_RUNTIME_FLEET_QUERY_SERVICE_H_
 #define FOCUS_SRC_RUNTIME_FLEET_QUERY_SERVICE_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <list>
@@ -125,9 +126,15 @@ class FleetQueryService {
   // request order.
   std::vector<QueryExecution> ExecuteConcurrently(const std::vector<FleetQueryRequest>& requests);
 
-  // Executes a federated fan-out (core::FocusFleet::PlanFederated) as one
-  // pooled admission: all cameras' work items share dedup, cache, and
-  // launches. Byte-identical to ExecuteFederatedSequential on the same plan.
+  // Executes a federated fan-out (core::FocusFleet::PlanFederated) through the
+  // tenant admission queues: the plan is enqueued under |tenant| as ONE entry
+  // and drained in weighted-fair rounds against whatever other tenants have
+  // queued — a federated burst from one tenant interleaves with (never jumps
+  // ahead of) other tenants' backlogs. Within its round the fan-out still
+  // executes as one pooled admission (all cameras share dedup, cache, and
+  // launches) and the merged result is byte-identical to
+  // ExecuteFederatedSequential on the same plan. Other entries drained by the
+  // same call are buffered for the next DrainAdmitted()/TakeFederated().
   FederatedExecution ExecuteFederated(const core::FederatedPlan& plan,
                                       const std::string& tenant = "default");
 
@@ -152,12 +159,26 @@ class FleetQueryService {
   // DrainAdmitted()'s output. Nothing executes until a drain.
   uint64_t Enqueue(FleetQueryRequest request);
 
+  // Enqueues a federated plan under |tenant| as one admission entry (one DRR
+  // credit — a fan-out competes as a single request, however many cameras it
+  // touches). The execution is retrieved with TakeFederated(ticket) after a
+  // drain.
+  uint64_t EnqueueFederated(core::FederatedPlan plan, const std::string& tenant = "default");
+
   // Drains every queue in weighted-fair rounds: each round admits up to
-  // weight(t) requests per tenant (tenants in name order, FIFO within a
-  // tenant) and executes the round as ONE pooled admission, so a later round's
-  // requests see earlier rounds' verdicts cached and submit at the advanced
-  // cluster frontier. Returns (ticket, execution) in completion order.
+  // weight(t) entries per tenant (tenants in name order, FIFO within a
+  // tenant) and executes the round as ONE pooled admission — federated
+  // entries' cameras and single requests share dedup, cache, and launches —
+  // so a later round's requests see earlier rounds' verdicts cached and
+  // submit at the advanced cluster frontier. Returns single-request
+  // (ticket, execution) pairs in completion order, including any buffered by
+  // an earlier ExecuteFederated-triggered drain; federated executions are
+  // claimed via TakeFederated.
   std::vector<std::pair<uint64_t, QueryExecution>> DrainAdmitted();
+
+  // Claims the completed execution of a drained federated ticket (nullopt if
+  // the ticket is unknown or still queued).
+  std::optional<FederatedExecution> TakeFederated(uint64_t ticket);
 
   // Queue depth per tenant with queued work (empty map = nothing queued).
   std::map<std::string, size_t> QueueDepths() const;
@@ -177,6 +198,29 @@ class FleetQueryService {
     size_t operator()(const CacheKey& key) const;
   };
   using LruList = std::list<std::pair<CacheKey, common::ClassId>>;
+
+  // The verdict cache is sharded into stripes keyed on hash(camera, centroid)
+  // — epoch excluded, so all epochs of a centroid land in one stripe and
+  // epoch retirement sweeps exactly one stripe per key. Each stripe has its
+  // own mutex and LRU; the configured capacity is split exactly across
+  // stripes (global size never exceeds it). Stripe locks are leaves: they are
+  // taken one at a time, with or without |mu_|, which is what lets the
+  // fully-cached fast path in ExecuteConcurrently answer without ever
+  // touching the service-wide lock that concurrent HandleLine calls would
+  // otherwise contend on.
+  static constexpr size_t kCacheStripes = 16;
+  struct CacheStripe {
+    mutable std::mutex mu;
+    LruList lru;  // Front = most recently used.
+    std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> map;
+    size_t capacity = 0;
+  };
+
+  // One queued admission entry: a single-camera request or a federated plan.
+  struct PendingEntry {
+    std::optional<FleetQueryRequest> request;
+    std::optional<core::FederatedPlan> federated;
+  };
 
   // One planned target inside an admission (a request, a federated camera, or
   // a session expansion step).
@@ -210,10 +254,18 @@ class FleetQueryService {
   QueryExecution ResolveUnit(const Unit& unit, const UnitOutcome& outcome,
                              common::GpuMillis submit) const;
 
-  // Cache helpers (lock held). Lookup refreshes LRU position.
-  const common::ClassId* CacheLookupLocked(const CacheKey& key);
-  void CacheInsertLocked(CacheKey key, common::ClassId top1);
-  void RetireEpochsLocked(const std::string& camera, uint64_t newest_epoch);
+  // Striped-cache helpers (each takes its stripe's lock internally; safe with
+  // or without |mu_|). Lookup refreshes LRU position. Insert and RetireEpochs
+  // additionally require |mu_| (they mutate stats_ counters).
+  size_t StripeIndexOf(const CacheKey& key) const;
+  std::optional<common::ClassId> CacheLookup(const CacheKey& key);
+  void CacheInsert(CacheKey key, common::ClassId top1);
+  void RetireEpochs(const std::string& camera, uint64_t newest_epoch);
+  size_t CacheSize() const;
+
+  // Queueing/drain internals (require |mu_|).
+  uint64_t EnqueueLocked(const std::string& tenant, PendingEntry entry);
+  void DrainRoundsLocked();
 
   FleetQueryServiceOptions options_;
   MetricsRegistry* metrics_;
@@ -222,14 +274,17 @@ class FleetQueryService {
   GpuCluster cluster_;
   FleetServiceStats stats_;
 
-  LruList lru_;  // Front = most recently used.
-  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> cache_;
+  std::array<CacheStripe, kCacheStripes> stripes_;
+  size_t num_stripes_ = 1;
   std::unordered_map<std::string, uint64_t> newest_epoch_;
 
-  // Admission state.
+  // Admission state (guarded by |mu_|). Completed-but-unclaimed executions
+  // from a drain triggered by another entry's ExecuteFederated.
   std::map<std::string, double> tenant_weights_;
-  std::map<std::string, std::deque<std::pair<uint64_t, FleetQueryRequest>>> queues_;
+  std::map<std::string, std::deque<std::pair<uint64_t, PendingEntry>>> queues_;
   uint64_t next_ticket_ = 1;
+  std::vector<std::pair<uint64_t, QueryExecution>> completed_;
+  std::map<uint64_t, FederatedExecution> completed_federated_;
 };
 
 }  // namespace focus::runtime

@@ -1,0 +1,174 @@
+#include "src/runtime/worker_process_pool.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace focus::runtime {
+
+namespace {
+
+// Full-buffer send/recv over a SOCK_STREAM socketpair. MSG_NOSIGNAL turns a
+// peer death into EPIPE instead of SIGPIPE — a dead worker must be an error
+// code, never a signal into the caller.
+bool SendAll(int fd, const void* data, size_t bytes) {
+  const char* at = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::send(fd, at, bytes, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    at += n;
+    bytes -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool RecvAll(int fd, void* data, size_t bytes) {
+  char* at = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::recv(fd, at, bytes, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;  // 0 = orderly EOF; either way the conversation is over.
+    }
+    at += n;
+    bytes -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SendFrame(int fd, const std::string& payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  return SendAll(fd, &len, sizeof(len)) && SendAll(fd, payload.data(), payload.size());
+}
+
+bool RecvFrame(int fd, std::string* payload) {
+  uint32_t len = 0;
+  if (!RecvAll(fd, &len, sizeof(len))) {
+    return false;
+  }
+  payload->resize(len);
+  return len == 0 || RecvAll(fd, payload->data(), len);
+}
+
+[[noreturn]] void WorkerLoop(int fd, const WorkerProcessPool::Handler& handler) {
+  std::string request;
+  while (RecvFrame(fd, &request)) {
+    if (!SendFrame(fd, handler(request))) {
+      break;
+    }
+  }
+  // _exit, not exit: never run the parent's atexit handlers or flush its
+  // forked stdio buffers from the child.
+  ::_exit(0);
+}
+
+}  // namespace
+
+WorkerProcessPool::~WorkerProcessPool() { Shutdown(); }
+
+common::Result<std::monostate> WorkerProcessPool::Start(int num_workers, Handler handler) {
+  if (!workers_.empty()) {
+    return common::FailedPrecondition("worker pool already started");
+  }
+  FOCUS_CHECK(num_workers > 0);
+  for (int i = 0; i < num_workers; ++i) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      Shutdown();
+      return common::IoError(std::string("socketpair: ") + std::strerror(errno));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      Shutdown();
+      return common::IoError(std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      for (const Worker& sibling : workers_) {
+        ::close(sibling.fd);  // Keep sibling EOFs crisp: one parent fd each.
+      }
+      WorkerLoop(fds[1], handler);
+    }
+    ::close(fds[1]);
+    workers_.push_back(Worker{pid, fds[0], false});
+  }
+  return std::monostate{};
+}
+
+common::Result<std::string> WorkerProcessPool::Call(int index, const std::string& request) {
+  FOCUS_CHECK(index >= 0 && index < size());
+  Worker& worker = workers_[index];
+  if (worker.fd < 0) {
+    return common::Unavailable("worker " + std::to_string(index) + " is shut down");
+  }
+  std::string response;
+  if (!SendFrame(worker.fd, request) || !RecvFrame(worker.fd, &response)) {
+    return common::Unavailable("worker " + std::to_string(index) + " (pid " +
+                               std::to_string(worker.pid) + ") died mid-call");
+  }
+  return response;
+}
+
+bool WorkerProcessPool::Alive(int index) {
+  FOCUS_CHECK(index >= 0 && index < size());
+  Worker& worker = workers_[index];
+  if (worker.reaped) {
+    return false;
+  }
+  const pid_t r = ::waitpid(worker.pid, nullptr, WNOHANG);
+  if (r == worker.pid) {
+    worker.reaped = true;
+    return false;
+  }
+  return r == 0;
+}
+
+void WorkerProcessPool::Kill(int index) {
+  FOCUS_CHECK(index >= 0 && index < size());
+  Worker& worker = workers_[index];
+  if (worker.reaped) {
+    return;
+  }
+  ::kill(worker.pid, SIGKILL);
+  ::waitpid(worker.pid, nullptr, 0);
+  worker.reaped = true;
+}
+
+pid_t WorkerProcessPool::worker_pid(int index) const {
+  FOCUS_CHECK(index >= 0 && index < size());
+  return workers_[index].pid;
+}
+
+void WorkerProcessPool::Shutdown() {
+  for (Worker& worker : workers_) {
+    if (worker.fd >= 0) {
+      ::close(worker.fd);  // Child sees EOF and _exit(0)s.
+      worker.fd = -1;
+    }
+  }
+  for (Worker& worker : workers_) {
+    if (!worker.reaped && worker.pid > 0) {
+      ::waitpid(worker.pid, nullptr, 0);
+      worker.reaped = true;
+    }
+  }
+  workers_.clear();
+}
+
+}  // namespace focus::runtime

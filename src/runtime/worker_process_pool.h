@@ -1,0 +1,75 @@
+// Crash-isolated query workers: a pool of forked child processes, each serving
+// length-framed request/response RPCs over a private socketpair.
+//
+// The shm epoch plane (src/shm/epoch_plane.h) makes snapshot data readable
+// from any process; this pool supplies the processes. Each worker is a fork of
+// the parent running a caller-provided handler loop, so a worker that
+// crashes, leaks, or is SIGKILL'd takes down exactly one process: the parent
+// sees a closed socket (kUnavailable) and the ingest process at most one stale
+// pin, reclaimed on its next publish. Nothing here knows about queries — the
+// handler is an opaque bytes -> bytes function, which keeps the pool reusable
+// and the crash-isolation tests honest (they kill real processes).
+//
+// Protocol: u32 little-endian length prefix + payload, one in flight per
+// worker (Call is synchronous). EOF on the parent side of the socket is the
+// shutdown signal; the child answers requests until EOF, then _exit(0).
+#ifndef FOCUS_SRC_RUNTIME_WORKER_PROCESS_POOL_H_
+#define FOCUS_SRC_RUNTIME_WORKER_PROCESS_POOL_H_
+
+#include <sys/types.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace focus::runtime {
+
+class WorkerProcessPool {
+ public:
+  // Serves one request; runs inside the child process. Anything the handler
+  // captures is a fork-time copy — workers share nothing with the parent
+  // except what lives in shared memory.
+  using Handler = std::function<std::string(const std::string&)>;
+
+  WorkerProcessPool() = default;
+  ~WorkerProcessPool();
+
+  WorkerProcessPool(const WorkerProcessPool&) = delete;
+  WorkerProcessPool& operator=(const WorkerProcessPool&) = delete;
+
+  // Forks |num_workers| children, each looping |handler| over its socket.
+  // kFailedPrecondition if already started.
+  common::Result<std::monostate> Start(int num_workers, Handler handler);
+
+  // Sends |request| to worker |index| and waits for its response.
+  // kUnavailable when the worker is dead (crashed, killed, or never started) —
+  // the caller decides whether to retry on a sibling.
+  common::Result<std::string> Call(int index, const std::string& request);
+
+  // Whether the worker process is still alive (waitpid WNOHANG).
+  bool Alive(int index);
+
+  // SIGKILLs the worker and reaps it — the crash the isolation tests inject.
+  void Kill(int index);
+
+  pid_t worker_pid(int index) const;
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Closes every socket (children see EOF and _exit(0)) and reaps them.
+  void Shutdown();
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;        // Parent's end of the socketpair.
+    bool reaped = false;
+  };
+
+  std::vector<Worker> workers_;
+};
+
+}  // namespace focus::runtime
+
+#endif  // FOCUS_SRC_RUNTIME_WORKER_PROCESS_POOL_H_

@@ -114,6 +114,28 @@ common::Result<Request> ParseRequest(const std::string& line) {
     request.camera = tokens.size() == 2 ? tokens[1] : "";
     return request;
   }
+  if (verb == "SHM") {
+    if (tokens.size() < 2) {
+      return BadRequest("usage: SHM ATTACH <segment> | SHM STATUS [segment]");
+    }
+    request.verb = Verb::kShm;
+    request.shm_op = tokens[1];
+    if (request.shm_op == "ATTACH") {
+      if (tokens.size() != 3) {
+        return BadRequest("usage: SHM ATTACH <segment>");
+      }
+      request.shm_name = tokens[2];
+      return request;
+    }
+    if (request.shm_op == "STATUS") {
+      if (tokens.size() > 3) {
+        return BadRequest("usage: SHM STATUS [segment]");
+      }
+      request.shm_name = tokens.size() == 3 ? tokens[2] : "";
+      return request;
+    }
+    return BadRequest("unknown SHM operation " + request.shm_op);
+  }
   if (verb == "STATS") {
     if (tokens.size() > 2) {
       return BadRequest("usage: STATS [camera]");

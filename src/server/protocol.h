@@ -10,6 +10,7 @@
 //   CLASSES <substring>
 //   STATS [camera]
 //   HEALTH [camera]
+//   SHM ATTACH <segment> | SHM STATUS [segment]
 //   PING
 //
 // A QUERY naming one camera answers from that camera; a comma-separated list or
@@ -35,10 +36,14 @@
 
 namespace focus::server {
 
-enum class Verb { kQuery, kCameras, kClasses, kStats, kHealth, kPing };
+enum class Verb { kQuery, kCameras, kClasses, kStats, kHealth, kPing, kShm };
 
 struct Request {
   Verb verb = Verb::kPing;
+  // SHM fields: |shm_op| is "ATTACH" or "STATUS"; |shm_name| the segment name
+  // (required for ATTACH, optional for STATUS — empty lists every attach).
+  std::string shm_op;
+  std::string shm_name;
   // QUERY fields (HEALTH and STATS reuse |camera|; for both it is optional —
   // empty asks for the whole fleet / the shared query service).
   std::string camera;

@@ -53,8 +53,55 @@ std::string QueryServer::Handle(const Request& request) {
       return HandleHealth(request.camera);
     case Verb::kQuery:
       return HandleQuery(request);
+    case Verb::kShm:
+      return HandleShm(request);
   }
   return ErrResponse(common::ErrorCode::kInternal, "unhandled verb");
+}
+
+std::string QueryServer::HandleShm(const Request& request) {
+  // One line per plane: segment name, published generation/epoch progress,
+  // and the pin-protocol accounting (docs/shm_serving.md).
+  const auto plane_line = [](const std::string& name, const shm::ShmPlaneStats& stats) {
+    std::ostringstream line;
+    line << name << " GEN " << stats.published_generation << " EPOCHS "
+         << stats.epochs_published << " READERS " << stats.live_readers << " ATTACHES "
+         << stats.reader_attaches << " RECLAIMED " << stats.stale_pins_reclaimed
+         << " VIOLATIONS " << stats.pin_violations << " ARENA " << stats.arena_used_bytes
+         << "/" << stats.segment_bytes;
+    return line.str();
+  };
+
+  std::lock_guard<std::mutex> lock(shm_mu_);
+  if (request.shm_op == "ATTACH") {
+    if (shm_readers_.contains(request.shm_name)) {
+      return ErrResponse(common::ErrorCode::kFailedPrecondition,
+                         "already attached to " + request.shm_name);
+    }
+    auto reader = shm::ShmSnapshotReader::Attach(request.shm_name, metrics_);
+    if (!reader.ok()) {
+      metrics_->IncrementCounter("server.shm_attach_errors");
+      return ErrResponse(reader.error().code, reader.error().message);
+    }
+    const shm::ShmPlaneStats stats = (*reader)->stats();
+    shm_readers_.emplace(request.shm_name, std::move(*reader));
+    metrics_->IncrementCounter("server.shm_attaches");
+    return OkResponse("ATTACHED " + plane_line(request.shm_name, stats));
+  }
+  if (!request.shm_name.empty()) {
+    const auto it = shm_readers_.find(request.shm_name);
+    if (it == shm_readers_.end()) {
+      return ErrResponse(common::ErrorCode::kNotFound,
+                         "not attached to " + request.shm_name);
+    }
+    return OkResponse(plane_line(it->first, it->second->stats()));
+  }
+  std::ostringstream out;
+  out << shm_readers_.size();
+  for (const auto& [name, reader] : shm_readers_) {
+    out << "\n" << plane_line(name, reader->stats());
+  }
+  return OkResponse(out.str());
 }
 
 std::string QueryServer::HandleQuery(const Request& request) {

@@ -38,6 +38,9 @@
 #ifndef FOCUS_SRC_SERVER_QUERY_SERVER_H_
 #define FOCUS_SRC_SERVER_QUERY_SERVER_H_
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/core/fleet.h"
@@ -46,6 +49,7 @@
 #include "src/runtime/metrics.h"
 #include "src/runtime/query_service.h"
 #include "src/server/protocol.h"
+#include "src/shm/epoch_plane.h"
 #include "src/video/class_catalog.h"
 
 namespace focus::server {
@@ -90,12 +94,21 @@ class QueryServer {
   // has registered a failure or restart (clean streams read Healthy and are
   // omitted from the fleet listing).
   std::string HandleHealth(const std::string& camera);
+  // SHM ATTACH <segment>: attaches a ShmSnapshotReader to a shared-memory
+  // epoch plane (docs/shm_serving.md) and reports its newest epoch. SHM
+  // STATUS [segment]: plane stats of one (or every) attached segment.
+  std::string HandleShm(const Request& request);
 
   const core::FocusFleet* fleet_;
   const video::ClassCatalog* catalog_;
   runtime::MetricsRegistry* metrics_;
   const runtime::IngestService* live_;
   runtime::FleetQueryService service_;  // One per server; internally locked.
+
+  // Attached shm planes, by segment name (SHM verb). The reader objects hold
+  // one reader slot each in their plane for the server's lifetime.
+  std::mutex shm_mu_;
+  std::map<std::string, std::unique_ptr<shm::ShmSnapshotReader>> shm_readers_;
 };
 
 }  // namespace focus::server

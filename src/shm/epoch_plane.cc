@@ -1,0 +1,667 @@
+#include "src/shm/epoch_plane.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <string_view>
+#include <tuple>
+
+#include "src/common/logging.h"
+#include "src/storage/serializer.h"
+
+namespace focus::shm {
+
+namespace {
+
+constexpr size_t kAlign = 64;
+
+uint64_t AlignUp(uint64_t n) { return (n + kAlign - 1) & ~uint64_t{kAlign - 1}; }
+
+uint32_t HeaderCrc(const ShmEpochHeader& header) {
+  ShmEpochHeader copy = header;
+  copy.header_crc = 0;
+  return storage::Crc32(
+      std::string_view(reinterpret_cast<const char*>(&copy), sizeof(copy)));
+}
+
+// Validates one header slot copy against the segment geometry. A slot being
+// mid-write (torn) fails the CRC; a slot never written fails the magic.
+bool ValidHeader(const ShmEpochHeader& header, size_t segment_bytes) {
+  return header.magic == kShmMagic && header.generation != 0 &&
+         header.region_index < kShmMaxRegions &&
+         header.region_offset >= kShmDataOffset &&
+         header.region_offset + header.payload_bytes <= segment_bytes &&
+         header.header_crc == HeaderCrc(header);
+}
+
+runtime::MetricsRegistry* OrGlobal(runtime::MetricsRegistry* metrics) {
+  return metrics != nullptr ? metrics : &runtime::GlobalMetrics();
+}
+
+}  // namespace
+
+ShmPlaneStats StatsOf(const SharedSegment& segment) {
+  const auto* control = reinterpret_cast<const ShmControl*>(segment.data());
+  ShmPlaneStats stats;
+  stats.published_generation = control->published_generation.load(std::memory_order_acquire);
+  stats.epochs_published = control->epochs_published.load(std::memory_order_relaxed);
+  stats.stale_pins_reclaimed =
+      control->stale_pins_reclaimed.load(std::memory_order_relaxed);
+  stats.reader_attaches = control->reader_attaches.load(std::memory_order_relaxed);
+  stats.pin_violations = control->pin_violations.load(std::memory_order_relaxed);
+  stats.segment_bytes = segment.size();
+  stats.arena_used_bytes = control->bump_top.load(std::memory_order_relaxed) - kShmDataOffset;
+  const auto* slots =
+      reinterpret_cast<const ShmReaderSlot*>(segment.bytes() + kShmControlBytes);
+  for (uint32_t i = 0; i < kShmMaxReaders; ++i) {
+    if (slots[i].pid.load(std::memory_order_relaxed) != 0) {
+      ++stats.live_readers;
+    }
+  }
+  return stats;
+}
+
+// --- EpochPublisher ---
+
+common::Result<std::unique_ptr<EpochPublisher>> EpochPublisher::Create(
+    const std::string& name, Options options, runtime::MetricsRegistry* metrics) {
+  if (options.segment_bytes < kShmDataOffset + kAlign) {
+    return common::Error{common::ErrorCode::kInvalidArgument, "shm segment too small"};
+  }
+  auto segment = SharedSegment::Create(name, options.segment_bytes);
+  if (!segment.ok()) {
+    return segment.error();
+  }
+  auto publisher = std::unique_ptr<EpochPublisher>(
+      new EpochPublisher(std::move(*segment), options, OrGlobal(metrics)));
+  // The fresh mapping is zero pages; initialize the control block in place and
+  // store the magic last so a racing attach never validates a half-built one.
+  ShmControl* control = publisher->control();
+  control->version = kShmVersion;
+  control->max_readers = kShmMaxReaders;
+  control->max_regions = kShmMaxRegions;
+  control->bump_top.store(kShmDataOffset, std::memory_order_relaxed);
+  control->writer_pid.store(static_cast<uint64_t>(::getpid()), std::memory_order_relaxed);
+  control->magic.store(kShmMagic, std::memory_order_release);
+  return publisher;
+}
+
+EpochPublisher::~EpochPublisher() {
+  if (segment_ != nullptr) {
+    control()->writer_pid.store(0, std::memory_order_relaxed);
+    if (unlink_on_destroy_) {
+      SharedSegment::Unlink(segment_->name());
+    }
+  }
+}
+
+ShmControl* EpochPublisher::control() const {
+  return reinterpret_cast<ShmControl*>(segment_->data());
+}
+
+common::Result<uint32_t> EpochPublisher::ClaimRegion(uint64_t g, uint64_t need) {
+  ShmControl* ctl = control();
+  auto* slots = reinterpret_cast<ShmReaderSlot*>(segment_->bytes() + kShmControlBytes);
+  const uint64_t active = ctl->published_generation.load(std::memory_order_relaxed);
+
+  // Candidates: every region not backing the currently published generation
+  // (new readers pin that one at any moment without any handshake), oldest
+  // generation first so rotation is fair and forced eviction hits the least
+  // recent epoch.
+  std::vector<std::pair<uint64_t, uint32_t>> candidates;
+  for (uint32_t r = 0; r < kShmMaxRegions; ++r) {
+    const uint64_t og = ctl->regions[r].generation.load(std::memory_order_relaxed);
+    if (og != active || og == 0) {
+      candidates.emplace_back(og, r);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  FOCUS_CHECK(!candidates.empty());
+
+  const auto ensure_capacity = [&](uint32_t r) -> bool {
+    if (ctl->regions[r].capacity.load(std::memory_order_relaxed) >= need) {
+      return true;
+    }
+    // Re-point the region at fresh arena space (append-only; the old span is
+    // leaked inside the fixed arena, bounded by capacity doubling). Readers
+    // locate payloads by the absolute offset in the epoch header, never
+    // through the region descriptor, so re-pointing is invisible to them.
+    const uint64_t old_capacity = ctl->regions[r].capacity.load(std::memory_order_relaxed);
+    const uint64_t top = AlignUp(ctl->bump_top.load(std::memory_order_relaxed));
+    uint64_t capacity = std::max(AlignUp(need), old_capacity * 2);
+    if (top + capacity > segment_->size()) {
+      capacity = AlignUp(need);  // Doubling headroom no longer fits; take the minimum.
+    }
+    if (top + capacity > segment_->size()) {
+      return false;
+    }
+    ctl->regions[r].offset.store(top, std::memory_order_relaxed);
+    ctl->regions[r].capacity.store(capacity, std::memory_order_relaxed);
+    ctl->bump_top.store(top + capacity, std::memory_order_relaxed);
+    return true;
+  };
+
+  const auto pinned_by_live_reader = [&](uint64_t og) {
+    if (og == 0) {
+      return false;
+    }
+    for (uint32_t s = 0; s < kShmMaxReaders; ++s) {
+      if (slots[s].pid.load(std::memory_order_seq_cst) != 0 &&
+          slots[s].pinned_generation.load(std::memory_order_seq_cst) == og) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  bool arena_full = false;
+  for (const auto& [og, r] : candidates) {
+    // Claim first, scan second: the claim store and the reader's pin store are
+    // both seq_cst, so either the reader's subsequent generation re-check sees
+    // our claim or our pin scan sees its pin — never neither.
+    ctl->regions[r].generation.store(g, std::memory_order_seq_cst);
+    if (pinned_by_live_reader(og)) {
+      ctl->regions[r].generation.store(og, std::memory_order_seq_cst);  // Un-claim.
+      continue;
+    }
+    if (!ensure_capacity(r)) {
+      ctl->regions[r].generation.store(og, std::memory_order_seq_cst);
+      arena_full = true;
+      continue;
+    }
+    return r;
+  }
+  if (arena_full) {
+    return common::Error{common::ErrorCode::kOutOfRange,
+                         "shm arena exhausted in " + segment_->name()};
+  }
+  // Every candidate region is pinned by a live reader. Ingest must not stall:
+  // forcibly evict the oldest pinned epoch. Its readers detect the theft via
+  // ShmEpochView::StillValid (the generation re-check) and discard the scan.
+  const auto [og, r] = candidates.front();
+  ctl->regions[r].generation.store(g, std::memory_order_seq_cst);
+  if (!ensure_capacity(r)) {
+    ctl->regions[r].generation.store(og, std::memory_order_seq_cst);
+    return common::Error{common::ErrorCode::kOutOfRange,
+                         "shm arena exhausted in " + segment_->name()};
+  }
+  ctl->pin_violations.fetch_add(1, std::memory_order_relaxed);
+  metrics_->IncrementCounter("shm.pin_violations");
+  return r;
+}
+
+common::Result<uint64_t> EpochPublisher::Publish(const core::LiveSnapshot& snapshot) {
+  const auto start = std::chrono::steady_clock::now();
+  ShmControl* ctl = control();
+  auto* slots = reinterpret_cast<ShmReaderSlot*>(segment_->bytes() + kShmControlBytes);
+
+  // Reclaim pins of dead readers first (kill(pid, 0) == ESRCH): a crashed or
+  // SIGKILL'd worker can delay region reuse by at most one publish.
+  for (uint32_t s = 0; s < kShmMaxReaders; ++s) {
+    const uint64_t pid = slots[s].pid.load(std::memory_order_relaxed);
+    if (pid != 0 && ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH) {
+      slots[s].pinned_generation.store(0, std::memory_order_seq_cst);
+      slots[s].pid.store(0, std::memory_order_seq_cst);
+      ctl->stale_pins_reclaimed.fetch_add(1, std::memory_order_relaxed);
+      metrics_->IncrementCounter("shm.stale_pins_reclaimed");
+    }
+  }
+
+  // Flatten geometry. Appearance dimensionality is uniform per stream (one
+  // catalog); the centroid section is cluster-dense rows of |dim| floats.
+  const auto& clusters = snapshot.index.clusters();
+  const uint64_t cluster_count = clusters.size();
+  uint64_t member_count = 0;
+  uint64_t class_count = 0;
+  uint64_t rank_count = 0;
+  uint32_t dim = 0;
+  for (const index::ClusterEntry& entry : clusters) {
+    member_count += entry.members.size();
+    class_count += entry.topk_classes.size();
+    rank_count += entry.topk_ranks.size();
+    const uint32_t entry_dim = static_cast<uint32_t>(entry.representative.appearance.size());
+    if (dim == 0) {
+      dim = entry_dim;
+    }
+    FOCUS_CHECK(entry_dim == dim);
+  }
+
+  ShmEpochHeader header;
+  header.magic = kShmMagic;
+  header.generation = ctl->published_generation.load(std::memory_order_relaxed) + 1;
+  header.epoch = snapshot.epoch;
+  header.watermark = snapshot.watermark;
+  header.fps = snapshot.fps;
+  header.detections = snapshot.detections;
+  header.num_clusters = snapshot.num_clusters;
+  header.entries_reused = snapshot.stats.entries_reused;
+  header.entries_rebuilt = snapshot.stats.entries_rebuilt;
+  header.build_millis = snapshot.stats.build_millis;
+  header.dim = dim;
+  header.cluster_count = cluster_count;
+  header.member_count = member_count;
+  header.class_count = class_count;
+  header.rank_count = rank_count;
+  header.off_clusters = 0;
+  header.off_members = AlignUp(cluster_count * sizeof(ShmClusterRecord));
+  header.off_classes = AlignUp(header.off_members + member_count * sizeof(ShmMemberRun));
+  header.off_ranks = AlignUp(header.off_classes + class_count * sizeof(int32_t));
+  header.off_centroids = AlignUp(header.off_ranks + rank_count * sizeof(int32_t));
+  header.payload_bytes =
+      header.off_centroids + cluster_count * uint64_t{dim} * sizeof(float);
+  header.provenance = options_.provenance;
+
+  auto region = ClaimRegion(header.generation, std::max<uint64_t>(header.payload_bytes, kAlign));
+  if (!region.ok()) {
+    return region.error();
+  }
+  header.region_index = *region;
+  header.region_offset = ctl->regions[*region].offset.load(std::memory_order_relaxed);
+
+  // Write the flat image. The section gaps are alignment padding; zero them so
+  // the payload CRC is a function of the snapshot alone.
+  char* base = segment_->bytes() + header.region_offset;
+  std::memset(base, 0, header.payload_bytes);
+  auto* records = reinterpret_cast<ShmClusterRecord*>(base + header.off_clusters);
+  auto* runs = reinterpret_cast<ShmMemberRun*>(base + header.off_members);
+  auto* classes = reinterpret_cast<int32_t*>(base + header.off_classes);
+  auto* ranks = reinterpret_cast<int32_t*>(base + header.off_ranks);
+  auto* centroids = reinterpret_cast<float*>(base + header.off_centroids);
+  uint64_t member_at = 0;
+  uint64_t class_at = 0;
+  uint64_t rank_at = 0;
+  for (uint64_t i = 0; i < cluster_count; ++i) {
+    const index::ClusterEntry& entry = clusters[i];
+    ShmClusterRecord& record = records[i];
+    record.cluster_id = entry.cluster_id;
+    record.size = entry.size;
+    record.rep_frame = entry.representative.frame;
+    record.rep_object_id = entry.representative.object_id;
+    record.bbox_x = entry.representative.bbox.x;
+    record.bbox_y = entry.representative.bbox.y;
+    record.bbox_w = entry.representative.bbox.w;
+    record.bbox_h = entry.representative.bbox.h;
+    record.rep_flags = (entry.representative.pixel_diff_suppressed ? 1u : 0u) |
+                       (entry.representative.first_observation ? 2u : 0u);
+    record.rep_true_class = entry.representative.true_class;
+    record.members_begin = member_at;
+    record.members_count = entry.members.size();
+    for (const cluster::MemberRun& run : entry.members) {
+      runs[member_at++] = ShmMemberRun{run.object, run.first_frame, run.last_frame};
+    }
+    record.classes_begin = class_at;
+    record.classes_count = entry.topk_classes.size();
+    for (common::ClassId cls : entry.topk_classes) {
+      classes[class_at++] = cls;
+    }
+    record.ranks_begin = rank_at;
+    record.ranks_count = entry.topk_ranks.size();
+    for (int32_t rank : entry.topk_ranks) {
+      ranks[rank_at++] = rank;
+    }
+    std::memcpy(centroids + i * dim, entry.representative.appearance.data(),
+                dim * sizeof(float));
+  }
+  header.payload_crc = storage::Crc32(std::string_view(base, header.payload_bytes));
+  header.header_crc = HeaderCrc(header);
+
+  // Ping-pong announce: write the alternate slot, then advance the published
+  // generation. A reader that catches the slot mid-write fails its CRC and
+  // falls back to the other slot's (previous) generation.
+  char* slot = segment_->bytes() + kShmHeaderOffset +
+               (header.generation % 2) * kShmHeaderSlotBytes;
+  std::memcpy(slot, &header, sizeof(header));
+  ctl->published_generation.store(header.generation, std::memory_order_seq_cst);
+  ctl->epochs_published.fetch_add(1, std::memory_order_relaxed);
+
+  const double millis =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  metrics_->IncrementCounter("shm.epochs_published");
+  metrics_->Observe("shm.publish_millis", millis);
+  metrics_->Observe("shm.payload_bytes", static_cast<double>(header.payload_bytes));
+  metrics_->SetGauge("shm.published_generation", static_cast<double>(header.generation));
+  metrics_->SetGauge("shm.arena_used_bytes",
+                     static_cast<double>(ctl->bump_top.load(std::memory_order_relaxed) -
+                                         kShmDataOffset));
+  return header.generation;
+}
+
+ShmPlaneStats EpochPublisher::stats() const { return StatsOf(*segment_); }
+
+// --- ShmSnapshotReader ---
+
+common::Result<std::unique_ptr<ShmSnapshotReader>> ShmSnapshotReader::Attach(
+    const std::string& name, runtime::MetricsRegistry* metrics) {
+  auto segment = SharedSegment::Open(name);
+  if (!segment.ok()) {
+    return segment.error();
+  }
+  if ((*segment)->size() < kShmDataOffset) {
+    return common::Error{common::ErrorCode::kDataLoss,
+                         "shm segment " + name + " is too small to hold the plane"};
+  }
+  auto* control = reinterpret_cast<ShmControl*>((*segment)->data());
+  if (control->magic.load(std::memory_order_acquire) != kShmMagic ||
+      control->version != kShmVersion) {
+    return common::Error{common::ErrorCode::kFailedPrecondition,
+                         "shm segment " + name + " is not an initialized epoch plane"};
+  }
+  auto* slots = reinterpret_cast<ShmReaderSlot*>((*segment)->bytes() + kShmControlBytes);
+  const uint64_t pid = static_cast<uint64_t>(::getpid());
+  for (uint32_t s = 0; s < kShmMaxReaders; ++s) {
+    uint64_t expected = 0;
+    if (slots[s].pid.compare_exchange_strong(expected, pid, std::memory_order_seq_cst)) {
+      slots[s].pinned_generation.store(0, std::memory_order_seq_cst);
+      control->reader_attaches.fetch_add(1, std::memory_order_relaxed);
+      runtime::MetricsRegistry* registry = OrGlobal(metrics);
+      registry->IncrementCounter("shm.reader_attaches");
+      return std::unique_ptr<ShmSnapshotReader>(
+          new ShmSnapshotReader(std::move(*segment), s, registry));
+    }
+  }
+  return common::Error{common::ErrorCode::kUnavailable,
+                       "all " + std::to_string(kShmMaxReaders) + " reader slots of " + name +
+                           " are claimed"};
+}
+
+ShmSnapshotReader::~ShmSnapshotReader() {
+  if (segment_ != nullptr) {
+    ShmReaderSlot* slot = reader_slot();
+    slot->pinned_generation.store(0, std::memory_order_seq_cst);
+    slot->pid.store(0, std::memory_order_seq_cst);
+  }
+}
+
+ShmControl* ShmSnapshotReader::control() const {
+  return reinterpret_cast<ShmControl*>(segment_->data());
+}
+
+ShmReaderSlot* ShmSnapshotReader::reader_slot() const {
+  return reinterpret_cast<ShmReaderSlot*>(segment_->bytes() + kShmControlBytes) + slot_;
+}
+
+common::Result<ShmEpochHeader> ShmSnapshotReader::AdoptNewestHeader() const {
+  ShmEpochHeader best;
+  bool any = false;
+  for (int s = 0; s < 2; ++s) {
+    ShmEpochHeader candidate;
+    std::memcpy(&candidate,
+                segment_->bytes() + kShmHeaderOffset +
+                    static_cast<size_t>(s) * kShmHeaderSlotBytes,
+                sizeof(candidate));
+    if (ValidHeader(candidate, segment_->size()) &&
+        (!any || candidate.generation > best.generation)) {
+      best = candidate;
+      any = true;
+    }
+  }
+  if (!any) {
+    return common::Error{common::ErrorCode::kFailedPrecondition,
+                         "no epoch published yet in " + segment_->name()};
+  }
+  return best;
+}
+
+common::Result<ShmEpochView> ShmSnapshotReader::Acquire() {
+  FOCUS_CHECK(!view_outstanding_);  // One pin slot: release the view first.
+  ShmReaderSlot* slot = reader_slot();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto header = AdoptNewestHeader();
+    if (!header.ok()) {
+      return header.error();
+    }
+    const uint64_t g = header->generation;
+    // Pin-then-verify: publish the pin, then re-check that the region still
+    // holds this generation. If the writer claimed it in between, its pin
+    // scan may have missed us — back off and re-adopt the newer epoch.
+    slot->pinned_generation.store(g, std::memory_order_seq_cst);
+    if (control()->regions[header->region_index].generation.load(std::memory_order_seq_cst) !=
+        g) {
+      slot->pinned_generation.store(0, std::memory_order_seq_cst);
+      metrics_->IncrementCounter("shm.pin_retries");
+      continue;
+    }
+    if (validated_generation_ != g) {
+      // One payload CRC per freshly seen generation; every query against the
+      // pinned view afterwards is pure scan. A mismatch means a forced
+      // eviction beat our pin (or genuine corruption) — retry on the newest.
+      const char* base = segment_->bytes() + header->region_offset;
+      if (storage::Crc32(std::string_view(
+              base, static_cast<size_t>(header->payload_bytes))) != header->payload_crc) {
+        slot->pinned_generation.store(0, std::memory_order_seq_cst);
+        metrics_->IncrementCounter("shm.pin_retries");
+        continue;
+      }
+      validated_generation_ = g;
+    }
+    view_outstanding_ = true;
+    metrics_->IncrementCounter("shm.epoch_pins");
+    return ShmEpochView(this, *header);
+  }
+  return common::Error{common::ErrorCode::kUnavailable,
+                       "could not pin an epoch in " + segment_->name() +
+                           " (publisher outpaced the reader)"};
+}
+
+common::Result<ShmModelProvenance> ShmSnapshotReader::Provenance() const {
+  auto header = AdoptNewestHeader();
+  if (!header.ok()) {
+    return header.error();
+  }
+  return header->provenance;
+}
+
+void ShmSnapshotReader::Release(uint64_t generation) {
+  (void)generation;
+  reader_slot()->pinned_generation.store(0, std::memory_order_seq_cst);
+  view_outstanding_ = false;
+}
+
+ShmPlaneStats ShmSnapshotReader::stats() const { return StatsOf(*segment_); }
+
+// --- ShmEpochView ---
+
+ShmEpochView::ShmEpochView(ShmEpochView&& other) noexcept
+    : reader_(other.reader_),
+      header_(other.header_),
+      postings_built_(other.postings_built_),
+      postings_(std::move(other.postings_)) {
+  other.reader_ = nullptr;
+  other.postings_built_ = false;
+}
+
+ShmEpochView& ShmEpochView::operator=(ShmEpochView&& other) noexcept {
+  if (this != &other) {
+    if (reader_ != nullptr) {
+      reader_->Release(header_.generation);
+    }
+    reader_ = other.reader_;
+    header_ = other.header_;
+    postings_built_ = other.postings_built_;
+    postings_ = std::move(other.postings_);
+    other.reader_ = nullptr;
+    other.postings_built_ = false;
+  }
+  return *this;
+}
+
+ShmEpochView::~ShmEpochView() {
+  if (reader_ != nullptr) {
+    reader_->Release(header_.generation);
+  }
+}
+
+bool ShmEpochView::StillValid() const {
+  return reader_ != nullptr &&
+         reader_->control()->regions[header_.region_index].generation.load(
+             std::memory_order_seq_cst) == header_.generation;
+}
+
+const ShmClusterRecord* ShmEpochView::clusters() const {
+  return reinterpret_cast<const ShmClusterRecord*>(
+      reader_->segment_->bytes() + header_.region_offset + header_.off_clusters);
+}
+
+const ShmMemberRun* ShmEpochView::members() const {
+  return reinterpret_cast<const ShmMemberRun*>(reader_->segment_->bytes() +
+                                               header_.region_offset + header_.off_members);
+}
+
+const int32_t* ShmEpochView::classes() const {
+  return reinterpret_cast<const int32_t*>(reader_->segment_->bytes() +
+                                          header_.region_offset + header_.off_classes);
+}
+
+const int32_t* ShmEpochView::ranks() const {
+  return reinterpret_cast<const int32_t*>(reader_->segment_->bytes() +
+                                          header_.region_offset + header_.off_ranks);
+}
+
+const float* ShmEpochView::centroids() const {
+  return reinterpret_cast<const float*>(reader_->segment_->bytes() + header_.region_offset +
+                                        header_.off_centroids);
+}
+
+ShmQueryPlan ShmEpochView::Plan(common::ClassId cls, int kx, common::TimeRange range,
+                                const cnn::Cnn& ingest_cnn) const {
+  ShmQueryPlan plan;
+  plan.queried = cls;
+  plan.kx = kx;
+  plan.lookup = ingest_cnn.MapTrueLabel(cls);
+  plan.range_first = 0;
+  plan.range_last = std::numeric_limits<common::FrameIndex>::max();
+  const bool clip = range.begin_sec > 0.0 || range.end_sec >= 0.0;
+  if (clip) {
+    std::tie(plan.range_first, plan.range_last) = core::FrameBoundsOfRange(range, header_.fps);
+  }
+
+  // Posting-list lookup over the scan-derived postings (built once per view);
+  // the per-candidate rank test mirrors index::ClusterEntry::MatchesWithin.
+  if (!postings_built_) {
+    BuildPostings();
+  }
+  const auto it = postings_.find(plan.lookup);
+  if (it == postings_.end()) {
+    return plan;  // Not indexed under the lookup class at all.
+  }
+  for (const Posting& posting : it->second) {
+    if (kx > 0 && posting.rank > static_cast<int32_t>(kx)) {
+      continue;
+    }
+    plan.candidates.push_back(posting.record);
+  }
+  return plan;
+}
+
+void ShmEpochView::BuildPostings() const {
+  // One scan over the cluster records in id order — the index appends dense
+  // ids, so each per-class posting vector comes out in exactly the order the
+  // in-process plan walks. First occurrence of a class within a record
+  // decides; a rank table shorter than the class table admits every Kx
+  // (rank 0), both mirroring index::ClusterEntry::MatchesWithin.
+  const ShmClusterRecord* records = clusters();
+  const int32_t* class_section = classes();
+  const int32_t* rank_section = ranks();
+  for (uint64_t i = 0; i < header_.cluster_count; ++i) {
+    const ShmClusterRecord& record = records[i];
+    const int32_t* record_classes = class_section + record.classes_begin;
+    const bool ranked = record.ranks_count == record.classes_count;
+    for (uint64_t j = 0; j < record.classes_count; ++j) {
+      std::vector<Posting>& list = postings_[record_classes[j]];
+      if (!list.empty() && list.back().record == i) {
+        continue;  // A later duplicate never overrides the first occurrence.
+      }
+      list.push_back(
+          Posting{i, ranked ? rank_section[record.ranks_begin + j] : 0});
+    }
+  }
+  postings_built_ = true;
+}
+
+video::Detection ShmEpochView::MaterializeCentroid(uint64_t record) const {
+  FOCUS_CHECK(record < header_.cluster_count);
+  const ShmClusterRecord& rec = clusters()[record];
+  video::Detection detection;
+  detection.frame = rec.rep_frame;
+  detection.object_id = rec.rep_object_id;
+  detection.bbox = video::BBox{rec.bbox_x, rec.bbox_y, rec.bbox_w, rec.bbox_h};
+  detection.pixel_diff_suppressed = (rec.rep_flags & 1u) != 0;
+  detection.first_observation = (rec.rep_flags & 2u) != 0;
+  detection.true_class = rec.rep_true_class;
+  const float* row = centroids() + record * header_.dim;
+  detection.appearance.assign(row, row + header_.dim);
+  return detection;
+}
+
+core::QueryResult ShmEpochView::Resolve(const ShmQueryPlan& plan,
+                                        std::span<const common::ClassId> verdicts,
+                                        const cnn::Cnn& gt_cnn) const {
+  FOCUS_CHECK(verdicts.size() == plan.candidates.size());
+  core::QueryResult result;
+  result.queried = plan.queried;
+
+  // Term-by-term mirror of core::QueryEngine::Resolve: same accounting order,
+  // same clipping, same merge — so the fold is byte-identical no matter which
+  // side of the process boundary it runs on.
+  const ShmClusterRecord* records = clusters();
+  const ShmMemberRun* run_section = members();
+  std::vector<std::pair<common::FrameIndex, common::FrameIndex>> runs;
+  for (size_t i = 0; i < plan.candidates.size(); ++i) {
+    ++result.centroids_classified;
+    result.gpu_millis += gt_cnn.inference_cost_millis();
+    if (verdicts[i] != plan.queried) {
+      continue;
+    }
+    ++result.clusters_matched;
+    const ShmClusterRecord& record = records[plan.candidates[i]];
+    for (uint64_t m = 0; m < record.members_count; ++m) {
+      const ShmMemberRun& run = run_section[record.members_begin + m];
+      const common::FrameIndex first = std::max(run.first_frame, plan.range_first);
+      const common::FrameIndex last = std::min(run.last_frame, plan.range_last);
+      if (first > last) {
+        continue;
+      }
+      runs.emplace_back(first, last);
+    }
+  }
+  result.frame_runs = core::MergeFrameRuns(std::move(runs));
+  for (const auto& [first, last] : result.frame_runs) {
+    result.frames_returned += last - first + 1;
+  }
+  return result;
+}
+
+core::QueryResult ShmEpochView::Query(common::ClassId cls, int kx, common::TimeRange range,
+                                      const cnn::Cnn& ingest_cnn,
+                                      const cnn::Cnn& gt_cnn) const {
+  const ShmQueryPlan plan = Plan(cls, kx, range, ingest_cnn);
+  // Appearance-free classification through one reused stub: the GT-CNN
+  // verdict is a deterministic function of (object_id, frame, true_class) —
+  // the appearance feeds only the ingest-side feature path — so the query
+  // path copies nothing out of the mapping, and Cnn::Top1 (documented
+  // equivalent to Classify(d, 1).Top1(); the byte-identity property tests
+  // hold the equivalence) skips the per-candidate Top-K scratch.
+  const ShmClusterRecord* records = clusters();
+  video::Detection stub;
+  std::vector<common::ClassId> verdicts;
+  verdicts.reserve(plan.candidates.size());
+  for (uint64_t record : plan.candidates) {
+    const ShmClusterRecord& rec = records[record];
+    stub.frame = rec.rep_frame;
+    stub.object_id = rec.rep_object_id;
+    stub.bbox = video::BBox{rec.bbox_x, rec.bbox_y, rec.bbox_w, rec.bbox_h};
+    stub.pixel_diff_suppressed = (rec.rep_flags & 1u) != 0;
+    stub.first_observation = (rec.rep_flags & 2u) != 0;
+    stub.true_class = rec.rep_true_class;
+    verdicts.push_back(gt_cnn.Top1(stub));
+  }
+  return Resolve(plan, verdicts, gt_cnn);
+}
+
+}  // namespace focus::shm

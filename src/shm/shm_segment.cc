@@ -1,0 +1,94 @@
+#include "src/shm/shm_segment.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace focus::shm {
+
+namespace {
+
+common::Error IoError(const std::string& what) {
+  return common::Error{common::ErrorCode::kIo, what + ": " + std::strerror(errno)};
+}
+
+bool ValidName(const std::string& name) {
+  return name.size() > 1 && name.size() < 255 && name[0] == '/' &&
+         name.find('/', 1) == std::string::npos;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<SharedSegment>> SharedSegment::Create(const std::string& name,
+                                                                     size_t bytes) {
+  if (!ValidName(name)) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "shm name must be /<name> with no inner slashes: " + name};
+  }
+  if (bytes == 0) {
+    return common::Error{common::ErrorCode::kInvalidArgument, "shm segment size must be > 0"};
+  }
+  ::shm_unlink(name.c_str());  // Never adopt a stale layout; ENOENT is fine.
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) {
+    return IoError("shm_open(" + name + ")");
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const common::Error error = IoError("ftruncate(" + name + ")");
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return error;
+  }
+  void* data = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (data == MAP_FAILED) {
+    const common::Error error = IoError("mmap(" + name + ")");
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return error;
+  }
+  return std::unique_ptr<SharedSegment>(new SharedSegment(name, fd, data, bytes));
+}
+
+common::Result<std::unique_ptr<SharedSegment>> SharedSegment::Open(const std::string& name) {
+  if (!ValidName(name)) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "shm name must be /<name> with no inner slashes: " + name};
+  }
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) {
+    return errno == ENOENT
+               ? common::Error{common::ErrorCode::kNotFound, "no shm segment " + name}
+               : IoError("shm_open(" + name + ")");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    const common::Error error = IoError("fstat(" + name + ")");
+    ::close(fd);
+    return error;
+  }
+  const size_t bytes = static_cast<size_t>(st.st_size);
+  void* data = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (data == MAP_FAILED) {
+    const common::Error error = IoError("mmap(" + name + ")");
+    ::close(fd);
+    return error;
+  }
+  return std::unique_ptr<SharedSegment>(new SharedSegment(name, fd, data, bytes));
+}
+
+void SharedSegment::Unlink(const std::string& name) { ::shm_unlink(name.c_str()); }
+
+SharedSegment::~SharedSegment() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+}  // namespace focus::shm

@@ -1,0 +1,66 @@
+// POSIX shared-memory segment: the mapping primitive under the epoch plane.
+//
+// A SharedSegment is one named shm object (`shm_open`) mapped read-write into
+// this process. The creator sizes it once (`ftruncate`) and maps the whole
+// range up front; /dev/shm backs pages lazily on first touch, so a generously
+// sized segment costs only the bytes actually written. Fixing the size at
+// creation keeps every attached process's mapping stable for the segment's
+// lifetime — a pointer into the mapping never moves, which is what lets the
+// epoch plane hand out zero-copy views across processes (src/shm/epoch_plane.h
+// allocates regions append-only inside this fixed arena and re-points region
+// descriptors instead of ever growing the file).
+//
+// Lifetime: destroying a SharedSegment unmaps and closes but never unlinks —
+// the name outlives any one attach, which is the point of a multi-process
+// plane. Unlink(name) removes the name explicitly (the owner's teardown);
+// attached mappings survive an unlink until they detach, per POSIX.
+#ifndef FOCUS_SRC_SHM_SHM_SEGMENT_H_
+#define FOCUS_SRC_SHM_SHM_SEGMENT_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+
+namespace focus::shm {
+
+class SharedSegment {
+ public:
+  // Creates (or replaces) the shm object |name| at exactly |bytes| and maps
+  // it. |name| must start with '/' and contain no further slashes. An
+  // existing object of the same name is unlinked first so a restarted
+  // publisher never adopts a stale layout.
+  static common::Result<std::unique_ptr<SharedSegment>> Create(const std::string& name,
+                                                               size_t bytes);
+
+  // Attaches to an existing object and maps its current size.
+  static common::Result<std::unique_ptr<SharedSegment>> Open(const std::string& name);
+
+  // Removes |name| from the namespace (attached mappings stay valid).
+  static void Unlink(const std::string& name);
+
+  ~SharedSegment();
+
+  SharedSegment(const SharedSegment&) = delete;
+  SharedSegment& operator=(const SharedSegment&) = delete;
+
+  void* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& name() const { return name_; }
+
+  char* bytes() const { return static_cast<char*>(data_); }
+
+ private:
+  SharedSegment(std::string name, int fd, void* data, size_t size)
+      : name_(std::move(name)), fd_(fd), data_(data), size_(size) {}
+
+  std::string name_;
+  int fd_ = -1;
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace focus::shm
+
+#endif  // FOCUS_SRC_SHM_SHM_SEGMENT_H_

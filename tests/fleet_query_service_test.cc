@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -370,6 +371,182 @@ TEST_F(FleetQueryServiceTest, TinyCacheStaysBoundedAndCorrect) {
     EXPECT_LE(service.stats().cache_size, options.verdict_cache_capacity);
   }
   EXPECT_GT(service.stats().cache_evicted, 0);
+}
+
+// Federated fan-outs route through the same tenant queues as single-camera
+// traffic: a two-fan-out burst from tenant a drains in rounds interleaved
+// with tenant b's singles (visible as shared per-round submit instants on a
+// one-GPU cluster), and every result — federated and single — stays
+// byte-identical to its oracle.
+TEST_F(FleetQueryServiceTest, FederatedDrainsThroughTenantQueuesFairly) {
+  core::FederatedSelector east;
+  east.region = "east";
+  core::FederatedSelector hub;
+  hub.tag = "hub";
+  auto plan_east = fleet_->PlanFederated(dominant_class_, east);
+  auto plan_hub = fleet_->PlanFederated(dominant_class_, hub);
+  ASSERT_TRUE(plan_east.ok());
+  ASSERT_TRUE(plan_hub.ok());
+  const core::FleetQueryResult seq_east = fleet_->ExecuteFederatedSequential(*plan_east);
+  const core::FleetQueryResult seq_hub = fleet_->ExecuteFederatedSequential(*plan_hub);
+
+  // One GPU: the virtual frontier advances with every round's fresh work, so
+  // admission rounds are visible as strictly increasing submit times.
+  FleetQueryServiceOptions options;
+  options.num_gpus = 1;
+  FleetQueryService service(options);
+
+  const uint64_t fed_east = service.EnqueueFederated(*plan_east, "a");
+  const uint64_t fed_hub = service.EnqueueFederated(*plan_hub, "a");
+  std::vector<uint64_t> b_tickets;
+  for (int i = 20; i < 23; ++i) {
+    FleetQueryRequest request;
+    request.camera = CameraName(i);
+    request.tenant = "b";
+    request.query.stream = fleet_->Find(CameraName(i));
+    request.query.cls = dominant_class_;
+    b_tickets.push_back(service.Enqueue(request));
+  }
+  const auto depths = service.QueueDepths();
+  ASSERT_EQ(depths.size(), 2u);
+  EXPECT_EQ(depths.at("a"), 2u);  // A fan-out queues as ONE entry.
+  EXPECT_EQ(depths.at("b"), 3u);
+
+  // Rounds: {fed_east, b1}, {fed_hub, b2}, {b3}.
+  const auto drained = service.DrainAdmitted();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].first, b_tickets[0]);
+  EXPECT_EQ(drained[1].first, b_tickets[1]);
+  EXPECT_EQ(drained[2].first, b_tickets[2]);
+  EXPECT_TRUE(service.QueueDepths().empty());
+
+  auto east_exec = service.TakeFederated(fed_east);
+  auto hub_exec = service.TakeFederated(fed_hub);
+  ASSERT_TRUE(east_exec.has_value());
+  ASSERT_TRUE(hub_exec.has_value());
+  ASSERT_FALSE(east_exec->error.has_value());
+  ASSERT_FALSE(hub_exec->error.has_value());
+  ExpectSameFleetResult(east_exec->result, seq_east);
+  ExpectSameFleetResult(hub_exec->result, seq_hub);
+  EXPECT_FALSE(service.TakeFederated(fed_east).has_value());  // Claimed once.
+  EXPECT_FALSE(service.TakeFederated(99999).has_value());
+
+  // Fairness in virtual time: round members share a submit instant, rounds
+  // submit strictly later than their predecessors — tenant a's burst never
+  // pushes tenant b's queue behind both fan-outs.
+  EXPECT_DOUBLE_EQ(east_exec->submit_millis, drained[0].second.submit_millis);
+  EXPECT_DOUBLE_EQ(hub_exec->submit_millis, drained[1].second.submit_millis);
+  EXPECT_LT(east_exec->submit_millis, hub_exec->submit_millis);
+  EXPECT_LT(drained[1].second.submit_millis, drained[2].second.submit_millis);
+
+  // Admission order never changes results.
+  for (size_t i = 0; i < drained.size(); ++i) {
+    ASSERT_FALSE(drained[i].second.error.has_value());
+    ExpectSameQueryResult(drained[i].second.result,
+                          fleet_->Find(CameraName(20 + static_cast<int>(i)))
+                              ->Query(dominant_class_));
+  }
+}
+
+// The striped verdict cache under concurrent warm traffic: once the fleet-wide
+// plan is cached, parallel single-camera requests answer entirely from their
+// stripes (zero launches, zero fresh GPU time) and stay byte-identical.
+TEST_F(FleetQueryServiceTest, StripedCacheAnswersConcurrentWarmTrafficIdentically) {
+  FleetQueryService service;
+  auto plan = fleet_->PlanFederated(dominant_class_);
+  ASSERT_TRUE(plan.ok());
+  const FederatedExecution cold = service.ExecuteFederated(*plan);
+  ASSERT_FALSE(cold.error.has_value());
+  const FleetServiceStats before = service.stats();
+
+  std::vector<core::QueryResult> direct;
+  int64_t warm_items = 0;
+  for (int i = 0; i < kNumCameras; ++i) {
+    direct.push_back(fleet_->Find(CameraName(i))->Query(dominant_class_));
+    warm_items += static_cast<int64_t>(fleet_->Find(CameraName(i))->Plan(dominant_class_).work.size());
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kPasses = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (int i = t; i < kNumCameras; i += kThreads) {
+          FleetQueryRequest request;
+          request.camera = CameraName(i);
+          request.query.stream = fleet_->Find(CameraName(i));
+          request.query.cls = dominant_class_;
+          const QueryExecution exec = service.Execute(request);
+          const core::QueryResult& want = direct[i];
+          const bool same = !exec.error.has_value() &&
+                            exec.result.queried == want.queried &&
+                            exec.result.frame_runs == want.frame_runs &&
+                            exec.result.centroids_classified == want.centroids_classified &&
+                            exec.result.clusters_matched == want.clusters_matched &&
+                            exec.result.frames_returned == want.frames_returned &&
+                            exec.result.gpu_millis == want.gpu_millis;
+          if (!same) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const FleetServiceStats after = service.stats();
+  EXPECT_EQ(after.cache_misses, before.cache_misses);  // Nothing fresh.
+  EXPECT_EQ(after.launches, before.launches);          // Fully-cached fast path.
+  EXPECT_DOUBLE_EQ(after.gpu_millis, before.gpu_millis);
+  EXPECT_EQ(after.cache_hits, before.cache_hits + kPasses * warm_items);
+  EXPECT_LE(after.cache_size, service.options().verdict_cache_capacity);
+}
+
+// Per-tenant admission accounting reaches the metrics registry: enqueue and
+// admit counters per tenant, live queue-depth gauges, and the fleet-wide
+// request/federated counters.
+TEST_F(FleetQueryServiceTest, PerTenantAdmissionMetricsSurface) {
+  MetricsRegistry metrics;
+  FleetQueryService service({}, &metrics);
+
+  for (int i = 3; i < 5; ++i) {
+    FleetQueryRequest request;
+    request.camera = CameraName(i);
+    request.tenant = "ops";
+    request.query.stream = fleet_->Find(CameraName(i));
+    request.query.cls = dominant_class_;
+    service.Enqueue(request);
+  }
+  core::FederatedSelector east;
+  east.region = "east";
+  auto plan = fleet_->PlanFederated(dominant_class_, east);
+  ASSERT_TRUE(plan.ok());
+  const uint64_t fed = service.EnqueueFederated(*plan, "analysts");
+
+  EXPECT_EQ(metrics.counter("fleet.enqueued"), 3);
+  EXPECT_EQ(metrics.counter("fleet.tenant.ops.enqueued"), 2);
+  EXPECT_EQ(metrics.counter("fleet.tenant.analysts.enqueued"), 1);
+  EXPECT_DOUBLE_EQ(metrics.gauge("fleet.tenant.ops.queue_depth"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("fleet.tenant.analysts.queue_depth"), 1.0);
+
+  const auto drained = service.DrainAdmitted();
+  EXPECT_EQ(drained.size(), 2u);
+  ASSERT_TRUE(service.TakeFederated(fed).has_value());
+
+  EXPECT_EQ(metrics.counter("fleet.tenant.ops.admitted"), 2);
+  EXPECT_EQ(metrics.counter("fleet.tenant.analysts.admitted"), 1);
+  EXPECT_DOUBLE_EQ(metrics.gauge("fleet.tenant.ops.queue_depth"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("fleet.tenant.analysts.queue_depth"), 0.0);
+  EXPECT_EQ(metrics.counter("fleet.requests"), 2);
+  EXPECT_EQ(metrics.counter("fleet.federated_queries"), 1);
+  EXPECT_EQ(metrics.counter("fleet.federated_cameras"),
+            static_cast<int64_t>(plan->cameras.size()));
+  EXPECT_GT(metrics.counter("fleet.admissions"), 0);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // errors), request handling against a real one-camera fleet, payload framing, and
 // concurrent read-only query handling through a worker pool.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <set>
@@ -79,6 +80,31 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   EXPECT_FALSE(ParseRequest("QUERY REGION r").ok());        // REGION without class.
   EXPECT_FALSE(ParseRequest("QUERY a,,b car").ok());        // Empty name in list.
   EXPECT_FALSE(ParseRequest("QUERY cam car TENANT").ok());  // Option without value.
+}
+
+TEST(ProtocolTest, ParsesShmForms) {
+  auto attach = ParseRequest("SHM ATTACH /focus_plane");
+  ASSERT_TRUE(attach.ok());
+  EXPECT_EQ(attach->verb, Verb::kShm);
+  EXPECT_EQ(attach->shm_op, "ATTACH");
+  EXPECT_EQ(attach->shm_name, "/focus_plane");
+
+  auto one = ParseRequest("SHM STATUS /focus_plane");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->verb, Verb::kShm);
+  EXPECT_EQ(one->shm_op, "STATUS");
+  EXPECT_EQ(one->shm_name, "/focus_plane");
+
+  auto all = ParseRequest("SHM STATUS");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->shm_op, "STATUS");
+  EXPECT_TRUE(all->shm_name.empty());
+
+  EXPECT_FALSE(ParseRequest("SHM").ok());                       // Missing op.
+  EXPECT_FALSE(ParseRequest("SHM ATTACH").ok());                // Missing segment.
+  EXPECT_FALSE(ParseRequest("SHM ATTACH /a /b").ok());          // Trailing junk.
+  EXPECT_FALSE(ParseRequest("SHM STATUS /a extra").ok());       // Trailing junk.
+  EXPECT_FALSE(ParseRequest("SHM DETACH /a").ok());             // Unknown op.
 }
 
 TEST(ProtocolTest, ParsesFederatedForms) {
@@ -290,6 +316,46 @@ TEST_F(QueryServerTest, ConcurrentQueriesAreConsistent) {
     pool.Drain();
   }
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// SHM verb lifecycle against a real epoch plane: attach reports the plane's
+// generation, duplicate attaches and unknown segments are framed errors, and
+// STATUS tracks publishes that happen after the attach.
+TEST_F(QueryServerTest, ShmAttachAndStatusTrackThePlane) {
+  const std::string name = "/focus_server_shm_" + std::to_string(::getpid());
+  auto publisher = shm::EpochPublisher::Create(name);
+  ASSERT_TRUE(publisher.ok()) << publisher.error().message;
+  (*publisher)->UnlinkOnDestroy(true);
+  core::LiveSnapshot snapshot;  // Empty plane image: the verb only reads stats.
+  snapshot.epoch = 1;
+  snapshot.watermark = 60;
+  snapshot.fps = 30.0;
+  ASSERT_TRUE((*publisher)->Publish(snapshot).ok());
+  snapshot.epoch = 2;
+  ASSERT_TRUE((*publisher)->Publish(snapshot).ok());
+
+  runtime::MetricsRegistry metrics;
+  QueryServer server(fleet_, catalog_, &metrics);
+  EXPECT_EQ(server.HandleLine("SHM STATUS"), "OK 0");  // Nothing attached yet.
+  EXPECT_EQ(server.HandleLine("SHM STATUS " + name).rfind("ERR NotFound", 0), 0u);
+
+  const std::string attached = server.HandleLine("SHM ATTACH " + name);
+  EXPECT_EQ(attached.rfind("OK ATTACHED " + name + " GEN 2 EPOCHS 2 READERS 1 ATTACHES 1", 0),
+            0u)
+      << attached;
+  EXPECT_EQ(server.HandleLine("SHM ATTACH " + name).rfind("ERR FailedPrecondition", 0), 0u);
+
+  // A publish after the attach shows up in STATUS without re-attaching.
+  snapshot.epoch = 3;
+  ASSERT_TRUE((*publisher)->Publish(snapshot).ok());
+  const std::string status = server.HandleLine("SHM STATUS " + name);
+  EXPECT_EQ(status.rfind("OK " + name + " GEN 3 EPOCHS 3", 0), 0u) << status;
+  const std::string listing = server.HandleLine("SHM STATUS");
+  EXPECT_EQ(listing.rfind("OK 1\n" + name + " GEN 3", 0), 0u) << listing;
+
+  EXPECT_EQ(server.HandleLine("SHM ATTACH /focus_no_such_plane").rfind("ERR ", 0), 0u);
+  EXPECT_EQ(metrics.counter("server.shm_attaches"), 1);
+  EXPECT_EQ(metrics.counter("server.shm_attach_errors"), 1);
 }
 
 }  // namespace

@@ -7,8 +7,12 @@
 #                      oracle, verdict cache, weighted-fair admission) so the
 #                      serving-runtime gate is named even if labels reshuffle.
 #   2. chaos gate    - `ctest -L fault` (deterministic fault-injection sweeps)
-#                      in a FOCUS_SANITIZE=address build, so every injected
-#                      failure path also runs leak- and overflow-checked.
+#                      and `ctest -L shm` (the shared-memory serving plane:
+#                      cross-process byte-identity, pin protocol, reader-crash
+#                      isolation — docs/shm_serving.md) in a
+#                      FOCUS_SANITIZE=address build, so every injected failure
+#                      path and every mapped-memory path also runs leak- and
+#                      overflow-checked.
 #   3. bench gate    - `bench/run_benches.sh --check`: the tracked perf
 #                      guardrails, including bench_chaos's no-fault overhead
 #                      of the robustness machinery.
@@ -37,13 +41,15 @@ ctest --test-dir "$BUILD_DIR" -L fleet --output-on-failure
 if [ "${FOCUS_SKIP_ASAN:-0}" = "1" ]; then
   echo "== gate 2/3: SKIPPED (FOCUS_SKIP_ASAN=1) =="
 else
-  echo "== gate 2/3: chaos suite under AddressSanitizer =="
+  echo "== gate 2/3: chaos + shm suites under AddressSanitizer =="
   cmake -S "$REPO_DIR" -B "$ASAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFOCUS_SANITIZE=address
-  # Only the fault-labeled suites are needed; build just their targets.
+  # Only the fault- and shm-labeled suites are needed; build just their targets.
   cmake --build "$ASAN_DIR" -j"$JOBS" \
-    --target fault_injection_test chaos_ingest_test flaky_stream_test
+    --target fault_injection_test chaos_ingest_test flaky_stream_test \
+    shm_serving_test
   ctest --test-dir "$ASAN_DIR" -L fault --output-on-failure
+  ctest --test-dir "$ASAN_DIR" -L shm --output-on-failure
 fi
 
 echo "== gate 3/3: bench guardrails =="
