@@ -12,6 +12,7 @@ Guardrail rows, matched per config:
   BENCH_chaos.json           overhead[].wrapped_over_direct (lower is better)
   BENCH_fleet_serving.json   fleets[].saving               (higher is better)
   BENCH_shm_serving.json     shm_serving[].shm_over_inproc (lower is better)
+  BENCH_proc_serving.json    proc_serving[].supervised_over_direct (lower is better)
 
 sharded_ingest's fast-mode rows sit at parity by design (the per-object cache
 absorbs the scan the shards would parallelize) and their sub-2us timings swing
@@ -142,6 +143,14 @@ def main():
         # in-process) are gated unconditionally like every bench's.
         ("BENCH_shm_serving.json", "shm_serving", ["duration_sec"], "shm_over_inproc", False,
          lambda row: row.get("gated") is True),
+        # Supervised multi-process serving (docs/shm_serving.md): no-fault wall
+        # of a query through SupervisedWorkerPool::Call over the raw
+        # WorkerProcessPool RPC, same shm-query handler and deadline. The bench
+        # itself hard-fails past 1.05x; the tolerance gates drift. `identical`
+        # (both paths byte-identical to the parent's mapped answer, zero
+        # supervision events) is gated unconditionally like every bench's.
+        ("BENCH_proc_serving.json", "proc_serving", ["workers"], "supervised_over_direct", False,
+         None),
     ]
     for filename, section, key_fields, metric, higher, row_filter in pairs:
         fresh = load(f"{fresh_dir}/{filename}")

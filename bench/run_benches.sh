@@ -11,7 +11,8 @@
 # regression of the guardrail rows (cluster_assign/sharded_ingest `speedup`,
 # query_batch `gpu_millis`, arena_resume `gpu_ratio`, live_query
 # `publish_overhead`, chaos `wrapped_over_direct`, fleet_serving `saving`,
-# shm_serving `shm_over_inproc`) or on any bench whose
+# shm_serving `shm_over_inproc`, proc_serving `supervised_over_direct`) or on
+# any bench whose
 # `identical` flag went false — the perf trajectory is enforceable, not just
 # recorded (see bench/check_bench_regression.py). A failed check re-runs the
 # benches once and only fails if the regression reproduces: wall-clock ratios
@@ -41,6 +42,7 @@ run_benches() {
   ./bench_chaos
   ./bench_fleet_serving
   ./bench_shm_serving
+  ./bench_proc_serving
 }
 run_benches
 

@@ -21,6 +21,14 @@
 // through the same site interleave nondeterministically. The chaos suites pin the
 // fault-bearing paths to one thread (single ingest worker, sequential checkpoint);
 // see docs/robustness.md.
+//
+// Process-boundary caveat: a forked worker inherits the plan armed at fork time
+// with its own copy of the hit counters. The worker-pool sites exploit both
+// halves: proc.spawn / proc.rpc.send / proc.rpc.recv count in the parent
+// (arm after Start to leave children clean), while proc.handler counts in each
+// child (arm before Start; every worker carries it) — firing it makes the
+// worker write a torn frame and _exit, the crash the supervision layer must
+// absorb (src/runtime/worker_process_pool.cc, docs/robustness.md).
 #ifndef FOCUS_SRC_COMMON_FAULT_INJECTION_H_
 #define FOCUS_SRC_COMMON_FAULT_INJECTION_H_
 

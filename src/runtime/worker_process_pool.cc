@@ -1,73 +1,127 @@
 #include "src/runtime/worker_process_pool.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstdint>
 #include <cstring>
 
-#include "src/common/logging.h"
+#include "src/common/fault_injection.h"
 
 namespace focus::runtime {
 
 namespace {
 
-// Full-buffer send/recv over a SOCK_STREAM socketpair. MSG_NOSIGNAL turns a
-// peer death into EPIPE instead of SIGPIPE — a dead worker must be an error
-// code, never a signal into the caller.
-bool SendAll(int fd, const void* data, size_t bytes) {
+// Wait for |fd| to become ready for |events| within the deadline. kTimeout
+// when the budget runs out; kOk when ready (including POLLHUP/POLLERR — the
+// subsequent send/recv reports the actual condition).
+FrameStatus WaitReady(int fd, short events, const CallDeadline& deadline) {
+  while (true) {
+    const int left = deadline.remaining_millis();
+    if (deadline.enabled() && left == 0) {
+      return FrameStatus::kTimeout;
+    }
+    struct pollfd p;
+    p.fd = fd;
+    p.events = events;
+    p.revents = 0;
+    const int r = ::poll(&p, 1, deadline.enabled() ? left : -1);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return FrameStatus::kClosed;
+    }
+    if (r > 0) {
+      return FrameStatus::kOk;
+    }
+    // r == 0: poll timed out; loop re-checks the deadline and exits.
+  }
+}
+
+// Full-buffer send over a SOCK_STREAM socketpair. MSG_NOSIGNAL turns a peer
+// death into EPIPE instead of SIGPIPE — a dead worker must be an error code,
+// never a signal into the caller. MSG_DONTWAIT keeps the fd's blocking mode
+// out of the picture: every wait goes through WaitReady's poll(), so the
+// deadline binds whether the caller handed us a blocking fd or not.
+FrameStatus SendAll(int fd, const void* data, size_t bytes, const CallDeadline& deadline) {
   const char* at = static_cast<const char*>(data);
   while (bytes > 0) {
-    const ssize_t n = ::send(fd, at, bytes, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
-      return false;
+    const ssize_t n = ::send(fd, at, bytes, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      at += n;
+      bytes -= static_cast<size_t>(n);
+      continue;
     }
-    at += n;
-    bytes -= static_cast<size_t>(n);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const FrameStatus ready = WaitReady(fd, POLLOUT, deadline);
+      if (ready != FrameStatus::kOk) {
+        return ready;
+      }
+      continue;
+    }
+    return FrameStatus::kClosed;  // EPIPE/ECONNRESET: the conversation is over.
   }
-  return true;
+  return FrameStatus::kOk;
 }
 
-bool RecvAll(int fd, void* data, size_t bytes) {
+// Full-buffer recv. |*consumed| reports whether any byte arrived before a
+// failure — the frame layer uses it to tell an orderly close from a torn
+// frame.
+FrameStatus RecvExact(int fd, void* data, size_t bytes, const CallDeadline& deadline,
+                      bool* consumed) {
+  *consumed = false;
   char* at = static_cast<char*>(data);
   while (bytes > 0) {
-    const ssize_t n = ::recv(fd, at, bytes, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
-      return false;  // 0 = orderly EOF; either way the conversation is over.
+    const ssize_t n = ::recv(fd, at, bytes, MSG_DONTWAIT);
+    if (n > 0) {
+      *consumed = true;
+      at += n;
+      bytes -= static_cast<size_t>(n);
+      continue;
     }
-    at += n;
-    bytes -= static_cast<size_t>(n);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const FrameStatus ready = WaitReady(fd, POLLIN, deadline);
+      if (ready != FrameStatus::kOk) {
+        return ready;
+      }
+      continue;
+    }
+    return FrameStatus::kClosed;  // 0 = orderly EOF; <0 = reset.
   }
-  return true;
+  return FrameStatus::kOk;
 }
 
-bool SendFrame(int fd, const std::string& payload) {
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  return SendAll(fd, &len, sizeof(len)) && SendAll(fd, payload.data(), payload.size());
-}
-
-bool RecvFrame(int fd, std::string* payload) {
-  uint32_t len = 0;
-  if (!RecvAll(fd, &len, sizeof(len))) {
-    return false;
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   }
-  payload->resize(len);
-  return len == 0 || RecvAll(fd, payload->data(), len);
 }
 
 [[noreturn]] void WorkerLoop(int fd, const WorkerProcessPool::Handler& handler) {
   std::string request;
-  while (RecvFrame(fd, &request)) {
-    if (!SendFrame(fd, handler(request))) {
+  while (RecvFrame(fd, &request, CallDeadline::None()) == FrameStatus::kOk) {
+    if (common::FaultPoint("proc.handler")) {
+      // Injected handler crash mid-reply: announce an 8-byte frame, deliver
+      // half of it, and die without destructors. The parent must classify
+      // this as a typed torn frame (kIo), never hang or trust the bytes.
+      const uint32_t len = 8;
+      ::send(fd, &len, sizeof(len), MSG_NOSIGNAL);
+      ::send(fd, "torn", 4, MSG_NOSIGNAL);
+      ::_exit(3);
+    }
+    if (SendFrame(fd, handler(request), CallDeadline::None()) != FrameStatus::kOk) {
       break;
     }
   }
@@ -78,57 +132,178 @@ bool RecvFrame(int fd, std::string* payload) {
 
 }  // namespace
 
+int CallDeadline::remaining_millis() const {
+  if (!enabled_) {
+    return -1;
+  }
+  const auto left = at_ - std::chrono::steady_clock::now();
+  if (left <= std::chrono::steady_clock::duration::zero()) {
+    return 0;
+  }
+  const auto millis = std::chrono::ceil<std::chrono::milliseconds>(left).count();
+  return millis > 3600000 ? 3600000 : static_cast<int>(millis);
+}
+
+const char* FrameStatusName(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk:
+      return "Ok";
+    case FrameStatus::kClosed:
+      return "Closed";
+    case FrameStatus::kTorn:
+      return "Torn";
+    case FrameStatus::kOversize:
+      return "Oversize";
+    case FrameStatus::kTimeout:
+      return "Timeout";
+  }
+  return "Unknown";
+}
+
+FrameStatus SendFrame(int fd, const std::string& payload, const CallDeadline& deadline) {
+  if (payload.size() > kMaxFrameBytes) {
+    return FrameStatus::kOversize;
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const FrameStatus prefix = SendAll(fd, &len, sizeof(len), deadline);
+  if (prefix != FrameStatus::kOk) {
+    return prefix;
+  }
+  return SendAll(fd, payload.data(), payload.size(), deadline);
+}
+
+FrameStatus RecvFrame(int fd, std::string* payload, const CallDeadline& deadline) {
+  uint32_t len = 0;
+  bool consumed = false;
+  const FrameStatus prefix = RecvExact(fd, &len, sizeof(len), deadline, &consumed);
+  if (prefix != FrameStatus::kOk) {
+    // EOF after part of the length prefix is already a torn frame.
+    return (prefix == FrameStatus::kClosed && consumed) ? FrameStatus::kTorn : prefix;
+  }
+  if (len > kMaxFrameBytes) {
+    return FrameStatus::kOversize;  // Corrupt prefix: refuse before allocating.
+  }
+  payload->resize(len);
+  if (len == 0) {
+    return FrameStatus::kOk;
+  }
+  const FrameStatus body = RecvExact(fd, payload->data(), len, deadline, &consumed);
+  if (body == FrameStatus::kClosed) {
+    return FrameStatus::kTorn;  // The length promised bytes that never came.
+  }
+  return body;
+}
+
 WorkerProcessPool::~WorkerProcessPool() { Shutdown(); }
+
+common::Result<std::monostate> WorkerProcessPool::SpawnAt(int index) {
+  if (common::FaultPoint("proc.spawn")) {
+    return common::Unavailable("injected: spawn fault for worker " + std::to_string(index));
+  }
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return common::IoError(std::string("socketpair: ") + std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return common::IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    for (const Worker& sibling : workers_) {
+      if (sibling.fd >= 0) {
+        ::close(sibling.fd);  // Keep sibling EOFs crisp: one parent fd each.
+      }
+    }
+    WorkerLoop(fds[1], handler_);
+  }
+  ::close(fds[1]);
+  SetNonBlocking(fds[0]);  // Parent-side waits go through poll().
+  workers_[index] = Worker{pid, fds[0], false};
+  return std::monostate{};
+}
 
 common::Result<std::monostate> WorkerProcessPool::Start(int num_workers, Handler handler) {
   if (!workers_.empty()) {
     return common::FailedPrecondition("worker pool already started");
   }
-  FOCUS_CHECK(num_workers > 0);
+  if (num_workers <= 0) {
+    return common::InvalidArgument("num_workers must be > 0, got " +
+                                   std::to_string(num_workers));
+  }
+  handler_ = std::move(handler);
+  workers_.assign(num_workers, Worker{-1, -1, true});
   for (int i = 0; i < num_workers; ++i) {
-    int fds[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    auto spawned = SpawnAt(i);
+    if (!spawned.ok()) {
       Shutdown();
-      return common::IoError(std::string("socketpair: ") + std::strerror(errno));
+      return spawned;
     }
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(fds[0]);
-      ::close(fds[1]);
-      Shutdown();
-      return common::IoError(std::string("fork: ") + std::strerror(errno));
-    }
-    if (pid == 0) {
-      ::close(fds[0]);
-      for (const Worker& sibling : workers_) {
-        ::close(sibling.fd);  // Keep sibling EOFs crisp: one parent fd each.
-      }
-      WorkerLoop(fds[1], handler);
-    }
-    ::close(fds[1]);
-    workers_.push_back(Worker{pid, fds[0], false});
   }
   return std::monostate{};
 }
 
-common::Result<std::string> WorkerProcessPool::Call(int index, const std::string& request) {
-  FOCUS_CHECK(index >= 0 && index < size());
+common::Result<std::string> WorkerProcessPool::Call(int index, const std::string& request,
+                                                    int deadline_millis) {
+  if (workers_.empty()) {
+    return common::FailedPrecondition("worker pool is not running");
+  }
+  if (index < 0 || index >= size()) {
+    return common::InvalidArgument("worker index " + std::to_string(index) +
+                                   " out of range [0, " + std::to_string(size()) + ")");
+  }
+  if (request.size() > kMaxFrameBytes) {
+    return common::InvalidArgument("request of " + std::to_string(request.size()) +
+                                   " bytes exceeds frame cap");
+  }
   Worker& worker = workers_[index];
   if (worker.fd < 0) {
     return common::Unavailable("worker " + std::to_string(index) + " is shut down");
   }
-  std::string response;
-  if (!SendFrame(worker.fd, request) || !RecvFrame(worker.fd, &response)) {
-    return common::Unavailable("worker " + std::to_string(index) + " (pid " +
-                               std::to_string(worker.pid) + ") died mid-call");
+  const std::string who =
+      "worker " + std::to_string(index) + " (pid " + std::to_string(worker.pid) + ")";
+  const CallDeadline deadline = CallDeadline::After(deadline_millis);
+  if (common::FaultPoint("proc.rpc.send")) {
+    return common::IoError("injected: rpc send fault to " + who);
   }
-  return response;
+  const FrameStatus sent = SendFrame(worker.fd, request, deadline);
+  if (sent == FrameStatus::kTimeout) {
+    return common::Timeout(who + " did not accept the request within " +
+                           std::to_string(deadline_millis) + " ms");
+  }
+  if (sent != FrameStatus::kOk) {
+    return common::Unavailable(who + " died mid-call");
+  }
+  if (common::FaultPoint("proc.rpc.recv")) {
+    // The request is already in flight; the reply will strand in the socket.
+    return common::IoError("injected: rpc recv fault from " + who);
+  }
+  std::string response;
+  switch (RecvFrame(worker.fd, &response, deadline)) {
+    case FrameStatus::kOk:
+      return response;
+    case FrameStatus::kTimeout:
+      return common::Timeout(who + " exceeded the " + std::to_string(deadline_millis) +
+                             " ms call deadline");
+    case FrameStatus::kTorn:
+      return common::IoError("torn frame from " + who + ": short read mid-frame");
+    case FrameStatus::kOversize:
+      return common::IoError("oversized frame from " + who + ": length prefix exceeds " +
+                             std::to_string(kMaxFrameBytes) + " bytes");
+    case FrameStatus::kClosed:
+    default:
+      return common::Unavailable(who + " died mid-call");
+  }
 }
 
 bool WorkerProcessPool::Alive(int index) {
-  FOCUS_CHECK(index >= 0 && index < size());
+  if (index < 0 || index >= size()) {
+    return false;
+  }
   Worker& worker = workers_[index];
-  if (worker.reaped) {
+  if (worker.reaped || worker.pid <= 0) {
     return false;
   }
   const pid_t r = ::waitpid(worker.pid, nullptr, WNOHANG);
@@ -140,9 +315,11 @@ bool WorkerProcessPool::Alive(int index) {
 }
 
 void WorkerProcessPool::Kill(int index) {
-  FOCUS_CHECK(index >= 0 && index < size());
+  if (index < 0 || index >= size()) {
+    return;
+  }
   Worker& worker = workers_[index];
-  if (worker.reaped) {
+  if (worker.reaped || worker.pid <= 0) {
     return;
   }
   ::kill(worker.pid, SIGKILL);
@@ -150,8 +327,29 @@ void WorkerProcessPool::Kill(int index) {
   worker.reaped = true;
 }
 
+common::Result<std::monostate> WorkerProcessPool::Respawn(int index) {
+  if (workers_.empty()) {
+    return common::FailedPrecondition("worker pool is not running");
+  }
+  if (index < 0 || index >= size()) {
+    return common::InvalidArgument("worker index " + std::to_string(index) +
+                                   " out of range [0, " + std::to_string(size()) + ")");
+  }
+  Kill(index);
+  Worker& worker = workers_[index];
+  if (worker.fd >= 0) {
+    ::close(worker.fd);
+    worker.fd = -1;
+  }
+  worker.pid = -1;
+  worker.reaped = true;
+  return SpawnAt(index);
+}
+
 pid_t WorkerProcessPool::worker_pid(int index) const {
-  FOCUS_CHECK(index >= 0 && index < size());
+  if (index < 0 || index >= size()) {
+    return -1;
+  }
   return workers_[index].pid;
 }
 
@@ -169,6 +367,7 @@ void WorkerProcessPool::Shutdown() {
     }
   }
   workers_.clear();
+  handler_ = nullptr;
 }
 
 }  // namespace focus::runtime

@@ -11,13 +11,31 @@
 // and the crash-isolation tests honest (they kill real processes).
 //
 // Protocol: u32 little-endian length prefix + payload, one in flight per
-// worker (Call is synchronous). EOF on the parent side of the socket is the
+// worker (Call is synchronous). Frames are capped at kMaxFrameBytes; a length
+// prefix beyond the cap or a short read mid-frame (torn frame from a mid-write
+// crash) is a typed kIo error, never a hang or an unbounded allocation. Calls
+// may carry a deadline: the parent's socket end is non-blocking and every
+// send/recv waits through poll(), so a hung worker yields a typed kTimeout
+// instead of blocking the caller. EOF on the parent side of the socket is the
 // shutdown signal; the child answers requests until EOF, then _exit(0).
+//
+// This layer is mechanism only: it reports typed errors and can Respawn a
+// slot, but never decides to. Supervision — kill-on-timeout, restart budgets,
+// sibling retry, degradation — lives in SupervisedWorkerPool
+// (src/runtime/supervised_worker_pool.h).
+//
+// Fault sites (docs/robustness.md): `proc.spawn` fires in the parent on
+// Start/Respawn (fork denied), `proc.rpc.send` / `proc.rpc.recv` fire in the
+// parent around a Call's two halves, and `proc.handler` fires in the child,
+// which then writes a deliberately torn frame and _exits — the seeded stand-in
+// for a handler crashing mid-reply.
 #ifndef FOCUS_SRC_RUNTIME_WORKER_PROCESS_POOL_H_
 #define FOCUS_SRC_RUNTIME_WORKER_PROCESS_POOL_H_
 
 #include <sys/types.h>
 
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -25,6 +43,46 @@
 #include "src/common/result.h"
 
 namespace focus::runtime {
+
+// Upper bound on one frame's payload. Large enough for any encoded epoch
+// answer, small enough that a corrupt length prefix can never OOM the parent.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+// Outcome of one framed send/recv. kClosed is an orderly peer death (EOF
+// before any byte of a frame); kTorn is EOF or reset *mid-frame* — the peer
+// died while writing, and the bytes read so far must not be trusted.
+enum class FrameStatus { kOk, kClosed, kTorn, kOversize, kTimeout };
+
+const char* FrameStatusName(FrameStatus status);
+
+// Absolute wall-clock budget for one Call, shared by its send and recv halves.
+class CallDeadline {
+ public:
+  static CallDeadline None() { return CallDeadline{}; }
+  // millis < 0 means no deadline.
+  static CallDeadline After(int millis) {
+    CallDeadline d;
+    if (millis >= 0) {
+      d.enabled_ = true;
+      d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(millis);
+    }
+    return d;
+  }
+
+  bool enabled() const { return enabled_; }
+  // Whole milliseconds left (rounded up), clamped to >= 0; -1 when disabled.
+  int remaining_millis() const;
+
+ private:
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+// Wire helpers, exposed so the frame-handling regression tests can hammer
+// torn/oversize/closed cases over a raw socketpair. The fd may be blocking or
+// non-blocking; waits go through poll() bounded by |deadline|.
+FrameStatus SendFrame(int fd, const std::string& payload, const CallDeadline& deadline);
+FrameStatus RecvFrame(int fd, std::string* payload, const CallDeadline& deadline);
 
 class WorkerProcessPool {
  public:
@@ -40,20 +98,37 @@ class WorkerProcessPool {
   WorkerProcessPool& operator=(const WorkerProcessPool&) = delete;
 
   // Forks |num_workers| children, each looping |handler| over its socket.
-  // kFailedPrecondition if already started.
+  // kFailedPrecondition if already started, kInvalidArgument if
+  // num_workers <= 0. The handler is retained for Respawn.
   common::Result<std::monostate> Start(int num_workers, Handler handler);
 
-  // Sends |request| to worker |index| and waits for its response.
-  // kUnavailable when the worker is dead (crashed, killed, or never started) —
-  // the caller decides whether to retry on a sibling.
-  common::Result<std::string> Call(int index, const std::string& request);
+  // Sends |request| to worker |index| and waits for its response, at most
+  // |deadline_millis| (< 0 = forever) across both halves. Typed errors:
+  //   kFailedPrecondition  pool not running (never started, or shut down)
+  //   kInvalidArgument     index out of range, or request beyond kMaxFrameBytes
+  //   kUnavailable         worker dead (crashed, killed, or slot respawn-failed)
+  //   kIo                  torn or oversized frame — the reply cannot be trusted
+  //   kTimeout             deadline exceeded with the worker still occupied
+  // After kIo or kTimeout the conversation is poisoned (bytes may be stranded
+  // in the socket): the worker must be Kill'd and Respawn'd before this slot
+  // is used again. SupervisedWorkerPool owns that policy.
+  common::Result<std::string> Call(int index, const std::string& request,
+                                   int deadline_millis = -1);
 
-  // Whether the worker process is still alive (waitpid WNOHANG).
+  // Whether the worker process is still alive (waitpid WNOHANG). Out-of-range
+  // index reads false.
   bool Alive(int index);
 
   // SIGKILLs the worker and reaps it — the crash the isolation tests inject.
+  // No-op on an already-reaped worker or an out-of-range index.
   void Kill(int index);
 
+  // Replaces slot |index| with a freshly forked worker running the Start-time
+  // handler. Any previous occupant is SIGKILLed and reaped first. On failure
+  // the slot is left empty (Call reads kUnavailable) and may be retried.
+  common::Result<std::monostate> Respawn(int index);
+
+  // -1 on an out-of-range index.
   pid_t worker_pid(int index) const;
   int size() const { return static_cast<int>(workers_.size()); }
 
@@ -67,7 +142,11 @@ class WorkerProcessPool {
     bool reaped = false;
   };
 
+  // Forks a worker into the (empty) slot |index|.
+  common::Result<std::monostate> SpawnAt(int index);
+
   std::vector<Worker> workers_;
+  Handler handler_;
 };
 
 }  // namespace focus::runtime

@@ -116,7 +116,9 @@ common::Result<Request> ParseRequest(const std::string& line) {
   }
   if (verb == "SHM") {
     if (tokens.size() < 2) {
-      return BadRequest("usage: SHM ATTACH <segment> | SHM STATUS [segment]");
+      return BadRequest(
+          "usage: SHM ATTACH <segment> | SHM STATUS [segment] | "
+          "SHM SERVE <segment> [WORKERS <n>] | SHM QUERY <segment> <class> [options]");
     }
     request.verb = Verb::kShm;
     request.shm_op = tokens[1];
@@ -132,6 +134,40 @@ common::Result<Request> ParseRequest(const std::string& line) {
         return BadRequest("usage: SHM STATUS [segment]");
       }
       request.shm_name = tokens.size() == 3 ? tokens[2] : "";
+      return request;
+    }
+    if (request.shm_op == "SERVE") {
+      if (tokens.size() != 3 && tokens.size() != 5) {
+        return BadRequest("usage: SHM SERVE <segment> [WORKERS <n>]");
+      }
+      request.shm_name = tokens[2];
+      if (tokens.size() == 5) {
+        if (tokens[3] != "WORKERS") {
+          return BadRequest("unknown option " + tokens[3]);
+        }
+        char* end = nullptr;
+        request.shm_workers = static_cast<int>(std::strtol(tokens[4].c_str(), &end, 10));
+        if (end == tokens[4].c_str() || *end != '\0' || request.shm_workers <= 0) {
+          return BadRequest("WORKERS must be a positive integer");
+        }
+      }
+      return request;
+    }
+    if (request.shm_op == "QUERY") {
+      if (tokens.size() < 4) {
+        return BadRequest("usage: SHM QUERY <segment> <class> [BEGIN s] [END s] [KX n]");
+      }
+      request.shm_name = tokens[2];
+      request.class_name = tokens[3];
+      for (size_t i = 4; i < tokens.size(); i += 2) {
+        if (tokens[i] == "TENANT") {
+          return BadRequest("SHM QUERY does not take TENANT");
+        }
+      }
+      auto options = ParseQueryOptions(tokens, 4, &request);
+      if (!options.ok()) {
+        return options.error();
+      }
       return request;
     }
     return BadRequest("unknown SHM operation " + request.shm_op);

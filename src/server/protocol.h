@@ -11,6 +11,8 @@
 //   STATS [camera]
 //   HEALTH [camera]
 //   SHM ATTACH <segment> | SHM STATUS [segment]
+//   SHM SERVE <segment> [WORKERS <n>]
+//   SHM QUERY <segment> <class> [BEGIN <sec>] [END <sec>] [KX <n>]
 //   PING
 //
 // A QUERY naming one camera answers from that camera; a comma-separated list or
@@ -40,10 +42,13 @@ enum class Verb { kQuery, kCameras, kClasses, kStats, kHealth, kPing, kShm };
 
 struct Request {
   Verb verb = Verb::kPing;
-  // SHM fields: |shm_op| is "ATTACH" or "STATUS"; |shm_name| the segment name
-  // (required for ATTACH, optional for STATUS — empty lists every attach).
+  // SHM fields: |shm_op| is "ATTACH", "STATUS", "SERVE", or "QUERY";
+  // |shm_name| the segment name (required except for STATUS — empty lists
+  // every attach). SERVE may set |shm_workers| (0 = server default); QUERY
+  // reuses class_name/range/kx below.
   std::string shm_op;
   std::string shm_name;
+  int shm_workers = 0;
   // QUERY fields (HEALTH and STATS reuse |camera|; for both it is optional —
   // empty asks for the whole fleet / the shared query service).
   std::string camera;

@@ -1,8 +1,13 @@
 #include "src/server/query_server.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <utility>
+
+#include "src/cnn/ground_truth.h"
+#include "src/cnn/model_zoo.h"
 
 namespace focus::server {
 
@@ -15,6 +20,238 @@ runtime::FleetQueryServiceOptions FleetOptionsFrom(
   fleet_options.batch_size = options.batch_size;
   fleet_options.launch_retry = options.launch_retry;
   return fleet_options;
+}
+
+// --- Supervised shm serving: the server <-> worker wire -----------------
+//
+//   request:   Q <cls> <kx> <begin> <end>          (range bounds in hexfloat)
+//   reply ok:  R <epoch> <watermark> <centroids> <matched> <frames> <gpu>
+//              [<first>:<last> ...]                (gpu in hexfloat)
+//   reply err: E <CodeName> <message...>
+//
+// Floating fields cross as hexfloat so the answer the parent frames is
+// bit-exact against an in-process query of the same epoch. Decoding
+// tokenizes and converts with strtod — istream extraction does not accept
+// hexfloat, so a stream-based parse would silently read 0.
+
+// Reverse of common::ErrorCodeName, so a worker-side typed error survives
+// the trip as the same code instead of collapsing to a generic failure.
+common::ErrorCode ErrorCodeFromName(const std::string& name) {
+  static constexpr common::ErrorCode kCodes[] = {
+      common::ErrorCode::kInvalidArgument, common::ErrorCode::kNotFound,
+      common::ErrorCode::kFailedPrecondition, common::ErrorCode::kOutOfRange,
+      common::ErrorCode::kInternal,        common::ErrorCode::kIo,
+      common::ErrorCode::kUnavailable,     common::ErrorCode::kTimeout,
+      common::ErrorCode::kDataLoss,
+  };
+  for (common::ErrorCode code : kCodes) {
+    if (name == common::ErrorCodeName(code)) {
+      return code;
+    }
+  }
+  return common::ErrorCode::kInternal;
+}
+
+bool ParseI64(const std::string& token, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(token.c_str(), &end, 10);
+  return end != token.c_str() && *end == '\0';
+}
+
+// strtod accepts hexfloat ("0x1.8p+3"), which the wire relies on.
+bool ParseF64(const std::string& token, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != token.c_str() && *end == '\0';
+}
+
+// A shm query answer plus the epoch provenance the response frames.
+struct ShmAnswer {
+  uint64_t epoch = 0;
+  int64_t watermark = 0;
+  core::QueryResult result;
+};
+
+std::string EncodeWorkerRequest(common::ClassId cls, int kx, common::TimeRange range) {
+  std::ostringstream out;
+  out << "Q " << cls << ' ' << kx << ' ' << std::hexfloat << range.begin_sec << ' '
+      << range.end_sec;
+  return out.str();
+}
+
+std::string EncodeWorkerError(const common::Error& error) {
+  return std::string("E ") + common::ErrorCodeName(error.code) + " " + error.message;
+}
+
+std::string EncodeWorkerReply(const ShmAnswer& answer) {
+  std::ostringstream out;
+  out << "R " << answer.epoch << ' ' << answer.watermark << ' '
+      << answer.result.centroids_classified << ' ' << answer.result.clusters_matched << ' '
+      << answer.result.frames_returned << ' ' << std::hexfloat << answer.result.gpu_millis;
+  for (const auto& [first, last] : answer.result.frame_runs) {
+    out << ' ' << first << ':' << last;
+  }
+  return out.str();
+}
+
+common::Result<ShmAnswer> DecodeWorkerReply(const std::string& reply,
+                                            common::ClassId queried) {
+  const std::vector<std::string> tokens = Tokenize(reply);
+  if (tokens.empty()) {
+    return common::IoError("empty worker reply");
+  }
+  if (tokens[0] == "E") {
+    if (tokens.size() < 2) {
+      return common::IoError("malformed worker error frame: " + reply);
+    }
+    std::string message;
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      if (i > 2) {
+        message += ' ';
+      }
+      message += tokens[i];
+    }
+    return common::Error{ErrorCodeFromName(tokens[1]), std::move(message)};
+  }
+  if (tokens[0] != "R" || tokens.size() < 7) {
+    return common::IoError("malformed worker reply frame: " + reply);
+  }
+  ShmAnswer answer;
+  answer.result.queried = queried;
+  int64_t epoch = 0;
+  int64_t centroids = 0;
+  int64_t matched = 0;
+  int64_t frames = 0;
+  if (!ParseI64(tokens[1], &epoch) || !ParseI64(tokens[2], &answer.watermark) ||
+      !ParseI64(tokens[3], &centroids) || !ParseI64(tokens[4], &matched) ||
+      !ParseI64(tokens[5], &frames) || !ParseF64(tokens[6], &answer.result.gpu_millis)) {
+    return common::IoError("bad number in worker reply frame: " + reply);
+  }
+  answer.epoch = static_cast<uint64_t>(epoch);
+  answer.result.centroids_classified = centroids;
+  answer.result.clusters_matched = matched;
+  answer.result.frames_returned = frames;
+  for (size_t i = 7; i < tokens.size(); ++i) {
+    const size_t colon = tokens[i].find(':');
+    int64_t first = 0;
+    int64_t last = 0;
+    if (colon == std::string::npos || !ParseI64(tokens[i].substr(0, colon), &first) ||
+        !ParseI64(tokens[i].substr(colon + 1), &last)) {
+      return common::IoError("bad frame run in worker reply: " + tokens[i]);
+    }
+    answer.result.frame_runs.emplace_back(first, last);
+  }
+  return answer;
+}
+
+// Acquire + QueryChecked under a short in-place retry budget: a pin evicted
+// mid-scan, or a plane outpacing the reader, is retryable right here — the
+// next Acquire pins the newer epoch.
+common::Result<ShmAnswer> QueryPinned(shm::ShmSnapshotReader& reader, common::ClassId cls,
+                                      int kx, common::TimeRange range, const cnn::Cnn& cheap,
+                                      const cnn::Cnn& gt) {
+  constexpr int kAttempts = 3;
+  common::Error last = common::Unavailable("no epoch acquired");
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    auto view = reader.Acquire();
+    if (!view.ok()) {
+      last = view.error();
+      if (!common::IsRetryable(last.code)) {
+        break;
+      }
+      continue;
+    }
+    auto result = view->QueryChecked(cls, kx, range, cheap, gt);
+    if (!result.ok()) {
+      last = result.error();
+      if (!common::IsRetryable(last.code)) {
+        break;
+      }
+      continue;
+    }
+    ShmAnswer answer;
+    answer.epoch = view->epoch();
+    answer.watermark = view->watermark();
+    answer.result = std::move(*result);
+    return answer;
+  }
+  return last;
+}
+
+// Everything a forked query worker owns, built lazily on its first request:
+// its own reader slot and the models rebuilt from the plane's seed provenance.
+// Nothing crosses the fork but the segment name — the same cold-process
+// discipline the focus_shm_query CLI follows.
+struct ShmWorkerState {
+  explicit ShmWorkerState(std::string name) : segment(std::move(name)) {}
+
+  std::string segment;
+  runtime::MetricsRegistry metrics;
+  std::unique_ptr<shm::ShmSnapshotReader> reader;
+  std::unique_ptr<video::ClassCatalog> catalog;
+  std::unique_ptr<cnn::Cnn> cheap;
+  std::unique_ptr<cnn::Cnn> gt;
+
+  common::Result<std::monostate> EnsureAttached() {
+    if (reader != nullptr) {
+      return std::monostate{};
+    }
+    auto attached = shm::ShmSnapshotReader::Attach(segment, &metrics);
+    if (!attached.ok()) {
+      return attached.error();
+    }
+    auto provenance = (*attached)->Provenance();
+    if (!provenance.ok()) {
+      return provenance.error();
+    }
+    auto candidates = cnn::GenericCheapCandidates(provenance->cheap_weights_seed);
+    if (provenance->cheap_candidate_index >= candidates.size()) {
+      return common::FailedPrecondition("provenance cheap candidate index out of range");
+    }
+    reader = std::move(*attached);
+    catalog = std::make_unique<video::ClassCatalog>(provenance->world_seed);
+    cheap = std::make_unique<cnn::Cnn>(candidates[provenance->cheap_candidate_index],
+                                       catalog.get());
+    gt = std::make_unique<cnn::Cnn>(cnn::GtCnnDesc(provenance->gt_weights_seed),
+                                    catalog.get());
+    return std::monostate{};
+  }
+
+  std::string Handle(const std::string& request) {
+    const std::vector<std::string> tokens = Tokenize(request);
+    int64_t cls = 0;
+    int64_t kx = 0;
+    common::TimeRange range;
+    if (tokens.size() != 5 || tokens[0] != "Q" || !ParseI64(tokens[1], &cls) ||
+        !ParseI64(tokens[2], &kx) || !ParseF64(tokens[3], &range.begin_sec) ||
+        !ParseF64(tokens[4], &range.end_sec)) {
+      return EncodeWorkerError(common::InvalidArgument("malformed worker request: " + request));
+    }
+    if (auto attached = EnsureAttached(); !attached.ok()) {
+      return EncodeWorkerError(attached.error());
+    }
+    auto answer = QueryPinned(*reader, static_cast<common::ClassId>(cls),
+                              static_cast<int>(kx), range, *cheap, *gt);
+    if (!answer.ok()) {
+      return EncodeWorkerError(answer.error());
+    }
+    return EncodeWorkerReply(*answer);
+  }
+};
+
+// The response payload every shm query path shares: same formatter, so a
+// worker answer, an unserved in-process answer, and a degraded fallback
+// differ only in their head tag — byte-identical from EPOCH on.
+std::string ShmAnswerPayload(const std::string& head, const ShmAnswer& answer) {
+  std::ostringstream out;
+  out << head << " EPOCH " << answer.epoch << " WATERMARK " << answer.watermark
+      << " FRAMES " << answer.result.frames_returned << " RUNS "
+      << answer.result.frame_runs.size() << " CENTROIDS "
+      << answer.result.centroids_classified << " GPU_MS " << answer.result.gpu_millis;
+  for (const auto& [first, last] : answer.result.frame_runs) {
+    out << "\nRUN " << first << " " << last;
+  }
+  return out.str();
 }
 
 }  // namespace
@@ -72,9 +309,23 @@ std::string QueryServer::HandleShm(const Request& request) {
     return line.str();
   };
 
+  // STATUS of a serving plane appends the pool's health after the plane
+  // stats, so one line answers both "is the plane alive" and "who serves it".
+  const auto pool_suffix = [](const ShmPlane& plane) {
+    if (plane.pool == nullptr) {
+      return std::string();
+    }
+    const runtime::SupervisedPoolStats stats = plane.pool->stats();
+    std::ostringstream out;
+    out << " WORKERS " << plane.pool->live_workers() << "/" << plane.pool->size()
+        << " RESTARTS " << stats.restarts << " DOWN "
+        << plane.pool->size() - plane.pool->live_workers();
+    return out.str();
+  };
+
   std::lock_guard<std::mutex> lock(shm_mu_);
   if (request.shm_op == "ATTACH") {
-    if (shm_readers_.contains(request.shm_name)) {
+    if (shm_planes_.contains(request.shm_name)) {
       return ErrResponse(common::ErrorCode::kFailedPrecondition,
                          "already attached to " + request.shm_name);
     }
@@ -83,25 +334,146 @@ std::string QueryServer::HandleShm(const Request& request) {
       metrics_->IncrementCounter("server.shm_attach_errors");
       return ErrResponse(reader.error().code, reader.error().message);
     }
-    const shm::ShmPlaneStats stats = (*reader)->stats();
-    shm_readers_.emplace(request.shm_name, std::move(*reader));
+    ShmPlane plane;
+    plane.reader = std::move(*reader);
+    const shm::ShmPlaneStats stats = plane.reader->stats();
+    shm_planes_.emplace(request.shm_name, std::move(plane));
     metrics_->IncrementCounter("server.shm_attaches");
     return OkResponse("ATTACHED " + plane_line(request.shm_name, stats));
   }
-  if (!request.shm_name.empty()) {
-    const auto it = shm_readers_.find(request.shm_name);
-    if (it == shm_readers_.end()) {
+  if (request.shm_op == "SERVE" || request.shm_op == "QUERY") {
+    const auto it = shm_planes_.find(request.shm_name);
+    if (it == shm_planes_.end()) {
       return ErrResponse(common::ErrorCode::kNotFound,
                          "not attached to " + request.shm_name);
     }
-    return OkResponse(plane_line(it->first, it->second->stats()));
+    return request.shm_op == "SERVE" ? HandleShmServe(request, it->second)
+                                     : HandleShmQuery(request, it->second);
+  }
+  if (!request.shm_name.empty()) {
+    const auto it = shm_planes_.find(request.shm_name);
+    if (it == shm_planes_.end()) {
+      return ErrResponse(common::ErrorCode::kNotFound,
+                         "not attached to " + request.shm_name);
+    }
+    return OkResponse(plane_line(it->first, it->second.reader->stats()) +
+                      pool_suffix(it->second));
   }
   std::ostringstream out;
-  out << shm_readers_.size();
-  for (const auto& [name, reader] : shm_readers_) {
-    out << "\n" << plane_line(name, reader->stats());
+  out << shm_planes_.size();
+  for (const auto& [name, plane] : shm_planes_) {
+    out << "\n" << plane_line(name, plane.reader->stats()) << pool_suffix(plane);
   }
   return OkResponse(out.str());
+}
+
+std::string QueryServer::HandleShmServe(const Request& request, ShmPlane& plane) {
+  // A live pool is not silently replaced — but a pool whose every slot has
+  // exhausted its restart budget is only good for routing around, so SERVE
+  // over it is the operator's recovery verb: tear it down and start fresh.
+  if (plane.pool != nullptr) {
+    if (!plane.pool->AllDown()) {
+      return ErrResponse(common::ErrorCode::kFailedPrecondition,
+                         "already serving " + request.shm_name);
+    }
+    plane.pool->Shutdown();
+    plane.pool.reset();
+  }
+  runtime::SupervisedPoolOptions options = shm_serve_options_;
+  if (request.shm_workers > 0) {
+    options.num_workers = request.shm_workers;
+  }
+  auto pool = std::make_unique<runtime::SupervisedWorkerPool>(options, metrics_);
+  // Each forked worker attaches its own reader slot and rebuilds its models
+  // lazily inside the child; the handler closure carries only the name.
+  auto state = std::make_shared<ShmWorkerState>(request.shm_name);
+  auto started =
+      pool->Start([state](const std::string& line) { return state->Handle(line); });
+  if (!started.ok()) {
+    return ErrResponse(started.error().code, started.error().message);
+  }
+  plane.pool = std::move(pool);
+  metrics_->IncrementCounter("server.shm_serves");
+  std::ostringstream out;
+  out << "SERVING " << request.shm_name << " WORKERS " << options.num_workers
+      << " DEADLINE_MS " << options.call_deadline_millis;
+  return OkResponse(out.str());
+}
+
+std::string QueryServer::HandleShmQuery(const Request& request, ShmPlane& plane) {
+  if (auto models = EnsurePlaneModels(plane); !models.ok()) {
+    return ErrResponse(models.error().code, models.error().message);
+  }
+  const common::ClassId cls = plane.catalog->IdForName(request.class_name);
+  if (cls == common::kInvalidClass) {
+    return ErrResponse(common::ErrorCode::kNotFound,
+                       "unknown class " + request.class_name);
+  }
+
+  // The server's own reader answers when nothing is serving and when the
+  // whole pool is Down; only the head tag differs (docs/shm_serving.md).
+  const auto answer_inproc = [&](const std::string& head,
+                                 bool degraded) -> std::string {
+    auto answer =
+        QueryPinned(*plane.reader, cls, request.kx, request.range, *plane.cheap, *plane.gt);
+    if (!answer.ok()) {
+      metrics_->IncrementCounter("server.query_errors");
+      return ErrResponse(answer.error().code, answer.error().message);
+    }
+    metrics_->IncrementCounter("server.shm_queries");
+    if (degraded) {
+      metrics_->IncrementCounter("server.degraded_queries");
+    }
+    return OkResponse(ShmAnswerPayload(head, *answer));
+  };
+
+  if (plane.pool == nullptr) {
+    return answer_inproc("SHM " + request.shm_name + " INPROC", /*degraded=*/false);
+  }
+
+  // Degrade only when every worker slot has exhausted its restart budget —
+  // noticed up front, or by the call that burned the last budget. Any other
+  // failure surfaces typed: supervision already killed, respawned, and
+  // retried on a sibling before giving up.
+  if (!plane.pool->AllDown()) {
+    auto reply = plane.pool->Call(EncodeWorkerRequest(cls, request.kx, request.range));
+    if (reply.ok()) {
+      auto answer = DecodeWorkerReply(*reply, cls);
+      if (!answer.ok()) {
+        // The worker answered with a typed error it computed (attach or
+        // acquire failure) — not a transport fault; pass it through.
+        metrics_->IncrementCounter("server.query_errors");
+        return ErrResponse(answer.error().code, answer.error().message);
+      }
+      metrics_->IncrementCounter("server.shm_queries");
+      return OkResponse(ShmAnswerPayload("SHM " + request.shm_name, *answer));
+    }
+    if (!plane.pool->AllDown()) {
+      metrics_->IncrementCounter("server.query_errors");
+      return ErrResponse(reply.error().code, reply.error().message);
+    }
+  }
+  return answer_inproc("DEGRADED INPROC " + request.shm_name, /*degraded=*/true);
+}
+
+common::Result<std::monostate> QueryServer::EnsurePlaneModels(ShmPlane& plane) {
+  if (plane.catalog != nullptr) {
+    return std::monostate{};
+  }
+  auto provenance = plane.reader->Provenance();
+  if (!provenance.ok()) {
+    return provenance.error();
+  }
+  auto candidates = cnn::GenericCheapCandidates(provenance->cheap_weights_seed);
+  if (provenance->cheap_candidate_index >= candidates.size()) {
+    return common::FailedPrecondition("provenance cheap candidate index out of range");
+  }
+  plane.catalog = std::make_unique<video::ClassCatalog>(provenance->world_seed);
+  plane.cheap = std::make_unique<cnn::Cnn>(candidates[provenance->cheap_candidate_index],
+                                           plane.catalog.get());
+  plane.gt = std::make_unique<cnn::Cnn>(cnn::GtCnnDesc(provenance->gt_weights_seed),
+                                        plane.catalog.get());
+  return std::monostate{};
 }
 
 std::string QueryServer::HandleQuery(const Request& request) {
@@ -290,6 +662,34 @@ std::string QueryServer::HandleHealth(const std::string& camera) {
   out << fleet.size();
   for (const auto& [name, health] : fleet) {
     out << "\n" << stream_line(name, health);
+  }
+
+  // Serving planes join the listing after the streams: one WORKERS summary
+  // per pool, then one WORKER line per slot that has failed or restarted
+  // (clean slots are omitted, like clean streams; the leading count stays the
+  // stream count).
+  std::lock_guard<std::mutex> lock(shm_mu_);
+  for (const auto& [name, plane] : shm_planes_) {
+    if (plane.pool == nullptr) {
+      continue;
+    }
+    out << "\nWORKERS " << name << " " << plane.pool->live_workers() << "/"
+        << plane.pool->size() << " RESTARTS " << plane.pool->stats().restarts;
+    const std::vector<runtime::WorkerHealth> workers = plane.pool->FleetHealth();
+    for (size_t i = 0; i < workers.size(); ++i) {
+      const runtime::WorkerHealth& health = workers[i];
+      if (health.state == runtime::WorkerState::kHealthy && health.restarts == 0 &&
+          health.consecutive_failures == 0) {
+        continue;
+      }
+      out << "\nWORKER " << name << "#" << i << " STATE "
+          << runtime::WorkerStateName(health.state) << " RESTARTS " << health.restarts
+          << " FAILURES " << health.consecutive_failures;
+      if (!health.last_error.empty()) {
+        out << " LAST " << common::ErrorCodeName(health.last_code) << " "
+            << health.last_error;
+      }
+    }
   }
   return OkResponse(out.str());
 }

@@ -35,6 +35,16 @@
 // the answer lags the recording. A Down stream with no published snapshot
 // errs Unavailable. The HEALTH verb reports per-stream supervision state;
 // bare STATS reports the shared service (hit rate, dedup, launches, queues).
+//
+// Supervised shm serving (docs/shm_serving.md): SHM SERVE starts a
+// runtime::SupervisedWorkerPool of crash-isolated worker processes over an
+// attached plane; SHM QUERY then answers from a worker under a call deadline,
+// with hung/dead workers killed and respawned within a restart budget and the
+// request retried once on a sibling. When the whole pool is Down the server
+// falls back to its own in-process reader and frames the answer
+// "DEGRADED INPROC" (counted in server.degraded_queries) — the process-pool
+// twin of the STALE discipline above. Worker health joins HEALTH and
+// SHM STATUS.
 #ifndef FOCUS_SRC_SERVER_QUERY_SERVER_H_
 #define FOCUS_SRC_SERVER_QUERY_SERVER_H_
 
@@ -48,6 +58,7 @@
 #include "src/runtime/ingest_service.h"
 #include "src/runtime/metrics.h"
 #include "src/runtime/query_service.h"
+#include "src/runtime/supervised_worker_pool.h"
 #include "src/server/protocol.h"
 #include "src/shm/epoch_plane.h"
 #include "src/video/class_catalog.h"
@@ -78,7 +89,26 @@ class QueryServer {
   // The shared query service (e.g., to set tenant weights or read stats).
   runtime::FleetQueryService& service() { return service_; }
 
+  // Supervision knobs for pools started by SHM SERVE (deadline, restart
+  // budget, sibling retry). Takes effect for pools started after the call;
+  // a SERVE's WORKERS argument overrides num_workers per pool.
+  void set_shm_serve_options(runtime::SupervisedPoolOptions options) {
+    std::lock_guard<std::mutex> lock(shm_mu_);
+    shm_serve_options_ = options;
+  }
+
  private:
+  // One attached shared-memory epoch plane: the server's own reader (degraded
+  // / unserved fallback path), models rebuilt lazily from the plane's
+  // provenance, and — after SHM SERVE — the supervised worker pool.
+  struct ShmPlane {
+    std::unique_ptr<shm::ShmSnapshotReader> reader;
+    std::unique_ptr<video::ClassCatalog> catalog;
+    std::unique_ptr<cnn::Cnn> cheap;
+    std::unique_ptr<cnn::Cnn> gt;
+    std::unique_ptr<runtime::SupervisedWorkerPool> pool;
+  };
+
   std::string HandleQuery(const Request& request);
   // QUERY against a camera whose ingest is still running: plans over the
   // newest published epoch snapshot.
@@ -96,8 +126,15 @@ class QueryServer {
   std::string HandleHealth(const std::string& camera);
   // SHM ATTACH <segment>: attaches a ShmSnapshotReader to a shared-memory
   // epoch plane (docs/shm_serving.md) and reports its newest epoch. SHM
-  // STATUS [segment]: plane stats of one (or every) attached segment.
+  // STATUS [segment]: plane stats of one (or every) attached segment, plus
+  // worker-pool health when serving. SHM SERVE: starts the supervised pool.
+  // SHM QUERY: answers from a worker (or degrades to in-process).
   std::string HandleShm(const Request& request);
+  std::string HandleShmServe(const Request& request, ShmPlane& plane);
+  std::string HandleShmQuery(const Request& request, ShmPlane& plane);
+  // Rebuilds the plane's catalog/CNNs from its mapped provenance (lazy; needs
+  // at least one published epoch).
+  common::Result<std::monostate> EnsurePlaneModels(ShmPlane& plane);
 
   const core::FocusFleet* fleet_;
   const video::ClassCatalog* catalog_;
@@ -108,7 +145,8 @@ class QueryServer {
   // Attached shm planes, by segment name (SHM verb). The reader objects hold
   // one reader slot each in their plane for the server's lifetime.
   std::mutex shm_mu_;
-  std::map<std::string, std::unique_ptr<shm::ShmSnapshotReader>> shm_readers_;
+  std::map<std::string, ShmPlane> shm_planes_;
+  runtime::SupervisedPoolOptions shm_serve_options_;
 };
 
 }  // namespace focus::server

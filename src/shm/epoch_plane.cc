@@ -73,6 +73,32 @@ common::Result<std::unique_ptr<EpochPublisher>> EpochPublisher::Create(
   if (options.segment_bytes < kShmDataOffset + kAlign) {
     return common::Error{common::ErrorCode::kInvalidArgument, "shm segment too small"};
   }
+  // A segment already at this name is either a live plane (another publisher
+  // owns it — refuse; one writer per plane) or an orphan from an owner that
+  // crashed or exited without unlinking. Orphans are reclaimed: readers must
+  // never be handed a dead process's stale epochs as if they were fresh.
+  {
+    auto existing = SharedSegment::Open(name);
+    if (existing.ok()) {
+      if ((*existing)->size() >= kShmControlBytes) {
+        const auto* control = reinterpret_cast<const ShmControl*>((*existing)->data());
+        if (control->magic.load(std::memory_order_acquire) == kShmMagic) {
+          const pid_t owner =
+              static_cast<pid_t>(control->writer_pid.load(std::memory_order_relaxed));
+          if (owner > 0 && (::kill(owner, 0) == 0 || errno == EPERM)) {
+            return common::FailedPrecondition(
+                "shm segment " + name + " is owned by live publisher pid " +
+                std::to_string(owner));
+          }
+        }
+      }
+      OrGlobal(metrics)->IncrementCounter("shm.stale_segments_reclaimed");
+    } else if (existing.error().code != common::ErrorCode::kNotFound) {
+      // Exists but unmappable (e.g. never sized): also an orphan; Create
+      // below unlinks and starts over.
+      OrGlobal(metrics)->IncrementCounter("shm.stale_segments_reclaimed");
+    }
+  }
   auto segment = SharedSegment::Create(name, options.segment_bytes);
   if (!segment.ok()) {
     return segment.error();
@@ -662,6 +688,21 @@ core::QueryResult ShmEpochView::Query(common::ClassId cls, int kx, common::TimeR
     verdicts.push_back(gt_cnn.Top1(stub));
   }
   return Resolve(plan, verdicts, gt_cnn);
+}
+
+common::Result<core::QueryResult> ShmEpochView::QueryChecked(
+    common::ClassId cls, int kx, common::TimeRange range, const cnn::Cnn& ingest_cnn,
+    const cnn::Cnn& gt_cnn) const {
+  core::QueryResult result = Query(cls, kx, range, ingest_cnn, gt_cnn);
+  // The pin protocol keeps the region stable while the view lives, except
+  // under forced eviction (every region live-pinned). Re-checking after the
+  // scan turns that one unsoundness window into a typed, retryable error.
+  if (!StillValid()) {
+    return common::Unavailable("epoch " + std::to_string(header_.epoch) + " (generation " +
+                               std::to_string(header_.generation) +
+                               ") was evicted mid-scan; re-acquire and retry");
+  }
+  return result;
 }
 
 }  // namespace focus::shm

@@ -266,6 +266,16 @@ class ShmEpochView {
   core::QueryResult Query(common::ClassId cls, int kx, common::TimeRange range,
                           const cnn::Cnn& ingest_cnn, const cnn::Cnn& gt_cnn) const;
 
+  // Query with the eviction check folded in: re-checks StillValid() *after*
+  // the scan and returns a typed kUnavailable instead of a result computed
+  // from bytes the publisher may have overwritten (forced eviction of a live
+  // pin). The RPC worker path uses this so an evicted pin surfaces as a typed
+  // error across the process boundary instead of a silently wrong answer.
+  common::Result<core::QueryResult> QueryChecked(common::ClassId cls, int kx,
+                                                 common::TimeRange range,
+                                                 const cnn::Cnn& ingest_cnn,
+                                                 const cnn::Cnn& gt_cnn) const;
+
   // Raw sections (for tests and the status tooling).
   const ShmClusterRecord* clusters() const;
   const ShmMemberRun* members() const;
@@ -306,8 +316,14 @@ class EpochPublisher {
     ShmModelProvenance provenance;
   };
 
-  // Creates segment |name| (replacing any stale one) and initializes the
-  // plane. |metrics| may be null (process-global registry).
+  // Creates segment |name| and initializes the plane. A leftover segment from
+  // a *dead* owner (publisher crashed before unlinking: valid magic but
+  // writer_pid exited, or unrecognizable bytes) is reclaimed — unlinked and
+  // recreated fresh, counted in shm.stale_segments_reclaimed — so a restarted
+  // ingest process never fails on its own corpse or serves its stale epochs.
+  // A segment whose writer_pid is still alive is refused with
+  // kFailedPrecondition (one writer per plane). |metrics| may be null
+  // (process-global registry).
   static common::Result<std::unique_ptr<EpochPublisher>> Create(
       const std::string& name, Options options, runtime::MetricsRegistry* metrics = nullptr);
   static common::Result<std::unique_ptr<EpochPublisher>> Create(const std::string& name) {

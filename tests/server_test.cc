@@ -107,6 +107,46 @@ TEST(ProtocolTest, ParsesShmForms) {
   EXPECT_FALSE(ParseRequest("SHM DETACH /a").ok());             // Unknown op.
 }
 
+TEST(ProtocolTest, ParsesShmServeAndQueryForms) {
+  auto serve = ParseRequest("SHM SERVE /focus_plane");
+  ASSERT_TRUE(serve.ok());
+  EXPECT_EQ(serve->verb, Verb::kShm);
+  EXPECT_EQ(serve->shm_op, "SERVE");
+  EXPECT_EQ(serve->shm_name, "/focus_plane");
+  EXPECT_EQ(serve->shm_workers, 0);  // 0 = server default.
+
+  auto sized = ParseRequest("SHM SERVE /focus_plane WORKERS 4");
+  ASSERT_TRUE(sized.ok());
+  EXPECT_EQ(sized->shm_workers, 4);
+
+  auto query = ParseRequest("SHM QUERY /focus_plane car BEGIN 10 END 90.5 KX 3");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->verb, Verb::kShm);
+  EXPECT_EQ(query->shm_op, "QUERY");
+  EXPECT_EQ(query->shm_name, "/focus_plane");
+  EXPECT_EQ(query->class_name, "car");
+  EXPECT_EQ(query->kx, 3);
+  EXPECT_DOUBLE_EQ(query->range.begin_sec, 10.0);
+  EXPECT_DOUBLE_EQ(query->range.end_sec, 90.5);
+
+  auto bare = ParseRequest("SHM QUERY /focus_plane ped");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->class_name, "ped");
+  EXPECT_DOUBLE_EQ(bare->range.begin_sec, 0.0);
+  EXPECT_LT(bare->range.end_sec, 0.0);  // Open-ended.
+
+  EXPECT_FALSE(ParseRequest("SHM SERVE").ok());                      // Missing segment.
+  EXPECT_FALSE(ParseRequest("SHM SERVE /a WORKERS").ok());           // Option without value.
+  EXPECT_FALSE(ParseRequest("SHM SERVE /a WORKERS 0").ok());         // Non-positive count.
+  EXPECT_FALSE(ParseRequest("SHM SERVE /a WORKERS -2").ok());        // Negative count.
+  EXPECT_FALSE(ParseRequest("SHM SERVE /a WORKERS many").ok());      // Non-numeric count.
+  EXPECT_FALSE(ParseRequest("SHM SERVE /a THREADS 4").ok());         // Unknown option.
+  EXPECT_FALSE(ParseRequest("SHM QUERY /a").ok());                   // Missing class.
+  EXPECT_FALSE(ParseRequest("SHM QUERY /a car TENANT t").ok());      // TENANT rejected.
+  EXPECT_FALSE(ParseRequest("SHM QUERY /a car KX zero").ok());       // Bad option value.
+  EXPECT_FALSE(ParseRequest("SHM QUERY /a car BEGIN 90 END 10").ok());  // Inverted range.
+}
+
 TEST(ProtocolTest, ParsesFederatedForms) {
   auto list = ParseRequest("QUERY north,south car KX 2 TENANT analyst");
   ASSERT_TRUE(list.ok());

@@ -11,6 +11,7 @@
 // model (a SIGKILL'd reader never stalls ingest; its pin is reclaimed; a
 // sibling keeps answering identically).
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -576,6 +577,68 @@ TEST(ShmEpochPlaneTest, TornHeaderFallsBackToPreviousGeneration) {
   EXPECT_EQ(view->generation(), newest - 1);
   EXPECT_EQ(view->epoch(), snapshots[newest - 2]->epoch);
   EXPECT_TRUE(view->StillValid());
+}
+
+TEST(ShmEpochPlaneTest, OrphanedSegmentIsReclaimedAndLiveOwnerRefused) {
+  const std::string name = SegmentName("orphan");
+  runtime::MetricsRegistry metrics;
+  EpochPublisher::Options options;
+  options.provenance = Provenance();
+
+  // Generation A publishes, then goes away without unlinking (the segment
+  // outlives its owner, as after a crash).
+  uint64_t gen_a_epochs = 0;
+  {
+    auto gen_a = EpochPublisher::Create(name, options, &metrics);
+    ASSERT_TRUE(gen_a.ok()) << gen_a.error().message;
+    (*gen_a)->UnlinkOnDestroy(false);
+    const auto snapshots = PublishRun(gen_a->get(), /*duration_sec=*/8.0, /*seed=*/11);
+    ASSERT_FALSE(snapshots.empty());
+    gen_a_epochs = snapshots.size();
+  }
+  EXPECT_EQ(metrics.counter("shm.stale_segments_reclaimed"), 0);
+
+  {
+    auto raw = SharedSegment::Open(name);
+    ASSERT_TRUE(raw.ok()) << raw.error().message;
+    auto* control = reinterpret_cast<ShmControl*>((*raw)->data());
+
+    // While the recorded owner is a live process, Create refuses: one writer
+    // per plane, and a second publisher must not unlink it out from under it.
+    control->writer_pid.store(static_cast<uint64_t>(::getpid()), std::memory_order_relaxed);
+    auto refused = EpochPublisher::Create(name, options, &metrics);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.error().code, common::ErrorCode::kFailedPrecondition);
+    EXPECT_NE(refused.error().message.find("live publisher"), std::string::npos);
+    EXPECT_EQ(metrics.counter("shm.stale_segments_reclaimed"), 0);
+
+    // Swap in a genuinely dead owner: a reaped child's pid no longer exists.
+    pid_t corpse = fork();
+    ASSERT_GE(corpse, 0);
+    if (corpse == 0) {
+      _exit(0);
+    }
+    ASSERT_EQ(waitpid(corpse, nullptr, 0), corpse);
+    control->writer_pid.store(static_cast<uint64_t>(corpse), std::memory_order_relaxed);
+  }
+
+  // Generation B reclaims the orphan: the segment is recreated fresh (the dead
+  // owner's stale epochs are not served), counted in the reclaim metric, and
+  // the generation counter restarts from scratch.
+  auto gen_b = EpochPublisher::Create(name, options, &metrics);
+  ASSERT_TRUE(gen_b.ok()) << gen_b.error().message;
+  (*gen_b)->UnlinkOnDestroy(true);
+  EXPECT_EQ(metrics.counter("shm.stale_segments_reclaimed"), 1);
+
+  const auto fresh = PublishRun(gen_b->get(), /*duration_sec=*/8.0, /*seed=*/29);
+  ASSERT_FALSE(fresh.empty());
+  auto reader = ShmSnapshotReader::Attach(name);
+  ASSERT_TRUE(reader.ok()) << reader.error().message;
+  auto view = (*reader)->Acquire();
+  ASSERT_TRUE(view.ok()) << view.error().message;
+  EXPECT_EQ(view->generation(), fresh.size());  // Restarted, not gen_a_epochs + n.
+  EXPECT_EQ(view->epoch(), fresh.back()->epoch);
+  (void)gen_a_epochs;
 }
 
 TEST(WorkerProcessPoolTest, EchoKillAndSiblingIsolation) {

@@ -1,0 +1,281 @@
+// Frame handling and lifecycle edge cases of WorkerProcessPool
+// (src/runtime/worker_process_pool.h).
+//
+// The load-bearing guarantees: a torn or oversized frame is a typed kIo —
+// never a hang, never an unbounded allocation; a hung worker yields kTimeout
+// under a call deadline instead of occupying the caller; and every lifecycle
+// misuse (out-of-range index, double Start, Call after Shutdown, Kill on a
+// reaped slot) is a typed error or a no-op, never UB. The wire cases hammer
+// SendFrame/RecvFrame over a raw socketpair; the crash cases kill real
+// processes.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <csignal>
+#include <cstdint>
+#include <string>
+
+#include "src/common/fault_injection.h"
+#include "src/common/result.h"
+#include "src/runtime/worker_process_pool.h"
+
+namespace focus::runtime {
+namespace {
+
+// A connected socketpair the wire tests write raw bytes into; closed on exit.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    CloseA();
+    CloseB();
+  }
+  void CloseA() {
+    if (fds[0] >= 0) {
+      ::close(fds[0]);
+      fds[0] = -1;
+    }
+  }
+  void CloseB() {
+    if (fds[1] >= 0) {
+      ::close(fds[1]);
+      fds[1] = -1;
+    }
+  }
+};
+
+std::string EchoUpper(const std::string& request) {
+  std::string out = request;
+  for (char& c : out) {
+    c = static_cast<char>(::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+// Handler for the hang tests: "HANG" parks the worker forever (the SIGKILL
+// from the parent is its only exit); anything else echoes.
+std::string HangOrEcho(const std::string& request) {
+  if (request == "HANG") {
+    while (true) {
+      ::pause();
+    }
+  }
+  return request;
+}
+
+// --- Wire level: SendFrame/RecvFrame over a raw socketpair ----------------
+
+TEST(WorkerFrameTest, RoundtripsEmptyAndLargePayloads) {
+  SocketPair s;
+  std::string got;
+  EXPECT_EQ(SendFrame(s.fds[0], "", CallDeadline::None()), FrameStatus::kOk);
+  EXPECT_EQ(RecvFrame(s.fds[1], &got, CallDeadline::None()), FrameStatus::kOk);
+  EXPECT_EQ(got, "");
+
+  const std::string big(1 << 20, 'x');
+  // A 1 MiB frame overflows the socket buffer, so send and recv must overlap:
+  // write from a child to keep the test single-purpose about framing.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    const FrameStatus sent = SendFrame(s.fds[0], big, CallDeadline::None());
+    ::_exit(sent == FrameStatus::kOk ? 0 : 1);
+  }
+  EXPECT_EQ(RecvFrame(s.fds[1], &got, CallDeadline::None()), FrameStatus::kOk);
+  EXPECT_EQ(got, big);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_EQ(status, 0);
+}
+
+TEST(WorkerFrameTest, EofBeforeAnyByteIsClosed) {
+  SocketPair s;
+  s.CloseA();
+  std::string got;
+  EXPECT_EQ(RecvFrame(s.fds[1], &got, CallDeadline::None()), FrameStatus::kClosed);
+}
+
+TEST(WorkerFrameTest, PartialLengthPrefixIsTorn) {
+  SocketPair s;
+  const uint32_t len = 8;
+  ASSERT_EQ(::send(s.fds[0], &len, 2, MSG_NOSIGNAL), 2);  // Half the prefix.
+  s.CloseA();
+  std::string got;
+  EXPECT_EQ(RecvFrame(s.fds[1], &got, CallDeadline::None()), FrameStatus::kTorn);
+}
+
+TEST(WorkerFrameTest, PartialPayloadIsTorn) {
+  SocketPair s;
+  const uint32_t len = 8;
+  ASSERT_EQ(::send(s.fds[0], &len, sizeof(len), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(len)));
+  ASSERT_EQ(::send(s.fds[0], "torn", 4, MSG_NOSIGNAL), 4);  // 4 of 8 promised bytes.
+  s.CloseA();
+  std::string got;
+  EXPECT_EQ(RecvFrame(s.fds[1], &got, CallDeadline::None()), FrameStatus::kTorn);
+}
+
+TEST(WorkerFrameTest, CorruptLengthPrefixIsOversizeNotAllocation) {
+  SocketPair s;
+  const uint32_t len = kMaxFrameBytes + 1;  // Corrupt/hostile prefix.
+  ASSERT_EQ(::send(s.fds[0], &len, sizeof(len), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(len)));
+  std::string got;
+  // Refused from the prefix alone: no payload bytes were ever sent, so a
+  // decode that tried to allocate-and-read would hang here instead.
+  EXPECT_EQ(RecvFrame(s.fds[1], &got, CallDeadline::None()), FrameStatus::kOversize);
+  EXPECT_EQ(SendFrame(s.fds[0], std::string(kMaxFrameBytes + 1, 'x'), CallDeadline::None()),
+            FrameStatus::kOversize);
+}
+
+TEST(WorkerFrameTest, RecvTimesOutOnSilentPeer) {
+  SocketPair s;
+  std::string got;
+  EXPECT_EQ(RecvFrame(s.fds[1], &got, CallDeadline::After(50)), FrameStatus::kTimeout);
+}
+
+// --- Pool lifecycle and typed errors --------------------------------------
+
+TEST(WorkerProcessPoolTest, EchoAcrossWorkers) {
+  WorkerProcessPool pool;
+  ASSERT_TRUE(pool.Start(3, EchoUpper).ok());
+  for (int i = 0; i < pool.size(); ++i) {
+    auto reply = pool.Call(i, "hello " + std::to_string(i));
+    ASSERT_TRUE(reply.ok()) << reply.error().message;
+    EXPECT_EQ(*reply, "HELLO " + std::to_string(i));
+  }
+  pool.Shutdown();
+}
+
+TEST(WorkerProcessPoolTest, LifecycleMisuseIsTypedOrNoOp) {
+  WorkerProcessPool pool;
+  // Call before Start.
+  EXPECT_EQ(pool.Call(0, "x").error().code, common::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(pool.Start(0, EchoUpper).error().code, common::ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(pool.Start(2, EchoUpper).ok());
+  // Start twice.
+  EXPECT_EQ(pool.Start(2, EchoUpper).error().code,
+            common::ErrorCode::kFailedPrecondition);
+  // Out-of-range Call / Respawn; out-of-range Alive/Kill/worker_pid are benign.
+  EXPECT_EQ(pool.Call(-1, "x").error().code, common::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(pool.Call(2, "x").error().code, common::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(pool.Respawn(7).error().code, common::ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(pool.Alive(-3));
+  EXPECT_EQ(pool.worker_pid(9), -1);
+  pool.Kill(9);
+  // Oversized request is refused before touching the socket.
+  EXPECT_EQ(pool.Call(0, std::string(kMaxFrameBytes + 1, 'x')).error().code,
+            common::ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(pool.Call(0, "still fine").ok());
+  // Kill on an already-reaped slot is a no-op, not a stray signal.
+  pool.Kill(1);
+  pool.Kill(1);
+  EXPECT_FALSE(pool.Alive(1));
+  EXPECT_EQ(pool.Call(1, "x").error().code, common::ErrorCode::kUnavailable);
+  // Call after Shutdown.
+  pool.Shutdown();
+  EXPECT_EQ(pool.Call(0, "x").error().code, common::ErrorCode::kFailedPrecondition);
+}
+
+TEST(WorkerProcessPoolTest, KilledWorkerIsUnavailableAndSiblingsUnaffected) {
+  WorkerProcessPool pool;
+  ASSERT_TRUE(pool.Start(2, EchoUpper).ok());
+  pool.Kill(0);
+  EXPECT_EQ(pool.Call(0, "x").error().code, common::ErrorCode::kUnavailable);
+  EXPECT_TRUE(pool.Call(1, "y").ok());
+  ASSERT_TRUE(pool.Respawn(0).ok());
+  auto reply = pool.Call(0, "back");
+  ASSERT_TRUE(reply.ok()) << reply.error().message;
+  EXPECT_EQ(*reply, "BACK");
+  pool.Shutdown();
+}
+
+TEST(WorkerProcessPoolTest, HungWorkerYieldsTimeoutThenRespawns) {
+  WorkerProcessPool pool;
+  ASSERT_TRUE(pool.Start(2, HangOrEcho).ok());
+  auto hung = pool.Call(0, "HANG", /*deadline_millis=*/100);
+  ASSERT_FALSE(hung.ok());
+  EXPECT_EQ(hung.error().code, common::ErrorCode::kTimeout);
+  // The worker is still occupied; the conversation is poisoned. Kill+Respawn
+  // is the documented recovery, after which the slot serves again.
+  EXPECT_TRUE(pool.Alive(0));
+  ASSERT_TRUE(pool.Respawn(0).ok());
+  auto reply = pool.Call(0, "ok", /*deadline_millis=*/2000);
+  ASSERT_TRUE(reply.ok()) << reply.error().message;
+  EXPECT_EQ(*reply, "ok");
+  pool.Shutdown();
+}
+
+// The satellite regression: a handler that writes a partial frame and _exits
+// mid-reply must surface as typed kIo, with no hang and no trust in the
+// half-frame. proc.handler is armed before Start so the forked child
+// inherits it; its first request fires the crash.
+TEST(WorkerProcessPoolTest, HandlerCrashMidReplyIsTypedIo) {
+  common::FaultPlan plan;
+  plan.FireOnHit("proc.handler", 1);
+  common::ScopedFaultPlan armed(&plan);
+  WorkerProcessPool pool;
+  ASSERT_TRUE(pool.Start(1, EchoUpper).ok());
+  auto torn = pool.Call(0, "boom", /*deadline_millis=*/5000);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.error().code, common::ErrorCode::kIo);
+  EXPECT_NE(torn.error().message.find("torn frame"), std::string::npos)
+      << torn.error().message;
+  // The child's _exit(3) is reaped, the slot respawns, and — hit counters
+  // being per-process copies — the respawned worker's first hit fires again,
+  // proving every generation carries the inherited plan.
+  ASSERT_TRUE(pool.Respawn(0).ok());
+  auto torn_again = pool.Call(0, "boom", /*deadline_millis=*/5000);
+  ASSERT_FALSE(torn_again.ok());
+  EXPECT_EQ(torn_again.error().code, common::ErrorCode::kIo);
+  pool.Shutdown();
+}
+
+// Parent-side fault sites: send faults leave the socket clean, recv faults
+// poison it (the reply strands), spawn faults leave the slot empty but
+// retryable.
+TEST(WorkerProcessPoolTest, ParentRpcFaultSitesAreTyped) {
+  WorkerProcessPool pool;
+  ASSERT_TRUE(pool.Start(1, EchoUpper).ok());  // Arm after Start: parent-only.
+
+  {
+    common::FaultPlan plan;
+    plan.FireOnHit("proc.rpc.send", 1);
+    common::ScopedFaultPlan armed(&plan);
+    auto failed = pool.Call(0, "a", 2000);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.error().code, common::ErrorCode::kIo);
+    // Nothing was sent: the conversation is still clean.
+    EXPECT_TRUE(pool.Call(0, "b", 2000).ok());
+  }
+  {
+    common::FaultPlan plan;
+    plan.FireOnHit("proc.rpc.recv", 1);
+    common::ScopedFaultPlan armed(&plan);
+    auto failed = pool.Call(0, "c", 2000);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.error().code, common::ErrorCode::kIo);
+    // The reply to "c" is stranded in the socket; Respawn is the recovery.
+    ASSERT_TRUE(pool.Respawn(0).ok());
+    EXPECT_TRUE(pool.Call(0, "d", 2000).ok());
+  }
+  {
+    common::FaultPlan plan;
+    plan.FireOnHit("proc.spawn", 1);
+    common::ScopedFaultPlan armed(&plan);
+    auto failed = pool.Respawn(0);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.error().code, common::ErrorCode::kUnavailable);
+    // The slot is empty but the pool is intact; the retry refills it.
+    EXPECT_EQ(pool.Call(0, "e", 2000).error().code, common::ErrorCode::kUnavailable);
+    ASSERT_TRUE(pool.Respawn(0).ok());
+    EXPECT_TRUE(pool.Call(0, "f", 2000).ok());
+  }
+  pool.Shutdown();
+}
+
+}  // namespace
+}  // namespace focus::runtime

@@ -6,13 +6,15 @@
 #                      (`ctest -L fleet`: federated identity vs the sequential
 #                      oracle, verdict cache, weighted-fair admission) so the
 #                      serving-runtime gate is named even if labels reshuffle.
-#   2. chaos gate    - `ctest -L fault` (deterministic fault-injection sweeps)
-#                      and `ctest -L shm` (the shared-memory serving plane:
+#   2. chaos gate    - `ctest -L fault` (deterministic fault-injection sweeps),
+#                      `ctest -L shm` (the shared-memory serving plane:
 #                      cross-process byte-identity, pin protocol, reader-crash
-#                      isolation — docs/shm_serving.md) in a
-#                      FOCUS_SANITIZE=address build, so every injected failure
-#                      path and every mapped-memory path also runs leak- and
-#                      overflow-checked.
+#                      isolation — docs/shm_serving.md), and `ctest -L proc`
+#                      (supervised multi-process serving: worker RPC framing,
+#                      restart budgets, sibling-retry identity, seeded
+#                      kill/hang/torn-frame storms) in a FOCUS_SANITIZE=address
+#                      build, so every injected failure path and every
+#                      mapped-memory path also runs leak- and overflow-checked.
 #   3. bench gate    - `bench/run_benches.sh --check`: the tracked perf
 #                      guardrails, including bench_chaos's no-fault overhead
 #                      of the robustness machinery.
@@ -41,15 +43,17 @@ ctest --test-dir "$BUILD_DIR" -L fleet --output-on-failure
 if [ "${FOCUS_SKIP_ASAN:-0}" = "1" ]; then
   echo "== gate 2/3: SKIPPED (FOCUS_SKIP_ASAN=1) =="
 else
-  echo "== gate 2/3: chaos + shm suites under AddressSanitizer =="
+  echo "== gate 2/3: chaos + shm + proc suites under AddressSanitizer =="
   cmake -S "$REPO_DIR" -B "$ASAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFOCUS_SANITIZE=address
-  # Only the fault- and shm-labeled suites are needed; build just their targets.
+  # Only the fault-, shm-, and proc-labeled suites are needed; build just
+  # their targets.
   cmake --build "$ASAN_DIR" -j"$JOBS" \
     --target fault_injection_test chaos_ingest_test flaky_stream_test \
-    shm_serving_test
+    shm_serving_test worker_process_pool_test proc_serving_chaos_test
   ctest --test-dir "$ASAN_DIR" -L fault --output-on-failure
   ctest --test-dir "$ASAN_DIR" -L shm --output-on-failure
+  ctest --test-dir "$ASAN_DIR" -L proc --output-on-failure
 fi
 
 echo "== gate 3/3: bench guardrails =="
