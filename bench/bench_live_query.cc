@@ -89,11 +89,18 @@ struct LiveQueryRow {
   // stream rows gate publish_overhead — the short rows' publish sums are
   // sub-millisecond and swing with scheduler noise.
   bool gated = false;
+  // Background publication mode: the builder thread assembles and publishes,
+  // incremental boundary merges at every cadence, and publish_total_ms counts
+  // only the ingest thread's share (cut + queue stall) — the cost the mode
+  // exists to hide. Sync rows keep the historical whole-publication sum.
+  bool background = false;
   int64_t stream_frames = 0;   // Frames fed before the query moment.
   int64_t watermark = 0;       // Newest snapshot's watermark at that moment.
   int64_t epochs = 0;
   double ingest_ms = 0.0;      // Wall of the cadenced ingest run.
   double publish_total_ms = 0.0;
+  double cut_total_ms = 0.0;   // Ingest-thread cut share of publish_total_ms.
+  double stall_total_ms = 0.0;  // Queue-backpressure share (background only).
   double publish_overhead = 0.0;
   double entries_reused_frac = 0.0;
   double live_query_ms = 0.0;
@@ -105,9 +112,10 @@ struct LiveQueryRow {
 
 LiveQueryRow RunConfig(const focus::video::StreamRun& run, const ClassifiedSample& sample,
                        const focus::cnn::Cnn& cheap, const focus::cnn::Cnn& gt, int num_shards,
-                       double fraction, int64_t cadence_frames) {
+                       double fraction, int64_t cadence_frames, bool background) {
   LiveQueryRow row;
   row.num_shards = num_shards;
+  row.background = background;
 
   const focus::core::IngestParams params = Params();
   IngestOptions options;
@@ -130,11 +138,22 @@ LiveQueryRow RunConfig(const focus::video::StreamRun& run, const ClassifiedSampl
     latest = nullptr;
     row.epochs = 0;
     row.publish_total_ms = 0.0;
+    row.cut_total_ms = 0.0;
+    row.stall_total_ms = 0.0;
     int64_t reused = 0;
     int64_t rebuilt = 0;
     IngestOptions live = options;
+    live.background_publish = background;
+    live.incremental_boundary_merge = background;
+    // In background mode the sink runs on the builder thread, but the ingest
+    // loop is blocked inside RunIngestClassified until the final flush joins,
+    // so these captures are never touched concurrently.
     live.snapshot_sink = [&](std::shared_ptr<const LiveSnapshot> snap) {
-      row.publish_total_ms += snap->stats.build_millis;
+      row.publish_total_ms += background
+                                  ? snap->stats.cut_millis + snap->stats.stall_millis
+                                  : snap->stats.build_millis;
+      row.cut_total_ms += snap->stats.cut_millis;
+      row.stall_total_ms += snap->stats.stall_millis;
       reused += snap->stats.entries_reused;
       rebuilt += snap->stats.entries_rebuilt;
       ++row.epochs;
@@ -213,28 +232,56 @@ int main() {
 
   std::printf(
       "live query-over-ingest (%.0f s stream, snapshot every %lld sampled frames)\n"
-      "%6s %8s %9s %7s %10s %9s %8s %10s %11s %7s %6s %9s\n",
-      duration_sec, static_cast<long long>(kCadenceFrames), "shards", "frames", "watermark",
-      "epochs", "publish ms", "overhead", "reused", "live q ms", "on-demand", "ratio", "cand",
-      "identical");
+      "%6s %3s %8s %9s %7s %10s %9s %8s %10s %11s %7s %6s %9s\n",
+      duration_sec, static_cast<long long>(kCadenceFrames), "shards", "bg", "frames",
+      "watermark", "epochs", "publish ms", "overhead", "reused", "live q ms", "on-demand",
+      "ratio", "cand", "identical");
 
   std::vector<LiveQueryRow> rows;
   bool ok = true;
+  const auto print_row = [](const LiveQueryRow& row) {
+    std::printf(
+        "%6d %3s %8lld %9lld %7lld %10.1f %8.1f%% %7.0f%% %10.3f %11.1f %6.1fx %6lld %9s\n",
+        row.num_shards, row.background ? "yes" : "no",
+        static_cast<long long>(row.stream_frames), static_cast<long long>(row.watermark),
+        static_cast<long long>(row.epochs), row.publish_total_ms, 100.0 * row.publish_overhead,
+        100.0 * row.entries_reused_frac, row.live_query_ms, row.on_demand_ms, row.latency_ratio,
+        static_cast<long long>(row.candidate_clusters), row.identical ? "yes" : "NO");
+  };
   // Warmup: first config otherwise pays one-time allocator/paging costs.
-  RunConfig(run, sample, cheap, gt, 1, 0.5, kCadenceFrames);
+  RunConfig(run, sample, cheap, gt, 1, 0.5, kCadenceFrames, /*background=*/false);
   for (int num_shards : {1, 4}) {
     for (double fraction : {0.25, 0.5, 1.0}) {
-      LiveQueryRow row = RunConfig(run, sample, cheap, gt, num_shards, fraction, kCadenceFrames);
+      LiveQueryRow row = RunConfig(run, sample, cheap, gt, num_shards, fraction, kCadenceFrames,
+                                   /*background=*/false);
       row.gated = fraction == 1.0;
       ok = ok && row.identical;
-      std::printf("%6d %8lld %9lld %7lld %10.1f %8.1f%% %7.0f%% %10.3f %11.1f %6.1fx %6lld %9s\n",
-                  row.num_shards, static_cast<long long>(row.stream_frames),
-                  static_cast<long long>(row.watermark), static_cast<long long>(row.epochs),
-                  row.publish_total_ms, 100.0 * row.publish_overhead,
-                  100.0 * row.entries_reused_frac, row.live_query_ms, row.on_demand_ms,
-                  row.latency_ratio, static_cast<long long>(row.candidate_clusters),
-                  row.identical ? "yes" : "NO");
+      print_row(row);
       rows.push_back(row);
+    }
+    // Background publication row: full-length stream only — the mode exists
+    // to hide publication cost on long runs, and the short rows' ingest walls
+    // are too small for a meaningful overhead ratio.
+    LiveQueryRow bg =
+        RunConfig(run, sample, cheap, gt, num_shards, 1.0, kCadenceFrames, /*background=*/true);
+    bg.gated = true;
+    ok = ok && bg.identical;
+    print_row(bg);
+    rows.push_back(bg);
+  }
+
+  // Hard ceiling, not just a tracked guardrail: with the builder thread doing
+  // the assembly, the ingest thread's publication share (cut + stall) on the
+  // sharded full-length rows must stay under 5% of ingest wall. The 1-shard
+  // background row is exempt from the ceiling (the regression guardrail still
+  // tracks it): sequential ingest advances faster than one index assembly per
+  // epoch, so the bounded build queue backpressures by design — its overhead
+  // is stall, not cut, and shrinking it would mean unbounded queue memory.
+  for (const LiveQueryRow& r : rows) {
+    if (r.background && r.gated && r.num_shards > 1 && r.publish_overhead >= 0.05) {
+      std::fprintf(stderr, "FAIL: background publish_overhead %.2f%% >= 5%% (shards=%d)\n",
+                   100.0 * r.publish_overhead, r.num_shards);
+      ok = false;
     }
   }
 
@@ -245,16 +292,20 @@ int main() {
       const LiveQueryRow& r = rows[i];
       std::fprintf(
           f,
-          "    {\"num_shards\": %d, \"gated\": %s, \"stream_frames\": %lld, \"watermark\": %lld, "
+          "    {\"num_shards\": %d, \"background\": %s, \"gated\": %s, "
+          "\"stream_frames\": %lld, \"watermark\": %lld, "
           "\"epochs\": %lld, \"ingest_ms\": %.3f, \"publish_total_ms\": %.3f, "
+          "\"cut_total_ms\": %.3f, \"stall_total_ms\": %.3f, "
           "\"publish_overhead\": %.5f, \"entries_reused_frac\": %.4f, "
           "\"live_query_ms\": %.4f, \"on_demand_ms\": %.3f, \"latency_ratio\": %.2f, "
           "\"candidate_clusters\": %lld, \"identical\": %s}%s\n",
-          r.num_shards, r.gated ? "true" : "false", static_cast<long long>(r.stream_frames),
-          static_cast<long long>(r.watermark), static_cast<long long>(r.epochs), r.ingest_ms,
-          r.publish_total_ms, r.publish_overhead, r.entries_reused_frac, r.live_query_ms,
-          r.on_demand_ms, r.latency_ratio, static_cast<long long>(r.candidate_clusters),
-          r.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+          r.num_shards, r.background ? "true" : "false", r.gated ? "true" : "false",
+          static_cast<long long>(r.stream_frames), static_cast<long long>(r.watermark),
+          static_cast<long long>(r.epochs), r.ingest_ms, r.publish_total_ms, r.cut_total_ms,
+          r.stall_total_ms, r.publish_overhead,
+          r.entries_reused_frac, r.live_query_ms, r.on_demand_ms, r.latency_ratio,
+          static_cast<long long>(r.candidate_clusters), r.identical ? "true" : "false",
+          i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -262,7 +313,9 @@ int main() {
   }
 
   if (!ok) {
-    std::fprintf(stderr, "FAIL: live snapshot diverged from halt+finalize\n");
+    std::fprintf(stderr,
+                 "FAIL: live snapshot diverged from halt+finalize, or background "
+                 "publication overhead exceeded its ceiling\n");
     return 1;
   }
   return 0;

@@ -383,4 +383,31 @@ int64_t CentroidStore::FindNearest(const float* query, size_t dim, float thresho
   return best_id;
 }
 
+void CentroidStore::ForEachWithin(const float* query, size_t dim, float threshold_sq,
+                                  const std::function<void(int64_t)>& fn) const {
+  const size_t n = ids_.size();
+  if (n == 0) {
+    return;
+  }
+  assert(dim == dim_);
+  (void)dim;
+  const float query_norm = std::sqrt(common::simd::NormSquared(query, dim_));
+  const float prune_limit = threshold_sq * kPruneSlackMul + kPruneSlackAdd;
+  for (size_t s = 0; s < n; ++s) {
+    // Same conservative norm prune as FindNearest; survivors pay one bounded
+    // full-dim kernel. The bound stays at threshold_sq for every slot — no
+    // tightening — so all qualifying candidates are reported. An early-exited
+    // kernel returns a partial sum > threshold_sq and is rejected; a partial
+    // that rounds back to exactly the bound over-includes, which is safe here.
+    if (common::simd::NormLowerBound(norms_[s], query_norm) > prune_limit) {
+      continue;
+    }
+    const float d = common::simd::SquaredL2Bounded(query, arena_.data() + s * dim_, dim_,
+                                                   threshold_sq);
+    if (d <= threshold_sq) {
+      fn(ids_[s]);
+    }
+  }
+}
+
 }  // namespace focus::cluster

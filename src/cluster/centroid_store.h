@@ -45,6 +45,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -209,6 +210,16 @@ class CentroidStore {
   // centroid qualifies; on success *out_dist_sq receives the squared distance.
   int64_t FindNearest(const float* query, size_t dim, float threshold_sq,
                       float* out_dist_sq) const;
+
+  // Invokes |fn(cluster_id)| for every centroid whose exact squared distance
+  // to |query| is <= |threshold_sq|, in arbitrary slot order. Unlike
+  // FindNearest the bound never tightens, so every qualifying candidate is
+  // reported. The incremental boundary merge uses this to find the clusters a
+  // moved centroid may now (or may no longer) fold with; callers must treat
+  // the enumeration as a may-be-affected set (re-running an exact query on a
+  // reported cluster is always safe), not as a nearest-neighbor answer.
+  void ForEachWithin(const float* query, size_t dim, float threshold_sq,
+                     const std::function<void(int64_t)>& fn) const;
 
   // Active cluster ids, in slot order (arbitrary).
   const detail::ArenaColumn<int64_t>& ids() const { return ids_; }

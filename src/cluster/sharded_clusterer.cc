@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "src/cluster/cluster_codec.h"
@@ -18,8 +20,10 @@ namespace focus::cluster {
 
 namespace {
 
-// Version tag of the sharded.meta checkpoint snapshot.
-constexpr uint32_t kShardedMetaVersion = 1;
+// Version tag of the sharded.meta checkpoint snapshot. v2 added the
+// boundary_merge flag to the options echo: the merge-pass cadence is part of
+// the clustering semantics, so a resumed run must not silently switch modes.
+constexpr uint32_t kShardedMetaVersion = 2;
 
 }  // namespace
 
@@ -111,7 +115,12 @@ void ShardedClusterer::AssignBatch(const WorkItem* items, size_t count,
 }
 
 void ShardedClusterer::AfterAssignments(int64_t count) {
-  if (options_.merge_interval <= 0) {
+  // Boundary-merge mode never merges mid-window: a periodic pass would union
+  // clusters at mid-window positions, producing edges a halted run's
+  // boundary-position full pass cannot reproduce — which is exactly the
+  // byte-identity the windowed finalizer relies on. The assignment counter
+  // also stays untouched so checkpoints are position-independent of batching.
+  if (options_.boundary_merge || options_.merge_interval <= 0) {
     return;
   }
   assignments_since_merge_ += count;
@@ -161,6 +170,43 @@ void ShardedClusterer::Union(int64_t a, int64_t b) {
 
 void ShardedClusterer::MergePass() { RunMergePass(/*full=*/true); }
 
+void ShardedClusterer::QueryAgainstShards(size_t s, int64_t local_id,
+                                          const common::FeatureVec& centroid,
+                                          float threshold_sq, bool lower_only) {
+  for (size_t t = 0; t < (lower_only ? s : options_.num_shards); ++t) {
+    if (t == s) {
+      continue;
+    }
+    // Nearest target within T across the shard's active centroids AND its
+    // frozen retired ones: a cluster that retired before this query's
+    // cluster even existed is still the same real-world appearance and
+    // must fold. Ties between the two stores resolve toward the smaller
+    // local id, matching the single-store smallest-id semantics.
+    int64_t target = -1;
+    float target_dist = 0.0f;
+    for (const CentroidStore* store :
+         {&shards_[t]->centroid_store(), &shards_[t]->retired_store()}) {
+      if (store->empty() || store->dim() != centroid.size()) {
+        continue;
+      }
+      float dist_sq = 0.0f;
+      const int64_t found =
+          store->FindNearest(centroid.data(), centroid.size(), threshold_sq, &dist_sq);
+      if (found < 0) {
+        continue;
+      }
+      if (target < 0 || dist_sq < target_dist ||
+          (dist_sq == target_dist && found < target)) {
+        target = found;
+        target_dist = dist_sq;
+      }
+    }
+    if (target >= 0) {
+      Union(GlobalId(s, local_id), GlobalId(t, target));
+    }
+  }
+}
+
 void ShardedClusterer::RunMergePass(bool full) {
   if (options_.num_shards <= 1) {
     return;
@@ -196,38 +242,8 @@ void ShardedClusterer::RunMergePass(bool full) {
     std::vector<MergeCandidate>& considered = merge_considered_[s];
 
     auto run_queries = [&](size_t l, const Cluster& c) {
-      for (size_t t = 0; t < (full ? s : options_.num_shards); ++t) {
-        if (t == s) {
-          continue;
-        }
-        // Nearest target within T across the shard's active centroids AND its
-        // frozen retired ones: a cluster that retired before this query's
-        // cluster even existed is still the same real-world appearance and
-        // must fold. Ties between the two stores resolve toward the smaller
-        // local id, matching the single-store smallest-id semantics.
-        int64_t target = -1;
-        float target_dist = 0.0f;
-        for (const CentroidStore* store :
-             {&shards_[t]->centroid_store(), &shards_[t]->retired_store()}) {
-          if (store->empty() || store->dim() != c.centroid.size()) {
-            continue;
-          }
-          float dist_sq = 0.0f;
-          const int64_t found = store->FindNearest(c.centroid.data(), c.centroid.size(),
-                                                   threshold_sq, &dist_sq);
-          if (found < 0) {
-            continue;
-          }
-          if (target < 0 || dist_sq < target_dist ||
-              (dist_sq == target_dist && found < target)) {
-            target = found;
-            target_dist = dist_sq;
-          }
-        }
-        if (target >= 0) {
-          Union(GlobalId(s, static_cast<int64_t>(l)), GlobalId(t, target));
-        }
-      }
+      QueryAgainstShards(s, static_cast<int64_t>(l), c.centroid, threshold_sq,
+                         /*lower_only=*/full);
     };
 
     // Previously considered clusters, ascending local id: drop retired ones
@@ -278,6 +294,124 @@ void ShardedClusterer::RunMergePass(bool full) {
   }
 }
 
+void ShardedClusterer::BoundaryMergePass() {
+  if (options_.num_shards <= 1) {
+    return;
+  }
+  const float threshold_sq =
+      static_cast<float>(options_.base.threshold * options_.base.threshold);
+
+  // A cluster that did not move since its last merge query already holds its
+  // exact nearest-within-T edges *unless a neighbour moved*: every dirtied
+  // cluster below is therefore also recorded as a "mover" whose old and new
+  // positions invalidate the clusters around them. Phase A sweeps every shard
+  // first so no mover is missed (a requery in phase B resets a snapshot, which
+  // would otherwise mask phase A's own drift detection for that shard), then
+  // phase B requeries the invalidated neighbourhoods. Union edges depend only
+  // on the stores, which never change mid-pass, so the closure is independent
+  // of the phase split.
+  struct Mover {
+    size_t shard = 0;
+    common::FeatureVec old_pos;  // Empty for clusters new since the last pass.
+    common::FeatureVec new_pos;
+  };
+  std::vector<Mover> movers;
+  // Per shard: local ids already queried this pass (dedupe only; never iterated).
+  std::vector<std::unordered_set<size_t>> queried(options_.num_shards);
+
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    const std::vector<Cluster>& clusters = shards_[s]->clusters();
+    std::vector<MergeCandidate>& considered = merge_considered_[s];
+    size_t keep = 0;
+    for (size_t i = 0; i < considered.size(); ++i) {
+      MergeCandidate& candidate = considered[i];
+      const Cluster& c = clusters[candidate.local_id];
+      if (!c.active) {
+        // Retired since the last boundary: the one final query with the frozen
+        // centroid, then drop (the full pass does the same). If it also moved
+        // between its last query and retirement, its displacement invalidates
+        // neighbours exactly like an active mover's.
+        QueryAgainstShards(s, static_cast<int64_t>(candidate.local_id), c.centroid,
+                           threshold_sq, /*lower_only=*/true);
+        queried[s].insert(candidate.local_id);
+        if (c.centroid != candidate.snapshot) {
+          movers.push_back(Mover{s, candidate.snapshot, c.centroid});
+        }
+        continue;
+      }
+      if (c.centroid != candidate.snapshot) {
+        // Any movement requeries — no drift tolerance: the full pass would
+        // query this cluster at its new position, and even an epsilon move can
+        // change the nearest-within-T answer, so byte-identity needs exact
+        // dirty tracking here (the periodic passes' requeue_fraction knob is a
+        // recall/cost tradeoff and does not apply in this mode).
+        QueryAgainstShards(s, static_cast<int64_t>(candidate.local_id), c.centroid,
+                           threshold_sq, /*lower_only=*/true);
+        queried[s].insert(candidate.local_id);
+        movers.push_back(Mover{s, candidate.snapshot, c.centroid});
+        candidate.snapshot = c.centroid;
+      }
+      if (keep != i) {  // Guard the self-move: it would empty the snapshot.
+        considered[keep] = std::move(candidate);
+      }
+      ++keep;
+    }
+    considered.resize(keep);
+    // Clusters created since the previous pass: query (full-pass bound) and
+    // invalidate around their position — they are new merge *targets* for
+    // unmoved clusters in higher shards.
+    for (size_t l = merge_scanned_[s]; l < clusters.size(); ++l) {
+      const Cluster& c = clusters[l];
+      QueryAgainstShards(s, static_cast<int64_t>(l), c.centroid, threshold_sq,
+                         /*lower_only=*/true);
+      queried[s].insert(l);
+      movers.push_back(Mover{s, common::FeatureVec{}, c.centroid});
+      if (c.active) {
+        considered.push_back({l, c.centroid});
+      }
+    }
+    merge_scanned_[s] = clusters.size();
+  }
+
+  // Phase B — reverse invalidation. The full pass covers each cross-shard pair
+  // from its higher-shard side (queries target lower shards only), so a mover
+  // in shard s can only change the answer of clusters in shards t > s. Any
+  // cluster within T of the mover's old position (the mover may have been its
+  // nearest and left) or new position (the mover may have arrived) re-issues
+  // its exact query; everything farther than T was out of range before and
+  // after, so its nearest-within-T is untouched. Over-inclusion is harmless —
+  // a requery at an unchanged position re-adds existing edges.
+  for (const Mover& m : movers) {
+    for (size_t t = m.shard + 1; t < options_.num_shards; ++t) {
+      const CentroidStore& store = shards_[t]->centroid_store();
+      if (store.empty() || store.dim() != m.new_pos.size()) {
+        continue;
+      }
+      auto requery = [&](int64_t local_id) {
+        if (!queried[t].insert(static_cast<size_t>(local_id)).second) {
+          return;
+        }
+        const Cluster& c = shards_[t]->clusters()[static_cast<size_t>(local_id)];
+        QueryAgainstShards(t, local_id, c.centroid, threshold_sq, /*lower_only=*/true);
+        // The requery re-measured this cluster's neighbourhood at its current
+        // position; drift tracking restarts from here (ascending-id order of
+        // merge_considered_ makes the entry binary-searchable).
+        std::vector<MergeCandidate>& considered = merge_considered_[t];
+        auto it = std::lower_bound(
+            considered.begin(), considered.end(), static_cast<size_t>(local_id),
+            [](const MergeCandidate& a, size_t v) { return a.local_id < v; });
+        FOCUS_CHECK(it != considered.end() &&
+                    it->local_id == static_cast<size_t>(local_id));
+        it->snapshot = c.centroid;
+      };
+      if (!m.old_pos.empty()) {
+        store.ForEachWithin(m.old_pos.data(), m.old_pos.size(), threshold_sq, requery);
+      }
+      store.ForEachWithin(m.new_pos.data(), m.new_pos.size(), threshold_sq, requery);
+    }
+  }
+}
+
 int64_t ShardedClusterer::CanonicalOf(int64_t global_id) const { return Find(global_id); }
 
 std::vector<Cluster> ShardedClusterer::FinalizeClusters() {
@@ -323,18 +457,44 @@ std::vector<Cluster> ShardedClusterer::FinalizeClusters() {
 }
 
 common::Result<bool> ShardedClusterer::Checkpoint(int64_t position,
-                                                  std::string_view user_state) {
+                                                  std::string_view user_state,
+                                                  runtime::WorkerPool* pool) {
   FOCUS_CHECK(persistent());
-  // Step 1: commit every shard's arena (msync + header). Shard arenas may end
-  // up a generation ahead of the meta if we crash below — recovery rolls each
-  // back to the generation recorded here.
-  std::vector<uint64_t> generations(options_.num_shards, 0);
-  for (size_t s = 0; s < options_.num_shards; ++s) {
+  const size_t num_shards = options_.num_shards;
+  // Step 1: commit every shard's arena (msync + header) and encode its
+  // bookkeeping. Shards are independent files and independent state, so with a
+  // pool the commits fan out one task per shard; errors are collected into
+  // per-shard slots and checked in ascending shard order, so the parallel and
+  // inline paths return the same (first) error. Shard arenas may end up a
+  // generation ahead of the meta if we crash below — recovery rolls each back
+  // to the generation recorded here.
+  std::vector<uint64_t> generations(num_shards, 0);
+  std::vector<std::string> bookkeeping(num_shards);
+  std::vector<std::optional<common::Error>> commit_errors(num_shards);
+  auto commit_shard = [&](size_t s) {
     auto generation = shards_[s]->CommitArena();
     if (!generation.ok()) {
-      return generation.error();
+      commit_errors[s] = generation.error();
+      return;
     }
     generations[s] = *generation;
+    bookkeeping[s] = shards_[s]->EncodeBookkeeping();
+  };
+  const bool parallel = pool != nullptr && num_shards > 1;
+  if (parallel) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      FOCUS_CHECK(pool->Submit([&commit_shard, s] { commit_shard(s); }));
+    }
+    pool->Drain();
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      commit_shard(s);
+    }
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (commit_errors[s].has_value()) {
+      return *commit_errors[s];
+    }
   }
 
   // Step 2: one meta snapshot for every shard's bookkeeping plus the merge
@@ -344,9 +504,10 @@ common::Result<bool> ShardedClusterer::Checkpoint(int64_t position,
   enc.PutVarint(options_.num_shards);
   enc.PutSignedVarint(options_.merge_interval);
   enc.PutDouble(options_.merge_requeue_fraction);
+  enc.PutU32(options_.boundary_merge ? 1 : 0);
   for (size_t s = 0; s < options_.num_shards; ++s) {
     enc.PutU64(generations[s]);
-    enc.PutString(shards_[s]->EncodeBookkeeping());
+    enc.PutString(bookkeeping[s]);
   }
   enc.PutVarint(parent_.size());
   for (int64_t p : parent_) {
@@ -371,10 +532,27 @@ common::Result<bool> ShardedClusterer::Checkpoint(int64_t position,
     return wrote;
   }
 
-  // Step 3: open every shard's fresh undo window.
-  for (size_t s = 0; s < options_.num_shards; ++s) {
+  // Step 3: open every shard's fresh undo window — per-shard files again, so
+  // the rotation fans out like step 1.
+  std::vector<std::optional<common::Error>> rotate_errors(num_shards);
+  auto rotate_shard = [&](size_t s) {
     if (auto rotated = shards_[s]->RotateUndoLog(generations[s]); !rotated.ok()) {
-      return rotated;
+      rotate_errors[s] = rotated.error();
+    }
+  };
+  if (parallel) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      FOCUS_CHECK(pool->Submit([&rotate_shard, s] { rotate_shard(s); }));
+    }
+    pool->Drain();
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      rotate_shard(s);
+    }
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (rotate_errors[s].has_value()) {
+      return *rotate_errors[s];
     }
   }
   return true;
@@ -423,13 +601,15 @@ common::Result<ClustererRecovery> ShardedClusterer::OpenOrRecover(const std::str
   uint64_t num_shards = 0;
   int64_t merge_interval = 0;
   double requeue_fraction = 0.0;
+  uint32_t boundary_merge = 0;
   if (!dec.GetU32(&version) || version != kShardedMetaVersion ||
       !dec.GetVarint(&num_shards) || !dec.GetSignedVarint(&merge_interval) ||
-      !dec.GetDouble(&requeue_fraction)) {
+      !dec.GetDouble(&requeue_fraction) || !dec.GetU32(&boundary_merge)) {
     return corrupt();
   }
   if (num_shards != options_.num_shards || merge_interval != options_.merge_interval ||
-      requeue_fraction != options_.merge_requeue_fraction) {
+      requeue_fraction != options_.merge_requeue_fraction ||
+      (boundary_merge != 0) != options_.boundary_merge) {
     return common::FailedPrecondition(
         "sharded clusterer options do not match the checkpointed run");
   }

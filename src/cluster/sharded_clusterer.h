@@ -82,6 +82,18 @@ struct ShardedClustererOptions {
   // pre-PR4 policy: periodic passes only query clusters created since the
   // previous pass).
   double merge_requeue_fraction = 0.5;
+  // Boundary-merge mode: the automatic periodic passes are disabled entirely
+  // and cross-shard merging happens only when the owner calls
+  // BoundaryMergePass() (the windowed finalizer does this at every snapshot
+  // cadence boundary) or MergePass()/FinalizeClusters(). The boundary pass is
+  // incremental — it re-queries only clusters that are new, retired, or moved
+  // since the previous boundary, plus the neighbourhoods those movers
+  // invalidated — but it restores the *full-pass* union-find closure at every
+  // boundary (see BoundaryMergePass), which is what makes a live epoch
+  // byte-identical to halting the stream at that boundary. Checkpoints echo
+  // this flag: merging at mid-window positions vs. only at boundaries yields
+  // different (both valid) clusterings, so a resumed run must keep the mode.
+  bool boundary_merge = false;
 };
 
 class ShardedClusterer {
@@ -131,6 +143,20 @@ class ShardedClusterer {
   // state pays per cluster churn, not per active cluster.
   void MergePass();
 
+  // Runs one *incremental boundary* merge pass: only clusters dirtied since
+  // the previous boundary — created, retired, or with a centroid that moved at
+  // all (exact comparison; no drift tolerance) — re-issue merge queries, each
+  // with the full pass's lower-shard target bound. Because an unmoved
+  // cluster's nearest-within-T answer can still change when a *neighbour*
+  // moves, every mover's old and new positions are then swept against the
+  // higher shards' active centroids (CentroidStore::ForEachWithin at radius
+  // T) and the hit clusters re-query too. The result: after this pass a full
+  // pass at the same position adds no union edge, i.e. the pass reproduces
+  // the full-pass closure at O(dirty + movers * neighbourhood) query cost
+  // instead of O(active). Used by the windowed finalizer in boundary_merge
+  // mode; a no-op at num_shards == 1.
+  void BoundaryMergePass();
+
   // --- Persistence (see docs/persistence.md) ---
   //
   // One arena + undo-log pair per shard (shard-<s>.arena / shard-<s>.undo)
@@ -147,8 +173,14 @@ class ShardedClusterer {
 
   // Durably publishes the current state of every shard plus the merge state,
   // with an opaque caller cursor and blob. Must not run concurrently with
-  // AssignBatch.
-  common::Result<bool> Checkpoint(int64_t position, std::string_view user_state = {});
+  // AssignBatch. With |pool| non-null the per-shard work — arena msync/commit,
+  // bookkeeping encode, and undo-log rotation — fans out one task per shard
+  // (the pool must be idle and dedicated to this call: Drain() is used to wait
+  // for the tasks); the single meta write stays the commit point either way,
+  // and errors are reported in ascending shard order so both paths fail
+  // identically.
+  common::Result<bool> Checkpoint(int64_t position, std::string_view user_state = {},
+                                  runtime::WorkerPool* pool = nullptr);
 
   bool persistent() const { return !meta_path_.empty(); }
 
@@ -178,6 +210,12 @@ class ShardedClusterer {
   // |full| re-queries every active cluster; otherwise only clusters created
   // since the last pass are used as queries (against all other shards).
   void RunMergePass(bool full);
+  // One cluster's merge queries: nearest-within-T against every other shard's
+  // active and retired stores (lower shards only when |lower_only|), unioning
+  // on a hit. Shared by the full, periodic, and boundary passes so all three
+  // produce identical edges for the same (cluster, position).
+  void QueryAgainstShards(size_t s, int64_t local_id, const common::FeatureVec& centroid,
+                          float threshold_sq, bool lower_only);
 
   ShardedClustererOptions options_;
   std::vector<std::unique_ptr<IncrementalClusterer>> shards_;

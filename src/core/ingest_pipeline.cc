@@ -258,29 +258,50 @@ struct PipelineState {
   }
 };
 
-// The windowed streaming finalize (src/core/live_snapshot.h): builds and
+// The windowed streaming finalize (src/core/live_snapshot.h): cuts and
 // publishes the epoch snapshots of one ingest run. One instance lives for the
 // run and carries the delta-build state across epochs — which raw cluster ids
 // were assigned to since the last snapshot, and where each canonical cluster
 // sat in the previous epoch's index — so an unchanged canonical cluster's
 // index entry is carried forward instead of re-folded and re-sorted.
 //
+// The finalizer itself only *cuts*: each boundary it produces a self-contained
+// SnapshotBuildJob (deep copies for dirty entries, previous-epoch slot numbers
+// for clean ones) and hands it to a SnapshotBuilder, which assembles and
+// publishes either inline (synchronous mode) or on its own thread
+// (IngestOptions::background_publish).
+//
 // Cadence discipline: boundaries are absolute sampled-frame multiples of
 // finalize_every_frames, so a crash-resumed run hits the same boundaries as an
-// uninterrupted one, and on the sharded path the boundary's full merge pass
-// runs whether or not a consumer is attached — a snapshot consumer observes
-// the stream, it never changes it.
+// uninterrupted one, and on the sharded path the boundary's merge pass runs
+// whether or not a consumer is attached — a snapshot consumer observes the
+// stream, it never changes it.
 class WindowedFinalizer {
  public:
   WindowedFinalizer(const IngestOptions& options, double fps)
       : every_(options.finalize_every_frames),
-        slot_(options.snapshot_slot),
-        sink_(options.snapshot_sink),
+        incremental_(options.incremental_boundary_merge),
         fps_(fps),
-        next_boundary_(every_ > 0 ? every_ : 0) {}
+        next_boundary_(every_ > 0 ? every_ : 0) {
+    if (every_ > 0 && (options.snapshot_slot != nullptr || options.snapshot_sink)) {
+      builder_ = std::make_unique<SnapshotBuilder>(options.snapshot_slot, options.snapshot_sink,
+                                                   options.background_publish);
+    }
+  }
 
   bool enabled() const { return every_ > 0; }
-  bool has_consumer() const { return slot_ != nullptr || sink_ != nullptr; }
+  bool has_consumer() const { return builder_ != nullptr; }
+
+  // Blocks until every cut handed to the builder has been assembled and
+  // published (background mode backlog; synchronous mode publishes inside
+  // Publish, so this is a no-op there). The persistent loop calls this before
+  // a checkpoint so the durable cut never precedes its same-frame
+  // publication, and before sealing the end of the stream.
+  void FlushBuilds() {
+    if (builder_ != nullptr) {
+      builder_->Flush();
+    }
+  }
 
   // Streaming form: true after processing sampled frame |frame| completes a
   // window (the watermark is then frame + 1).
@@ -319,174 +340,315 @@ class WindowedFinalizer {
     if (!has_consumer()) {
       return;  // Sequential snapshots have no clustering side effects.
     }
-    const auto start = std::chrono::steady_clock::now();
-    auto snap = std::make_unique<LiveSnapshot>();
-    snap->watermark = watermark;
-    snap->fps = fps_;
-    snap->detections = detections;
+    const auto cut_start = std::chrono::steady_clock::now();
+    SnapshotBuildJob job;
+    job.watermark = watermark;
+    job.fps = fps_;
+    job.detections = detections;
+    job.items.reserve(clusterer.clusters().size());
     for (const cluster::Cluster& c : clusterer.clusters()) {
-      const bool clean = prev_ != nullptr &&
-                         static_cast<size_t>(c.id) < prev_sequential_clusters_ &&
+      const bool clean = have_prev_ && static_cast<size_t>(c.id) < prev_sequential_clusters_ &&
                          !touched_.contains(c.id);
+      SnapshotBuildItem item;
       if (clean) {
-        snap->index.AddClusterFrom(prev_->index, static_cast<size_t>(c.id));
-        ++snap->stats.entries_reused;
+        item.reused = true;
+        item.prev_slot = static_cast<size_t>(c.id);
       } else {
-        index::ClusterEntry entry;
-        entry.cluster_id = c.id;
-        entry.representative = c.representative;
-        entry.members = c.members;
-        entry.size = c.size;
-        ranks.Finalize(c.id, &entry);
-        snap->index.AddCluster(std::move(entry));
-        ++snap->stats.entries_rebuilt;
+        item.entry.cluster_id = c.id;
+        item.entry.representative = c.representative;
+        item.entry.members = c.members;
+        item.entry.size = c.size;
+        ranks.Finalize(c.id, &item.entry);
       }
+      job.items.push_back(std::move(item));
     }
     prev_sequential_clusters_ = clusterer.clusters().size();
-    Emit(std::move(snap), start);
+    Submit(std::move(job), cut_start);
   }
 
-  // Sharded form: runs the full cross-shard merge to convergence first — the
-  // cadence side effect that must happen with or without a consumer — then
-  // folds the canonical table and delta-builds the index.
+  // Sharded form: runs the boundary's merge side effect first — the full
+  // cross-shard pass to convergence, or in incremental mode the boundary merge
+  // pass that re-examines only clusters dirtied since the previous boundary —
+  // the cadence side effect that must happen with or without a consumer — then
+  // cuts the canonical-table delta for the builder.
   void Publish(common::FrameIndex watermark, cluster::ShardedClusterer& sharded,
                const BestRankTable& ranks, int64_t detections) {
+    // The boundary merge is the cadence's clustering side effect — it runs
+    // with or without a consumer, so it stays outside the timed cut:
+    // cut_millis measures only the cost attributable to publication. (Full
+    // mode's merge happens inside FinalizeClusters and cannot be hoisted; its
+    // cut keeps the historical merge-inclusive accounting.)
+    if (incremental_) {
+      sharded.BoundaryMergePass();
+    } else if (!has_consumer()) {
+      sharded.MergePass();
+    }
     if (!has_consumer()) {
-      sharded.MergePass();  // Keep the boundary's merge semantics consumer-free.
       return;
     }
-    const auto start = std::chrono::steady_clock::now();
-    std::vector<cluster::Cluster> table = sharded.FinalizeClusters();
-
-    // Component census: raw clusters per canonical id. A canonical cluster is
-    // clean — its entry of the previous epoch still byte-exact — iff it
-    // existed then, no raw member was assigned to since, and its component
-    // composition (which only ever grows) kept the same raw count.
-    std::unordered_map<int64_t, int64_t> comp_count;
-    const size_t num_shards = sharded.num_shards();
-    for (size_t s = 0; s < num_shards; ++s) {
-      const size_t locals = sharded.shard(s).clusters().size();
-      for (size_t l = 0; l < locals; ++l) {
-        ++comp_count[sharded.CanonicalOf(sharded.GlobalId(s, static_cast<int64_t>(l)))];
-      }
+    const auto cut_start = std::chrono::steady_clock::now();
+    SnapshotBuildJob job;
+    job.watermark = watermark;
+    job.fps = fps_;
+    job.detections = detections;
+    if (incremental_) {
+      CutShardedIncremental(sharded, ranks, job);
+    } else {
+      CutShardedFull(sharded, ranks, job);
     }
-    std::unordered_set<int64_t> touched_canonical;
-    touched_canonical.reserve(touched_.size());
-    for (int64_t raw : touched_) {
-      touched_canonical.insert(sharded.CanonicalOf(raw));
-    }
-    auto is_clean = [&](int64_t canonical) {
-      if (prev_ == nullptr || touched_canonical.contains(canonical)) {
-        return false;
-      }
-      auto slot = prev_slot_of_canonical_.find(canonical);
-      if (slot == prev_slot_of_canonical_.end()) {
-        return false;
-      }
-      auto prev_count = prev_comp_count_.find(canonical);
-      return prev_count != prev_comp_count_.end() &&
-             prev_count->second == comp_count.at(canonical);
-    };
-    // Raw members of each dirty component, (shard asc, local asc) — the rank
-    // fold is a min per class, so the order is immaterial.
-    std::unordered_map<int64_t, std::vector<int64_t>> dirty_raws;
-    for (size_t s = 0; s < num_shards; ++s) {
-      const size_t locals = sharded.shard(s).clusters().size();
-      for (size_t l = 0; l < locals; ++l) {
-        const int64_t g = sharded.GlobalId(s, static_cast<int64_t>(l));
-        const int64_t root = sharded.CanonicalOf(g);
-        if (!is_clean(root)) {
-          dirty_raws[root].push_back(g);
-        }
-      }
-    }
-
-    auto snap = std::make_unique<LiveSnapshot>();
-    snap->watermark = watermark;
-    snap->fps = fps_;
-    snap->detections = detections;
-    std::vector<std::pair<int32_t, common::ClassId>> ranked;  // Scratch per entry.
-    std::unordered_map<common::ClassId, size_t> rank_slot;
-    for (const cluster::Cluster& c : table) {
-      if (is_clean(c.id)) {
-        snap->index.AddClusterFrom(prev_->index, prev_slot_of_canonical_.at(c.id));
-        ++snap->stats.entries_reused;
-        continue;
-      }
-      index::ClusterEntry entry;
-      entry.cluster_id = c.id;
-      entry.representative = c.representative;
-      entry.members = c.members;
-      entry.size = c.size;
-      // Min-fold the component's raw rank rows, then sort (rank, class) —
-      // exactly BestRankTable::Finalize's order on the folded table.
-      ranked.clear();
-      rank_slot.clear();
-      for (int64_t raw : dirty_raws[c.id]) {
-        ranks.ForEachOf(raw, [&](common::ClassId cls, int32_t rank) {
-          auto [it, inserted] = rank_slot.try_emplace(cls, ranked.size());
-          if (inserted) {
-            ranked.emplace_back(rank, cls);
-          } else if (rank < ranked[it->second].first) {
-            ranked[it->second].first = rank;
-          }
-        });
-      }
-      std::sort(ranked.begin(), ranked.end());
-      entry.topk_classes.reserve(ranked.size());
-      entry.topk_ranks.reserve(ranked.size());
-      for (const auto& [rank, cls] : ranked) {
-        entry.topk_classes.push_back(cls);
-        entry.topk_ranks.push_back(rank);
-      }
-      snap->index.AddCluster(std::move(entry));
-      ++snap->stats.entries_rebuilt;
-    }
-
-    prev_slot_of_canonical_.clear();
-    prev_slot_of_canonical_.reserve(table.size());
-    for (size_t i = 0; i < table.size(); ++i) {
-      prev_slot_of_canonical_.emplace(table[i].id, i);
-    }
-    prev_comp_count_ = std::move(comp_count);
-    Emit(std::move(snap), start);
+    Submit(std::move(job), cut_start);
   }
 
  private:
-  void Emit(std::unique_ptr<LiveSnapshot> snap,
-            std::chrono::steady_clock::time_point start) {
-    snap->num_clusters = static_cast<int64_t>(snap->index.num_clusters());
-    snap->stats.build_millis =
-        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+  // Shared sharded census, one pair of ascending-global-id walks over the raw
+  // shard tables (local asc, shard asc == ascending g): roots in ascending
+  // canonical order, per-component raw counts, memoized union-find lookups,
+  // per-root clean flags, and the CSR raw-member spans of every dirty
+  // component. A canonical cluster is clean — its entry of the previous epoch
+  // still byte-exact — iff it existed then, no raw member was assigned to
+  // since, and its component composition (which only ever grows) kept the
+  // same raw count. Requires the union-find converged (the caller just ran
+  // its merge pass).
+  void CensusSharded(const cluster::ShardedClusterer& sharded) {
+    const size_t num_shards = sharded.num_shards();
+    size_t max_locals = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      max_locals = std::max(max_locals, sharded.shard(s).clusters().size());
+    }
+    census_size_ = num_shards * max_locals;
+    comp_count_.assign(census_size_, 0);
+    canon_of_.assign(census_size_, -1);
+    slot_of_root_.assign(census_size_, -1);
+    roots_in_order_.clear();
+    for (size_t l = 0; l < max_locals; ++l) {
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (l >= sharded.shard(s).clusters().size()) {
+          continue;
+        }
+        const int64_t g = sharded.GlobalId(s, static_cast<int64_t>(l));
+        const int64_t root = sharded.CanonicalOf(g);
+        canon_of_[static_cast<size_t>(g)] = root;
+        if (root == g) {
+          slot_of_root_[static_cast<size_t>(g)] = static_cast<int64_t>(roots_in_order_.size());
+          roots_in_order_.push_back(g);
+        }
+        ++comp_count_[static_cast<size_t>(root)];
+      }
+    }
+    ++cut_seq_;
+    if (touched_mark_.size() < census_size_) {
+      touched_mark_.resize(census_size_, 0);
+    }
+    for (const int64_t raw : touched_) {
+      const int64_t root = canon_of_[static_cast<size_t>(raw)] >= 0
+                               ? canon_of_[static_cast<size_t>(raw)]
+                               : sharded.CanonicalOf(raw);
+      touched_mark_[static_cast<size_t>(root)] = cut_seq_;
+    }
+    root_clean_.assign(roots_in_order_.size(), 0);
+    dirty_begin_.assign(roots_in_order_.size() + 1, 0);
+    size_t dirty_total = 0;
+    for (size_t i = 0; i < roots_in_order_.size(); ++i) {
+      const size_t root = static_cast<size_t>(roots_in_order_[i]);
+      const bool clean = have_prev_ && touched_mark_[root] != cut_seq_ &&
+                         root < prev_slot_by_canonical_.size() &&
+                         prev_slot_by_canonical_[root] >= 0 &&
+                         prev_comp_count_[root] == comp_count_[root];
+      root_clean_[i] = clean ? 1 : 0;
+      dirty_begin_[i] = dirty_total;
+      if (!clean) {
+        dirty_total += static_cast<size_t>(comp_count_[root]);
+      }
+    }
+    dirty_begin_[roots_in_order_.size()] = dirty_total;
+    // CSR fill, ascending global id per component — the incremental cut's
+    // member concatenation must match FinalizeClusters' fold order (the rank
+    // fold is a min per class, so for it alone the order would be immaterial).
+    dirty_raws_.resize(dirty_total);
+    dirty_fill_.assign(dirty_begin_.begin(), dirty_begin_.end());
+    for (size_t l = 0; l < max_locals; ++l) {
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (l >= sharded.shard(s).clusters().size()) {
+          continue;
+        }
+        const int64_t g = sharded.GlobalId(s, static_cast<int64_t>(l));
+        const size_t root = static_cast<size_t>(canon_of_[static_cast<size_t>(g)]);
+        const size_t slot = static_cast<size_t>(slot_of_root_[root]);
+        if (!root_clean_[slot]) {
+          dirty_raws_[dirty_fill_[slot]++] = g;
+        }
+      }
+    }
+  }
+
+  // Publishes this cut's census as the next cut's "previous epoch" view.
+  void CommitCensus() {
+    prev_slot_by_canonical_.assign(census_size_, -1);
+    for (size_t i = 0; i < roots_in_order_.size(); ++i) {
+      prev_slot_by_canonical_[static_cast<size_t>(roots_in_order_[i])] = static_cast<int64_t>(i);
+    }
+    std::swap(prev_comp_count_, comp_count_);
+  }
+
+  // Full cut: FinalizeClusters folds the whole canonical table (running the
+  // full merge pass), then the delta build reuses every clean component's
+  // previous-epoch entry. The census walk and the table enumerate the same
+  // components in the same ascending-canonical-id order.
+  void CutShardedFull(cluster::ShardedClusterer& sharded, const BestRankTable& ranks,
+                      SnapshotBuildJob& job) {
+    std::vector<cluster::Cluster> table = sharded.FinalizeClusters();
+    CensusSharded(sharded);
+    FOCUS_CHECK(table.size() == roots_in_order_.size());
+
+    job.items.reserve(table.size());
+    std::vector<std::pair<int32_t, common::ClassId>> ranked;  // Scratch per entry.
+    std::unordered_map<common::ClassId, size_t> rank_slot;
+    for (size_t i = 0; i < table.size(); ++i) {
+      const cluster::Cluster& c = table[i];
+      SnapshotBuildItem item;
+      if (root_clean_[i]) {
+        item.reused = true;
+        item.prev_slot = static_cast<size_t>(prev_slot_by_canonical_[static_cast<size_t>(c.id)]);
+      } else {
+        item.entry.cluster_id = c.id;
+        item.entry.representative = c.representative;
+        item.entry.members = c.members;
+        item.entry.size = c.size;
+        FoldRanks(ranks, &dirty_raws_[dirty_begin_[i]], dirty_begin_[i + 1] - dirty_begin_[i],
+                  ranked, rank_slot, item.entry);
+      }
+      job.items.push_back(std::move(item));
+    }
+    CommitCensus();
+  }
+
+  // Incremental cut: the boundary merge pass above re-examined only clusters
+  // dirtied since the previous boundary, so the canonical table is re-derived
+  // by one ascending-global-id walk over the raw shard tables instead of
+  // FinalizeClusters' full fold. The walk order (local asc, shard asc) is
+  // ascending global id, so components' roots appear in first-seen order ==
+  // ascending root order — exactly FinalizeClusters' table order — and a dirty
+  // component's members concatenate in the same raw order FinalizeClusters
+  // folds them. Clean components carry forward by previous-epoch slot without
+  // touching their members at all.
+  void CutShardedIncremental(cluster::ShardedClusterer& sharded, const BestRankTable& ranks,
+                             SnapshotBuildJob& job) {
+    // Publish already ran BoundaryMergePass — the union-find is converged for
+    // every cluster dirtied since the previous boundary.
+    CensusSharded(sharded);
+    const size_t num_shards = sharded.num_shards();
+
+    job.items.reserve(roots_in_order_.size());
+    std::vector<std::pair<int32_t, common::ClassId>> ranked;  // Scratch per entry.
+    std::unordered_map<common::ClassId, size_t> rank_slot;
+    for (size_t i = 0; i < roots_in_order_.size(); ++i) {
+      const int64_t root = roots_in_order_[i];
+      SnapshotBuildItem item;
+      if (root_clean_[i]) {
+        item.reused = true;
+        item.prev_slot = static_cast<size_t>(prev_slot_by_canonical_[static_cast<size_t>(root)]);
+        job.items.push_back(std::move(item));
+        continue;
+      }
+      item.entry.cluster_id = root;
+      for (size_t r = dirty_begin_[i]; r < dirty_begin_[i + 1]; ++r) {
+        const int64_t raw = dirty_raws_[r];
+        const size_t s = static_cast<size_t>(raw) % num_shards;
+        const size_t l = static_cast<size_t>(raw) / num_shards;
+        const cluster::Cluster& src = sharded.shard(s).clusters()[l];
+        if (raw == root) {
+          // The root is the component's minimum id, so it is the raw cluster
+          // FinalizeClusters seeds the canonical entry (and representative)
+          // from.
+          item.entry.representative = src.representative;
+        }
+        item.entry.members.insert(item.entry.members.end(), src.members.begin(),
+                                  src.members.end());
+        item.entry.size += src.size;
+      }
+      FoldRanks(ranks, &dirty_raws_[dirty_begin_[i]], dirty_begin_[i + 1] - dirty_begin_[i],
+                ranked, rank_slot, item.entry);
+      job.items.push_back(std::move(item));
+    }
+    CommitCensus();
+  }
+
+  // Min-folds the component's raw rank rows into |entry|, then sorts
+  // (rank, class) — exactly BestRankTable::Finalize's order on the folded
+  // table. |ranked|/|rank_slot| are caller-owned scratch.
+  static void FoldRanks(const BestRankTable& ranks, const int64_t* raws, size_t count,
+                        std::vector<std::pair<int32_t, common::ClassId>>& ranked,
+                        std::unordered_map<common::ClassId, size_t>& rank_slot,
+                        index::ClusterEntry& entry) {
+    ranked.clear();
+    rank_slot.clear();
+    for (size_t j = 0; j < count; ++j) {
+      const int64_t raw = raws[j];
+      ranks.ForEachOf(raw, [&](common::ClassId cls, int32_t rank) {
+        auto [it, inserted] = rank_slot.try_emplace(cls, ranked.size());
+        if (inserted) {
+          ranked.emplace_back(rank, cls);
+        } else if (rank < ranked[it->second].first) {
+          ranked[it->second].first = rank;
+        }
+      });
+    }
+    std::sort(ranked.begin(), ranked.end());
+    entry.topk_classes.reserve(ranked.size());
+    entry.topk_ranks.reserve(ranked.size());
+    for (const auto& [rank, cls] : ranked) {
+      entry.topk_classes.push_back(cls);
+      entry.topk_ranks.push_back(rank);
+    }
+  }
+
+  // Stamps the cut's ingest-thread wall-clock and hands the job over.
+  // Synchronous mode publishes before returning; background mode returns as
+  // soon as the queue accepts the job.
+  void Submit(SnapshotBuildJob job, std::chrono::steady_clock::time_point cut_start) {
+    job.cut_millis =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - cut_start)
             .count();
-    std::shared_ptr<const LiveSnapshot> published;
-    if (slot_ != nullptr) {
-      published = slot_->Publish(std::move(snap));
-    } else {
-      snap->epoch = ++fallback_epoch_;
-      published = std::move(snap);
-    }
-    if (sink_) {
-      sink_(published);
-    }
-    prev_ = std::move(published);
+    builder_->Submit(std::move(job));
+    have_prev_ = true;
     touched_.clear();
   }
 
   const int64_t every_;
-  SnapshotSlot* const slot_;
-  const std::function<void(std::shared_ptr<const LiveSnapshot>)> sink_;
+  const bool incremental_;
   const double fps_;
   common::FrameIndex next_boundary_;
-  uint64_t fallback_epoch_ = 0;  // Epoch counter when publishing sink-only.
+  std::unique_ptr<SnapshotBuilder> builder_;  // Null without a consumer.
 
-  std::shared_ptr<const LiveSnapshot> prev_;
-  std::unordered_set<int64_t> touched_;  // Raw ids assigned since prev_.
-  // Sharded delta state: canonical id -> dense slot in prev_'s index, and the
-  // component raw count as of prev_.
-  std::unordered_map<int64_t, size_t> prev_slot_of_canonical_;
-  std::unordered_map<int64_t, int64_t> prev_comp_count_;
-  // Sequential delta state: cluster count as of prev_ (ids are dense + stable).
+  // True once the first epoch's job has been handed over. The builder
+  // publishes jobs in FIFO order, so by the time a later job assembles, the
+  // previous epoch's index exists for its reused slots to copy from.
+  bool have_prev_ = false;
+  std::unordered_set<int64_t> touched_;  // Raw ids assigned since the last cut.
+  // Sharded delta state, flat-indexed by canonical (global) id — ids are dense
+  // (g = local * num_shards + shard), so vector indexing replaces the hash-map
+  // census that used to dominate cut_millis at a few thousand clusters:
+  // canonical id -> dense slot in the previous epoch's index (-1 = absent),
+  // and the component raw count as of that epoch.
+  std::vector<int64_t> prev_slot_by_canonical_;
+  std::vector<int32_t> prev_comp_count_;
+  // Per-cut census scratch (CensusSharded), kept across epochs so the cut
+  // never reallocates in steady state.
+  size_t census_size_ = 0;               // num_shards * max_locals this cut.
+  std::vector<int32_t> comp_count_;      // [root] raw members, 0 elsewhere.
+  std::vector<int64_t> canon_of_;        // [g] memoized CanonicalOf.
+  std::vector<int64_t> slot_of_root_;    // [root] -> index in roots_in_order_.
+  std::vector<uint32_t> touched_mark_;   // [root] == cut_seq_ -> dirtied.
+  uint32_t cut_seq_ = 0;
+  std::vector<int64_t> roots_in_order_;  // Ascending canonical ids this cut.
+  std::vector<uint8_t> root_clean_;      // Parallel: previous entry reusable.
+  // CSR spans of each dirty component's raw members, ascending global id:
+  // slot i owns dirty_raws_[dirty_begin_[i], dirty_begin_[i + 1]).
+  std::vector<size_t> dirty_begin_;
+  std::vector<size_t> dirty_fill_;
+  std::vector<int64_t> dirty_raws_;
+  // Sequential delta state: cluster count as of the previous epoch (ids are
+  // dense + stable).
   size_t prev_sequential_clusters_ = 0;
 };
 
@@ -508,6 +670,7 @@ common::Result<IngestResult> RunIngestResumableChecked(const video::StreamRun& r
   sopts.base.undo_fsync = options.undo_fsync;
   sopts.num_shards = static_cast<size_t>(options.num_shards);
   sopts.merge_interval = options.shard_merge_interval;
+  sopts.boundary_merge = options.incremental_boundary_merge;
   cluster::ShardedClusterer clusterer(sopts);
 
   auto recovery = clusterer.OpenOrRecover(options.persist_dir);
@@ -651,14 +814,19 @@ common::Result<IngestResult> RunIngestResumableChecked(const video::StreamRun& r
     }
     if (++frames_since_checkpoint >= options.checkpoint_every_frames) {
       evict_idle_entries(frame);
+      // Any build still in flight must publish before the durable cut: a
+      // same-frame snapshot is observable no later than the checkpoint that
+      // captures its post-boundary state, exactly as in synchronous mode.
+      finalizer.FlushBuilds();
       // A transiently failing commit (msync hiccup, rename rejected) is
       // retried in place: the checkpoint protocol is re-runnable after any
       // partial failure (the meta rename is the single commit point; arena
       // generation skips are harmless). Only a persistently failing commit
       // abandons the attempt to the supervisor.
       const std::string encoded = state.Encode();
-      auto checkpointed = common::RetryWithBackoff(
-          options.checkpoint_retry, [&] { return clusterer.Checkpoint(frame + 1, encoded); });
+      auto checkpointed = common::RetryWithBackoff(options.checkpoint_retry, [&] {
+        return clusterer.Checkpoint(frame + 1, encoded, pool.get());
+      });
       if (!checkpointed.ok()) {
         failure = checkpointed.error();
         return;
@@ -685,10 +853,13 @@ common::Result<IngestResult> RunIngestResumableChecked(const video::StreamRun& r
 
   // Seal the end of the stream, then finalize. The final full merge pass and
   // the canonical fold happen in memory after the seal; a crash during them
-  // resumes at the sealed position and re-finalizes.
+  // resumes at the sealed position and re-finalizes. Builds drain first so
+  // every epoch is published before the stream's durable end state lands.
+  finalizer.FlushBuilds();
   const std::string sealed_state = state.Encode();
-  auto sealed = common::RetryWithBackoff(
-      options.checkpoint_retry, [&] { return clusterer.Checkpoint(limit_frame, sealed_state); });
+  auto sealed = common::RetryWithBackoff(options.checkpoint_retry, [&] {
+    return clusterer.Checkpoint(limit_frame, sealed_state, pool.get());
+  });
   if (!sealed.ok()) {
     return sealed.error();
   }
@@ -747,6 +918,7 @@ IngestResult RunIngestClassifiedSharded(const ClassifiedSample& sample,
   sopts.base.mode = options.cluster_mode;
   sopts.num_shards = static_cast<size_t>(options.num_shards);
   sopts.merge_interval = options.shard_merge_interval;
+  sopts.boundary_merge = options.incremental_boundary_merge;
   cluster::ShardedClusterer sharded(sopts);
 
   // pop_batch stays 1: the queued tasks are already shard-coarse, and letting

@@ -95,8 +95,32 @@ struct IngestOptions {
   // LatestSnapshot().
   SnapshotSlot* snapshot_slot = nullptr;
   // Optional observer invoked with every published snapshot (after the slot
-  // swap, if any); tests and benches use it to capture each epoch.
+  // swap, if any); tests and benches use it to capture each epoch. With
+  // background_publish it runs on the builder thread.
   std::function<void(std::shared_ptr<const LiveSnapshot>)> snapshot_sink;
+  // Background publication: index assembly and the slot swap move to one
+  // dedicated builder thread (core::SnapshotBuilder) fed a self-contained cut
+  // at each cadence boundary, so the ingest thread pays only the boundary
+  // merge + dirty census (stats.cut_millis) instead of the whole publication.
+  // The published snapshot sequence is byte-identical to synchronous mode —
+  // the builder runs the same assembly code over the same cut bytes, in the
+  // same order — and the epoch ≡ halt+finalize property is preserved; only
+  // *when* a given epoch becomes visible shifts (bounded by the builder's
+  // queue depth, and re-synchronized before every same-frame checkpoint).
+  // Ignored when no consumer (slot or sink) is attached.
+  bool background_publish = false;
+  // Sharded path: replace the full O(active) cross-shard merge at every
+  // cadence boundary with the incremental boundary pass
+  // (cluster::ShardedClusterer::BoundaryMergePass — only clusters dirtied
+  // since the previous boundary re-query, plus the neighbourhoods their moves
+  // invalidated), and disable the mid-window periodic passes entirely (they
+  // would break the epoch ≡ halt+finalize identity; shard_merge_interval is
+  // ignored). The boundary pass restores the full-pass union-find closure at
+  // every boundary, so snapshots remain byte-identical to halting and
+  // finalizing — but mid-window merge *timing* differs from the default mode,
+  // so the two modes are distinct clustering semantics and checkpoints refuse
+  // to resume across them. No effect at num_shards == 1.
+  bool incremental_boundary_merge = false;
 
   // --- Persistent ingest (src/storage/arena_file.h, docs/persistence.md) ---
   // Directory for this stream's durable clustering state. Empty (the default)

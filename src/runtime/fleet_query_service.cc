@@ -479,10 +479,20 @@ FederatedExecution FleetQueryService::ExecuteFederated(const core::FederatedPlan
   // traffic. Other entries the drain completes along the way stay buffered
   // for their own DrainAdmitted/TakeFederated callers.
   std::lock_guard<std::mutex> lock(mu_);
-  const uint64_t ticket = EnqueueLocked(tenant, PendingEntry{std::nullopt, plan});
+  const uint64_t ticket = EnqueueLocked(tenant, PendingEntry{std::nullopt, plan, nullptr});
   DrainRoundsLocked();
   auto it = completed_federated_.find(ticket);
-  FOCUS_CHECK(it != completed_federated_.end());
+  if (it == completed_federated_.end()) {
+    // The drain could not admit the plan: it is oversized against
+    // |round_cost_budget_millis| and |split_oversized_plans| is disabled. The
+    // entry stays queued — observable via QueueDepths() — and the caller gets
+    // a typed error instead of an unfulfillable wait.
+    FederatedExecution execution;
+    execution.error = common::FailedPrecondition(
+        "federated plan exceeds round_cost_budget_millis and "
+        "split_oversized_plans is disabled; entry remains queued");
+    return execution;
+  }
   FederatedExecution execution = std::move(it->second);
   completed_federated_.erase(it);
   return execution;
@@ -522,13 +532,13 @@ uint64_t FleetQueryService::EnqueueLocked(const std::string& tenant, PendingEntr
 uint64_t FleetQueryService::Enqueue(FleetQueryRequest request) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::string tenant = request.tenant;
-  return EnqueueLocked(tenant, PendingEntry{std::move(request), std::nullopt});
+  return EnqueueLocked(tenant, PendingEntry{std::move(request), std::nullopt, nullptr});
 }
 
 uint64_t FleetQueryService::EnqueueFederated(core::FederatedPlan plan,
                                              const std::string& tenant) {
   std::lock_guard<std::mutex> lock(mu_);
-  return EnqueueLocked(tenant, PendingEntry{std::nullopt, std::move(plan)});
+  return EnqueueLocked(tenant, PendingEntry{std::nullopt, std::move(plan), nullptr});
 }
 
 void FleetQueryService::DrainRoundsLocked() {
@@ -539,6 +549,43 @@ void FleetQueryService::DrainRoundsLocked() {
   // entries' units share dedup, cache, and launches, and later rounds submit
   // at the advanced cluster frontier with earlier rounds' verdicts already
   // cached. Completions land in |completed_| / |completed_federated_|.
+  //
+  // With |round_cost_budget_millis| set, a tenant's round additionally admits
+  // only while the estimated GT-CNN cost fits the budget. An entry whose cost
+  // alone exceeds a whole round's budget can never be admitted in one piece;
+  // the packer splits it into budget-sized slices executed across consecutive
+  // rounds (one credit per slice, queue-front slot held until the final
+  // slice). Verdicts are pure functions of their centroids, so accumulating
+  // them per unit across slices and resolving against the full plan is
+  // byte-identical to unsplit execution.
+  const double budget = options_.round_cost_budget_millis;
+  auto materialize = [this](PendingEntry& entry) -> SplitProgress& {
+    if (entry.progress == nullptr) {
+      auto progress = std::make_shared<SplitProgress>();
+      if (entry.request.has_value()) {
+        progress->units.push_back(UnitFromRequest(*entry.request));
+      } else {
+        progress->units.reserve(entry.federated->cameras.size());
+        for (const core::FederatedCameraPlan& camera : entry.federated->cameras) {
+          progress->units.push_back(UnitFromFederated(camera));
+        }
+      }
+      entry.progress = std::move(progress);
+    }
+    return *entry.progress;
+  };
+  auto item_cost = [](const Unit& unit) -> double {
+    return unit.gt != nullptr ? unit.gt->batch_cost_model().EstimateMillis(1) : 0.0;
+  };
+  auto remaining_cost = [&item_cost](const SplitProgress& progress) -> double {
+    double cost = 0.0;
+    for (size_t u = progress.next_unit; u < progress.units.size(); ++u) {
+      const size_t done = u == progress.next_unit ? progress.next_item : 0;
+      cost += static_cast<double>(progress.units[u].plan.work.size() - done) *
+              item_cost(progress.units[u]);
+    }
+    return cost;
+  };
   std::map<std::string, double> credit;
   bool work_left = true;
   while (work_left) {
@@ -548,7 +595,22 @@ void FleetQueryService::DrainRoundsLocked() {
       size_t unit_begin = 0;
       size_t unit_count = 0;
     };
+    // One budget-sized span of items cut from a split entry's unit this round.
+    struct Slice {
+      std::shared_ptr<SplitProgress> progress;
+      size_t prog_unit = 0;
+      size_t item_begin = 0;
+      size_t item_count = 0;
+      size_t exec_index = 0;
+    };
+    // Split entries whose final slice runs this round: they complete after it.
+    struct Finishing {
+      uint64_t ticket = 0;
+      PendingEntry entry;
+    };
     std::vector<Admitted> round;
+    std::vector<Slice> slices;
+    std::vector<Finishing> finishing;
     work_left = false;
     for (auto& [tenant, queue] : queues_) {
       if (queue.empty()) {
@@ -557,11 +619,99 @@ void FleetQueryService::DrainRoundsLocked() {
       auto weight_it = tenant_weights_.find(tenant);
       credit[tenant] += weight_it != tenant_weights_.end() ? weight_it->second : 1.0;
       int64_t admitted = 0;
+      double spent = 0.0;
       while (credit[tenant] >= 1.0 && !queue.empty()) {
+        PendingEntry& front = queue.front().second;
+        // |resumed| = at least one slice of this entry already executed; its
+        // accumulated verdicts force it through the slice path regardless of
+        // what its remaining cost would fit.
+        const bool resumed = front.progress != nullptr && !front.progress->partial.empty();
+        if (budget <= 0.0) {
+          // Unbudgeted: admit the whole entry (the historical behavior).
+          credit[tenant] -= 1.0;
+          ++admitted;
+          round.push_back(Admitted{queue.front().first, std::move(front), 0, 0});
+          queue.pop_front();
+          continue;
+        }
+        if (!resumed) {
+          const double cost = remaining_cost(materialize(front));
+          if (spent + cost <= budget) {
+            credit[tenant] -= 1.0;
+            ++admitted;
+            spent += cost;
+            round.push_back(Admitted{queue.front().first, std::move(front), 0, 0});
+            queue.pop_front();
+            continue;
+          }
+          if (cost <= budget) {
+            break;  // Fits a fresh round's budget; resume next round.
+          }
+          if (!options_.split_oversized_plans) {
+            // Oversized with splitting disabled: the entry can never be
+            // admitted. Leave it queued (observable via QueueDepths / the
+            // typed ExecuteFederated error) and end this tenant's round so
+            // the drain terminates.
+            break;
+          }
+        }
+        if (spent > 0.0) {
+          break;  // A slice always starts on a fresh round's whole budget.
+        }
+        // Cut one budget-sized slice off the front entry. The entry keeps its
+        // queue-front slot until the final slice.
+        SplitProgress& progress = materialize(front);
+        if (!resumed) {
+          stats_.plans_split += 1;
+          metrics_->IncrementCounter("fleet.plans_split");
+          stats_.requests += 1;  // A split entry is still one request.
+        }
         credit[tenant] -= 1.0;
-        round.push_back(Admitted{queue.front().first, std::move(queue.front().second), 0, 0});
-        queue.pop_front();
         ++admitted;
+        metrics_->IncrementCounter("fleet.plan_slices");
+        bool took = false;
+        double slice_cost = 0.0;
+        while (progress.next_unit < progress.units.size()) {
+          const Unit& unit = progress.units[progress.next_unit];
+          if (progress.next_item >= unit.plan.work.size()) {
+            ++progress.next_unit;
+            progress.next_item = 0;
+            continue;
+          }
+          const size_t remaining = unit.plan.work.size() - progress.next_item;
+          size_t take = remaining;
+          const double per_item = item_cost(unit);
+          if (per_item > 0.0) {
+            const double room = (budget - slice_cost) / per_item;
+            if (room < 1.0) {
+              if (took) {
+                break;
+              }
+              take = 1;  // Liveness: every slice moves at least one item.
+            } else {
+              take = std::min(remaining, static_cast<size_t>(room));
+            }
+          }
+          slices.push_back(
+              Slice{front.progress, progress.next_unit, progress.next_item, take, 0});
+          slice_cost += static_cast<double>(take) * per_item;
+          progress.next_item += take;
+          took = true;
+          if (slice_cost >= budget) {
+            break;
+          }
+        }
+        spent += slice_cost;
+        while (progress.next_unit < progress.units.size() &&
+               progress.next_item >= progress.units[progress.next_unit].plan.work.size()) {
+          ++progress.next_unit;
+          progress.next_item = 0;
+        }
+        if (progress.next_unit >= progress.units.size()) {
+          finishing.push_back(Finishing{queue.front().first, std::move(front)});
+          queue.pop_front();
+        }
+        break;  // The slice consumed this tenant's round.
       }
       if (admitted > 0) {
         metrics_->IncrementCounter("fleet.tenant." + tenant + ".admitted", admitted);
@@ -570,13 +720,33 @@ void FleetQueryService::DrainRoundsLocked() {
       }
       work_left = work_left || !queue.empty();
     }
-    if (round.empty()) {
-      continue;  // All fractional weights this round; credits accumulate.
+    if (round.empty() && slices.empty() && finishing.empty()) {
+      // Nothing admitted. Keep looping only while some non-empty tenant is
+      // still accruing fractional credit; otherwise every remaining front is
+      // un-admittable (oversized with splitting disabled) and looping would
+      // never terminate.
+      bool accruing = false;
+      for (const auto& [tenant, queue] : queues_) {
+        if (!queue.empty() && credit[tenant] < 1.0) {
+          accruing = true;
+          break;
+        }
+      }
+      if (!accruing) {
+        break;
+      }
+      continue;
     }
     std::vector<Unit> units;
     for (Admitted& admitted : round) {
       admitted.unit_begin = units.size();
-      if (admitted.entry.request.has_value()) {
+      if (admitted.entry.progress != nullptr) {
+        // Cost estimation already planned this entry; reuse its units.
+        for (Unit& unit : admitted.entry.progress->units) {
+          units.push_back(std::move(unit));
+        }
+        admitted.entry.progress.reset();
+      } else if (admitted.entry.request.has_value()) {
         units.push_back(UnitFromRequest(*admitted.entry.request));
       } else {
         for (const core::FederatedCameraPlan& camera : admitted.entry.federated->cameras) {
@@ -585,30 +755,67 @@ void FleetQueryService::DrainRoundsLocked() {
       }
       admitted.unit_count = units.size() - admitted.unit_begin;
     }
+    for (Slice& slice : slices) {
+      // Classification-only sub-unit: ExecuteUnitsLocked reads camera, epoch,
+      // plan.work, and gt; resolution happens against the full unit at the
+      // final slice, so stream/snapshot stay null here.
+      const Unit& source = slice.progress->units[slice.prog_unit];
+      Unit exec;
+      exec.camera = source.camera;
+      exec.epoch = source.epoch;
+      exec.gt = source.gt;
+      exec.plan = source.plan;
+      exec.plan.work.assign(
+          source.plan.work.begin() + static_cast<ptrdiff_t>(slice.item_begin),
+          source.plan.work.begin() + static_cast<ptrdiff_t>(slice.item_begin + slice.item_count));
+      slice.exec_index = units.size();
+      units.push_back(std::move(exec));
+    }
     stats_.requests += static_cast<int64_t>(round.size());
     common::GpuMillis submit = 0.0;
     const std::vector<UnitOutcome> outcomes = ExecuteUnitsLocked(units, &submit);
-    for (const Admitted& admitted : round) {
-      if (admitted.entry.request.has_value()) {
-        QueryExecution execution =
-            ResolveUnit(units[admitted.unit_begin], outcomes[admitted.unit_begin], submit);
+    for (const Slice& slice : slices) {
+      SplitProgress& progress = *slice.progress;
+      if (progress.partial.empty()) {
+        progress.partial.resize(progress.units.size());
+        for (size_t u = 0; u < progress.units.size(); ++u) {
+          progress.partial[u].verdicts.assign(progress.units[u].plan.work.size(),
+                                              common::ClassId{});
+          progress.partial[u].finish_millis = submit;
+        }
+        progress.first_submit = submit;
+      }
+      const UnitOutcome& outcome = outcomes[slice.exec_index];
+      UnitOutcome& into = progress.partial[slice.prog_unit];
+      into.failed = into.failed || outcome.failed;
+      into.finish_millis = std::max(into.finish_millis, outcome.finish_millis);
+      const size_t copied = std::min(slice.item_count, outcome.verdicts.size());
+      for (size_t i = 0; i < copied; ++i) {
+        into.verdicts[slice.item_begin + i] = outcome.verdicts[i];
+      }
+    }
+    auto complete = [this](uint64_t ticket, PendingEntry& entry, const Unit* entry_units,
+                           const UnitOutcome* entry_outcomes, size_t count,
+                           common::GpuMillis entry_submit) {
+      if (entry.request.has_value()) {
+        QueryExecution execution = ResolveUnit(entry_units[0], entry_outcomes[0], entry_submit);
         metrics_->IncrementCounter("fleet.requests");
         if (execution.error.has_value()) {
           metrics_->IncrementCounter("fleet.requests_failed");
         } else {
           metrics_->Observe("fleet.latency_millis", execution.latency_millis());
         }
-        completed_.emplace_back(admitted.ticket, std::move(execution));
-        continue;
+        completed_.emplace_back(ticket, std::move(execution));
+        return;
       }
-      const core::FederatedPlan& plan = *admitted.entry.federated;
+      const core::FederatedPlan& plan = *entry.federated;
       FederatedExecution federated;
-      federated.submit_millis = submit;
-      federated.finish_millis = submit;
+      federated.submit_millis = entry_submit;
+      federated.finish_millis = entry_submit;
       std::vector<core::QueryResult> per_camera;
-      per_camera.reserve(admitted.unit_count);
-      for (size_t u = admitted.unit_begin; u < admitted.unit_begin + admitted.unit_count; ++u) {
-        QueryExecution execution = ResolveUnit(units[u], outcomes[u], submit);
+      per_camera.reserve(count);
+      for (size_t u = 0; u < count; ++u) {
+        QueryExecution execution = ResolveUnit(entry_units[u], entry_outcomes[u], entry_submit);
         federated.finish_millis = std::max(federated.finish_millis, execution.finish_millis);
         if (execution.error.has_value() && !federated.error.has_value()) {
           federated.error = execution.error;
@@ -617,14 +824,22 @@ void FleetQueryService::DrainRoundsLocked() {
       }
       federated.result = core::MergeFederatedResults(plan, std::move(per_camera));
       metrics_->IncrementCounter("fleet.federated_queries");
-      metrics_->IncrementCounter("fleet.federated_cameras",
-                                 static_cast<int64_t>(admitted.unit_count));
+      metrics_->IncrementCounter("fleet.federated_cameras", static_cast<int64_t>(count));
       if (federated.error.has_value()) {
         metrics_->IncrementCounter("fleet.requests_failed");
       } else {
         metrics_->Observe("fleet.latency_millis", federated.latency_millis());
       }
-      completed_federated_.emplace(admitted.ticket, std::move(federated));
+      completed_federated_.emplace(ticket, std::move(federated));
+    };
+    for (Admitted& admitted : round) {
+      complete(admitted.ticket, admitted.entry, units.data() + admitted.unit_begin,
+               outcomes.data() + admitted.unit_begin, admitted.unit_count, submit);
+    }
+    for (Finishing& fin : finishing) {
+      SplitProgress& progress = *fin.entry.progress;
+      complete(fin.ticket, fin.entry, progress.units.data(), progress.partial.data(),
+               progress.units.size(), progress.first_submit);
     }
   }
   for (auto it = queues_.begin(); it != queues_.end();) {

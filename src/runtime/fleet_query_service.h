@@ -63,6 +63,21 @@ struct FleetQueryServiceOptions {
   // eviction and epoch retirement keep it bounded under any query mix.
   size_t verdict_cache_capacity = 1 << 20;
   common::RetryPolicy launch_retry;
+  // Per-tenant, per-round admission cost budget in estimated GPU milliseconds
+  // (Σ work items × the GT-CNN's batch-size-1 cost estimate). A tenant's round
+  // admits entries while the budget lasts; 0 disables budgeting (admission is
+  // limited by DRR credit alone — the historical behavior).
+  double round_cost_budget_millis = 0.0;
+  // With a budget set, a plan whose cost alone exceeds a whole round's budget
+  // can never be admitted in one piece. When true, the packer splits such an
+  // oversized plan into budget-sized slices executed across consecutive
+  // rounds — one DRR credit per slice, the entry holding its queue-front slot
+  // until the final slice, verdicts accumulated per unit and resolved against
+  // the full plan (byte-identical to unsplit execution: a verdict is a pure
+  // function of its centroid). When false, the oversized entry is skipped
+  // every round and starves — observable via QueueDepths(), returned as a
+  // typed error from ExecuteFederated.
+  bool split_oversized_plans = true;
 };
 
 // One request to the fleet service. |camera| is the verdict-cache identity and
@@ -87,6 +102,7 @@ struct FleetServiceStats {
   int64_t launch_retries = 0;
   int64_t launches_failed = 0;
   common::GpuMillis wasted_gpu_millis = 0.0;
+  int64_t plans_split = 0;    // Oversized entries executed as budget slices.
   int64_t cache_evicted = 0;  // Capacity (LRU) evictions.
   int64_t cache_retired = 0;  // Epoch-retirement evictions.
   size_t cache_size = 0;      // Current entries (bounded by capacity).
@@ -216,12 +232,6 @@ class FleetQueryService {
     size_t capacity = 0;
   };
 
-  // One queued admission entry: a single-camera request or a federated plan.
-  struct PendingEntry {
-    std::optional<FleetQueryRequest> request;
-    std::optional<core::FederatedPlan> federated;
-  };
-
   // One planned target inside an admission (a request, a federated camera, or
   // a session expansion step).
   struct Unit {
@@ -240,6 +250,25 @@ class FleetQueryService {
     std::vector<common::ClassId> verdicts;
     common::GpuMillis finish_millis = 0.0;
     bool failed = false;
+  };
+
+  // Cross-round cursor for an oversized entry executed as budget slices.
+  // Owned via shared_ptr so the state stays pointer-stable while the entry
+  // sits (and moves) inside its tenant deque between rounds.
+  struct SplitProgress {
+    std::vector<Unit> units;          // Full materialized plan, in unit order.
+    std::vector<UnitOutcome> partial; // Accumulated verdicts, parallel units.
+    size_t next_unit = 0;             // First unit with unexecuted items.
+    size_t next_item = 0;             // First unexecuted item in that unit.
+    common::GpuMillis first_submit = 0.0;  // Submit instant of slice one.
+  };
+
+  // One queued admission entry: a single-camera request or a federated plan.
+  struct PendingEntry {
+    std::optional<FleetQueryRequest> request;
+    std::optional<core::FederatedPlan> federated;
+    // Non-null once the packer has started slicing this entry.
+    std::shared_ptr<SplitProgress> progress;
   };
 
   static Unit UnitFromRequest(const FleetQueryRequest& request);

@@ -54,6 +54,7 @@ ShmPlaneStats StatsOf(const SharedSegment& segment) {
       control->stale_pins_reclaimed.load(std::memory_order_relaxed);
   stats.reader_attaches = control->reader_attaches.load(std::memory_order_relaxed);
   stats.pin_violations = control->pin_violations.load(std::memory_order_relaxed);
+  stats.regions_compacted = control->regions_compacted.load(std::memory_order_relaxed);
   stats.segment_bytes = segment.size();
   stats.arena_used_bytes = control->bump_top.load(std::memory_order_relaxed) - kShmDataOffset;
   const auto* slots =
@@ -149,26 +150,103 @@ common::Result<uint32_t> EpochPublisher::ClaimRegion(uint64_t g, uint64_t need) 
   std::sort(candidates.begin(), candidates.end());
   FOCUS_CHECK(!candidates.empty());
 
+  // Returns an abandoned span to the free-span table: coalesce to fixpoint
+  // with adjacent free spans, hand the result back to the bump allocator when
+  // it ends at bump_top, otherwise record it for reuse. On table overflow the
+  // smallest span is dropped (leaked — the pre-v2 behavior, now bounded by
+  // table pressure instead of hit on every growth).
+  const auto release_span = [&](uint64_t offset, uint64_t bytes) {
+    if (bytes == 0) {
+      return;
+    }
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      for (uint32_t i = 0; i < ctl->free_span_count; ++i) {
+        const uint64_t o = ctl->free_span_offset[i];
+        const uint64_t b = ctl->free_span_bytes[i];
+        if (o + b == offset || offset + bytes == o) {
+          offset = std::min(offset, o);
+          bytes += b;
+          --ctl->free_span_count;
+          ctl->free_span_offset[i] = ctl->free_span_offset[ctl->free_span_count];
+          ctl->free_span_bytes[i] = ctl->free_span_bytes[ctl->free_span_count];
+          merged = true;
+          break;
+        }
+      }
+    }
+    if (offset + bytes == ctl->bump_top.load(std::memory_order_relaxed)) {
+      ctl->bump_top.store(offset, std::memory_order_relaxed);
+      ctl->regions_compacted.fetch_add(1, std::memory_order_relaxed);
+      metrics_->IncrementCounter("shm.regions_compacted");
+      return;
+    }
+    if (ctl->free_span_count < kShmMaxFreeSpans) {
+      ctl->free_span_offset[ctl->free_span_count] = offset;
+      ctl->free_span_bytes[ctl->free_span_count] = bytes;
+      ++ctl->free_span_count;
+      return;
+    }
+    uint32_t smallest = 0;
+    for (uint32_t i = 1; i < kShmMaxFreeSpans; ++i) {
+      if (ctl->free_span_bytes[i] < ctl->free_span_bytes[smallest]) {
+        smallest = i;
+      }
+    }
+    if (ctl->free_span_bytes[smallest] < bytes) {
+      ctl->free_span_offset[smallest] = offset;
+      ctl->free_span_bytes[smallest] = bytes;
+    }
+  };
+
   const auto ensure_capacity = [&](uint32_t r) -> bool {
-    if (ctl->regions[r].capacity.load(std::memory_order_relaxed) >= need) {
+    const uint64_t old_capacity = ctl->regions[r].capacity.load(std::memory_order_relaxed);
+    if (old_capacity >= need) {
       return true;
     }
-    // Re-point the region at fresh arena space (append-only; the old span is
-    // leaked inside the fixed arena, bounded by capacity doubling). Readers
-    // locate payloads by the absolute offset in the epoch header, never
-    // through the region descriptor, so re-pointing is invisible to them.
-    const uint64_t old_capacity = ctl->regions[r].capacity.load(std::memory_order_relaxed);
-    const uint64_t top = AlignUp(ctl->bump_top.load(std::memory_order_relaxed));
-    uint64_t capacity = std::max(AlignUp(need), old_capacity * 2);
-    if (top + capacity > segment_->size()) {
-      capacity = AlignUp(need);  // Doubling headroom no longer fits; take the minimum.
+    // Re-point the region at a larger span. Readers locate payloads by the
+    // absolute offset in the epoch header, never through the region
+    // descriptor, so re-pointing is invisible to them. The old span is
+    // released only after the new one is secured: on failure the caller
+    // un-claims the region and its descriptor must stay valid.
+    const uint64_t old_offset = ctl->regions[r].offset.load(std::memory_order_relaxed);
+    uint64_t new_offset = 0;
+    uint64_t new_capacity = 0;
+    // Best fit from the free-span table first: reuse an abandoned span
+    // instead of growing the arena.
+    uint32_t best = kShmMaxFreeSpans;
+    for (uint32_t i = 0; i < ctl->free_span_count; ++i) {
+      if (ctl->free_span_bytes[i] >= AlignUp(need) &&
+          (best == kShmMaxFreeSpans || ctl->free_span_bytes[i] < ctl->free_span_bytes[best])) {
+        best = i;
+      }
     }
-    if (top + capacity > segment_->size()) {
-      return false;
+    if (best != kShmMaxFreeSpans) {
+      // Take the whole span as capacity (both ends stay 64 B aligned).
+      new_offset = ctl->free_span_offset[best];
+      new_capacity = ctl->free_span_bytes[best];
+      --ctl->free_span_count;
+      ctl->free_span_offset[best] = ctl->free_span_offset[ctl->free_span_count];
+      ctl->free_span_bytes[best] = ctl->free_span_bytes[ctl->free_span_count];
+      ctl->regions_compacted.fetch_add(1, std::memory_order_relaxed);
+      metrics_->IncrementCounter("shm.regions_compacted");
+    } else {
+      const uint64_t top = AlignUp(ctl->bump_top.load(std::memory_order_relaxed));
+      uint64_t capacity = std::max(AlignUp(need), old_capacity * 2);
+      if (top + capacity > segment_->size()) {
+        capacity = AlignUp(need);  // Doubling headroom no longer fits; take the minimum.
+      }
+      if (top + capacity > segment_->size()) {
+        return false;
+      }
+      new_offset = top;
+      new_capacity = capacity;
+      ctl->bump_top.store(top + capacity, std::memory_order_relaxed);
     }
-    ctl->regions[r].offset.store(top, std::memory_order_relaxed);
-    ctl->regions[r].capacity.store(capacity, std::memory_order_relaxed);
-    ctl->bump_top.store(top + capacity, std::memory_order_relaxed);
+    ctl->regions[r].offset.store(new_offset, std::memory_order_relaxed);
+    ctl->regions[r].capacity.store(new_capacity, std::memory_order_relaxed);
+    release_span(old_offset, old_capacity);
     return true;
   };
 

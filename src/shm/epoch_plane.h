@@ -66,7 +66,9 @@ namespace focus::shm {
 //   [ data regions   ...    ]  append-only bump allocations, 64 B aligned
 
 inline constexpr uint64_t kShmMagic = 0x464F435553534D31ULL;  // "FOCUSSM1"
-inline constexpr uint32_t kShmVersion = 1;
+// v2: ShmControl grew the free-span table (abandoned region spans are
+// compacted and reused instead of leaked). Readers refuse other versions.
+inline constexpr uint32_t kShmVersion = 2;
 inline constexpr size_t kShmControlBytes = 4096;
 inline constexpr size_t kShmReaderSlotsBytes = 4096;
 inline constexpr size_t kShmHeaderSlotBytes = 4096;
@@ -74,12 +76,14 @@ inline constexpr size_t kShmHeaderOffset = kShmControlBytes + kShmReaderSlotsByt
 inline constexpr size_t kShmDataOffset = kShmHeaderOffset + 2 * kShmHeaderSlotBytes;
 inline constexpr uint32_t kShmMaxReaders = 64;
 inline constexpr uint32_t kShmMaxRegions = 8;
+inline constexpr uint32_t kShmMaxFreeSpans = 16;
 inline constexpr size_t kShmDefaultSegmentBytes = size_t{256} << 20;  // Virtual; lazy pages.
 
 // One data region: a bump-allocated span holding the payload of exactly one
 // generation at a time. The publisher rotates generations across regions and
-// re-points a region at fresh arena space when a payload outgrows it (the old
-// span is leaked inside the fixed arena — bounded by capacity doubling).
+// re-points a region at a larger span when a payload outgrows it; the old
+// span goes to the control block's free-span table and is reused (compacted)
+// by later growths instead of leaking inside the fixed arena.
 struct ShmRegionDesc {
   std::atomic<uint64_t> offset{0};    // Absolute byte offset into the segment.
   std::atomic<uint64_t> capacity{0};  // Bytes reserved at |offset|.
@@ -111,7 +115,19 @@ struct ShmControl {
   std::atomic<uint64_t> stale_pins_reclaimed{0};
   std::atomic<uint64_t> reader_attaches{0};
   std::atomic<uint64_t> pin_violations{0};  // Forced evictions of a live pin.
+  // Abandoned spans reused or returned to the bump allocator instead of
+  // leaked (one count per region growth served from the free-span table or
+  // coalesced back into bump_top).
+  std::atomic<uint64_t> regions_compacted{0};
   ShmRegionDesc regions[kShmMaxRegions];
+  // Free-span table: spans abandoned when a region outgrew its allocation,
+  // kept for reuse. Writer-private — only the (single-threaded) publisher
+  // reads or writes these, and readers locate payloads by absolute offsets in
+  // epoch headers, never through this table — so plain fields are safe.
+  uint32_t free_span_count = 0;
+  uint32_t free_reserved = 0;
+  uint64_t free_span_offset[kShmMaxFreeSpans] = {};
+  uint64_t free_span_bytes[kShmMaxFreeSpans] = {};
 };
 
 // Model provenance carried in every epoch header, so a cold process (the
@@ -194,6 +210,7 @@ struct ShmPlaneStats {
   uint64_t stale_pins_reclaimed = 0;
   uint64_t reader_attaches = 0;
   uint64_t pin_violations = 0;
+  uint64_t regions_compacted = 0;  // Abandoned spans reused instead of leaked.
   uint64_t live_readers = 0;  // Slots with a claimed pid.
   uint64_t segment_bytes = 0;
   uint64_t arena_used_bytes = 0;  // Bump-allocated so far.

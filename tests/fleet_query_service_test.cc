@@ -507,6 +507,134 @@ TEST_F(FleetQueryServiceTest, StripedCacheAnswersConcurrentWarmTrafficIdenticall
   EXPECT_LE(after.cache_size, service.options().verdict_cache_capacity);
 }
 
+// Regression: all-or-nothing admission starves oversized plans. With a
+// per-round cost budget and splitting disabled (the pre-fix packer), an entry
+// whose estimated cost alone exceeds a whole round's budget is skipped every
+// round: other tenants keep flowing, the oversized tenant's queue depth never
+// drops, and a direct ExecuteFederated surfaces a typed error instead of
+// blocking on a completion that can never arrive.
+TEST_F(FleetQueryServiceTest, OversizedPlanStarvesWhenSplittingDisabled) {
+  auto plan = fleet_->PlanFederated(dominant_class_);
+  ASSERT_TRUE(plan.ok());
+  const core::FocusStream* small_stream = fleet_->Find(CameraName(5));
+  ASSERT_NE(small_stream, nullptr);
+  const size_t small_items = small_stream->Plan(dominant_class_).work.size();
+  ASSERT_GT(small_items, 0u);
+  ASSERT_GT(plan->TotalWorkItems(), static_cast<int64_t>(2 * small_items));
+  const double per_item = small_stream->gt_cnn().batch_cost_model().EstimateMillis(1);
+
+  FleetQueryServiceOptions options;
+  options.round_cost_budget_millis = static_cast<double>(small_items) * per_item;
+  options.split_oversized_plans = false;  // The pre-fix all-or-nothing packer.
+  FleetQueryService service(options);
+
+  const uint64_t fed = service.EnqueueFederated(*plan, "a");
+  FleetQueryRequest small;
+  small.camera = CameraName(5);
+  small.tenant = "b";
+  small.query.stream = small_stream;
+  small.query.cls = dominant_class_;
+  const uint64_t small_ticket = service.Enqueue(small);
+
+  // The drain terminates, completes the small tenant, and leaves the
+  // oversized entry parked at its queue front.
+  const auto drained = service.DrainAdmitted();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].first, small_ticket);
+  ASSERT_FALSE(drained[0].second.error.has_value());
+  ExpectSameQueryResult(drained[0].second.result, small_stream->Query(dominant_class_));
+  EXPECT_FALSE(service.TakeFederated(fed).has_value());
+  const auto depths = service.QueueDepths();
+  ASSERT_EQ(depths.count("a"), 1u);
+  EXPECT_EQ(depths.at("a"), 1u);
+  EXPECT_EQ(service.stats().plans_split, 0);
+
+  // Direct execution of an un-admittable plan: typed error, entry observable
+  // in the queue, no crash.
+  FleetQueryService direct(options);
+  const FederatedExecution exec = direct.ExecuteFederated(*plan);
+  ASSERT_TRUE(exec.error.has_value());
+  EXPECT_EQ(exec.error->code, common::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(direct.QueueDepths().count("default"), 1u);
+}
+
+// The fix: the packer splits an oversized plan into budget-sized slices
+// executed across consecutive rounds — the entry completes, other tenants
+// still interleave, and the merged result is byte-identical to the sequential
+// oracle (verdicts are pure per-centroid, so slicing cannot change them).
+TEST_F(FleetQueryServiceTest, OversizedPlanSplitsAcrossRoundsByteIdentically) {
+  auto plan = fleet_->PlanFederated(dominant_class_);
+  ASSERT_TRUE(plan.ok());
+  const core::FocusStream* small_stream = fleet_->Find(CameraName(5));
+  ASSERT_NE(small_stream, nullptr);
+  const size_t small_items = small_stream->Plan(dominant_class_).work.size();
+  ASSERT_GT(small_items, 0u);
+  ASSERT_GT(plan->TotalWorkItems(), static_cast<int64_t>(2 * small_items));
+  const double per_item = small_stream->gt_cnn().batch_cost_model().EstimateMillis(1);
+  const core::FleetQueryResult sequential = fleet_->ExecuteFederatedSequential(*plan);
+
+  FleetQueryServiceOptions options;
+  options.round_cost_budget_millis = static_cast<double>(small_items) * per_item;
+  ASSERT_TRUE(options.split_oversized_plans);  // The default.
+  MetricsRegistry metrics;
+  FleetQueryService service(options, &metrics);
+
+  const uint64_t fed = service.EnqueueFederated(*plan, "a");
+  FleetQueryRequest small;
+  small.camera = CameraName(5);
+  small.tenant = "b";
+  small.query.stream = small_stream;
+  small.query.cls = dominant_class_;
+  const uint64_t small_ticket = service.Enqueue(small);
+
+  const auto drained = service.DrainAdmitted();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].first, small_ticket);
+  ASSERT_FALSE(drained[0].second.error.has_value());
+  ExpectSameQueryResult(drained[0].second.result, small_stream->Query(dominant_class_));
+
+  auto fed_exec = service.TakeFederated(fed);
+  ASSERT_TRUE(fed_exec.has_value());
+  ASSERT_FALSE(fed_exec->error.has_value());
+  ExpectSameFleetResult(fed_exec->result, sequential);
+  EXPECT_TRUE(service.QueueDepths().empty());
+  EXPECT_EQ(service.stats().plans_split, 1);
+  EXPECT_EQ(metrics.counter("fleet.plans_split"), 1);
+  EXPECT_GT(metrics.counter("fleet.plan_slices"), 1);
+
+  // Direct execution splits too, and a warm repeat stays byte-identical.
+  FleetQueryService direct(options);
+  const FederatedExecution cold = direct.ExecuteFederated(*plan);
+  ASSERT_FALSE(cold.error.has_value());
+  ExpectSameFleetResult(cold.result, sequential);
+  const FederatedExecution warm = direct.ExecuteFederated(*plan);
+  ASSERT_FALSE(warm.error.has_value());
+  ExpectSameFleetResult(warm.result, sequential);
+  EXPECT_GE(direct.stats().plans_split, 1);
+
+  // An oversized single-camera request splits through the same path.
+  const core::FocusStream* wide_stream = fleet_->Find(CameraName(1));
+  ASSERT_NE(wide_stream, nullptr);
+  const size_t wide_items = wide_stream->Plan(dominant_class_).work.size();
+  if (wide_items > 1) {
+    FleetQueryServiceOptions tight = options;
+    tight.round_cost_budget_millis =
+        wide_stream->gt_cnn().batch_cost_model().EstimateMillis(1) * 1.5;
+    FleetQueryService single(tight);
+    FleetQueryRequest wide;
+    wide.camera = CameraName(1);
+    wide.query.stream = wide_stream;
+    wide.query.cls = dominant_class_;
+    const uint64_t ticket = single.Enqueue(wide);
+    const auto singles = single.DrainAdmitted();
+    ASSERT_EQ(singles.size(), 1u);
+    EXPECT_EQ(singles[0].first, ticket);
+    ASSERT_FALSE(singles[0].second.error.has_value());
+    ExpectSameQueryResult(singles[0].second.result, wide_stream->Query(dominant_class_));
+    EXPECT_EQ(single.stats().plans_split, 1);
+  }
+}
+
 // Per-tenant admission accounting reaches the metrics registry: enqueue and
 // admit counters per tenant, live queue-depth gauges, and the fleet-wide
 // request/federated counters.

@@ -254,6 +254,137 @@ TEST(LiveSnapshotPropertyTest, ResumableSnapshotsMatchUninterrupted) {
   fs::remove_all(dir);
 }
 
+// The tentpole property for background publication: with the snapshot builder
+// on its own thread and boundary merges incremental, every published epoch is
+// STILL byte-identical to halting ingest at its watermark and finalizing
+// one-shot — and the background run's snapshot sequence is byte-identical to
+// the synchronous run's (the builder assembles from a copied cut; threading
+// moves work, never content).
+TEST(LiveSnapshotPropertyTest, BackgroundIncrementalSnapshotsEqualHaltAndFinalize) {
+  video::ClassCatalog catalog(47);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile("auburn_c", &profile));
+  const IngestParams params = Params();
+  cnn::Cnn cheap(params.model, &catalog);
+
+  common::Pcg32 rng(0xBB51);
+  int epochs_checked = 0;
+  for (int num_shards : {1, 2, 4}) {
+    const uint64_t seed = 100 + rng.Next() % 1000;
+    video::StreamRun run(&catalog, profile, /*duration_sec=*/20.0, /*fps=*/30.0, seed);
+    const ClassifiedSample sample = ClassifySample(run, cheap, params.k);
+
+    IngestOptions options;
+    options.num_shards = num_shards;
+    options.finalize_every_frames = 40 + static_cast<int64_t>(rng.Next() % 100);
+    options.incremental_boundary_merge = true;
+    SCOPED_TRACE("shards=" + std::to_string(num_shards) +
+                 " every=" + std::to_string(options.finalize_every_frames) +
+                 " seed=" + std::to_string(seed));
+
+    std::vector<std::shared_ptr<const LiveSnapshot>> background;
+    IngestOptions bg = options;
+    bg.background_publish = true;
+    bg.snapshot_sink = [&](std::shared_ptr<const LiveSnapshot> snap) {
+      background.push_back(std::move(snap));  // Builder thread; read post-run.
+    };
+    const IngestResult full_bg = RunIngestClassified(sample, params, bg);
+    ASSERT_FALSE(background.empty());
+
+    std::vector<std::shared_ptr<const LiveSnapshot>> sync;
+    IngestOptions sy = options;
+    sy.snapshot_sink = [&](std::shared_ptr<const LiveSnapshot> snap) {
+      sync.push_back(std::move(snap));
+    };
+    const IngestResult full_sync = RunIngestClassified(sample, params, sy);
+
+    // Background vs synchronous: the same dense epochs, byte-identical.
+    ASSERT_EQ(background.size(), sync.size());
+    for (size_t i = 0; i < background.size(); ++i) {
+      EXPECT_EQ(background[i]->epoch, sync[i]->epoch);
+      EXPECT_EQ(background[i]->epoch, i + 1);
+      EXPECT_EQ(background[i]->watermark, sync[i]->watermark);
+      EXPECT_EQ(background[i]->detections, sync[i]->detections);
+      EXPECT_EQ(background[i]->stats.entries_reused, sync[i]->stats.entries_reused);
+      EXPECT_EQ(background[i]->stats.entries_rebuilt, sync[i]->stats.entries_rebuilt);
+      ExpectSameIndex(background[i]->index, sync[i]->index);
+    }
+    ExpectSameIndex(full_bg.index, full_sync.index);
+
+    // Each background epoch ≡ halting at its watermark (same options) and
+    // finalizing one-shot.
+    for (const auto& snap : background) {
+      const IngestResult halted =
+          RunIngestClassified(Truncate(sample, snap->watermark, cheap), params, options);
+      EXPECT_EQ(snap->detections, halted.detections);
+      ExpectSameIndex(snap->index, halted.index);
+      ++epochs_checked;
+    }
+  }
+  EXPECT_GT(epochs_checked, 10);
+}
+
+// Crash-resume under background builds: the builder is flushed before every
+// durable checkpoint (publish-before-cut ordering), so a crashed and resumed
+// persistent run with background publication and incremental boundary merges
+// re-publishes epochs byte-identical to the uninterrupted run's at the same
+// watermarks, across shard counts.
+TEST(LiveSnapshotPropertyTest, BackgroundResumableSnapshotsMatchUninterrupted) {
+  video::ClassCatalog catalog(53);
+  video::StreamProfile profile;
+  ASSERT_TRUE(video::FindProfile("auburn_c", &profile));
+  const IngestParams params = Params();
+  cnn::Cnn cheap(params.model, &catalog);
+  video::StreamRun run(&catalog, profile, /*duration_sec=*/20.0, /*fps=*/30.0, 11);
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("live_snap_bg_resume_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  for (int num_shards : {1, 4}) {
+    SCOPED_TRACE("num_shards=" + std::to_string(num_shards));
+    IngestOptions options;
+    options.num_shards = num_shards;
+    options.finalize_every_frames = 90;
+    options.checkpoint_every_frames = 64;
+    options.background_publish = true;
+    options.incremental_boundary_merge = true;
+
+    std::vector<std::shared_ptr<const LiveSnapshot>> uninterrupted;
+    IngestOptions a = options;
+    a.persist_dir = (dir / ("u" + std::to_string(num_shards))).string();
+    a.snapshot_sink = [&](std::shared_ptr<const LiveSnapshot> snap) {
+      uninterrupted.push_back(std::move(snap));
+    };
+    const IngestResult full = RunIngestResumable(run, cheap, params, a);
+    ASSERT_GE(uninterrupted.size(), 4u);
+
+    IngestOptions b = options;
+    b.persist_dir = (dir / ("c" + std::to_string(num_shards))).string();
+    b.crash_after_frames = run.num_frames() / 2;
+    RunIngestResumable(run, cheap, params, b);
+
+    std::vector<std::shared_ptr<const LiveSnapshot>> resumed;
+    b.crash_after_frames = -1;
+    b.snapshot_sink = [&](std::shared_ptr<const LiveSnapshot> snap) {
+      resumed.push_back(std::move(snap));
+    };
+    const IngestResult after = RunIngestResumable(run, cheap, params, b);
+    EXPECT_GT(after.resumed_from_frame, 0);
+    ASSERT_FALSE(resumed.empty());
+    ExpectSameIndex(after.index, full.index);
+
+    for (const auto& snap : resumed) {
+      const auto match =
+          std::find_if(uninterrupted.begin(), uninterrupted.end(),
+                       [&](const auto& u) { return u->watermark == snap->watermark; });
+      ASSERT_NE(match, uninterrupted.end()) << "watermark " << snap->watermark;
+      EXPECT_EQ(snap->detections, (*match)->detections);
+      ExpectSameIndex(snap->index, (*match)->index);
+    }
+  }
+  fs::remove_all(dir);
+}
+
 // Delta build accounting: entries of canonical clusters untouched between
 // epochs are carried forward, and on a stream whose objects exit the scene the
 // reuse is the common case by the tail of the run.

@@ -641,6 +641,84 @@ TEST(ShmEpochPlaneTest, OrphanedSegmentIsReclaimedAndLiveOwnerRefused) {
   (void)gen_a_epochs;
 }
 
+// Regression: a payload outgrowing its region used to leak the abandoned span
+// inside the fixed arena — a long run with steadily growing snapshots
+// exhausted the segment (kOutOfRange) even though the live working set fit
+// comfortably. Abandoned spans now go to the control block's free-span table
+// and are reused (or returned to the bump allocator when adjacent), so the
+// same run publishes every epoch, counts compactions, and the arena's
+// high-water mark stays well under the pre-fix append-only total.
+TEST(ShmEpochPlaneTest, GrowingPayloadsCompactAbandonedSpansInsteadOfLeaking) {
+  const std::string name = SegmentName("leak");
+  runtime::MetricsRegistry metrics;
+  EpochPublisher::Options options;
+  options.provenance = Provenance();
+  options.segment_bytes = 1 << 20;  // Small arena: leaks exhaust it fast.
+  auto publisher = EpochPublisher::Create(name, options, &metrics);
+  ASSERT_TRUE(publisher.ok()) << publisher.error().message;
+  (*publisher)->UnlinkOnDestroy(true);
+
+  // Synthetic snapshots with precisely controlled, steadily growing payloads:
+  // one cluster whose member-run table adds a fixed stride every epoch.
+  constexpr int kEpochs = 100;
+  constexpr size_t kBaseMembers = 400;
+  constexpr size_t kStride = 10;
+  auto snapshot_with = [](uint64_t epoch, size_t members) {
+    core::LiveSnapshot snap;
+    snap.epoch = epoch;
+    snap.watermark = static_cast<common::FrameIndex>(epoch * 60);
+    snap.fps = 30.0;
+    snap.detections = static_cast<int64_t>(members);
+    index::ClusterEntry entry;
+    entry.size = static_cast<int64_t>(members);
+    entry.members.reserve(members);
+    for (size_t m = 0; m < members; ++m) {
+      cluster::MemberRun run;
+      run.object = static_cast<common::ObjectId>(m);
+      run.first_frame = static_cast<common::FrameIndex>(2 * m);
+      run.last_frame = static_cast<common::FrameIndex>(2 * m + 1);
+      entry.members.push_back(run);
+    }
+    entry.topk_classes = {1, 2};
+    entry.topk_ranks = {1, 2};
+    snap.index.AddCluster(std::move(entry));
+    return snap;
+  };
+
+  uint64_t generation = 0;
+  for (int e = 1; e <= kEpochs; ++e) {
+    const core::LiveSnapshot snap =
+        snapshot_with(static_cast<uint64_t>(e), kBaseMembers + kStride * static_cast<size_t>(e));
+    auto published = (*publisher)->Publish(snap);
+    ASSERT_TRUE(published.ok()) << "epoch " << e << ": " << published.error().message;
+    EXPECT_EQ(*published, ++generation);
+  }
+
+  const ShmPlaneStats stats = (*publisher)->stats();
+  EXPECT_EQ(stats.epochs_published, static_cast<uint64_t>(kEpochs));
+  EXPECT_GT(stats.regions_compacted, 0u);
+  EXPECT_GT(metrics.counter("shm.regions_compacted"), 0);
+  EXPECT_LE(stats.arena_used_bytes, stats.segment_bytes);
+
+  // The plane still serves the final epoch coherently after all the churn.
+  auto reader = ShmSnapshotReader::Attach(name, &metrics);
+  ASSERT_TRUE(reader.ok()) << reader.error().message;
+  auto view = (*reader)->Acquire();
+  ASSERT_TRUE(view.ok()) << view.error().message;
+  EXPECT_EQ(view->epoch(), static_cast<uint64_t>(kEpochs));
+  ASSERT_EQ(view->num_clusters(), 1u);
+  const ShmClusterRecord& rec = view->clusters()[0];
+  const size_t final_members = kBaseMembers + kStride * kEpochs;
+  ASSERT_EQ(static_cast<size_t>(rec.members_count), final_members);
+  for (size_t m : {size_t{0}, final_members / 2, final_members - 1}) {
+    const ShmMemberRun& run = view->members()[rec.members_begin + m];
+    EXPECT_EQ(run.object, static_cast<common::ObjectId>(m));
+    EXPECT_EQ(run.first_frame, static_cast<common::FrameIndex>(2 * m));
+    EXPECT_EQ(run.last_frame, static_cast<common::FrameIndex>(2 * m + 1));
+  }
+  EXPECT_TRUE(view->StillValid());
+}
+
 TEST(WorkerProcessPoolTest, EchoKillAndSiblingIsolation) {
   runtime::WorkerProcessPool pool;
   auto started = pool.Start(3, [](const std::string& request) {

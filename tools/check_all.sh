@@ -15,35 +15,42 @@
 #                      kill/hang/torn-frame storms) in a FOCUS_SANITIZE=address
 #                      build, so every injected failure path and every
 #                      mapped-memory path also runs leak- and overflow-checked.
-#   3. bench gate    - `bench/run_benches.sh --check`: the tracked perf
+#   3. tsan gate     - the background-publication stress test
+#                      (readers on SnapshotSlot::Latest() + queries racing
+#                      builder-thread publishes and parallel checkpoint
+#                      persistence) in a FOCUS_SANITIZE=thread build, so the
+#                      background snapshot builder's handoffs run race-checked.
+#   4. bench gate    - `bench/run_benches.sh --check`: the tracked perf
 #                      guardrails, including bench_chaos's no-fault overhead
-#                      of the robustness machinery.
+#                      of the robustness machinery and bench_live_query's
+#                      background publish_overhead ceiling.
 #
-#   tools/check_all.sh [build_dir] [asan_build_dir]
+#   tools/check_all.sh [build_dir] [asan_build_dir] [tsan_build_dir]
 #
-# Build dirs default to build/ and build-asan/ at the repo root; both are
-# configured if missing and reused if present. Exits non-zero on the first
-# failing gate. FOCUS_SKIP_ASAN=1 skips gate 2 (e.g. on hosts without ASan
-# runtime support) — the fault label still ran inside gate 1's unit sweep,
-# just uninstrumented.
+# Build dirs default to build/, build-asan/, and build-tsan/ at the repo root;
+# all are configured if missing and reused if present. Exits non-zero on the
+# first failing gate. FOCUS_SKIP_ASAN=1 skips gate 2 and FOCUS_SKIP_TSAN=1
+# skips gate 3 (e.g. on hosts without the sanitizer runtimes) — the underlying
+# suites still ran inside gate 1's unit/stress sweeps, just uninstrumented.
 set -e
 
 REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_DIR/build}"
 ASAN_DIR="${2:-$REPO_DIR/build-asan}"
+TSAN_DIR="${3:-$REPO_DIR/build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== gate 1/3: unit tests (Release) =="
+echo "== gate 1/4: unit tests (Release) =="
 cmake -S "$REPO_DIR" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure
-echo "== gate 1/3 (fleet label): fleet serving runtime =="
+echo "== gate 1/4 (fleet label): fleet serving runtime =="
 ctest --test-dir "$BUILD_DIR" -L fleet --output-on-failure
 
 if [ "${FOCUS_SKIP_ASAN:-0}" = "1" ]; then
-  echo "== gate 2/3: SKIPPED (FOCUS_SKIP_ASAN=1) =="
+  echo "== gate 2/4: SKIPPED (FOCUS_SKIP_ASAN=1) =="
 else
-  echo "== gate 2/3: chaos + shm + proc suites under AddressSanitizer =="
+  echo "== gate 2/4: chaos + shm + proc suites under AddressSanitizer =="
   cmake -S "$REPO_DIR" -B "$ASAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFOCUS_SANITIZE=address
   # Only the fault-, shm-, and proc-labeled suites are needed; build just
@@ -56,7 +63,17 @@ else
   ctest --test-dir "$ASAN_DIR" -L proc --output-on-failure
 fi
 
-echo "== gate 3/3: bench guardrails =="
+if [ "${FOCUS_SKIP_TSAN:-0}" = "1" ]; then
+  echo "== gate 3/4: SKIPPED (FOCUS_SKIP_TSAN=1) =="
+else
+  echo "== gate 3/4: background publication stress under ThreadSanitizer =="
+  cmake -S "$REPO_DIR" -B "$TSAN_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFOCUS_SANITIZE=thread
+  cmake --build "$TSAN_DIR" -j"$JOBS" --target background_publish_stress_test
+  ctest --test-dir "$TSAN_DIR" -R background_publish_stress --output-on-failure
+fi
+
+echo "== gate 4/4: bench guardrails =="
 "$REPO_DIR/bench/run_benches.sh" --check "$BUILD_DIR"
 
 echo "check_all: all gates passed"
